@@ -1,0 +1,148 @@
+// Experiment F6 (Fig. 6): the combined pipeline — extract a 200-node
+// connection subgraph from the surrogate, partition it into 3
+// communities, and drill down the hierarchy to the very nodes.
+//
+// Report: the sizes at each stage of Fig. 6(a-d) plus drill-down latency
+// per step. Timings: each stage separately and end to end.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <memory>
+
+#include "bench_common.h"
+#include "core/engine.h"
+#include "csg/extraction.h"
+#include "util/timer.h"
+
+namespace {
+
+using namespace gmine;  // NOLINT
+using bench::CachedDblp;
+
+csg::ConnectionSubgraph ExtractStage(uint32_t budget) {
+  const gen::DblpGraph& data = CachedDblp();
+  csg::ExtractionOptions opts;
+  opts.budget = budget;
+  auto cs = csg::ExtractConnectionSubgraph(
+      data.graph,
+      {data.jiawei_han, data.philip_yu, data.hv_jagadish}, opts);
+  if (!cs.ok()) {
+    std::fprintf(stderr, "extract failed: %s\n",
+                 cs.status().ToString().c_str());
+    std::abort();
+  }
+  return std::move(cs).value();
+}
+
+void PrintReport() {
+  bench::ReportHeader(
+      "F6: combined extraction + hierarchy (Fig. 6 a-d)",
+      "a 200-node extracted subgraph is itself partitioned into 3 "
+      "communities and explored down to the very nodes of the graph");
+  StopWatch total;
+
+  StopWatch w1;
+  csg::ConnectionSubgraph cs = ExtractStage(200);
+  std::printf("(a) extraction: %u nodes, %llu edges  [%s]\n",
+              cs.subgraph.graph.num_nodes(),
+              static_cast<unsigned long long>(cs.subgraph.graph.num_edges()),
+              HumanMicros(w1.ElapsedMicros()).c_str());
+
+  StopWatch w2;
+  core::EngineOptions opts;
+  opts.build.levels = 2;
+  opts.build.fanout = 3;
+  opts.build.min_partition_size = 8;
+  graph::LabelStore sub_labels;
+  const gen::DblpGraph& data = CachedDblp();
+  for (graph::NodeId local = 0; local < cs.subgraph.graph.num_nodes();
+       ++local) {
+    sub_labels.SetLabel(
+        local,
+        std::string(data.labels.Label(cs.subgraph.ParentId(local))));
+  }
+  std::string path = "/tmp/gmine_bench_combined.gtree";
+  auto engine =
+      core::GMineEngine::Build(cs.subgraph.graph, sub_labels, path, opts);
+  if (!engine.ok()) {
+    std::printf("hierarchy build failed: %s\n",
+                engine.status().ToString().c_str());
+    return;
+  }
+  core::GMineEngine& gm = *engine.value();
+  std::printf("(b) partitioned into %zu top communities  [%s]\n",
+              gm.tree().node(gm.tree().root()).children.size(),
+              HumanMicros(w2.ElapsedMicros()).c_str());
+
+  gtree::NavigationSession& nav = gm.session();
+  int depth = 0;
+  while (!gm.tree().node(nav.focus()).IsLeaf()) {
+    StopWatch w3;
+    (void)nav.FocusChild(0);
+    std::printf("(%c) drill to %s: display=%zu communities  [%s]\n",
+                'c' + (depth > 0 ? 1 : 0),
+                gm.tree().node(nav.focus()).name.c_str(),
+                nav.context().DisplaySize(),
+                HumanMicros(w3.ElapsedMicros()).c_str());
+    ++depth;
+  }
+  StopWatch w4;
+  auto payload = nav.LoadFocusSubgraph();
+  if (payload.ok()) {
+    std::printf(
+        "(d) reached the very nodes: %u authors in the focused community  "
+        "[%s]\n",
+        payload.value()->subgraph.graph.num_nodes(),
+        HumanMicros(w4.ElapsedMicros()).c_str());
+  }
+  std::printf("end-to-end: %s\n", HumanMicros(total.ElapsedMicros()).c_str());
+  std::remove(path.c_str());
+}
+
+void BM_ExtractStage(benchmark::State& state) {
+  for (auto _ : state) {
+    auto cs = ExtractStage(static_cast<uint32_t>(state.range(0)));
+    benchmark::DoNotOptimize(cs);
+  }
+}
+
+BENCHMARK(BM_ExtractStage)->Arg(200)->Unit(benchmark::kMillisecond);
+
+void BM_PartitionExtracted(benchmark::State& state) {
+  csg::ConnectionSubgraph cs = ExtractStage(200);
+  partition::PartitionOptions opts;
+  opts.k = 3;
+  for (auto _ : state) {
+    auto r = partition::PartitionGraph(cs.subgraph.graph, opts);
+    benchmark::DoNotOptimize(r);
+  }
+}
+
+BENCHMARK(BM_PartitionExtracted)->Unit(benchmark::kMillisecond);
+
+void BM_EndToEndCombined(benchmark::State& state) {
+  const gen::DblpGraph& data = CachedDblp();
+  for (auto _ : state) {
+    csg::ConnectionSubgraph cs = ExtractStage(200);
+    gtree::GTreeBuildOptions opts;
+    opts.levels = 2;
+    opts.fanout = 3;
+    opts.min_partition_size = 8;
+    auto tree = gtree::BuildGTree(cs.subgraph.graph, opts);
+    benchmark::DoNotOptimize(tree);
+  }
+  state.counters["graph_nodes"] = data.graph.num_nodes();
+}
+
+BENCHMARK(BM_EndToEndCombined)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintReport();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Shared workload builders for the benchmark binaries. Each bench prints
+// the paper-facing report first (the rows/series the figure shows), then
+// runs google-benchmark timings.
+
+#ifndef GMINE_BENCH_BENCH_COMMON_H_
+#define GMINE_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <map>
+#include <string>
+#include <tuple>
+
+#include "gen/dblp.h"
+#include "util/string_util.h"
+
+namespace gmine::bench {
+
+/// Default bench-scale DBLP surrogate: 3 levels x 5 communities x 60
+/// authors = 7,500 nodes — large enough for the paper's shapes, small
+/// enough that every bench binary finishes in seconds. Pass
+/// --paper-scale to the examples for the full 315k-node graph.
+inline gen::DblpOptions BenchDblpOptions(uint32_t levels = 3,
+                                         uint32_t fanout = 5,
+                                         uint32_t leaf_size = 60) {
+  gen::DblpOptions opts;
+  opts.levels = levels;
+  opts.fanout = fanout;
+  opts.leaf_size = leaf_size;
+  opts.seed = 2006;
+  return opts;
+}
+
+/// Memoized surrogate generation (benchmarks re-enter their loop bodies
+/// many times; the workload must be built once).
+inline const gen::DblpGraph& CachedDblp(uint32_t levels = 3,
+                                        uint32_t fanout = 5,
+                                        uint32_t leaf_size = 60) {
+  static std::map<std::tuple<uint32_t, uint32_t, uint32_t>, gen::DblpGraph>
+      cache;
+  auto key = std::make_tuple(levels, fanout, leaf_size);
+  auto it = cache.find(key);
+  if (it == cache.end()) {
+    auto r = gen::GenerateDblp(BenchDblpOptions(levels, fanout, leaf_size));
+    if (!r.ok()) {
+      std::fprintf(stderr, "workload generation failed: %s\n",
+                   r.status().ToString().c_str());
+      std::abort();
+    }
+    it = cache.emplace(key, std::move(r).value()).first;
+  }
+  return it->second;
+}
+
+/// Section header for the paper-facing report.
+inline void ReportHeader(const char* experiment, const char* paper_claim) {
+  std::printf("\n=== %s ===\n", experiment);
+  std::printf("paper: %s\n", paper_claim);
+}
+
+}  // namespace gmine::bench
+
+#endif  // GMINE_BENCH_BENCH_COMMON_H_

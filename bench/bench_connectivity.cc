@@ -1,0 +1,133 @@
+// Experiment F2 (Fig. 2): connectivity edges — "the number of edges
+// between nodes from the original graph, but that are in different
+// communities."
+//
+// Report: for the bench hierarchy, the heaviest sibling connectivity
+// edges at the top level plus the invariant that leaf-pair counts sum to
+// the number of cross-leaf edges. Timings: index construction and
+// queries.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "gtree/builder.h"
+#include "gtree/connectivity.h"
+#include "gtree/tomahawk.h"
+
+namespace {
+
+using namespace gmine;  // NOLINT
+using bench::CachedDblp;
+
+struct Built {
+  const gen::DblpGraph* data;
+  gtree::GTree tree;
+  gtree::ConnectivityIndex index;
+};
+
+Built& BuildOnce() {
+  static Built* built = [] {
+    auto* b = new Built();
+    b->data = &CachedDblp();
+    gtree::GTreeBuildOptions opts;
+    opts.levels = 3;
+    opts.fanout = 5;
+    b->tree = std::move(gtree::BuildGTree(b->data->graph, opts)).value();
+    b->index = gtree::ConnectivityIndex::Build(b->data->graph, b->tree);
+    return b;
+  }();
+  return *built;
+}
+
+void PrintReport() {
+  Built& b = BuildOnce();
+  bench::ReportHeader(
+      "F2: connectivity edges (Fig. 2)",
+      "connectivity edge weight = number of original cross-community "
+      "edges; width encodes the count in the display");
+
+  // Top-level sibling connectivity (what Fig. 3(a) draws).
+  const auto& root = b.tree.node(b.tree.root());
+  std::printf("top-level communities: %zu; connectivity among them:\n",
+              root.children.size());
+  auto edges = b.index.EdgesAmong(root.children);
+  for (const auto& e : edges) {
+    std::printf("  %s <-> %s : %llu cross edges (weight %.0f)\n",
+                b.tree.node(e.a).name.c_str(), b.tree.node(e.b).name.c_str(),
+                static_cast<unsigned long long>(e.count), e.weight);
+  }
+
+  // Invariant check (the Fig. 2 definition).
+  uint64_t cross_edges = 0;
+  for (graph::NodeId u = 0; u < b.data->graph.num_nodes(); ++u) {
+    for (const graph::Neighbor& nb : b.data->graph.Neighbors(u)) {
+      if (nb.id > u && b.tree.LeafOf(u) != b.tree.LeafOf(nb.id)) {
+        ++cross_edges;
+      }
+    }
+  }
+  uint64_t leaf_pair_sum = 0;
+  for (uint32_t x = 0; x < b.tree.size(); ++x) {
+    if (!b.tree.node(x).IsLeaf()) continue;
+    for (uint32_t y = x + 1; y < b.tree.size(); ++y) {
+      if (!b.tree.node(y).IsLeaf()) continue;
+      leaf_pair_sum += b.index.CountBetween(x, y);
+    }
+  }
+  std::printf(
+      "invariant: cross-leaf edges = %llu, sum over leaf pairs = %llu (%s)\n",
+      static_cast<unsigned long long>(cross_edges),
+      static_cast<unsigned long long>(leaf_pair_sum),
+      cross_edges == leaf_pair_sum ? "MATCH" : "MISMATCH");
+  std::printf("distinct community pairs with connectivity: %zu\n",
+              b.index.num_pairs());
+}
+
+void BM_BuildConnectivityIndex(benchmark::State& state) {
+  Built& b = BuildOnce();
+  for (auto _ : state) {
+    auto index = gtree::ConnectivityIndex::Build(b.data->graph, b.tree);
+    benchmark::DoNotOptimize(index);
+  }
+  state.counters["pairs"] = static_cast<double>(b.index.num_pairs());
+}
+
+BENCHMARK(BM_BuildConnectivityIndex)->Unit(benchmark::kMillisecond);
+
+void BM_ConnectivityQuery(benchmark::State& state) {
+  Built& b = BuildOnce();
+  uint32_t a = 1;
+  uint32_t c = 2;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(b.index.CountBetween(a, c));
+    if (++c >= b.tree.size()) {
+      c = 0;
+      a = (a + 1) % b.tree.size();
+    }
+  }
+}
+
+BENCHMARK(BM_ConnectivityQuery);
+
+void BM_EdgesAmongDisplaySet(benchmark::State& state) {
+  Built& b = BuildOnce();
+  auto ctx = gtree::ComputeTomahawk(b.tree, b.tree.node(b.tree.root()).children[0]);
+  auto display = ctx.DisplaySet();
+  for (auto _ : state) {
+    auto edges = b.index.EdgesAmong(display);
+    benchmark::DoNotOptimize(edges);
+  }
+  state.counters["display"] = static_cast<double>(display.size());
+}
+
+BENCHMARK(BM_EdgesAmongDisplaySet);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintReport();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

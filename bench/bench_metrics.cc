@@ -1,0 +1,149 @@
+// Experiment S2 (§III-B): the five on-demand subgraph metrics — degree
+// distribution, number of hops, weak components, strong components,
+// PageRank — computed "for this subgraph only".
+//
+// Report: per-metric latency on communities of growing size; the shape
+// to verify is that latency tracks the community, not the whole graph.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "graph/subgraph.h"
+#include "gtree/builder.h"
+#include "mining/clustering.h"
+#include "mining/kcore.h"
+#include "mining/metrics.h"
+#include "util/timer.h"
+
+namespace {
+
+using namespace gmine;  // NOLINT
+using bench::CachedDblp;
+
+graph::Graph CommunityOfSize(uint32_t approx_size) {
+  const gen::DblpGraph& data = CachedDblp();
+  std::vector<graph::NodeId> members;
+  members.reserve(approx_size);
+  for (graph::NodeId v = 0; v < approx_size && v < data.graph.num_nodes();
+       ++v) {
+    members.push_back(v);
+  }
+  return std::move(graph::InducedSubgraph(data.graph, members))
+      .value()
+      .graph;
+}
+
+void PrintReport() {
+  bench::ReportHeader(
+      "S2: on-demand subgraph metrics (§III-B)",
+      "degree distribution, number of hops, weak components, strong "
+      "components and PageRank are computed for the focused community "
+      "only — latency must track community size, not graph size");
+  std::printf("%-12s %10s %10s %10s %10s %10s\n", "community", "degree",
+              "hops", "weak cc", "strong cc", "pagerank");
+  for (uint32_t size : {100u, 300u, 1000u, 3000u}) {
+    graph::Graph sub = CommunityOfSize(size);
+    mining::MetricsRequest req;
+    req.hop_samples = 64;
+    req.hop_exact_threshold = 512;
+
+    auto time_one = [&](auto fn) {
+      StopWatch w;
+      fn();
+      return HumanMicros(w.ElapsedMicros());
+    };
+    std::string d = time_one(
+        [&] { benchmark::DoNotOptimize(mining::ComputeDegreeDistribution(sub)); });
+    std::string h = time_one([&] {
+      benchmark::DoNotOptimize(
+          mining::ComputeHopPlot(sub, req.hop_exact_threshold,
+                                 req.hop_samples, 1));
+    });
+    std::string w = time_one(
+        [&] { benchmark::DoNotOptimize(mining::WeakComponents(sub)); });
+    std::string s = time_one(
+        [&] { benchmark::DoNotOptimize(mining::StrongComponents(sub)); });
+    std::string p = time_one(
+        [&] { benchmark::DoNotOptimize(mining::ComputePageRank(sub)); });
+    std::printf("%-12u %10s %10s %10s %10s %10s\n", sub.num_nodes(),
+                d.c_str(), h.c_str(), w.c_str(), s.c_str(), p.c_str());
+  }
+}
+
+void BM_DegreeDistribution(benchmark::State& state) {
+  graph::Graph sub = CommunityOfSize(static_cast<uint32_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mining::ComputeDegreeDistribution(sub));
+  }
+}
+BENCHMARK(BM_DegreeDistribution)->Arg(300)->Arg(3000);
+
+void BM_HopPlot(benchmark::State& state) {
+  graph::Graph sub = CommunityOfSize(static_cast<uint32_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mining::ComputeHopPlot(sub, 512, 64, 1));
+  }
+}
+BENCHMARK(BM_HopPlot)->Arg(300)->Arg(3000)->Unit(benchmark::kMillisecond);
+
+void BM_WeakComponents(benchmark::State& state) {
+  graph::Graph sub = CommunityOfSize(static_cast<uint32_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mining::WeakComponents(sub));
+  }
+}
+BENCHMARK(BM_WeakComponents)->Arg(300)->Arg(3000);
+
+void BM_StrongComponents(benchmark::State& state) {
+  graph::Graph sub = CommunityOfSize(static_cast<uint32_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mining::StrongComponents(sub));
+  }
+}
+BENCHMARK(BM_StrongComponents)->Arg(300)->Arg(3000);
+
+void BM_PageRank(benchmark::State& state) {
+  graph::Graph sub = CommunityOfSize(static_cast<uint32_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mining::ComputePageRank(sub));
+  }
+}
+BENCHMARK(BM_PageRank)->Arg(300)->Arg(3000)->Unit(benchmark::kMillisecond);
+
+void BM_AllFiveMetrics(benchmark::State& state) {
+  graph::Graph sub = CommunityOfSize(static_cast<uint32_t>(state.range(0)));
+  mining::MetricsRequest req;
+  req.hop_samples = 64;
+  req.hop_exact_threshold = 512;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mining::ComputeMetrics(sub, req));
+  }
+}
+BENCHMARK(BM_AllFiveMetrics)->Arg(500)->Unit(benchmark::kMillisecond);
+
+// Extension metrics (not in the paper's list of five, offered alongside).
+void BM_Clustering(benchmark::State& state) {
+  graph::Graph sub = CommunityOfSize(static_cast<uint32_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mining::ComputeClustering(sub));
+  }
+}
+BENCHMARK(BM_Clustering)->Arg(300)->Arg(3000);
+
+void BM_KCore(benchmark::State& state) {
+  graph::Graph sub = CommunityOfSize(static_cast<uint32_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mining::KCoreDecomposition(sub));
+  }
+}
+BENCHMARK(BM_KCore)->Arg(300)->Arg(3000);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintReport();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,173 @@
+// Experiment F3 (Fig. 3): the scripted interactive navigation session.
+//
+// The paper's Fig. 3 sequence: (a) top-level view of 5 communities and
+// their 25 sub-communities, (b) focus a community, (c) full drill to its
+// sub-communities and inspection of an outlier edge, (d) label query for
+// a prolific author, (e) his community subgraph, (f) co-author discovery
+// by interaction. The report replays the whole session through the
+// engine, printing per-step latency and display-set size — the paper's
+// claim is that every step stays interactive because only the Tomahawk
+// context is processed.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <memory>
+
+#include "bench_common.h"
+#include "core/engine.h"
+#include "util/timer.h"
+
+namespace {
+
+using namespace gmine;  // NOLINT
+using bench::CachedDblp;
+
+std::string StorePath() {
+  return "/tmp/gmine_bench_navigation.gtree";
+}
+
+core::GMineEngine& EngineOnce() {
+  static std::unique_ptr<core::GMineEngine> engine = [] {
+    const gen::DblpGraph& data = CachedDblp();
+    core::EngineOptions opts;
+    opts.build.levels = 3;
+    opts.build.fanout = 5;
+    auto e = core::GMineEngine::Build(data.graph, data.labels, StorePath(),
+                                      opts);
+    if (!e.ok()) {
+      std::fprintf(stderr, "engine build failed: %s\n",
+                   e.status().ToString().c_str());
+      std::abort();
+    }
+    return std::move(e).value();
+  }();
+  return *engine;
+}
+
+void PrintReport() {
+  bench::ReportHeader(
+      "F3: interactive navigation session (Fig. 3 a-f)",
+      "each interaction processes only the Tomahawk context, so latency "
+      "stays interactive and the display stays small");
+  core::GMineEngine& gm = EngineOnce();
+  gtree::NavigationSession& nav = gm.session();
+  const gen::DblpGraph& data = CachedDblp();
+
+  // (a) top-level view.
+  (void)nav.FocusRoot();
+  // (b) focus the second top-level community (the paper's s034 moment).
+  (void)nav.FocusChild(1);
+  // (c) drill one level deeper and inspect the outlier pair.
+  (void)nav.FocusChild(0);
+  if (data.db_miller != graph::kInvalidNode) {
+    (void)nav.FocusGraphNode(data.db_miller);
+    auto details = gm.GetNodeDetails(data.db_miller);
+    if (details.ok() && !details.value().community_neighbors.empty()) {
+      std::printf(
+          "outlier inspection: '%s' co-authored only with '%s' (the Fig. "
+          "3c D.B. Miller / R.G. Stockton edge)\n",
+          details.value().label.c_str(),
+          details.value().community_neighbors[0].second.c_str());
+    }
+  }
+  // (d) label query.
+  auto located = nav.LocateByLabel("Jiawei Han");
+  // (e) load his community subgraph.
+  if (located.ok()) (void)nav.LoadFocusSubgraph();
+  // (f) co-author discovery via edge expansion.
+  if (located.ok()) {
+    auto nbrs = gm.ExpandNode(located.value(), 3);
+    if (nbrs.ok() && !nbrs.value().empty()) {
+      std::printf("co-author discovery: top collaborator of Jiawei Han is "
+                  "'%s' (the Fig. 3f Ke Wang moment)\n",
+                  nbrs.value()[0].second.c_str());
+    }
+  }
+
+  std::printf("%-6s %-18s %10s %10s\n", "step", "operation", "latency",
+              "display");
+  const auto& events = nav.history();
+  for (size_t i = 0; i < events.size(); ++i) {
+    std::printf("%-6zu %-18s %10s %10zu\n", i, events[i].op.c_str(),
+                HumanMicros(events[i].micros).c_str(),
+                events[i].display_size);
+  }
+  std::printf("store: %s, leaf pages loaded: %llu (of %u leaves)\n",
+              HumanBytes(gm.store().file_size()).c_str(),
+              static_cast<unsigned long long>(
+                  gm.store().stats().leaf_loads),
+              gm.tree().num_leaves());
+}
+
+void BM_FocusChange(benchmark::State& state) {
+  core::GMineEngine& gm = EngineOnce();
+  gtree::NavigationSession& nav = gm.session();
+  size_t child = 0;
+  for (auto _ : state) {
+    (void)nav.FocusRoot();
+    (void)nav.FocusChild(child % 5);
+    ++child;
+  }
+}
+
+BENCHMARK(BM_FocusChange);
+
+void BM_LabelQuery(benchmark::State& state) {
+  core::GMineEngine& gm = EngineOnce();
+  gtree::NavigationSession& nav = gm.session();
+  for (auto _ : state) {
+    auto r = nav.LocateByLabel("Jiawei Han");
+    benchmark::DoNotOptimize(r);
+  }
+}
+
+BENCHMARK(BM_LabelQuery);
+
+void BM_LoadLeafSubgraphCold(benchmark::State& state) {
+  core::GMineEngine& gm = EngineOnce();
+  gtree::NavigationSession& nav = gm.session();
+  (void)nav.FocusGraphNode(0);
+  for (auto _ : state) {
+    gm.store().ClearCache();
+    auto payload = nav.LoadFocusSubgraph();
+    benchmark::DoNotOptimize(payload);
+  }
+}
+
+BENCHMARK(BM_LoadLeafSubgraphCold);
+
+void BM_LoadLeafSubgraphWarm(benchmark::State& state) {
+  core::GMineEngine& gm = EngineOnce();
+  gtree::NavigationSession& nav = gm.session();
+  (void)nav.FocusGraphNode(0);
+  (void)nav.LoadFocusSubgraph();
+  for (auto _ : state) {
+    auto payload = nav.LoadFocusSubgraph();
+    benchmark::DoNotOptimize(payload);
+  }
+}
+
+BENCHMARK(BM_LoadLeafSubgraphWarm);
+
+void BM_RenderHierarchyView(benchmark::State& state) {
+  core::GMineEngine& gm = EngineOnce();
+  (void)gm.session().FocusRoot();
+  for (auto _ : state) {
+    auto st = gm.RenderHierarchyView("/tmp/gmine_bench_nav_view.svg");
+    benchmark::DoNotOptimize(st);
+  }
+}
+
+BENCHMARK(BM_RenderHierarchyView)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintReport();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  std::remove(StorePath().c_str());
+  return 0;
+}

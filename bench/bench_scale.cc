@@ -1,0 +1,168 @@
+// Experiment S1 (§II statistics + the scalability claim): "smaller parts
+// of the graph are processed one at a time instead of the whole graph at
+// every cycle."
+//
+// Report: graph-size sweep of store size / build time; then the
+// on-demand IO story — bytes read by a navigation session vs the size of
+// the whole graph, and cache behavior under a bounded page budget.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <memory>
+
+#include "bench_common.h"
+#include "core/engine.h"
+#include "util/timer.h"
+
+namespace {
+
+using namespace gmine;  // NOLINT
+using bench::CachedDblp;
+
+void PrintReport() {
+  bench::ReportHeader(
+      "S1: scalability & on-demand IO (§II, §V)",
+      "navigation touches only the focused communities; memory/IO track "
+      "the display, not the graph (DBLP itself: n=315,688 e=1,659,853)");
+
+  std::printf("%-26s %10s %12s %12s %12s\n", "workload", "nodes", "edges",
+              "store size", "build time");
+  struct Config {
+    uint32_t levels, fanout, leaf_size;
+  };
+  const Config configs[] = {{2, 5, 30}, {2, 5, 60}, {3, 5, 60}};
+  for (const Config& c : configs) {
+    const gen::DblpGraph& data = CachedDblp(c.levels, c.fanout, c.leaf_size);
+    std::string path = "/tmp/gmine_bench_scale.gtree";
+    StopWatch watch;
+    core::EngineOptions opts;
+    opts.build.levels = c.levels;
+    opts.build.fanout = c.fanout;
+    auto engine =
+        core::GMineEngine::Build(data.graph, data.labels, path, opts);
+    if (!engine.ok()) continue;
+    std::printf("%-26s %10u %12llu %12s %12s\n",
+                StrFormat("L=%u k=%u leaf=%u", c.levels, c.fanout,
+                          c.leaf_size)
+                    .c_str(),
+                data.graph.num_nodes(),
+                static_cast<unsigned long long>(data.graph.num_edges()),
+                HumanBytes(engine.value()->store().file_size()).c_str(),
+                HumanMicros(watch.ElapsedMicros()).c_str());
+    std::remove(path.c_str());
+  }
+
+  // On-demand IO: a 12-step navigation session on the largest workload.
+  const gen::DblpGraph& data = CachedDblp();
+  std::string path = "/tmp/gmine_bench_scale_io.gtree";
+  core::EngineOptions opts;
+  opts.build.levels = 3;
+  opts.build.fanout = 5;
+  opts.store.cache_pages = 8;
+  auto engine = core::GMineEngine::Build(data.graph, data.labels, path, opts);
+  if (!engine.ok()) return;
+  core::GMineEngine& gm = *engine.value();
+  gtree::NavigationSession& nav = gm.session();
+  // Visit 12 different leaf communities.
+  uint32_t visited = 0;
+  for (graph::NodeId v = 0; v < data.graph.num_nodes() && visited < 12;
+       v += data.graph.num_nodes() / 12) {
+    if (nav.FocusGraphNode(v).ok() && nav.LoadFocusSubgraph().ok()) {
+      ++visited;
+    }
+  }
+  const auto& stats = gm.store().stats();
+  std::printf(
+      "session IO: %u leaf visits -> %llu page loads, %s read "
+      "(store file: %s; whole-graph load would read %s at once)\n",
+      visited, static_cast<unsigned long long>(stats.leaf_loads),
+      HumanBytes(stats.bytes_read).c_str(),
+      HumanBytes(gm.store().file_size()).c_str(),
+      HumanBytes(gm.store().file_size()).c_str());
+  std::printf(
+      "shape: bytes read per interaction stays proportional to one "
+      "community (~%s), not to the graph.\n",
+      HumanBytes(stats.leaf_loads ? stats.bytes_read / stats.leaf_loads : 0)
+          .c_str());
+  std::remove(path.c_str());
+}
+
+void BM_StoreCreate(benchmark::State& state) {
+  const gen::DblpGraph& data = CachedDblp(2, 5, 30);
+  gtree::GTreeBuildOptions bopts;
+  bopts.levels = 2;
+  bopts.fanout = 5;
+  auto tree = gtree::BuildGTree(data.graph, bopts);
+  auto conn = gtree::ConnectivityIndex::Build(data.graph, tree.value());
+  for (auto _ : state) {
+    auto st = gtree::GTreeStore::Create("/tmp/gmine_bm_store.gtree",
+                                        data.graph, tree.value(), conn, data.labels);
+    benchmark::DoNotOptimize(st);
+  }
+  std::remove("/tmp/gmine_bm_store.gtree");
+}
+
+void BM_StoreOpen(benchmark::State& state) {
+  const gen::DblpGraph& data = CachedDblp(2, 5, 30);
+  gtree::GTreeBuildOptions bopts;
+  bopts.levels = 2;
+  bopts.fanout = 5;
+  auto tree = gtree::BuildGTree(data.graph, bopts);
+  auto conn = gtree::ConnectivityIndex::Build(data.graph, tree.value());
+  (void)gtree::GTreeStore::Create("/tmp/gmine_bm_open.gtree", data.graph,
+                                  tree.value(), conn, data.labels);
+  for (auto _ : state) {
+    auto store = gtree::GTreeStore::Open("/tmp/gmine_bm_open.gtree");
+    benchmark::DoNotOptimize(store);
+  }
+  std::remove("/tmp/gmine_bm_open.gtree");
+}
+
+BENCHMARK(BM_StoreOpen)->Unit(benchmark::kMillisecond);
+
+void BM_LeafLoadColdVsCacheSweep(benchmark::State& state) {
+  const gen::DblpGraph& data = CachedDblp();
+  static std::unique_ptr<gtree::GTreeStore> store = [] {
+    gtree::GTreeBuildOptions bopts;
+    bopts.levels = 3;
+    bopts.fanout = 5;
+    const gen::DblpGraph& d = CachedDblp();
+    auto tree = gtree::BuildGTree(d.graph, bopts);
+    auto conn = gtree::ConnectivityIndex::Build(d.graph, tree.value());
+    (void)gtree::GTreeStore::Create("/tmp/gmine_bm_leaf.gtree", d.graph,
+                                    tree.value(), conn, d.labels);
+    gtree::GTreeStoreOptions sopts;
+    sopts.cache_pages = 4;
+    return std::move(gtree::GTreeStore::Open("/tmp/gmine_bm_leaf.gtree",
+                                             sopts))
+        .value();
+  }();
+  auto leaves = store->tree().LeavesUnder(store->tree().root());
+  size_t i = 0;
+  for (auto _ : state) {
+    auto payload = store->LoadLeaf(leaves[i % leaves.size()]);
+    benchmark::DoNotOptimize(payload);
+    ++i;
+  }
+  state.counters["hit_rate"] =
+      static_cast<double>(store->stats().cache_hits) /
+      static_cast<double>(store->stats().cache_hits +
+                          store->stats().leaf_loads);
+  (void)data;
+}
+
+BENCHMARK(BM_LeafLoadColdVsCacheSweep);
+
+BENCHMARK(BM_StoreCreate)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintReport();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  std::remove("/tmp/gmine_bm_leaf.gtree");
+  return 0;
+}

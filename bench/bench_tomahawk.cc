@@ -1,0 +1,109 @@
+// Experiment F4 (Fig. 4): the Tomahawk principle — the display set stays
+// O(fanout * depth) while naive full expansion grows as fanout^levels.
+//
+// Report: display-set size vs full-expansion size across hierarchy
+// shapes (levels x fanout), at the deepest focus. Timings: context
+// computation cost.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "gtree/builder.h"
+#include "gtree/tomahawk.h"
+
+namespace {
+
+using namespace gmine;  // NOLINT
+
+gtree::GTree BalancedTree(uint32_t levels, uint32_t fanout) {
+  uint32_t leaves = 1;
+  for (uint32_t l = 0; l < levels; ++l) leaves *= fanout;
+  std::vector<uint32_t> assignment(leaves);
+  for (uint32_t v = 0; v < leaves; ++v) assignment[v] = v;
+  return std::move(gtree::BuildGTreeFromAssignment(leaves, assignment,
+                                                   leaves, fanout))
+      .value();
+}
+
+gtree::TreeNodeId DeepestFirstLeaf(const gtree::GTree& tree) {
+  gtree::TreeNodeId cur = tree.root();
+  while (!tree.node(cur).IsLeaf()) cur = tree.node(cur).children[0];
+  return cur;
+}
+
+void PrintReport() {
+  bench::ReportHeader(
+      "F4: Tomahawk principle (Fig. 4)",
+      "plot only the focus, its sons, its siblings and the path above — "
+      "a bounded set — instead of the exponentially growing expansion");
+  std::printf("%-10s %-8s %12s %16s %10s\n", "levels", "fanout",
+              "tomahawk", "full expansion", "ratio");
+  for (uint32_t levels = 2; levels <= 6; ++levels) {
+    for (uint32_t fanout : {2u, 5u, 8u}) {
+      uint64_t leaves = 1;
+      for (uint32_t l = 0; l < levels; ++l) leaves *= fanout;
+      if (leaves > 300000) continue;  // keep the sweep quick
+      gtree::GTree tree = BalancedTree(levels, fanout);
+      gtree::TreeNodeId focus = DeepestFirstLeaf(tree);
+      auto ctx = gtree::ComputeTomahawk(tree, focus);
+      uint64_t full = gtree::FullExpansionSize(tree, tree.root());
+      std::printf("%-10u %-8u %12zu %16llu %9.1fx\n", levels, fanout,
+                  ctx.DisplaySize(),
+                  static_cast<unsigned long long>(full),
+                  static_cast<double>(full) /
+                      static_cast<double>(ctx.DisplaySize()));
+    }
+  }
+  std::printf(
+      "shape: tomahawk grows linearly with depth*fanout; full expansion "
+      "grows as fanout^levels (the clutter GMine avoids).\n");
+}
+
+void BM_ComputeTomahawk(benchmark::State& state) {
+  gtree::GTree tree = BalancedTree(static_cast<uint32_t>(state.range(0)),
+                                   static_cast<uint32_t>(state.range(1)));
+  gtree::TreeNodeId focus = DeepestFirstLeaf(tree);
+  for (auto _ : state) {
+    auto ctx = gtree::ComputeTomahawk(tree, focus);
+    benchmark::DoNotOptimize(ctx);
+  }
+  state.counters["display"] = static_cast<double>(
+      gtree::ComputeTomahawk(tree, focus).DisplaySize());
+}
+
+BENCHMARK(BM_ComputeTomahawk)
+    ->Args({3, 5})
+    ->Args({4, 5})
+    ->Args({5, 5})
+    ->Args({6, 2});
+
+void BM_FullExpansionSize(benchmark::State& state) {
+  gtree::GTree tree = BalancedTree(static_cast<uint32_t>(state.range(0)), 5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gtree::FullExpansionSize(tree, tree.root()));
+  }
+}
+
+BENCHMARK(BM_FullExpansionSize)->Arg(3)->Arg(4)->Arg(5);
+
+void BM_DisplaySetMaterialization(benchmark::State& state) {
+  gtree::GTree tree = BalancedTree(4, 5);
+  gtree::TreeNodeId focus = DeepestFirstLeaf(tree);
+  auto ctx = gtree::ComputeTomahawk(tree, focus);
+  for (auto _ : state) {
+    auto display = ctx.DisplaySet();
+    benchmark::DoNotOptimize(display);
+  }
+}
+
+BENCHMARK(BM_DisplaySetMaterialization);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintReport();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,136 @@
+// The paper's Fig. 5 scenario: connection subgraph extraction.
+//
+// "A connection subgraph with 30 nodes extracted from the whole DBLP
+// dataset ... The initial query set is composed of three authors from
+// the database community: Philip S. Yu, Flip Korn and Minos N.
+// Garofalakis." Hovering a node pops up its details — here the pop-up is
+// printed for the highest-goodness non-source node (the H. V. Jagadish
+// role in the paper's figure).
+//
+// Also demonstrates the multi-source advantage over the pairwise
+// delivered-current baseline [Faloutsos-McCurley-Tomkins KDD'04].
+//
+// Usage: connection_subgraph [output_dir] [budget]
+
+#include <cstdio>
+#include <string>
+#include <unordered_set>
+
+#include "core/views.h"
+#include "csg/delivered_current.h"
+#include "csg/extraction.h"
+#include "gen/dblp.h"
+#include "util/string_util.h"
+#include "util/timer.h"
+
+namespace {
+
+int Fail(const gmine::Status& st, const char* where) {
+  std::fprintf(stderr, "FATAL %s: %s\n", where, st.ToString().c_str());
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace gmine;  // NOLINT
+  std::string out_dir = argc > 1 ? argv[1] : ".";
+  uint32_t budget = 30;
+  if (argc > 2) {
+    uint64_t parsed = 0;
+    if (ParseUint64(argv[2], &parsed) && parsed >= 3) {
+      budget = static_cast<uint32_t>(parsed);
+    }
+  }
+
+  gen::DblpOptions gopts;
+  gopts.levels = 3;
+  gopts.fanout = 5;
+  gopts.leaf_size = 60;
+  auto dblp = gen::GenerateDblp(gopts);
+  if (!dblp.ok()) return Fail(dblp.status(), "generate");
+  const gen::DblpGraph& data = dblp.value();
+  std::printf("graph: %s\n", data.graph.DebugString().c_str());
+
+  std::vector<graph::NodeId> sources{data.philip_yu, data.flip_korn,
+                                     data.minos_garofalakis};
+  std::printf("query set: 'Philip S. Yu', 'Flip Korn', "
+              "'Minos N. Garofalakis'\n");
+
+  csg::ExtractionOptions opts;
+  opts.budget = budget;
+  StopWatch watch;
+  auto cs = csg::ExtractConnectionSubgraph(data.graph, sources, opts);
+  if (!cs.ok()) return Fail(cs.status(), "extract");
+  std::printf("[%7s] %s\n", HumanMicros(watch.ElapsedMicros()).c_str(),
+              cs.value().ToString().c_str());
+  std::printf("magnitude: %ux smaller than the input graph\n",
+              data.graph.num_nodes() /
+                  cs.value().subgraph.graph.num_nodes());
+
+  // Pop-up details for the most central non-source member (the paper
+  // hovers H. V. Jagadish and sees his edges highlighted).
+  const auto& sub = cs.value().subgraph;
+  graph::NodeId best_local = graph::kInvalidNode;
+  double best_good = -1.0;
+  std::unordered_set<graph::NodeId> source_set(
+      cs.value().source_locals.begin(), cs.value().source_locals.end());
+  for (graph::NodeId local = 0; local < sub.graph.num_nodes(); ++local) {
+    if (source_set.count(local)) continue;
+    if (cs.value().member_goodness[local] > best_good) {
+      best_good = cs.value().member_goodness[local];
+      best_local = local;
+    }
+  }
+  if (best_local != graph::kInvalidNode) {
+    graph::NodeId orig = sub.ParentId(best_local);
+    std::printf("pop-up: '%s' (goodness %.3e) connects to:",
+                std::string(data.labels.Label(orig)).c_str(), best_good);
+    for (const graph::Neighbor& nb : sub.graph.Neighbors(best_local)) {
+      std::printf(" '%s'",
+                  std::string(data.labels.Label(sub.ParentId(nb.id)))
+                      .c_str());
+    }
+    std::printf("\n");
+  }
+
+  std::string svg = out_dir + "/fig5_connection_subgraph.svg";
+  if (auto st = core::RenderConnectionSubgraphSvg(cs.value(), &data.labels,
+                                                  svg);
+      !st.ok()) {
+    return Fail(st, "render");
+  }
+  std::printf("figure written to %s\n", svg.c_str());
+
+  // Comparison: the pairwise baseline cannot take the 3-author query;
+  // the closest it offers is the union over all source pairs.
+  auto walks = csg::ComputeSourceWalks(data.graph, sources, opts.rwr);
+  if (!walks.ok()) return Fail(walks.status(), "walks");
+  std::vector<double> goodness = csg::GoodnessScores(walks.value());
+  std::unordered_set<graph::NodeId> union_nodes;
+  csg::DeliveredCurrentOptions dopts;
+  dopts.budget = budget / 2 + 2;
+  for (size_t i = 0; i < sources.size(); ++i) {
+    for (size_t j = i + 1; j < sources.size(); ++j) {
+      auto dc = csg::DeliveredCurrentSubgraph(data.graph, sources[i],
+                                              sources[j], dopts);
+      if (!dc.ok()) continue;
+      for (graph::NodeId p : dc.value().subgraph.to_parent) {
+        union_nodes.insert(p);
+      }
+    }
+  }
+  std::vector<graph::NodeId> union_vec(union_nodes.begin(),
+                                       union_nodes.end());
+  std::printf(
+      "pairwise delivered-current union: %zu nodes capture %.3e | "
+      "multi-source: %u nodes capture %.3e -> multi-source %s\n",
+      union_vec.size(), csg::GoodnessCapture(goodness, union_vec),
+      cs.value().subgraph.graph.num_nodes(), cs.value().goodness_capture,
+      cs.value().goodness_capture >=
+              csg::GoodnessCapture(goodness, union_vec)
+          ? "wins"
+          : "loses");
+  std::printf("OK\n");
+  return 0;
+}

@@ -1,0 +1,229 @@
+// The VLDB demo-session experience as a scriptable REPL: "for VLDB
+// demonstration session, we plan to let the interested VLDB participants
+// interact directly with the system, possibly checking for their name,
+// their connection-subgraphs with their colleagues, and zooming in and
+// out their corresponding communities."
+//
+// Reads one command per line from stdin (or a script via shell
+// redirection) and executes it against a freshly built DBLP surrogate:
+//
+//   ls                      show focus context (children/siblings)
+//   cd <index>|..|/         focus child / parent / root
+//   back                    undo last focus change
+//   find <name>             exact label query (focuses the community)
+//   search <prefix>         autocomplete author names
+//   info <name>             pop-up details for an author
+//   expand <name>           strongest co-authors (edge expansion)
+//   metrics                 §III-B metrics of the focused community
+//   extract <name>;<name>…  connection subgraph for a query set
+//   zoom <factor> | pan <dx> <dy> | resetview
+//   render <file.svg>       current hierarchy view
+//   log                     interaction history
+//   quit
+//
+// Usage: interactive_session [output_dir] < script.txt
+
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "core/engine.h"
+#include "core/views.h"
+#include "gen/dblp.h"
+#include "util/string_util.h"
+
+namespace {
+
+using namespace gmine;  // NOLINT
+
+void PrintContext(core::GMineEngine& gm) {
+  gtree::NavigationSession& nav = gm.session();
+  const gtree::GTree& tree = gm.tree();
+  const gtree::TreeNode& f = tree.node(nav.focus());
+  std::printf("focus %s (depth %u, %llu authors)%s\n", f.name.c_str(),
+              f.depth, static_cast<unsigned long long>(f.subtree_size),
+              f.IsLeaf() ? " [leaf]" : "");
+  for (size_t i = 0; i < f.children.size(); ++i) {
+    const gtree::TreeNode& c = tree.node(f.children[i]);
+    std::printf("  [%zu] %s: %llu authors\n", i, c.name.c_str(),
+                static_cast<unsigned long long>(c.subtree_size));
+  }
+  auto conn = nav.ContextConnectivity();
+  std::printf("  %zu communities in view, %zu connectivity edges\n",
+              nav.context().DisplaySize(), conn.size());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_dir = argc > 1 ? argv[1] : ".";
+
+  gen::DblpOptions gopts;
+  gopts.levels = 3;
+  gopts.fanout = 5;
+  gopts.leaf_size = 60;
+  auto dblp = gen::GenerateDblp(gopts);
+  if (!dblp.ok()) {
+    std::fprintf(stderr, "generate: %s\n",
+                 dblp.status().ToString().c_str());
+    return 1;
+  }
+  core::EngineOptions opts;
+  opts.build.levels = 3;
+  opts.build.fanout = 5;
+  auto engine = core::GMineEngine::Build(
+      dblp.value().graph, dblp.value().labels, out_dir + "/session.gtree",
+      opts);
+  if (!engine.ok()) {
+    std::fprintf(stderr, "build: %s\n", engine.status().ToString().c_str());
+    return 1;
+  }
+  core::GMineEngine& gm = *engine.value();
+  std::printf("GMine interactive session — %s\n",
+              gm.tree().DebugString().c_str());
+  PrintContext(gm);
+
+  std::string line;
+  while (std::printf("gmine> "), std::fflush(stdout),
+         std::getline(std::cin, line)) {
+    std::string_view trimmed = TrimWhitespace(line);
+    if (trimmed.empty()) continue;
+    std::istringstream iss{std::string(trimmed)};
+    std::string cmd;
+    iss >> cmd;
+    std::string rest;
+    std::getline(iss, rest);
+    std::string arg(TrimWhitespace(rest));
+    gtree::NavigationSession& nav = gm.session();
+
+    if (cmd == "quit" || cmd == "exit") break;
+    if (cmd == "ls") {
+      PrintContext(gm);
+    } else if (cmd == "cd") {
+      Status st;
+      if (arg == "..") {
+        st = nav.FocusParent();
+      } else if (arg == "/") {
+        st = nav.FocusRoot();
+      } else {
+        uint64_t index = 0;
+        if (!ParseUint64(arg, &index)) {
+          std::printf("cd: expected index, '..' or '/'\n");
+          continue;
+        }
+        st = nav.FocusChild(index);
+      }
+      if (!st.ok()) {
+        std::printf("cd: %s\n", st.ToString().c_str());
+      } else {
+        PrintContext(gm);
+      }
+    } else if (cmd == "back") {
+      (void)nav.Back();
+      PrintContext(gm);
+    } else if (cmd == "find") {
+      auto hit = nav.LocateByLabel(arg);
+      if (!hit.ok()) {
+        std::printf("find: %s\n", hit.status().ToString().c_str());
+      } else {
+        std::printf("found node %u; ", hit.value());
+        PrintContext(gm);
+      }
+    } else if (cmd == "search") {
+      for (const auto& [id, name] : nav.SearchByPrefix(arg, 8)) {
+        std::printf("  %u  %s\n", id, name.c_str());
+      }
+    } else if (cmd == "info") {
+      graph::NodeId v = gm.labels().Find(arg);
+      if (v == graph::kInvalidNode) {
+        std::printf("info: unknown author '%s'\n", arg.c_str());
+        continue;
+      }
+      auto details = gm.GetNodeDetails(v);
+      if (!details.ok()) {
+        std::printf("info: %s\n", details.status().ToString().c_str());
+        continue;
+      }
+      std::printf("%s — community", details.value().label.c_str());
+      for (const std::string& p : details.value().community_path) {
+        std::printf(" %s", p.c_str());
+      }
+      std::printf(", %u co-authors in community\n",
+                  details.value().degree_in_community);
+    } else if (cmd == "expand") {
+      graph::NodeId v = gm.labels().Find(arg);
+      if (v == graph::kInvalidNode) {
+        std::printf("expand: unknown author '%s'\n", arg.c_str());
+        continue;
+      }
+      auto nbrs = gm.ExpandNode(v, 8);
+      if (nbrs.ok()) {
+        for (const auto& [id, name] : nbrs.value()) {
+          std::printf("  %u  %s\n", id, name.c_str());
+        }
+      }
+    } else if (cmd == "metrics") {
+      auto metrics = gm.ComputeFocusMetrics();
+      if (!metrics.ok()) {
+        std::printf("metrics: %s\n", metrics.status().ToString().c_str());
+      } else {
+        std::printf("%s", metrics.value().Report().c_str());
+      }
+    } else if (cmd == "extract") {
+      std::vector<std::string> names = SplitString(arg, ";");
+      for (std::string& n : names) n = std::string(TrimWhitespace(n));
+      auto sources = gm.ResolveLabels(names);
+      if (!sources.ok()) {
+        std::printf("extract: %s\n", sources.status().ToString().c_str());
+        continue;
+      }
+      auto cs = gm.ExtractConnectionSubgraph(sources.value());
+      if (!cs.ok()) {
+        std::printf("extract: %s\n", cs.status().ToString().c_str());
+        continue;
+      }
+      std::printf("%s\n", cs.value().ToString().c_str());
+      std::string svg = out_dir + "/session_extract.svg";
+      if (core::RenderConnectionSubgraphSvg(cs.value(), &gm.labels(), svg)
+              .ok()) {
+        std::printf("figure: %s\n", svg.c_str());
+      }
+    } else if (cmd == "zoom") {
+      double factor = 0.0;
+      if (!ParseDouble(arg, &factor) || !nav.Zoom(factor).ok()) {
+        std::printf("zoom: expected positive factor\n");
+      } else {
+        std::printf("zoom = %.2f\n", nav.view().zoom);
+      }
+    } else if (cmd == "pan") {
+      std::vector<std::string> parts = SplitString(arg, " ");
+      double dx = 0;
+      double dy = 0;
+      if (parts.size() != 2 || !ParseDouble(parts[0], &dx) ||
+          !ParseDouble(parts[1], &dy)) {
+        std::printf("pan: expected dx dy\n");
+      } else {
+        nav.Pan(dx, dy);
+      }
+    } else if (cmd == "resetview") {
+      nav.ResetView();
+    } else if (cmd == "render") {
+      std::string path = arg.empty() ? out_dir + "/session_view.svg" : arg;
+      Status st = gm.RenderHierarchyView(path);
+      std::printf("%s\n", st.ok() ? path.c_str() : st.ToString().c_str());
+    } else if (cmd == "log") {
+      for (const auto& ev : nav.history()) {
+        std::printf("  %-18s %8s display=%zu\n", ev.op.c_str(),
+                    HumanMicros(ev.micros).c_str(), ev.display_size);
+      }
+    } else {
+      std::printf(
+          "commands: ls cd back find search info expand metrics extract "
+          "zoom pan resetview render log quit\n");
+    }
+  }
+  std::printf("bye\n");
+  std::remove((out_dir + "/session.gtree").c_str());
+  return 0;
+}

@@ -1,0 +1,114 @@
+// Quickstart: the GMine pipeline end to end on a small synthetic
+// co-authorship graph —
+//   generate -> build hierarchy (G-Tree + connectivity + single file) ->
+//   navigate with Tomahawk contexts -> run a label query -> inspect a
+//   node -> compute community metrics -> extract a connection subgraph ->
+//   render SVG views.
+//
+// Usage: quickstart [output_dir]
+
+#include <cstdio>
+#include <string>
+
+#include "core/engine.h"
+#include "core/views.h"
+#include "gen/dblp.h"
+#include "util/string_util.h"
+
+namespace {
+
+int Fail(const gmine::Status& st, const char* where) {
+  std::fprintf(stderr, "FATAL %s: %s\n", where, st.ToString().c_str());
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace gmine;  // NOLINT: example brevity
+  std::string out_dir = argc > 1 ? argv[1] : ".";
+
+  // 1. A small DBLP-like co-authorship graph (3 levels x 3 communities).
+  gen::DblpOptions gopts;
+  gopts.levels = 3;
+  gopts.fanout = 3;
+  gopts.leaf_size = 40;
+  gopts.seed = 42;
+  auto dblp = gen::GenerateDblp(gopts);
+  if (!dblp.ok()) return Fail(dblp.status(), "generate");
+  const gen::DblpGraph& data = dblp.value();
+  std::printf("graph: %s\n", data.graph.DebugString().c_str());
+
+  // 2. Build the hierarchy and the single-file store.
+  core::EngineOptions eopts;
+  eopts.build.levels = 3;
+  eopts.build.fanout = 3;
+  std::string store_path = out_dir + "/quickstart.gtree";
+  auto engine = core::GMineEngine::Build(data.graph, data.labels,
+                                         store_path, eopts);
+  if (!engine.ok()) return Fail(engine.status(), "build");
+  core::GMineEngine& gm = *engine.value();
+  std::printf("tree:  %s\n", gm.tree().DebugString().c_str());
+
+  // 3. Navigate: root context, then drill into the first child.
+  gtree::NavigationSession& nav = gm.session();
+  std::printf("root context shows %zu communities\n",
+              nav.context().DisplaySize());
+  if (auto st = nav.FocusChild(0); !st.ok()) return Fail(st, "focus");
+  std::printf("focused %s; connectivity edges in view: %zu\n",
+              gm.tree().node(nav.focus()).name.c_str(),
+              nav.ContextConnectivity().size());
+  if (auto st = gm.RenderHierarchyView(out_dir + "/quickstart_hierarchy.svg");
+      !st.ok()) {
+    return Fail(st, "render hierarchy");
+  }
+
+  // 4. Label query for the planted hub author ("Jiawei Han"), then pop-up
+  //    details on demand.
+  auto located = nav.LocateByLabel("Jiawei Han");
+  if (!located.ok()) return Fail(located.status(), "label query");
+  auto details = gm.GetNodeDetails(located.value());
+  if (!details.ok()) return Fail(details.status(), "details");
+  std::printf("found '%s' in community %s (path:", details.value().label.c_str(),
+              gm.tree().node(details.value().leaf).name.c_str());
+  for (const std::string& p : details.value().community_path) {
+    std::printf(" %s", p.c_str());
+  }
+  std::printf("), %u co-authors inside the community\n",
+              details.value().degree_in_community);
+
+  // 5. Community metrics on the focused leaf (§III-B's five metrics).
+  auto metrics = gm.ComputeFocusMetrics();
+  if (!metrics.ok()) return Fail(metrics.status(), "metrics");
+  std::printf("%s", metrics.value().Report().c_str());
+  if (auto st = gm.RenderFocusSubgraph(out_dir + "/quickstart_community.svg");
+      !st.ok()) {
+    return Fail(st, "render community");
+  }
+
+  // 6. Connection subgraph between three named authors (§IV).
+  auto sources = gm.ResolveLabels(
+      {"Jiawei Han", "Philip S. Yu", "Flip Korn"});
+  if (!sources.ok()) return Fail(sources.status(), "resolve");
+  csg::ExtractionOptions xopts;
+  xopts.budget = 30;
+  auto cs = gm.ExtractConnectionSubgraph(sources.value(), xopts);
+  if (!cs.ok()) return Fail(cs.status(), "extract");
+  std::printf("extraction: %s\n", cs.value().ToString().c_str());
+  if (auto st = core::RenderConnectionSubgraphSvg(
+          cs.value(), &gm.labels(), out_dir + "/quickstart_csg.svg");
+      !st.ok()) {
+    return Fail(st, "render csg");
+  }
+
+  // 7. Interaction latency log.
+  std::printf("interaction log (%zu events):\n", nav.history().size());
+  for (const auto& ev : nav.history()) {
+    std::printf("  %-18s %8s display=%zu\n", ev.op.c_str(),
+                HumanMicros(ev.micros).c_str(), ev.display_size);
+  }
+  std::printf("store file: %s (%s)\n", store_path.c_str(),
+              HumanBytes(gm.store().file_size()).c_str());
+  std::printf("OK\n");
+  return 0;
+}

@@ -1,0 +1,367 @@
+#include "cli/commands.h"
+
+#include <algorithm>
+
+#include "core/engine.h"
+#include "core/views.h"
+#include "gen/dblp.h"
+#include "graph/graph_export.h"
+#include "graph/graph_io.h"
+#include "util/string_util.h"
+#include "util/timer.h"
+
+namespace gmine::cli {
+
+namespace {
+
+using core::EngineOptions;
+using core::GMineEngine;
+
+Status UsageError(const std::string& msg) {
+  return Status::InvalidArgument(msg + "\n" + UsageText());
+}
+
+gmine::Result<uint64_t> FlagUint(const CommandLine& cmd,
+                                 const std::string& flag,
+                                 uint64_t fallback) {
+  std::string raw = cmd.Get(flag);
+  if (raw.empty()) return fallback;
+  uint64_t v = 0;
+  if (!ParseUint64(raw, &v)) {
+    return UsageError(StrFormat("--%s expects an integer", flag.c_str()));
+  }
+  return v;
+}
+
+// Loads labels from a "<id>\t<name>" file.
+gmine::Result<graph::LabelStore> LoadLabelsFile(const std::string& path) {
+  auto text = graph::ReadFileToString(path);
+  if (!text.ok()) return text.status();
+  graph::LabelStore labels;
+  size_t pos = 0;
+  const std::string& body = text.value();
+  while (pos < body.size()) {
+    size_t eol = body.find('\n', pos);
+    if (eol == std::string::npos) eol = body.size();
+    std::string_view line(body.data() + pos, eol - pos);
+    pos = eol + 1;
+    line = TrimWhitespace(line);
+    if (line.empty()) continue;
+    size_t tab = line.find('\t');
+    if (tab == std::string_view::npos) {
+      return Status::Corruption("labels file: expected '<id>\\t<name>'");
+    }
+    uint64_t id = 0;
+    if (!ParseUint64(line.substr(0, tab), &id)) {
+      return Status::Corruption("labels file: bad node id");
+    }
+    labels.SetLabel(static_cast<graph::NodeId>(id),
+                    std::string(line.substr(tab + 1)));
+  }
+  return labels;
+}
+
+std::string FormatLabelsFile(const graph::LabelStore& labels) {
+  std::string out;
+  for (graph::NodeId v = 0; v < labels.size(); ++v) {
+    std::string_view label = labels.Label(v);
+    if (label.empty()) continue;
+    out += StrFormat("%u\t%.*s\n", v, static_cast<int>(label.size()),
+                     label.data());
+  }
+  return out;
+}
+
+Status CmdGenerate(const CommandLine& cmd, std::string* out) {
+  std::string prefix = cmd.Get("out");
+  if (prefix.empty()) return UsageError("generate: --out PREFIX required");
+  gen::DblpOptions opts;
+  GMINE_ASSIGN_OR_RETURN(uint64_t levels, FlagUint(cmd, "levels", 3));
+  GMINE_ASSIGN_OR_RETURN(uint64_t fanout, FlagUint(cmd, "fanout", 5));
+  GMINE_ASSIGN_OR_RETURN(uint64_t leaf, FlagUint(cmd, "leaf-size", 60));
+  GMINE_ASSIGN_OR_RETURN(uint64_t seed, FlagUint(cmd, "seed", 2006));
+  opts.levels = static_cast<uint32_t>(levels);
+  opts.fanout = static_cast<uint32_t>(fanout);
+  opts.leaf_size = static_cast<uint32_t>(leaf);
+  opts.seed = seed;
+  auto dblp = gen::GenerateDblp(opts);
+  if (!dblp.ok()) return dblp.status();
+  GMINE_RETURN_IF_ERROR(
+      graph::WriteEdgeListFile(dblp.value().graph, prefix + ".edges"));
+  GMINE_RETURN_IF_ERROR(graph::WriteStringToFile(
+      FormatLabelsFile(dblp.value().labels), prefix + ".labels"));
+  *out += StrFormat("generated %s -> %s.edges + %s.labels\n",
+                    dblp.value().graph.DebugString().c_str(),
+                    prefix.c_str(), prefix.c_str());
+  return Status::OK();
+}
+
+Status CmdBuild(const CommandLine& cmd, std::string* out) {
+  std::string graph_path = cmd.Get("graph");
+  std::string store_path = cmd.Get("out");
+  if (graph_path.empty() || store_path.empty()) {
+    return UsageError("build: --graph FILE and --out STORE required");
+  }
+  auto g = graph::ReadEdgeListFile(graph_path);
+  if (!g.ok()) return g.status();
+  graph::LabelStore labels;
+  if (cmd.Has("labels")) {
+    GMINE_ASSIGN_OR_RETURN(labels, LoadLabelsFile(cmd.Get("labels")));
+  }
+  EngineOptions opts;
+  GMINE_ASSIGN_OR_RETURN(uint64_t levels, FlagUint(cmd, "levels", 3));
+  GMINE_ASSIGN_OR_RETURN(uint64_t fanout, FlagUint(cmd, "fanout", 5));
+  opts.build.levels = static_cast<uint32_t>(levels);
+  opts.build.fanout = static_cast<uint32_t>(fanout);
+  StopWatch watch;
+  auto engine = GMineEngine::Build(g.value(), labels, store_path, opts);
+  if (!engine.ok()) return engine.status();
+  *out += StrFormat("built %s in %s -> %s (%s)\n",
+                    engine.value()->tree().DebugString().c_str(),
+                    HumanMicros(watch.ElapsedMicros()).c_str(),
+                    store_path.c_str(),
+                    HumanBytes(engine.value()->store().file_size()).c_str());
+  return Status::OK();
+}
+
+gmine::Result<std::unique_ptr<GMineEngine>> OpenStore(
+    const CommandLine& cmd) {
+  if (cmd.positional.empty()) {
+    return UsageError(cmd.command + ": STORE path required");
+  }
+  return GMineEngine::Open(cmd.positional[0]);
+}
+
+Status CmdInfo(const CommandLine& cmd, std::string* out) {
+  GMINE_ASSIGN_OR_RETURN(std::unique_ptr<GMineEngine> engine,
+                         OpenStore(cmd));
+  const gtree::GTree& tree = engine->tree();
+  *out += StrFormat("%s\n", tree.DebugString().c_str());
+  *out += StrFormat("store file: %s\n",
+                    HumanBytes(engine->store().file_size()).c_str());
+  *out += StrFormat("labels: %u\n", engine->labels().size());
+  *out += StrFormat("connectivity pairs: %zu\n",
+                    engine->store().connectivity().num_pairs());
+  // Top-level overview.
+  const gtree::TreeNode& root = tree.node(tree.root());
+  for (gtree::TreeNodeId c : root.children) {
+    *out += StrFormat("  %s: %llu nodes, %llu tree nodes\n",
+                      tree.node(c).name.c_str(),
+                      static_cast<unsigned long long>(
+                          tree.node(c).subtree_size),
+                      static_cast<unsigned long long>(
+                          tree.SubtreeNodeCount(c)));
+  }
+  return Status::OK();
+}
+
+Status CmdQuery(const CommandLine& cmd, std::string* out) {
+  GMINE_ASSIGN_OR_RETURN(std::unique_ptr<GMineEngine> engine,
+                         OpenStore(cmd));
+  std::string label = cmd.Get("label");
+  if (label.empty()) return UsageError("query: --label NAME required");
+  auto located = engine->session().LocateByLabel(label);
+  if (!located.ok()) return located.status();
+  auto details = engine->GetNodeDetails(located.value());
+  if (!details.ok()) return details.status();
+  *out += StrFormat("node %u '%s'\n", details.value().id,
+                    details.value().label.c_str());
+  *out += "community path:";
+  for (const std::string& p : details.value().community_path) {
+    *out += " " + p;
+  }
+  *out += StrFormat("\nco-authors in community (%u):\n",
+                    details.value().degree_in_community);
+  for (const auto& [id, name] : details.value().community_neighbors) {
+    *out += StrFormat("  %u '%s'\n", id, name.c_str());
+  }
+  return Status::OK();
+}
+
+Status CmdExtract(const CommandLine& cmd, std::string* out) {
+  GMINE_ASSIGN_OR_RETURN(std::unique_ptr<GMineEngine> engine,
+                         OpenStore(cmd));
+  std::vector<std::string> names = cmd.GetAll("source");
+  if (names.empty()) {
+    return UsageError("extract: at least one --source NAME required");
+  }
+  auto sources = engine->ResolveLabels(names);
+  if (!sources.ok()) return sources.status();
+  csg::ExtractionOptions opts;
+  GMINE_ASSIGN_OR_RETURN(uint64_t budget, FlagUint(cmd, "budget", 30));
+  opts.budget = static_cast<uint32_t>(budget);
+  StopWatch watch;
+  auto cs = engine->ExtractConnectionSubgraph(sources.value(), opts);
+  if (!cs.ok()) return cs.status();
+  *out += StrFormat("%s in %s\n", cs.value().ToString().c_str(),
+                    HumanMicros(watch.ElapsedMicros()).c_str());
+  for (size_t i = 0; i < cs.value().subgraph.to_parent.size(); ++i) {
+    graph::NodeId orig = cs.value().subgraph.to_parent[i];
+    *out += StrFormat("  %.3e  '%s'\n", cs.value().member_goodness[i],
+                      std::string(engine->labels().Label(orig)).c_str());
+  }
+  if (cmd.Has("svg")) {
+    GMINE_RETURN_IF_ERROR(core::RenderConnectionSubgraphSvg(
+        cs.value(), &engine->labels(), cmd.Get("svg")));
+    *out += StrFormat("figure: %s\n", cmd.Get("svg").c_str());
+  }
+  return Status::OK();
+}
+
+Status CmdRender(const CommandLine& cmd, std::string* out) {
+  std::string svg = cmd.Get("svg");
+  if (svg.empty()) return UsageError("render: --svg FILE required");
+  GMINE_ASSIGN_OR_RETURN(std::unique_ptr<GMineEngine> engine,
+                         OpenStore(cmd));
+  if (cmd.Has("focus")) {
+    gtree::TreeNodeId id = engine->tree().FindByName(cmd.Get("focus"));
+    if (id == gtree::kInvalidTreeNode) {
+      return Status::NotFound(
+          StrFormat("community '%s' not found", cmd.Get("focus").c_str()));
+    }
+    GMINE_RETURN_IF_ERROR(engine->session().FocusNode(id));
+  }
+  if (cmd.Has("zoom")) {
+    double zoom = 1.0;
+    if (!ParseDouble(cmd.Get("zoom"), &zoom)) {
+      return UsageError("render: --zoom expects a number");
+    }
+    GMINE_RETURN_IF_ERROR(engine->session().Zoom(zoom));
+  }
+  GMINE_RETURN_IF_ERROR(engine->RenderHierarchyView(svg));
+  *out += StrFormat("rendered focus %s (display=%zu) -> %s\n",
+                    engine->tree().node(engine->session().focus()).name
+                        .c_str(),
+                    engine->session().context().DisplaySize(), svg.c_str());
+  return Status::OK();
+}
+
+Status CmdExport(const CommandLine& cmd, std::string* out) {
+  GMINE_ASSIGN_OR_RETURN(std::unique_ptr<GMineEngine> engine,
+                         OpenStore(cmd));
+  std::string community = cmd.Get("community");
+  if (community.empty()) {
+    return UsageError("export: --community NAME required");
+  }
+  gtree::TreeNodeId id = engine->tree().FindByName(community);
+  if (id == gtree::kInvalidTreeNode) {
+    return Status::NotFound(
+        StrFormat("community '%s' not found", community.c_str()));
+  }
+  if (!engine->tree().node(id).IsLeaf()) {
+    return Status::InvalidArgument(
+        StrFormat("community '%s' is not a leaf", community.c_str()));
+  }
+  auto payload = engine->store().LoadLeaf(id);
+  if (!payload.ok()) return payload.status();
+  const graph::Subgraph& sub = payload.value()->subgraph;
+  // Remap global labels onto the local ids.
+  graph::LabelStore local;
+  for (graph::NodeId v = 0; v < sub.to_parent.size(); ++v) {
+    std::string_view label = engine->labels().Label(sub.ParentId(v));
+    if (!label.empty()) local.SetLabel(v, std::string(label));
+  }
+  graph::ExportOptions eopts;
+  eopts.graph_name = community;
+  bool wrote = false;
+  if (cmd.Has("dot")) {
+    GMINE_RETURN_IF_ERROR(
+        graph::WriteDotFile(sub.graph, cmd.Get("dot"), &local, eopts));
+    *out += StrFormat("dot: %s\n", cmd.Get("dot").c_str());
+    wrote = true;
+  }
+  if (cmd.Has("graphml")) {
+    GMINE_RETURN_IF_ERROR(graph::WriteGraphMlFile(
+        sub.graph, cmd.Get("graphml"), &local, eopts));
+    *out += StrFormat("graphml: %s\n", cmd.Get("graphml").c_str());
+    wrote = true;
+  }
+  if (!wrote) return UsageError("export: --dot FILE or --graphml FILE");
+  return Status::OK();
+}
+
+}  // namespace
+
+std::string CommandLine::Get(const std::string& flag,
+                             const std::string& fallback) const {
+  std::string value = fallback;
+  for (const auto& [name, v] : flags) {
+    if (name == flag) value = v;
+  }
+  return value;
+}
+
+std::vector<std::string> CommandLine::GetAll(const std::string& flag) const {
+  std::vector<std::string> values;
+  for (const auto& [name, v] : flags) {
+    if (name == flag) values.push_back(v);
+  }
+  return values;
+}
+
+bool CommandLine::Has(const std::string& flag) const {
+  return std::any_of(flags.begin(), flags.end(),
+                     [&](const auto& kv) { return kv.first == flag; });
+}
+
+gmine::Result<CommandLine> ParseCommandLine(
+    const std::vector<std::string>& args) {
+  if (args.empty()) return UsageError("no command given");
+  CommandLine cmd;
+  cmd.command = args[0];
+  for (size_t i = 1; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    if (StartsWith(arg, "--")) {
+      std::string name = arg.substr(2);
+      if (name.empty()) return UsageError("empty flag name");
+      if (i + 1 >= args.size()) {
+        return UsageError(StrFormat("flag --%s needs a value",
+                                    name.c_str()));
+      }
+      cmd.flags.emplace_back(name, args[++i]);
+    } else {
+      cmd.positional.push_back(arg);
+    }
+  }
+  return cmd;
+}
+
+Status RunCommand(const CommandLine& cmd, std::string* out) {
+  if (cmd.command == "generate") return CmdGenerate(cmd, out);
+  if (cmd.command == "build") return CmdBuild(cmd, out);
+  if (cmd.command == "info") return CmdInfo(cmd, out);
+  if (cmd.command == "query") return CmdQuery(cmd, out);
+  if (cmd.command == "extract") return CmdExtract(cmd, out);
+  if (cmd.command == "render") return CmdRender(cmd, out);
+  if (cmd.command == "export") return CmdExport(cmd, out);
+  if (cmd.command == "help") {
+    *out += UsageText();
+    return Status::OK();
+  }
+  return UsageError(StrFormat("unknown command '%s'",
+                              cmd.command.c_str()));
+}
+
+Status RunCli(const std::vector<std::string>& args, std::string* out) {
+  auto cmd = ParseCommandLine(args);
+  if (!cmd.ok()) return cmd.status();
+  return RunCommand(cmd.value(), out);
+}
+
+std::string UsageText() {
+  return
+      "usage: gmine <command> [options]\n"
+      "  generate --out PREFIX [--levels L --fanout K --leaf-size S "
+      "--seed N]\n"
+      "  build    --graph FILE [--labels FILE] --out STORE [--levels L "
+      "--fanout K]\n"
+      "  info     STORE\n"
+      "  query    STORE --label NAME\n"
+      "  extract  STORE --source NAME [--source NAME ...] [--budget B] "
+      "[--svg FILE]\n"
+      "  render   STORE [--focus COMMUNITY] [--zoom Z] --svg FILE\n"
+      "  export   STORE --community NAME (--dot FILE | --graphml FILE)\n"
+      "  help\n";
+}
+
+}  // namespace gmine::cli

@@ -1,0 +1,207 @@
+#include "core/engine.h"
+
+#include <algorithm>
+
+#include "core/views.h"
+#include "graph/subgraph.h"
+#include "gtree/connectivity.h"
+#include "util/string_util.h"
+
+namespace gmine::core {
+
+using graph::NodeId;
+using gtree::TreeNodeId;
+
+gmine::Result<std::unique_ptr<GMineEngine>> GMineEngine::Build(
+    const graph::Graph& g, const graph::LabelStore& labels,
+    const std::string& store_path, const EngineOptions& options) {
+  auto tree = gtree::BuildGTree(g, options.build);
+  if (!tree.ok()) return tree.status();
+  gtree::ConnectivityIndex conn =
+      gtree::ConnectivityIndex::Build(g, tree.value());
+  GMINE_RETURN_IF_ERROR(gtree::GTreeStore::Create(store_path, g, tree.value(),
+                                                  conn, labels));
+  return Open(store_path, options);
+}
+
+gmine::Result<std::unique_ptr<GMineEngine>> GMineEngine::Open(
+    const std::string& store_path, const EngineOptions& options) {
+  auto store = gtree::GTreeStore::Open(store_path, options.store);
+  if (!store.ok()) return store.status();
+  std::unique_ptr<GMineEngine> engine(new GMineEngine());
+  engine->store_ = std::move(store).value();
+  engine->session_.emplace(engine->store_.get(), options.tomahawk);
+  engine->store_path_ = store_path;
+  engine->options_ = options;
+  return engine;
+}
+
+Status GMineEngine::ApplyEdit(const graph::GraphEdit& edit,
+                              const std::vector<std::string>& new_labels) {
+  auto base = full_graph();
+  if (!base.ok()) return base.status();
+  auto edited = edit.Apply(*base.value());
+  if (!edited.ok()) return edited.status();
+  const graph::EditResult& result = edited.value();
+
+  // Remap surviving labels; name the added nodes from `new_labels`.
+  graph::LabelStore labels;
+  if (!store_->labels().empty()) {
+    for (graph::NodeId old_id = 0;
+         old_id < store_->labels().size() &&
+         old_id < result.old_to_new.size();
+         ++old_id) {
+      graph::NodeId new_id = result.old_to_new[old_id];
+      if (new_id == graph::kInvalidNode) continue;
+      std::string_view label = store_->labels().Label(old_id);
+      if (!label.empty()) labels.SetLabel(new_id, std::string(label));
+    }
+  }
+  for (size_t i = 0; i < result.added_nodes.size() && i < new_labels.size();
+       ++i) {
+    labels.SetLabel(result.added_nodes[i], new_labels[i]);
+  }
+
+  // Rebuild hierarchy + store in place, then reopen.
+  auto tree = gtree::BuildGTree(result.graph, options_.build);
+  if (!tree.ok()) return tree.status();
+  gtree::ConnectivityIndex conn =
+      gtree::ConnectivityIndex::Build(result.graph, tree.value());
+  // Release the read handle before truncating the file.
+  session_.reset();
+  store_.reset();
+  full_graph_.reset();
+  GMINE_RETURN_IF_ERROR(gtree::GTreeStore::Create(
+      store_path_, result.graph, tree.value(), conn, labels));
+  auto store = gtree::GTreeStore::Open(store_path_, options_.store);
+  if (!store.ok()) return store.status();
+  store_ = std::move(store).value();
+  session_.emplace(store_.get(), options_.tomahawk);
+  return Status::OK();
+}
+
+gmine::Result<const graph::Graph*> GMineEngine::full_graph() {
+  if (!full_graph_.has_value()) {
+    auto g = store_->LoadFullGraph();
+    if (!g.ok()) return g.status();
+    full_graph_ = std::move(g).value();
+  }
+  return &full_graph_.value();
+}
+
+gmine::Result<NodeDetails> GMineEngine::GetNodeDetails(NodeId v) {
+  TreeNodeId leaf = store_->tree().LeafOf(v);
+  if (leaf == gtree::kInvalidTreeNode) {
+    return Status::NotFound(StrFormat("node %u not in hierarchy", v));
+  }
+  NodeDetails out;
+  out.id = v;
+  out.label = std::string(store_->labels().Label(v));
+  out.leaf = leaf;
+  for (TreeNodeId t : store_->tree().PathFromRoot(leaf)) {
+    out.community_path.push_back(store_->tree().node(t).name);
+  }
+  auto payload = store_->LoadLeaf(leaf);
+  if (!payload.ok()) return payload.status();
+  const graph::Subgraph& sub = payload.value()->subgraph;
+  NodeId local = sub.LocalId(v);
+  if (local == graph::kInvalidNode) {
+    return Status::Internal("leaf payload missing its member");
+  }
+  out.degree_in_community = sub.graph.Degree(local);
+  for (const graph::Neighbor& nb : sub.graph.Neighbors(local)) {
+    NodeId parent_id = sub.ParentId(nb.id);
+    out.community_neighbors.emplace_back(
+        parent_id, std::string(store_->labels().Label(parent_id)));
+  }
+  return out;
+}
+
+gmine::Result<std::vector<std::pair<NodeId, std::string>>>
+GMineEngine::ExpandNode(NodeId v, size_t limit) {
+  auto g = full_graph();
+  if (!g.ok()) return g.status();
+  if (v >= (*g.value()).num_nodes()) {
+    return Status::InvalidArgument(StrFormat("node %u out of range", v));
+  }
+  auto nbrs = (*g.value()).Neighbors(v);
+  std::vector<graph::Neighbor> sorted(nbrs.begin(), nbrs.end());
+  std::sort(sorted.begin(), sorted.end(),
+            [](const graph::Neighbor& a, const graph::Neighbor& b) {
+              if (a.weight != b.weight) return a.weight > b.weight;
+              return a.id < b.id;
+            });
+  if (sorted.size() > limit) sorted.resize(limit);
+  std::vector<std::pair<NodeId, std::string>> out;
+  out.reserve(sorted.size());
+  for (const graph::Neighbor& nb : sorted) {
+    out.emplace_back(nb.id, std::string(store_->labels().Label(nb.id)));
+  }
+  return out;
+}
+
+gmine::Result<mining::SubgraphMetrics> GMineEngine::ComputeFocusMetrics(
+    const mining::MetricsRequest& request) {
+  TreeNodeId focus = session_->focus();
+  const gtree::TreeNode& f = store_->tree().node(focus);
+  if (f.IsLeaf()) {
+    auto payload = store_->LoadLeaf(focus);
+    if (!payload.ok()) return payload.status();
+    return mining::ComputeMetrics(payload.value()->subgraph.graph, request);
+  }
+  auto g = full_graph();
+  if (!g.ok()) return g.status();
+  auto members = store_->tree().MembersUnder(focus);
+  auto sub = graph::InducedSubgraph(*g.value(), members);
+  if (!sub.ok()) return sub.status();
+  return mining::ComputeMetrics(sub.value().graph, request);
+}
+
+gmine::Result<csg::ConnectionSubgraph>
+GMineEngine::ExtractConnectionSubgraph(const std::vector<NodeId>& sources,
+                                       const csg::ExtractionOptions& options) {
+  auto g = full_graph();
+  if (!g.ok()) return g.status();
+  return csg::ExtractConnectionSubgraph(*g.value(), sources, options);
+}
+
+gmine::Result<std::vector<NodeId>> GMineEngine::ResolveLabels(
+    const std::vector<std::string>& names) const {
+  std::vector<NodeId> out;
+  out.reserve(names.size());
+  for (const std::string& name : names) {
+    NodeId v = store_->labels().Find(name);
+    if (v == graph::kInvalidNode) {
+      return Status::NotFound(StrFormat("label '%s' not found",
+                                        name.c_str()));
+    }
+    out.push_back(v);
+  }
+  return out;
+}
+
+Status GMineEngine::RenderHierarchyView(const std::string& svg_path) {
+  ViewOptions vopts;
+  vopts.zoom = session_->view().zoom;
+  vopts.pan_x = session_->view().pan_x;
+  vopts.pan_y = session_->view().pan_y;
+  return RenderHierarchyViewSvg(store_->tree(), session_->context(),
+                                store_->connectivity(), svg_path, vopts);
+}
+
+Status GMineEngine::RenderFocusSubgraph(const std::string& svg_path) {
+  auto payload = session_->LoadFocusSubgraph();
+  if (!payload.ok()) return payload.status();
+  const graph::Subgraph& sub = payload.value()->subgraph;
+  // Remap global labels onto local ids for the view.
+  graph::LabelStore local;
+  if (!store_->labels().empty()) {
+    for (NodeId l = 0; l < sub.to_parent.size(); ++l) {
+      std::string_view label = store_->labels().Label(sub.ParentId(l));
+      if (!label.empty()) local.SetLabel(l, std::string(label));
+    }
+  }
+  return RenderSubgraphSvg(sub.graph, &local, {}, svg_path);
+}
+
+}  // namespace gmine::core

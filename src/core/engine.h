@@ -1,0 +1,136 @@
+// GMineEngine — the system façade tying everything together, mirroring
+// the demo's capabilities end to end:
+//
+//   * Build: recursive partitioning -> G-Tree -> connectivity edges ->
+//     single-file store (§III-A);
+//   * Navigate: Tomahawk-bounded focus changes, label queries, on-demand
+//     leaf loading (§III-B/C) via NavigationSession;
+//   * Details on demand: pop-up node information and edge expansion;
+//   * Mining: the five §III-B metrics on the focused community;
+//   * Connection subgraph extraction (§IV), alone or combined with the
+//     hierarchy (Fig. 6);
+//   * Rendering: SVG views of every display.
+
+#ifndef GMINE_CORE_ENGINE_H_
+#define GMINE_CORE_ENGINE_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "csg/extraction.h"
+#include "graph/graph.h"
+#include "graph/graph_edit.h"
+#include "graph/labels.h"
+#include "gtree/builder.h"
+#include "gtree/navigation.h"
+#include "gtree/store.h"
+#include "mining/metrics.h"
+#include "util/status.h"
+
+namespace gmine::core {
+
+/// Engine construction options.
+struct EngineOptions {
+  gtree::GTreeBuildOptions build;
+  gtree::GTreeStoreOptions store;
+  gtree::TomahawkOptions tomahawk;
+};
+
+/// Pop-up node information (details on demand).
+struct NodeDetails {
+  graph::NodeId id = graph::kInvalidNode;
+  std::string label;
+  gtree::TreeNodeId leaf = gtree::kInvalidTreeNode;
+  /// Community names from the root to the leaf.
+  std::vector<std::string> community_path;
+  /// Degree within the leaf community subgraph.
+  uint32_t degree_in_community = 0;
+  /// Neighbors within the leaf community, with labels.
+  std::vector<std::pair<graph::NodeId, std::string>> community_neighbors;
+};
+
+/// The GMine system.
+class GMineEngine {
+ public:
+  /// Builds the hierarchy for `g`, writes the single-file store to
+  /// `store_path`, and opens it. `labels` may be empty.
+  static gmine::Result<std::unique_ptr<GMineEngine>> Build(
+      const graph::Graph& g, const graph::LabelStore& labels,
+      const std::string& store_path, const EngineOptions& options = {});
+
+  /// Opens an existing store file.
+  static gmine::Result<std::unique_ptr<GMineEngine>> Open(
+      const std::string& store_path, const EngineOptions& options = {});
+
+  /// The navigation session (focus, context, history).
+  gtree::NavigationSession& session() { return *session_; }
+  const gtree::NavigationSession& session() const { return *session_; }
+
+  /// The community hierarchy.
+  const gtree::GTree& tree() const { return store_->tree(); }
+
+  /// Node labels.
+  const graph::LabelStore& labels() const { return store_->labels(); }
+
+  /// The underlying store (IO stats, direct leaf access).
+  gtree::GTreeStore& store() { return *store_; }
+
+  /// Pop-up information for a graph node (loads only its leaf page).
+  gmine::Result<NodeDetails> GetNodeDetails(graph::NodeId v);
+
+  /// Edge expansion: the node's neighbors in the *full* graph with
+  /// labels, strongest edges first, capped at `limit`. Loads the full
+  /// graph lazily on first use.
+  gmine::Result<std::vector<std::pair<graph::NodeId, std::string>>>
+  ExpandNode(graph::NodeId v, size_t limit = 16);
+
+  /// §III-B metrics for the focused community. Leaf focus uses only the
+  /// leaf page; non-leaf focus induces the community subgraph from the
+  /// full graph.
+  gmine::Result<mining::SubgraphMetrics> ComputeFocusMetrics(
+      const mining::MetricsRequest& request = {});
+
+  /// §IV connection subgraph extraction over the full graph.
+  gmine::Result<csg::ConnectionSubgraph> ExtractConnectionSubgraph(
+      const std::vector<graph::NodeId>& sources,
+      const csg::ExtractionOptions& options = {});
+
+  /// Resolves exact labels to node ids (for query sets given as names).
+  gmine::Result<std::vector<graph::NodeId>> ResolveLabels(
+      const std::vector<std::string>& names) const;
+
+  /// Node/edge edition (§III-B): applies `edit` to the graph, remaps
+  /// labels (use `new_labels` to name added nodes, keyed by the ids in
+  /// edit-result order), rebuilds the hierarchy and rewrites the store
+  /// in place. The navigation session resets to the root. Expensive —
+  /// intended for editing sessions, not per-keystroke mutation.
+  Status ApplyEdit(const graph::GraphEdit& edit,
+                   const std::vector<std::string>& new_labels = {});
+
+  /// Renders the current hierarchy view (Tomahawk context) to SVG.
+  Status RenderHierarchyView(const std::string& svg_path);
+
+  /// Renders the focused leaf's subgraph to SVG (focus must be a leaf).
+  Status RenderFocusSubgraph(const std::string& svg_path);
+
+  /// Full graph accessor (lazy-loads from the store's graph section).
+  gmine::Result<const graph::Graph*> full_graph();
+
+  /// Path of the backing store file.
+  const std::string& store_path() const { return store_path_; }
+
+ private:
+  GMineEngine() = default;
+
+  std::unique_ptr<gtree::GTreeStore> store_;
+  std::optional<gtree::NavigationSession> session_;
+  std::optional<graph::Graph> full_graph_;
+  std::string store_path_;
+  EngineOptions options_;
+};
+
+}  // namespace gmine::core
+
+#endif  // GMINE_CORE_ENGINE_H_

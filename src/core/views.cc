@@ -1,0 +1,171 @@
+#include "core/views.h"
+
+#include <algorithm>
+
+#include "layout/enclosure.h"
+#include "layout/force_directed.h"
+#include "layout/tree_layout.h"
+#include "render/scene.h"
+#include "render/svg_canvas.h"
+
+namespace gmine::core {
+
+using graph::NodeId;
+
+Status RenderHierarchyViewSvg(const gtree::GTree& tree,
+                              const gtree::TomahawkContext& context,
+                              const gtree::ConnectivityIndex& connectivity,
+                              const std::string& svg_path,
+                              const ViewOptions& options) {
+  layout::EnclosureOptions eopts;
+  eopts.root_radius = std::min(options.width, options.height) * 0.46;
+  eopts.center = {options.width / 2.0, options.height / 2.0};
+  auto enclosure = layout::EnclosureLayout(tree, context, eopts);
+  if (!enclosure.ok()) return enclosure.status();
+  render::Scene scene = render::BuildHierarchyScene(
+      tree, context, enclosure.value(), connectivity);
+
+  render::SvgCanvas canvas(options.width, options.height);
+  canvas.Clear(render::kWhite);
+  render::Viewport viewport(options.width, options.height);
+  // Enclosure layout targets device coordinates; the camera zooms
+  // around the canvas center and pans in device pixels.
+  viewport.SetZoom(options.zoom);
+  viewport.PanBy(options.width / 2.0 * (1.0 - options.zoom) + options.pan_x,
+                 options.height / 2.0 * (1.0 - options.zoom) +
+                     options.pan_y);
+  scene.Render(&canvas, viewport);
+  return canvas.WriteFile(svg_path);
+}
+
+namespace {
+
+// Local label store for a subgraph: maps local ids to the labels of
+// their original nodes.
+graph::LabelStore LocalLabels(const graph::Subgraph& sub,
+                              const graph::LabelStore* original) {
+  graph::LabelStore out;
+  if (original == nullptr || original->empty()) return out;
+  for (NodeId local = 0; local < sub.to_parent.size(); ++local) {
+    std::string_view label = original->Label(sub.ParentId(local));
+    if (!label.empty()) out.SetLabel(local, std::string(label));
+  }
+  return out;
+}
+
+std::unordered_set<NodeId> TopDegreeNodes(const graph::Graph& g,
+                                          uint32_t k) {
+  std::vector<NodeId> ids(g.num_nodes());
+  for (NodeId v = 0; v < g.num_nodes(); ++v) ids[v] = v;
+  uint32_t kk = std::min<uint32_t>(k, g.num_nodes());
+  std::partial_sort(ids.begin(), ids.begin() + kk, ids.end(),
+                    [&](NodeId a, NodeId b) {
+                      if (g.Degree(a) != g.Degree(b)) {
+                        return g.Degree(a) > g.Degree(b);
+                      }
+                      return a < b;
+                    });
+  return {ids.begin(), ids.begin() + kk};
+}
+
+Status RenderSceneSvg(const render::Scene& scene, const std::string& path,
+                      const ViewOptions& options) {
+  render::SvgCanvas canvas(options.width, options.height);
+  canvas.Clear(render::kWhite);
+  render::Viewport viewport(options.width, options.height);
+  viewport.FitRect(scene.WorldBounds());
+  scene.Render(&canvas, viewport);
+  return canvas.WriteFile(path);
+}
+
+}  // namespace
+
+Status RenderSubgraphSvg(const graph::Graph& g,
+                         const graph::LabelStore* labels,
+                         const std::unordered_set<NodeId>& highlight,
+                         const std::string& svg_path,
+                         const ViewOptions& options) {
+  layout::ForceDirectedOptions lopts;
+  lopts.area = std::min(options.width, options.height);
+  auto laid = layout::ForceDirectedLayout(g, lopts);
+  if (!laid.ok()) return laid.status();
+
+  render::GraphSceneOptions sopts;
+  sopts.labels = labels;
+  sopts.highlight_nodes = highlight;
+  sopts.label_nodes = TopDegreeNodes(g, options.label_top_degree);
+  render::Scene scene =
+      render::BuildGraphScene(g, laid.value().positions, sopts);
+  return RenderSceneSvg(scene, svg_path, options);
+}
+
+Status RenderConnectionSubgraphSvg(const csg::ConnectionSubgraph& cs,
+                                   const graph::LabelStore* original_labels,
+                                   const std::string& svg_path,
+                                   const ViewOptions& options) {
+  const graph::Graph& g = cs.subgraph.graph;
+  layout::ForceDirectedOptions lopts;
+  lopts.area = std::min(options.width, options.height);
+  auto laid = layout::ForceDirectedLayout(g, lopts);
+  if (!laid.ok()) return laid.status();
+
+  // Heat color by normalized goodness.
+  double max_good = 0.0;
+  for (double v : cs.member_goodness) max_good = std::max(max_good, v);
+  render::GraphSceneOptions sopts;
+  sopts.node_colors.resize(g.num_nodes());
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    double t = max_good > 0 ? cs.member_goodness[v] / max_good : 0.0;
+    sopts.node_colors[v] = render::HeatColor(t);
+  }
+  for (NodeId s : cs.source_locals) sopts.highlight_nodes.insert(s);
+  graph::LabelStore local = LocalLabels(cs.subgraph, original_labels);
+  sopts.labels = &local;
+  sopts.label_nodes = TopDegreeNodes(g, options.label_top_degree);
+  render::Scene scene =
+      render::BuildGraphScene(g, laid.value().positions, sopts);
+  return RenderSceneSvg(scene, svg_path, options);
+}
+
+Status RenderTreeDiagramSvg(const gtree::GTree& tree,
+                            const std::string& svg_path,
+                            gtree::TreeNodeId highlight,
+                            const ViewOptions& options) {
+  layout::TreeLayoutOptions topts;
+  topts.bounds = layout::Rect{options.width * 0.05, options.height * 0.08,
+                              options.width * 0.95, options.height * 0.92};
+  auto laid = layout::LayeredTreeLayout(tree, topts);
+  if (!laid.ok()) return laid.status();
+  const auto& pos = laid.value().positions;
+
+  render::Scene scene;
+  std::unordered_map<gtree::TreeNodeId, size_t> index;
+  for (const gtree::TreeNode& tn : tree.nodes()) {
+    render::SceneNode sn;
+    sn.position = pos.at(tn.id);
+    sn.radius = tn.IsLeaf() ? 3.0 : 5.0;
+    sn.color = render::PaletteColor(tn.depth);
+    sn.filled = true;
+    sn.highlighted = tn.id == highlight;
+    if (tn.depth <= 1 || tn.id == highlight) sn.label = tn.name;
+    index[tn.id] = scene.nodes.size();
+    scene.nodes.push_back(std::move(sn));
+  }
+  for (const gtree::TreeNode& tn : tree.nodes()) {
+    for (gtree::TreeNodeId child : tn.children) {
+      render::SceneEdge e;
+      e.a = index.at(tn.id);
+      e.b = index.at(child);
+      e.color = render::kGray;
+      e.width = 1.0;
+      scene.edges.push_back(e);
+    }
+  }
+  render::SvgCanvas canvas(options.width, options.height);
+  canvas.Clear(render::kWhite);
+  render::Viewport viewport(options.width, options.height);
+  scene.Render(&canvas, viewport);
+  return canvas.WriteFile(svg_path);
+}
+
+}  // namespace gmine::core

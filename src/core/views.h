@@ -1,0 +1,68 @@
+// View rendering helpers: turn GMine state (hierarchy contexts, leaf
+// subgraphs, connection subgraphs) into SVG files. Free functions so the
+// examples and benches can render without instantiating a full engine.
+
+#ifndef GMINE_CORE_VIEWS_H_
+#define GMINE_CORE_VIEWS_H_
+
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "csg/extraction.h"
+#include "graph/graph.h"
+#include "graph/labels.h"
+#include "gtree/connectivity.h"
+#include "gtree/gtree.h"
+#include "gtree/tomahawk.h"
+#include "util/status.h"
+
+namespace gmine::core {
+
+/// Canvas size and camera for the view helpers.
+struct ViewOptions {
+  double width = 1024.0;
+  double height = 1024.0;
+  /// Label the top-k degree nodes in subgraph views.
+  uint32_t label_top_degree = 5;
+  /// Camera: zoom multiplies around the canvas center, pan shifts in
+  /// device pixels (hierarchy views only; subgraph views auto-fit).
+  double zoom = 1.0;
+  double pan_x = 0.0;
+  double pan_y = 0.0;
+};
+
+/// Renders a communities-within-communities view (Tomahawk display set,
+/// nested disks, connectivity edges) to an SVG file.
+Status RenderHierarchyViewSvg(const gtree::GTree& tree,
+                              const gtree::TomahawkContext& context,
+                              const gtree::ConnectivityIndex& connectivity,
+                              const std::string& svg_path,
+                              const ViewOptions& options = {});
+
+/// Renders a plain graph (force-directed) to an SVG file. `labels` may be
+/// null; `highlight` nodes get the highlight color + label.
+Status RenderSubgraphSvg(const graph::Graph& g,
+                         const graph::LabelStore* labels,
+                         const std::unordered_set<graph::NodeId>& highlight,
+                         const std::string& svg_path,
+                         const ViewOptions& options = {});
+
+/// Renders an extracted connection subgraph: nodes heat-colored by
+/// goodness, sources highlighted and labeled (Fig. 5's display).
+/// `original_labels` indexes original graph ids; may be null.
+Status RenderConnectionSubgraphSvg(const csg::ConnectionSubgraph& cs,
+                                   const graph::LabelStore* original_labels,
+                                   const std::string& svg_path,
+                                   const ViewOptions& options = {});
+
+/// Renders the G-Tree itself as a layered node-link diagram (the paper's
+/// Fig. 1), nodes colored by depth, optionally highlighting one node.
+Status RenderTreeDiagramSvg(
+    const gtree::GTree& tree, const std::string& svg_path,
+    gtree::TreeNodeId highlight = gtree::kInvalidTreeNode,
+    const ViewOptions& options = {});
+
+}  // namespace gmine::core
+
+#endif  // GMINE_CORE_VIEWS_H_

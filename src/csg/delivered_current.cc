@@ -1,0 +1,183 @@
+#include "csg/delivered_current.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "util/string_util.h"
+
+namespace gmine::csg {
+
+using graph::Graph;
+using graph::kInvalidNode;
+using graph::Neighbor;
+using graph::NodeId;
+
+namespace {
+
+// Solves node voltages with source at 1, target at 0, and a grounded
+// universal sink of conductance sink_alpha * weighted_degree(u) at every
+// other node. Gauss–Seidel converges here because the system is strictly
+// diagonally dominant (the sink adds positive diagonal mass).
+std::vector<double> SolveVoltages(const Graph& g, NodeId source,
+                                  NodeId target,
+                                  const DeliveredCurrentOptions& options,
+                                  int* iterations) {
+  const uint32_t n = g.num_nodes();
+  std::vector<double> volt(n, 0.0);
+  volt[source] = 1.0;
+  int it = 0;
+  for (; it < options.max_iterations; ++it) {
+    double max_change = 0.0;
+    for (NodeId u = 0; u < n; ++u) {
+      if (u == source || u == target) continue;
+      double num = 0.0;
+      double den = 0.0;
+      for (const Neighbor& nb : g.Neighbors(u)) {
+        num += nb.weight * volt[nb.id];
+        den += nb.weight;
+      }
+      den += options.sink_alpha * g.WeightedDegree(u);  // sink at 0V
+      if (den <= 0.0) continue;
+      double nv = num / den;
+      max_change = std::max(max_change, std::abs(nv - volt[u]));
+      volt[u] = nv;
+    }
+    if (max_change < options.tolerance) {
+      ++it;
+      break;
+    }
+  }
+  *iterations = it;
+  return volt;
+}
+
+}  // namespace
+
+gmine::Result<DeliveredCurrentResult> DeliveredCurrentSubgraph(
+    const Graph& g, NodeId source, NodeId target,
+    const DeliveredCurrentOptions& options) {
+  const uint32_t n = g.num_nodes();
+  if (source >= n || target >= n) {
+    return Status::InvalidArgument("delivered current: endpoint out of range");
+  }
+  if (source == target) {
+    return Status::InvalidArgument("delivered current: source == target");
+  }
+  if (options.budget < 2) {
+    return Status::InvalidArgument("delivered current: budget < 2");
+  }
+
+  DeliveredCurrentResult out;
+  std::vector<double> volt =
+      SolveVoltages(g, source, target, options, &out.solve_iterations);
+
+  // Current on each arc u->v with volt[u] > volt[v].
+  // current(u,v) = conductance * (volt[u] - volt[v]).
+  // The DP runs over nodes in descending voltage order (a DAG).
+  std::vector<NodeId> order(n);
+  for (NodeId v = 0; v < n; ++v) order[v] = v;
+  std::sort(order.begin(), order.end(), [&](NodeId a, NodeId b) {
+    if (volt[a] != volt[b]) return volt[a] > volt[b];
+    return a < b;
+  });
+  std::vector<uint32_t> rank(n);
+  for (uint32_t i = 0; i < n; ++i) rank[order[i]] = i;
+
+  // Residual outflow per node (mutated as paths are extracted so later
+  // paths prefer unused branches).
+  std::unordered_map<uint64_t, double> flow;  // key = (u << 32) | v, u->v
+  auto key = [](NodeId u, NodeId v) {
+    return (static_cast<uint64_t>(u) << 32) | v;
+  };
+  std::vector<double> outflow(n, 0.0);
+  for (NodeId u = 0; u < n; ++u) {
+    for (const Neighbor& nb : g.Neighbors(u)) {
+      double delta = volt[u] - volt[nb.id];
+      if (delta > 0.0) {
+        double cur = nb.weight * delta;
+        flow[key(u, nb.id)] = cur;
+        outflow[u] += cur;
+      }
+    }
+  }
+
+  std::unordered_set<NodeId> display;
+  display.insert(source);
+  display.insert(target);
+  double total_delivered = 0.0;
+  uint32_t paths = 0;
+
+  std::vector<double> best(n);
+  std::vector<NodeId> pred(n);
+  while (paths < options.max_paths && display.size() < options.budget) {
+    // DP in descending-voltage order: best[v] = max over incoming DAG
+    // arcs (u,v) of best[u] * frac(u,v), frac = flow(u,v)/outflow(u);
+    // best[source] = 1 (fraction of a unit current injected at source).
+    std::fill(best.begin(), best.end(), 0.0);
+    std::fill(pred.begin(), pred.end(), kInvalidNode);
+    best[source] = 1.0;
+    for (NodeId u : order) {
+      if (best[u] <= 0.0) continue;
+      if (u == target) continue;
+      double of = outflow[u];
+      if (of <= 0.0) continue;
+      for (const Neighbor& nb : g.Neighbors(u)) {
+        auto it = flow.find(key(u, nb.id));
+        if (it == flow.end() || it->second <= 0.0) continue;
+        double cand = best[u] * (it->second / of);
+        if (cand > best[nb.id]) {
+          best[nb.id] = cand;
+          pred[nb.id] = u;
+        }
+      }
+    }
+    if (best[target] <= 0.0) break;  // no more current-carrying paths
+
+    // Walk the path back, add its nodes, and consume its flow.
+    std::vector<NodeId> path;
+    for (NodeId v = target; v != kInvalidNode; v = pred[v]) {
+      path.push_back(v);
+      if (v == source) break;
+    }
+    std::reverse(path.begin(), path.end());
+    if (path.front() != source) break;
+
+    // Budget check: count new nodes this path would add.
+    uint32_t new_nodes = 0;
+    for (NodeId v : path) {
+      if (!display.count(v)) ++new_nodes;
+    }
+    if (display.size() + new_nodes > options.budget) break;
+
+    // Delivered current of this path = best[target] (unit-injection
+    // fraction) scaled by the source's total outflow.
+    double delivered = best[target] * outflow[source];
+    total_delivered += delivered;
+    for (NodeId v : path) display.insert(v);
+    // Consume the path's flow so the next DP favors disjoint branches.
+    for (size_t i = 0; i + 1 < path.size(); ++i) {
+      auto it = flow.find(key(path[i], path[i + 1]));
+      if (it != flow.end()) {
+        double used = std::min(it->second, delivered);
+        it->second -= used;
+        outflow[path[i]] -= used;
+      }
+    }
+    ++paths;
+  }
+
+  std::vector<NodeId> members(display.begin(), display.end());
+  std::sort(members.begin(), members.end());
+  auto sub = graph::InducedSubgraph(g, members);
+  if (!sub.ok()) return sub.status();
+  out.subgraph = std::move(sub).value();
+  out.member_voltage.reserve(members.size());
+  for (NodeId v : members) out.member_voltage.push_back(volt[v]);
+  out.total_delivered = total_delivered;
+  out.paths_used = paths;
+  return out;
+}
+
+}  // namespace gmine::csg

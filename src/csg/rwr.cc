@@ -1,0 +1,182 @@
+#include "csg/rwr.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/string_util.h"
+
+namespace gmine::csg {
+
+using graph::Graph;
+using graph::Neighbor;
+using graph::NodeId;
+
+namespace {
+
+RwrResult PowerIterate(const Graph& g, const std::vector<double>& restart,
+                       const RwrOptions& options) {
+  const uint32_t n = g.num_nodes();
+  RwrResult out;
+  std::vector<double> r = restart;
+  std::vector<double> next(n, 0.0);
+  std::vector<double> norm(n, 0.0);
+  for (NodeId v = 0; v < n; ++v) {
+    norm[v] = options.weighted ? static_cast<double>(g.WeightedDegree(v))
+                               : static_cast<double>(g.Degree(v));
+  }
+  const double c = options.restart;
+  for (int it = 0; it < options.max_iterations; ++it) {
+    std::fill(next.begin(), next.end(), 0.0);
+    double dangling = 0.0;
+    for (NodeId v = 0; v < n; ++v) {
+      if (norm[v] <= 0.0) {
+        dangling += r[v];  // dangling mass restarts entirely
+        continue;
+      }
+      double share = r[v] / norm[v];
+      for (const Neighbor& nb : g.Neighbors(v)) {
+        next[nb.id] += share * (options.weighted ? nb.weight : 1.0);
+      }
+    }
+    double delta = 0.0;
+    for (NodeId v = 0; v < n; ++v) {
+      double nv = c * restart[v] + (1.0 - c) * (next[v] + dangling * restart[v]);
+      delta += std::abs(nv - r[v]);
+      r[v] = nv;
+    }
+    out.iterations = it + 1;
+    out.final_delta = delta;
+    if (delta < options.tolerance) {
+      out.converged = true;
+      break;
+    }
+  }
+  out.probability = std::move(r);
+  return out;
+}
+
+Status ValidateOptions(const RwrOptions& options) {
+  if (options.restart <= 0.0 || options.restart >= 1.0) {
+    return Status::InvalidArgument("RWR: restart must be in (0,1)");
+  }
+  if (options.max_iterations <= 0) {
+    return Status::InvalidArgument("RWR: max_iterations must be positive");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+gmine::Result<RwrResult> RandomWalkWithRestart(const Graph& g, NodeId source,
+                                               const RwrOptions& options) {
+  GMINE_RETURN_IF_ERROR(ValidateOptions(options));
+  if (source >= g.num_nodes()) {
+    return Status::InvalidArgument(
+        StrFormat("RWR: source %u out of range %u", source, g.num_nodes()));
+  }
+  std::vector<double> restart(g.num_nodes(), 0.0);
+  restart[source] = 1.0;
+  return PowerIterate(g, restart, options);
+}
+
+gmine::Result<RwrResult> RandomWalkWithRestartVector(
+    const Graph& g, const std::vector<double>& restart_mass,
+    const RwrOptions& options) {
+  GMINE_RETURN_IF_ERROR(ValidateOptions(options));
+  if (restart_mass.size() != g.num_nodes()) {
+    return Status::InvalidArgument("RWR: restart vector size mismatch");
+  }
+  double sum = 0.0;
+  for (double m : restart_mass) {
+    if (m < 0.0) {
+      return Status::InvalidArgument("RWR: negative restart mass");
+    }
+    sum += m;
+  }
+  if (std::abs(sum - 1.0) > 1e-6) {
+    return Status::InvalidArgument("RWR: restart mass must sum to 1");
+  }
+  return PowerIterate(g, restart_mass, options);
+}
+
+gmine::Result<RwrResult> RandomWalkWithRestartExact(const Graph& g,
+                                                    NodeId source,
+                                                    const RwrOptions& options) {
+  GMINE_RETURN_IF_ERROR(ValidateOptions(options));
+  const uint32_t n = g.num_nodes();
+  if (source >= n) {
+    return Status::InvalidArgument("RWR exact: source out of range");
+  }
+  if (n > 4096) {
+    return Status::InvalidArgument("RWR exact: graph too large (n > 4096)");
+  }
+  const double c = options.restart;
+  // Build A = I - (1-c) W^T as a dense matrix; b = c e_s.
+  std::vector<double> a(static_cast<size_t>(n) * n, 0.0);
+  std::vector<double> b(n, 0.0);
+  b[source] = c;
+  for (uint32_t i = 0; i < n; ++i) a[static_cast<size_t>(i) * n + i] = 1.0;
+  for (NodeId v = 0; v < n; ++v) {
+    double norm = options.weighted ? static_cast<double>(g.WeightedDegree(v))
+                                   : static_cast<double>(g.Degree(v));
+    if (norm <= 0.0) {
+      // Dangling: mass restarts — equivalent to an arc back to the source
+      // with probability 1.
+      a[static_cast<size_t>(source) * n + v] -= (1.0 - c);
+      continue;
+    }
+    for (const Neighbor& nb : g.Neighbors(v)) {
+      double w = options.weighted ? nb.weight : 1.0;
+      a[static_cast<size_t>(nb.id) * n + v] -= (1.0 - c) * w / norm;
+    }
+  }
+  // Gaussian elimination with partial pivoting.
+  std::vector<uint32_t> perm(n);
+  for (uint32_t i = 0; i < n; ++i) perm[i] = i;
+  for (uint32_t col = 0; col < n; ++col) {
+    uint32_t pivot = col;
+    double best = std::abs(a[static_cast<size_t>(col) * n + col]);
+    for (uint32_t row = col + 1; row < n; ++row) {
+      double v = std::abs(a[static_cast<size_t>(row) * n + col]);
+      if (v > best) {
+        best = v;
+        pivot = row;
+      }
+    }
+    if (best < 1e-14) {
+      return Status::Internal("RWR exact: singular system");
+    }
+    if (pivot != col) {
+      for (uint32_t j = 0; j < n; ++j) {
+        std::swap(a[static_cast<size_t>(col) * n + j],
+                  a[static_cast<size_t>(pivot) * n + j]);
+      }
+      std::swap(b[col], b[pivot]);
+    }
+    double diag = a[static_cast<size_t>(col) * n + col];
+    for (uint32_t row = col + 1; row < n; ++row) {
+      double factor = a[static_cast<size_t>(row) * n + col] / diag;
+      if (factor == 0.0) continue;
+      for (uint32_t j = col; j < n; ++j) {
+        a[static_cast<size_t>(row) * n + j] -=
+            factor * a[static_cast<size_t>(col) * n + j];
+      }
+      b[row] -= factor * b[col];
+    }
+  }
+  RwrResult out;
+  out.probability.assign(n, 0.0);
+  for (uint32_t i = n; i > 0; --i) {
+    uint32_t row = i - 1;
+    double acc = b[row];
+    for (uint32_t j = row + 1; j < n; ++j) {
+      acc -= a[static_cast<size_t>(row) * n + j] * out.probability[j];
+    }
+    out.probability[row] = acc / a[static_cast<size_t>(row) * n + row];
+  }
+  out.converged = true;
+  out.iterations = 0;
+  return out;
+}
+
+}  // namespace gmine::csg

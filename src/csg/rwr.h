@@ -1,0 +1,59 @@
+// Random walk with restart (RWR) — the proximity engine behind GMine's
+// connection subgraph extraction (§IV): "an independent random walk with
+// restart is simulated for each source node".
+//
+// r = c * e_s + (1 - c) * W^T r, where W is the (weighted) row-normalized
+// adjacency matrix and c the restart probability. Solved by power
+// iteration; an exact dense solve is provided for small graphs (tests,
+// and the convergence ablation bench_rwr).
+
+#ifndef GMINE_CSG_RWR_H_
+#define GMINE_CSG_RWR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/status.h"
+
+namespace gmine::csg {
+
+/// RWR tunables.
+struct RwrOptions {
+  /// Restart probability c (paper-typical 0.15).
+  double restart = 0.15;
+  /// L1 convergence tolerance.
+  double tolerance = 1e-10;
+  int max_iterations = 200;
+  /// Use edge weights for transition probabilities.
+  bool weighted = true;
+};
+
+/// One RWR solve.
+struct RwrResult {
+  /// Steady-state visiting probability per node; sums to 1.
+  std::vector<double> probability;
+  int iterations = 0;
+  double final_delta = 0.0;
+  bool converged = false;
+};
+
+/// RWR from a single source.
+gmine::Result<RwrResult> RandomWalkWithRestart(const graph::Graph& g,
+                                               graph::NodeId source,
+                                               const RwrOptions& options = {});
+
+/// RWR with a distributed restart vector (used for query sets and tests);
+/// `restart_mass` must be non-negative and sum to ~1 over all nodes.
+gmine::Result<RwrResult> RandomWalkWithRestartVector(
+    const graph::Graph& g, const std::vector<double>& restart_mass,
+    const RwrOptions& options = {});
+
+/// Exact solve of (I - (1-c) W^T) r = c e_s by dense Gaussian elimination.
+/// O(n^3); only for graphs up to a few thousand nodes (tests/ablation).
+gmine::Result<RwrResult> RandomWalkWithRestartExact(
+    const graph::Graph& g, graph::NodeId source, const RwrOptions& options = {});
+
+}  // namespace gmine::csg
+
+#endif  // GMINE_CSG_RWR_H_

@@ -1,0 +1,398 @@
+#include "gen/generators.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "graph/graph_builder.h"
+#include "util/rng.h"
+#include "util/string_util.h"
+
+namespace gmine::gen {
+
+using graph::Graph;
+using graph::GraphBuilder;
+using graph::GraphBuilderOptions;
+using graph::NodeId;
+
+namespace {
+// Packs an undirected pair into a 64-bit key for dedup sets.
+uint64_t PairKey(uint32_t a, uint32_t b) {
+  if (a > b) std::swap(a, b);
+  return (static_cast<uint64_t>(a) << 32) | b;
+}
+}  // namespace
+
+gmine::Result<Graph> ErdosRenyi(uint32_t n, double p, uint64_t seed) {
+  if (p < 0.0 || p > 1.0) {
+    return Status::InvalidArgument("ErdosRenyi: p outside [0,1]");
+  }
+  GraphBuilder builder;
+  builder.ReserveNodes(n);
+  if (p > 0.0 && n > 1) {
+    Rng rng(seed);
+    // Geometric skipping over the strictly-upper-triangular pair sequence.
+    double log1mp = std::log(1.0 - p);
+    uint64_t total_pairs = static_cast<uint64_t>(n) * (n - 1) / 2;
+    if (p >= 1.0) {
+      for (uint32_t u = 0; u < n; ++u) {
+        for (uint32_t v = u + 1; v < n; ++v) builder.AddEdge(u, v);
+      }
+    } else {
+      uint64_t idx = 0;
+      while (true) {
+        double r = rng.NextDouble();
+        uint64_t skip =
+            static_cast<uint64_t>(std::floor(std::log(1.0 - r) / log1mp));
+        idx += skip;
+        if (idx >= total_pairs) break;
+        // Unrank pair index -> (u, v).
+        // Find u such that C(u) <= idx < C(u+1) where C(u) = pairs before
+        // row u = u*n - u*(u+1)/2.
+        uint64_t lo = 0;
+        uint64_t hi = n - 1;
+        while (lo < hi) {
+          uint64_t mid = (lo + hi + 1) / 2;
+          uint64_t before = mid * n - mid * (mid + 1) / 2;
+          if (before <= idx) {
+            lo = mid;
+          } else {
+            hi = mid - 1;
+          }
+        }
+        uint64_t u = lo;
+        uint64_t before = u * n - u * (u + 1) / 2;
+        uint64_t v = u + 1 + (idx - before);
+        builder.AddEdge(static_cast<NodeId>(u), static_cast<NodeId>(v));
+        idx += 1;
+      }
+    }
+  }
+  return builder.Build();
+}
+
+gmine::Result<Graph> ErdosRenyiM(uint32_t n, uint64_t m, uint64_t seed) {
+  uint64_t max_edges = static_cast<uint64_t>(n) * (n - 1) / 2;
+  if (m > max_edges) {
+    return Status::InvalidArgument(
+        StrFormat("ErdosRenyiM: m=%llu exceeds max %llu",
+                  static_cast<unsigned long long>(m),
+                  static_cast<unsigned long long>(max_edges)));
+  }
+  Rng rng(seed);
+  std::unordered_set<uint64_t> chosen;
+  chosen.reserve(m * 2);
+  GraphBuilder builder;
+  builder.ReserveNodes(n);
+  while (chosen.size() < m) {
+    uint32_t u = static_cast<uint32_t>(rng.Uniform(n));
+    uint32_t v = static_cast<uint32_t>(rng.Uniform(n));
+    if (u == v) continue;
+    uint64_t key = PairKey(u, v);
+    if (chosen.insert(key).second) builder.AddEdge(u, v);
+  }
+  return builder.Build();
+}
+
+gmine::Result<Graph> BarabasiAlbert(uint32_t n, uint32_t m_per_node,
+                                    uint64_t seed) {
+  if (m_per_node == 0 || n < m_per_node + 1) {
+    return Status::InvalidArgument("BarabasiAlbert: need n > m >= 1");
+  }
+  Rng rng(seed);
+  GraphBuilder builder;
+  builder.ReserveNodes(n);
+  // repeated-nodes list: sampling uniformly from it = degree-proportional.
+  std::vector<uint32_t> targets;
+  targets.reserve(static_cast<size_t>(n) * m_per_node * 2);
+  // Seed clique over the first m_per_node+1 nodes.
+  for (uint32_t u = 0; u <= m_per_node; ++u) {
+    for (uint32_t v = u + 1; v <= m_per_node; ++v) {
+      builder.AddEdge(u, v);
+      targets.push_back(u);
+      targets.push_back(v);
+    }
+  }
+  for (uint32_t u = m_per_node + 1; u < n; ++u) {
+    std::unordered_set<uint32_t> picked;
+    while (picked.size() < m_per_node) {
+      uint32_t t = targets[rng.Uniform(targets.size())];
+      picked.insert(t);
+    }
+    for (uint32_t t : picked) {
+      builder.AddEdge(u, t);
+      targets.push_back(u);
+      targets.push_back(t);
+    }
+  }
+  return builder.Build();
+}
+
+gmine::Result<Graph> WattsStrogatz(uint32_t n, uint32_t k, double beta,
+                                   uint64_t seed) {
+  if (k == 0 || 2 * k >= n) {
+    return Status::InvalidArgument("WattsStrogatz: need 0 < 2k < n");
+  }
+  if (beta < 0.0 || beta > 1.0) {
+    return Status::InvalidArgument("WattsStrogatz: beta outside [0,1]");
+  }
+  Rng rng(seed);
+  std::unordered_set<uint64_t> present;
+  for (uint32_t u = 0; u < n; ++u) {
+    for (uint32_t j = 1; j <= k; ++j) {
+      uint32_t v = (u + j) % n;
+      present.insert(PairKey(u, v));
+    }
+  }
+  // Rewire: for each lattice edge (u, u+j), with prob beta replace by
+  // (u, random) avoiding duplicates and self-loops.
+  for (uint32_t u = 0; u < n; ++u) {
+    for (uint32_t j = 1; j <= k; ++j) {
+      uint32_t v = (u + j) % n;
+      if (!rng.Bernoulli(beta)) continue;
+      uint64_t old_key = PairKey(u, v);
+      if (!present.count(old_key)) continue;  // already rewired away
+      uint32_t w = 0;
+      int attempts = 0;
+      bool found = false;
+      while (attempts++ < 64) {
+        w = static_cast<uint32_t>(rng.Uniform(n));
+        if (w != u && !present.count(PairKey(u, w))) {
+          found = true;
+          break;
+        }
+      }
+      if (!found) continue;  // node saturated; keep lattice edge
+      present.erase(old_key);
+      present.insert(PairKey(u, w));
+    }
+  }
+  GraphBuilder builder;
+  builder.ReserveNodes(n);
+  for (uint64_t key : present) {
+    builder.AddEdge(static_cast<uint32_t>(key >> 32),
+                    static_cast<uint32_t>(key & 0xffffffffu));
+  }
+  return builder.Build();
+}
+
+gmine::Result<Graph> Rmat(const RmatOptions& options) {
+  double total = options.a + options.b + options.c + options.d;
+  if (std::abs(total - 1.0) > 1e-9) {
+    return Status::InvalidArgument("Rmat: probabilities must sum to 1");
+  }
+  if (options.scale == 0 || options.scale > 30) {
+    return Status::InvalidArgument("Rmat: scale must be in [1,30]");
+  }
+  Rng rng(options.seed);
+  uint32_t n = 1u << options.scale;
+  GraphBuilder builder;
+  builder.ReserveNodes(n);
+  for (uint64_t e = 0; e < options.edges; ++e) {
+    uint32_t u = 0;
+    uint32_t v = 0;
+    for (uint32_t bit = 0; bit < options.scale; ++bit) {
+      double r = rng.NextDouble();
+      u <<= 1;
+      v <<= 1;
+      if (r < options.a) {
+        // top-left: no bits set
+      } else if (r < options.a + options.b) {
+        v |= 1;
+      } else if (r < options.a + options.b + options.c) {
+        u |= 1;
+      } else {
+        u |= 1;
+        v |= 1;
+      }
+    }
+    if (u != v) builder.AddEdge(u, v);
+  }
+  return builder.Build();
+}
+
+gmine::Result<Graph> PlantedPartition(uint32_t k, uint32_t block_size,
+                                      double p_in, double p_out,
+                                      uint64_t seed) {
+  if (k == 0 || block_size == 0) {
+    return Status::InvalidArgument("PlantedPartition: empty blocks");
+  }
+  uint32_t n = k * block_size;
+  Rng rng(seed);
+  GraphBuilder builder;
+  builder.ReserveNodes(n);
+  for (uint32_t u = 0; u < n; ++u) {
+    for (uint32_t v = u + 1; v < n; ++v) {
+      double p = (u / block_size == v / block_size) ? p_in : p_out;
+      if (p > 0.0 && rng.NextDouble() < p) builder.AddEdge(u, v);
+    }
+  }
+  return builder.Build();
+}
+
+gmine::Result<HierarchicalCommunityResult> HierarchicalCommunity(
+    const HierarchicalCommunityOptions& options) {
+  if (options.levels == 0 || options.fanout < 2 || options.leaf_size == 0) {
+    return Status::InvalidArgument(
+        "HierarchicalCommunity: need levels>=1, fanout>=2, leaf_size>=1");
+  }
+  uint64_t num_leaves = 1;
+  for (uint32_t l = 0; l < options.levels; ++l) num_leaves *= options.fanout;
+  uint64_t n64 = num_leaves * options.leaf_size;
+  if (n64 > (1ull << 31)) {
+    return Status::InvalidArgument("HierarchicalCommunity: graph too large");
+  }
+  uint32_t n = static_cast<uint32_t>(n64);
+  Rng rng(options.seed);
+
+  // Per-node activity multiplier ~ Pareto(alpha), capped so a single hub
+  // cannot dominate the edge budget.
+  std::vector<double> activity(n);
+  for (uint32_t v = 0; v < n; ++v) {
+    double u = rng.NextDouble();
+    double a = std::pow(1.0 - u, -1.0 / (options.powerlaw_alpha - 1.0));
+    activity[v] = std::min(a, 50.0);
+  }
+
+  HierarchicalCommunityResult out;
+  out.num_leaf_communities = static_cast<uint32_t>(num_leaves);
+  out.leaf_community.resize(n);
+  for (uint32_t v = 0; v < n; ++v) {
+    out.leaf_community[v] = v / options.leaf_size;
+  }
+  out.leaf_isolated.assign(num_leaves, false);
+  if (options.isolated_fraction > 0.0) {
+    for (uint64_t c = 0; c < num_leaves; ++c) {
+      out.leaf_isolated[c] = rng.NextDouble() < options.isolated_fraction;
+    }
+  }
+
+  std::unordered_set<uint64_t> present;
+  GraphBuilder builder;
+  builder.ReserveNodes(n);
+  auto add_unique = [&](uint32_t u, uint32_t v) {
+    if (u == v) return;
+    if (present.insert(PairKey(u, v)).second) builder.AddEdge(u, v);
+  };
+
+  // Intra-leaf edges: expected intra_degree per node, endpoints chosen
+  // within the leaf proportionally to activity via rejection.
+  uint64_t intra_edges_per_leaf = static_cast<uint64_t>(
+      options.intra_degree * options.leaf_size / 2.0 + 0.5);
+  for (uint64_t c = 0; c < num_leaves; ++c) {
+    uint32_t base = static_cast<uint32_t>(c) * options.leaf_size;
+    for (uint64_t e = 0; e < intra_edges_per_leaf; ++e) {
+      // Activity-biased endpoint choice: pick two, keep with probability
+      // proportional to activity (normalized by the cap).
+      uint32_t u, v;
+      int guard = 0;
+      do {
+        u = base + static_cast<uint32_t>(rng.Uniform(options.leaf_size));
+      } while (rng.NextDouble() * 50.0 > activity[u] && ++guard < 32);
+      guard = 0;
+      do {
+        v = base + static_cast<uint32_t>(rng.Uniform(options.leaf_size));
+      } while ((v == u || rng.NextDouble() * 50.0 > activity[v]) &&
+               ++guard < 32);
+      add_unique(u, v);
+    }
+  }
+
+  // Cross-community edges at each level above the leaves. An edge at level
+  // l connects two nodes in different level-(l-1) groups but the same
+  // level-l group. Levels are numbered 1..levels with level `levels`
+  // meaning the whole graph.
+  uint64_t group_size = options.leaf_size;  // nodes per level-(l-1) group
+  for (uint32_t l = 1; l <= options.levels; ++l) {
+    uint64_t parent_size = group_size * options.fanout;
+    double per_node = options.intra_degree * std::pow(options.cross_decay, l);
+    uint64_t num_parents = n / parent_size;
+    uint64_t edges_per_parent =
+        static_cast<uint64_t>(per_node * parent_size / 2.0 + 0.5);
+    for (uint64_t pgroup = 0; pgroup < num_parents; ++pgroup) {
+      uint32_t base = static_cast<uint32_t>(pgroup * parent_size);
+      for (uint64_t e = 0; e < edges_per_parent; ++e) {
+        uint32_t u = base + static_cast<uint32_t>(rng.Uniform(parent_size));
+        uint32_t v = base + static_cast<uint32_t>(rng.Uniform(parent_size));
+        if (u / group_size == v / group_size) continue;  // not crossing
+        if (out.leaf_isolated[u / options.leaf_size] ||
+            out.leaf_isolated[v / options.leaf_size]) {
+          continue;  // isolated leaves receive no cross edges
+        }
+        // Mild activity bias on one endpoint keeps hubs global; the /10
+        // scale thins cross edges without starving them (mean activity
+        // ~2 gives ~20% acceptance).
+        if (rng.NextDouble() * 10.0 > activity[u]) continue;
+        add_unique(u, v);
+      }
+    }
+    group_size = parent_size;
+  }
+
+  auto built = builder.Build();
+  if (!built.ok()) return built.status();
+  out.graph = std::move(built).value();
+  return out;
+}
+
+gmine::Result<Graph> Grid(uint32_t rows, uint32_t cols) {
+  if (rows == 0 || cols == 0) {
+    return Status::InvalidArgument("Grid: empty");
+  }
+  GraphBuilder builder;
+  builder.ReserveNodes(rows * cols);
+  for (uint32_t r = 0; r < rows; ++r) {
+    for (uint32_t c = 0; c < cols; ++c) {
+      uint32_t u = r * cols + c;
+      if (c + 1 < cols) builder.AddEdge(u, u + 1);
+      if (r + 1 < rows) builder.AddEdge(u, u + cols);
+    }
+  }
+  return builder.Build();
+}
+
+gmine::Result<Graph> Complete(uint32_t n) {
+  GraphBuilder builder;
+  builder.ReserveNodes(n);
+  for (uint32_t u = 0; u < n; ++u) {
+    for (uint32_t v = u + 1; v < n; ++v) builder.AddEdge(u, v);
+  }
+  return builder.Build();
+}
+
+gmine::Result<Graph> Path(uint32_t n) {
+  GraphBuilder builder;
+  builder.ReserveNodes(n);
+  for (uint32_t u = 0; u + 1 < n; ++u) builder.AddEdge(u, u + 1);
+  return builder.Build();
+}
+
+gmine::Result<Graph> Cycle(uint32_t n) {
+  if (n < 3) return Status::InvalidArgument("Cycle: need n >= 3");
+  GraphBuilder builder;
+  builder.ReserveNodes(n);
+  for (uint32_t u = 0; u < n; ++u) builder.AddEdge(u, (u + 1) % n);
+  return builder.Build();
+}
+
+gmine::Result<Graph> Star(uint32_t n) {
+  if (n < 2) return Status::InvalidArgument("Star: need n >= 2");
+  GraphBuilder builder;
+  builder.ReserveNodes(n);
+  for (uint32_t v = 1; v < n; ++v) builder.AddEdge(0, v);
+  return builder.Build();
+}
+
+gmine::Result<Graph> BalancedBinaryTree(uint32_t n) {
+  GraphBuilder builder;
+  builder.ReserveNodes(n);
+  for (uint32_t u = 0; u < n; ++u) {
+    uint32_t left = 2 * u + 1;
+    uint32_t right = 2 * u + 2;
+    if (left < n) builder.AddEdge(u, left);
+    if (right < n) builder.AddEdge(u, right);
+  }
+  return builder.Build();
+}
+
+}  // namespace gmine::gen

@@ -1,0 +1,119 @@
+// Synthetic graph generators. Deterministic given a seed; used by tests,
+// examples and every benchmark workload.
+//
+// The hierarchical community generator is the substrate for the DBLP
+// surrogate (see dblp.h): the paper's scenarios depend on two properties
+// of DBLP — community structure (so recursive partitioning is meaningful)
+// and heavy-tailed degrees (so hubs like prolific authors exist) — and the
+// generator plants both.
+
+#ifndef GMINE_GEN_GENERATORS_H_
+#define GMINE_GEN_GENERATORS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/status.h"
+
+namespace gmine::gen {
+
+/// G(n, p) Erdős–Rényi via geometric skipping (O(n + m) expected).
+gmine::Result<graph::Graph> ErdosRenyi(uint32_t n, double p, uint64_t seed);
+
+/// G(n, m) Erdős–Rényi: exactly m distinct undirected edges.
+gmine::Result<graph::Graph> ErdosRenyiM(uint32_t n, uint64_t m,
+                                        uint64_t seed);
+
+/// Barabási–Albert preferential attachment: each new node attaches to
+/// `m_per_node` existing nodes chosen proportionally to degree.
+gmine::Result<graph::Graph> BarabasiAlbert(uint32_t n, uint32_t m_per_node,
+                                           uint64_t seed);
+
+/// Watts–Strogatz small world: ring lattice with k nearest neighbors per
+/// side, each edge rewired with probability beta.
+gmine::Result<graph::Graph> WattsStrogatz(uint32_t n, uint32_t k, double beta,
+                                          uint64_t seed);
+
+/// R-MAT recursive matrix generator (Chakrabarti et al.): 2^scale nodes,
+/// `edges` samples with quadrant probabilities (a,b,c,d), duplicates
+/// merged.
+struct RmatOptions {
+  uint32_t scale = 14;
+  uint64_t edges = 1 << 18;
+  double a = 0.57, b = 0.19, c = 0.19, d = 0.05;
+  uint64_t seed = 1;
+};
+gmine::Result<graph::Graph> Rmat(const RmatOptions& options);
+
+/// Planted partition: `k` equal blocks of `block_size` nodes; intra-block
+/// edge probability p_in, inter-block p_out. Ground-truth assignment of
+/// node v is v / block_size.
+gmine::Result<graph::Graph> PlantedPartition(uint32_t k, uint32_t block_size,
+                                             double p_in, double p_out,
+                                             uint64_t seed);
+
+/// Parameters for the hierarchical community generator.
+struct HierarchicalCommunityOptions {
+  /// Tree depth: levels of communities-within-communities.
+  uint32_t levels = 3;
+  /// Fanout per level (k communities inside each community).
+  uint32_t fanout = 5;
+  /// Nodes inside each bottom-level community.
+  uint32_t leaf_size = 100;
+  /// Mean intra-leaf degree per node (edges inside the smallest community).
+  double intra_degree = 6.0;
+  /// Ratio of cross-community degree contributed at each level above the
+  /// leaves; level l (1 = parent of leaves) contributes
+  /// intra_degree * pow(cross_decay, l) expected edges per node that cross
+  /// communities at that level but stay within the level-l ancestor.
+  double cross_decay = 0.25;
+  /// Exponent for the per-node activity (degree multiplier) power law;
+  /// larger alpha = lighter tail. Typical co-authorship tail: ~2.2.
+  double powerlaw_alpha = 2.2;
+  /// Fraction of leaf communities that are "isolated" (their nodes get no
+  /// cross-community edges) — models the casual-author communities the
+  /// paper's Fig. 3 narrative relies on.
+  double isolated_fraction = 0.0;
+  uint64_t seed = 42;
+};
+
+/// Ground truth emitted alongside the generated graph.
+struct HierarchicalCommunityResult {
+  graph::Graph graph;
+  /// community path of each node: digits[l] = child index at level l
+  /// (length = levels). Flattened: node -> leaf community index.
+  std::vector<uint32_t> leaf_community;
+  /// Total number of leaf communities (= fanout^levels).
+  uint32_t num_leaf_communities = 0;
+  /// Leaf communities marked isolated.
+  std::vector<bool> leaf_isolated;
+};
+
+/// Generates a communities-within-communities graph with power-law node
+/// activity (see HierarchicalCommunityOptions).
+gmine::Result<HierarchicalCommunityResult> HierarchicalCommunity(
+    const HierarchicalCommunityOptions& options);
+
+/// 2-D grid graph (rows x cols), rook adjacency — handy for layout and
+/// partitioner sanity tests (known optimal cuts).
+gmine::Result<graph::Graph> Grid(uint32_t rows, uint32_t cols);
+
+/// Complete graph K_n.
+gmine::Result<graph::Graph> Complete(uint32_t n);
+
+/// Simple path 0-1-2-...-(n-1).
+gmine::Result<graph::Graph> Path(uint32_t n);
+
+/// Cycle of n nodes.
+gmine::Result<graph::Graph> Cycle(uint32_t n);
+
+/// Star: node 0 connected to 1..n-1.
+gmine::Result<graph::Graph> Star(uint32_t n);
+
+/// Balanced binary tree with n nodes (node i's children: 2i+1, 2i+2).
+gmine::Result<graph::Graph> BalancedBinaryTree(uint32_t n);
+
+}  // namespace gmine::gen
+
+#endif  // GMINE_GEN_GENERATORS_H_

@@ -1,0 +1,85 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "util/string_util.h"
+
+namespace gmine::graph {
+
+Graph::Graph(std::vector<uint64_t> offsets, std::vector<Neighbor> neighbors,
+             std::vector<float> node_weights, bool directed)
+    : offsets_(std::move(offsets)),
+      neighbors_(std::move(neighbors)),
+      node_weights_(std::move(node_weights)),
+      directed_(directed) {
+  assert(!offsets_.empty());
+  assert(offsets_.front() == 0);
+  assert(offsets_.back() == neighbors_.size());
+  assert(node_weights_.empty() || node_weights_.size() == offsets_.size() - 1);
+}
+
+float Graph::WeightedDegree(NodeId u) const {
+  float total = 0.0f;
+  for (const Neighbor& nb : Neighbors(u)) total += nb.weight;
+  return total;
+}
+
+double Graph::TotalNodeWeight() const {
+  if (node_weights_.empty()) return static_cast<double>(num_nodes());
+  double total = 0.0;
+  for (float w : node_weights_) total += w;
+  return total;
+}
+
+bool Graph::HasEdge(NodeId u, NodeId v) const {
+  auto span = Neighbors(u);
+  auto it = std::lower_bound(
+      span.begin(), span.end(), v,
+      [](const Neighbor& nb, NodeId id) { return nb.id < id; });
+  return it != span.end() && it->id == v;
+}
+
+float Graph::EdgeWeight(NodeId u, NodeId v) const {
+  auto span = Neighbors(u);
+  auto it = std::lower_bound(
+      span.begin(), span.end(), v,
+      [](const Neighbor& nb, NodeId id) { return nb.id < id; });
+  if (it != span.end() && it->id == v) return it->weight;
+  return 0.0f;
+}
+
+std::vector<Edge> Graph::CollectEdges() const {
+  std::vector<Edge> edges;
+  edges.reserve(num_edges());
+  for (NodeId u = 0; u < num_nodes(); ++u) {
+    for (const Neighbor& nb : Neighbors(u)) {
+      if (directed_ || u <= nb.id) {
+        edges.push_back(Edge{u, nb.id, nb.weight});
+      }
+    }
+  }
+  return edges;
+}
+
+std::string Graph::DebugString() const {
+  uint32_t n = num_nodes();
+  uint32_t min_deg = n ? Degree(0) : 0;
+  uint32_t max_deg = 0;
+  uint64_t total = 0;
+  for (NodeId u = 0; u < n; ++u) {
+    uint32_t d = Degree(u);
+    min_deg = std::min(min_deg, d);
+    max_deg = std::max(max_deg, d);
+    total += d;
+  }
+  double avg = n ? static_cast<double>(total) / n : 0.0;
+  return StrFormat(
+      "Graph{%s, nodes=%u, edges=%llu, arcs=%llu, deg[min=%u avg=%.2f "
+      "max=%u]}",
+      directed_ ? "directed" : "undirected", n,
+      static_cast<unsigned long long>(num_edges()),
+      static_cast<unsigned long long>(num_arcs()), min_deg, avg, max_deg);
+}
+
+}  // namespace gmine::graph

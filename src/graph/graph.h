@@ -1,0 +1,135 @@
+// Immutable compressed-sparse-row (CSR) graph. This is the universal
+// substrate of GMine: the partitioner, the G-Tree, the mining metrics and
+// the connection-subgraph extractor all consume `const Graph&`.
+//
+// Construction happens exclusively through GraphBuilder (graph_builder.h),
+// which deduplicates/symmetrizes edge lists, or through deserialization
+// (graph_io.h). Node ids are dense uint32_t in [0, num_nodes()).
+
+#ifndef GMINE_GRAPH_GRAPH_H_
+#define GMINE_GRAPH_GRAPH_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace gmine::graph {
+
+/// Dense node identifier.
+using NodeId = uint32_t;
+
+/// Sentinel for "no node".
+inline constexpr NodeId kInvalidNode = static_cast<NodeId>(-1);
+
+/// One outgoing arc: destination and weight.
+struct Neighbor {
+  NodeId id;
+  float weight;
+
+  bool operator==(const Neighbor& o) const {
+    return id == o.id && weight == o.weight;
+  }
+};
+
+/// An edge as (src, dst, weight) — used by builders and IO.
+struct Edge {
+  NodeId src;
+  NodeId dst;
+  float weight = 1.0f;
+
+  bool operator==(const Edge& o) const {
+    return src == o.src && dst == o.dst && weight == o.weight;
+  }
+};
+
+/// Immutable CSR graph with optional per-node weights.
+///
+/// For undirected graphs every edge {u,v} is stored as two arcs u->v and
+/// v->u; num_edges() reports the number of *undirected* edges while
+/// num_arcs() reports stored arcs. For directed graphs the two coincide.
+class Graph {
+ public:
+  /// Empty graph.
+  Graph() = default;
+
+  /// Assembles a graph from raw CSR arrays. `offsets` has num_nodes+1
+  /// entries; `neighbors[offsets[u]..offsets[u+1])` are u's arcs.
+  /// `node_weights` may be empty (interpreted as all-ones).
+  Graph(std::vector<uint64_t> offsets, std::vector<Neighbor> neighbors,
+        std::vector<float> node_weights, bool directed);
+
+  /// Number of nodes.
+  uint32_t num_nodes() const {
+    return offsets_.empty() ? 0 : static_cast<uint32_t>(offsets_.size() - 1);
+  }
+
+  /// Number of logical edges (undirected edges counted once).
+  uint64_t num_edges() const {
+    return directed_ ? num_arcs() : num_arcs() / 2;
+  }
+
+  /// Number of stored arcs (directed half-edges).
+  uint64_t num_arcs() const { return neighbors_.size(); }
+
+  /// Whether the graph is directed.
+  bool directed() const { return directed_; }
+
+  /// Outgoing arcs of `u`, sorted by destination id.
+  std::span<const Neighbor> Neighbors(NodeId u) const {
+    return {neighbors_.data() + offsets_[u],
+            neighbors_.data() + offsets_[u + 1]};
+  }
+
+  /// Out-degree of `u`.
+  uint32_t Degree(NodeId u) const {
+    return static_cast<uint32_t>(offsets_[u + 1] - offsets_[u]);
+  }
+
+  /// Sum of arc weights out of `u`.
+  float WeightedDegree(NodeId u) const;
+
+  /// Vertex weight of `u` (1.0 unless set, e.g. by graph coarsening).
+  float NodeWeight(NodeId u) const {
+    return node_weights_.empty() ? 1.0f : node_weights_[u];
+  }
+
+  /// Sum of all vertex weights.
+  double TotalNodeWeight() const;
+
+  /// True iff the arc u->v exists (binary search over sorted arcs).
+  bool HasEdge(NodeId u, NodeId v) const;
+
+  /// Weight of arc u->v, or 0 when absent.
+  float EdgeWeight(NodeId u, NodeId v) const;
+
+  /// Raw CSR offsets (num_nodes()+1 entries) — used by IO and the store.
+  const std::vector<uint64_t>& offsets() const { return offsets_; }
+  /// Raw arcs — used by IO and the store.
+  const std::vector<Neighbor>& arcs() const { return neighbors_; }
+  /// Raw node weights (may be empty = all ones).
+  const std::vector<float>& node_weights() const { return node_weights_; }
+
+  /// Lists each undirected edge exactly once (src < dst) or each directed
+  /// arc once. Intended for tests and IO, not hot paths.
+  std::vector<Edge> CollectEdges() const;
+
+  /// Multi-line diagnostic summary (counts, degree stats).
+  std::string DebugString() const;
+
+  /// Structural equality (same CSR arrays and directedness).
+  bool operator==(const Graph& o) const {
+    return directed_ == o.directed_ && offsets_ == o.offsets_ &&
+           neighbors_ == o.neighbors_ && node_weights_ == o.node_weights_;
+  }
+
+ private:
+  std::vector<uint64_t> offsets_;     // size num_nodes+1
+  std::vector<Neighbor> neighbors_;   // size num_arcs
+  std::vector<float> node_weights_;   // empty or size num_nodes
+  bool directed_ = false;
+};
+
+}  // namespace gmine::graph
+
+#endif  // GMINE_GRAPH_GRAPH_H_

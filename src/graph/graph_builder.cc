@@ -1,0 +1,97 @@
+#include "graph/graph_builder.h"
+
+#include <algorithm>
+
+#include "util/string_util.h"
+
+namespace gmine::graph {
+
+void GraphBuilder::ReserveNodes(uint32_t n) {
+  num_nodes_ = std::max(num_nodes_, n);
+}
+
+void GraphBuilder::AddEdge(NodeId src, NodeId dst, float weight) {
+  edges_.push_back(Edge{src, dst, weight});
+  num_nodes_ = std::max(num_nodes_, std::max(src, dst) + 1);
+}
+
+void GraphBuilder::AddEdges(const std::vector<Edge>& edges) {
+  for (const Edge& e : edges) AddEdge(e.src, e.dst, e.weight);
+}
+
+void GraphBuilder::SetNodeWeight(NodeId node, float weight) {
+  node_weights_.emplace_back(node, weight);
+  num_nodes_ = std::max(num_nodes_, node + 1);
+}
+
+Result<Graph> GraphBuilder::Build() {
+  const uint32_t n = num_nodes_;
+  for (const Edge& e : edges_) {
+    if (e.src >= n || e.dst >= n) {
+      return Status::InvalidArgument(
+          StrFormat("edge (%u,%u) out of node range %u", e.src, e.dst, n));
+    }
+    if (e.weight < 0.0f) {
+      return Status::InvalidArgument(
+          StrFormat("negative edge weight %f on (%u,%u)",
+                    static_cast<double>(e.weight), e.src, e.dst));
+    }
+  }
+
+  // Materialize arcs: one per edge for directed graphs, two for undirected.
+  std::vector<Edge> arcs;
+  arcs.reserve(options_.directed ? edges_.size() : edges_.size() * 2);
+  for (const Edge& e : edges_) {
+    if (e.src == e.dst && !options_.keep_self_loops) continue;
+    arcs.push_back(e);
+    if (!options_.directed && e.src != e.dst) {
+      arcs.push_back(Edge{e.dst, e.src, e.weight});
+    }
+  }
+  edges_.clear();
+  edges_.shrink_to_fit();
+
+  std::sort(arcs.begin(), arcs.end(), [](const Edge& a, const Edge& b) {
+    if (a.src != b.src) return a.src < b.src;
+    return a.dst < b.dst;
+  });
+
+  // Merge parallel arcs.
+  std::vector<uint64_t> offsets(n + 1, 0);
+  std::vector<Neighbor> neighbors;
+  neighbors.reserve(arcs.size());
+  size_t i = 0;
+  while (i < arcs.size()) {
+    size_t j = i + 1;
+    float w = arcs[i].weight;
+    while (j < arcs.size() && arcs[j].src == arcs[i].src &&
+           arcs[j].dst == arcs[i].dst) {
+      switch (options_.merge) {
+        case GraphBuilderOptions::MergePolicy::kSumWeights:
+          w += arcs[j].weight;
+          break;
+        case GraphBuilderOptions::MergePolicy::kMaxWeight:
+          w = std::max(w, arcs[j].weight);
+          break;
+        case GraphBuilderOptions::MergePolicy::kKeepFirst:
+          break;
+      }
+      ++j;
+    }
+    neighbors.push_back(Neighbor{arcs[i].dst, w});
+    offsets[arcs[i].src + 1]++;
+    i = j;
+  }
+  for (uint32_t u = 0; u < n; ++u) offsets[u + 1] += offsets[u];
+
+  std::vector<float> node_weights;
+  if (!node_weights_.empty()) {
+    node_weights.assign(n, 1.0f);
+    for (const auto& [id, w] : node_weights_) node_weights[id] = w;
+  }
+
+  return Graph(std::move(offsets), std::move(neighbors),
+               std::move(node_weights), options_.directed);
+}
+
+}  // namespace gmine::graph

@@ -1,0 +1,69 @@
+// Mutable accumulator that assembles an immutable CSR Graph.
+//
+// The builder accepts edges in any order, optionally symmetrizes (for
+// undirected graphs), merges parallel edges by summing weights, and drops
+// self-loops unless told otherwise — matching what a co-authorship graph
+// loader needs.
+
+#ifndef GMINE_GRAPH_GRAPH_BUILDER_H_
+#define GMINE_GRAPH_GRAPH_BUILDER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/status.h"
+
+namespace gmine::graph {
+
+/// Tunables for GraphBuilder::Build().
+struct GraphBuilderOptions {
+  /// Produce a directed graph (no symmetrization; num_edges == num_arcs).
+  bool directed = false;
+  /// Keep u->u edges. The partitioner and RWR both assume none, so default
+  /// is to drop them.
+  bool keep_self_loops = false;
+  /// How to combine parallel edges.
+  enum class MergePolicy { kSumWeights, kMaxWeight, kKeepFirst };
+  MergePolicy merge = MergePolicy::kSumWeights;
+};
+
+/// Accumulates edges and node weights, then builds a Graph.
+class GraphBuilder {
+ public:
+  explicit GraphBuilder(GraphBuilderOptions options = {})
+      : options_(options) {}
+
+  /// Ensures the graph contains at least `n` nodes (ids [0,n)).
+  void ReserveNodes(uint32_t n);
+
+  /// Adds an edge; implicitly extends the node range to cover src/dst.
+  void AddEdge(NodeId src, NodeId dst, float weight = 1.0f);
+
+  /// Adds many edges.
+  void AddEdges(const std::vector<Edge>& edges);
+
+  /// Sets the vertex weight of `node` (extends node range if needed).
+  void SetNodeWeight(NodeId node, float weight);
+
+  /// Number of nodes the built graph will have (max id seen + 1, or the
+  /// ReserveNodes() value, whichever is larger).
+  uint32_t num_nodes() const { return num_nodes_; }
+
+  /// Number of AddEdge calls so far (pre-dedup).
+  size_t num_raw_edges() const { return edges_.size(); }
+
+  /// Builds the immutable graph. The builder is left in a valid but
+  /// unspecified state; reuse requires a fresh instance.
+  Result<Graph> Build();
+
+ private:
+  GraphBuilderOptions options_;
+  std::vector<Edge> edges_;
+  std::vector<std::pair<NodeId, float>> node_weights_;
+  uint32_t num_nodes_ = 0;
+};
+
+}  // namespace gmine::graph
+
+#endif  // GMINE_GRAPH_GRAPH_BUILDER_H_

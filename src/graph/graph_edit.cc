@@ -1,0 +1,112 @@
+#include "graph/graph_edit.h"
+
+#include <algorithm>
+
+#include "graph/graph_builder.h"
+#include "util/string_util.h"
+
+namespace gmine::graph {
+
+NodeId GraphEdit::AddNode(float weight) {
+  added_nodes_.push_back(weight);
+  return base_nodes_ + static_cast<NodeId>(added_nodes_.size()) - 1;
+}
+
+void GraphEdit::AddEdge(NodeId u, NodeId v, float weight) {
+  added_edges_.push_back(Edge{u, v, weight});
+}
+
+void GraphEdit::RemoveEdge(NodeId u, NodeId v) {
+  if (u > v) std::swap(u, v);
+  removed_edges_.insert({u, v});
+}
+
+void GraphEdit::RemoveNode(NodeId v) { removed_nodes_.insert(v); }
+
+gmine::Result<EditResult> GraphEdit::Apply(const Graph& base) const {
+  if (base.directed()) {
+    return Status::NotSupported("GraphEdit: directed graphs unsupported");
+  }
+  if (base.num_nodes() != base_nodes_) {
+    return Status::InvalidArgument(
+        StrFormat("GraphEdit: built for %u nodes, applied to %u",
+                  base_nodes_, base.num_nodes()));
+  }
+  const uint32_t provisional_total =
+      base_nodes_ + static_cast<uint32_t>(added_nodes_.size());
+  for (const Edge& e : added_edges_) {
+    if (e.src >= provisional_total || e.dst >= provisional_total) {
+      return Status::InvalidArgument(
+          StrFormat("GraphEdit: edge (%u,%u) outside provisional range %u",
+                    e.src, e.dst, provisional_total));
+    }
+  }
+  for (NodeId v : removed_nodes_) {
+    if (v >= provisional_total) {
+      return Status::InvalidArgument(
+          StrFormat("GraphEdit: removed node %u out of range", v));
+    }
+  }
+
+  // Remap: surviving old nodes first, then surviving added nodes.
+  EditResult out;
+  out.old_to_new.assign(provisional_total, kInvalidNode);
+  NodeId next = 0;
+  for (NodeId v = 0; v < base_nodes_; ++v) {
+    if (!removed_nodes_.count(v)) out.old_to_new[v] = next++;
+  }
+  for (NodeId v = base_nodes_; v < provisional_total; ++v) {
+    if (!removed_nodes_.count(v)) {
+      out.old_to_new[v] = next;
+      out.added_nodes.push_back(next);
+      ++next;
+    }
+  }
+
+  GraphBuilder builder;
+  builder.ReserveNodes(next);
+  // Node weights: carried over for survivors, explicit for added nodes.
+  bool base_weighted = !base.node_weights().empty();
+  for (NodeId v = 0; v < base_nodes_; ++v) {
+    if (out.old_to_new[v] != kInvalidNode && base_weighted) {
+      builder.SetNodeWeight(out.old_to_new[v], base.NodeWeight(v));
+    }
+  }
+  for (size_t i = 0; i < added_nodes_.size(); ++i) {
+    NodeId prov = base_nodes_ + static_cast<NodeId>(i);
+    if (out.old_to_new[prov] != kInvalidNode &&
+        (base_weighted || added_nodes_[i] != 1.0f)) {
+      builder.SetNodeWeight(out.old_to_new[prov], added_nodes_[i]);
+    }
+  }
+
+  auto edge_removed = [&](NodeId u, NodeId v) {
+    if (u > v) std::swap(u, v);
+    return removed_edges_.count({u, v}) > 0;
+  };
+  // Surviving base edges.
+  for (NodeId u = 0; u < base_nodes_; ++u) {
+    if (out.old_to_new[u] == kInvalidNode) continue;
+    for (const Neighbor& nb : base.Neighbors(u)) {
+      if (nb.id < u) continue;
+      if (out.old_to_new[nb.id] == kInvalidNode) continue;
+      if (edge_removed(u, nb.id)) continue;
+      builder.AddEdge(out.old_to_new[u], out.old_to_new[nb.id], nb.weight);
+    }
+  }
+  // Added edges (removals win; dangling endpoints dropped).
+  for (const Edge& e : added_edges_) {
+    if (out.old_to_new[e.src] == kInvalidNode ||
+        out.old_to_new[e.dst] == kInvalidNode) {
+      continue;
+    }
+    if (edge_removed(e.src, e.dst)) continue;
+    builder.AddEdge(out.old_to_new[e.src], out.old_to_new[e.dst], e.weight);
+  }
+  auto built = builder.Build();
+  if (!built.ok()) return built.status();
+  out.graph = std::move(built).value();
+  return out;
+}
+
+}  // namespace gmine::graph

@@ -1,0 +1,76 @@
+// Node/edge edition (§III-B: "GMine also offers pop up node information,
+// edge expansion and edition of nodes and edges").
+//
+// Graphs are immutable, so edits are collected in a GraphEdit and applied
+// to produce a new Graph plus an id remapping (node removal compacts
+// ids). The engine layer uses this to rebuild the hierarchy after an
+// editing session.
+
+#ifndef GMINE_GRAPH_GRAPH_EDIT_H_
+#define GMINE_GRAPH_GRAPH_EDIT_H_
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/status.h"
+
+namespace gmine::graph {
+
+/// Result of applying an edit: the new graph and the id remapping.
+struct EditResult {
+  Graph graph;
+  /// old node id -> new node id; kInvalidNode for removed nodes. Newly
+  /// added nodes receive ids following the surviving old nodes, in
+  /// insertion order.
+  std::vector<NodeId> old_to_new;
+  /// Ids of the added nodes in the new graph, in insertion order.
+  std::vector<NodeId> added_nodes;
+};
+
+/// A batch of mutations over a base graph with `base_nodes` nodes.
+///
+/// New nodes are addressed with provisional ids `base_nodes`,
+/// `base_nodes+1`, ... so edges to them can be added before Apply().
+class GraphEdit {
+ public:
+  /// Starts an edit over a graph with `base_nodes` nodes.
+  explicit GraphEdit(uint32_t base_nodes) : base_nodes_(base_nodes) {}
+
+  /// Adds a node; returns its provisional id.
+  NodeId AddNode(float weight = 1.0f);
+
+  /// Adds an undirected edge between existing or provisional ids.
+  void AddEdge(NodeId u, NodeId v, float weight = 1.0f);
+
+  /// Removes an edge (no-op when absent at Apply time).
+  void RemoveEdge(NodeId u, NodeId v);
+
+  /// Removes a node and all its incident edges.
+  void RemoveNode(NodeId v);
+
+  /// Number of queued operations (diagnostics).
+  size_t num_ops() const {
+    return added_nodes_.size() + added_edges_.size() +
+           removed_edges_.size() + removed_nodes_.size();
+  }
+
+  bool empty() const { return num_ops() == 0; }
+
+  /// Applies the batch to `base` (whose size must match base_nodes).
+  /// Removals win over additions for the same edge; removing a
+  /// provisional node is allowed. Directed graphs are not supported.
+  gmine::Result<EditResult> Apply(const Graph& base) const;
+
+ private:
+  uint32_t base_nodes_;
+  std::vector<float> added_nodes_;  // weights, provisional ids in order
+  std::vector<Edge> added_edges_;
+  std::set<std::pair<NodeId, NodeId>> removed_edges_;  // normalized u<v
+  std::set<NodeId> removed_nodes_;
+};
+
+}  // namespace gmine::graph
+
+#endif  // GMINE_GRAPH_GRAPH_EDIT_H_

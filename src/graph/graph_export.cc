@@ -1,0 +1,137 @@
+#include "graph/graph_export.h"
+
+#include "graph/graph_io.h"
+#include "util/string_util.h"
+
+namespace gmine::graph {
+
+namespace {
+
+// Escapes a string for a double-quoted DOT identifier.
+std::string DotEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+// Escapes XML attribute/text content.
+std::string XmlEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '&':
+        out += "&amp;";
+        break;
+      case '<':
+        out += "&lt;";
+        break;
+      case '>':
+        out += "&gt;";
+        break;
+      case '"':
+        out += "&quot;";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string FormatDot(const Graph& g, const LabelStore* labels,
+                      const ExportOptions& options) {
+  const bool directed = g.directed();
+  std::string out = StrFormat("%s \"%s\" {\n",
+                              directed ? "digraph" : "graph",
+                              DotEscape(options.graph_name).c_str());
+  const bool with_labels =
+      options.include_labels && labels != nullptr && !labels->empty();
+  if (with_labels) {
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      std::string_view label = labels->Label(v);
+      if (label.empty()) continue;
+      out += StrFormat("  n%u [label=\"%s\"];\n", v,
+                       DotEscape(label).c_str());
+    }
+  }
+  const char* connector = directed ? "->" : "--";
+  for (const Edge& e : g.CollectEdges()) {
+    if (options.include_weights && e.weight != 1.0f) {
+      out += StrFormat("  n%u %s n%u [weight=%.6g];\n", e.src, connector,
+                       e.dst, static_cast<double>(e.weight));
+    } else {
+      out += StrFormat("  n%u %s n%u;\n", e.src, connector, e.dst);
+    }
+  }
+  out += "}\n";
+  return out;
+}
+
+std::string FormatGraphMl(const Graph& g, const LabelStore* labels,
+                          const ExportOptions& options) {
+  std::string out =
+      "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n"
+      "<graphml xmlns=\"http://graphml.graphdrawing.org/xmlns\">\n";
+  const bool with_labels =
+      options.include_labels && labels != nullptr && !labels->empty();
+  if (with_labels) {
+    out +=
+        "  <key id=\"label\" for=\"node\" attr.name=\"label\" "
+        "attr.type=\"string\"/>\n";
+  }
+  if (options.include_weights) {
+    out +=
+        "  <key id=\"weight\" for=\"edge\" attr.name=\"weight\" "
+        "attr.type=\"double\"/>\n";
+  }
+  out += StrFormat("  <graph id=\"%s\" edgedefault=\"%s\">\n",
+                   XmlEscape(options.graph_name).c_str(),
+                   g.directed() ? "directed" : "undirected");
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    std::string_view label = with_labels ? labels->Label(v) :
+                                           std::string_view{};
+    if (!label.empty()) {
+      out += StrFormat(
+          "    <node id=\"n%u\"><data key=\"label\">%s</data></node>\n", v,
+          XmlEscape(label).c_str());
+    } else {
+      out += StrFormat("    <node id=\"n%u\"/>\n", v);
+    }
+  }
+  uint64_t eid = 0;
+  for (const Edge& e : g.CollectEdges()) {
+    if (options.include_weights) {
+      out += StrFormat(
+          "    <edge id=\"e%llu\" source=\"n%u\" target=\"n%u\"><data "
+          "key=\"weight\">%.6g</data></edge>\n",
+          static_cast<unsigned long long>(eid++), e.src, e.dst,
+          static_cast<double>(e.weight));
+    } else {
+      out += StrFormat(
+          "    <edge id=\"e%llu\" source=\"n%u\" target=\"n%u\"/>\n",
+          static_cast<unsigned long long>(eid++), e.src, e.dst);
+    }
+  }
+  out += "  </graph>\n</graphml>\n";
+  return out;
+}
+
+Status WriteDotFile(const Graph& g, const std::string& path,
+                    const LabelStore* labels, const ExportOptions& options) {
+  return WriteStringToFile(FormatDot(g, labels, options), path);
+}
+
+Status WriteGraphMlFile(const Graph& g, const std::string& path,
+                        const LabelStore* labels,
+                        const ExportOptions& options) {
+  return WriteStringToFile(FormatGraphMl(g, labels, options), path);
+}
+
+}  // namespace gmine::graph

@@ -1,0 +1,48 @@
+// Interop exports: Graphviz DOT and GraphML. GMine is a visualization
+// system; downstream users routinely hand subgraphs to other tools, so
+// both formats carry labels and edge weights.
+
+#ifndef GMINE_GRAPH_GRAPH_EXPORT_H_
+#define GMINE_GRAPH_GRAPH_EXPORT_H_
+
+#include <string>
+
+#include "graph/graph.h"
+#include "graph/labels.h"
+#include "util/status.h"
+
+namespace gmine::graph {
+
+/// Export tunables.
+struct ExportOptions {
+  /// Emit labels (requires `labels` passed to the exporter).
+  bool include_labels = true;
+  /// Emit edge weights (as `weight` attributes / DOT labels).
+  bool include_weights = true;
+  /// DOT graph name / GraphML graph id.
+  std::string graph_name = "gmine";
+};
+
+/// Formats the graph in Graphviz DOT ("graph { a -- b; }" for undirected,
+/// "digraph { a -> b; }" for directed). `labels` may be null.
+std::string FormatDot(const Graph& g, const LabelStore* labels = nullptr,
+                      const ExportOptions& options = {});
+
+/// Formats the graph as GraphML (yEd/Gephi-compatible minimal profile).
+std::string FormatGraphMl(const Graph& g,
+                          const LabelStore* labels = nullptr,
+                          const ExportOptions& options = {});
+
+/// Writes FormatDot to a file.
+Status WriteDotFile(const Graph& g, const std::string& path,
+                    const LabelStore* labels = nullptr,
+                    const ExportOptions& options = {});
+
+/// Writes FormatGraphMl to a file.
+Status WriteGraphMlFile(const Graph& g, const std::string& path,
+                        const LabelStore* labels = nullptr,
+                        const ExportOptions& options = {});
+
+}  // namespace gmine::graph
+
+#endif  // GMINE_GRAPH_GRAPH_EXPORT_H_

@@ -1,0 +1,56 @@
+// Graph (de)serialization: whitespace edge lists, the METIS text format,
+// and GMine's own binary CSR format (magic + checksummed sections).
+
+#ifndef GMINE_GRAPH_GRAPH_IO_H_
+#define GMINE_GRAPH_GRAPH_IO_H_
+
+#include <string>
+
+#include "graph/graph.h"
+#include "util/status.h"
+
+namespace gmine::graph {
+
+/// Parses an edge-list: one "src dst [weight]" per line; '#' or '%'
+/// comments; undirected unless `directed`.
+Result<Graph> ParseEdgeList(std::string_view text, bool directed = false);
+
+/// Reads an edge-list file (see ParseEdgeList).
+Result<Graph> ReadEdgeListFile(const std::string& path,
+                               bool directed = false);
+
+/// Writes "src dst weight" lines, one undirected edge (or directed arc)
+/// per line.
+Status WriteEdgeListFile(const Graph& g, const std::string& path);
+
+/// Parses the METIS .graph format: header "n m [fmt [ncon]]", then one
+/// line per node listing 1-based neighbor ids (optionally with weights,
+/// fmt=1 or 11). Undirected by definition.
+Result<Graph> ParseMetisGraph(std::string_view text);
+
+/// Writes the METIS .graph format (fmt=001: edge weights when any weight
+/// differs from 1).
+std::string FormatMetisGraph(const Graph& g);
+
+/// Serializes the graph into GMine's binary format (see graph_io.cc for
+/// the layout); the blob embeds a checksum.
+std::string SerializeGraph(const Graph& g);
+
+/// Parses a blob produced by SerializeGraph, verifying the checksum.
+Result<Graph> DeserializeGraph(std::string_view blob);
+
+/// Writes the binary format to `path`.
+Status WriteGraphFile(const Graph& g, const std::string& path);
+
+/// Reads the binary format from `path`.
+Result<Graph> ReadGraphFile(const std::string& path);
+
+/// Reads an entire file into a string.
+Result<std::string> ReadFileToString(const std::string& path);
+
+/// Writes a string to a file (truncating).
+Status WriteStringToFile(std::string_view data, const std::string& path);
+
+}  // namespace gmine::graph
+
+#endif  // GMINE_GRAPH_GRAPH_IO_H_

@@ -1,0 +1,84 @@
+#include "graph/labels.h"
+
+#include "util/coding.h"
+
+namespace gmine::graph {
+
+LabelStore::LabelStore(std::vector<std::string> labels)
+    : labels_(std::move(labels)) {
+  for (size_t i = 0; i < labels_.size(); ++i) {
+    if (!labels_[i].empty()) {
+      IndexLabel(static_cast<NodeId>(i), labels_[i]);
+    }
+  }
+}
+
+void LabelStore::SetLabel(NodeId node, std::string label) {
+  if (node >= labels_.size()) labels_.resize(node + 1);
+  if (!labels_[node].empty()) {
+    // Drop the stale index entry.
+    auto [lo, hi] = by_label_.equal_range(labels_[node]);
+    for (auto it = lo; it != hi; ++it) {
+      if (it->second == node) {
+        by_label_.erase(it);
+        break;
+      }
+    }
+  }
+  labels_[node] = std::move(label);
+  if (!labels_[node].empty()) IndexLabel(node, labels_[node]);
+}
+
+std::string_view LabelStore::Label(NodeId node) const {
+  if (node >= labels_.size()) return {};
+  return labels_[node];
+}
+
+NodeId LabelStore::Find(std::string_view label) const {
+  auto [lo, hi] = by_label_.equal_range(std::string(label));
+  NodeId best = kInvalidNode;
+  for (auto it = lo; it != hi; ++it) best = std::min(best, it->second);
+  return best;
+}
+
+std::vector<NodeId> LabelStore::FindByPrefix(std::string_view prefix,
+                                             size_t limit) const {
+  std::vector<NodeId> out;
+  for (auto it = by_label_.lower_bound(std::string(prefix));
+       it != by_label_.end() && out.size() < limit; ++it) {
+    std::string_view label = it->first;
+    if (label.substr(0, prefix.size()) != prefix) break;
+    out.push_back(it->second);
+  }
+  return out;
+}
+
+void LabelStore::IndexLabel(NodeId node, const std::string& label) {
+  by_label_.emplace(label, node);
+}
+
+std::string LabelStore::Serialize() const {
+  std::string blob;
+  PutVarint64(&blob, labels_.size());
+  for (const std::string& s : labels_) PutLengthPrefixed(&blob, s);
+  return blob;
+}
+
+Result<LabelStore> LabelStore::Deserialize(std::string_view blob) {
+  uint64_t n = 0;
+  if (!GetVarint64(&blob, &n)) {
+    return Status::Corruption("label store: bad count");
+  }
+  std::vector<std::string> labels;
+  labels.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    std::string_view s;
+    if (!GetLengthPrefixed(&blob, &s)) {
+      return Status::Corruption("label store: truncated label");
+    }
+    labels.emplace_back(s);
+  }
+  return LabelStore(std::move(labels));
+}
+
+}  // namespace gmine::graph

@@ -1,0 +1,67 @@
+// Node label store with an exact + prefix lookup index.
+//
+// In the DBLP scenario every node is an author name; the paper's §III-B
+// "label query to locate a specific author within the hierarchy" needs a
+// reverse index from label to node id. Labels are optional: graphs without
+// labels simply skip this store.
+
+#ifndef GMINE_GRAPH_LABELS_H_
+#define GMINE_GRAPH_LABELS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/status.h"
+
+namespace gmine::graph {
+
+/// Maps node ids to string labels and back.
+class LabelStore {
+ public:
+  LabelStore() = default;
+
+  /// Bulk-loads labels; index i becomes the label of node i.
+  explicit LabelStore(std::vector<std::string> labels);
+
+  /// Sets the label of `node`, extending the store as needed.
+  void SetLabel(NodeId node, std::string label);
+
+  /// Label of `node`, or "" when unset/out of range.
+  std::string_view Label(NodeId node) const;
+
+  /// Number of label slots (max node id set + 1).
+  uint32_t size() const { return static_cast<uint32_t>(labels_.size()); }
+
+  bool empty() const { return labels_.empty(); }
+
+  /// Exact lookup. Returns kInvalidNode when absent. When several nodes
+  /// share a label the lowest id wins.
+  NodeId Find(std::string_view label) const;
+
+  /// All node ids whose label starts with `prefix`, in label order,
+  /// capped at `limit` results.
+  std::vector<NodeId> FindByPrefix(std::string_view prefix,
+                                   size_t limit = 100) const;
+
+  /// Serializes to a length-prefixed blob (for the G-Tree file).
+  std::string Serialize() const;
+
+  /// Parses a blob produced by Serialize().
+  static Result<LabelStore> Deserialize(std::string_view blob);
+
+ private:
+  void IndexLabel(NodeId node, const std::string& label);
+
+  std::vector<std::string> labels_;
+  // Sorted index label -> node id; multimap to tolerate duplicate labels.
+  std::multimap<std::string, NodeId> by_label_;
+};
+
+}  // namespace gmine::graph
+
+#endif  // GMINE_GRAPH_LABELS_H_

@@ -1,0 +1,68 @@
+#include "graph/subgraph.h"
+
+#include "graph/graph_builder.h"
+#include "util/string_util.h"
+
+namespace gmine::graph {
+
+Result<Subgraph> InducedSubgraph(const Graph& g,
+                                 const std::vector<NodeId>& nodes) {
+  Subgraph out;
+  out.to_parent = nodes;
+  out.to_local.reserve(nodes.size());
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    NodeId p = nodes[i];
+    if (p >= g.num_nodes()) {
+      return Status::InvalidArgument(
+          StrFormat("node %u out of range %u", p, g.num_nodes()));
+    }
+    auto [it, inserted] = out.to_local.emplace(p, static_cast<NodeId>(i));
+    if (!inserted) {
+      return Status::InvalidArgument(StrFormat("duplicate node %u", p));
+    }
+  }
+
+  GraphBuilderOptions opts;
+  opts.directed = g.directed();
+  GraphBuilder builder(opts);
+  builder.ReserveNodes(static_cast<uint32_t>(nodes.size()));
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    NodeId p = nodes[i];
+    if (!g.node_weights().empty()) {
+      builder.SetNodeWeight(static_cast<NodeId>(i), g.NodeWeight(p));
+    }
+    for (const Neighbor& nb : g.Neighbors(p)) {
+      auto it = out.to_local.find(nb.id);
+      if (it == out.to_local.end()) continue;
+      NodeId local_dst = it->second;
+      // For undirected graphs each edge appears as two arcs; emit each
+      // undirected edge once (builder symmetrizes).
+      if (!g.directed() && local_dst < static_cast<NodeId>(i)) continue;
+      builder.AddEdge(static_cast<NodeId>(i), local_dst, nb.weight);
+    }
+  }
+  auto built = builder.Build();
+  if (!built.ok()) return built.status();
+  out.graph = std::move(built).value();
+  return out;
+}
+
+uint64_t BoundaryEdgeCount(const Graph& g, const std::vector<NodeId>& nodes) {
+  std::unordered_map<NodeId, NodeId> member;
+  member.reserve(nodes.size());
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    member.emplace(nodes[i], static_cast<NodeId>(i));
+  }
+  uint64_t crossing = 0;
+  for (NodeId u : nodes) {
+    if (u >= g.num_nodes()) continue;
+    for (const Neighbor& nb : g.Neighbors(u)) {
+      if (!member.count(nb.id)) ++crossing;
+    }
+  }
+  // Undirected: each crossing edge was seen exactly once (the outside
+  // endpoint is not iterated), so no halving is needed.
+  return crossing;
+}
+
+}  // namespace gmine::graph

@@ -1,0 +1,53 @@
+// Induced subgraphs with id mappings back to the parent graph.
+//
+// The G-Tree stores, for every leaf community, the subgraph induced by the
+// community's member nodes; the connection-subgraph extractor returns an
+// induced subgraph over the selected node set. Both need to map local ids
+// back to the original graph (for labels, for cross-referencing).
+
+#ifndef GMINE_GRAPH_SUBGRAPH_H_
+#define GMINE_GRAPH_SUBGRAPH_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/status.h"
+
+namespace gmine::graph {
+
+/// An induced subgraph plus the bidirectional id mapping.
+struct Subgraph {
+  /// The induced graph; local ids are [0, graph.num_nodes()).
+  Graph graph;
+  /// local id -> parent id.
+  std::vector<NodeId> to_parent;
+  /// parent id -> local id (contains exactly the member nodes).
+  std::unordered_map<NodeId, NodeId> to_local;
+
+  /// Parent id of local node `v`.
+  NodeId ParentId(NodeId v) const { return to_parent[v]; }
+
+  /// Local id of parent node `p`, or kInvalidNode when not a member.
+  NodeId LocalId(NodeId p) const {
+    auto it = to_local.find(p);
+    return it == to_local.end() ? kInvalidNode : it->second;
+  }
+};
+
+/// Builds the subgraph of `g` induced by `nodes`.
+///
+/// Duplicate entries in `nodes` are rejected; out-of-range ids are
+/// rejected. Local ids follow the order of `nodes`. Edge weights are
+/// preserved; node weights are carried over from `g`.
+Result<Subgraph> InducedSubgraph(const Graph& g,
+                                 const std::vector<NodeId>& nodes);
+
+/// Number of edges of `g` crossing between `nodes` and the rest of `g`
+/// (undirected edges counted once; for directed graphs counts arcs in both
+/// directions). Used to compute connectivity edges and cut diagnostics.
+uint64_t BoundaryEdgeCount(const Graph& g, const std::vector<NodeId>& nodes);
+
+}  // namespace gmine::graph
+
+#endif  // GMINE_GRAPH_SUBGRAPH_H_

@@ -1,0 +1,215 @@
+#include "gtree/builder.h"
+
+#include <algorithm>
+
+#include "graph/subgraph.h"
+#include "util/string_util.h"
+#include "util/timer.h"
+
+namespace gmine::gtree {
+
+using graph::Graph;
+using graph::NodeId;
+using graph::Subgraph;
+
+namespace {
+
+struct BuildContext {
+  const Graph* g;
+  const GTreeBuildOptions* options;
+  uint32_t min_size;
+  GTreeBuildStats* stats;
+  std::vector<TreeNode>* nodes;
+};
+
+// Recursively builds the subtree for `members`, writing into
+// ctx->nodes[id]. Pre-order id assignment: the caller has already pushed
+// the node; this fills members/children.
+Status BuildSubtree(BuildContext* ctx, TreeNodeId id,
+                    std::vector<NodeId> members, uint32_t depth) {
+  std::vector<TreeNode>& nodes = *ctx->nodes;
+  nodes[id].subtree_size = members.size();
+
+  const bool at_bottom = depth >= ctx->options->levels;
+  const bool too_small = members.size() <= ctx->min_size;
+  if (at_bottom || too_small || members.size() < 2) {
+    nodes[id].members = std::move(members);
+    return Status::OK();
+  }
+
+  auto sub = graph::InducedSubgraph(*ctx->g, members);
+  if (!sub.ok()) return sub.status();
+  const Subgraph& s = sub.value();
+
+  partition::PartitionOptions popts = ctx->options->partition;
+  popts.k = ctx->options->fanout;
+  // Derive a distinct seed per community so sibling partitions differ.
+  popts.seed = ctx->options->partition.seed ^
+               (static_cast<uint64_t>(id) * 0x9e3779b97f4a7c15ULL + depth);
+  StopWatch watch;
+  auto part = partition::PartitionGraph(s.graph, popts);
+  if (!part.ok()) return part.status();
+  if (ctx->stats != nullptr) {
+    ctx->stats->partition_calls++;
+    ctx->stats->total_edge_cut += part.value().edge_cut;
+    ctx->stats->partition_micros += watch.ElapsedMicros();
+  }
+
+  // Group members by part, dropping empty parts.
+  std::vector<std::vector<NodeId>> groups(popts.k);
+  for (uint32_t local = 0; local < s.graph.num_nodes(); ++local) {
+    groups[part.value().assignment[local]].push_back(s.ParentId(local));
+  }
+  uint32_t non_empty = 0;
+  for (const auto& grp : groups) non_empty += !grp.empty();
+  if (non_empty <= 1) {
+    // Partitioner could not split (e.g. tiny or degenerate community):
+    // make this a leaf rather than recursing forever.
+    nodes[id].members = std::move(members);
+    return Status::OK();
+  }
+
+  for (auto& grp : groups) {
+    if (grp.empty()) continue;
+    TreeNodeId child = static_cast<TreeNodeId>(nodes.size());
+    TreeNode tn;
+    tn.id = child;
+    tn.parent = id;
+    tn.depth = depth + 1;
+    tn.name = StrFormat("s%03u", child);
+    nodes.push_back(std::move(tn));
+    nodes[id].children.push_back(child);
+    GMINE_RETURN_IF_ERROR(BuildSubtree(ctx, child, std::move(grp), depth + 1));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+gmine::Result<GTree> BuildGTree(const Graph& g,
+                                const GTreeBuildOptions& options,
+                                GTreeBuildStats* stats) {
+  if (g.directed()) {
+    return Status::InvalidArgument("BuildGTree: directed graphs unsupported");
+  }
+  if (options.levels == 0 || options.fanout < 2) {
+    return Status::InvalidArgument(
+        "BuildGTree: need levels >= 1 and fanout >= 2");
+  }
+  if (g.num_nodes() == 0) {
+    return Status::InvalidArgument("BuildGTree: empty graph");
+  }
+  uint32_t min_size = options.min_partition_size > 0
+                          ? options.min_partition_size
+                          : 2 * options.fanout;
+
+  std::vector<TreeNode> nodes;
+  TreeNode root;
+  root.id = 0;
+  root.parent = kInvalidTreeNode;
+  root.depth = 0;
+  root.name = "s000";
+  nodes.push_back(std::move(root));
+
+  std::vector<NodeId> all(g.num_nodes());
+  for (NodeId v = 0; v < g.num_nodes(); ++v) all[v] = v;
+
+  BuildContext ctx{&g, &options, min_size, stats, &nodes};
+  GMINE_RETURN_IF_ERROR(BuildSubtree(&ctx, 0, std::move(all), 0));
+  return GTree::FromNodes(std::move(nodes), g.num_nodes());
+}
+
+gmine::Result<GTree> BuildGTreeFromAssignment(
+    uint32_t num_graph_nodes, const std::vector<uint32_t>& leaf_assignment,
+    uint32_t num_leaves, uint32_t fanout) {
+  if (fanout < 2) {
+    return Status::InvalidArgument("BuildGTreeFromAssignment: fanout >= 2");
+  }
+  if (leaf_assignment.size() != num_graph_nodes) {
+    return Status::InvalidArgument(
+        "BuildGTreeFromAssignment: assignment size mismatch");
+  }
+  if (num_leaves == 0) {
+    return Status::InvalidArgument("BuildGTreeFromAssignment: no leaves");
+  }
+  for (uint32_t a : leaf_assignment) {
+    if (a >= num_leaves) {
+      return Status::InvalidArgument(
+          "BuildGTreeFromAssignment: assignment out of range");
+    }
+  }
+
+  // Temporary bottom-up structure: level 0 = leaves; then group every
+  // `fanout` consecutive groups into a parent until one remains.
+  struct TempNode {
+    std::vector<int> children;  // temp indices
+    int leaf_index = -1;        // >= 0 for leaves
+  };
+  std::vector<TempNode> temp;
+  std::vector<int> level;
+  for (uint32_t leaf = 0; leaf < num_leaves; ++leaf) {
+    temp.push_back(TempNode{{}, static_cast<int>(leaf)});
+    level.push_back(static_cast<int>(temp.size()) - 1);
+  }
+  while (level.size() > 1) {
+    std::vector<int> next;
+    for (size_t i = 0; i < level.size(); i += fanout) {
+      TempNode parent;
+      for (size_t j = i; j < std::min(level.size(), i + fanout); ++j) {
+        parent.children.push_back(level[j]);
+      }
+      temp.push_back(std::move(parent));
+      next.push_back(static_cast<int>(temp.size()) - 1);
+    }
+    level = std::move(next);
+  }
+  int temp_root = level[0];
+
+  // Pre-order renumber into final TreeNodes.
+  std::vector<std::vector<NodeId>> leaf_members(num_leaves);
+  for (NodeId v = 0; v < num_graph_nodes; ++v) {
+    leaf_members[leaf_assignment[v]].push_back(v);
+  }
+  std::vector<TreeNode> nodes;
+  struct Frame {
+    int temp_id;
+    TreeNodeId parent;
+    uint32_t depth;
+  };
+  std::vector<Frame> stack = {{temp_root, kInvalidTreeNode, 0}};
+  // Use explicit stack but preserve child order: push children reversed.
+  while (!stack.empty()) {
+    Frame f = stack.back();
+    stack.pop_back();
+    TreeNodeId id = static_cast<TreeNodeId>(nodes.size());
+    TreeNode tn;
+    tn.id = id;
+    tn.parent = f.parent;
+    tn.depth = f.depth;
+    tn.name = StrFormat("s%03u", id);
+    const TempNode& t = temp[f.temp_id];
+    if (t.leaf_index >= 0) {
+      tn.members = leaf_members[t.leaf_index];
+      tn.subtree_size = tn.members.size();
+    }
+    nodes.push_back(std::move(tn));
+    if (f.parent != kInvalidTreeNode) {
+      nodes[f.parent].children.push_back(id);
+    }
+    for (auto it = t.children.rbegin(); it != t.children.rend(); ++it) {
+      stack.push_back({*it, id, f.depth + 1});
+    }
+  }
+  // Children were appended in pre-order traversal order; subtree sizes
+  // accumulate bottom-up (ids are pre-order so children have larger ids).
+  for (size_t i = nodes.size(); i > 0; --i) {
+    TreeNode& tn = nodes[i - 1];
+    if (!tn.IsLeaf()) {
+      tn.subtree_size = 0;
+      for (TreeNodeId c : tn.children) tn.subtree_size += nodes[c].subtree_size;
+    }
+  }
+  return GTree::FromNodes(std::move(nodes), num_graph_nodes);
+}
+
+}  // namespace gmine::gtree

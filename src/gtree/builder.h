@@ -1,0 +1,61 @@
+// G-Tree construction (§III-A): "given a graph, we perform a sequence of
+// recursive partitionings to achieve a hierarchy of communities-within-
+// communities. At each recursion, each partition is submitted to a new
+// partitioning cycle ... until we get the desired granularity."
+//
+// The paper's demo configuration — DBLP, 5 levels with 5 partitions each,
+// giving 5^4 + 1 ... = 626 communities with ~500 nodes each — is
+// reproduced by bench_gtree_build.
+
+#ifndef GMINE_GTREE_BUILDER_H_
+#define GMINE_GTREE_BUILDER_H_
+
+#include <cstdint>
+
+#include "gtree/gtree.h"
+#include "partition/partitioner.h"
+#include "util/status.h"
+
+namespace gmine::gtree {
+
+/// Tunables for BuildGTree.
+struct GTreeBuildOptions {
+  /// Levels of recursive partitioning below the root (the paper uses 5).
+  uint32_t levels = 3;
+  /// Partitions per recursion (the paper uses 5).
+  uint32_t fanout = 5;
+  /// Communities at or below this size are not partitioned further even
+  /// if `levels` has not been reached (granularity stop).
+  uint32_t min_partition_size = 0;  // 0 = derive as 2 * fanout
+  /// Partitioner settings; `k` is overridden by `fanout`.
+  partition::PartitionOptions partition;
+};
+
+/// Build statistics (reported by bench_gtree_build).
+struct GTreeBuildStats {
+  uint64_t partition_calls = 0;
+  /// Sum of edge cuts over all partition calls.
+  double total_edge_cut = 0.0;
+  /// Wall time spent inside the partitioner, microseconds.
+  int64_t partition_micros = 0;
+};
+
+/// Recursively partitions `g` into a G-Tree. Every graph node ends up in
+/// exactly one leaf. Empty parts are dropped (a community with fewer
+/// members than `fanout` simply gets fewer children).
+gmine::Result<GTree> BuildGTree(const graph::Graph& g,
+                                const GTreeBuildOptions& options,
+                                GTreeBuildStats* stats = nullptr);
+
+/// Builds a G-Tree from a known assignment hierarchy instead of running
+/// the partitioner: `leaf_assignment[v]` gives node v's leaf community in
+/// [0, num_leaves) and leaves are grouped into a balanced tree of the
+/// given fanout. Used by tests and by workloads with planted ground
+/// truth.
+gmine::Result<GTree> BuildGTreeFromAssignment(
+    uint32_t num_graph_nodes, const std::vector<uint32_t>& leaf_assignment,
+    uint32_t num_leaves, uint32_t fanout);
+
+}  // namespace gmine::gtree
+
+#endif  // GMINE_GTREE_BUILDER_H_

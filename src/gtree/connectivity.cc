@@ -1,0 +1,140 @@
+#include "gtree/connectivity.h"
+
+#include <algorithm>
+
+#include "util/coding.h"
+
+namespace gmine::gtree {
+
+using graph::Graph;
+using graph::Neighbor;
+using graph::NodeId;
+
+ConnectivityIndex ConnectivityIndex::Build(const Graph& g,
+                                           const GTree& tree) {
+  ConnectivityIndex index;
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    TreeNodeId leaf_u = tree.LeafOf(u);
+    for (const Neighbor& nb : g.Neighbors(u)) {
+      if (nb.id <= u) continue;  // each undirected edge once
+      TreeNodeId leaf_v = tree.LeafOf(nb.id);
+      if (leaf_u == leaf_v) continue;  // intra-community edge
+      TreeNodeId lca = tree.LowestCommonAncestor(leaf_u, leaf_v);
+      // Paths from each leaf up to (excluding) the LCA.
+      std::vector<TreeNodeId> path_u;
+      for (TreeNodeId x = leaf_u; x != lca; x = tree.node(x).parent) {
+        path_u.push_back(x);
+      }
+      std::vector<TreeNodeId> path_v;
+      for (TreeNodeId y = leaf_v; y != lca; y = tree.node(y).parent) {
+        path_v.push_back(y);
+      }
+      for (TreeNodeId x : path_u) {
+        for (TreeNodeId y : path_v) {
+          PairStats& ps = index.pairs_[Key(x, y)];
+          if (ps.count == 0) {
+            index.adjacent_[x].push_back(y);
+            index.adjacent_[y].push_back(x);
+          }
+          ps.count += 1;
+          ps.weight += nb.weight;
+        }
+      }
+    }
+  }
+  return index;
+}
+
+uint64_t ConnectivityIndex::CountBetween(TreeNodeId a, TreeNodeId b) const {
+  auto it = pairs_.find(Key(a, b));
+  return it == pairs_.end() ? 0 : it->second.count;
+}
+
+double ConnectivityIndex::WeightBetween(TreeNodeId a, TreeNodeId b) const {
+  auto it = pairs_.find(Key(a, b));
+  return it == pairs_.end() ? 0.0 : it->second.weight;
+}
+
+std::vector<ConnectivityEdge> ConnectivityIndex::EdgesOf(TreeNodeId id) const {
+  std::vector<ConnectivityEdge> out;
+  auto it = adjacent_.find(id);
+  if (it == adjacent_.end()) return out;
+  for (TreeNodeId other : it->second) {
+    auto ps = pairs_.find(Key(id, other));
+    out.push_back(ConnectivityEdge{id, other, ps->second.count,
+                                   ps->second.weight});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const ConnectivityEdge& x, const ConnectivityEdge& y) {
+              if (x.count != y.count) return x.count > y.count;
+              return x.b < y.b;
+            });
+  return out;
+}
+
+std::vector<ConnectivityEdge> ConnectivityIndex::EdgesAmong(
+    const std::vector<TreeNodeId>& ids) const {
+  std::vector<ConnectivityEdge> out;
+  for (size_t i = 0; i < ids.size(); ++i) {
+    for (size_t j = i + 1; j < ids.size(); ++j) {
+      auto it = pairs_.find(Key(ids[i], ids[j]));
+      if (it == pairs_.end()) continue;
+      out.push_back(ConnectivityEdge{ids[i], ids[j], it->second.count,
+                                     it->second.weight});
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const ConnectivityEdge& x, const ConnectivityEdge& y) {
+              if (x.count != y.count) return x.count > y.count;
+              if (x.a != y.a) return x.a < y.a;
+              return x.b < y.b;
+            });
+  return out;
+}
+
+std::string ConnectivityIndex::Serialize() const {
+  // Deterministic order: sort keys.
+  std::vector<uint64_t> keys;
+  keys.reserve(pairs_.size());
+  for (const auto& [key, _] : pairs_) keys.push_back(key);
+  std::sort(keys.begin(), keys.end());
+  std::string blob;
+  PutVarint64(&blob, keys.size());
+  for (uint64_t key : keys) {
+    const PairStats& ps = pairs_.at(key);
+    PutFixed64(&blob, key);
+    PutVarint64(&blob, ps.count);
+    PutDouble(&blob, ps.weight);
+  }
+  return blob;
+}
+
+gmine::Result<ConnectivityIndex> ConnectivityIndex::Deserialize(
+    std::string_view blob) {
+  ConnectivityIndex index;
+  uint64_t n = 0;
+  if (!GetVarint64(&blob, &n)) {
+    return Status::Corruption("connectivity: bad count");
+  }
+  for (uint64_t i = 0; i < n; ++i) {
+    uint64_t key = 0;
+    uint64_t count = 0;
+    double weight = 0.0;
+    if (!GetFixed64(&blob, &key) || !GetVarint64(&blob, &count) ||
+        !GetDouble(&blob, &weight)) {
+      return Status::Corruption("connectivity: truncated entry");
+    }
+    TreeNodeId a = static_cast<TreeNodeId>(key >> 32);
+    TreeNodeId b = static_cast<TreeNodeId>(key & 0xffffffffu);
+    PairStats& ps = index.pairs_[key];
+    if (ps.count == 0) {
+      index.adjacent_[a].push_back(b);
+      index.adjacent_[b].push_back(a);
+    }
+    ps.count = count;
+    ps.weight = weight;
+  }
+  return index;
+}
+
+}  // namespace gmine::gtree

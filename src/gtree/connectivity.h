@@ -1,0 +1,85 @@
+// Connectivity edges (§III-B, Fig. 2): "connectivity edges ... represent
+// the number of edges between nodes from the original graph, but that are
+// in different communities."
+//
+// For every original edge whose endpoints fall in different leaves, the
+// edge contributes to the connectivity weight of every pair (x, y) where
+// x lies on the path leaf(u)..child-of-LCA and y on leaf(v)..child-of-LCA
+// — i.e. between any two communities on opposite sides of the edge's
+// lowest common ancestor. This generalized aggregation lets the display
+// draw connectivity edges between any two visible communities (siblings,
+// or a community and its "uncle") without touching the original graph.
+
+#ifndef GMINE_GTREE_CONNECTIVITY_H_
+#define GMINE_GTREE_CONNECTIVITY_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "graph/graph.h"
+#include "gtree/gtree.h"
+
+namespace gmine::gtree {
+
+/// One aggregated connectivity edge between two communities.
+struct ConnectivityEdge {
+  TreeNodeId a = kInvalidTreeNode;
+  TreeNodeId b = kInvalidTreeNode;
+  /// Number of original cross edges.
+  uint64_t count = 0;
+  /// Sum of original edge weights.
+  double weight = 0.0;
+};
+
+/// Aggregated cross-community edge counts for a G-Tree.
+class ConnectivityIndex {
+ public:
+  ConnectivityIndex() = default;
+
+  /// Builds the index by a single pass over the graph edges.
+  static ConnectivityIndex Build(const graph::Graph& g, const GTree& tree);
+
+  /// Cross-edge count between the member sets of two communities
+  /// (neither may be an ancestor of the other; otherwise returns 0).
+  uint64_t CountBetween(TreeNodeId a, TreeNodeId b) const;
+
+  /// Cross-edge weight between two communities.
+  double WeightBetween(TreeNodeId a, TreeNodeId b) const;
+
+  /// All connectivity edges incident to `id`, heaviest first.
+  std::vector<ConnectivityEdge> EdgesOf(TreeNodeId id) const;
+
+  /// Connectivity edges among the given set of communities (the display
+  /// set of a Tomahawk context), heaviest first.
+  std::vector<ConnectivityEdge> EdgesAmong(
+      const std::vector<TreeNodeId>& ids) const;
+
+  /// Total number of distinct community pairs with nonzero connectivity.
+  size_t num_pairs() const { return pairs_.size(); }
+
+  /// Serialization for the single-file store.
+  std::string Serialize() const;
+  static gmine::Result<ConnectivityIndex> Deserialize(std::string_view blob);
+
+ private:
+  static uint64_t Key(TreeNodeId a, TreeNodeId b) {
+    if (a > b) std::swap(a, b);
+    return (static_cast<uint64_t>(a) << 32) | b;
+  }
+
+  struct PairStats {
+    uint64_t count = 0;
+    double weight = 0.0;
+  };
+  std::unordered_map<uint64_t, PairStats> pairs_;
+  /// Adjacency: community -> communities it has connectivity with.
+  std::unordered_map<TreeNodeId, std::vector<TreeNodeId>> adjacent_;
+};
+
+}  // namespace gmine::gtree
+
+#endif  // GMINE_GTREE_CONNECTIVITY_H_

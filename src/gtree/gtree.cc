@@ -1,0 +1,169 @@
+#include "gtree/gtree.h"
+
+#include <algorithm>
+
+#include "util/string_util.h"
+
+namespace gmine::gtree {
+
+using graph::NodeId;
+
+gmine::Result<GTree> GTree::FromNodes(std::vector<TreeNode> nodes,
+                                      uint32_t num_graph_nodes) {
+  GTree tree;
+  if (nodes.empty()) {
+    return Status::InvalidArgument("GTree: no nodes");
+  }
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    if (nodes[i].id != i) {
+      return Status::InvalidArgument(
+          StrFormat("GTree: node %zu has id %u", i, nodes[i].id));
+    }
+  }
+  if (nodes[0].parent != kInvalidTreeNode) {
+    return Status::InvalidArgument("GTree: node 0 must be the root");
+  }
+  // Validate parent/child symmetry and compute height/leaf count.
+  for (const TreeNode& tn : nodes) {
+    if (tn.id != 0) {
+      if (tn.parent >= nodes.size()) {
+        return Status::InvalidArgument("GTree: bad parent id");
+      }
+      const TreeNode& p = nodes[tn.parent];
+      if (std::find(p.children.begin(), p.children.end(), tn.id) ==
+          p.children.end()) {
+        return Status::InvalidArgument(
+            StrFormat("GTree: node %u missing from parent %u child list",
+                      tn.id, tn.parent));
+      }
+      if (tn.depth != p.depth + 1) {
+        return Status::InvalidArgument("GTree: inconsistent depth");
+      }
+    }
+    if (!tn.IsLeaf() && !tn.members.empty()) {
+      return Status::InvalidArgument(
+          "GTree: interior nodes must not hold members");
+    }
+  }
+
+  tree.leaf_of_.assign(num_graph_nodes, kInvalidTreeNode);
+  for (const TreeNode& tn : nodes) {
+    if (!tn.IsLeaf()) continue;
+    ++tree.num_leaves_;
+    tree.height_ = std::max(tree.height_, tn.depth);
+    for (NodeId v : tn.members) {
+      if (v >= num_graph_nodes) {
+        return Status::InvalidArgument("GTree: member out of graph range");
+      }
+      if (tree.leaf_of_[v] != kInvalidTreeNode) {
+        return Status::InvalidArgument(
+            StrFormat("GTree: graph node %u in two leaves", v));
+      }
+      tree.leaf_of_[v] = tn.id;
+    }
+  }
+  for (NodeId v = 0; v < num_graph_nodes; ++v) {
+    if (tree.leaf_of_[v] == kInvalidTreeNode) {
+      return Status::InvalidArgument(
+          StrFormat("GTree: graph node %u unassigned", v));
+    }
+  }
+  tree.nodes_ = std::move(nodes);
+  return tree;
+}
+
+std::vector<TreeNodeId> GTree::PathFromRoot(TreeNodeId id) const {
+  std::vector<TreeNodeId> path;
+  for (TreeNodeId cur = id; cur != kInvalidTreeNode;
+       cur = nodes_[cur].parent) {
+    path.push_back(cur);
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+TreeNodeId GTree::LowestCommonAncestor(TreeNodeId a, TreeNodeId b) const {
+  while (a != b) {
+    if (nodes_[a].depth >= nodes_[b].depth) {
+      a = nodes_[a].parent;
+    } else {
+      b = nodes_[b].parent;
+    }
+    if (a == kInvalidTreeNode) return b;
+    if (b == kInvalidTreeNode) return a;
+  }
+  return a;
+}
+
+std::vector<TreeNodeId> GTree::Siblings(TreeNodeId id) const {
+  std::vector<TreeNodeId> out;
+  TreeNodeId p = nodes_[id].parent;
+  if (p == kInvalidTreeNode) return out;
+  for (TreeNodeId c : nodes_[p].children) {
+    if (c != id) out.push_back(c);
+  }
+  return out;
+}
+
+std::vector<TreeNodeId> GTree::LeavesUnder(TreeNodeId id) const {
+  std::vector<TreeNodeId> out;
+  std::vector<TreeNodeId> stack = {id};
+  while (!stack.empty()) {
+    TreeNodeId cur = stack.back();
+    stack.pop_back();
+    const TreeNode& tn = nodes_[cur];
+    if (tn.IsLeaf()) {
+      out.push_back(cur);
+    } else {
+      for (TreeNodeId c : tn.children) stack.push_back(c);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<NodeId> GTree::MembersUnder(TreeNodeId id) const {
+  std::vector<NodeId> out;
+  for (TreeNodeId leaf : LeavesUnder(id)) {
+    const auto& m = nodes_[leaf].members;
+    out.insert(out.end(), m.begin(), m.end());
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+uint64_t GTree::SubtreeNodeCount(TreeNodeId id) const {
+  uint64_t count = 0;
+  std::vector<TreeNodeId> stack = {id};
+  while (!stack.empty()) {
+    TreeNodeId cur = stack.back();
+    stack.pop_back();
+    ++count;
+    for (TreeNodeId c : nodes_[cur].children) stack.push_back(c);
+  }
+  return count;
+}
+
+TreeNodeId GTree::FindByName(std::string_view name) const {
+  for (const TreeNode& tn : nodes_) {
+    if (tn.name == name) return tn.id;
+  }
+  return kInvalidTreeNode;
+}
+
+double GTree::MeanLeafSize() const {
+  if (num_leaves_ == 0) return 0.0;
+  uint64_t total = 0;
+  for (const TreeNode& tn : nodes_) {
+    if (tn.IsLeaf()) total += tn.members.size();
+  }
+  return static_cast<double>(total) / num_leaves_;
+}
+
+std::string GTree::DebugString() const {
+  return StrFormat(
+      "GTree{communities=%u, height=%u, leaves=%u, mean_leaf=%.1f}", size(),
+      height(), num_leaves(), MeanLeafSize());
+}
+
+}  // namespace gmine::gtree

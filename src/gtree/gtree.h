@@ -1,0 +1,118 @@
+// The G-Tree (§III-A): "for each new set of partitions, a new subtree is
+// embedded in an R-tree like structure ... The references for the graph
+// nodes properly said are at the bottom level of the tree."
+//
+// A GTree is the static hierarchy: community tree nodes with parent /
+// children links, and, at the leaves, the member graph-node ids. Leaf
+// payloads (the induced subgraphs) live in the single-file store
+// (gtree_store.h) and are loaded on demand, exactly as the paper
+// describes ("stored in a single file and the nodes are transferred to
+// main memory only when necessary").
+
+#ifndef GMINE_GTREE_GTREE_H_
+#define GMINE_GTREE_GTREE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/status.h"
+
+namespace gmine::gtree {
+
+/// Dense id of a tree node (community).
+using TreeNodeId = uint32_t;
+inline constexpr TreeNodeId kInvalidTreeNode = static_cast<TreeNodeId>(-1);
+
+/// One community in the hierarchy.
+struct TreeNode {
+  TreeNodeId id = kInvalidTreeNode;
+  TreeNodeId parent = kInvalidTreeNode;  // kInvalidTreeNode for the root
+  /// Depth: 0 for the root, increasing toward the leaves.
+  uint32_t depth = 0;
+  /// Children community ids; empty for leaves.
+  std::vector<TreeNodeId> children;
+  /// Graph-node members; populated only for leaves (bottom level).
+  std::vector<graph::NodeId> members;
+  /// Total graph nodes under this subtree (== members.size() at leaves).
+  uint64_t subtree_size = 0;
+  /// Display name, "s000", "s001", ... in creation order (the paper's
+  /// figures label communities s034 etc.).
+  std::string name;
+
+  bool IsLeaf() const { return children.empty(); }
+};
+
+/// The community hierarchy over a graph.
+class GTree {
+ public:
+  GTree() = default;
+
+  /// Assembles a tree from nodes; `nodes[i].id` must equal i and node 0
+  /// must be the root. Validates structure.
+  static gmine::Result<GTree> FromNodes(std::vector<TreeNode> nodes,
+                                        uint32_t num_graph_nodes);
+
+  /// Root id (always 0 for non-empty trees).
+  TreeNodeId root() const { return 0; }
+
+  /// Number of tree nodes (communities, including the root).
+  uint32_t size() const { return static_cast<uint32_t>(nodes_.size()); }
+
+  bool empty() const { return nodes_.empty(); }
+
+  /// Node accessor; `id` must be < size().
+  const TreeNode& node(TreeNodeId id) const { return nodes_[id]; }
+
+  /// Maximum depth (leaves' depth; 0 for a root-only tree).
+  uint32_t height() const { return height_; }
+
+  /// Number of leaves.
+  uint32_t num_leaves() const { return num_leaves_; }
+
+  /// Leaf community containing graph node `v`, or kInvalidTreeNode.
+  TreeNodeId LeafOf(graph::NodeId v) const {
+    return v < leaf_of_.size() ? leaf_of_[v] : kInvalidTreeNode;
+  }
+
+  /// Path from the root to `id`, inclusive.
+  std::vector<TreeNodeId> PathFromRoot(TreeNodeId id) const;
+
+  /// Lowest common ancestor of two tree nodes.
+  TreeNodeId LowestCommonAncestor(TreeNodeId a, TreeNodeId b) const;
+
+  /// Siblings of `id` (same parent, excluding `id`); empty for the root.
+  std::vector<TreeNodeId> Siblings(TreeNodeId id) const;
+
+  /// All leaves under `id`, in id order.
+  std::vector<TreeNodeId> LeavesUnder(TreeNodeId id) const;
+
+  /// All graph nodes under `id` (concatenated leaf members).
+  std::vector<graph::NodeId> MembersUnder(TreeNodeId id) const;
+
+  /// Number of tree nodes in the subtree rooted at `id` (incl. itself).
+  uint64_t SubtreeNodeCount(TreeNodeId id) const;
+
+  /// Find a community by display name; kInvalidTreeNode when absent.
+  TreeNodeId FindByName(std::string_view name) const;
+
+  /// Average leaf community size (graph nodes per leaf).
+  double MeanLeafSize() const;
+
+  /// One-line summary: communities, height, leaves, mean leaf size.
+  std::string DebugString() const;
+
+  /// Direct access for stores/tests.
+  const std::vector<TreeNode>& nodes() const { return nodes_; }
+
+ private:
+  std::vector<TreeNode> nodes_;
+  std::vector<TreeNodeId> leaf_of_;  // graph node -> leaf community
+  uint32_t height_ = 0;
+  uint32_t num_leaves_ = 0;
+};
+
+}  // namespace gmine::gtree
+
+#endif  // GMINE_GTREE_GTREE_H_

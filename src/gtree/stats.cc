@@ -1,0 +1,72 @@
+#include "gtree/stats.h"
+
+#include <algorithm>
+
+#include "util/string_util.h"
+
+namespace gmine::gtree {
+
+using graph::Graph;
+using graph::Neighbor;
+using graph::NodeId;
+
+HierarchyStats ComputeHierarchyStats(const Graph& g, const GTree& tree) {
+  HierarchyStats out;
+  out.levels.resize(tree.height() + 1);
+  for (uint32_t d = 0; d <= tree.height(); ++d) out.levels[d].depth = d;
+
+  for (const TreeNode& tn : tree.nodes()) {
+    LevelStats& ls = out.levels[tn.depth];
+    uint64_t size = tn.subtree_size;
+    if (ls.communities == 0) {
+      ls.min_size = ls.max_size = size;
+    } else {
+      ls.min_size = std::min(ls.min_size, size);
+      ls.max_size = std::max(ls.max_size, size);
+    }
+    ls.mean_size += static_cast<double>(size);
+    ls.communities++;
+    if (tn.IsLeaf()) ls.leaves++;
+  }
+  for (LevelStats& ls : out.levels) {
+    if (ls.communities > 0) ls.mean_size /= ls.communities;
+  }
+
+  out.cross_edges_at.assign(tree.height() + 1, 0);
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    TreeNodeId lu = tree.LeafOf(u);
+    for (const Neighbor& nb : g.Neighbors(u)) {
+      if (nb.id <= u) continue;
+      TreeNodeId lv = tree.LeafOf(nb.id);
+      if (lu == lv) {
+        ++out.intra_leaf_edges;
+        continue;
+      }
+      TreeNodeId lca = tree.LowestCommonAncestor(lu, lv);
+      ++out.cross_edges_at[tree.node(lca).depth];
+    }
+  }
+  return out;
+}
+
+std::string HierarchyStats::ToString() const {
+  std::string out = StrFormat("%-6s %12s %8s %10s %10s %10s %12s\n",
+                              "depth", "communities", "leaves", "min",
+                              "mean", "max", "cross edges");
+  for (const LevelStats& ls : levels) {
+    uint64_t cross = ls.depth < cross_edges_at.size()
+                         ? cross_edges_at[ls.depth]
+                         : 0;
+    out += StrFormat(
+        "%-6u %12u %8u %10llu %10.1f %10llu %12llu\n", ls.depth,
+        ls.communities, ls.leaves,
+        static_cast<unsigned long long>(ls.min_size), ls.mean_size,
+        static_cast<unsigned long long>(ls.max_size),
+        static_cast<unsigned long long>(cross));
+  }
+  out += StrFormat("intra-leaf edges: %llu\n",
+                   static_cast<unsigned long long>(intra_leaf_edges));
+  return out;
+}
+
+}  // namespace gmine::gtree

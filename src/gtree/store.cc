@@ -1,0 +1,354 @@
+#include "gtree/store.h"
+
+#include <algorithm>
+
+#include "graph/graph_io.h"
+#include "util/coding.h"
+#include "util/string_util.h"
+
+namespace gmine::gtree {
+
+using graph::Graph;
+using graph::NodeId;
+using graph::Subgraph;
+
+namespace {
+
+constexpr uint32_t kStoreMagic = 0x47545246;  // "GTRF"
+constexpr uint32_t kStoreVersion = 1;
+// magic, version, 10 fixed64 section fields, 2 fixed32 counts, checksum.
+constexpr size_t kHeaderSize = 4 + 4 + 10 * 8 + 4 + 4 + 8;
+
+std::string SerializeTree(const GTree& tree) {
+  std::string blob;
+  PutVarint32(&blob, tree.size());
+  for (const TreeNode& tn : tree.nodes()) {
+    // parent encoded +1 so the root's kInvalidTreeNode fits a varint.
+    PutVarint32(&blob, tn.parent == kInvalidTreeNode ? 0 : tn.parent + 1);
+    PutVarint32(&blob, tn.depth);
+    PutVarint64(&blob, tn.subtree_size);
+    PutLengthPrefixed(&blob, tn.name);
+    PutVarint32(&blob, static_cast<uint32_t>(tn.children.size()));
+    for (TreeNodeId c : tn.children) PutVarint32(&blob, c);
+    PutVarint32(&blob, static_cast<uint32_t>(tn.members.size()));
+    NodeId prev = 0;
+    for (NodeId m : tn.members) {  // members are sorted ascending
+      PutVarint32(&blob, m - prev);
+      prev = m;
+    }
+  }
+  return blob;
+}
+
+gmine::Result<GTree> DeserializeTree(std::string_view blob,
+                                     uint32_t num_graph_nodes) {
+  uint32_t count = 0;
+  if (!GetVarint32(&blob, &count)) {
+    return Status::Corruption("gtree store: bad tree node count");
+  }
+  std::vector<TreeNode> nodes(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    TreeNode& tn = nodes[i];
+    tn.id = i;
+    uint32_t parent_plus1 = 0;
+    uint32_t nchildren = 0;
+    uint32_t nmembers = 0;
+    std::string_view name;
+    if (!GetVarint32(&blob, &parent_plus1) || !GetVarint32(&blob, &tn.depth) ||
+        !GetVarint64(&blob, &tn.subtree_size) ||
+        !GetLengthPrefixed(&blob, &name) || !GetVarint32(&blob, &nchildren)) {
+      return Status::Corruption("gtree store: truncated tree node");
+    }
+    tn.parent = parent_plus1 == 0 ? kInvalidTreeNode : parent_plus1 - 1;
+    tn.name.assign(name);
+    tn.children.resize(nchildren);
+    for (uint32_t c = 0; c < nchildren; ++c) {
+      if (!GetVarint32(&blob, &tn.children[c])) {
+        return Status::Corruption("gtree store: truncated child list");
+      }
+    }
+    if (!GetVarint32(&blob, &nmembers)) {
+      return Status::Corruption("gtree store: truncated member count");
+    }
+    tn.members.resize(nmembers);
+    NodeId prev = 0;
+    for (uint32_t m = 0; m < nmembers; ++m) {
+      uint32_t delta = 0;
+      if (!GetVarint32(&blob, &delta)) {
+        return Status::Corruption("gtree store: truncated members");
+      }
+      prev += delta;
+      tn.members[m] = prev;
+    }
+  }
+  return GTree::FromNodes(std::move(nodes), num_graph_nodes);
+}
+
+std::string SerializeLeafPayload(const Subgraph& sub) {
+  std::string blob;
+  PutVarint32(&blob, static_cast<uint32_t>(sub.to_parent.size()));
+  NodeId prev = 0;
+  for (NodeId p : sub.to_parent) {  // ascending (leaf members are sorted)
+    PutVarint32(&blob, p - prev);
+    prev = p;
+  }
+  PutLengthPrefixed(&blob, graph::SerializeGraph(sub.graph));
+  return blob;
+}
+
+gmine::Result<LeafPayload> DeserializeLeafPayload(std::string_view blob) {
+  LeafPayload out;
+  uint32_t count = 0;
+  if (!GetVarint32(&blob, &count)) {
+    return Status::Corruption("leaf payload: bad member count");
+  }
+  out.subgraph.to_parent.resize(count);
+  NodeId prev = 0;
+  for (uint32_t i = 0; i < count; ++i) {
+    uint32_t delta = 0;
+    if (!GetVarint32(&blob, &delta)) {
+      return Status::Corruption("leaf payload: truncated members");
+    }
+    prev += delta;
+    out.subgraph.to_parent[i] = prev;
+    out.subgraph.to_local.emplace(prev, i);
+  }
+  std::string_view graph_blob;
+  if (!GetLengthPrefixed(&blob, &graph_blob)) {
+    return Status::Corruption("leaf payload: missing graph blob");
+  }
+  auto g = graph::DeserializeGraph(graph_blob);
+  if (!g.ok()) return g.status();
+  out.subgraph.graph = std::move(g).value();
+  if (out.subgraph.graph.num_nodes() != count) {
+    return Status::Corruption("leaf payload: member/graph size mismatch");
+  }
+  return out;
+}
+
+}  // namespace
+
+GTreeStore::~GTreeStore() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+Status GTreeStore::Create(const std::string& path, const Graph& g,
+                          const GTree& tree, const ConnectivityIndex& conn,
+                          const graph::LabelStore& labels) {
+  // Build section blobs.
+  std::string tree_blob = SerializeTree(tree);
+  std::string conn_blob = conn.Serialize();
+  std::string labels_blob = labels.Serialize();
+
+  std::string pages;
+  std::string directory;
+  uint32_t num_pages = 0;
+  for (const TreeNode& tn : tree.nodes()) {
+    if (!tn.IsLeaf()) continue;
+    auto sub = graph::InducedSubgraph(g, tn.members);
+    if (!sub.ok()) return sub.status();
+    std::string page = SerializeLeafPayload(sub.value());
+    PutVarint32(&directory, tn.id);
+    PutVarint64(&directory, pages.size());  // offset relative to pages base
+    PutVarint64(&directory, page.size());
+    pages += page;
+    ++num_pages;
+  }
+
+  std::string graph_blob = graph::SerializeGraph(g);
+
+  // Section table (absolute offsets).
+  uint64_t tree_off = kHeaderSize;
+  uint64_t conn_off = tree_off + tree_blob.size();
+  uint64_t labels_off = conn_off + conn_blob.size();
+  uint64_t pages_off = labels_off + labels_blob.size();
+  uint64_t dir_off = pages_off + pages.size();
+  uint64_t graph_off = dir_off + directory.size();
+
+  std::string header;
+  PutFixed32(&header, kStoreMagic);
+  PutFixed32(&header, kStoreVersion);
+  PutFixed64(&header, tree_off);
+  PutFixed64(&header, tree_blob.size());
+  PutFixed64(&header, conn_off);
+  PutFixed64(&header, conn_blob.size());
+  PutFixed64(&header, labels_off);
+  PutFixed64(&header, labels_blob.size());
+  PutFixed64(&header, dir_off);
+  PutFixed64(&header, directory.size());
+  PutFixed64(&header, graph_off);
+  PutFixed64(&header, graph_blob.size());
+  PutFixed32(&header, num_pages);
+  PutFixed32(&header, g.num_nodes());
+  PutFixed64(&header, Hash64(header));
+
+  std::string file = header;
+  file += tree_blob;
+  file += conn_blob;
+  file += labels_blob;
+  file += pages;
+  file += directory;
+  file += graph_blob;
+  return graph::WriteStringToFile(file, path);
+}
+
+gmine::Result<std::unique_ptr<GTreeStore>> GTreeStore::Open(
+    const std::string& path, const GTreeStoreOptions& options) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Status::IOError(StrFormat("cannot open %s", path.c_str()));
+  }
+  auto read_at = [f](uint64_t off, uint64_t size,
+                     std::string* out) -> Status {
+    out->resize(size);
+    if (std::fseek(f, static_cast<long>(off), SEEK_SET) != 0) {
+      return Status::IOError("seek failed");
+    }
+    if (std::fread(out->data(), 1, size, f) != size) {
+      return Status::IOError("short read");
+    }
+    return Status::OK();
+  };
+
+  std::unique_ptr<GTreeStore> store(new GTreeStore());
+  store->file_ = f;
+  store->options_ = options;
+  std::fseek(f, 0, SEEK_END);
+  store->file_size_ = static_cast<uint64_t>(std::ftell(f));
+
+  std::string header;
+  Status st = read_at(0, kHeaderSize, &header);
+  if (!st.ok()) return st;
+  std::string_view in = header;
+  uint32_t magic = 0;
+  uint32_t version = 0;
+  GetFixed32(&in, &magic);
+  GetFixed32(&in, &version);
+  if (magic != kStoreMagic) {
+    return Status::Corruption("gtree store: bad magic");
+  }
+  if (version != kStoreVersion) {
+    return Status::Corruption("gtree store: unsupported version");
+  }
+  uint64_t tree_off, tree_size, conn_off, conn_size, labels_off, labels_size,
+      dir_off, dir_size, graph_off, graph_size;
+  uint32_t num_pages = 0;
+  uint32_t num_graph_nodes = 0;
+  uint64_t checksum = 0;
+  GetFixed64(&in, &tree_off);
+  GetFixed64(&in, &tree_size);
+  GetFixed64(&in, &conn_off);
+  GetFixed64(&in, &conn_size);
+  GetFixed64(&in, &labels_off);
+  GetFixed64(&in, &labels_size);
+  GetFixed64(&in, &dir_off);
+  GetFixed64(&in, &dir_size);
+  GetFixed64(&in, &graph_off);
+  GetFixed64(&in, &graph_size);
+  GetFixed32(&in, &num_pages);
+  GetFixed32(&in, &num_graph_nodes);
+  GetFixed64(&in, &checksum);
+  if (Hash64(std::string_view(header.data(), kHeaderSize - 8)) != checksum) {
+    return Status::Corruption("gtree store: header checksum mismatch");
+  }
+
+  std::string blob;
+  GMINE_RETURN_IF_ERROR(read_at(tree_off, tree_size, &blob));
+  auto tree = DeserializeTree(blob, num_graph_nodes);
+  if (!tree.ok()) return tree.status();
+  store->tree_ = std::move(tree).value();
+
+  GMINE_RETURN_IF_ERROR(read_at(conn_off, conn_size, &blob));
+  auto conn = ConnectivityIndex::Deserialize(blob);
+  if (!conn.ok()) return conn.status();
+  store->conn_ = std::move(conn).value();
+
+  if (labels_size > 0) {
+    GMINE_RETURN_IF_ERROR(read_at(labels_off, labels_size, &blob));
+    auto labels = graph::LabelStore::Deserialize(blob);
+    if (!labels.ok()) return labels.status();
+    store->labels_ = std::move(labels).value();
+  }
+
+  GMINE_RETURN_IF_ERROR(read_at(dir_off, dir_size, &blob));
+  std::string_view dir = blob;
+  uint64_t pages_base = labels_off + labels_size;
+  for (uint32_t i = 0; i < num_pages; ++i) {
+    uint32_t leaf = 0;
+    uint64_t off = 0;
+    uint64_t size = 0;
+    if (!GetVarint32(&dir, &leaf) || !GetVarint64(&dir, &off) ||
+        !GetVarint64(&dir, &size)) {
+      return Status::Corruption("gtree store: truncated directory");
+    }
+    store->directory_[leaf] = PageLocation{pages_base + off, size};
+  }
+  store->graph_section_ = PageLocation{graph_off, graph_size};
+  return store;
+}
+
+gmine::Result<graph::Graph> GTreeStore::LoadFullGraph() {
+  if (graph_section_.size == 0) {
+    return Status::NotFound("gtree store: no embedded graph section");
+  }
+  std::string blob;
+  blob.resize(graph_section_.size);
+  if (std::fseek(file_, static_cast<long>(graph_section_.offset),
+                 SEEK_SET) != 0) {
+    return Status::IOError("gtree store: seek to graph section failed");
+  }
+  if (std::fread(blob.data(), 1, blob.size(), file_) != blob.size()) {
+    return Status::IOError("gtree store: short graph section read");
+  }
+  stats_.bytes_read += blob.size();
+  return graph::DeserializeGraph(blob);
+}
+
+gmine::Result<std::shared_ptr<const LeafPayload>> GTreeStore::LoadLeaf(
+    TreeNodeId leaf) {
+  auto cached = cache_.find(leaf);
+  if (cached != cache_.end()) {
+    ++stats_.cache_hits;
+    // Move to front.
+    lru_.splice(lru_.begin(), lru_, cached->second);
+    return cached->second->second;
+  }
+  auto loc = directory_.find(leaf);
+  if (loc == directory_.end()) {
+    return Status::NotFound(
+        StrFormat("leaf %u has no page (not a leaf community?)", leaf));
+  }
+  std::string blob;
+  blob.resize(loc->second.size);
+  if (std::fseek(file_, static_cast<long>(loc->second.offset), SEEK_SET) !=
+      0) {
+    return Status::IOError("gtree store: seek failed");
+  }
+  if (std::fread(blob.data(), 1, blob.size(), file_) != blob.size()) {
+    return Status::IOError("gtree store: short page read");
+  }
+  ++stats_.leaf_loads;
+  stats_.bytes_read += blob.size();
+  auto payload = DeserializeLeafPayload(blob);
+  if (!payload.ok()) return payload.status();
+  auto shared = std::make_shared<const LeafPayload>(std::move(payload).value());
+  lru_.emplace_front(leaf, shared);
+  cache_[leaf] = lru_.begin();
+  if (options_.cache_pages > 0 && lru_.size() > options_.cache_pages) {
+    cache_.erase(lru_.back().first);
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
+  return shared;
+}
+
+bool GTreeStore::IsCached(TreeNodeId leaf) const {
+  return cache_.count(leaf) > 0;
+}
+
+void GTreeStore::ClearCache() {
+  lru_.clear();
+  cache_.clear();
+}
+
+}  // namespace gmine::gtree

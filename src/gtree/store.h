@@ -1,0 +1,131 @@
+// Single-file persistent G-Tree store (§III-A): "The entire structure is
+// stored in a single file and the nodes are transferred to main memory
+// only when necessary."
+//
+// File layout (all little-endian, see store.cc):
+//
+//   header     magic, version, section table, counts, checksum
+//   tree       full topology (parents, children, names, leaf members)
+//   conn       serialized ConnectivityIndex
+//   labels     serialized LabelStore (may be empty)
+//   pages      one blob per leaf: the leaf's induced subgraph + mapping
+//   directory  leaf tree-node id -> (offset, size) of its page
+//
+// Opening a store loads only the metadata sections (tree, connectivity,
+// labels, directory); leaf subgraphs are read on demand through an LRU
+// page cache, which is what keeps navigation memory proportional to the
+// display set rather than the graph. Not thread-safe; GMine sessions are
+// single-threaded.
+
+#ifndef GMINE_GTREE_STORE_H_
+#define GMINE_GTREE_STORE_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <list>
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "graph/graph.h"
+#include "graph/labels.h"
+#include "graph/subgraph.h"
+#include "gtree/connectivity.h"
+#include "gtree/gtree.h"
+#include "util/status.h"
+
+namespace gmine::gtree {
+
+/// A leaf community's materialized payload: the induced subgraph over its
+/// members plus the local<->global id mapping.
+struct LeafPayload {
+  graph::Subgraph subgraph;
+};
+
+/// Store tunables.
+struct GTreeStoreOptions {
+  /// Leaf pages kept in memory; 0 means unbounded.
+  size_t cache_pages = 64;
+};
+
+/// IO statistics (reported by bench_scale).
+struct GTreeStoreStats {
+  uint64_t leaf_loads = 0;    // pages read from disk
+  uint64_t cache_hits = 0;    // leaf requests served from cache
+  uint64_t bytes_read = 0;    // payload bytes read from disk
+  uint64_t evictions = 0;     // pages evicted from the LRU
+};
+
+/// Read-only handle to a G-Tree file.
+class GTreeStore {
+ public:
+  ~GTreeStore();
+  GTreeStore(const GTreeStore&) = delete;
+  GTreeStore& operator=(const GTreeStore&) = delete;
+
+  /// Builds every leaf payload from `g` and writes the complete store to
+  /// `path` (truncating). The full graph is embedded as its own section
+  /// so one file carries everything ("stored in a single file"); it is
+  /// only read back by LoadFullGraph().
+  static Status Create(const std::string& path, const graph::Graph& g,
+                       const GTree& tree, const ConnectivityIndex& conn,
+                       const graph::LabelStore& labels);
+
+  /// Opens a store file; loads metadata, leaves payloads on disk.
+  static gmine::Result<std::unique_ptr<GTreeStore>> Open(
+      const std::string& path, const GTreeStoreOptions& options = {});
+
+  /// The community hierarchy (fully resident).
+  const GTree& tree() const { return tree_; }
+  /// Aggregated connectivity edges (fully resident).
+  const ConnectivityIndex& connectivity() const { return conn_; }
+  /// Node labels (fully resident; may be empty).
+  const graph::LabelStore& labels() const { return labels_; }
+
+  /// Loads the payload of leaf community `leaf` (cache-aware). The
+  /// returned pointer stays valid while referenced, independent of
+  /// eviction.
+  gmine::Result<std::shared_ptr<const LeafPayload>> LoadLeaf(TreeNodeId leaf);
+
+  /// True when `leaf` is currently cached (no IO needed).
+  bool IsCached(TreeNodeId leaf) const;
+
+  /// Cumulative IO statistics.
+  const GTreeStoreStats& stats() const { return stats_; }
+
+  /// Drops all cached pages (for IO benchmarks).
+  void ClearCache();
+
+  /// Reads the embedded full graph (global operations like connection
+  /// subgraph extraction need it). Not cached: the caller owns the copy.
+  gmine::Result<graph::Graph> LoadFullGraph();
+
+  /// Total size of the store file in bytes.
+  uint64_t file_size() const { return file_size_; }
+
+ private:
+  GTreeStore() = default;
+
+  std::FILE* file_ = nullptr;
+  uint64_t file_size_ = 0;
+  GTree tree_;
+  ConnectivityIndex conn_;
+  graph::LabelStore labels_;
+  GTreeStoreOptions options_;
+  GTreeStoreStats stats_;
+
+  struct PageLocation {
+    uint64_t offset = 0;
+    uint64_t size = 0;
+  };
+  std::unordered_map<TreeNodeId, PageLocation> directory_;
+  PageLocation graph_section_;
+
+  // LRU cache: front = most recent.
+  std::list<std::pair<TreeNodeId, std::shared_ptr<const LeafPayload>>> lru_;
+  std::unordered_map<TreeNodeId, decltype(lru_)::iterator> cache_;
+};
+
+}  // namespace gmine::gtree
+
+#endif  // GMINE_GTREE_STORE_H_

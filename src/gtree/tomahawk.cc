@@ -1,0 +1,57 @@
+#include "gtree/tomahawk.h"
+
+#include <algorithm>
+
+namespace gmine::gtree {
+
+std::vector<TreeNodeId> TomahawkContext::DisplaySet() const {
+  std::vector<TreeNodeId> out;
+  out.reserve(1 + ancestors.size() + children.size() + siblings.size() +
+              ancestor_siblings.size());
+  out.push_back(focus);
+  out.insert(out.end(), ancestors.begin(), ancestors.end());
+  out.insert(out.end(), children.begin(), children.end());
+  out.insert(out.end(), siblings.begin(), siblings.end());
+  out.insert(out.end(), ancestor_siblings.begin(), ancestor_siblings.end());
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+size_t TomahawkContext::DisplaySize() const {
+  // Sets are disjoint by construction (ancestor_siblings excludes the
+  // focus's own siblings, which live one level below the last ancestor).
+  return 1 + ancestors.size() + children.size() + siblings.size() +
+         ancestor_siblings.size();
+}
+
+TomahawkContext ComputeTomahawk(const GTree& tree, TreeNodeId focus,
+                                const TomahawkOptions& options) {
+  TomahawkContext ctx;
+  ctx.focus = focus;
+  const TreeNode& f = tree.node(focus);
+  ctx.children = f.children;
+  ctx.siblings = tree.Siblings(focus);
+  std::vector<TreeNodeId> path = tree.PathFromRoot(focus);
+  // path = root..focus; ancestors exclude the focus itself.
+  ctx.ancestors.assign(path.begin(), path.end() - 1);
+  if (options.include_ancestor_siblings) {
+    for (TreeNodeId anc : ctx.ancestors) {
+      if (anc == tree.root()) continue;
+      for (TreeNodeId s : tree.Siblings(anc)) {
+        ctx.ancestor_siblings.push_back(s);
+      }
+    }
+  }
+  return ctx;
+}
+
+uint64_t FullExpansionSize(const GTree& tree, TreeNodeId focus) {
+  // Subtree under the focus plus the ancestor path that must stay
+  // visible for context.
+  uint64_t subtree = tree.SubtreeNodeCount(focus);
+  uint64_t above = tree.node(focus).depth;  // ancestors on the path
+  return subtree + above;
+}
+
+}  // namespace gmine::gtree

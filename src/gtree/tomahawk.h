@@ -1,0 +1,56 @@
+// The Tomahawk principle (§III-C): "as the user chooses a community node
+// to focus on, we traverse the tree in order to gather the desired node
+// of interest, its sons and its siblings. Then we plot only these items"
+// — presenting "nodes above, beneath and by the side of a node of
+// interest" instead of the exponentially-growing full expansion.
+
+#ifndef GMINE_GTREE_TOMAHAWK_H_
+#define GMINE_GTREE_TOMAHAWK_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "gtree/gtree.h"
+
+namespace gmine::gtree {
+
+/// Tomahawk tunables.
+struct TomahawkOptions {
+  /// Also include the siblings of every ancestor (the wider "ax blade").
+  /// Without this the context is focus + children + siblings + ancestor
+  /// path; with it, each level of the path also shows its alternatives.
+  bool include_ancestor_siblings = true;
+};
+
+/// The bounded display context around a focus community.
+struct TomahawkContext {
+  TreeNodeId focus = kInvalidTreeNode;
+  /// Path root..parent(focus), excluding the focus ("nodes above").
+  std::vector<TreeNodeId> ancestors;
+  /// Children of the focus ("nodes beneath").
+  std::vector<TreeNodeId> children;
+  /// Same-parent communities ("nodes by the side").
+  std::vector<TreeNodeId> siblings;
+  /// Siblings of each ancestor (optional, see TomahawkOptions).
+  std::vector<TreeNodeId> ancestor_siblings;
+
+  /// Everything to draw: focus + ancestors + children + siblings
+  /// (+ ancestor siblings), deduplicated, in id order.
+  std::vector<TreeNodeId> DisplaySet() const;
+
+  /// Display-set size without materializing it.
+  size_t DisplaySize() const;
+};
+
+/// Computes the Tomahawk context for `focus`.
+TomahawkContext ComputeTomahawk(const GTree& tree, TreeNodeId focus,
+                                const TomahawkOptions& options = {});
+
+/// Number of tree nodes a naive "expand everything under the focus plus
+/// the path above it" display would draw — the quantity the Tomahawk
+/// principle avoids (compared in bench_tomahawk / Fig. 4).
+uint64_t FullExpansionSize(const GTree& tree, TreeNodeId focus);
+
+}  // namespace gmine::gtree
+
+#endif  // GMINE_GTREE_TOMAHAWK_H_

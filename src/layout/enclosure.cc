@@ -1,0 +1,137 @@
+#include "layout/enclosure.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace gmine::layout {
+
+using gtree::GTree;
+using gtree::TomahawkContext;
+using gtree::TreeNodeId;
+
+std::vector<Point> CircularLayout(size_t count, const Point& center,
+                                  double radius, double phase) {
+  std::vector<Point> out(count);
+  if (count == 0) return out;
+  if (count == 1) {
+    out[0] = center;
+    return out;
+  }
+  const double step = 2.0 * M_PI / static_cast<double>(count);
+  for (size_t i = 0; i < count; ++i) {
+    double a = phase + step * static_cast<double>(i);
+    out[i] = Point{center.x + radius * std::cos(a),
+                   center.y + radius * std::sin(a)};
+  }
+  return out;
+}
+
+namespace {
+
+// Radius share of `id` among `peers`: sqrt of subtree-size fraction, so
+// disk area tracks community size; floor keeps tiny communities visible.
+double RadiusShare(const GTree& tree, TreeNodeId id,
+                   const std::vector<TreeNodeId>& peers) {
+  uint64_t total = 0;
+  for (TreeNodeId p : peers) total += std::max<uint64_t>(
+      tree.node(p).subtree_size, 1);
+  double frac = static_cast<double>(std::max<uint64_t>(
+                    tree.node(id).subtree_size, 1)) /
+                static_cast<double>(std::max<uint64_t>(total, 1));
+  return std::max(std::sqrt(frac), 0.12);
+}
+
+// Places `items` as non-overlapping disks on a ring inside `parent`.
+void PlaceRing(const GTree& tree, const std::vector<TreeNodeId>& items,
+               const Circle& parent, double fill,
+               std::unordered_map<TreeNodeId, Circle>* disks) {
+  if (items.empty()) return;
+  const size_t m = items.size();
+  double usable = parent.radius * fill;
+  if (m == 1) {
+    (*disks)[items[0]] = Circle{parent.center, usable * 0.8};
+    return;
+  }
+  // Ring radius and per-item cap so neighbors cannot overlap:
+  // chord between adjacent centers = 2 R sin(pi/m) >= 2 r.
+  double ring = usable * 0.62;
+  double chord_cap = ring * std::sin(M_PI / static_cast<double>(m));
+  double outer_cap = usable - ring;
+  double cap = std::max(std::min(chord_cap, outer_cap), usable * 0.04);
+  std::vector<Point> centers =
+      CircularLayout(m, parent.center, ring, -M_PI / 2.0);
+  for (size_t i = 0; i < m; ++i) {
+    double r = cap * RadiusShare(tree, items[i], items) /
+               0.5;  // normalize: share ~0.5 for equal halves
+    r = std::min(r, cap);
+    (*disks)[items[i]] = Circle{centers[i], r};
+  }
+}
+
+}  // namespace
+
+gmine::Result<EnclosureLayoutResult> EnclosureLayout(
+    const GTree& tree, const TomahawkContext& context,
+    const EnclosureOptions& options) {
+  if (context.focus == gtree::kInvalidTreeNode ||
+      context.focus >= tree.size()) {
+    return Status::InvalidArgument("enclosure: bad focus");
+  }
+  EnclosureLayoutResult out;
+
+  // Ancestor chain: nested disks from the root down to the focus.
+  std::vector<TreeNodeId> chain = context.ancestors;
+  chain.push_back(context.focus);
+  Circle cur{options.center, options.root_radius};
+  for (size_t i = 0; i < chain.size(); ++i) {
+    out.disks[chain[i]] = cur;
+    if (i + 1 < chain.size()) {
+      // The next chain element gets a large inner disk, offset slightly
+      // down-right so the nesting is visible.
+      double r = cur.radius * options.child_fill;
+      Point c{cur.center.x + cur.radius * 0.06,
+              cur.center.y + cur.radius * 0.06};
+      cur = Circle{c, r};
+    }
+  }
+
+  // Siblings ring inside the parent disk, around the focus.
+  if (!context.siblings.empty() && !context.ancestors.empty()) {
+    TreeNodeId parent = context.ancestors.back();
+    const Circle& pd = out.disks[parent];
+    // Focus keeps its disk; siblings ring along the parent's border.
+    std::vector<Point> ring = CircularLayout(
+        context.siblings.size(), pd.center, pd.radius * 0.86, M_PI / 6.0);
+    double sib_r = std::max(
+        pd.radius * 0.10,
+        pd.radius * 0.30 * std::sin(M_PI / static_cast<double>(
+                                        context.siblings.size() + 1)));
+    for (size_t i = 0; i < context.siblings.size(); ++i) {
+      out.disks[context.siblings[i]] = Circle{ring[i], sib_r};
+    }
+  }
+
+  // Ancestor siblings: smaller ring along each ancestor's parent border.
+  if (!context.ancestor_siblings.empty()) {
+    // Group by parent via the tree.
+    for (TreeNodeId s : context.ancestor_siblings) {
+      TreeNodeId parent = tree.node(s).parent;
+      auto it = out.disks.find(parent);
+      if (it == out.disks.end()) continue;
+      const Circle& pd = it->second;
+      // Deterministic spot derived from the sibling id.
+      double angle = 2.0 * M_PI *
+                     static_cast<double>(s % 16) / 16.0;
+      Point c{pd.center.x + pd.radius * 0.92 * std::cos(angle),
+              pd.center.y + pd.radius * 0.92 * std::sin(angle)};
+      out.disks[s] = Circle{c, pd.radius * 0.07};
+    }
+  }
+
+  // Children ring inside the focus disk.
+  PlaceRing(tree, context.children, out.disks[context.focus],
+            options.child_fill, &out.disks);
+  return out;
+}
+
+}  // namespace gmine::layout

@@ -1,0 +1,54 @@
+// Layouts for the communities-within-communities display:
+//
+//  * CircularLayout — places items evenly on a circle (used for sibling
+//    communities inside their parent's disk);
+//  * EnclosureLayout — assigns every community of a Tomahawk display set
+//    a disk nested inside its parent's disk, with disk area proportional
+//    to the community's subtree size, mirroring the paper's Figs. 3/6
+//    where sub-communities are drawn inside the region attributed to
+//    their parent community.
+
+#ifndef GMINE_LAYOUT_ENCLOSURE_H_
+#define GMINE_LAYOUT_ENCLOSURE_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "gtree/gtree.h"
+#include "gtree/tomahawk.h"
+#include "layout/geometry.h"
+#include "util/status.h"
+
+namespace gmine::layout {
+
+/// Evenly spaced points on a circle (first at angle `phase`).
+std::vector<Point> CircularLayout(size_t count, const Point& center,
+                                  double radius, double phase = 0.0);
+
+/// Enclosure layout tunables.
+struct EnclosureOptions {
+  /// Root disk radius.
+  double root_radius = 500.0;
+  /// Fraction of a parent's radius available to children (the rest is
+  /// the visual margin).
+  double child_fill = 0.78;
+  /// Canvas center.
+  Point center{512.0, 512.0};
+};
+
+/// Disk per visible community.
+struct EnclosureLayoutResult {
+  std::unordered_map<gtree::TreeNodeId, Circle> disks;
+};
+
+/// Computes nested disks for the display set of a Tomahawk context: the
+/// ancestor chain nests root-down; the focus's siblings and children ring
+/// around / inside the focus; disk radii scale with sqrt(subtree size) so
+/// area tracks community size.
+gmine::Result<EnclosureLayoutResult> EnclosureLayout(
+    const gtree::GTree& tree, const gtree::TomahawkContext& context,
+    const EnclosureOptions& options = {});
+
+}  // namespace gmine::layout
+
+#endif  // GMINE_LAYOUT_ENCLOSURE_H_

@@ -1,0 +1,110 @@
+#include "layout/force_directed.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "layout/quadtree.h"
+#include "util/rng.h"
+
+namespace gmine::layout {
+
+using graph::Graph;
+using graph::Neighbor;
+using graph::NodeId;
+
+gmine::Result<LayoutResult> ForceDirectedLayout(
+    const Graph& g, const ForceDirectedOptions& options) {
+  if (options.iterations <= 0 || options.area <= 0.0) {
+    return Status::InvalidArgument("layout: bad iterations/area");
+  }
+  const uint32_t n = g.num_nodes();
+  LayoutResult out;
+  out.positions.resize(n);
+  if (n == 0) return out;
+
+  Rng rng(options.seed);
+  for (Point& p : out.positions) {
+    p.x = rng.NextDouble() * options.area;
+    p.y = rng.NextDouble() * options.area;
+  }
+  if (n == 1) return out;
+
+  // Fruchterman–Reingold ideal edge length.
+  const double k = options.area / std::sqrt(static_cast<double>(n));
+  const double k2 = k * k;
+  double temperature = options.area * options.initial_temperature;
+  const double cooling =
+      std::pow(1e-2, 1.0 / static_cast<double>(options.iterations));
+  const bool barnes_hut = n > options.barnes_hut_threshold;
+  out.used_barnes_hut = barnes_hut;
+
+  std::vector<Point> disp(n);
+  for (int it = 0; it < options.iterations; ++it) {
+    std::fill(disp.begin(), disp.end(), Point{0.0, 0.0});
+
+    // Repulsion: f_r(d) = k^2 / d along the separating direction.
+    if (barnes_hut) {
+      QuadTree qt(out.positions);
+      for (uint32_t v = 0; v < n; ++v) {
+        disp[v] += qt.Repulsion(out.positions[v], k2, options.theta);
+      }
+    } else {
+      for (uint32_t v = 0; v < n; ++v) {
+        for (uint32_t u = v + 1; u < n; ++u) {
+          Point d = out.positions[v] - out.positions[u];
+          double dist2 = std::max(d.Norm2(), 1e-9);
+          Point f = d * (k2 / dist2);
+          disp[v] += f;
+          disp[u] -= f;
+        }
+      }
+    }
+
+    // Attraction along edges: f_a(d) = d^2 / k.
+    for (NodeId v = 0; v < n; ++v) {
+      for (const Neighbor& nb : g.Neighbors(v)) {
+        if (nb.id <= v) continue;
+        Point d = out.positions[v] - out.positions[nb.id];
+        double dist = std::max(d.Norm(), 1e-9);
+        double w = options.weighted_attraction ? nb.weight : 1.0;
+        Point f = d * (dist * w / k);
+        disp[v] -= f;
+        disp[nb.id] += f;
+      }
+    }
+
+    // Apply displacements limited by temperature.
+    double moved = 0.0;
+    for (uint32_t v = 0; v < n; ++v) {
+      double len = disp[v].Norm();
+      if (len < 1e-12) continue;
+      double step = std::min(len, temperature);
+      out.positions[v] += disp[v] * (step / len);
+      out.positions[v].x =
+          std::clamp(out.positions[v].x, 0.0, options.area);
+      out.positions[v].y =
+          std::clamp(out.positions[v].y, 0.0, options.area);
+      moved += step;
+    }
+    out.iterations = it + 1;
+    out.final_mean_displacement = moved / n;
+    temperature *= cooling;
+  }
+  return out;
+}
+
+void FitToRect(std::vector<Point>* positions, const Rect& target) {
+  if (positions->empty()) return;
+  Rect bb = BoundingBox(*positions);
+  double sx = bb.Width() > 1e-12 ? target.Width() / bb.Width() : 1.0;
+  double sy = bb.Height() > 1e-12 ? target.Height() / bb.Height() : 1.0;
+  double s = std::min(sx, sy);
+  Point bc = bb.Center();
+  Point tc = target.Center();
+  for (Point& p : *positions) {
+    p.x = tc.x + (p.x - bc.x) * s;
+    p.y = tc.y + (p.y - bc.y) * s;
+  }
+}
+
+}  // namespace gmine::layout

@@ -1,0 +1,53 @@
+// Fruchterman–Reingold force-directed layout, the drawing GMine uses for
+// leaf subgraphs and extracted connection subgraphs. Exact O(n^2)
+// repulsion for small graphs, Barnes–Hut approximation above a threshold.
+
+#ifndef GMINE_LAYOUT_FORCE_DIRECTED_H_
+#define GMINE_LAYOUT_FORCE_DIRECTED_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "layout/geometry.h"
+#include "util/status.h"
+
+namespace gmine::layout {
+
+/// Force-directed tunables.
+struct ForceDirectedOptions {
+  int iterations = 100;
+  /// Layout area side length; node positions end up roughly within
+  /// [0, area] x [0, area].
+  double area = 1000.0;
+  /// Initial temperature as a fraction of `area` (max displacement).
+  double initial_temperature = 0.1;
+  /// Switch to Barnes–Hut above this node count.
+  uint32_t barnes_hut_threshold = 512;
+  /// Barnes–Hut opening criterion.
+  double theta = 0.7;
+  /// Use edge weights to scale attraction.
+  bool weighted_attraction = true;
+  uint64_t seed = 7;
+};
+
+/// Result: positions plus convergence diagnostics.
+struct LayoutResult {
+  std::vector<Point> positions;
+  int iterations = 0;
+  /// Mean node displacement in the final iteration (layout "energy").
+  double final_mean_displacement = 0.0;
+  bool used_barnes_hut = false;
+};
+
+/// Computes a force-directed layout of `g`.
+gmine::Result<LayoutResult> ForceDirectedLayout(
+    const graph::Graph& g, const ForceDirectedOptions& options = {});
+
+/// Rescales positions in place so their bounding box fits `target`
+/// (preserving aspect ratio, centered).
+void FitToRect(std::vector<Point>* positions, const Rect& target);
+
+}  // namespace gmine::layout
+
+#endif  // GMINE_LAYOUT_FORCE_DIRECTED_H_

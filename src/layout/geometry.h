@@ -1,0 +1,77 @@
+// 2-D geometry primitives shared by the layout engines and the renderer.
+
+#ifndef GMINE_LAYOUT_GEOMETRY_H_
+#define GMINE_LAYOUT_GEOMETRY_H_
+
+#include <cmath>
+#include <vector>
+
+namespace gmine::layout {
+
+/// A point / vector in layout space.
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+
+  Point operator+(const Point& o) const { return {x + o.x, y + o.y}; }
+  Point operator-(const Point& o) const { return {x - o.x, y - o.y}; }
+  Point operator*(double s) const { return {x * s, y * s}; }
+  Point& operator+=(const Point& o) {
+    x += o.x;
+    y += o.y;
+    return *this;
+  }
+  Point& operator-=(const Point& o) {
+    x -= o.x;
+    y -= o.y;
+    return *this;
+  }
+  double Norm() const { return std::sqrt(x * x + y * y); }
+  double Norm2() const { return x * x + y * y; }
+};
+
+inline double Distance(const Point& a, const Point& b) {
+  return (a - b).Norm();
+}
+
+/// Axis-aligned rectangle.
+struct Rect {
+  double min_x = 0.0;
+  double min_y = 0.0;
+  double max_x = 0.0;
+  double max_y = 0.0;
+
+  double Width() const { return max_x - min_x; }
+  double Height() const { return max_y - min_y; }
+  Point Center() const { return {(min_x + max_x) / 2, (min_y + max_y) / 2}; }
+  bool Contains(const Point& p) const {
+    return p.x >= min_x && p.x <= max_x && p.y >= min_y && p.y <= max_y;
+  }
+  /// Grows the rect to include `p`.
+  void Include(const Point& p) {
+    min_x = std::min(min_x, p.x);
+    min_y = std::min(min_y, p.y);
+    max_x = std::max(max_x, p.x);
+    max_y = std::max(max_y, p.y);
+  }
+};
+
+/// Bounding box of a point set (degenerate Rect for empty input).
+inline Rect BoundingBox(const std::vector<Point>& pts) {
+  Rect r;
+  if (pts.empty()) return r;
+  r.min_x = r.max_x = pts[0].x;
+  r.min_y = r.max_y = pts[0].y;
+  for (const Point& p : pts) r.Include(p);
+  return r;
+}
+
+/// A circle (used by the enclosure layout for community nodes).
+struct Circle {
+  Point center;
+  double radius = 0.0;
+};
+
+}  // namespace gmine::layout
+
+#endif  // GMINE_LAYOUT_GEOMETRY_H_

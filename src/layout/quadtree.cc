@@ -1,0 +1,128 @@
+#include "layout/quadtree.h"
+
+#include <algorithm>
+
+namespace gmine::layout {
+
+namespace {
+constexpr int kMaxDepth = 32;
+}
+
+QuadTree::QuadTree(const std::vector<Point>& points,
+                   const std::vector<double>* masses)
+    : points_(points) {
+  masses_.assign(points.size(), 1.0);
+  if (masses != nullptr && masses->size() == points.size()) {
+    masses_ = *masses;
+  }
+  if (points_.empty()) return;
+  Rect bounds = BoundingBox(points_);
+  // Pad degenerate boxes so subdivision always works.
+  double pad = std::max(bounds.Width(), bounds.Height()) * 0.01 + 1e-9;
+  bounds.min_x -= pad;
+  bounds.min_y -= pad;
+  bounds.max_x += pad;
+  bounds.max_y += pad;
+  Cell root;
+  root.bounds = bounds;
+  cells_.push_back(root);
+  for (size_t i = 0; i < points_.size(); ++i) {
+    Insert(0, static_cast<int32_t>(i), 0);
+  }
+}
+
+int32_t QuadTree::ChildIndexFor(const Cell& cell, const Point& p) const {
+  Point c = cell.bounds.Center();
+  int quadrant = (p.x >= c.x ? 1 : 0) | (p.y >= c.y ? 2 : 0);
+  return quadrant;
+}
+
+int32_t QuadTree::MakeChild(int32_t cell, int quadrant) {
+  if (cells_[cell].children[quadrant] >= 0) {
+    return cells_[cell].children[quadrant];
+  }
+  const Rect& b = cells_[cell].bounds;
+  Point c = b.Center();
+  Rect nb;
+  nb.min_x = (quadrant & 1) ? c.x : b.min_x;
+  nb.max_x = (quadrant & 1) ? b.max_x : c.x;
+  nb.min_y = (quadrant & 2) ? c.y : b.min_y;
+  nb.max_y = (quadrant & 2) ? b.max_y : c.y;
+  Cell child;
+  child.bounds = nb;
+  cells_.push_back(child);
+  int32_t id = static_cast<int32_t>(cells_.size()) - 1;
+  cells_[cell].children[quadrant] = id;
+  return id;
+}
+
+void QuadTree::Insert(int32_t cell, int32_t point, int depth) {
+  while (true) {
+    Cell& c = cells_[cell];
+    double m = masses_[point];
+    // Update aggregate mass/center incrementally.
+    double total = c.mass + m;
+    c.center_of_mass.x =
+        (c.center_of_mass.x * c.mass + points_[point].x * m) / total;
+    c.center_of_mass.y =
+        (c.center_of_mass.y * c.mass + points_[point].y * m) / total;
+    c.mass = total;
+
+    if (c.is_leaf && c.point_index < 0) {
+      c.point_index = point;
+      return;
+    }
+    if (depth >= kMaxDepth) {
+      // Coincident points beyond max depth: aggregate only.
+      return;
+    }
+    if (c.is_leaf) {
+      // Split: push the resident point down.
+      int32_t resident = c.point_index;
+      c.point_index = -1;
+      c.is_leaf = false;
+      int rq = ChildIndexFor(c, points_[resident]);
+      int32_t rchild = MakeChild(cell, rq);
+      // Re-insert resident without re-adding mass at this level: descend
+      // manually (mass of this cell already includes it).
+      Cell& rc = cells_[rchild];
+      rc.center_of_mass = points_[resident];
+      rc.mass = masses_[resident];
+      rc.point_index = resident;
+    }
+    int q = ChildIndexFor(cells_[cell], points_[point]);
+    int32_t child = MakeChild(cell, q);
+    // Descend without recursion; note MakeChild may reallocate cells_.
+    cell = child;
+    ++depth;
+    // Loop continues: the child's aggregates update at loop head.
+  }
+}
+
+Point QuadTree::Repulsion(const Point& p, double strength,
+                          double theta) const {
+  Point force{0.0, 0.0};
+  if (cells_.empty()) return force;
+  std::vector<int32_t> stack = {0};
+  while (!stack.empty()) {
+    int32_t id = stack.back();
+    stack.pop_back();
+    const Cell& c = cells_[id];
+    if (c.mass <= 0.0) continue;
+    Point d = p - c.center_of_mass;
+    double dist2 = d.Norm2();
+    double size = std::max(c.bounds.Width(), c.bounds.Height());
+    if (c.is_leaf || size * size < theta * theta * dist2) {
+      if (dist2 < 1e-12) continue;  // self or coincident: skip
+      double inv = strength * c.mass / dist2;
+      force += d * inv;
+    } else {
+      for (int32_t child : c.children) {
+        if (child >= 0) stack.push_back(child);
+      }
+    }
+  }
+  return force;
+}
+
+}  // namespace gmine::layout

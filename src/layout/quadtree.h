@@ -1,0 +1,51 @@
+// Barnes–Hut quadtree: approximates the aggregate repulsive force of far
+// point clusters by their center of mass, turning the O(n^2) repulsion
+// step of force-directed layout into O(n log n).
+
+#ifndef GMINE_LAYOUT_QUADTREE_H_
+#define GMINE_LAYOUT_QUADTREE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "layout/geometry.h"
+
+namespace gmine::layout {
+
+/// Static quadtree over a point set.
+class QuadTree {
+ public:
+  /// Builds the tree over `points` (masses default to 1).
+  explicit QuadTree(const std::vector<Point>& points,
+                    const std::vector<double>* masses = nullptr);
+
+  /// Sums the Barnes–Hut approximate repulsion on `p`:
+  /// sum over cells of mass * (p - center) / |p - center|^2 * strength,
+  /// opening cells whose size/distance ratio exceeds `theta`.
+  Point Repulsion(const Point& p, double strength, double theta = 0.7) const;
+
+  /// Number of internal + leaf cells (diagnostics/tests).
+  size_t num_cells() const { return cells_.size(); }
+
+ private:
+  struct Cell {
+    Rect bounds;
+    Point center_of_mass;
+    double mass = 0.0;
+    int32_t children[4] = {-1, -1, -1, -1};
+    int32_t point_index = -1;  // leaf with exactly one point
+    bool is_leaf = true;
+  };
+
+  void Insert(int32_t cell, int32_t point, int depth);
+  int32_t ChildIndexFor(const Cell& cell, const Point& p) const;
+  int32_t MakeChild(int32_t cell, int quadrant);
+
+  std::vector<Cell> cells_;
+  std::vector<Point> points_;
+  std::vector<double> masses_;
+};
+
+}  // namespace gmine::layout
+
+#endif  // GMINE_LAYOUT_QUADTREE_H_

@@ -1,0 +1,72 @@
+#include "layout/tree_layout.h"
+
+#include <vector>
+
+namespace gmine::layout {
+
+using gtree::GTree;
+using gtree::TreeNodeId;
+
+gmine::Result<TreeLayoutResult> LayeredTreeLayout(
+    const GTree& tree, const TreeLayoutOptions& options) {
+  if (tree.empty()) {
+    return Status::InvalidArgument("tree layout: empty tree");
+  }
+  TreeLayoutResult out;
+  const double depth_span =
+      options.top_down ? options.bounds.Height() : options.bounds.Width();
+  const double breadth_span =
+      options.top_down ? options.bounds.Width() : options.bounds.Height();
+  const uint32_t height = tree.height();
+  const double depth_step =
+      height > 0 ? depth_span / height : 0.0;
+
+  // Assign leaf slots in DFS order (pre-order children order).
+  uint32_t num_leaves = tree.num_leaves();
+  double leaf_step =
+      num_leaves > 1 ? breadth_span / (num_leaves - 1) : 0.0;
+  std::unordered_map<TreeNodeId, double> breadth;
+  uint32_t next_leaf = 0;
+
+  // Post-order: children positioned before parents. Iterative DFS with
+  // an expansion marker.
+  std::vector<std::pair<TreeNodeId, bool>> stack{{tree.root(), false}};
+  while (!stack.empty()) {
+    auto [id, expanded] = stack.back();
+    stack.pop_back();
+    const gtree::TreeNode& tn = tree.node(id);
+    if (tn.IsLeaf()) {
+      double slot = num_leaves > 1
+                        ? next_leaf * leaf_step
+                        : breadth_span / 2.0;
+      breadth[id] = slot;
+      ++next_leaf;
+      continue;
+    }
+    if (!expanded) {
+      stack.emplace_back(id, true);
+      for (auto it = tn.children.rbegin(); it != tn.children.rend(); ++it) {
+        stack.emplace_back(*it, false);
+      }
+    } else {
+      // Center over first/last child.
+      double lo = breadth.at(tn.children.front());
+      double hi = breadth.at(tn.children.back());
+      breadth[id] = (lo + hi) / 2.0;
+    }
+  }
+
+  for (const auto& [id, b] : breadth) {
+    double d = tree.node(id).depth * depth_step;
+    Point p;
+    if (options.top_down) {
+      p = {options.bounds.min_x + b, options.bounds.min_y + d};
+    } else {
+      p = {options.bounds.min_x + d, options.bounds.min_y + b};
+    }
+    out.positions[id] = p;
+  }
+  return out;
+}
+
+}  // namespace gmine::layout

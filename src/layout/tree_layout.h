@@ -1,0 +1,38 @@
+// Layered ("tidy") tree layout for drawing the G-Tree itself — the
+// paper's Fig. 1 shows the tree structure with leaves at the bottom
+// referencing the graph nodes. Leaves are spaced evenly on the bottom
+// row; every parent is centered over its children.
+
+#ifndef GMINE_LAYOUT_TREE_LAYOUT_H_
+#define GMINE_LAYOUT_TREE_LAYOUT_H_
+
+#include <unordered_map>
+
+#include "gtree/gtree.h"
+#include "layout/geometry.h"
+#include "util/status.h"
+
+namespace gmine::layout {
+
+/// Tree layout tunables.
+struct TreeLayoutOptions {
+  /// Canvas rectangle the tree should fill.
+  Rect bounds{40.0, 40.0, 1000.0, 600.0};
+  /// Root at the top (true) or at the left (false, horizontal layout).
+  bool top_down = true;
+};
+
+/// Positions per tree node.
+struct TreeLayoutResult {
+  std::unordered_map<gtree::TreeNodeId, Point> positions;
+};
+
+/// Computes the layered layout. Every tree node receives a position;
+/// depth maps to y (or x when horizontal), leaf order maps to the other
+/// axis.
+gmine::Result<TreeLayoutResult> LayeredTreeLayout(
+    const gtree::GTree& tree, const TreeLayoutOptions& options = {});
+
+}  // namespace gmine::layout
+
+#endif  // GMINE_LAYOUT_TREE_LAYOUT_H_

@@ -1,0 +1,104 @@
+#include "mining/clustering.h"
+
+#include <algorithm>
+
+namespace gmine::mining {
+
+using graph::Graph;
+using graph::Neighbor;
+using graph::NodeId;
+
+namespace {
+
+// Per-node triangle counts via the forward algorithm: orient each edge
+// from lower-degree to higher-degree endpoint (ties by id) and intersect
+// forward-neighbor lists.
+std::vector<uint64_t> TrianglesPerNode(const Graph& g) {
+  const uint32_t n = g.num_nodes();
+  std::vector<uint64_t> tri(n, 0);
+  if (n == 0) return tri;
+
+  auto before = [&](NodeId a, NodeId b) {
+    uint32_t da = g.Degree(a);
+    uint32_t db = g.Degree(b);
+    if (da != db) return da < db;
+    return a < b;
+  };
+  // Forward adjacency (sorted by id for intersection).
+  std::vector<std::vector<NodeId>> forward(n);
+  for (NodeId u = 0; u < n; ++u) {
+    for (const Neighbor& nb : g.Neighbors(u)) {
+      if (before(u, nb.id)) forward[u].push_back(nb.id);
+    }
+    std::sort(forward[u].begin(), forward[u].end());
+  }
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v : forward[u]) {
+      // Intersect forward[u] and forward[v].
+      auto iu = forward[u].begin();
+      auto iv = forward[v].begin();
+      while (iu != forward[u].end() && iv != forward[v].end()) {
+        if (*iu < *iv) {
+          ++iu;
+        } else if (*iv < *iu) {
+          ++iv;
+        } else {
+          ++tri[u];
+          ++tri[v];
+          ++tri[*iu];
+          ++iu;
+          ++iv;
+        }
+      }
+    }
+  }
+  return tri;
+}
+
+}  // namespace
+
+uint64_t TriangleCount(const Graph& g) {
+  std::vector<uint64_t> tri = TrianglesPerNode(g);
+  uint64_t total = 0;
+  for (uint64_t t : tri) total += t;
+  return total / 3;
+}
+
+std::vector<double> LocalClusteringCoefficients(const Graph& g) {
+  std::vector<uint64_t> tri = TrianglesPerNode(g);
+  std::vector<double> out(g.num_nodes(), 0.0);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    uint64_t d = g.Degree(v);
+    if (d < 2) continue;
+    double wedges = static_cast<double>(d) * (d - 1) / 2.0;
+    out[v] = static_cast<double>(tri[v]) / wedges;
+  }
+  return out;
+}
+
+ClusteringStats ComputeClustering(const Graph& g) {
+  ClusteringStats out;
+  std::vector<uint64_t> tri = TrianglesPerNode(g);
+  uint64_t tri_sum = 0;
+  double wedge_sum = 0.0;
+  double local_sum = 0.0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    tri_sum += tri[v];
+    uint64_t d = g.Degree(v);
+    if (d < 2) continue;
+    double wedges = static_cast<double>(d) * (d - 1) / 2.0;
+    wedge_sum += wedges;
+    local_sum += static_cast<double>(tri[v]) / wedges;
+    ++out.eligible_nodes;
+  }
+  out.triangles = tri_sum / 3;
+  if (wedge_sum > 0) {
+    out.global_coefficient = static_cast<double>(tri_sum) / wedge_sum;
+  }
+  if (out.eligible_nodes > 0) {
+    out.mean_local_coefficient = local_sum / out.eligible_nodes;
+  }
+  return out;
+}
+
+}  // namespace gmine::mining

@@ -1,0 +1,39 @@
+// Triangle counting and clustering coefficients — an extension of the
+// §III-B metric family (co-authorship networks are famously clustered;
+// the demo's community narratives implicitly rely on it).
+
+#ifndef GMINE_MINING_CLUSTERING_H_
+#define GMINE_MINING_CLUSTERING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace gmine::mining {
+
+/// Number of triangles in an undirected graph (each counted once).
+/// Forward algorithm: O(m^{3/2}) worst case.
+uint64_t TriangleCount(const graph::Graph& g);
+
+/// Per-node local clustering coefficient: triangles through v divided by
+/// deg(v) choose 2 (0 when deg < 2).
+std::vector<double> LocalClusteringCoefficients(const graph::Graph& g);
+
+/// Aggregate clustering statistics.
+struct ClusteringStats {
+  uint64_t triangles = 0;
+  /// 3 * triangles / open triads ("transitivity").
+  double global_coefficient = 0.0;
+  /// Mean of local coefficients over nodes with degree >= 2.
+  double mean_local_coefficient = 0.0;
+  /// Nodes with degree >= 2 (denominator of the mean).
+  uint32_t eligible_nodes = 0;
+};
+
+/// Computes triangles + both clustering coefficients in one pass.
+ClusteringStats ComputeClustering(const graph::Graph& g);
+
+}  // namespace gmine::mining
+
+#endif  // GMINE_MINING_CLUSTERING_H_

@@ -1,0 +1,131 @@
+#include "mining/components.h"
+
+#include <algorithm>
+
+namespace gmine::mining {
+
+using graph::Graph;
+using graph::Neighbor;
+using graph::NodeId;
+
+uint32_t ComponentResult::LargestSize() const {
+  if (sizes.empty()) return 0;
+  return *std::max_element(sizes.begin(), sizes.end());
+}
+
+UnionFind::UnionFind(uint32_t n) : parent_(n), rank_(n, 0), num_sets_(n) {
+  for (uint32_t v = 0; v < n; ++v) parent_[v] = v;
+}
+
+uint32_t UnionFind::Find(uint32_t v) {
+  while (parent_[v] != v) {
+    parent_[v] = parent_[parent_[v]];  // path halving
+    v = parent_[v];
+  }
+  return v;
+}
+
+bool UnionFind::Union(uint32_t a, uint32_t b) {
+  uint32_t ra = Find(a);
+  uint32_t rb = Find(b);
+  if (ra == rb) return false;
+  if (rank_[ra] < rank_[rb]) std::swap(ra, rb);
+  parent_[rb] = ra;
+  if (rank_[ra] == rank_[rb]) ++rank_[ra];
+  --num_sets_;
+  return true;
+}
+
+ComponentResult WeakComponents(const Graph& g) {
+  const uint32_t n = g.num_nodes();
+  UnionFind uf(n);
+  for (NodeId u = 0; u < n; ++u) {
+    for (const Neighbor& nb : g.Neighbors(u)) uf.Union(u, nb.id);
+  }
+  ComponentResult out;
+  out.component.assign(n, 0);
+  std::vector<uint32_t> remap(n, static_cast<uint32_t>(-1));
+  uint32_t next = 0;
+  for (NodeId v = 0; v < n; ++v) {
+    uint32_t root = uf.Find(v);
+    if (remap[root] == static_cast<uint32_t>(-1)) {
+      remap[root] = next++;
+      out.sizes.push_back(0);
+    }
+    out.component[v] = remap[root];
+    out.sizes[remap[root]]++;
+  }
+  out.num_components = next;
+  return out;
+}
+
+ComponentResult StrongComponents(const Graph& g) {
+  const uint32_t n = g.num_nodes();
+  ComponentResult out;
+  out.component.assign(n, 0);
+  if (n == 0) return out;
+
+  constexpr uint32_t kUnvisited = static_cast<uint32_t>(-1);
+  std::vector<uint32_t> index(n, kUnvisited);
+  std::vector<uint32_t> lowlink(n, 0);
+  std::vector<char> on_stack(n, 0);
+  std::vector<NodeId> tarjan_stack;
+  uint32_t next_index = 0;
+  uint32_t next_comp = 0;
+
+  // Explicit DFS frame: node + position in its adjacency list.
+  struct Frame {
+    NodeId v;
+    size_t child;
+  };
+  std::vector<Frame> dfs;
+
+  for (NodeId start = 0; start < n; ++start) {
+    if (index[start] != kUnvisited) continue;
+    dfs.push_back(Frame{start, 0});
+    index[start] = lowlink[start] = next_index++;
+    tarjan_stack.push_back(start);
+    on_stack[start] = 1;
+
+    while (!dfs.empty()) {
+      Frame& frame = dfs.back();
+      NodeId v = frame.v;
+      auto nbrs = g.Neighbors(v);
+      if (frame.child < nbrs.size()) {
+        NodeId w = nbrs[frame.child++].id;
+        if (index[w] == kUnvisited) {
+          index[w] = lowlink[w] = next_index++;
+          tarjan_stack.push_back(w);
+          on_stack[w] = 1;
+          dfs.push_back(Frame{w, 0});
+        } else if (on_stack[w]) {
+          lowlink[v] = std::min(lowlink[v], index[w]);
+        }
+      } else {
+        if (lowlink[v] == index[v]) {
+          // v roots an SCC: pop the stack down to v.
+          uint32_t size = 0;
+          while (true) {
+            NodeId w = tarjan_stack.back();
+            tarjan_stack.pop_back();
+            on_stack[w] = 0;
+            out.component[w] = next_comp;
+            ++size;
+            if (w == v) break;
+          }
+          out.sizes.push_back(size);
+          ++next_comp;
+        }
+        dfs.pop_back();
+        if (!dfs.empty()) {
+          NodeId parent = dfs.back().v;
+          lowlink[parent] = std::min(lowlink[parent], lowlink[v]);
+        }
+      }
+    }
+  }
+  out.num_components = next_comp;
+  return out;
+}
+
+}  // namespace gmine::mining

@@ -1,0 +1,57 @@
+// Weakly and strongly connected components (§III-B metrics 3 and 4).
+// Weak components use union-find; strong components use an iterative
+// Tarjan so deep graphs cannot overflow the stack.
+
+#ifndef GMINE_MINING_COMPONENTS_H_
+#define GMINE_MINING_COMPONENTS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace gmine::mining {
+
+/// A component labeling: id per node plus component count and sizes.
+struct ComponentResult {
+  /// node -> component id in [0, num_components).
+  std::vector<uint32_t> component;
+  uint32_t num_components = 0;
+  /// size of each component, by component id.
+  std::vector<uint32_t> sizes;
+
+  /// Size of the largest component (0 for empty graphs).
+  uint32_t LargestSize() const;
+};
+
+/// Weak components: edge direction ignored.
+ComponentResult WeakComponents(const graph::Graph& g);
+
+/// Strong components via iterative Tarjan. On undirected graphs this
+/// coincides with weak components (every edge is bidirectional).
+ComponentResult StrongComponents(const graph::Graph& g);
+
+/// Union-find over dense ids; exposed because the G-Tree builder also
+/// uses it to group leaf members.
+class UnionFind {
+ public:
+  explicit UnionFind(uint32_t n);
+
+  /// Representative of v's set (path-halving).
+  uint32_t Find(uint32_t v);
+
+  /// Unions the sets of a and b; returns true when they were distinct.
+  bool Union(uint32_t a, uint32_t b);
+
+  /// Number of disjoint sets remaining.
+  uint32_t num_sets() const { return num_sets_; }
+
+ private:
+  std::vector<uint32_t> parent_;
+  std::vector<uint32_t> rank_;
+  uint32_t num_sets_;
+};
+
+}  // namespace gmine::mining
+
+#endif  // GMINE_MINING_COMPONENTS_H_

@@ -1,0 +1,60 @@
+#include "mining/degree.h"
+
+#include <cmath>
+
+#include "util/string_util.h"
+
+namespace gmine::mining {
+
+using graph::Graph;
+using graph::NodeId;
+
+DegreeDistribution ComputeDegreeDistribution(const Graph& g) {
+  DegreeDistribution out;
+  const uint32_t n = g.num_nodes();
+  if (n == 0) return out;
+  uint64_t total = 0;
+  out.min_degree = g.Degree(0);
+  for (NodeId v = 0; v < n; ++v) {
+    uint32_t d = g.Degree(v);
+    out.count[d]++;
+    total += d;
+    out.min_degree = std::min(out.min_degree, d);
+    out.max_degree = std::max(out.max_degree, d);
+  }
+  out.mean_degree = static_cast<double>(total) / n;
+
+  // Log-log least squares over degrees >= 1.
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  int pts = 0;
+  for (const auto& [d, c] : out.count) {
+    if (d == 0) continue;
+    double x = std::log(static_cast<double>(d));
+    double y = std::log(static_cast<double>(c));
+    sx += x;
+    sy += y;
+    sxx += x * x;
+    sxy += x * y;
+    ++pts;
+  }
+  if (pts >= 2) {
+    double denom = pts * sxx - sx * sx;
+    if (std::abs(denom) > 1e-12) {
+      out.powerlaw_slope = (pts * sxy - sx * sy) / denom;
+    }
+  }
+  return out;
+}
+
+std::vector<uint32_t> Degrees(const Graph& g) {
+  std::vector<uint32_t> out(g.num_nodes());
+  for (NodeId v = 0; v < g.num_nodes(); ++v) out[v] = g.Degree(v);
+  return out;
+}
+
+std::string DegreeDistribution::ToString() const {
+  return StrFormat("deg[min=%u avg=%.2f max=%u] plaw_slope=%.2f",
+                   min_degree, mean_degree, max_degree, powerlaw_slope);
+}
+
+}  // namespace gmine::mining

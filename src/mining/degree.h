@@ -1,0 +1,40 @@
+// Degree distribution — the first of the five on-demand subgraph metrics
+// GMine's §III-B offers (degree distribution, number of hops, weak
+// components, strong components, PageRank).
+
+#ifndef GMINE_MINING_DEGREE_H_
+#define GMINE_MINING_DEGREE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace gmine::mining {
+
+/// Exact degree distribution plus summary statistics.
+struct DegreeDistribution {
+  /// count[d] = number of nodes with degree d (sparse map).
+  std::map<uint32_t, uint64_t> count;
+  uint32_t min_degree = 0;
+  uint32_t max_degree = 0;
+  double mean_degree = 0.0;
+  /// Least-squares slope of log(count) vs log(degree) over degrees >= 1 —
+  /// the power-law exponent estimate (negative for heavy tails).
+  double powerlaw_slope = 0.0;
+
+  /// "deg min/avg/max slope" one-liner.
+  std::string ToString() const;
+};
+
+/// Computes the (out-)degree distribution of `g`.
+DegreeDistribution ComputeDegreeDistribution(const graph::Graph& g);
+
+/// All node degrees as a vector (for histograms).
+std::vector<uint32_t> Degrees(const graph::Graph& g);
+
+}  // namespace gmine::mining
+
+#endif  // GMINE_MINING_DEGREE_H_

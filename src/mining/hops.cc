@@ -1,0 +1,112 @@
+#include "mining/hops.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "util/rng.h"
+
+namespace gmine::mining {
+
+using graph::Graph;
+using graph::Neighbor;
+using graph::NodeId;
+
+std::vector<uint32_t> BfsDistances(const Graph& g, NodeId source) {
+  std::vector<uint32_t> dist(g.num_nodes(), kUnreachable);
+  if (source >= g.num_nodes()) return dist;
+  std::queue<NodeId> q;
+  dist[source] = 0;
+  q.push(source);
+  while (!q.empty()) {
+    NodeId u = q.front();
+    q.pop();
+    for (const Neighbor& nb : g.Neighbors(u)) {
+      if (dist[nb.id] == kUnreachable) {
+        dist[nb.id] = dist[u] + 1;
+        q.push(nb.id);
+      }
+    }
+  }
+  return dist;
+}
+
+uint32_t HopDistance(const Graph& g, NodeId a, NodeId b) {
+  if (a >= g.num_nodes() || b >= g.num_nodes()) return kUnreachable;
+  if (a == b) return 0;
+  // Plain BFS from a, early exit at b.
+  std::vector<uint32_t> dist(g.num_nodes(), kUnreachable);
+  std::queue<NodeId> q;
+  dist[a] = 0;
+  q.push(a);
+  while (!q.empty()) {
+    NodeId u = q.front();
+    q.pop();
+    for (const Neighbor& nb : g.Neighbors(u)) {
+      if (dist[nb.id] == kUnreachable) {
+        dist[nb.id] = dist[u] + 1;
+        if (nb.id == b) return dist[nb.id];
+        q.push(nb.id);
+      }
+    }
+  }
+  return kUnreachable;
+}
+
+HopPlot ComputeHopPlot(const Graph& g, uint32_t exact_threshold,
+                       uint32_t samples, uint64_t seed) {
+  HopPlot out;
+  const uint32_t n = g.num_nodes();
+  if (n == 0) return out;
+
+  std::vector<NodeId> sources;
+  if (n <= exact_threshold) {
+    sources.resize(n);
+    for (NodeId v = 0; v < n; ++v) sources[v] = v;
+  } else {
+    Rng rng(seed);
+    for (NodeId v : rng.SampleWithoutReplacement(n, samples)) {
+      sources.push_back(v);
+    }
+  }
+  out.sources_used = static_cast<uint32_t>(sources.size());
+
+  std::vector<uint64_t> count_at;  // pairs at exactly h hops
+  uint64_t finite_pairs = 0;
+  double dist_sum = 0.0;
+  for (NodeId s : sources) {
+    std::vector<uint32_t> dist = BfsDistances(g, s);
+    for (NodeId v = 0; v < n; ++v) {
+      uint32_t d = dist[v];
+      if (v == s || d == kUnreachable) continue;
+      if (d >= count_at.size()) count_at.resize(d + 1, 0);
+      count_at[d]++;
+      ++finite_pairs;
+      dist_sum += d;
+      out.diameter = std::max(out.diameter, d);
+    }
+  }
+
+  // Cumulative sum: reachable_pairs[h] = pairs within <= h hops.
+  // count_at[d] counts pairs at exactly d hops (d >= 1 always, so
+  // reachable_pairs[0] stays 0).
+  out.reachable_pairs.assign(count_at.size(), 0);
+  uint64_t acc = 0;
+  for (size_t h = 0; h < count_at.size(); ++h) {
+    acc += count_at[h];
+    out.reachable_pairs[h] = acc;
+  }
+
+  if (finite_pairs > 0) {
+    out.mean_distance = dist_sum / static_cast<double>(finite_pairs);
+    uint64_t want = (finite_pairs * 9 + 9) / 10;  // ceil(0.9 * pairs)
+    for (size_t h = 1; h < out.reachable_pairs.size(); ++h) {
+      if (out.reachable_pairs[h] >= want) {
+        out.effective_diameter_90 = static_cast<uint32_t>(h);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace gmine::mining

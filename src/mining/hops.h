@@ -1,0 +1,47 @@
+// "Number of hops" metric (§III-B metric 2): BFS distances, hop plot
+// (number of reachable pairs within h hops), exact/approximate effective
+// diameter and average path length.
+
+#ifndef GMINE_MINING_HOPS_H_
+#define GMINE_MINING_HOPS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/status.h"
+
+namespace gmine::mining {
+
+/// BFS distances from `source`; unreachable nodes get kUnreachable.
+inline constexpr uint32_t kUnreachable = static_cast<uint32_t>(-1);
+std::vector<uint32_t> BfsDistances(const graph::Graph& g,
+                                   graph::NodeId source);
+
+/// Shortest hop count between two nodes, or kUnreachable.
+uint32_t HopDistance(const graph::Graph& g, graph::NodeId a,
+                     graph::NodeId b);
+
+/// Hop statistics of a graph.
+struct HopPlot {
+  /// reachable_pairs[h] = number of ordered reachable pairs (u,v), u != v,
+  /// with distance <= h. Index 0 is 0 by construction.
+  std::vector<uint64_t> reachable_pairs;
+  /// Largest finite distance seen (diameter over sampled sources).
+  uint32_t diameter = 0;
+  /// Smallest h such that >= 90% of reachable pairs are within h hops.
+  uint32_t effective_diameter_90 = 0;
+  /// Mean finite distance over sampled pairs.
+  double mean_distance = 0.0;
+  /// Sources actually used (== n for exact, <= sample cap otherwise).
+  uint32_t sources_used = 0;
+};
+
+/// Computes the hop plot by running BFS from every node when
+/// n <= exact_threshold, otherwise from `samples` random sources.
+HopPlot ComputeHopPlot(const graph::Graph& g, uint32_t exact_threshold = 2048,
+                       uint32_t samples = 256, uint64_t seed = 1);
+
+}  // namespace gmine::mining
+
+#endif  // GMINE_MINING_HOPS_H_

@@ -1,0 +1,77 @@
+#include "mining/kcore.h"
+
+#include <algorithm>
+
+namespace gmine::mining {
+
+using graph::Graph;
+using graph::Neighbor;
+using graph::NodeId;
+
+KCoreResult KCoreDecomposition(const Graph& g) {
+  KCoreResult out;
+  const uint32_t n = g.num_nodes();
+  out.core.assign(n, 0);
+  if (n == 0) return out;
+
+  // Bucket sort nodes by degree (Batagelj–Zaveršnik).
+  uint32_t max_deg = 0;
+  std::vector<uint32_t> deg(n);
+  for (NodeId v = 0; v < n; ++v) {
+    deg[v] = g.Degree(v);
+    max_deg = std::max(max_deg, deg[v]);
+  }
+  std::vector<uint32_t> bucket_start(max_deg + 2, 0);
+  for (NodeId v = 0; v < n; ++v) bucket_start[deg[v] + 1]++;
+  for (uint32_t d = 1; d <= max_deg + 1; ++d) {
+    bucket_start[d] += bucket_start[d - 1];
+  }
+  std::vector<NodeId> order(n);       // nodes sorted by current degree
+  std::vector<uint32_t> position(n);  // node -> index in `order`
+  {
+    std::vector<uint32_t> cursor(bucket_start.begin(),
+                                 bucket_start.end() - 1);
+    for (NodeId v = 0; v < n; ++v) {
+      position[v] = cursor[deg[v]];
+      order[position[v]] = v;
+      cursor[deg[v]]++;
+    }
+  }
+
+  for (uint32_t i = 0; i < n; ++i) {
+    NodeId v = order[i];
+    out.core[v] = deg[v];
+    for (const Neighbor& nb : g.Neighbors(v)) {
+      NodeId u = nb.id;
+      if (deg[u] <= deg[v]) continue;
+      // Move u to the front of its bucket, then shrink its degree.
+      uint32_t du = deg[u];
+      uint32_t pu = position[u];
+      uint32_t pw = bucket_start[du];  // first slot of bucket du
+      NodeId w = order[pw];
+      if (u != w) {
+        std::swap(order[pu], order[pw]);
+        position[u] = pw;
+        position[w] = pu;
+      }
+      bucket_start[du]++;
+      deg[u]--;
+    }
+  }
+
+  for (uint32_t c : out.core) out.degeneracy = std::max(out.degeneracy, c);
+  for (uint32_t c : out.core) {
+    if (c == out.degeneracy) ++out.innermost_size;
+  }
+  return out;
+}
+
+std::vector<NodeId> KCoreMembers(const KCoreResult& result, uint32_t k) {
+  std::vector<NodeId> out;
+  for (NodeId v = 0; v < result.core.size(); ++v) {
+    if (result.core[v] >= k) out.push_back(v);
+  }
+  return out;
+}
+
+}  // namespace gmine::mining

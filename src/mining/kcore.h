@@ -1,0 +1,37 @@
+// k-core decomposition — another extension of the §III-B mining family.
+// The core number of an author measures how deeply nested they are in
+// densely collaborating groups; the demo's "long term active and
+// collaborating authors" vs "casual authors" distinction (Fig. 3a
+// narrative) is exactly a core-number contrast.
+
+#ifndef GMINE_MINING_KCORE_H_
+#define GMINE_MINING_KCORE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace gmine::mining {
+
+/// Result of the k-core decomposition.
+struct KCoreResult {
+  /// Core number per node (0 for isolated nodes).
+  std::vector<uint32_t> core;
+  /// Largest core number in the graph (graph degeneracy).
+  uint32_t degeneracy = 0;
+  /// Number of nodes in the innermost (degeneracy-) core.
+  uint32_t innermost_size = 0;
+};
+
+/// Computes core numbers with the Batagelj–Zaveršnik bucket algorithm
+/// (O(n + m)). Undirected interpretation: out-degree on symmetric CSR.
+KCoreResult KCoreDecomposition(const graph::Graph& g);
+
+/// Nodes of the k-core (core number >= k), ascending id order.
+std::vector<graph::NodeId> KCoreMembers(const KCoreResult& result,
+                                        uint32_t k);
+
+}  // namespace gmine::mining
+
+#endif  // GMINE_MINING_KCORE_H_

@@ -1,0 +1,53 @@
+#include "mining/metrics.h"
+
+#include "util/string_util.h"
+
+namespace gmine::mining {
+
+SubgraphMetrics ComputeMetrics(const graph::Graph& g,
+                               const MetricsRequest& request) {
+  SubgraphMetrics out;
+  if (request.degree_distribution) {
+    out.degrees = ComputeDegreeDistribution(g);
+  }
+  if (request.hop_plot) {
+    out.hops = ComputeHopPlot(g, request.hop_exact_threshold,
+                              request.hop_samples, request.seed);
+  }
+  if (request.weak_components) out.weak = WeakComponents(g);
+  if (request.strong_components) out.strong = StrongComponents(g);
+  if (request.pagerank) {
+    out.pagerank = ComputePageRank(g, request.pagerank_options);
+  }
+  if (request.clustering) out.clustering = ComputeClustering(g);
+  if (request.kcore) out.kcore = KCoreDecomposition(g);
+  return out;
+}
+
+std::string SubgraphMetrics::Report() const {
+  std::string out;
+  out += StrFormat("degrees:    %s\n", degrees.ToString().c_str());
+  out += StrFormat(
+      "hops:       diameter=%u eff90=%u mean=%.2f (sources=%u)\n",
+      hops.diameter, hops.effective_diameter_90, hops.mean_distance,
+      hops.sources_used);
+  out += StrFormat("weak cc:    %u components, largest=%u\n",
+                   weak.num_components, weak.LargestSize());
+  out += StrFormat("strong cc:  %u components, largest=%u\n",
+                   strong.num_components, strong.LargestSize());
+  out += StrFormat("pagerank:   %d iterations, converged=%s\n",
+                   pagerank.iterations, pagerank.converged ? "yes" : "no");
+  if (clustering.triangles > 0 || clustering.eligible_nodes > 0) {
+    out += StrFormat(
+        "clustering: %llu triangles, global=%.3f mean_local=%.3f\n",
+        static_cast<unsigned long long>(clustering.triangles),
+        clustering.global_coefficient, clustering.mean_local_coefficient);
+  }
+  if (kcore.degeneracy > 0) {
+    out += StrFormat("k-core:     degeneracy=%u innermost=%u nodes\n",
+                     kcore.degeneracy, kcore.innermost_size);
+  }
+  return out;
+}
+
+}  // namespace gmine::mining

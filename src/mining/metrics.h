@@ -1,0 +1,59 @@
+// Umbrella for the "calculation of metrical features corresponding to
+// this subgraph only" (§III-B): bundles the five supported metrics into
+// one call so the engine can answer a metrics request for the community
+// the user has focused.
+
+#ifndef GMINE_MINING_METRICS_H_
+#define GMINE_MINING_METRICS_H_
+
+#include <string>
+
+#include "graph/graph.h"
+#include "mining/clustering.h"
+#include "mining/components.h"
+#include "mining/degree.h"
+#include "mining/hops.h"
+#include "mining/kcore.h"
+#include "mining/pagerank.h"
+
+namespace gmine::mining {
+
+/// Which metrics to compute. The paper's five are on by default; the two
+/// extension metrics (clustering, k-core) are opt-in.
+struct MetricsRequest {
+  bool degree_distribution = true;
+  bool hop_plot = true;
+  bool weak_components = true;
+  bool strong_components = true;
+  bool pagerank = true;
+  /// Extensions beyond the paper's list.
+  bool clustering = false;
+  bool kcore = false;
+  PageRankOptions pagerank_options;
+  uint32_t hop_exact_threshold = 2048;
+  uint32_t hop_samples = 128;
+  uint64_t seed = 1;
+};
+
+/// All §III-B metrics (plus optional extensions) for one subgraph.
+struct SubgraphMetrics {
+  DegreeDistribution degrees;
+  HopPlot hops;
+  ComponentResult weak;
+  ComponentResult strong;
+  PageRankResult pagerank;
+  ClusteringStats clustering;   // populated when requested
+  KCoreResult kcore;            // populated when requested
+
+  /// Multi-line human-readable report (used by examples and details-on-
+  /// demand displays).
+  std::string Report() const;
+};
+
+/// Computes the requested metrics over `g`.
+SubgraphMetrics ComputeMetrics(const graph::Graph& g,
+                               const MetricsRequest& request = {});
+
+}  // namespace gmine::mining
+
+#endif  // GMINE_MINING_METRICS_H_

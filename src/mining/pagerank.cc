@@ -1,0 +1,72 @@
+#include "mining/pagerank.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace gmine::mining {
+
+using graph::Graph;
+using graph::Neighbor;
+using graph::NodeId;
+
+PageRankResult ComputePageRank(const Graph& g,
+                               const PageRankOptions& options) {
+  PageRankResult out;
+  const uint32_t n = g.num_nodes();
+  if (n == 0) return out;
+  const double d = options.damping;
+
+  std::vector<double> rank(n, 1.0 / n);
+  std::vector<double> next(n, 0.0);
+  std::vector<double> out_norm(n, 0.0);  // degree or weighted degree
+  for (NodeId v = 0; v < n; ++v) {
+    out_norm[v] = options.weighted ? static_cast<double>(g.WeightedDegree(v))
+                                   : static_cast<double>(g.Degree(v));
+  }
+
+  for (int it = 0; it < options.max_iterations; ++it) {
+    std::fill(next.begin(), next.end(), 0.0);
+    double dangling = 0.0;
+    for (NodeId v = 0; v < n; ++v) {
+      if (out_norm[v] <= 0.0) {
+        dangling += rank[v];
+        continue;
+      }
+      double share = rank[v] / out_norm[v];
+      for (const Neighbor& nb : g.Neighbors(v)) {
+        next[nb.id] += share * (options.weighted ? nb.weight : 1.0);
+      }
+    }
+    double base = (1.0 - d) / n + d * dangling / n;
+    double delta = 0.0;
+    for (NodeId v = 0; v < n; ++v) {
+      double nv = base + d * next[v];
+      delta += std::abs(nv - rank[v]);
+      rank[v] = nv;
+    }
+    out.iterations = it + 1;
+    out.final_delta = delta;
+    if (delta < options.tolerance) {
+      out.converged = true;
+      break;
+    }
+  }
+  out.score = std::move(rank);
+  return out;
+}
+
+std::vector<NodeId> TopKByScore(const std::vector<double>& score,
+                                uint32_t k) {
+  std::vector<NodeId> ids(score.size());
+  for (NodeId v = 0; v < ids.size(); ++v) ids[v] = v;
+  uint32_t kk = std::min<uint32_t>(k, static_cast<uint32_t>(ids.size()));
+  std::partial_sort(ids.begin(), ids.begin() + kk, ids.end(),
+                    [&](NodeId a, NodeId b) {
+                      if (score[a] != score[b]) return score[a] > score[b];
+                      return a < b;
+                    });
+  ids.resize(kk);
+  return ids;
+}
+
+}  // namespace gmine::mining

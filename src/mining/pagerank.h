@@ -1,0 +1,45 @@
+// PageRank (§III-B metric 5) by power iteration with dangling-mass
+// redistribution. Works on directed and undirected graphs (undirected
+// edges act as two arcs).
+
+#ifndef GMINE_MINING_PAGERANK_H_
+#define GMINE_MINING_PAGERANK_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace gmine::mining {
+
+/// PageRank tunables.
+struct PageRankOptions {
+  double damping = 0.85;
+  /// Stop when the L1 change between iterations falls below this.
+  double tolerance = 1e-9;
+  int max_iterations = 100;
+  /// Weighted transition probabilities (proportional to edge weight)
+  /// instead of uniform over out-neighbors.
+  bool weighted = false;
+};
+
+/// PageRank output.
+struct PageRankResult {
+  /// Scores summing to 1 (within tolerance).
+  std::vector<double> score;
+  int iterations = 0;
+  double final_delta = 0.0;
+  bool converged = false;
+};
+
+/// Computes PageRank on `g`.
+PageRankResult ComputePageRank(const graph::Graph& g,
+                               const PageRankOptions& options = {});
+
+/// Node ids of the top-k scores, descending.
+std::vector<graph::NodeId> TopKByScore(const std::vector<double>& score,
+                                       uint32_t k);
+
+}  // namespace gmine::mining
+
+#endif  // GMINE_MINING_PAGERANK_H_

@@ -1,0 +1,64 @@
+#include "partition/coarsen.h"
+
+#include <cassert>
+#include <unordered_map>
+
+#include "graph/graph_builder.h"
+
+namespace gmine::partition {
+
+using graph::Graph;
+using graph::GraphBuilder;
+using graph::Neighbor;
+using graph::NodeId;
+
+CoarseLevel ContractMatching(const Graph& g, const Matching& match) {
+  const uint32_t n = g.num_nodes();
+  CoarseLevel out;
+  out.fine_to_coarse.assign(n, graph::kInvalidNode);
+  NodeId next = 0;
+  for (NodeId v = 0; v < n; ++v) {
+    if (out.fine_to_coarse[v] != graph::kInvalidNode) continue;
+    NodeId u = match[v];
+    out.fine_to_coarse[v] = next;
+    if (u != v) out.fine_to_coarse[u] = next;
+    ++next;
+  }
+
+  GraphBuilder builder;
+  builder.ReserveNodes(next);
+  // Coarse node weights = sum of member fine weights.
+  std::vector<float> cw(next, 0.0f);
+  for (NodeId v = 0; v < n; ++v) {
+    cw[out.fine_to_coarse[v]] += g.NodeWeight(v);
+  }
+  for (NodeId c = 0; c < next; ++c) builder.SetNodeWeight(c, cw[c]);
+
+  // Coarse edges: emit each fine undirected edge once from the smaller
+  // coarse endpoint; builder merges parallels by summing.
+  for (NodeId v = 0; v < n; ++v) {
+    NodeId cv = out.fine_to_coarse[v];
+    for (const Neighbor& nb : g.Neighbors(v)) {
+      if (nb.id < v) continue;  // visit each undirected edge once
+      NodeId cu = out.fine_to_coarse[nb.id];
+      if (cu == cv) continue;  // contracted away
+      builder.AddEdge(cv, cu, nb.weight);
+    }
+  }
+  auto built = builder.Build();
+  assert(built.ok());
+  out.graph = std::move(built).value();
+  return out;
+}
+
+std::vector<uint32_t> ProjectAssignment(
+    const std::vector<NodeId>& fine_to_coarse,
+    const std::vector<uint32_t>& coarse_assignment) {
+  std::vector<uint32_t> fine(fine_to_coarse.size());
+  for (size_t v = 0; v < fine_to_coarse.size(); ++v) {
+    fine[v] = coarse_assignment[fine_to_coarse[v]];
+  }
+  return fine;
+}
+
+}  // namespace gmine::partition

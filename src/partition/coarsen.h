@@ -1,0 +1,35 @@
+// Graph contraction for the multilevel partitioner: collapse each matched
+// pair into one coarse node whose weight is the sum of the pair's weights;
+// parallel coarse edges merge by summing weights.
+
+#ifndef GMINE_PARTITION_COARSEN_H_
+#define GMINE_PARTITION_COARSEN_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "partition/matching.h"
+
+namespace gmine::partition {
+
+/// A coarsened graph plus the fine->coarse projection map.
+struct CoarseLevel {
+  graph::Graph graph;
+  /// fine node id -> coarse node id.
+  std::vector<graph::NodeId> fine_to_coarse;
+};
+
+/// Contracts `g` along `match`. Coarse ids are assigned in order of the
+/// smaller endpoint. Self-edges created by contraction (intra-pair edges)
+/// are dropped; their weight disappears from the coarse graph, which is
+/// correct for cut computation (they can never be cut again).
+CoarseLevel ContractMatching(const graph::Graph& g, const Matching& match);
+
+/// Projects a coarse-level partition assignment back to the fine level.
+std::vector<uint32_t> ProjectAssignment(
+    const std::vector<graph::NodeId>& fine_to_coarse,
+    const std::vector<uint32_t>& coarse_assignment);
+
+}  // namespace gmine::partition
+
+#endif  // GMINE_PARTITION_COARSEN_H_

@@ -1,0 +1,108 @@
+#include "partition/initial_partition.h"
+
+#include <queue>
+
+#include "partition/quality.h"
+
+namespace gmine::partition {
+
+using graph::Graph;
+using graph::Neighbor;
+using graph::NodeId;
+
+std::vector<uint32_t> GreedyGrowBisection(const Graph& g,
+                                          double target_fraction, Rng* rng) {
+  const uint32_t n = g.num_nodes();
+  std::vector<uint32_t> side(n, 1);
+  if (n == 0) return side;
+  double total = g.TotalNodeWeight();
+  double target = total * target_fraction;
+  double grown = 0.0;
+
+  // gain[v] = (weight to part 0) - (weight to part 1) for v in part 1.
+  std::vector<double> gain(n, 0.0);
+  std::vector<char> in_region(n, 0);
+  using Entry = std::pair<double, NodeId>;  // (gain, node), max-heap
+  std::priority_queue<Entry> heap;
+
+  auto absorb = [&](NodeId v) {
+    side[v] = 0;
+    in_region[v] = 1;
+    grown += g.NodeWeight(v);
+    for (const Neighbor& nb : g.Neighbors(v)) {
+      if (in_region[nb.id]) continue;
+      gain[nb.id] += 2.0 * nb.weight;  // nb's edge to v flips sides
+      heap.emplace(gain[nb.id], nb.id);
+    }
+  };
+
+  while (grown < target) {
+    NodeId next = graph::kInvalidNode;
+    // Pop until a fresh entry (lazy deletion).
+    while (!heap.empty()) {
+      auto [gval, v] = heap.top();
+      heap.pop();
+      if (!in_region[v] && gval == gain[v]) {
+        next = v;
+        break;
+      }
+    }
+    if (next == graph::kInvalidNode) {
+      // Frontier exhausted (disconnected graph): restart from a random
+      // node outside the region.
+      uint32_t remaining = 0;
+      for (NodeId v = 0; v < n; ++v) remaining += !in_region[v];
+      if (remaining == 0) break;
+      uint64_t pick = rng->Uniform(remaining);
+      for (NodeId v = 0; v < n; ++v) {
+        if (!in_region[v] && pick-- == 0) {
+          next = v;
+          break;
+        }
+      }
+    }
+    if (next == graph::kInvalidNode) break;
+    // Stop before overshooting badly: absorbing must not push part 0
+    // further from the target than staying.
+    double w = g.NodeWeight(next);
+    if (grown > 0 && grown + w - target > target - grown) break;
+    absorb(next);
+  }
+  return side;
+}
+
+std::vector<uint32_t> BestGreedyGrowBisection(const Graph& g,
+                                              double target_fraction,
+                                              int tries, Rng* rng) {
+  std::vector<uint32_t> best;
+  double best_cut = -1.0;
+  for (int t = 0; t < tries; ++t) {
+    std::vector<uint32_t> cand = GreedyGrowBisection(g, target_fraction, rng);
+    double cut = EdgeCut(g, cand);
+    if (best_cut < 0 || cut < best_cut) {
+      best_cut = cut;
+      best = std::move(cand);
+    }
+  }
+  return best;
+}
+
+std::vector<uint32_t> RandomBisection(const Graph& g, double target_fraction,
+                                      Rng* rng) {
+  const uint32_t n = g.num_nodes();
+  std::vector<NodeId> order(n);
+  for (NodeId v = 0; v < n; ++v) order[v] = v;
+  rng->Shuffle(&order);
+  std::vector<uint32_t> side(n, 1);
+  double total = g.TotalNodeWeight();
+  double target = total * target_fraction;
+  double grown = 0.0;
+  for (NodeId v : order) {
+    if (grown >= target) break;
+    side[v] = 0;
+    grown += g.NodeWeight(v);
+  }
+  return side;
+}
+
+}  // namespace gmine::partition

@@ -1,0 +1,35 @@
+// Initial bisections computed on the coarsest graph of the multilevel
+// scheme: greedy graph growing (the METIS GGGP rule) and a random
+// bisection baseline.
+
+#ifndef GMINE_PARTITION_INITIAL_PARTITION_H_
+#define GMINE_PARTITION_INITIAL_PARTITION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/rng.h"
+
+namespace gmine::partition {
+
+/// Grows part 0 from a random seed node, repeatedly absorbing the boundary
+/// node with the highest cut-reduction gain, until part 0 holds
+/// `target_fraction` of the total node weight. Returns a 0/1 assignment.
+std::vector<uint32_t> GreedyGrowBisection(const graph::Graph& g,
+                                          double target_fraction, Rng* rng);
+
+/// Runs GreedyGrowBisection `tries` times and returns the assignment with
+/// the lowest edge cut.
+std::vector<uint32_t> BestGreedyGrowBisection(const graph::Graph& g,
+                                              double target_fraction,
+                                              int tries, Rng* rng);
+
+/// Assigns nodes to side 0 until `target_fraction` of total weight is
+/// reached, in random order (baseline).
+std::vector<uint32_t> RandomBisection(const graph::Graph& g,
+                                      double target_fraction, Rng* rng);
+
+}  // namespace gmine::partition
+
+#endif  // GMINE_PARTITION_INITIAL_PARTITION_H_

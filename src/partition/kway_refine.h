@@ -1,0 +1,51 @@
+// Direct k-way boundary refinement (the kmetis-style alternative to
+// recursive bisection): greedy moves of boundary nodes to the adjacent
+// part with the highest cut gain, subject to the balance constraint.
+// Used as a post-pass over any k-way assignment; exposed separately so
+// the partitioner ablation (bench_partition_quality) can measure its
+// contribution.
+
+#ifndef GMINE_PARTITION_KWAY_REFINE_H_
+#define GMINE_PARTITION_KWAY_REFINE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace gmine::partition {
+
+/// Tunables for k-way refinement.
+struct KwayRefineOptions {
+  /// Maximum full passes over the boundary.
+  int max_passes = 8;
+  /// Balance cap: part weight <= imbalance * ideal.
+  double imbalance = 1.08;
+  /// Stop a pass early after this many consecutive non-positive-gain
+  /// moves (0 = never).
+  uint32_t stall_limit = 256;
+};
+
+/// Refinement statistics.
+struct KwayRefineStats {
+  int passes = 0;
+  uint64_t moves = 0;
+  double initial_cut = 0.0;
+  double final_cut = 0.0;
+};
+
+/// Greedily refines `assignment` (values in [0,k)) in place. Only moves
+/// that strictly reduce the cut and respect the balance cap are kept, so
+/// the cut never increases. Returns statistics.
+KwayRefineStats KwayRefine(const graph::Graph& g, uint32_t k,
+                           std::vector<uint32_t>* assignment,
+                           const KwayRefineOptions& options = {});
+
+/// True if every part weight respects the cap (used by tests).
+bool KwayBalanced(const graph::Graph& g,
+                  const std::vector<uint32_t>& assignment, uint32_t k,
+                  double imbalance);
+
+}  // namespace gmine::partition
+
+#endif  // GMINE_PARTITION_KWAY_REFINE_H_

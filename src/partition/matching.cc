@@ -1,0 +1,82 @@
+#include "partition/matching.h"
+
+namespace gmine::partition {
+
+using graph::Graph;
+using graph::Neighbor;
+using graph::NodeId;
+
+namespace {
+std::vector<NodeId> RandomOrder(uint32_t n, Rng* rng) {
+  std::vector<NodeId> order(n);
+  for (uint32_t v = 0; v < n; ++v) order[v] = v;
+  rng->Shuffle(&order);
+  return order;
+}
+}  // namespace
+
+Matching HeavyEdgeMatching(const Graph& g, Rng* rng) {
+  const uint32_t n = g.num_nodes();
+  Matching match(n);
+  for (uint32_t v = 0; v < n; ++v) match[v] = v;
+  for (NodeId v : RandomOrder(n, rng)) {
+    if (match[v] != v) continue;  // already matched
+    NodeId best = graph::kInvalidNode;
+    float best_w = -1.0f;
+    for (const Neighbor& nb : g.Neighbors(v)) {
+      if (nb.id == v || match[nb.id] != nb.id) continue;
+      if (nb.weight > best_w) {
+        best_w = nb.weight;
+        best = nb.id;
+      }
+    }
+    if (best != graph::kInvalidNode) {
+      match[v] = best;
+      match[best] = v;
+    }
+  }
+  return match;
+}
+
+Matching RandomMatching(const Graph& g, Rng* rng) {
+  const uint32_t n = g.num_nodes();
+  Matching match(n);
+  for (uint32_t v = 0; v < n; ++v) match[v] = v;
+  for (NodeId v : RandomOrder(n, rng)) {
+    if (match[v] != v) continue;
+    // Reservoir-sample one unmatched neighbor.
+    NodeId pick = graph::kInvalidNode;
+    uint64_t seen = 0;
+    for (const Neighbor& nb : g.Neighbors(v)) {
+      if (nb.id == v || match[nb.id] != nb.id) continue;
+      ++seen;
+      if (rng->Uniform(seen) == 0) pick = nb.id;
+    }
+    if (pick != graph::kInvalidNode) {
+      match[v] = pick;
+      match[pick] = v;
+    }
+  }
+  return match;
+}
+
+size_t MatchedPairCount(const Matching& m) {
+  size_t pairs = 0;
+  for (size_t v = 0; v < m.size(); ++v) {
+    if (m[v] != v && m[v] > v) ++pairs;
+  }
+  return pairs;
+}
+
+bool ValidateMatching(const graph::Graph& g, const Matching& m) {
+  if (m.size() != g.num_nodes()) return false;
+  for (NodeId v = 0; v < m.size(); ++v) {
+    NodeId u = m[v];
+    if (u >= m.size()) return false;
+    if (m[u] != v) return false;
+    if (u != v && !g.HasEdge(v, u)) return false;
+  }
+  return true;
+}
+
+}  // namespace gmine::partition

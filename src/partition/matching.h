@@ -1,0 +1,38 @@
+// Matchings for multilevel coarsening.
+//
+// Heavy-edge matching (HEM) visits nodes in random order and matches each
+// unmatched node with its unmatched neighbor of maximum edge weight —
+// the coarsening rule METIS uses, which preserves heavy intra-community
+// edges so communities survive coarsening.
+
+#ifndef GMINE_PARTITION_MATCHING_H_
+#define GMINE_PARTITION_MATCHING_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/rng.h"
+
+namespace gmine::partition {
+
+/// A matching: match[v] is v's partner, or v itself when unmatched.
+using Matching = std::vector<graph::NodeId>;
+
+/// Heavy-edge matching in random node order. Guarantees match[match[v]]
+/// == v and match[v] != v implies the edge (v, match[v]) exists.
+Matching HeavyEdgeMatching(const graph::Graph& g, Rng* rng);
+
+/// Random matching (baseline for the coarsening ablation): matches each
+/// node with a uniformly random unmatched neighbor.
+Matching RandomMatching(const graph::Graph& g, Rng* rng);
+
+/// Number of matched pairs in `m`.
+size_t MatchedPairCount(const Matching& m);
+
+/// Validates matching invariants (symmetry, edge existence); returns true
+/// when consistent. Used by tests and debug assertions.
+bool ValidateMatching(const graph::Graph& g, const Matching& m);
+
+}  // namespace gmine::partition
+
+#endif  // GMINE_PARTITION_MATCHING_H_

@@ -1,0 +1,217 @@
+#include "partition/partitioner.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "graph/subgraph.h"
+#include "partition/coarsen.h"
+#include "partition/initial_partition.h"
+#include "partition/kway_refine.h"
+#include "partition/matching.h"
+#include "partition/quality.h"
+#include "partition/refine.h"
+#include "util/rng.h"
+#include "util/string_util.h"
+
+namespace gmine::partition {
+
+using graph::Graph;
+using graph::Neighbor;
+using graph::NodeId;
+using graph::Subgraph;
+
+std::vector<uint32_t> MultilevelBisection(const Graph& g,
+                                          double target_fraction,
+                                          const PartitionOptions& options,
+                                          int* levels_used) {
+  Rng rng(options.seed);
+  FmOptions fm;
+  fm.max_passes = options.refine_passes;
+  fm.imbalance = options.imbalance;
+
+  // Coarsening phase.
+  std::vector<CoarseLevel> levels;
+  const Graph* cur = &g;
+  while (cur->num_nodes() > options.coarsen_to) {
+    Matching match = HeavyEdgeMatching(*cur, &rng);
+    size_t pairs = MatchedPairCount(match);
+    // Stop when matching no longer shrinks the graph meaningfully
+    // (< 5% reduction) — typical on star-like graphs.
+    if (pairs * 20 < cur->num_nodes()) break;
+    levels.push_back(ContractMatching(*cur, match));
+    cur = &levels.back().graph;
+  }
+  if (levels_used != nullptr) {
+    *levels_used = static_cast<int>(levels.size());
+  }
+
+  // Initial partition on the coarsest graph.
+  std::vector<uint32_t> side =
+      BestGreedyGrowBisection(*cur, target_fraction, options.initial_tries,
+                              &rng);
+  FmRefineBisection(*cur, &side, target_fraction, fm);
+
+  // Uncoarsening with per-level refinement.
+  for (size_t i = levels.size(); i > 0; --i) {
+    side = ProjectAssignment(levels[i - 1].fine_to_coarse, side);
+    const Graph& fine =
+        (i >= 2) ? levels[i - 2].graph : g;
+    FmRefineBisection(fine, &side, target_fraction, fm);
+  }
+  return side;
+}
+
+namespace {
+
+// Recursively bisects the subset `nodes` of `g` into parts
+// [first_part, first_part + k), writing into `assignment`.
+Status RecursiveBisect(const Graph& g, const std::vector<NodeId>& nodes,
+                       uint32_t k, uint32_t first_part,
+                       const PartitionOptions& options, uint64_t salt,
+                       std::vector<uint32_t>* assignment, int* levels_used) {
+  if (k <= 1 || nodes.empty()) {
+    for (NodeId v : nodes) (*assignment)[v] = first_part;
+    return Status::OK();
+  }
+  auto sub = InducedSubgraph(g, nodes);
+  if (!sub.ok()) return sub.status();
+  const Subgraph& s = sub.value();
+
+  uint32_t kl = (k + 1) / 2;  // left gets the larger half for odd k
+  uint32_t kr = k - kl;
+  double target_left = static_cast<double>(kl) / static_cast<double>(k);
+
+  PartitionOptions sub_opts = options;
+  sub_opts.seed = options.seed ^ (salt * 0x9e3779b97f4a7c15ULL + k);
+  int lv = 0;
+  std::vector<uint32_t> side =
+      MultilevelBisection(s.graph, target_left, sub_opts, &lv);
+  if (levels_used != nullptr) *levels_used = std::max(*levels_used, lv);
+
+  std::vector<NodeId> left;
+  std::vector<NodeId> right;
+  left.reserve(nodes.size());
+  right.reserve(nodes.size());
+  for (uint32_t local = 0; local < side.size(); ++local) {
+    (side[local] == 0 ? left : right).push_back(s.ParentId(local));
+  }
+  // Degenerate split (all nodes one side): force a weight-balanced split
+  // so recursion terminates and no part ends up empty unnecessarily.
+  if (left.empty() || right.empty()) {
+    std::vector<NodeId> all = nodes;
+    size_t cut_at = all.size() * kl / k;
+    left.assign(all.begin(), all.begin() + cut_at);
+    right.assign(all.begin() + cut_at, all.end());
+  }
+  GMINE_RETURN_IF_ERROR(RecursiveBisect(g, left, kl, first_part, options,
+                                        salt * 2 + 1, assignment,
+                                        levels_used));
+  return RecursiveBisect(g, right, kr, first_part + kl, options,
+                         salt * 2 + 2, assignment, levels_used);
+}
+
+PartitionResult FinishResult(const Graph& g, std::vector<uint32_t> assignment,
+                             uint32_t k, int levels_used) {
+  PartitionResult out;
+  out.k = k;
+  out.edge_cut = EdgeCut(g, assignment);
+  out.imbalance = Imbalance(g, assignment, k);
+  out.levels_used = levels_used;
+  out.assignment = std::move(assignment);
+  return out;
+}
+
+}  // namespace
+
+gmine::Result<PartitionResult> PartitionGraph(const Graph& g,
+                                              const PartitionOptions& options) {
+  if (options.k == 0) {
+    return Status::InvalidArgument("PartitionGraph: k must be >= 1");
+  }
+  if (options.imbalance < 1.0) {
+    return Status::InvalidArgument("PartitionGraph: imbalance must be >= 1");
+  }
+  if (g.directed()) {
+    return Status::InvalidArgument(
+        "PartitionGraph: directed graphs not supported (symmetrize first)");
+  }
+  const uint32_t n = g.num_nodes();
+  std::vector<uint32_t> assignment(n, 0);
+  if (options.k == 1 || n <= 1) {
+    return FinishResult(g, std::move(assignment), options.k, 0);
+  }
+  if (options.k >= n) {
+    for (NodeId v = 0; v < n; ++v) assignment[v] = v;
+    return FinishResult(g, std::move(assignment), options.k, 0);
+  }
+  std::vector<NodeId> all(n);
+  for (NodeId v = 0; v < n; ++v) all[v] = v;
+  int levels_used = 0;
+  GMINE_RETURN_IF_ERROR(RecursiveBisect(g, all, options.k, 0, options, 1,
+                                        &assignment, &levels_used));
+  if (options.kway_refine && options.k >= 2) {
+    KwayRefineOptions kopts;
+    kopts.max_passes = options.refine_passes;
+    kopts.imbalance = options.imbalance * 1.02;  // slight slack over RB
+    KwayRefine(g, options.k, &assignment, kopts);
+  }
+  return FinishResult(g, std::move(assignment), options.k, levels_used);
+}
+
+gmine::Result<PartitionResult> RandomPartition(const Graph& g, uint32_t k,
+                                               uint64_t seed) {
+  if (k == 0) return Status::InvalidArgument("RandomPartition: k >= 1");
+  const uint32_t n = g.num_nodes();
+  std::vector<NodeId> order(n);
+  for (NodeId v = 0; v < n; ++v) order[v] = v;
+  Rng rng(seed);
+  rng.Shuffle(&order);
+  std::vector<uint32_t> assignment(n, 0);
+  for (uint32_t i = 0; i < n; ++i) {
+    assignment[order[i]] = i % k;  // round-robin over shuffled order
+  }
+  return FinishResult(g, std::move(assignment), k, 0);
+}
+
+gmine::Result<PartitionResult> BfsGrowPartition(const Graph& g, uint32_t k,
+                                                uint64_t seed) {
+  if (k == 0) return Status::InvalidArgument("BfsGrowPartition: k >= 1");
+  const uint32_t n = g.num_nodes();
+  std::vector<uint32_t> assignment(n, k - 1);  // leftovers go to last part
+  std::vector<char> taken(n, 0);
+  Rng rng(seed);
+  double total = g.TotalNodeWeight();
+  double per_part = total / k;
+  uint32_t assigned = 0;
+
+  for (uint32_t part = 0; part + 1 < k && assigned < n; ++part) {
+    double grown = 0.0;
+    std::queue<NodeId> frontier;
+    while (grown < per_part && assigned < n) {
+      if (frontier.empty()) {
+        // Seed from a random untaken node.
+        uint32_t remaining = n - assigned;
+        uint64_t pick = rng.Uniform(remaining);
+        for (NodeId v = 0; v < n; ++v) {
+          if (!taken[v] && pick-- == 0) {
+            frontier.push(v);
+            break;
+          }
+        }
+      }
+      NodeId v = frontier.front();
+      frontier.pop();
+      if (taken[v]) continue;
+      taken[v] = 1;
+      assignment[v] = part;
+      grown += g.NodeWeight(v);
+      ++assigned;
+      for (const Neighbor& nb : g.Neighbors(v)) {
+        if (!taken[nb.id]) frontier.push(nb.id);
+      }
+    }
+  }
+  return FinishResult(g, std::move(assignment), k, 0);
+}
+
+}  // namespace gmine::partition

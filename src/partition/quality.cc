@@ -1,0 +1,87 @@
+#include "partition/quality.h"
+
+#include <algorithm>
+
+namespace gmine::partition {
+
+using graph::Graph;
+using graph::Neighbor;
+using graph::NodeId;
+
+double EdgeCut(const Graph& g, const std::vector<uint32_t>& assignment) {
+  double cut = 0.0;
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    for (const Neighbor& nb : g.Neighbors(u)) {
+      if (nb.id > u && assignment[u] != assignment[nb.id]) {
+        cut += nb.weight;
+      }
+    }
+  }
+  return cut;
+}
+
+uint64_t CutEdgeCount(const Graph& g,
+                      const std::vector<uint32_t>& assignment) {
+  uint64_t cut = 0;
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    for (const Neighbor& nb : g.Neighbors(u)) {
+      if (nb.id > u && assignment[u] != assignment[nb.id]) ++cut;
+    }
+  }
+  return cut;
+}
+
+std::vector<double> PartWeights(const Graph& g,
+                                const std::vector<uint32_t>& assignment,
+                                uint32_t k) {
+  std::vector<double> weights(k, 0.0);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    weights[assignment[v]] += g.NodeWeight(v);
+  }
+  return weights;
+}
+
+double Imbalance(const Graph& g, const std::vector<uint32_t>& assignment,
+                 uint32_t k) {
+  if (k == 0 || g.num_nodes() == 0) return 1.0;
+  std::vector<double> w = PartWeights(g, assignment, k);
+  double total = 0.0;
+  for (double x : w) total += x;
+  double ideal = total / k;
+  if (ideal <= 0.0) return 1.0;
+  return *std::max_element(w.begin(), w.end()) / ideal;
+}
+
+double Modularity(const Graph& g, const std::vector<uint32_t>& assignment,
+                  uint32_t k) {
+  // Q = sum_c [ in_c / m - (deg_c / 2m)^2 ] on weighted degrees.
+  double two_m = 0.0;
+  for (NodeId u = 0; u < g.num_nodes(); ++u) two_m += g.WeightedDegree(u);
+  if (two_m <= 0.0) return 0.0;
+  std::vector<double> in(k, 0.0);   // 2 * internal weight
+  std::vector<double> deg(k, 0.0);  // total weighted degree
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    uint32_t cu = assignment[u];
+    deg[cu] += g.WeightedDegree(u);
+    for (const Neighbor& nb : g.Neighbors(u)) {
+      if (assignment[nb.id] == cu) in[cu] += nb.weight;
+    }
+  }
+  double q = 0.0;
+  for (uint32_t c = 0; c < k; ++c) {
+    q += in[c] / two_m - (deg[c] / two_m) * (deg[c] / two_m);
+  }
+  return q;
+}
+
+uint32_t NonEmptyParts(const std::vector<uint32_t>& assignment, uint32_t k) {
+  std::vector<char> seen(k, 0);
+  for (uint32_t a : assignment) {
+    if (a < k) seen[a] = 1;
+  }
+  uint32_t count = 0;
+  for (char s : seen) count += s;
+  return count;
+}
+
+}  // namespace gmine::partition

@@ -1,0 +1,41 @@
+// Partition quality metrics: edge cut, balance, modularity. Shared by the
+// partitioner (objective tracking), the tests (invariants) and the
+// ablation benchmark bench_partition_quality.
+
+#ifndef GMINE_PARTITION_QUALITY_H_
+#define GMINE_PARTITION_QUALITY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace gmine::partition {
+
+/// Total weight of edges whose endpoints lie in different parts
+/// (undirected edges counted once).
+double EdgeCut(const graph::Graph& g, const std::vector<uint32_t>& assignment);
+
+/// Number (not weight) of cut edges.
+uint64_t CutEdgeCount(const graph::Graph& g,
+                      const std::vector<uint32_t>& assignment);
+
+/// Sum of node weights per part.
+std::vector<double> PartWeights(const graph::Graph& g,
+                                const std::vector<uint32_t>& assignment,
+                                uint32_t k);
+
+/// max part weight / (total weight / k); 1.0 = perfectly balanced.
+double Imbalance(const graph::Graph& g,
+                 const std::vector<uint32_t>& assignment, uint32_t k);
+
+/// Newman modularity Q of the partition on the weighted graph.
+double Modularity(const graph::Graph& g,
+                  const std::vector<uint32_t>& assignment, uint32_t k);
+
+/// Number of non-empty parts.
+uint32_t NonEmptyParts(const std::vector<uint32_t>& assignment, uint32_t k);
+
+}  // namespace gmine::partition
+
+#endif  // GMINE_PARTITION_QUALITY_H_

@@ -1,0 +1,177 @@
+#include "partition/refine.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "partition/quality.h"
+
+namespace gmine::partition {
+
+using graph::Graph;
+using graph::Neighbor;
+using graph::NodeId;
+
+namespace {
+
+// Lazy max-heap of (gain, node) with validation against the gain array.
+struct GainHeap {
+  using Entry = std::pair<double, NodeId>;
+  std::priority_queue<Entry> heap;
+
+  void Push(double gain, NodeId v) { heap.emplace(gain, v); }
+
+  // Pops the best valid entry or returns kInvalidNode.
+  NodeId PopValid(const std::vector<double>& gain,
+                  const std::vector<char>& locked,
+                  const std::vector<uint32_t>& side, uint32_t want_side) {
+    while (!heap.empty()) {
+      auto [gval, v] = heap.top();
+      if (locked[v] || side[v] != want_side || gval != gain[v]) {
+        heap.pop();
+        continue;
+      }
+      heap.pop();
+      return v;
+    }
+    return graph::kInvalidNode;
+  }
+
+  bool Empty() const { return heap.empty(); }
+};
+
+}  // namespace
+
+FmStats FmRefineBisection(const Graph& g, std::vector<uint32_t>* assignment,
+                          double target_fraction, const FmOptions& options) {
+  const uint32_t n = g.num_nodes();
+  std::vector<uint32_t>& side = *assignment;
+  FmStats stats;
+  stats.initial_cut = EdgeCut(g, side);
+  stats.final_cut = stats.initial_cut;
+  if (n == 0) return stats;
+
+  const double total = g.TotalNodeWeight();
+  const double ideal0 = total * target_fraction;
+  const double ideal1 = total - ideal0;
+  const double max0 = ideal0 * options.imbalance;
+  const double max1 = ideal1 * options.imbalance;
+
+  std::vector<double> gain(n, 0.0);
+  std::vector<char> locked(n, 0);
+
+  auto compute_gain = [&](NodeId v) {
+    double ext = 0.0;
+    double in = 0.0;
+    for (const Neighbor& nb : g.Neighbors(v)) {
+      if (side[nb.id] == side[v]) {
+        in += nb.weight;
+      } else {
+        ext += nb.weight;
+      }
+    }
+    return ext - in;
+  };
+
+  for (int pass = 0; pass < options.max_passes; ++pass) {
+    stats.passes = pass + 1;
+    double w0 = 0.0;
+    for (NodeId v = 0; v < n; ++v) {
+      if (side[v] == 0) w0 += g.NodeWeight(v);
+    }
+    double w1 = total - w0;
+
+    std::fill(locked.begin(), locked.end(), 0);
+    GainHeap heap0;  // candidates currently on side 0
+    GainHeap heap1;  // candidates currently on side 1
+    for (NodeId v = 0; v < n; ++v) {
+      gain[v] = compute_gain(v);
+      (side[v] == 0 ? heap0 : heap1).Push(gain[v], v);
+    }
+
+    double cur_cut = stats.final_cut;
+    double best_cut = cur_cut;
+    std::vector<NodeId> moved;  // move sequence for rollback
+    size_t best_prefix = 0;
+    uint32_t stall = 0;
+
+    while (true) {
+      // Candidate from each side, subject to the balance cap after the
+      // move; prefer the higher gain among feasible candidates.
+      NodeId c0 = heap0.PopValid(gain, locked, side, 0);
+      NodeId c1 = heap1.PopValid(gain, locked, side, 1);
+      // Feasibility: moving from side 0 grows side 1 and vice versa.
+      bool ok0 = c0 != graph::kInvalidNode &&
+                 (w1 + g.NodeWeight(c0) <= max1 || w1 < w0);
+      bool ok1 = c1 != graph::kInvalidNode &&
+                 (w0 + g.NodeWeight(c1) <= max0 || w0 < w1);
+      NodeId v = graph::kInvalidNode;
+      if (ok0 && ok1) {
+        v = gain[c0] >= gain[c1] ? c0 : c1;
+        // Re-queue the loser so it stays eligible.
+        if (v == c0) {
+          heap1.Push(gain[c1], c1);
+        } else {
+          heap0.Push(gain[c0], c0);
+        }
+      } else if (ok0) {
+        v = c0;
+        if (c1 != graph::kInvalidNode) heap1.Push(gain[c1], c1);
+      } else if (ok1) {
+        v = c1;
+        if (c0 != graph::kInvalidNode) heap0.Push(gain[c0], c0);
+      } else {
+        break;  // no feasible move
+      }
+
+      // Apply the move.
+      ++stats.moves_attempted;
+      locked[v] = 1;
+      cur_cut -= gain[v];
+      double wv = g.NodeWeight(v);
+      if (side[v] == 0) {
+        side[v] = 1;
+        w0 -= wv;
+        w1 += wv;
+      } else {
+        side[v] = 0;
+        w1 -= wv;
+        w0 += wv;
+      }
+      moved.push_back(v);
+      // Update neighbor gains (delta rule: +-2w depending on sides).
+      for (const Neighbor& nb : g.Neighbors(v)) {
+        if (locked[nb.id]) continue;
+        if (side[nb.id] == side[v]) {
+          gain[nb.id] -= 2.0 * nb.weight;  // edge became internal
+        } else {
+          gain[nb.id] += 2.0 * nb.weight;  // edge became external
+        }
+        (side[nb.id] == 0 ? heap0 : heap1).Push(gain[nb.id], nb.id);
+      }
+
+      if (cur_cut < best_cut - 1e-12) {
+        best_cut = cur_cut;
+        best_prefix = moved.size();
+        stall = 0;
+      } else if (options.stall_limit > 0 && ++stall >= options.stall_limit) {
+        break;
+      }
+    }
+
+    // Roll back moves beyond the best prefix.
+    for (size_t i = moved.size(); i > best_prefix; --i) {
+      NodeId v = moved[i - 1];
+      side[v] = side[v] == 0 ? 1 : 0;
+    }
+    stats.moves_kept += best_prefix;
+
+    if (best_cut >= stats.final_cut - 1e-12) {
+      stats.final_cut = std::min(stats.final_cut, best_cut);
+      break;  // pass produced no improvement
+    }
+    stats.final_cut = best_cut;
+  }
+  return stats;
+}
+
+}  // namespace gmine::partition

@@ -1,0 +1,45 @@
+// Fiduccia–Mattheyses boundary refinement for bisections, with hill
+// climbing and rollback to the best prefix — the uncoarsening refinement
+// step of the multilevel scheme.
+
+#ifndef GMINE_PARTITION_REFINE_H_
+#define GMINE_PARTITION_REFINE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/rng.h"
+
+namespace gmine::partition {
+
+/// Tunables for FM refinement.
+struct FmOptions {
+  /// Maximum alternating passes; each pass moves every node at most once.
+  int max_passes = 8;
+  /// Allowed imbalance: max side weight <= ideal * imbalance.
+  double imbalance = 1.05;
+  /// Abort a pass after this many consecutive non-improving moves
+  /// (classic FM early exit; 0 = move all nodes).
+  uint32_t stall_limit = 64;
+};
+
+/// Statistics returned by FM refinement.
+struct FmStats {
+  int passes = 0;
+  uint64_t moves_attempted = 0;
+  uint64_t moves_kept = 0;
+  double initial_cut = 0.0;
+  double final_cut = 0.0;
+};
+
+/// Refines a 0/1 `assignment` in place toward lower edge cut while keeping
+/// side 0 near `target_fraction` of total node weight (within
+/// options.imbalance). Returns move statistics.
+FmStats FmRefineBisection(const graph::Graph& g,
+                          std::vector<uint32_t>* assignment,
+                          double target_fraction, const FmOptions& options);
+
+}  // namespace gmine::partition
+
+#endif  // GMINE_PARTITION_REFINE_H_

@@ -1,0 +1,19 @@
+#include "render/canvas.h"
+
+#include <algorithm>
+
+namespace gmine::render {
+
+void Viewport::CenterOn(const layout::Point& world) {
+  offset_x_ = width_ / 2.0 - world.x * zoom_;
+  offset_y_ = height_ / 2.0 - world.y * zoom_;
+}
+
+void Viewport::FitRect(const layout::Rect& world) {
+  double w = std::max(world.Width(), 1e-9);
+  double h = std::max(world.Height(), 1e-9);
+  zoom_ = std::min(width_ / w, height_ / h) * 0.95;
+  CenterOn(world.Center());
+}
+
+}  // namespace gmine::render

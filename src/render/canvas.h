@@ -1,0 +1,91 @@
+// Abstract drawing surface + viewport transform. Two implementations:
+// SvgCanvas (vector output, what the examples write) and PpmCanvas
+// (raster, exercised by tests because pixels can be asserted on).
+//
+// The Viewport models GMine's interactive zoom & pan: world coordinates
+// (layout space) map to device coordinates through scale + offset.
+
+#ifndef GMINE_RENDER_CANVAS_H_
+#define GMINE_RENDER_CANVAS_H_
+
+#include <string>
+
+#include "layout/geometry.h"
+#include "render/color.h"
+
+namespace gmine::render {
+
+/// World -> device transform (zoom & pan).
+class Viewport {
+ public:
+  /// Identity viewport over a device of the given size.
+  Viewport(double device_width, double device_height)
+      : width_(device_width), height_(device_height) {}
+
+  /// Sets zoom factor (device units per world unit) around the device
+  /// center.
+  void SetZoom(double zoom) { zoom_ = zoom; }
+  double zoom() const { return zoom_; }
+
+  /// Pans by a device-space delta.
+  void PanBy(double dx, double dy) {
+    offset_x_ += dx;
+    offset_y_ += dy;
+  }
+
+  /// Centers the viewport on a world point.
+  void CenterOn(const layout::Point& world);
+
+  /// Fits a world rectangle into the device (with 5% margin).
+  void FitRect(const layout::Rect& world);
+
+  /// World -> device.
+  layout::Point ToDevice(const layout::Point& world) const {
+    return {world.x * zoom_ + offset_x_, world.y * zoom_ + offset_y_};
+  }
+
+  /// Device -> world (inverse transform; zoom must be nonzero).
+  layout::Point ToWorld(const layout::Point& device) const {
+    return {(device.x - offset_x_) / zoom_, (device.y - offset_y_) / zoom_};
+  }
+
+  double device_width() const { return width_; }
+  double device_height() const { return height_; }
+
+ private:
+  double width_;
+  double height_;
+  double zoom_ = 1.0;
+  double offset_x_ = 0.0;
+  double offset_y_ = 0.0;
+};
+
+/// Abstract canvas; coordinates are device-space.
+class Canvas {
+ public:
+  virtual ~Canvas() = default;
+
+  virtual double width() const = 0;
+  virtual double height() const = 0;
+
+  /// Fills the whole surface.
+  virtual void Clear(const Color& color) = 0;
+  /// Straight line segment.
+  virtual void DrawLine(const layout::Point& a, const layout::Point& b,
+                        const Color& color, double stroke_width) = 0;
+  /// Circle outline; `fill_alpha` > 0 also fills with the same hue.
+  virtual void DrawCircle(const layout::Point& center, double radius,
+                          const Color& color, double stroke_width,
+                          double fill_alpha) = 0;
+  /// Filled disk.
+  virtual void FillCircle(const layout::Point& center, double radius,
+                          const Color& color) = 0;
+  /// Text label anchored at `pos` (top-left); raster canvases may draw a
+  /// placeholder tick instead of glyphs.
+  virtual void DrawText(const layout::Point& pos, const std::string& text,
+                        const Color& color, double size) = 0;
+};
+
+}  // namespace gmine::render
+
+#endif  // GMINE_RENDER_CANVAS_H_

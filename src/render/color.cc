@@ -1,0 +1,38 @@
+#include "render/color.h"
+
+#include <algorithm>
+
+#include "util/string_util.h"
+
+namespace gmine::render {
+
+std::string Color::ToHex() const {
+  return StrFormat("#%02x%02x%02x", r, g, b);
+}
+
+Color Color::Lerp(const Color& other, double t) const {
+  t = std::clamp(t, 0.0, 1.0);
+  auto mix = [t](uint8_t a, uint8_t b) {
+    return static_cast<uint8_t>(a + (b - a) * t);
+  };
+  return Color{mix(r, other.r), mix(g, other.g), mix(b, other.b),
+               mix(a, other.a)};
+}
+
+Color PaletteColor(size_t i) {
+  static const Color kPalette[] = {
+      {31, 119, 180, 255},  {255, 127, 14, 255},  {44, 160, 44, 255},
+      {214, 39, 40, 255},   {148, 103, 189, 255}, {140, 86, 75, 255},
+      {227, 119, 194, 255}, {127, 127, 127, 255}, {188, 189, 34, 255},
+      {23, 190, 207, 255},  {174, 199, 232, 255}, {255, 187, 120, 255}};
+  return kPalette[i % (sizeof(kPalette) / sizeof(kPalette[0]))];
+}
+
+Color HeatColor(double t) {
+  t = std::clamp(t, 0.0, 1.0);
+  Color cold{50, 80, 200, 255};
+  Color hot{230, 50, 40, 255};
+  return cold.Lerp(hot, t);
+}
+
+}  // namespace gmine::render

@@ -1,0 +1,48 @@
+// Colors and palettes for the renderer.
+
+#ifndef GMINE_RENDER_COLOR_H_
+#define GMINE_RENDER_COLOR_H_
+
+#include <cstdint>
+#include <string>
+
+namespace gmine::render {
+
+/// 8-bit RGBA color.
+struct Color {
+  uint8_t r = 0;
+  uint8_t g = 0;
+  uint8_t b = 0;
+  uint8_t a = 255;
+
+  bool operator==(const Color& o) const {
+    return r == o.r && g == o.g && b == o.b && a == o.a;
+  }
+
+  /// "#rrggbb" (alpha is emitted separately by the SVG canvas).
+  std::string ToHex() const;
+
+  /// Linear interpolation toward `other` by t in [0,1].
+  Color Lerp(const Color& other, double t) const;
+};
+
+/// Common colors.
+inline constexpr Color kBlack{0, 0, 0, 255};
+inline constexpr Color kWhite{255, 255, 255, 255};
+inline constexpr Color kGray{128, 128, 128, 255};
+inline constexpr Color kLightGray{210, 210, 210, 255};
+inline constexpr Color kRed{220, 60, 50, 255};
+inline constexpr Color kGreen{60, 160, 70, 255};
+inline constexpr Color kBlue{55, 100, 200, 255};
+inline constexpr Color kOrange{240, 150, 40, 255};
+inline constexpr Color kHighlight{255, 210, 60, 255};
+
+/// Categorical palette color for index `i` (cycles; 12 distinct hues).
+Color PaletteColor(size_t i);
+
+/// Heat color for t in [0,1]: blue (cold) -> red (hot).
+Color HeatColor(double t);
+
+}  // namespace gmine::render
+
+#endif  // GMINE_RENDER_COLOR_H_

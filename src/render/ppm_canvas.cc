@@ -1,0 +1,176 @@
+#include "render/ppm_canvas.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "graph/graph_io.h"
+#include "util/string_util.h"
+
+namespace gmine::render {
+
+PpmCanvas::PpmCanvas(uint32_t width, uint32_t height)
+    : width_(width), height_(height),
+      rgb_(static_cast<size_t>(width) * height * 3, 255) {}
+
+void PpmCanvas::SetPixel(int x, int y, const Color& color) {
+  if (x < 0 || y < 0 || x >= static_cast<int>(width_) ||
+      y >= static_cast<int>(height_)) {
+    return;
+  }
+  size_t idx = (static_cast<size_t>(y) * width_ + x) * 3;
+  if (color.a == 255) {
+    rgb_[idx] = color.r;
+    rgb_[idx + 1] = color.g;
+    rgb_[idx + 2] = color.b;
+  } else {
+    // Alpha blend over the existing pixel.
+    double t = color.a / 255.0;
+    rgb_[idx] = static_cast<uint8_t>(rgb_[idx] * (1 - t) + color.r * t);
+    rgb_[idx + 1] =
+        static_cast<uint8_t>(rgb_[idx + 1] * (1 - t) + color.g * t);
+    rgb_[idx + 2] =
+        static_cast<uint8_t>(rgb_[idx + 2] * (1 - t) + color.b * t);
+  }
+}
+
+void PpmCanvas::Clear(const Color& color) {
+  for (uint32_t y = 0; y < height_; ++y) {
+    for (uint32_t x = 0; x < width_; ++x) {
+      size_t idx = (static_cast<size_t>(y) * width_ + x) * 3;
+      rgb_[idx] = color.r;
+      rgb_[idx + 1] = color.g;
+      rgb_[idx + 2] = color.b;
+    }
+  }
+}
+
+void PpmCanvas::DrawLine(const layout::Point& a, const layout::Point& b,
+                         const Color& color, double stroke_width) {
+  // Bresenham with thickness via perpendicular offsets.
+  int x0 = static_cast<int>(std::lround(a.x));
+  int y0 = static_cast<int>(std::lround(a.y));
+  int x1 = static_cast<int>(std::lround(b.x));
+  int y1 = static_cast<int>(std::lround(b.y));
+  int dx = std::abs(x1 - x0);
+  int dy = -std::abs(y1 - y0);
+  int sx = x0 < x1 ? 1 : -1;
+  int sy = y0 < y1 ? 1 : -1;
+  int err = dx + dy;
+  int half = std::max(0, static_cast<int>(stroke_width / 2.0));
+  while (true) {
+    for (int ox = -half; ox <= half; ++ox) {
+      for (int oy = -half; oy <= half; ++oy) {
+        SetPixel(x0 + ox, y0 + oy, color);
+      }
+    }
+    if (x0 == x1 && y0 == y1) break;
+    int e2 = 2 * err;
+    if (e2 >= dy) {
+      err += dy;
+      x0 += sx;
+    }
+    if (e2 <= dx) {
+      err += dx;
+      y0 += sy;
+    }
+  }
+}
+
+void PpmCanvas::DrawCircle(const layout::Point& center, double radius,
+                           const Color& color, double stroke_width,
+                           double fill_alpha) {
+  if (fill_alpha > 0.0) {
+    Color fill = color;
+    fill.a = static_cast<uint8_t>(std::clamp(fill_alpha, 0.0, 1.0) * 255);
+    FillCircle(center, radius, fill);
+  }
+  // Outline: midpoint circle with thickness.
+  int half = std::max(0, static_cast<int>(stroke_width / 2.0));
+  int cx = static_cast<int>(std::lround(center.x));
+  int cy = static_cast<int>(std::lround(center.y));
+  int r = static_cast<int>(std::lround(radius));
+  if (r <= 0) {
+    SetPixel(cx, cy, color);
+    return;
+  }
+  int x = r;
+  int y = 0;
+  int err = 1 - r;
+  auto plot8 = [&](int px, int py) {
+    for (int ox = -half; ox <= half; ++ox) {
+      for (int oy = -half; oy <= half; ++oy) {
+        SetPixel(cx + px + ox, cy + py + oy, color);
+        SetPixel(cx - px + ox, cy + py + oy, color);
+        SetPixel(cx + px + ox, cy - py + oy, color);
+        SetPixel(cx - px + ox, cy - py + oy, color);
+        SetPixel(cx + py + ox, cy + px + oy, color);
+        SetPixel(cx - py + ox, cy + px + oy, color);
+        SetPixel(cx + py + ox, cy - px + oy, color);
+        SetPixel(cx - py + ox, cy - px + oy, color);
+      }
+    }
+  };
+  while (x >= y) {
+    plot8(x, y);
+    ++y;
+    if (err < 0) {
+      err += 2 * y + 1;
+    } else {
+      --x;
+      err += 2 * (y - x) + 1;
+    }
+  }
+}
+
+void PpmCanvas::FillCircle(const layout::Point& center, double radius,
+                           const Color& color) {
+  int cx = static_cast<int>(std::lround(center.x));
+  int cy = static_cast<int>(std::lround(center.y));
+  int r = static_cast<int>(std::ceil(radius));
+  double r2 = radius * radius;
+  for (int y = -r; y <= r; ++y) {
+    for (int x = -r; x <= r; ++x) {
+      if (x * x + y * y <= r2) SetPixel(cx + x, cy + y, color);
+    }
+  }
+}
+
+void PpmCanvas::DrawText(const layout::Point& pos, const std::string& text,
+                         const Color& color, double size) {
+  // Raster placeholder: a tick mark whose length tracks the text length,
+  // enough for ink-based assertions without a font rasterizer.
+  double len = std::min<double>(text.size() * size * 0.5, width_);
+  DrawLine(pos, layout::Point{pos.x + len, pos.y}, color, 1.0);
+}
+
+Color PpmCanvas::PixelAt(int x, int y) const {
+  if (x < 0 || y < 0 || x >= static_cast<int>(width_) ||
+      y >= static_cast<int>(height_)) {
+    return kWhite;
+  }
+  size_t idx = (static_cast<size_t>(y) * width_ + x) * 3;
+  return Color{rgb_[idx], rgb_[idx + 1], rgb_[idx + 2], 255};
+}
+
+uint64_t PpmCanvas::InkCount(const Color& background) const {
+  uint64_t count = 0;
+  for (size_t i = 0; i < rgb_.size(); i += 3) {
+    if (rgb_[i] != background.r || rgb_[i + 1] != background.g ||
+        rgb_[i + 2] != background.b) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+std::string PpmCanvas::ToPpm() const {
+  std::string out = StrFormat("P6\n%u %u\n255\n", width_, height_);
+  out.append(reinterpret_cast<const char*>(rgb_.data()), rgb_.size());
+  return out;
+}
+
+gmine::Status PpmCanvas::WriteFile(const std::string& path) const {
+  return graph::WriteStringToFile(ToPpm(), path);
+}
+
+}  // namespace gmine::render

@@ -1,0 +1,58 @@
+// Raster canvas writing binary PPM (P6). Pixels are inspectable, so the
+// test suite uses this canvas to assert that rendering actually puts ink
+// where the scene says it should.
+
+#ifndef GMINE_RENDER_PPM_CANVAS_H_
+#define GMINE_RENDER_PPM_CANVAS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "render/canvas.h"
+#include "util/status.h"
+
+namespace gmine::render {
+
+/// Fixed-size RGB raster canvas.
+class PpmCanvas : public Canvas {
+ public:
+  PpmCanvas(uint32_t width, uint32_t height);
+
+  double width() const override { return width_; }
+  double height() const override { return height_; }
+
+  void Clear(const Color& color) override;
+  void DrawLine(const layout::Point& a, const layout::Point& b,
+                const Color& color, double stroke_width) override;
+  void DrawCircle(const layout::Point& center, double radius,
+                  const Color& color, double stroke_width,
+                  double fill_alpha) override;
+  void FillCircle(const layout::Point& center, double radius,
+                  const Color& color) override;
+  void DrawText(const layout::Point& pos, const std::string& text,
+                const Color& color, double size) override;
+
+  /// Pixel accessor (white if out of bounds).
+  Color PixelAt(int x, int y) const;
+
+  /// Number of pixels differing from `background`.
+  uint64_t InkCount(const Color& background = kWhite) const;
+
+  /// Binary PPM (P6) encoding.
+  std::string ToPpm() const;
+
+  /// Writes ToPpm() to `path`.
+  gmine::Status WriteFile(const std::string& path) const;
+
+ private:
+  void SetPixel(int x, int y, const Color& color);
+
+  uint32_t width_;
+  uint32_t height_;
+  std::vector<uint8_t> rgb_;  // 3 bytes per pixel, row-major
+};
+
+}  // namespace gmine::render
+
+#endif  // GMINE_RENDER_PPM_CANVAS_H_

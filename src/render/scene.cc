@@ -1,0 +1,139 @@
+#include "render/scene.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+namespace gmine::render {
+
+using graph::NodeId;
+using gtree::TreeNodeId;
+
+layout::Rect Scene::WorldBounds() const {
+  layout::Rect r;
+  if (nodes.empty()) return r;
+  r.min_x = r.max_x = nodes[0].position.x;
+  r.min_y = r.max_y = nodes[0].position.y;
+  for (const SceneNode& n : nodes) {
+    r.Include({n.position.x - n.radius, n.position.y - n.radius});
+    r.Include({n.position.x + n.radius, n.position.y + n.radius});
+  }
+  return r;
+}
+
+void Scene::Render(Canvas* canvas, const Viewport& viewport) const {
+  for (const SceneEdge& e : edges) {
+    layout::Point a = viewport.ToDevice(nodes[e.a].position);
+    layout::Point b = viewport.ToDevice(nodes[e.b].position);
+    Color c = e.highlighted ? kRed : e.color;
+    canvas->DrawLine(a, b, c, e.width * std::max(viewport.zoom(), 0.25));
+  }
+  for (const SceneNode& n : nodes) {
+    layout::Point p = viewport.ToDevice(n.position);
+    double r = n.radius * viewport.zoom();
+    Color c = n.highlighted ? kHighlight : n.color;
+    if (n.filled) {
+      canvas->FillCircle(p, r, c);
+      canvas->DrawCircle(p, r, kBlack, 1.0, 0.0);
+    } else {
+      canvas->DrawCircle(p, r, c, n.highlighted ? 3.0 : 1.5, 0.08);
+    }
+  }
+  for (const SceneNode& n : nodes) {
+    if (n.label.empty()) continue;
+    layout::Point p = viewport.ToDevice(n.position);
+    p.x += n.radius * viewport.zoom() + 3.0;
+    canvas->DrawText(p, n.label, kBlack, 12.0);
+  }
+}
+
+Scene BuildGraphScene(const graph::Graph& g,
+                      const std::vector<layout::Point>& positions,
+                      const GraphSceneOptions& options) {
+  Scene scene;
+  const uint32_t n = g.num_nodes();
+  scene.nodes.resize(n);
+  for (NodeId v = 0; v < n; ++v) {
+    SceneNode& sn = scene.nodes[v];
+    sn.position = v < positions.size() ? positions[v] : layout::Point{};
+    sn.radius = options.node_radius;
+    sn.filled = true;
+    sn.color = options.node_colors.size() == n ? options.node_colors[v]
+                                               : kBlue;
+    sn.highlighted = options.highlight_nodes.count(v) > 0;
+    bool want_label =
+        sn.highlighted || options.label_nodes.count(v) > 0;
+    if (want_label && options.labels != nullptr) {
+      sn.label = std::string(options.labels->Label(v));
+    }
+  }
+  for (NodeId v = 0; v < n; ++v) {
+    for (const graph::Neighbor& nb : g.Neighbors(v)) {
+      if (nb.id <= v) continue;
+      SceneEdge e;
+      e.a = v;
+      e.b = nb.id;
+      e.width = 1.0;
+      e.color = kLightGray;
+      e.highlighted = scene.nodes[v].highlighted &&
+                      scene.nodes[nb.id].highlighted;
+      scene.edges.push_back(e);
+    }
+  }
+  return scene;
+}
+
+Scene BuildHierarchyScene(const gtree::GTree& tree,
+                          const gtree::TomahawkContext& context,
+                          const layout::EnclosureLayoutResult& enclosure,
+                          const gtree::ConnectivityIndex& connectivity,
+                          const HierarchySceneOptions& options) {
+  Scene scene;
+  std::vector<TreeNodeId> display = context.DisplaySet();
+  std::unordered_map<TreeNodeId, size_t> index;
+  // Draw larger (shallower) disks first so nesting layers correctly.
+  std::sort(display.begin(), display.end(),
+            [&](TreeNodeId a, TreeNodeId b) {
+              if (tree.node(a).depth != tree.node(b).depth) {
+                return tree.node(a).depth < tree.node(b).depth;
+              }
+              return a < b;
+            });
+  for (TreeNodeId id : display) {
+    auto it = enclosure.disks.find(id);
+    if (it == enclosure.disks.end()) continue;
+    SceneNode sn;
+    sn.position = it->second.center;
+    sn.radius = it->second.radius;
+    sn.color = PaletteColor(tree.node(id).depth);
+    sn.label = tree.node(id).name;
+    sn.highlighted = id == context.focus;
+    sn.filled = false;
+    index[id] = scene.nodes.size();
+    scene.nodes.push_back(std::move(sn));
+  }
+
+  std::vector<TreeNodeId> present;
+  present.reserve(index.size());
+  for (const auto& [id, _] : index) present.push_back(id);
+  for (const gtree::ConnectivityEdge& ce :
+       connectivity.EdgesAmong(present)) {
+    if (ce.count < options.min_connectivity_count) continue;
+    // Skip pairs where one endpoint encloses the other on screen
+    // (ancestor/descendant): connectivity there is visual noise.
+    if (tree.LowestCommonAncestor(ce.a, ce.b) == ce.a ||
+        tree.LowestCommonAncestor(ce.a, ce.b) == ce.b) {
+      continue;
+    }
+    SceneEdge e;
+    e.a = index.at(ce.a);
+    e.b = index.at(ce.b);
+    e.width = std::min(1.0 + std::log2(1.0 + static_cast<double>(ce.count)),
+                       options.max_edge_width);
+    e.color = kGray;
+    scene.edges.push_back(e);
+  }
+  return scene;
+}
+
+}  // namespace gmine::render

@@ -1,0 +1,95 @@
+// Scene model: the drawable intermediate between layouts and canvases.
+// Two builders mirror the paper's two displays — BuildGraphScene for
+// conventional node/edge drawings (leaf subgraphs, connection subgraphs)
+// and BuildHierarchyScene for communities-within-communities views with
+// connectivity edges (width encodes the cross-edge count, Fig. 2).
+
+#ifndef GMINE_RENDER_SCENE_H_
+#define GMINE_RENDER_SCENE_H_
+
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/labels.h"
+#include "gtree/connectivity.h"
+#include "gtree/gtree.h"
+#include "gtree/tomahawk.h"
+#include "layout/enclosure.h"
+#include "layout/geometry.h"
+#include "render/canvas.h"
+
+namespace gmine::render {
+
+/// One drawable node (graph node or community disk).
+struct SceneNode {
+  layout::Point position;
+  double radius = 3.0;
+  Color color = kBlue;
+  std::string label;
+  bool highlighted = false;
+  bool filled = false;
+};
+
+/// One drawable edge; indices into Scene::nodes.
+struct SceneEdge {
+  size_t a = 0;
+  size_t b = 0;
+  double width = 1.0;
+  Color color = kGray;
+  bool highlighted = false;
+};
+
+/// A complete drawable scene in world coordinates.
+struct Scene {
+  std::vector<SceneNode> nodes;
+  std::vector<SceneEdge> edges;
+
+  /// Bounding box over node positions (+radius margin).
+  layout::Rect WorldBounds() const;
+
+  /// Draws edges below nodes below labels through `viewport` onto
+  /// `canvas`.
+  void Render(Canvas* canvas, const Viewport& viewport) const;
+};
+
+/// Options for BuildGraphScene.
+struct GraphSceneOptions {
+  double node_radius = 4.0;
+  /// Labels drawn for nodes in this set (empty = no labels). Ids are
+  /// graph-node ids local to the drawn graph.
+  std::unordered_set<graph::NodeId> label_nodes;
+  /// Highlighted nodes (drawn in the highlight color, labels included).
+  std::unordered_set<graph::NodeId> highlight_nodes;
+  /// Optional label text source (indexed by the ids used in the graph).
+  const graph::LabelStore* labels = nullptr;
+  /// Per-node color override (size num_nodes) — e.g. goodness heat.
+  std::vector<Color> node_colors;
+};
+
+/// Builds a conventional node/edge scene from a laid-out graph.
+Scene BuildGraphScene(const graph::Graph& g,
+                      const std::vector<layout::Point>& positions,
+                      const GraphSceneOptions& options = {});
+
+/// Options for BuildHierarchyScene.
+struct HierarchySceneOptions {
+  /// Connectivity edges thinner than this count are dropped (declutter).
+  uint64_t min_connectivity_count = 1;
+  /// Log-scaled width cap for connectivity edges.
+  double max_edge_width = 10.0;
+};
+
+/// Builds a communities-within-communities scene for a Tomahawk display
+/// set: one disk per visible community (from the enclosure layout),
+/// connectivity edges among them, the focus highlighted.
+Scene BuildHierarchyScene(const gtree::GTree& tree,
+                          const gtree::TomahawkContext& context,
+                          const layout::EnclosureLayoutResult& enclosure,
+                          const gtree::ConnectivityIndex& connectivity,
+                          const HierarchySceneOptions& options = {});
+
+}  // namespace gmine::render
+
+#endif  // GMINE_RENDER_SCENE_H_

@@ -1,0 +1,100 @@
+#include "render/svg_canvas.h"
+
+#include "graph/graph_io.h"
+#include "util/string_util.h"
+
+namespace gmine::render {
+
+SvgCanvas::SvgCanvas(double width, double height)
+    : width_(width), height_(height) {}
+
+void SvgCanvas::Clear(const Color& color) {
+  elements_.clear();
+  background_ = StrFormat(
+      "<rect x=\"0\" y=\"0\" width=\"%.1f\" height=\"%.1f\" fill=\"%s\"/>",
+      width_, height_, color.ToHex().c_str());
+}
+
+void SvgCanvas::DrawLine(const layout::Point& a, const layout::Point& b,
+                         const Color& color, double stroke_width) {
+  elements_.push_back(StrFormat(
+      "<line x1=\"%.2f\" y1=\"%.2f\" x2=\"%.2f\" y2=\"%.2f\" "
+      "stroke=\"%s\" stroke-width=\"%.2f\" stroke-opacity=\"%.3f\"/>",
+      a.x, a.y, b.x, b.y, color.ToHex().c_str(), stroke_width,
+      color.a / 255.0));
+}
+
+void SvgCanvas::DrawCircle(const layout::Point& center, double radius,
+                           const Color& color, double stroke_width,
+                           double fill_alpha) {
+  elements_.push_back(StrFormat(
+      "<circle cx=\"%.2f\" cy=\"%.2f\" r=\"%.2f\" stroke=\"%s\" "
+      "stroke-width=\"%.2f\" fill=\"%s\" fill-opacity=\"%.3f\"/>",
+      center.x, center.y, radius, color.ToHex().c_str(), stroke_width,
+      fill_alpha > 0.0 ? color.ToHex().c_str() : "none",
+      fill_alpha));
+}
+
+void SvgCanvas::FillCircle(const layout::Point& center, double radius,
+                           const Color& color) {
+  elements_.push_back(StrFormat(
+      "<circle cx=\"%.2f\" cy=\"%.2f\" r=\"%.2f\" fill=\"%s\" "
+      "fill-opacity=\"%.3f\"/>",
+      center.x, center.y, radius, color.ToHex().c_str(), color.a / 255.0));
+}
+
+void SvgCanvas::DrawText(const layout::Point& pos, const std::string& text,
+                         const Color& color, double size) {
+  elements_.push_back(StrFormat(
+      "<text x=\"%.2f\" y=\"%.2f\" font-size=\"%.1f\" "
+      "font-family=\"sans-serif\" fill=\"%s\">%s</text>",
+      pos.x, pos.y, size, color.ToHex().c_str(),
+      EscapeXml(text).c_str()));
+}
+
+std::string SvgCanvas::ToSvg() const {
+  std::string out = StrFormat(
+      "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"%.0f\" "
+      "height=\"%.0f\" viewBox=\"0 0 %.0f %.0f\">\n",
+      width_, height_, width_, height_);
+  if (!background_.empty()) {
+    out += background_;
+    out += '\n';
+  }
+  for (const std::string& e : elements_) {
+    out += e;
+    out += '\n';
+  }
+  out += "</svg>\n";
+  return out;
+}
+
+gmine::Status SvgCanvas::WriteFile(const std::string& path) const {
+  return graph::WriteStringToFile(ToSvg(), path);
+}
+
+std::string EscapeXml(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '&':
+        out += "&amp;";
+        break;
+      case '<':
+        out += "&lt;";
+        break;
+      case '>':
+        out += "&gt;";
+        break;
+      case '"':
+        out += "&quot;";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace gmine::render

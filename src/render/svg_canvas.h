@@ -1,0 +1,56 @@
+// SVG vector canvas: accumulates elements, serializes to an .svg file.
+// This is GMine's figure output path — every example writes its frames
+// through this canvas.
+
+#ifndef GMINE_RENDER_SVG_CANVAS_H_
+#define GMINE_RENDER_SVG_CANVAS_H_
+
+#include <string>
+#include <vector>
+
+#include "render/canvas.h"
+#include "util/status.h"
+
+namespace gmine::render {
+
+/// Canvas that produces SVG markup.
+class SvgCanvas : public Canvas {
+ public:
+  SvgCanvas(double width, double height);
+
+  double width() const override { return width_; }
+  double height() const override { return height_; }
+
+  void Clear(const Color& color) override;
+  void DrawLine(const layout::Point& a, const layout::Point& b,
+                const Color& color, double stroke_width) override;
+  void DrawCircle(const layout::Point& center, double radius,
+                  const Color& color, double stroke_width,
+                  double fill_alpha) override;
+  void FillCircle(const layout::Point& center, double radius,
+                  const Color& color) override;
+  void DrawText(const layout::Point& pos, const std::string& text,
+                const Color& color, double size) override;
+
+  /// Complete SVG document.
+  std::string ToSvg() const;
+
+  /// Writes ToSvg() to `path`.
+  gmine::Status WriteFile(const std::string& path) const;
+
+  /// Number of accumulated elements (tests).
+  size_t element_count() const { return elements_.size(); }
+
+ private:
+  double width_;
+  double height_;
+  std::string background_;
+  std::vector<std::string> elements_;
+};
+
+/// Escapes &, <, > and quotes for SVG text content.
+std::string EscapeXml(const std::string& text);
+
+}  // namespace gmine::render
+
+#endif  // GMINE_RENDER_SVG_CANVAS_H_

@@ -1,0 +1,55 @@
+// Binary encoding primitives used by the G-Tree single-file store and the
+// binary graph format. Little-endian fixed-width integers, LEB128 varints,
+// and length-prefixed strings, in the style of RocksDB's util/coding.h.
+
+#ifndef GMINE_UTIL_CODING_H_
+#define GMINE_UTIL_CODING_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+namespace gmine {
+
+/// Appends a 32-bit little-endian integer to `dst`.
+void PutFixed32(std::string* dst, uint32_t value);
+/// Appends a 64-bit little-endian integer to `dst`.
+void PutFixed64(std::string* dst, uint64_t value);
+/// Appends an IEEE-754 float (32-bit little-endian) to `dst`.
+void PutFloat(std::string* dst, float value);
+/// Appends an IEEE-754 double (64-bit little-endian) to `dst`.
+void PutDouble(std::string* dst, double value);
+/// Appends a LEB128 varint (1-5 bytes) to `dst`.
+void PutVarint32(std::string* dst, uint32_t value);
+/// Appends a LEB128 varint (1-10 bytes) to `dst`.
+void PutVarint64(std::string* dst, uint64_t value);
+/// Appends varint length followed by raw bytes.
+void PutLengthPrefixed(std::string* dst, std::string_view value);
+
+/// Decodes a 32-bit little-endian integer from `input`; advances `input`.
+/// Returns false on truncation.
+bool GetFixed32(std::string_view* input, uint32_t* value);
+bool GetFixed64(std::string_view* input, uint64_t* value);
+bool GetFloat(std::string_view* input, float* value);
+bool GetDouble(std::string_view* input, double* value);
+bool GetVarint32(std::string_view* input, uint32_t* value);
+bool GetVarint64(std::string_view* input, uint64_t* value);
+bool GetLengthPrefixed(std::string_view* input, std::string_view* value);
+
+/// Number of bytes PutVarint32 would emit for `value`.
+int VarintLength32(uint32_t value);
+/// Number of bytes PutVarint64 would emit for `value`.
+int VarintLength64(uint64_t value);
+
+/// Fast non-cryptographic 64-bit hash (FNV-1a) for checksums and hashing
+/// strings into buckets.
+uint64_t Hash64(const void* data, size_t n, uint64_t seed = 0xcbf29ce484222325ULL);
+
+inline uint64_t Hash64(std::string_view s, uint64_t seed = 0xcbf29ce484222325ULL) {
+  return Hash64(s.data(), s.size(), seed);
+}
+
+}  // namespace gmine
+
+#endif  // GMINE_UTIL_CODING_H_

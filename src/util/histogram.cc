@@ -1,0 +1,93 @@
+#include "util/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/string_util.h"
+
+namespace gmine {
+
+void Histogram::Add(double v) {
+  samples_.push_back(v);
+  sorted_ = false;
+  sum_ += v;
+  sumsq_ += v * v;
+}
+
+void Histogram::Merge(const Histogram& other) {
+  samples_.insert(samples_.end(), other.samples_.begin(),
+                  other.samples_.end());
+  sorted_ = false;
+  sum_ += other.sum_;
+  sumsq_ += other.sumsq_;
+}
+
+void Histogram::SortIfNeeded() const {
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+}
+
+double Histogram::min() const {
+  if (samples_.empty()) return 0.0;
+  SortIfNeeded();
+  return samples_.front();
+}
+
+double Histogram::max() const {
+  if (samples_.empty()) return 0.0;
+  SortIfNeeded();
+  return samples_.back();
+}
+
+double Histogram::mean() const {
+  if (samples_.empty()) return 0.0;
+  return sum_ / static_cast<double>(samples_.size());
+}
+
+double Histogram::stddev() const {
+  if (samples_.size() < 2) return 0.0;
+  double n = static_cast<double>(samples_.size());
+  double var = (sumsq_ - sum_ * sum_ / n) / (n - 1.0);
+  return var > 0 ? std::sqrt(var) : 0.0;
+}
+
+double Histogram::Percentile(double p) const {
+  if (samples_.empty()) return 0.0;
+  SortIfNeeded();
+  if (p <= 0) return samples_.front();
+  if (p >= 100) return samples_.back();
+  double rank = p / 100.0 * static_cast<double>(samples_.size() - 1);
+  size_t lo = static_cast<size_t>(rank);
+  double frac = rank - static_cast<double>(lo);
+  if (lo + 1 >= samples_.size()) return samples_.back();
+  return samples_[lo] * (1.0 - frac) + samples_[lo + 1] * frac;
+}
+
+std::string Histogram::ToString() const {
+  return StrFormat(
+      "count=%zu mean=%.3f p50=%.3f p95=%.3f p99=%.3f max=%.3f",
+      count(), mean(), Percentile(50), Percentile(95), Percentile(99), max());
+}
+
+std::vector<uint64_t> Histogram::EqualWidthBuckets(int nbuckets) const {
+  std::vector<uint64_t> bins(static_cast<size_t>(nbuckets), 0);
+  if (samples_.empty() || nbuckets <= 0) return bins;
+  SortIfNeeded();
+  double lo = samples_.front();
+  double hi = samples_.back();
+  double width = (hi - lo) / nbuckets;
+  if (width <= 0) {
+    bins[0] = samples_.size();
+    return bins;
+  }
+  for (double v : samples_) {
+    int b = static_cast<int>((v - lo) / width);
+    if (b >= nbuckets) b = nbuckets - 1;
+    bins[static_cast<size_t>(b)]++;
+  }
+  return bins;
+}
+
+}  // namespace gmine

@@ -1,0 +1,54 @@
+// Streaming histogram for distributions (degrees, latencies, community
+// sizes). Exact counts for small integer values are kept by the callers;
+// this class offers moments + percentiles over arbitrary double samples.
+
+#ifndef GMINE_UTIL_HISTOGRAM_H_
+#define GMINE_UTIL_HISTOGRAM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace gmine {
+
+/// Accumulates samples; computes min/max/mean/stddev and percentiles.
+/// Percentiles are exact (samples are retained), which is fine at the
+/// scales GMine benchmarks operate (<= millions of samples).
+class Histogram {
+ public:
+  /// Adds one observation.
+  void Add(double v);
+
+  /// Merges another histogram's samples into this one.
+  void Merge(const Histogram& other);
+
+  /// Number of observations.
+  size_t count() const { return samples_.size(); }
+  double min() const;
+  double max() const;
+  double mean() const;
+  double stddev() const;
+  /// p in [0,100]; exact percentile by nearest-rank on sorted samples.
+  double Percentile(double p) const;
+  double Median() const { return Percentile(50.0); }
+  double sum() const { return sum_; }
+
+  /// One-line summary: count/mean/p50/p95/p99/max.
+  std::string ToString() const;
+
+  /// Buckets samples into `nbuckets` equal-width bins over [min,max];
+  /// returns per-bin counts (for plotting degree distributions).
+  std::vector<uint64_t> EqualWidthBuckets(int nbuckets) const;
+
+ private:
+  void SortIfNeeded() const;
+
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = true;
+  double sum_ = 0.0;
+  double sumsq_ = 0.0;
+};
+
+}  // namespace gmine
+
+#endif  // GMINE_UTIL_HISTOGRAM_H_

@@ -1,0 +1,36 @@
+// Minimal leveled logging to stderr. Off by default in tests/benches; the
+// examples turn on INFO to narrate the interactive scenarios.
+
+#ifndef GMINE_UTIL_LOGGING_H_
+#define GMINE_UTIL_LOGGING_H_
+
+#include <string>
+
+namespace gmine {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarn = 2,
+  kError = 3,
+  kOff = 4,
+};
+
+/// Sets the global minimum level; messages below it are dropped.
+void SetLogLevel(LogLevel level);
+/// Current global minimum level.
+LogLevel GetLogLevel();
+
+/// Emits `msg` to stderr with a level tag when `level` >= the global level.
+void LogMessage(LogLevel level, const std::string& msg);
+
+}  // namespace gmine
+
+#define GMINE_LOG_DEBUG(msg) \
+  ::gmine::LogMessage(::gmine::LogLevel::kDebug, (msg))
+#define GMINE_LOG_INFO(msg) ::gmine::LogMessage(::gmine::LogLevel::kInfo, (msg))
+#define GMINE_LOG_WARN(msg) ::gmine::LogMessage(::gmine::LogLevel::kWarn, (msg))
+#define GMINE_LOG_ERROR(msg) \
+  ::gmine::LogMessage(::gmine::LogLevel::kError, (msg))
+
+#endif  // GMINE_UTIL_LOGGING_H_

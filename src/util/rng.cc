@@ -1,0 +1,38 @@
+#include "util/rng.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+namespace gmine {
+
+double Rng::Sqrt(double x) { return std::sqrt(x); }
+double Rng::Log(double x) { return std::log(x); }
+
+std::vector<uint32_t> Rng::SampleWithoutReplacement(uint32_t n, uint32_t count) {
+  if (count >= n) {
+    std::vector<uint32_t> all(n);
+    for (uint32_t i = 0; i < n; ++i) all[i] = i;
+    return all;
+  }
+  if (count > n / 3) {
+    std::vector<uint32_t> all(n);
+    for (uint32_t i = 0; i < n; ++i) all[i] = i;
+    Shuffle(&all);
+    all.resize(count);
+    return all;
+  }
+  // Floyd's algorithm: O(count) expected.
+  std::unordered_set<uint32_t> chosen;
+  std::vector<uint32_t> out;
+  out.reserve(count);
+  for (uint32_t j = n - count; j < n; ++j) {
+    uint32_t t = static_cast<uint32_t>(Uniform(j + 1));
+    if (chosen.count(t)) t = j;
+    chosen.insert(t);
+    out.push_back(t);
+  }
+  return out;
+}
+
+}  // namespace gmine

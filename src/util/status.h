@@ -1,0 +1,162 @@
+// Copyright (c) GMine reproduction authors.
+// RocksDB-style Status object for fallible operations. No exceptions cross
+// the public API; every operation that can fail returns a Status (or a
+// Result<T> wrapping a value-or-Status).
+
+#ifndef GMINE_UTIL_STATUS_H_
+#define GMINE_UTIL_STATUS_H_
+
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace gmine {
+
+/// Error category for a failed operation.
+enum class StatusCode : unsigned char {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kIOError = 3,
+  kCorruption = 4,
+  kOutOfRange = 5,
+  kAlreadyExists = 6,
+  kNotSupported = 7,
+  kAborted = 8,
+  kInternal = 9,
+};
+
+/// Returns a human-readable name for a status code ("OK", "IOError", ...).
+const char* StatusCodeName(StatusCode code);
+
+/// Outcome of a fallible operation: a code plus an optional message.
+///
+/// Usage:
+///   Status s = store.Open(path);
+///   if (!s.ok()) return s;
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  /// Constructs a status with the given code and message.
+  Status(StatusCode code, std::string msg)
+      : code_(code), msg_(std::move(msg)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status NotSupported(std::string msg) {
+    return Status(StatusCode::kNotSupported, std::move(msg));
+  }
+  static Status Aborted(std::string msg) {
+    return Status(StatusCode::kAborted, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  /// True iff the operation succeeded.
+  bool ok() const { return code_ == StatusCode::kOk; }
+  bool IsInvalidArgument() const {
+    return code_ == StatusCode::kInvalidArgument;
+  }
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsIOError() const { return code_ == StatusCode::kIOError; }
+  bool IsCorruption() const { return code_ == StatusCode::kCorruption; }
+  bool IsOutOfRange() const { return code_ == StatusCode::kOutOfRange; }
+  bool IsAlreadyExists() const { return code_ == StatusCode::kAlreadyExists; }
+  bool IsNotSupported() const { return code_ == StatusCode::kNotSupported; }
+  bool IsAborted() const { return code_ == StatusCode::kAborted; }
+  bool IsInternal() const { return code_ == StatusCode::kInternal; }
+
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return msg_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && msg_ == other.msg_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string msg_;
+};
+
+/// Value-or-error: holds either a T (success) or a non-OK Status.
+///
+/// Usage:
+///   Result<Graph> r = ReadEdgeList(path);
+///   if (!r.ok()) return r.status();
+///   Graph g = std::move(r).value();
+template <typename T>
+class Result {
+ public:
+  /// Constructs a successful result holding `value`.
+  Result(T value) : v_(std::move(value)) {}  // NOLINT: implicit by design
+  /// Constructs a failed result. `status` must not be OK.
+  Result(Status status) : v_(std::move(status)) {}  // NOLINT
+
+  bool ok() const { return std::holds_alternative<T>(v_); }
+
+  /// The error status; Status::OK() when the result holds a value.
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(v_);
+  }
+
+  /// The held value. Must only be called when ok().
+  const T& value() const& { return std::get<T>(v_); }
+  T& value() & { return std::get<T>(v_); }
+  T&& value() && { return std::move(std::get<T>(v_)); }
+
+  /// Returns the held value or `fallback` when in error state.
+  T value_or(T fallback) const {
+    if (ok()) return value();
+    return fallback;
+  }
+
+ private:
+  std::variant<T, Status> v_;
+};
+
+/// Propagates a non-OK status to the caller.
+#define GMINE_RETURN_IF_ERROR(expr)            \
+  do {                                         \
+    ::gmine::Status _st = (expr);              \
+    if (!_st.ok()) return _st;                 \
+  } while (0)
+
+#define GMINE_CONCAT_IMPL_(a, b) a##b
+#define GMINE_CONCAT_(a, b) GMINE_CONCAT_IMPL_(a, b)
+#define GMINE_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                                 \
+  if (!tmp.ok()) return tmp.status();                 \
+  lhs = std::move(tmp).value()
+
+/// Assigns the value of a Result expression to `lhs`, or propagates error.
+#define GMINE_ASSIGN_OR_RETURN(lhs, rexpr) \
+  GMINE_ASSIGN_OR_RETURN_IMPL_(GMINE_CONCAT_(_gmine_res_, __LINE__), lhs, \
+                               rexpr)
+
+}  // namespace gmine
+
+#endif  // GMINE_UTIL_STATUS_H_

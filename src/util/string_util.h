@@ -1,0 +1,46 @@
+// Small string helpers shared across modules (no dependency on anything
+// else in GMine).
+
+#ifndef GMINE_UTIL_STRING_UTIL_H_
+#define GMINE_UTIL_STRING_UTIL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace gmine {
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// Splits `s` on any character in `delims`, dropping empty tokens.
+std::vector<std::string> SplitString(std::string_view s,
+                                     std::string_view delims);
+
+/// Joins `parts` with `sep`.
+std::string JoinStrings(const std::vector<std::string>& parts,
+                        std::string_view sep);
+
+/// Trims ASCII whitespace from both ends.
+std::string_view TrimWhitespace(std::string_view s);
+
+/// True if `s` begins with `prefix`.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+/// Parses a non-negative integer; returns false on garbage/overflow.
+bool ParseUint64(std::string_view s, uint64_t* out);
+
+/// Parses a double; returns false on garbage.
+bool ParseDouble(std::string_view s, double* out);
+
+/// "1.5 KB", "3.2 MB", ... for byte counts.
+std::string HumanBytes(uint64_t bytes);
+
+/// "12.3us", "4.5ms", "1.2s" for microsecond durations.
+std::string HumanMicros(int64_t micros);
+
+}  // namespace gmine
+
+#endif  // GMINE_UTIL_STRING_UTIL_H_

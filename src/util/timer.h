@@ -1,0 +1,43 @@
+// Wall-clock timing for benchmarks and the interaction-latency log.
+
+#ifndef GMINE_UTIL_TIMER_H_
+#define GMINE_UTIL_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace gmine {
+
+/// Monotonic stopwatch with microsecond resolution.
+class StopWatch {
+ public:
+  StopWatch() { Restart(); }
+
+  /// Resets the start point to now.
+  void Restart() { start_ = Clock::now(); }
+
+  /// Elapsed microseconds since construction / last Restart().
+  int64_t ElapsedMicros() const {
+    return std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                                 start_)
+        .count();
+  }
+
+  /// Elapsed milliseconds (fractional).
+  double ElapsedMillis() const {
+    return static_cast<double>(ElapsedMicros()) / 1000.0;
+  }
+
+  /// Elapsed seconds (fractional).
+  double ElapsedSeconds() const {
+    return static_cast<double>(ElapsedMicros()) / 1e6;
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace gmine
+
+#endif  // GMINE_UTIL_TIMER_H_

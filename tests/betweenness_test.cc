@@ -1,0 +1,121 @@
+#include "mining/betweenness.h"
+
+#include <gtest/gtest.h>
+
+#include "gen/generators.h"
+#include "graph/graph_builder.h"
+
+namespace gmine::mining {
+namespace {
+
+TEST(BetweennessTest, PathGraphExactValues) {
+  // Path 0-1-2-3-4: betweenness of node i counts pairs it separates.
+  auto g = gen::Path(5);
+  auto r = ComputeBetweenness(g.value());
+  ASSERT_TRUE(r.exact);
+  // Node 2 separates {0,1} from {3,4}: 4 pairs; plus none through ends.
+  EXPECT_DOUBLE_EQ(r.score[0], 0.0);
+  EXPECT_DOUBLE_EQ(r.score[1], 3.0);  // (0,2),(0,3),(0,4)
+  EXPECT_DOUBLE_EQ(r.score[2], 4.0);  // (0,3),(0,4),(1,3),(1,4)
+  EXPECT_DOUBLE_EQ(r.score[3], 3.0);
+  EXPECT_DOUBLE_EQ(r.score[4], 0.0);
+}
+
+TEST(BetweennessTest, StarHubCarriesAllPairs) {
+  auto g = gen::Star(6);  // hub 0, leaves 1..5
+  auto r = ComputeBetweenness(g.value());
+  // All C(5,2) = 10 leaf pairs route through the hub.
+  EXPECT_DOUBLE_EQ(r.score[0], 10.0);
+  for (uint32_t v = 1; v < 6; ++v) EXPECT_DOUBLE_EQ(r.score[v], 0.0);
+}
+
+TEST(BetweennessTest, CompleteGraphAllZero) {
+  auto g = gen::Complete(6);
+  auto r = ComputeBetweenness(g.value());
+  for (double s : r.score) EXPECT_DOUBLE_EQ(s, 0.0);
+}
+
+TEST(BetweennessTest, CycleSplitsPathsEvenly) {
+  // Even cycle: every node lies on shortest paths symmetrically.
+  auto g = gen::Cycle(6);
+  auto r = ComputeBetweenness(g.value());
+  for (uint32_t v = 1; v < 6; ++v) {
+    EXPECT_NEAR(r.score[v], r.score[0], 1e-9);
+  }
+  EXPECT_GT(r.score[0], 0.0);
+}
+
+TEST(BetweennessTest, BridgeNodeDominates) {
+  // Two triangles joined through node 2: 2 is the cut vertex.
+  graph::GraphBuilder b;
+  b.AddEdge(0, 1);
+  b.AddEdge(1, 2);
+  b.AddEdge(0, 2);
+  b.AddEdge(2, 3);
+  b.AddEdge(3, 4);
+  b.AddEdge(2, 4);
+  auto g = std::move(b.Build()).value();
+  auto r = ComputeBetweenness(g);
+  for (uint32_t v = 0; v < 5; ++v) {
+    if (v != 2) {
+      EXPECT_GT(r.score[2], r.score[v]);
+    }
+  }
+}
+
+TEST(BetweennessTest, NormalizationBoundsScores) {
+  auto g = gen::Star(8);
+  BetweennessOptions opts;
+  opts.normalize = true;
+  auto r = ComputeBetweenness(g.value(), opts);
+  EXPECT_NEAR(r.score[0], 1.0, 1e-9);  // hub carries every pair
+  for (double s : r.score) {
+    EXPECT_GE(s, 0.0);
+    EXPECT_LE(s, 1.0 + 1e-9);
+  }
+}
+
+TEST(BetweennessTest, SamplingApproximatesExact) {
+  auto g = gen::BarabasiAlbert(600, 3, 11);
+  BetweennessOptions exact_opts;
+  exact_opts.exact_threshold = 1000;  // force exact
+  auto exact = ComputeBetweenness(g.value(), exact_opts);
+  ASSERT_TRUE(exact.exact);
+  BetweennessOptions approx_opts;
+  approx_opts.exact_threshold = 100;  // force sampling
+  approx_opts.samples = 200;
+  auto approx = ComputeBetweenness(g.value(), approx_opts);
+  ASSERT_FALSE(approx.exact);
+  // Rank agreement on the top node and rough magnitude agreement.
+  uint32_t top_exact = 0;
+  uint32_t top_approx = 0;
+  for (uint32_t v = 1; v < 600; ++v) {
+    if (exact.score[v] > exact.score[top_exact]) top_exact = v;
+    if (approx.score[v] > approx.score[top_approx]) top_approx = v;
+  }
+  EXPECT_NEAR(approx.score[top_exact], exact.score[top_exact],
+              exact.score[top_exact] * 0.5 + 1.0);
+  EXPECT_GT(approx.score[top_approx], 0.0);
+}
+
+TEST(BetweennessTest, DisconnectedComponentsIndependent) {
+  graph::GraphBuilder b;
+  b.AddEdge(0, 1);
+  b.AddEdge(1, 2);  // path in component A
+  b.AddEdge(3, 4);  // pair in component B
+  auto g = std::move(b.Build()).value();
+  auto r = ComputeBetweenness(g);
+  EXPECT_DOUBLE_EQ(r.score[1], 1.0);  // separates (0,2)
+  EXPECT_DOUBLE_EQ(r.score[3], 0.0);
+  EXPECT_DOUBLE_EQ(r.score[4], 0.0);
+}
+
+TEST(BetweennessTest, TinyGraphsAreZero) {
+  auto r = ComputeBetweenness(gen::Path(2).value());
+  for (double s : r.score) EXPECT_DOUBLE_EQ(s, 0.0);
+  graph::Graph empty;
+  EXPECT_TRUE(ComputeBetweenness(empty).score.empty());
+}
+
+}  // namespace
+}  // namespace gmine::mining

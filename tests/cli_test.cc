@@ -1,0 +1,174 @@
+#include "cli/commands.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "graph/graph_io.h"
+#include "util/string_util.h"
+
+namespace gmine::cli {
+namespace {
+
+std::string Tmp(const char* name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+TEST(ParseCommandLineTest, FlagsAndPositionals) {
+  auto cmd = ParseCommandLine(
+      {"extract", "store.gtree", "--source", "A", "--source", "B",
+       "--budget", "25"});
+  ASSERT_TRUE(cmd.ok());
+  EXPECT_EQ(cmd.value().command, "extract");
+  ASSERT_EQ(cmd.value().positional.size(), 1u);
+  EXPECT_EQ(cmd.value().positional[0], "store.gtree");
+  EXPECT_EQ(cmd.value().Get("budget"), "25");
+  auto sources = cmd.value().GetAll("source");
+  ASSERT_EQ(sources.size(), 2u);
+  EXPECT_EQ(sources[0], "A");
+  EXPECT_EQ(sources[1], "B");
+  EXPECT_TRUE(cmd.value().Has("budget"));
+  EXPECT_FALSE(cmd.value().Has("svg"));
+  EXPECT_EQ(cmd.value().Get("missing", "dflt"), "dflt");
+}
+
+TEST(ParseCommandLineTest, RejectsDanglingFlag) {
+  EXPECT_FALSE(ParseCommandLine({"build", "--graph"}).ok());
+  EXPECT_FALSE(ParseCommandLine({}).ok());
+}
+
+TEST(CliTest, HelpPrintsUsage) {
+  std::string out;
+  ASSERT_TRUE(RunCli({"help"}, &out).ok());
+  EXPECT_NE(out.find("usage: gmine"), std::string::npos);
+}
+
+TEST(CliTest, UnknownCommandFails) {
+  std::string out;
+  Status st = RunCli({"frobnicate"}, &out);
+  EXPECT_TRUE(st.IsInvalidArgument());
+  EXPECT_NE(st.message().find("unknown command"), std::string::npos);
+}
+
+TEST(CliTest, FullWorkflowEndToEnd) {
+  std::string prefix = Tmp("cli_wf");
+  std::string store = Tmp("cli_wf.gtree");
+  std::string out;
+
+  // generate -> edges + labels files.
+  ASSERT_TRUE(RunCli({"generate", "--out", prefix, "--levels", "2",
+                      "--fanout", "3", "--leaf-size", "30", "--seed", "5"},
+                     &out)
+                  .ok())
+      << out;
+  EXPECT_NE(out.find("generated"), std::string::npos);
+  ASSERT_TRUE(graph::ReadFileToString(prefix + ".edges").ok());
+  ASSERT_TRUE(graph::ReadFileToString(prefix + ".labels").ok());
+
+  // build -> store file.
+  out.clear();
+  ASSERT_TRUE(RunCli({"build", "--graph", prefix + ".edges", "--labels",
+                      prefix + ".labels", "--out", store, "--levels", "2",
+                      "--fanout", "3"},
+                     &out)
+                  .ok())
+      << out;
+  EXPECT_NE(out.find("built GTree"), std::string::npos);
+
+  // info.
+  out.clear();
+  ASSERT_TRUE(RunCli({"info", store}, &out).ok()) << out;
+  EXPECT_NE(out.find("communities="), std::string::npos);
+  EXPECT_NE(out.find("connectivity pairs"), std::string::npos);
+
+  // query by label (planted hub).
+  out.clear();
+  ASSERT_TRUE(RunCli({"query", store, "--label", "Jiawei Han"}, &out).ok())
+      << out;
+  EXPECT_NE(out.find("'Jiawei Han'"), std::string::npos);
+  EXPECT_NE(out.find("community path: s000"), std::string::npos);
+
+  // extract with SVG.
+  out.clear();
+  std::string svg = Tmp("cli_cs.svg");
+  ASSERT_TRUE(RunCli({"extract", store, "--source", "Jiawei Han",
+                      "--source", "Philip S. Yu", "--budget", "15", "--svg",
+                      svg},
+                     &out)
+                  .ok())
+      << out;
+  EXPECT_NE(out.find("ConnectionSubgraph"), std::string::npos);
+  EXPECT_TRUE(graph::ReadFileToString(svg).ok());
+
+  // render the root view.
+  out.clear();
+  std::string view = Tmp("cli_view.svg");
+  ASSERT_TRUE(
+      RunCli({"render", store, "--zoom", "1.5", "--svg", view}, &out).ok())
+      << out;
+  EXPECT_TRUE(graph::ReadFileToString(view).ok());
+
+  // export a leaf community: discover a leaf name via info output is
+  // fiddly; leaves are named s###, try a few.
+  out.clear();
+  std::string dot = Tmp("cli_leaf.dot");
+  bool exported = false;
+  for (int i = 1; i < 20 && !exported; ++i) {
+    std::string name = StrFormat("s%03d", i);
+    std::string tmp_out;
+    if (RunCommand(
+            ParseCommandLine({"export", store, "--community", name,
+                              "--dot", dot})
+                .value(),
+            &tmp_out)
+            .ok()) {
+      exported = true;
+    }
+  }
+  ASSERT_TRUE(exported);
+  auto dot_text = graph::ReadFileToString(dot);
+  ASSERT_TRUE(dot_text.ok());
+  EXPECT_NE(dot_text.value().find("graph \"s0"), std::string::npos);
+
+  for (const std::string& p :
+       {prefix + ".edges", prefix + ".labels", store, svg, view, dot}) {
+    std::remove(p.c_str());
+  }
+}
+
+TEST(CliTest, QueryMissingLabelFails) {
+  std::string prefix = Tmp("cli_miss");
+  std::string store = Tmp("cli_miss.gtree");
+  std::string out;
+  ASSERT_TRUE(RunCli({"generate", "--out", prefix, "--levels", "2",
+                      "--fanout", "3", "--leaf-size", "20"},
+                     &out)
+                  .ok());
+  ASSERT_TRUE(RunCli({"build", "--graph", prefix + ".edges", "--out",
+                      store, "--levels", "2", "--fanout", "3"},
+                     &out)
+                  .ok());
+  out.clear();
+  Status st = RunCli({"query", store, "--label", "No Such Person"}, &out);
+  EXPECT_TRUE(st.IsNotFound());
+  for (const std::string& p : {prefix + ".edges", prefix + ".labels",
+                               store}) {
+    std::remove(p.c_str());
+  }
+}
+
+TEST(CliTest, BuildRequiresFlags) {
+  std::string out;
+  EXPECT_TRUE(RunCli({"build"}, &out).IsInvalidArgument());
+  EXPECT_TRUE(RunCli({"generate"}, &out).IsInvalidArgument());
+  EXPECT_TRUE(RunCli({"render", "x.gtree"}, &out).IsInvalidArgument());
+}
+
+TEST(CliTest, InfoMissingStoreIsIOError) {
+  std::string out;
+  Status st = RunCli({"info", "/nonexistent/x.gtree"}, &out);
+  EXPECT_TRUE(st.IsIOError());
+}
+
+}  // namespace
+}  // namespace gmine::cli

@@ -1,0 +1,118 @@
+#include "mining/clustering.h"
+
+#include <gtest/gtest.h>
+
+#include "gen/generators.h"
+#include "graph/graph_builder.h"
+
+namespace gmine::mining {
+namespace {
+
+TEST(TriangleCountTest, KnownShapes) {
+  EXPECT_EQ(TriangleCount(gen::Complete(3).value()), 1u);
+  EXPECT_EQ(TriangleCount(gen::Complete(4).value()), 4u);
+  EXPECT_EQ(TriangleCount(gen::Complete(6).value()), 20u);  // C(6,3)
+  EXPECT_EQ(TriangleCount(gen::Cycle(5).value()), 0u);
+  EXPECT_EQ(TriangleCount(gen::Star(10).value()), 0u);
+  EXPECT_EQ(TriangleCount(gen::Path(6).value()), 0u);
+}
+
+TEST(TriangleCountTest, TwoSharedTriangles) {
+  // Diamond: 0-1-2-0 and 0-2-3-0 share edge 0-2.
+  graph::GraphBuilder b;
+  b.AddEdge(0, 1);
+  b.AddEdge(1, 2);
+  b.AddEdge(0, 2);
+  b.AddEdge(2, 3);
+  b.AddEdge(0, 3);
+  auto g = std::move(b.Build()).value();
+  EXPECT_EQ(TriangleCount(g), 2u);
+}
+
+TEST(TriangleCountTest, MatchesBruteForceOnRandomGraph) {
+  auto g = gen::ErdosRenyiM(80, 400, 7);
+  // Brute force over node triples.
+  uint64_t brute = 0;
+  for (uint32_t a = 0; a < 80; ++a) {
+    for (uint32_t b = a + 1; b < 80; ++b) {
+      if (!g.value().HasEdge(a, b)) continue;
+      for (uint32_t c = b + 1; c < 80; ++c) {
+        if (g.value().HasEdge(a, c) && g.value().HasEdge(b, c)) ++brute;
+      }
+    }
+  }
+  EXPECT_EQ(TriangleCount(g.value()), brute);
+}
+
+TEST(LocalClusteringTest, CompleteGraphIsAllOnes) {
+  auto coeffs = LocalClusteringCoefficients(gen::Complete(5).value());
+  for (double c : coeffs) EXPECT_DOUBLE_EQ(c, 1.0);
+}
+
+TEST(LocalClusteringTest, StarCenterIsZero) {
+  auto coeffs = LocalClusteringCoefficients(gen::Star(6).value());
+  EXPECT_DOUBLE_EQ(coeffs[0], 0.0);   // hub: no closed wedges
+  EXPECT_DOUBLE_EQ(coeffs[1], 0.0);   // leaves: degree 1
+}
+
+TEST(LocalClusteringTest, PartialTriangleNode) {
+  // Node 0 with neighbors 1,2,3 where only 1-2 is closed: c = 1/3.
+  graph::GraphBuilder b;
+  b.AddEdge(0, 1);
+  b.AddEdge(0, 2);
+  b.AddEdge(0, 3);
+  b.AddEdge(1, 2);
+  auto g = std::move(b.Build()).value();
+  auto coeffs = LocalClusteringCoefficients(g);
+  EXPECT_NEAR(coeffs[0], 1.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(coeffs[1], 1.0);
+  EXPECT_DOUBLE_EQ(coeffs[3], 0.0);
+}
+
+TEST(ClusteringStatsTest, GlobalCoefficientOnTriangleWithTail) {
+  // Triangle 0-1-2 plus tail 2-3: 1 triangle, wedges: deg(0)=2 ->1,
+  // deg(1)=2 ->1, deg(2)=3 ->3, deg(3)=1 ->0; total 5 wedges, 3 closed.
+  graph::GraphBuilder b;
+  b.AddEdge(0, 1);
+  b.AddEdge(1, 2);
+  b.AddEdge(0, 2);
+  b.AddEdge(2, 3);
+  auto g = std::move(b.Build()).value();
+  ClusteringStats s = ComputeClustering(g);
+  EXPECT_EQ(s.triangles, 1u);
+  EXPECT_NEAR(s.global_coefficient, 3.0 / 5.0, 1e-12);
+  EXPECT_EQ(s.eligible_nodes, 3u);
+  // Mean local: (1 + 1 + 1/3) / 3.
+  EXPECT_NEAR(s.mean_local_coefficient, (1.0 + 1.0 + 1.0 / 3.0) / 3.0,
+              1e-12);
+}
+
+TEST(ClusteringStatsTest, CommunityGraphMoreClusteredThanRandom) {
+  gen::HierarchicalCommunityOptions opts;
+  opts.levels = 2;
+  opts.fanout = 3;
+  opts.leaf_size = 40;
+  opts.intra_degree = 8.0;
+  auto community = gen::HierarchicalCommunity(opts);
+  ASSERT_TRUE(community.ok());
+  uint64_t m = community.value().graph.num_edges();
+  auto random = gen::ErdosRenyiM(360, m, 9);
+  double c_comm =
+      ComputeClustering(community.value().graph).global_coefficient;
+  double c_rand = ComputeClustering(random.value()).global_coefficient;
+  EXPECT_GT(c_comm, c_rand);
+}
+
+TEST(ClusteringStatsTest, EmptyAndTinyGraphs) {
+  graph::Graph empty;
+  ClusteringStats s = ComputeClustering(empty);
+  EXPECT_EQ(s.triangles, 0u);
+  EXPECT_EQ(s.global_coefficient, 0.0);
+  auto pair = gen::Path(2);
+  s = ComputeClustering(pair.value());
+  EXPECT_EQ(s.eligible_nodes, 0u);
+  EXPECT_EQ(s.mean_local_coefficient, 0.0);
+}
+
+}  // namespace
+}  // namespace gmine::mining

@@ -1,0 +1,148 @@
+#include "util/coding.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+namespace gmine {
+namespace {
+
+TEST(CodingTest, Fixed32RoundTrip) {
+  std::string buf;
+  PutFixed32(&buf, 0);
+  PutFixed32(&buf, 12345);
+  PutFixed32(&buf, std::numeric_limits<uint32_t>::max());
+  EXPECT_EQ(buf.size(), 12u);
+  std::string_view in = buf;
+  uint32_t a, b, c;
+  ASSERT_TRUE(GetFixed32(&in, &a));
+  ASSERT_TRUE(GetFixed32(&in, &b));
+  ASSERT_TRUE(GetFixed32(&in, &c));
+  EXPECT_EQ(a, 0u);
+  EXPECT_EQ(b, 12345u);
+  EXPECT_EQ(c, std::numeric_limits<uint32_t>::max());
+  EXPECT_TRUE(in.empty());
+}
+
+TEST(CodingTest, Fixed32IsLittleEndian) {
+  std::string buf;
+  PutFixed32(&buf, 0x01020304);
+  EXPECT_EQ(static_cast<unsigned char>(buf[0]), 0x04);
+  EXPECT_EQ(static_cast<unsigned char>(buf[3]), 0x01);
+}
+
+TEST(CodingTest, Fixed64RoundTrip) {
+  std::string buf;
+  PutFixed64(&buf, 0x0102030405060708ULL);
+  std::string_view in = buf;
+  uint64_t v;
+  ASSERT_TRUE(GetFixed64(&in, &v));
+  EXPECT_EQ(v, 0x0102030405060708ULL);
+}
+
+TEST(CodingTest, FloatDoubleRoundTrip) {
+  std::string buf;
+  PutFloat(&buf, 3.25f);
+  PutDouble(&buf, -1e100);
+  std::string_view in = buf;
+  float f;
+  double d;
+  ASSERT_TRUE(GetFloat(&in, &f));
+  ASSERT_TRUE(GetDouble(&in, &d));
+  EXPECT_EQ(f, 3.25f);
+  EXPECT_EQ(d, -1e100);
+}
+
+TEST(CodingTest, Varint32RoundTripBoundaries) {
+  const uint32_t cases[] = {0,       1,        127,        128,
+                            16383,   16384,    2097151,    2097152,
+                            268435455, 268435456,
+                            std::numeric_limits<uint32_t>::max()};
+  std::string buf;
+  for (uint32_t v : cases) PutVarint32(&buf, v);
+  std::string_view in = buf;
+  for (uint32_t want : cases) {
+    uint32_t got;
+    ASSERT_TRUE(GetVarint32(&in, &got));
+    EXPECT_EQ(got, want);
+  }
+  EXPECT_TRUE(in.empty());
+}
+
+TEST(CodingTest, Varint64RoundTripBoundaries) {
+  const uint64_t cases[] = {0, 1, (1ull << 35) - 1, 1ull << 35,
+                            std::numeric_limits<uint64_t>::max()};
+  std::string buf;
+  for (uint64_t v : cases) PutVarint64(&buf, v);
+  std::string_view in = buf;
+  for (uint64_t want : cases) {
+    uint64_t got;
+    ASSERT_TRUE(GetVarint64(&in, &got));
+    EXPECT_EQ(got, want);
+  }
+}
+
+TEST(CodingTest, VarintLengthMatchesEncoding) {
+  for (uint32_t v : {0u, 127u, 128u, 16384u, 4294967295u}) {
+    std::string buf;
+    PutVarint32(&buf, v);
+    EXPECT_EQ(static_cast<int>(buf.size()), VarintLength32(v)) << v;
+  }
+  const uint64_t big_cases[] = {0, 127, 1ull << 40,
+                                std::numeric_limits<uint64_t>::max()};
+  for (uint64_t v : big_cases) {
+    std::string buf;
+    PutVarint64(&buf, v);
+    EXPECT_EQ(static_cast<int>(buf.size()), VarintLength64(v)) << v;
+  }
+}
+
+TEST(CodingTest, GetVarintRejectsTruncation) {
+  std::string buf;
+  PutVarint32(&buf, 1u << 30);
+  buf.pop_back();
+  std::string_view in = buf;
+  uint32_t v;
+  EXPECT_FALSE(GetVarint32(&in, &v));
+}
+
+TEST(CodingTest, GetFixedRejectsShortInput) {
+  std::string buf = "abc";
+  std::string_view in = buf;
+  uint32_t v32;
+  EXPECT_FALSE(GetFixed32(&in, &v32));
+  uint64_t v64;
+  EXPECT_FALSE(GetFixed64(&in, &v64));
+}
+
+TEST(CodingTest, LengthPrefixedRoundTrip) {
+  std::string buf;
+  PutLengthPrefixed(&buf, "hello");
+  PutLengthPrefixed(&buf, "");
+  PutLengthPrefixed(&buf, std::string(1000, 'x'));
+  std::string_view in = buf;
+  std::string_view a, b, c;
+  ASSERT_TRUE(GetLengthPrefixed(&in, &a));
+  ASSERT_TRUE(GetLengthPrefixed(&in, &b));
+  ASSERT_TRUE(GetLengthPrefixed(&in, &c));
+  EXPECT_EQ(a, "hello");
+  EXPECT_EQ(b, "");
+  EXPECT_EQ(c.size(), 1000u);
+}
+
+TEST(CodingTest, LengthPrefixedRejectsOverrun) {
+  std::string buf;
+  PutVarint64(&buf, 100);  // claims 100 bytes but provides none
+  std::string_view in = buf;
+  std::string_view v;
+  EXPECT_FALSE(GetLengthPrefixed(&in, &v));
+}
+
+TEST(CodingTest, Hash64IsDeterministicAndSpreads) {
+  EXPECT_EQ(Hash64("abc"), Hash64("abc"));
+  EXPECT_NE(Hash64("abc"), Hash64("abd"));
+  EXPECT_NE(Hash64("abc"), Hash64("abc", 123));
+}
+
+}  // namespace
+}  // namespace gmine

@@ -1,0 +1,142 @@
+#include "mining/components.h"
+
+#include <gtest/gtest.h>
+
+#include "gen/generators.h"
+#include "graph/graph_builder.h"
+
+namespace gmine::mining {
+namespace {
+
+using graph::Graph;
+using graph::GraphBuilder;
+using graph::GraphBuilderOptions;
+
+TEST(UnionFindTest, StartsAllSeparate) {
+  UnionFind uf(5);
+  EXPECT_EQ(uf.num_sets(), 5u);
+  EXPECT_NE(uf.Find(0), uf.Find(1));
+}
+
+TEST(UnionFindTest, UnionMerges) {
+  UnionFind uf(5);
+  EXPECT_TRUE(uf.Union(0, 1));
+  EXPECT_FALSE(uf.Union(1, 0));  // already merged
+  EXPECT_EQ(uf.Find(0), uf.Find(1));
+  EXPECT_EQ(uf.num_sets(), 4u);
+}
+
+TEST(UnionFindTest, TransitiveMerging) {
+  UnionFind uf(6);
+  uf.Union(0, 1);
+  uf.Union(2, 3);
+  uf.Union(1, 2);
+  EXPECT_EQ(uf.Find(0), uf.Find(3));
+  EXPECT_EQ(uf.num_sets(), 3u);
+}
+
+TEST(WeakComponentsTest, SingleComponentCycle) {
+  auto g = gen::Cycle(10);
+  auto r = WeakComponents(g.value());
+  EXPECT_EQ(r.num_components, 1u);
+  EXPECT_EQ(r.LargestSize(), 10u);
+}
+
+TEST(WeakComponentsTest, CountsIsolatedNodes) {
+  GraphBuilder b;
+  b.ReserveNodes(5);
+  b.AddEdge(0, 1);
+  Graph g = std::move(b.Build()).value();
+  auto r = WeakComponents(g);
+  EXPECT_EQ(r.num_components, 4u);  // {0,1}, {2}, {3}, {4}
+  EXPECT_EQ(r.LargestSize(), 2u);
+}
+
+TEST(WeakComponentsTest, SizesSumToN) {
+  auto g = gen::ErdosRenyiM(200, 150, 9);  // sparse -> many components
+  auto r = WeakComponents(g.value());
+  uint32_t total = 0;
+  for (uint32_t s : r.sizes) total += s;
+  EXPECT_EQ(total, 200u);
+  EXPECT_GT(r.num_components, 1u);
+}
+
+TEST(WeakComponentsTest, LabelsAreConsistentWithEdges) {
+  auto g = gen::ErdosRenyiM(100, 120, 5);
+  auto r = WeakComponents(g.value());
+  for (const auto& e : g.value().CollectEdges()) {
+    EXPECT_EQ(r.component[e.src], r.component[e.dst]);
+  }
+}
+
+TEST(StrongComponentsTest, UndirectedMatchesWeak) {
+  auto g = gen::ErdosRenyiM(150, 200, 7);
+  auto weak = WeakComponents(g.value());
+  auto strong = StrongComponents(g.value());
+  EXPECT_EQ(strong.num_components, weak.num_components);
+}
+
+TEST(StrongComponentsTest, DirectedCycleIsOneScc) {
+  GraphBuilderOptions opts;
+  opts.directed = true;
+  GraphBuilder b(opts);
+  b.AddEdge(0, 1);
+  b.AddEdge(1, 2);
+  b.AddEdge(2, 0);
+  Graph g = std::move(b.Build()).value();
+  auto r = StrongComponents(g);
+  EXPECT_EQ(r.num_components, 1u);
+}
+
+TEST(StrongComponentsTest, DirectedPathIsAllSingletons) {
+  GraphBuilderOptions opts;
+  opts.directed = true;
+  GraphBuilder b(opts);
+  b.AddEdge(0, 1);
+  b.AddEdge(1, 2);
+  b.AddEdge(2, 3);
+  Graph g = std::move(b.Build()).value();
+  auto r = StrongComponents(g);
+  EXPECT_EQ(r.num_components, 4u);
+  EXPECT_EQ(r.LargestSize(), 1u);
+}
+
+TEST(StrongComponentsTest, TwoSccsWithBridge) {
+  GraphBuilderOptions opts;
+  opts.directed = true;
+  GraphBuilder b(opts);
+  // SCC A: 0<->1, SCC B: 2<->3, bridge A->B.
+  b.AddEdge(0, 1);
+  b.AddEdge(1, 0);
+  b.AddEdge(2, 3);
+  b.AddEdge(3, 2);
+  b.AddEdge(1, 2);
+  Graph g = std::move(b.Build()).value();
+  auto r = StrongComponents(g);
+  EXPECT_EQ(r.num_components, 2u);
+  EXPECT_EQ(r.component[0], r.component[1]);
+  EXPECT_EQ(r.component[2], r.component[3]);
+  EXPECT_NE(r.component[0], r.component[2]);
+}
+
+TEST(StrongComponentsTest, DeepPathDoesNotOverflowStack) {
+  // 200k-node directed path: a recursive Tarjan would blow the stack.
+  GraphBuilderOptions opts;
+  opts.directed = true;
+  GraphBuilder b(opts);
+  const uint32_t n = 200000;
+  for (uint32_t v = 0; v + 1 < n; ++v) b.AddEdge(v, v + 1);
+  Graph g = std::move(b.Build()).value();
+  auto r = StrongComponents(g);
+  EXPECT_EQ(r.num_components, n);
+}
+
+TEST(ComponentsTest, EmptyGraph) {
+  Graph g;
+  EXPECT_EQ(WeakComponents(g).num_components, 0u);
+  EXPECT_EQ(StrongComponents(g).num_components, 0u);
+  EXPECT_EQ(WeakComponents(g).LargestSize(), 0u);
+}
+
+}  // namespace
+}  // namespace gmine::mining

@@ -1,0 +1,188 @@
+#include "gtree/connectivity.h"
+
+#include <gtest/gtest.h>
+
+#include "gen/generators.h"
+#include "graph/graph_builder.h"
+#include "gtree/builder.h"
+
+namespace gmine::gtree {
+namespace {
+
+using graph::Graph;
+using graph::GraphBuilder;
+
+// Four leaves of 2 nodes each under root via 2 interior nodes:
+// tree: root -> {A, B}; A -> {a1, a2}; B -> {b1, b2};
+// graph nodes: a1={0,1} a2={2,3} b1={4,5} b2={6,7}.
+GTree FourLeafTree() {
+  std::vector<uint32_t> assignment{0, 0, 1, 1, 2, 2, 3, 3};
+  auto tree = BuildGTreeFromAssignment(8, assignment, 4, 2);
+  return std::move(tree).value();
+}
+
+TEST(ConnectivityTest, CountsCrossLeafEdges) {
+  GraphBuilder b;
+  b.ReserveNodes(8);
+  b.AddEdge(0, 2);  // a1 - a2 (siblings under A)
+  b.AddEdge(0, 1);  // internal to a1: no connectivity
+  b.AddEdge(3, 4);  // a2 - b1 (across A and B)
+  Graph g = std::move(b.Build()).value();
+  GTree tree = FourLeafTree();
+  auto index = ConnectivityIndex::Build(g, tree);
+
+  TreeNodeId a1 = tree.LeafOf(0);
+  TreeNodeId a2 = tree.LeafOf(2);
+  TreeNodeId b1 = tree.LeafOf(4);
+  TreeNodeId na = tree.node(a1).parent;
+  TreeNodeId nb = tree.node(b1).parent;
+
+  EXPECT_EQ(index.CountBetween(a1, a2), 1u);
+  EXPECT_EQ(index.CountBetween(a2, b1), 1u);
+  // The cross edge also aggregates one level up: A <-> B.
+  EXPECT_EQ(index.CountBetween(na, nb), 1u);
+  // And mixed levels: a2 <-> B, b1 <-> A.
+  EXPECT_EQ(index.CountBetween(a2, nb), 1u);
+  EXPECT_EQ(index.CountBetween(b1, na), 1u);
+  // Sibling pair under A does NOT propagate to A<->B.
+  EXPECT_EQ(index.CountBetween(a1, b1), 0u);
+}
+
+TEST(ConnectivityTest, WeightsAggregate) {
+  GraphBuilder b;
+  b.ReserveNodes(8);
+  b.AddEdge(0, 2, 2.5f);
+  b.AddEdge(1, 3, 1.5f);
+  Graph g = std::move(b.Build()).value();
+  GTree tree = FourLeafTree();
+  auto index = ConnectivityIndex::Build(g, tree);
+  TreeNodeId a1 = tree.LeafOf(0);
+  TreeNodeId a2 = tree.LeafOf(2);
+  EXPECT_EQ(index.CountBetween(a1, a2), 2u);
+  EXPECT_DOUBLE_EQ(index.WeightBetween(a1, a2), 4.0);
+}
+
+TEST(ConnectivityTest, EdgesOfSortsByCount) {
+  GraphBuilder b;
+  b.ReserveNodes(8);
+  b.AddEdge(0, 2);
+  b.AddEdge(1, 2);  // two edges a1-a2
+  b.AddEdge(0, 4);  // one edge a1-b1
+  Graph g = std::move(b.Build()).value();
+  GTree tree = FourLeafTree();
+  auto index = ConnectivityIndex::Build(g, tree);
+  TreeNodeId a1 = tree.LeafOf(0);
+  auto edges = index.EdgesOf(a1);
+  ASSERT_GE(edges.size(), 2u);
+  EXPECT_EQ(edges[0].count, 2u);
+  EXPECT_GE(edges[0].count, edges[1].count);
+}
+
+TEST(ConnectivityTest, EdgesAmongRestrictsToSet) {
+  GraphBuilder b;
+  b.ReserveNodes(8);
+  b.AddEdge(0, 2);
+  b.AddEdge(3, 4);
+  Graph g = std::move(b.Build()).value();
+  GTree tree = FourLeafTree();
+  auto index = ConnectivityIndex::Build(g, tree);
+  TreeNodeId a1 = tree.LeafOf(0);
+  TreeNodeId a2 = tree.LeafOf(2);
+  auto among = index.EdgesAmong({a1, a2});
+  ASSERT_EQ(among.size(), 1u);
+  EXPECT_EQ(among[0].count, 1u);
+}
+
+TEST(ConnectivityTest, TotalCrossEdgesMatchSumOfLeafPairs) {
+  // Invariant: the sum of counts over all leaf pairs equals the number
+  // of cross-leaf edges in the graph.
+  auto g = gen::ErdosRenyiM(120, 500, 13);
+  GTreeBuildOptions opts;
+  opts.levels = 2;
+  opts.fanout = 3;
+  auto tree = BuildGTree(g.value(), opts);
+  ASSERT_TRUE(tree.ok());
+  auto index = ConnectivityIndex::Build(g.value(), tree.value());
+
+  uint64_t cross_edges = 0;
+  for (const auto& e : g.value().CollectEdges()) {
+    if (tree.value().LeafOf(e.src) != tree.value().LeafOf(e.dst)) {
+      ++cross_edges;
+    }
+  }
+  uint64_t leaf_pair_total = 0;
+  const auto& t = tree.value();
+  for (uint32_t a = 0; a < t.size(); ++a) {
+    if (!t.node(a).IsLeaf()) continue;
+    for (uint32_t b2 = a + 1; b2 < t.size(); ++b2) {
+      if (!t.node(b2).IsLeaf()) continue;
+      leaf_pair_total += index.CountBetween(a, b2);
+    }
+  }
+  EXPECT_EQ(leaf_pair_total, cross_edges);
+}
+
+TEST(ConnectivityTest, AncestorPairsAreZero) {
+  auto g = gen::ErdosRenyiM(60, 200, 17);
+  GTreeBuildOptions opts;
+  opts.levels = 2;
+  opts.fanout = 2;
+  auto tree = BuildGTree(g.value(), opts);
+  ASSERT_TRUE(tree.ok());
+  auto index = ConnectivityIndex::Build(g.value(), tree.value());
+  const GTree& t = tree.value();
+  for (uint32_t id = 1; id < t.size(); ++id) {
+    for (TreeNodeId anc : t.PathFromRoot(id)) {
+      if (anc == id) continue;
+      EXPECT_EQ(index.CountBetween(anc, id), 0u)
+          << "ancestor " << anc << " descendant " << id;
+    }
+  }
+}
+
+TEST(ConnectivityTest, SerializationRoundTrip) {
+  auto g = gen::ErdosRenyiM(80, 320, 19);
+  GTreeBuildOptions opts;
+  opts.levels = 2;
+  opts.fanout = 3;
+  auto tree = BuildGTree(g.value(), opts);
+  ASSERT_TRUE(tree.ok());
+  auto index = ConnectivityIndex::Build(g.value(), tree.value());
+  auto back = ConnectivityIndex::Deserialize(index.Serialize());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value().num_pairs(), index.num_pairs());
+  const GTree& t = tree.value();
+  for (uint32_t a = 0; a < t.size(); ++a) {
+    for (uint32_t b2 = a + 1; b2 < t.size(); ++b2) {
+      EXPECT_EQ(back.value().CountBetween(a, b2),
+                index.CountBetween(a, b2));
+      EXPECT_DOUBLE_EQ(back.value().WeightBetween(a, b2),
+                       index.WeightBetween(a, b2));
+    }
+  }
+}
+
+TEST(ConnectivityTest, DeserializeRejectsTruncation) {
+  GraphBuilder b;
+  b.ReserveNodes(8);
+  b.AddEdge(0, 2);
+  Graph g = std::move(b.Build()).value();
+  GTree tree = FourLeafTree();
+  auto index = ConnectivityIndex::Build(g, tree);
+  std::string blob = index.Serialize();
+  blob.resize(blob.size() - 3);
+  EXPECT_FALSE(ConnectivityIndex::Deserialize(blob).ok());
+}
+
+TEST(ConnectivityTest, EmptyGraphHasNoPairs) {
+  GraphBuilder b;
+  b.ReserveNodes(8);
+  Graph g = std::move(b.Build()).value();
+  GTree tree = FourLeafTree();
+  auto index = ConnectivityIndex::Build(g, tree);
+  EXPECT_EQ(index.num_pairs(), 0u);
+  EXPECT_TRUE(index.EdgesOf(0).empty());
+}
+
+}  // namespace
+}  // namespace gmine::gtree

@@ -1,0 +1,131 @@
+#include "gen/dblp.h"
+
+#include <gtest/gtest.h>
+
+#include "mining/components.h"
+#include "mining/degree.h"
+
+namespace gmine::gen {
+namespace {
+
+DblpOptions SmallOptions() {
+  DblpOptions opts;
+  opts.levels = 2;
+  opts.fanout = 3;
+  opts.leaf_size = 40;
+  opts.seed = 77;
+  return opts;
+}
+
+TEST(DblpTest, GeneratesExpectedScale) {
+  auto r = GenerateDblp(SmallOptions());
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().graph.num_nodes(), 360u);  // 3^2 * 40
+  EXPECT_EQ(r.value().num_leaf_communities, 9u);
+  EXPECT_GT(r.value().graph.num_edges(), 500u);
+}
+
+TEST(DblpTest, EveryNodeHasAName) {
+  auto r = GenerateDblp(SmallOptions());
+  ASSERT_TRUE(r.ok());
+  for (uint32_t v = 0; v < r.value().graph.num_nodes(); ++v) {
+    EXPECT_FALSE(r.value().labels.Label(v).empty()) << v;
+  }
+}
+
+TEST(DblpTest, NamedAuthorsArePlanted) {
+  auto r = GenerateDblp(SmallOptions());
+  ASSERT_TRUE(r.ok());
+  const DblpGraph& d = r.value();
+  ASSERT_NE(d.jiawei_han, graph::kInvalidNode);
+  ASSERT_NE(d.philip_yu, graph::kInvalidNode);
+  ASSERT_NE(d.flip_korn, graph::kInvalidNode);
+  EXPECT_EQ(d.labels.Label(d.jiawei_han), "Jiawei Han");
+  EXPECT_EQ(d.labels.Find("Philip S. Yu"), d.philip_yu);
+  EXPECT_EQ(d.labels.Find("Flip Korn"), d.flip_korn);
+}
+
+TEST(DblpTest, HubAuthorsAreMutuallyReachable) {
+  auto r = GenerateDblp(SmallOptions());
+  ASSERT_TRUE(r.ok());
+  const DblpGraph& d = r.value();
+  auto wcc = mining::WeakComponents(d.graph);
+  EXPECT_EQ(wcc.component[d.jiawei_han], wcc.component[d.philip_yu]);
+  EXPECT_EQ(wcc.component[d.jiawei_han], wcc.component[d.flip_korn]);
+  EXPECT_EQ(wcc.component[d.jiawei_han], wcc.component[d.hv_jagadish]);
+  EXPECT_EQ(wcc.component[d.jiawei_han], wcc.component[d.minos_garofalakis]);
+}
+
+TEST(DblpTest, JiaweiHanIsTheTopHub) {
+  auto r = GenerateDblp(SmallOptions());
+  ASSERT_TRUE(r.ok());
+  const DblpGraph& d = r.value();
+  uint32_t han_deg = d.graph.Degree(d.jiawei_han);
+  auto wcc = mining::WeakComponents(d.graph);
+  for (uint32_t v = 0; v < d.graph.num_nodes(); ++v) {
+    if (wcc.component[v] == wcc.component[d.jiawei_han]) {
+      EXPECT_LE(d.graph.Degree(v), han_deg);
+    }
+  }
+}
+
+TEST(DblpTest, KeWangIsCoAuthorOfHan) {
+  auto r = GenerateDblp(SmallOptions());
+  ASSERT_TRUE(r.ok());
+  const DblpGraph& d = r.value();
+  ASSERT_NE(d.ke_wang, graph::kInvalidNode);
+  EXPECT_TRUE(d.graph.HasEdge(d.jiawei_han, d.ke_wang));
+}
+
+TEST(DblpTest, MillerStocktonAreAnOutlierPair) {
+  DblpOptions opts = SmallOptions();
+  opts.isolated_fraction = 0.5;
+  auto r = GenerateDblp(opts);
+  ASSERT_TRUE(r.ok());
+  const DblpGraph& d = r.value();
+  ASSERT_NE(d.db_miller, graph::kInvalidNode);
+  ASSERT_NE(d.rg_stockton, graph::kInvalidNode);
+  EXPECT_TRUE(d.graph.HasEdge(d.db_miller, d.rg_stockton));
+  EXPECT_LE(d.graph.Degree(d.db_miller), 2u);
+}
+
+TEST(DblpTest, DegreesAreHeavyTailed) {
+  DblpOptions opts = SmallOptions();
+  opts.leaf_size = 80;
+  auto r = GenerateDblp(opts);
+  ASSERT_TRUE(r.ok());
+  auto dist = mining::ComputeDegreeDistribution(r.value().graph);
+  // Max degree should be far above the mean (hub structure).
+  EXPECT_GT(dist.max_degree, dist.mean_degree * 4);
+}
+
+TEST(DblpTest, DeterministicForSeed) {
+  auto a = GenerateDblp(SmallOptions());
+  auto b = GenerateDblp(SmallOptions());
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_TRUE(a.value().graph == b.value().graph);
+  EXPECT_EQ(a.value().jiawei_han, b.value().jiawei_han);
+}
+
+TEST(DblpTest, PaperScaleOptionsMatchPaperCounts) {
+  DblpOptions opts = PaperScaleDblpOptions();
+  EXPECT_EQ(opts.levels, 5u);
+  EXPECT_EQ(opts.fanout, 5u);
+  // 5^5 * 101 = 315,625 ~ paper's 315,688 nodes.
+  uint64_t nodes = 1;
+  for (uint32_t l = 0; l < opts.levels; ++l) nodes *= opts.fanout;
+  nodes *= opts.leaf_size;
+  EXPECT_NEAR(static_cast<double>(nodes), 315688.0, 1000.0);
+}
+
+TEST(SyntheticAuthorNameTest, DeterministicAndDistinctEnough) {
+  EXPECT_EQ(SyntheticAuthorName(3), SyntheticAuthorName(3));
+  EXPECT_NE(SyntheticAuthorName(3), SyntheticAuthorName(4));
+  // Serial suffix appears once the base combinations are exhausted.
+  EXPECT_NE(SyntheticAuthorName(32 * 32 + 5).find("0001"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace gmine::gen

@@ -1,0 +1,150 @@
+#include <gtest/gtest.h>
+
+#include "gen/generators.h"
+#include "graph/graph_builder.h"
+#include "mining/degree.h"
+#include "mining/hops.h"
+#include "mining/metrics.h"
+
+namespace gmine::mining {
+namespace {
+
+TEST(DegreeDistributionTest, StarGraph) {
+  auto g = gen::Star(11);  // hub degree 10, leaves degree 1
+  auto d = ComputeDegreeDistribution(g.value());
+  EXPECT_EQ(d.min_degree, 1u);
+  EXPECT_EQ(d.max_degree, 10u);
+  EXPECT_NEAR(d.mean_degree, 20.0 / 11.0, 1e-9);
+  EXPECT_EQ(d.count.at(1), 10u);
+  EXPECT_EQ(d.count.at(10), 1u);
+}
+
+TEST(DegreeDistributionTest, RegularGraphSingleBucket) {
+  auto g = gen::Cycle(12);
+  auto d = ComputeDegreeDistribution(g.value());
+  EXPECT_EQ(d.count.size(), 1u);
+  EXPECT_EQ(d.count.at(2), 12u);
+}
+
+TEST(DegreeDistributionTest, PowerLawSlopeIsNegativeForBa) {
+  auto g = gen::BarabasiAlbert(2000, 2, 5);
+  auto d = ComputeDegreeDistribution(g.value());
+  EXPECT_LT(d.powerlaw_slope, -0.8);
+}
+
+TEST(DegreeDistributionTest, EmptyGraph) {
+  graph::Graph g;
+  auto d = ComputeDegreeDistribution(g);
+  EXPECT_EQ(d.mean_degree, 0.0);
+  EXPECT_TRUE(d.count.empty());
+}
+
+TEST(DegreesTest, VectorMatchesGraph) {
+  auto g = gen::Star(5);
+  auto d = Degrees(g.value());
+  ASSERT_EQ(d.size(), 5u);
+  EXPECT_EQ(d[0], 4u);
+  EXPECT_EQ(d[1], 1u);
+}
+
+TEST(BfsTest, DistancesOnPath) {
+  auto g = gen::Path(5);
+  auto dist = BfsDistances(g.value(), 0);
+  for (uint32_t v = 0; v < 5; ++v) EXPECT_EQ(dist[v], v);
+}
+
+TEST(BfsTest, UnreachableIsMarked) {
+  graph::GraphBuilder b;
+  b.ReserveNodes(4);
+  b.AddEdge(0, 1);
+  auto g = std::move(b.Build()).value();
+  auto dist = BfsDistances(g, 0);
+  EXPECT_EQ(dist[1], 1u);
+  EXPECT_EQ(dist[2], kUnreachable);
+  EXPECT_EQ(dist[3], kUnreachable);
+}
+
+TEST(HopDistanceTest, PairQueries) {
+  auto g = gen::Cycle(10);
+  EXPECT_EQ(HopDistance(g.value(), 0, 5), 5u);
+  EXPECT_EQ(HopDistance(g.value(), 0, 9), 1u);
+  EXPECT_EQ(HopDistance(g.value(), 3, 3), 0u);
+}
+
+TEST(HopDistanceTest, DisconnectedPair) {
+  graph::GraphBuilder b;
+  b.ReserveNodes(4);
+  b.AddEdge(0, 1);
+  b.AddEdge(2, 3);
+  auto g = std::move(b.Build()).value();
+  EXPECT_EQ(HopDistance(g, 0, 3), kUnreachable);
+}
+
+TEST(HopPlotTest, PathGraphExact) {
+  auto g = gen::Path(6);
+  auto hp = ComputeHopPlot(g.value());
+  EXPECT_EQ(hp.diameter, 5u);
+  EXPECT_EQ(hp.sources_used, 6u);
+  // Ordered reachable pairs: n*(n-1) = 30 total.
+  EXPECT_EQ(hp.reachable_pairs.back(), 30u);
+  // Within 1 hop: 2*(n-1) = 10 ordered adjacent pairs.
+  EXPECT_EQ(hp.reachable_pairs[1], 10u);
+  EXPECT_GT(hp.mean_distance, 1.0);
+}
+
+TEST(HopPlotTest, CompleteGraphDiameterOne) {
+  auto g = gen::Complete(8);
+  auto hp = ComputeHopPlot(g.value());
+  EXPECT_EQ(hp.diameter, 1u);
+  EXPECT_EQ(hp.effective_diameter_90, 1u);
+  EXPECT_DOUBLE_EQ(hp.mean_distance, 1.0);
+}
+
+TEST(HopPlotTest, ReachablePairsAreMonotone) {
+  auto g = gen::ErdosRenyiM(300, 900, 13);
+  auto hp = ComputeHopPlot(g.value());
+  for (size_t h = 1; h < hp.reachable_pairs.size(); ++h) {
+    EXPECT_GE(hp.reachable_pairs[h], hp.reachable_pairs[h - 1]);
+  }
+}
+
+TEST(HopPlotTest, SamplingKicksInAboveThreshold) {
+  auto g = gen::ErdosRenyiM(500, 2000, 17);
+  auto hp = ComputeHopPlot(g.value(), /*exact_threshold=*/100,
+                           /*samples=*/32, /*seed=*/5);
+  EXPECT_EQ(hp.sources_used, 32u);
+}
+
+TEST(HopPlotTest, EmptyGraph) {
+  graph::Graph g;
+  auto hp = ComputeHopPlot(g);
+  EXPECT_EQ(hp.diameter, 0u);
+  EXPECT_EQ(hp.sources_used, 0u);
+}
+
+TEST(MetricsTest, BundleComputesAllFive) {
+  auto g = gen::ErdosRenyiM(100, 300, 19);
+  auto m = ComputeMetrics(g.value());
+  EXPECT_GT(m.degrees.max_degree, 0u);
+  EXPECT_GT(m.hops.diameter, 0u);
+  EXPECT_GE(m.weak.num_components, 1u);
+  EXPECT_GE(m.strong.num_components, 1u);
+  EXPECT_EQ(m.pagerank.score.size(), 100u);
+  std::string report = m.Report();
+  EXPECT_NE(report.find("degrees"), std::string::npos);
+  EXPECT_NE(report.find("pagerank"), std::string::npos);
+}
+
+TEST(MetricsTest, RequestTogglesSkipWork) {
+  auto g = gen::ErdosRenyiM(100, 300, 19);
+  MetricsRequest req;
+  req.hop_plot = false;
+  req.pagerank = false;
+  auto m = ComputeMetrics(g.value(), req);
+  EXPECT_EQ(m.hops.sources_used, 0u);
+  EXPECT_TRUE(m.pagerank.score.empty());
+  EXPECT_GE(m.weak.num_components, 1u);
+}
+
+}  // namespace
+}  // namespace gmine::mining

@@ -1,0 +1,136 @@
+#include "csg/delivered_current.h"
+
+#include <gtest/gtest.h>
+
+#include "gen/generators.h"
+#include "graph/graph_builder.h"
+#include "mining/components.h"
+
+namespace gmine::csg {
+namespace {
+
+TEST(DeliveredCurrentTest, PathGraphExtractsTheChain) {
+  auto g = gen::Path(6);
+  DeliveredCurrentOptions opts;
+  opts.budget = 6;
+  auto r = DeliveredCurrentSubgraph(g.value(), 0, 5, opts);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().subgraph.graph.num_nodes(), 6u);
+  EXPECT_GT(r.value().total_delivered, 0.0);
+  EXPECT_EQ(r.value().paths_used, 1u);
+}
+
+TEST(DeliveredCurrentTest, VoltagesAreOrderedOnPath) {
+  auto g = gen::Path(5);
+  auto r = DeliveredCurrentSubgraph(g.value(), 0, 4);
+  ASSERT_TRUE(r.ok());
+  const auto& sub = r.value().subgraph;
+  // member_voltage is parallel to to_parent (sorted ids 0..4): voltage
+  // must decrease monotonically from source 0 to target 4.
+  for (size_t i = 1; i < r.value().member_voltage.size(); ++i) {
+    EXPECT_LT(r.value().member_voltage[i], r.value().member_voltage[i - 1])
+        << "at member " << sub.to_parent[i];
+  }
+  EXPECT_DOUBLE_EQ(r.value().member_voltage.front(), 1.0);
+  EXPECT_DOUBLE_EQ(r.value().member_voltage.back(), 0.0);
+}
+
+TEST(DeliveredCurrentTest, PrefersShortOverLongRoute) {
+  // Short route 0-1-5 vs long route 0-2-3-4-5: the short path delivers
+  // more current and must be extracted first.
+  graph::GraphBuilder b;
+  b.AddEdge(0, 1);
+  b.AddEdge(1, 5);
+  b.AddEdge(0, 2);
+  b.AddEdge(2, 3);
+  b.AddEdge(3, 4);
+  b.AddEdge(4, 5);
+  auto g = std::move(b.Build()).value();
+  DeliveredCurrentOptions opts;
+  opts.budget = 3;  // only room for the short route
+  opts.max_paths = 1;
+  auto r = DeliveredCurrentSubgraph(g, 0, 5, opts);
+  ASSERT_TRUE(r.ok());
+  EXPECT_NE(r.value().subgraph.LocalId(1), graph::kInvalidNode);
+  EXPECT_EQ(r.value().subgraph.LocalId(3), graph::kInvalidNode);
+}
+
+TEST(DeliveredCurrentTest, BudgetIsRespected) {
+  auto g = gen::ErdosRenyiM(200, 800, 5);
+  DeliveredCurrentOptions opts;
+  opts.budget = 12;
+  auto r = DeliveredCurrentSubgraph(g.value(), 0, 100, opts);
+  ASSERT_TRUE(r.ok());
+  EXPECT_LE(r.value().subgraph.graph.num_nodes(), 12u);
+  EXPECT_GE(r.value().subgraph.graph.num_nodes(), 2u);
+}
+
+TEST(DeliveredCurrentTest, MultiplePathsAccumulateCurrent) {
+  // Two disjoint routes between endpoints.
+  graph::GraphBuilder b;
+  b.AddEdge(0, 1);
+  b.AddEdge(1, 3);
+  b.AddEdge(0, 2);
+  b.AddEdge(2, 3);
+  auto g = std::move(b.Build()).value();
+  DeliveredCurrentOptions opts;
+  opts.budget = 4;
+  opts.max_paths = 4;
+  auto r = DeliveredCurrentSubgraph(g, 0, 3, opts);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().subgraph.graph.num_nodes(), 4u);
+  EXPECT_GE(r.value().paths_used, 2u);
+}
+
+TEST(DeliveredCurrentTest, SinkPenalizesHubDetours) {
+  // Direct 2-hop route via a low-degree node vs a route via a huge hub:
+  // with the universal sink, the hub leaks current, so the low-degree
+  // route wins.
+  graph::GraphBuilder b;
+  b.AddEdge(0, 1);  // low-degree route
+  b.AddEdge(1, 2);
+  b.AddEdge(0, 3);  // hub route
+  b.AddEdge(3, 2);
+  for (uint32_t v = 4; v < 40; ++v) b.AddEdge(3, v);  // 3 is a hub
+  auto g = std::move(b.Build()).value();
+  DeliveredCurrentOptions opts;
+  opts.budget = 3;
+  opts.max_paths = 1;
+  opts.sink_alpha = 1.0;
+  auto r = DeliveredCurrentSubgraph(g, 0, 2, opts);
+  ASSERT_TRUE(r.ok());
+  EXPECT_NE(r.value().subgraph.LocalId(1), graph::kInvalidNode);
+  EXPECT_EQ(r.value().subgraph.LocalId(3), graph::kInvalidNode);
+}
+
+TEST(DeliveredCurrentTest, DisconnectedEndpointsYieldEndpointsOnly) {
+  graph::GraphBuilder b;
+  b.ReserveNodes(6);
+  b.AddEdge(0, 1);
+  b.AddEdge(3, 4);
+  auto g = std::move(b.Build()).value();
+  auto r = DeliveredCurrentSubgraph(g, 0, 3);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().subgraph.graph.num_nodes(), 2u);
+  EXPECT_DOUBLE_EQ(r.value().total_delivered, 0.0);
+  EXPECT_EQ(r.value().paths_used, 0u);
+}
+
+TEST(DeliveredCurrentTest, RejectsBadArguments) {
+  auto g = gen::Cycle(5);
+  EXPECT_FALSE(DeliveredCurrentSubgraph(g.value(), 0, 0).ok());
+  EXPECT_FALSE(DeliveredCurrentSubgraph(g.value(), 0, 99).ok());
+  DeliveredCurrentOptions opts;
+  opts.budget = 1;
+  EXPECT_FALSE(DeliveredCurrentSubgraph(g.value(), 0, 1, opts).ok());
+}
+
+TEST(DeliveredCurrentTest, SolverConverges) {
+  auto g = gen::ErdosRenyiM(300, 1200, 7);
+  auto r = DeliveredCurrentSubgraph(g.value(), 0, 150);
+  ASSERT_TRUE(r.ok());
+  EXPECT_LT(r.value().solve_iterations, 200);
+}
+
+}  // namespace
+}  // namespace gmine::csg

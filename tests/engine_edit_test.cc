@@ -1,0 +1,167 @@
+// Engine-level edition + camera tests (§III-B "zoom, pan and details on
+// demand ... edition of nodes and edges").
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "core/engine.h"
+#include "gen/dblp.h"
+#include "graph/graph_io.h"
+
+namespace gmine::core {
+namespace {
+
+struct Fixture {
+  gen::DblpGraph dblp;
+  std::unique_ptr<GMineEngine> engine;
+  std::string path;
+
+  Fixture() = default;
+  Fixture(Fixture&&) = default;
+
+  ~Fixture() {
+    engine.reset();
+    if (!path.empty()) std::remove(path.c_str());
+  }
+};
+
+Fixture Make(const char* name) {
+  Fixture f;
+  gen::DblpOptions gopts;
+  gopts.levels = 2;
+  gopts.fanout = 3;
+  gopts.leaf_size = 30;
+  gopts.seed = 21;
+  f.dblp = std::move(gen::GenerateDblp(gopts)).value();
+  f.path = std::string(::testing::TempDir()) + "/" + name + ".gtree";
+  EngineOptions opts;
+  opts.build.levels = 2;
+  opts.build.fanout = 3;
+  f.engine = std::move(GMineEngine::Build(f.dblp.graph, f.dblp.labels,
+                                          f.path, opts))
+                 .value();
+  return f;
+}
+
+TEST(EngineEditTest, AddAuthorAndCoAuthorship) {
+  Fixture f = Make("addauthor");
+  uint32_t n_before = f.dblp.graph.num_nodes();
+  graph::GraphEdit edit(n_before);
+  graph::NodeId nv = edit.AddNode();
+  edit.AddEdge(nv, f.dblp.jiawei_han, 3.0f);
+  ASSERT_TRUE(f.engine->ApplyEdit(edit, {"New Author"}).ok());
+
+  // The new author is findable and linked.
+  graph::NodeId found = f.engine->labels().Find("New Author");
+  ASSERT_NE(found, graph::kInvalidNode);
+  auto g = f.engine->full_graph();
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ((*g.value()).num_nodes(), n_before + 1);
+  graph::NodeId han = f.engine->labels().Find("Jiawei Han");
+  EXPECT_TRUE((*g.value()).HasEdge(found, han));
+  // Hierarchy was rebuilt: the new node lives in some leaf.
+  EXPECT_NE(f.engine->tree().LeafOf(found), gtree::kInvalidTreeNode);
+}
+
+TEST(EngineEditTest, RemoveEdgeSurvivesReopen) {
+  Fixture f = Make("removeedge");
+  graph::NodeId han = f.dblp.jiawei_han;
+  graph::NodeId wang = f.dblp.ke_wang;
+  ASSERT_TRUE(f.dblp.graph.HasEdge(han, wang));
+  graph::GraphEdit edit(f.dblp.graph.num_nodes());
+  edit.RemoveEdge(han, wang);
+  ASSERT_TRUE(f.engine->ApplyEdit(edit).ok());
+
+  // Ids are stable when nothing is removed from the node set.
+  auto g = f.engine->full_graph();
+  ASSERT_TRUE(g.ok());
+  EXPECT_FALSE((*g.value()).HasEdge(han, wang));
+
+  // Edit persisted: reopen from disk and re-check.
+  std::string path = f.engine->store_path();
+  f.engine.reset();
+  auto reopened = GMineEngine::Open(path);
+  ASSERT_TRUE(reopened.ok());
+  auto g2 = reopened.value()->full_graph();
+  ASSERT_TRUE(g2.ok());
+  EXPECT_FALSE((*g2.value()).HasEdge(han, wang));
+  f.engine = std::move(reopened).value();
+}
+
+TEST(EngineEditTest, RemoveNodeRemapsLabels) {
+  Fixture f = Make("removenode");
+  graph::NodeId victim = f.dblp.jiawei_han;
+  uint32_t n_before = f.dblp.graph.num_nodes();
+  graph::GraphEdit edit(n_before);
+  edit.RemoveNode(victim);
+  ASSERT_TRUE(f.engine->ApplyEdit(edit).ok());
+  EXPECT_EQ(f.engine->labels().Find("Jiawei Han"), graph::kInvalidNode);
+  // Another author survives with a consistent label.
+  graph::NodeId yu = f.engine->labels().Find("Philip S. Yu");
+  ASSERT_NE(yu, graph::kInvalidNode);
+  EXPECT_EQ(f.engine->labels().Label(yu), "Philip S. Yu");
+  auto g = f.engine->full_graph();
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ((*g.value()).num_nodes(), n_before - 1);
+}
+
+TEST(EngineEditTest, SessionResetsToRootAfterEdit) {
+  Fixture f = Make("sessionreset");
+  ASSERT_TRUE(f.engine->session().FocusChild(0).ok());
+  graph::GraphEdit edit(f.dblp.graph.num_nodes());
+  edit.AddEdge(0, 1);
+  ASSERT_TRUE(f.engine->ApplyEdit(edit).ok());
+  EXPECT_EQ(f.engine->session().focus(), f.engine->tree().root());
+}
+
+TEST(EngineViewTest, ZoomPanRecordedAndApplied) {
+  Fixture f = Make("view");
+  gtree::NavigationSession& nav = f.engine->session();
+  ASSERT_TRUE(nav.Zoom(2.0).ok());
+  ASSERT_TRUE(nav.Zoom(1.5).ok());
+  nav.Pan(30.0, -10.0);
+  EXPECT_DOUBLE_EQ(nav.view().zoom, 3.0);
+  EXPECT_DOUBLE_EQ(nav.view().pan_x, 30.0);
+  EXPECT_DOUBLE_EQ(nav.view().pan_y, -10.0);
+  EXPECT_EQ(nav.history().back().op, "pan");
+
+  std::string svg_path = std::string(::testing::TempDir()) + "/zoomed.svg";
+  ASSERT_TRUE(f.engine->RenderHierarchyView(svg_path).ok());
+  auto content = graph::ReadFileToString(svg_path);
+  ASSERT_TRUE(content.ok());
+  EXPECT_NE(content.value().find("<svg"), std::string::npos);
+  std::remove(svg_path.c_str());
+
+  nav.ResetView();
+  EXPECT_DOUBLE_EQ(nav.view().zoom, 1.0);
+  EXPECT_DOUBLE_EQ(nav.view().pan_x, 0.0);
+  EXPECT_EQ(nav.history().back().op, "reset_view");
+}
+
+TEST(EngineViewTest, ZoomRejectsNonPositive) {
+  Fixture f = Make("badzoom");
+  EXPECT_FALSE(f.engine->session().Zoom(0.0).ok());
+  EXPECT_FALSE(f.engine->session().Zoom(-2.0).ok());
+  EXPECT_DOUBLE_EQ(f.engine->session().view().zoom, 1.0);
+}
+
+TEST(EngineViewTest, ZoomedRenderScalesGeometry) {
+  Fixture f = Make("zoomgeom");
+  std::string base_path = std::string(::testing::TempDir()) + "/base.svg";
+  std::string zoom_path = std::string(::testing::TempDir()) + "/zoom.svg";
+  ASSERT_TRUE(f.engine->RenderHierarchyView(base_path).ok());
+  ASSERT_TRUE(f.engine->session().Zoom(2.0).ok());
+  ASSERT_TRUE(f.engine->RenderHierarchyView(zoom_path).ok());
+  auto base = graph::ReadFileToString(base_path);
+  auto zoom = graph::ReadFileToString(zoom_path);
+  ASSERT_TRUE(base.ok());
+  ASSERT_TRUE(zoom.ok());
+  // The zoomed SVG must differ (same scene, different transform).
+  EXPECT_NE(base.value(), zoom.value());
+  std::remove(base_path.c_str());
+  std::remove(zoom_path.c_str());
+}
+
+}  // namespace
+}  // namespace gmine::core

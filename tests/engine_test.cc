@@ -1,0 +1,235 @@
+// Integration tests: the full GMine engine driving every § of the paper
+// against the DBLP surrogate, through the public façade only.
+
+#include "core/engine.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "core/views.h"
+#include "gen/dblp.h"
+#include "graph/graph_io.h"
+#include "mining/components.h"
+
+namespace gmine::core {
+namespace {
+
+struct EngineFixture {
+  gen::DblpGraph dblp;
+  std::unique_ptr<GMineEngine> engine;
+  std::string path;
+
+  EngineFixture() = default;
+  EngineFixture(EngineFixture&&) = default;
+
+  ~EngineFixture() {
+    engine.reset();
+    if (!path.empty()) std::remove(path.c_str());
+  }
+};
+
+EngineFixture MakeEngine(const char* name) {
+  EngineFixture f;
+  gen::DblpOptions gopts;
+  gopts.levels = 2;
+  gopts.fanout = 3;
+  gopts.leaf_size = 40;
+  gopts.seed = 5;
+  f.dblp = std::move(gen::GenerateDblp(gopts)).value();
+  f.path = std::string(::testing::TempDir()) + "/" + name + ".gtree";
+  EngineOptions opts;
+  opts.build.levels = 2;
+  opts.build.fanout = 3;
+  f.engine = std::move(GMineEngine::Build(f.dblp.graph, f.dblp.labels,
+                                          f.path, opts))
+                 .value();
+  return f;
+}
+
+TEST(EngineTest, BuildCreatesNavigableHierarchy) {
+  EngineFixture f = MakeEngine("build");
+  EXPECT_EQ(f.engine->tree().height(), 2u);
+  EXPECT_EQ(f.engine->session().focus(), f.engine->tree().root());
+  EXPECT_EQ(f.engine->tree().node(f.engine->tree().root()).subtree_size,
+            f.dblp.graph.num_nodes());
+}
+
+TEST(EngineTest, ReopenFromFileMatches) {
+  EngineFixture f = MakeEngine("reopen");
+  uint32_t size_before = f.engine->tree().size();
+  f.engine.reset();
+  auto reopened = GMineEngine::Open(f.path);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_EQ(reopened.value()->tree().size(), size_before);
+  EXPECT_EQ(reopened.value()->labels().Find("Jiawei Han"),
+            f.dblp.jiawei_han);
+  f.engine = std::move(reopened).value();
+}
+
+TEST(EngineTest, NodeDetailsPopUp) {
+  EngineFixture f = MakeEngine("details");
+  auto details = f.engine->GetNodeDetails(f.dblp.jiawei_han);
+  ASSERT_TRUE(details.ok()) << details.status().ToString();
+  EXPECT_EQ(details.value().label, "Jiawei Han");
+  EXPECT_EQ(details.value().leaf,
+            f.engine->tree().LeafOf(f.dblp.jiawei_han));
+  EXPECT_FALSE(details.value().community_path.empty());
+  EXPECT_EQ(details.value().community_path.front(), "s000");
+  // Neighbor list carries labels.
+  for (const auto& [id, label] : details.value().community_neighbors) {
+    EXPECT_EQ(label, f.dblp.labels.Label(id));
+  }
+}
+
+TEST(EngineTest, ExpandNodeReturnsStrongestEdgesFirst) {
+  EngineFixture f = MakeEngine("expand");
+  auto nbrs = f.engine->ExpandNode(f.dblp.jiawei_han, 8);
+  ASSERT_TRUE(nbrs.ok());
+  EXPECT_LE(nbrs.value().size(), 8u);
+  EXPECT_GT(nbrs.value().size(), 0u);
+  // Sorted by weight: verify against the graph.
+  const graph::Graph& g = f.dblp.graph;
+  for (size_t i = 1; i < nbrs.value().size(); ++i) {
+    EXPECT_GE(g.EdgeWeight(f.dblp.jiawei_han, nbrs.value()[i - 1].first),
+              g.EdgeWeight(f.dblp.jiawei_han, nbrs.value()[i].first));
+  }
+}
+
+TEST(EngineTest, FocusMetricsOnLeaf) {
+  EngineFixture f = MakeEngine("metrics");
+  ASSERT_TRUE(f.engine->session().FocusGraphNode(0).ok());
+  auto metrics = f.engine->ComputeFocusMetrics();
+  ASSERT_TRUE(metrics.ok()) << metrics.status().ToString();
+  uint32_t leaf_size = static_cast<uint32_t>(
+      f.engine->tree().node(f.engine->session().focus()).members.size());
+  EXPECT_EQ(metrics.value().pagerank.score.size(), leaf_size);
+}
+
+TEST(EngineTest, FocusMetricsOnInteriorCommunity) {
+  EngineFixture f = MakeEngine("metrics2");
+  ASSERT_TRUE(f.engine->session().FocusChild(0).ok());
+  auto metrics = f.engine->ComputeFocusMetrics();
+  ASSERT_TRUE(metrics.ok());
+  uint64_t members = f.engine->tree()
+                         .node(f.engine->session().focus())
+                         .subtree_size;
+  EXPECT_EQ(metrics.value().pagerank.score.size(), members);
+}
+
+TEST(EngineTest, ConnectionSubgraphFigure5Scenario) {
+  EngineFixture f = MakeEngine("csg");
+  auto sources = f.engine->ResolveLabels(
+      {"Philip S. Yu", "Flip Korn", "Minos N. Garofalakis"});
+  ASSERT_TRUE(sources.ok()) << sources.status().ToString();
+  csg::ExtractionOptions xopts;
+  xopts.budget = 30;
+  auto cs = f.engine->ExtractConnectionSubgraph(sources.value(), xopts);
+  ASSERT_TRUE(cs.ok()) << cs.status().ToString();
+  EXPECT_LE(cs.value().subgraph.graph.num_nodes(), 30u);
+  EXPECT_GT(cs.value().goodness_capture, 0.0);
+  auto wcc = mining::WeakComponents(cs.value().subgraph.graph);
+  EXPECT_EQ(wcc.num_components, 1u);
+}
+
+TEST(EngineTest, ResolveLabelsRejectsUnknown) {
+  EngineFixture f = MakeEngine("resolve");
+  auto r = f.engine->ResolveLabels({"Jiawei Han", "Nobody"});
+  EXPECT_TRUE(r.status().IsNotFound());
+}
+
+TEST(EngineTest, RenderHierarchyViewWritesSvg) {
+  EngineFixture f = MakeEngine("render1");
+  std::string svg_path = std::string(::testing::TempDir()) + "/h.svg";
+  ASSERT_TRUE(f.engine->RenderHierarchyView(svg_path).ok());
+  auto content = graph::ReadFileToString(svg_path);
+  ASSERT_TRUE(content.ok());
+  EXPECT_NE(content.value().find("<svg"), std::string::npos);
+  EXPECT_NE(content.value().find("circle"), std::string::npos);
+  std::remove(svg_path.c_str());
+}
+
+TEST(EngineTest, RenderFocusSubgraphRequiresLeaf) {
+  EngineFixture f = MakeEngine("render2");
+  std::string svg_path = std::string(::testing::TempDir()) + "/leaf.svg";
+  EXPECT_FALSE(f.engine->RenderFocusSubgraph(svg_path).ok());  // root
+  ASSERT_TRUE(f.engine->session().FocusGraphNode(0).ok());
+  ASSERT_TRUE(f.engine->RenderFocusSubgraph(svg_path).ok());
+  auto content = graph::ReadFileToString(svg_path);
+  ASSERT_TRUE(content.ok());
+  EXPECT_NE(content.value().find("<svg"), std::string::npos);
+  std::remove(svg_path.c_str());
+}
+
+TEST(EngineTest, RenderConnectionSubgraphSvg) {
+  EngineFixture f = MakeEngine("render3");
+  csg::ExtractionOptions xopts;
+  xopts.budget = 20;
+  auto cs = f.engine->ExtractConnectionSubgraph(
+      {f.dblp.jiawei_han, f.dblp.philip_yu}, xopts);
+  ASSERT_TRUE(cs.ok());
+  std::string svg_path = std::string(::testing::TempDir()) + "/cs.svg";
+  ASSERT_TRUE(
+      RenderConnectionSubgraphSvg(cs.value(), &f.engine->labels(), svg_path)
+          .ok());
+  auto content = graph::ReadFileToString(svg_path);
+  ASSERT_TRUE(content.ok());
+  // Source labels appear in the rendered figure.
+  EXPECT_NE(content.value().find("Jiawei Han"), std::string::npos);
+  std::remove(svg_path.c_str());
+}
+
+TEST(EngineTest, CombinedPipelineFigure6) {
+  // Extract a subgraph, then hierarchically partition the extraction —
+  // the paper's "combined" use (Fig. 6).
+  EngineFixture f = MakeEngine("combined");
+  csg::ExtractionOptions xopts;
+  xopts.budget = 100;
+  auto cs = f.engine->ExtractConnectionSubgraph(
+      {f.dblp.jiawei_han, f.dblp.philip_yu, f.dblp.hv_jagadish}, xopts);
+  ASSERT_TRUE(cs.ok());
+  ASSERT_GT(cs.value().subgraph.graph.num_nodes(), 10u);
+
+  std::string path2 = std::string(::testing::TempDir()) + "/combined2.gtree";
+  EngineOptions opts;
+  opts.build.levels = 2;
+  opts.build.fanout = 3;
+  opts.build.min_partition_size = 5;
+  graph::LabelStore sub_labels;
+  for (graph::NodeId local = 0;
+       local < cs.value().subgraph.graph.num_nodes(); ++local) {
+    sub_labels.SetLabel(local,
+                        std::string(f.engine->labels().Label(
+                            cs.value().subgraph.ParentId(local))));
+  }
+  auto sub_engine = GMineEngine::Build(cs.value().subgraph.graph,
+                                       sub_labels, path2, opts);
+  ASSERT_TRUE(sub_engine.ok()) << sub_engine.status().ToString();
+  EXPECT_GT(sub_engine.value()->tree().size(), 3u);
+  // Drill down to the very nodes of the graph (Fig. 6d).
+  gtree::NavigationSession& nav = sub_engine.value()->session();
+  while (!sub_engine.value()->tree().node(nav.focus()).IsLeaf()) {
+    ASSERT_TRUE(nav.FocusChild(0).ok());
+  }
+  auto payload = nav.LoadFocusSubgraph();
+  ASSERT_TRUE(payload.ok());
+  EXPECT_GT(payload.value()->subgraph.graph.num_nodes(), 0u);
+  sub_engine.value().reset();
+  std::remove(path2.c_str());
+}
+
+TEST(EngineTest, OnDemandLoadingTouchesOnlyFocusedLeaves) {
+  EngineFixture f = MakeEngine("ondemand");
+  uint64_t loads_before = f.engine->store().stats().leaf_loads;
+  ASSERT_TRUE(f.engine->session().FocusGraphNode(0).ok());
+  ASSERT_TRUE(f.engine->session().LoadFocusSubgraph().ok());
+  EXPECT_EQ(f.engine->store().stats().leaf_loads, loads_before + 1);
+}
+
+TEST(EngineTest, OpenMissingFileFails) {
+  auto r = GMineEngine::Open("/nonexistent/store.gtree");
+  EXPECT_FALSE(r.ok());
+}
+
+}  // namespace
+}  // namespace gmine::core

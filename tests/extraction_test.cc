@@ -1,0 +1,227 @@
+#include "csg/extraction.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "csg/goodness.h"
+#include "gen/dblp.h"
+#include "gen/generators.h"
+#include "graph/graph_builder.h"
+#include "mining/components.h"
+
+namespace gmine::csg {
+namespace {
+
+using graph::NodeId;
+
+TEST(GoodnessTest, SourceWalksRejectBadSets) {
+  auto g = gen::Cycle(6);
+  EXPECT_FALSE(ComputeSourceWalks(g.value(), {}).ok());
+  EXPECT_FALSE(ComputeSourceWalks(g.value(), {0, 0}).ok());
+  EXPECT_FALSE(ComputeSourceWalks(g.value(), {0, 99}).ok());
+}
+
+TEST(GoodnessTest, GeometricMeanOfWalks) {
+  auto g = gen::Path(5);
+  auto walks = ComputeSourceWalks(g.value(), {0, 4});
+  ASSERT_TRUE(walks.ok());
+  auto goodness = GoodnessScores(walks.value());
+  ASSERT_EQ(goodness.size(), 5u);
+  // Middle node is the meeting point: positive; symmetric ends equal.
+  EXPECT_GT(goodness[2], 0.0);
+  EXPECT_NEAR(goodness[0], goodness[4], 1e-9);
+  // Verify one entry against the direct formula.
+  double expect = std::sqrt(walks.value().walks[0].probability[2] *
+                            walks.value().walks[1].probability[2]);
+  EXPECT_NEAR(goodness[2], expect, 1e-12);
+}
+
+TEST(GoodnessTest, ZeroWhenAnyWalkIsZero) {
+  graph::GraphBuilder b;
+  b.ReserveNodes(4);
+  b.AddEdge(0, 1);
+  b.AddEdge(2, 3);
+  auto g = std::move(b.Build()).value();
+  auto walks = ComputeSourceWalks(g, {0, 2});
+  ASSERT_TRUE(walks.ok());
+  auto goodness = GoodnessScores(walks.value());
+  for (double v : goodness) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(GoodnessTest, CaptureSumsSelectedNodes) {
+  std::vector<double> goodness{0.5, 0.25, 0.125};
+  EXPECT_DOUBLE_EQ(GoodnessCapture(goodness, {0, 2}), 0.625);
+  EXPECT_DOUBLE_EQ(GoodnessCapture(goodness, {}), 0.0);
+}
+
+TEST(BestGoodnessPathTest, PrefersHighGoodnessRoute) {
+  // Two routes 0->3: via 1 (high goodness) or via 2 (low goodness).
+  graph::GraphBuilder b;
+  b.AddEdge(0, 1);
+  b.AddEdge(1, 3);
+  b.AddEdge(0, 2);
+  b.AddEdge(2, 3);
+  auto g = std::move(b.Build()).value();
+  std::vector<double> goodness{0.3, 0.9, 0.001, 0.3};
+  auto path = BestGoodnessPath(g, goodness, 0, 3);
+  ASSERT_EQ(path.size(), 3u);
+  EXPECT_EQ(path[0], 0u);
+  EXPECT_EQ(path[1], 1u);
+  EXPECT_EQ(path[2], 3u);
+}
+
+TEST(BestGoodnessPathTest, HandlesTrivialAndDisconnected) {
+  auto g = gen::Path(3);
+  std::vector<double> goodness{0.5, 0.5, 0.5};
+  auto self_path = BestGoodnessPath(g.value(), goodness, 1, 1);
+  ASSERT_EQ(self_path.size(), 1u);
+  graph::GraphBuilder b;
+  b.ReserveNodes(4);
+  b.AddEdge(0, 1);
+  auto g2 = std::move(b.Build()).value();
+  std::vector<double> good2(4, 0.5);
+  EXPECT_TRUE(BestGoodnessPath(g2, good2, 0, 3).empty());
+}
+
+TEST(ExtractionTest, RespectsBudget) {
+  auto g = gen::ErdosRenyiM(300, 1200, 7);
+  ExtractionOptions opts;
+  opts.budget = 25;
+  auto r = ExtractConnectionSubgraph(g.value(), {0, 1, 2}, opts);
+  ASSERT_TRUE(r.ok());
+  EXPECT_LE(r.value().subgraph.graph.num_nodes(), 25u);
+  EXPECT_GE(r.value().subgraph.graph.num_nodes(), 3u);
+}
+
+TEST(ExtractionTest, ContainsAllSources) {
+  auto g = gen::ErdosRenyiM(200, 800, 9);
+  std::vector<NodeId> sources{5, 50, 150};
+  auto r = ExtractConnectionSubgraph(g.value(), sources);
+  ASSERT_TRUE(r.ok());
+  for (size_t i = 0; i < sources.size(); ++i) {
+    NodeId local = r.value().source_locals[i];
+    ASSERT_NE(local, graph::kInvalidNode);
+    EXPECT_EQ(r.value().subgraph.ParentId(local), sources[i]);
+  }
+}
+
+TEST(ExtractionTest, OutputIsConnectedWhenSourcesAre) {
+  auto g = gen::BarabasiAlbert(400, 3, 11);  // connected by construction
+  ExtractionOptions opts;
+  opts.budget = 30;
+  auto r = ExtractConnectionSubgraph(g.value(), {0, 100, 399}, opts);
+  ASSERT_TRUE(r.ok());
+  auto wcc = mining::WeakComponents(r.value().subgraph.graph);
+  EXPECT_EQ(wcc.num_components, 1u);
+}
+
+TEST(ExtractionTest, MultiSourceBeatsBudgetOnPath) {
+  // On a path with sources at both ends, extraction must include the
+  // whole connecting chain.
+  auto g = gen::Path(12);
+  ExtractionOptions opts;
+  opts.budget = 12;
+  auto r = ExtractConnectionSubgraph(g.value(), {0, 11}, opts);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().subgraph.graph.num_nodes(), 12u);
+  auto wcc = mining::WeakComponents(r.value().subgraph.graph);
+  EXPECT_EQ(wcc.num_components, 1u);
+}
+
+TEST(ExtractionTest, SupportsSingleSource) {
+  auto g = gen::BarabasiAlbert(200, 2, 13);
+  ExtractionOptions opts;
+  opts.budget = 10;
+  auto r = ExtractConnectionSubgraph(g.value(), {0}, opts);
+  ASSERT_TRUE(r.ok());
+  EXPECT_LE(r.value().subgraph.graph.num_nodes(), 10u);
+  EXPECT_GT(r.value().goodness_capture, 0.0);
+}
+
+TEST(ExtractionTest, MoreThanTwoSources) {
+  // The paper's key claim: multi-source queries (the prior art was
+  // pairwise only). Five sources must all be included and connected.
+  auto g = gen::BarabasiAlbert(500, 3, 17);
+  std::vector<NodeId> sources{1, 50, 200, 350, 499};
+  ExtractionOptions opts;
+  opts.budget = 50;
+  auto r = ExtractConnectionSubgraph(g.value(), sources, opts);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().source_locals.size(), 5u);
+  auto wcc = mining::WeakComponents(r.value().subgraph.graph);
+  EXPECT_EQ(wcc.num_components, 1u);
+}
+
+TEST(ExtractionTest, BudgetSmallerThanSourcesRejected) {
+  auto g = gen::Cycle(10);
+  ExtractionOptions opts;
+  opts.budget = 2;
+  EXPECT_FALSE(
+      ExtractConnectionSubgraph(g.value(), {0, 3, 6}, opts).ok());
+}
+
+TEST(ExtractionTest, CandidatePruningMatchesUnprunedCapture) {
+  auto g = gen::ErdosRenyiM(300, 1500, 19);
+  ExtractionOptions pruned;
+  pruned.budget = 20;
+  pruned.candidate_factor = 5;  // pool of 100 < the 300-node graph
+  ExtractionOptions full;
+  full.budget = 20;
+  full.prune_candidates = false;
+  auto rp = ExtractConnectionSubgraph(g.value(), {0, 150}, pruned);
+  auto rf = ExtractConnectionSubgraph(g.value(), {0, 150}, full);
+  ASSERT_TRUE(rp.ok());
+  ASSERT_TRUE(rf.ok());
+  // Pruning may lose a little capture but not more than half.
+  EXPECT_GT(rp.value().goodness_capture,
+            rf.value().goodness_capture * 0.5);
+  EXPECT_LT(rp.value().candidate_size, rf.value().candidate_size);
+}
+
+TEST(ExtractionTest, GoodnessCaptureMatchesMembers) {
+  auto g = gen::ErdosRenyiM(150, 600, 23);
+  auto r = ExtractConnectionSubgraph(g.value(), {0, 75});
+  ASSERT_TRUE(r.ok());
+  double sum = 0.0;
+  for (double v : r.value().member_goodness) sum += v;
+  EXPECT_NEAR(sum, r.value().goodness_capture, 1e-12);
+}
+
+TEST(ExtractionTest, DisconnectedSourcesStillReturnSources) {
+  graph::GraphBuilder b;
+  b.ReserveNodes(8);
+  b.AddEdge(0, 1);
+  b.AddEdge(2, 3);
+  auto g = std::move(b.Build()).value();
+  ExtractionOptions opts;
+  opts.budget = 5;
+  auto r = ExtractConnectionSubgraph(g, {0, 2}, opts);
+  ASSERT_TRUE(r.ok());
+  // No connecting path exists; output contains at least the sources.
+  EXPECT_GE(r.value().subgraph.graph.num_nodes(), 2u);
+  EXPECT_DOUBLE_EQ(r.value().goodness_capture, 0.0);
+}
+
+TEST(ExtractionTest, NamedAuthorScenarioFromDblp) {
+  gen::DblpOptions gopts;
+  gopts.levels = 2;
+  gopts.fanout = 3;
+  gopts.leaf_size = 50;
+  gopts.seed = 99;
+  auto dblp = gen::GenerateDblp(gopts);
+  ASSERT_TRUE(dblp.ok());
+  const gen::DblpGraph& d = dblp.value();
+  ExtractionOptions opts;
+  opts.budget = 30;
+  auto r = ExtractConnectionSubgraph(
+      d.graph, {d.philip_yu, d.flip_korn, d.minos_garofalakis}, opts);
+  ASSERT_TRUE(r.ok());
+  EXPECT_LE(r.value().subgraph.graph.num_nodes(), 30u);
+  EXPECT_GT(r.value().goodness_capture, 0.0);
+  auto wcc = mining::WeakComponents(r.value().subgraph.graph);
+  EXPECT_EQ(wcc.num_components, 1u);
+}
+
+}  // namespace
+}  // namespace gmine::csg

@@ -1,0 +1,278 @@
+#include "gen/generators.h"
+
+#include <gtest/gtest.h>
+
+#include "mining/components.h"
+
+namespace gmine::gen {
+namespace {
+
+using graph::Graph;
+
+TEST(ErdosRenyiTest, EdgeCountNearExpectation) {
+  auto g = ErdosRenyi(400, 0.05, 3);
+  ASSERT_TRUE(g.ok());
+  double expected = 400.0 * 399.0 / 2.0 * 0.05;
+  EXPECT_NEAR(static_cast<double>(g.value().num_edges()), expected,
+              expected * 0.2);
+}
+
+TEST(ErdosRenyiTest, ZeroProbabilityIsEmpty) {
+  auto g = ErdosRenyi(50, 0.0, 1);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g.value().num_edges(), 0u);
+  EXPECT_EQ(g.value().num_nodes(), 50u);
+}
+
+TEST(ErdosRenyiTest, FullProbabilityIsComplete) {
+  auto g = ErdosRenyi(20, 1.0, 1);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g.value().num_edges(), 190u);
+}
+
+TEST(ErdosRenyiTest, RejectsBadProbability) {
+  EXPECT_FALSE(ErdosRenyi(10, -0.1, 1).ok());
+  EXPECT_FALSE(ErdosRenyi(10, 1.5, 1).ok());
+}
+
+TEST(ErdosRenyiTest, DeterministicForSeed) {
+  auto a = ErdosRenyi(100, 0.05, 42);
+  auto b = ErdosRenyi(100, 0.05, 42);
+  EXPECT_TRUE(a.value() == b.value());
+}
+
+TEST(ErdosRenyiMTest, ExactEdgeCount) {
+  auto g = ErdosRenyiM(100, 300, 5);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g.value().num_edges(), 300u);
+}
+
+TEST(ErdosRenyiMTest, RejectsImpossibleM) {
+  EXPECT_FALSE(ErdosRenyiM(5, 100, 1).ok());
+}
+
+TEST(BarabasiAlbertTest, DegreesAndEdgeCount) {
+  auto g = BarabasiAlbert(500, 3, 7);
+  ASSERT_TRUE(g.ok());
+  // Seed clique C(4,2)=6 edges + 3 per additional node.
+  EXPECT_EQ(g.value().num_edges(), 6u + 3u * (500 - 4));
+  uint32_t max_deg = 0;
+  for (uint32_t v = 0; v < 500; ++v) {
+    max_deg = std::max(max_deg, g.value().Degree(v));
+    EXPECT_GE(g.value().Degree(v), 3u);  // everyone attaches with >= m
+  }
+  EXPECT_GT(max_deg, 20u);  // hubs exist
+}
+
+TEST(BarabasiAlbertTest, Connected) {
+  auto g = BarabasiAlbert(300, 2, 9);
+  auto wcc = mining::WeakComponents(g.value());
+  EXPECT_EQ(wcc.num_components, 1u);
+}
+
+TEST(BarabasiAlbertTest, RejectsBadParams) {
+  EXPECT_FALSE(BarabasiAlbert(5, 0, 1).ok());
+  EXPECT_FALSE(BarabasiAlbert(3, 3, 1).ok());
+}
+
+TEST(WattsStrogatzTest, LatticeWhenBetaZero) {
+  auto g = WattsStrogatz(20, 2, 0.0, 3);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g.value().num_edges(), 40u);  // n*k
+  for (uint32_t v = 0; v < 20; ++v) EXPECT_EQ(g.value().Degree(v), 4u);
+}
+
+TEST(WattsStrogatzTest, RewiringPreservesEdgeCount) {
+  auto g = WattsStrogatz(100, 3, 0.3, 5);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g.value().num_edges(), 300u);
+}
+
+TEST(WattsStrogatzTest, RejectsBadParams) {
+  EXPECT_FALSE(WattsStrogatz(10, 5, 0.1, 1).ok());
+  EXPECT_FALSE(WattsStrogatz(10, 2, 1.5, 1).ok());
+}
+
+TEST(RmatTest, ProducesSkewedDegrees) {
+  RmatOptions opts;
+  opts.scale = 10;
+  opts.edges = 8192;
+  opts.seed = 3;
+  auto g = Rmat(opts);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g.value().num_nodes(), 1024u);
+  uint32_t max_deg = 0;
+  for (uint32_t v = 0; v < 1024; ++v) {
+    max_deg = std::max(max_deg, g.value().Degree(v));
+  }
+  EXPECT_GT(max_deg, 40u);  // R-MAT hubs
+}
+
+TEST(RmatTest, RejectsBadProbabilities) {
+  RmatOptions opts;
+  opts.a = 0.9;  // sums > 1 with defaults
+  EXPECT_FALSE(Rmat(opts).ok());
+}
+
+TEST(PlantedPartitionTest, IntraDominatesInter) {
+  auto g = PlantedPartition(4, 50, 0.3, 0.01, 11);
+  ASSERT_TRUE(g.ok());
+  uint64_t intra = 0;
+  uint64_t inter = 0;
+  for (const auto& e : g.value().CollectEdges()) {
+    if (e.src / 50 == e.dst / 50) {
+      ++intra;
+    } else {
+      ++inter;
+    }
+  }
+  EXPECT_GT(intra, inter * 3);
+}
+
+TEST(GridTest, StructureAndCounts) {
+  auto g = Grid(3, 4);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g.value().num_nodes(), 12u);
+  EXPECT_EQ(g.value().num_edges(), 3u * 3 + 4u * 2);  // 17
+  EXPECT_EQ(g.value().Degree(0), 2u);   // corner
+  EXPECT_EQ(g.value().Degree(5), 4u);   // interior
+}
+
+TEST(SimpleShapesTest, PathCycleStarTree) {
+  EXPECT_EQ(Path(5).value().num_edges(), 4u);
+  EXPECT_EQ(Cycle(5).value().num_edges(), 5u);
+  EXPECT_EQ(Star(5).value().num_edges(), 4u);
+  EXPECT_EQ(Star(5).value().Degree(0), 4u);
+  EXPECT_EQ(Complete(6).value().num_edges(), 15u);
+  EXPECT_EQ(BalancedBinaryTree(7).value().num_edges(), 6u);
+  EXPECT_FALSE(Cycle(2).ok());
+  EXPECT_FALSE(Star(1).ok());
+}
+
+TEST(HierarchicalCommunityTest, CountsMatchParameters) {
+  HierarchicalCommunityOptions opts;
+  opts.levels = 2;
+  opts.fanout = 3;
+  opts.leaf_size = 20;
+  opts.seed = 5;
+  auto r = HierarchicalCommunity(opts);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().graph.num_nodes(), 180u);  // 3^2 * 20
+  EXPECT_EQ(r.value().num_leaf_communities, 9u);
+  EXPECT_EQ(r.value().leaf_community.size(), 180u);
+  for (uint32_t v = 0; v < 180; ++v) {
+    EXPECT_EQ(r.value().leaf_community[v], v / 20);
+  }
+}
+
+TEST(HierarchicalCommunityTest, IntraCommunityEdgesDominate) {
+  HierarchicalCommunityOptions opts;
+  opts.levels = 2;
+  opts.fanout = 4;
+  opts.leaf_size = 50;
+  opts.intra_degree = 8.0;
+  opts.cross_decay = 0.2;
+  opts.seed = 6;
+  auto r = HierarchicalCommunity(opts);
+  ASSERT_TRUE(r.ok());
+  uint64_t intra = 0;
+  uint64_t cross = 0;
+  for (const auto& e : r.value().graph.CollectEdges()) {
+    if (r.value().leaf_community[e.src] == r.value().leaf_community[e.dst]) {
+      ++intra;
+    } else {
+      ++cross;
+    }
+  }
+  EXPECT_GT(intra, cross * 2);
+}
+
+TEST(HierarchicalCommunityTest, IsolatedLeavesHaveNoCrossEdges) {
+  HierarchicalCommunityOptions opts;
+  opts.levels = 2;
+  opts.fanout = 3;
+  opts.leaf_size = 30;
+  opts.isolated_fraction = 0.5;
+  opts.seed = 17;
+  auto r = HierarchicalCommunity(opts);
+  ASSERT_TRUE(r.ok());
+  bool any_isolated = false;
+  for (uint32_t c = 0; c < r.value().num_leaf_communities; ++c) {
+    any_isolated |= r.value().leaf_isolated[c];
+  }
+  ASSERT_TRUE(any_isolated);
+  for (const auto& e : r.value().graph.CollectEdges()) {
+    uint32_t cs = r.value().leaf_community[e.src];
+    uint32_t cd = r.value().leaf_community[e.dst];
+    if (cs != cd) {
+      EXPECT_FALSE(r.value().leaf_isolated[cs]);
+      EXPECT_FALSE(r.value().leaf_isolated[cd]);
+    }
+  }
+}
+
+TEST(HierarchicalCommunityTest, RejectsBadParams) {
+  HierarchicalCommunityOptions opts;
+  opts.levels = 0;
+  EXPECT_FALSE(HierarchicalCommunity(opts).ok());
+  opts.levels = 2;
+  opts.fanout = 1;
+  EXPECT_FALSE(HierarchicalCommunity(opts).ok());
+}
+
+// Property sweep: every generator yields a well-formed symmetric CSR.
+class GeneratorPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(GeneratorPropertyTest, SymmetricSortedAndSelfLoopFree) {
+  int which = GetParam();
+  gmine::Result<Graph> result = [&]() -> gmine::Result<Graph> {
+    switch (which) {
+      case 0:
+        return ErdosRenyi(200, 0.03, 9);
+      case 1:
+        return ErdosRenyiM(200, 500, 9);
+      case 2:
+        return BarabasiAlbert(200, 2, 9);
+      case 3:
+        return WattsStrogatz(200, 3, 0.2, 9);
+      case 4: {
+        RmatOptions opts;
+        opts.scale = 8;
+        opts.edges = 2000;
+        return Rmat(opts);
+      }
+      case 5:
+        return PlantedPartition(4, 50, 0.2, 0.01, 9);
+      case 6:
+        return Grid(10, 20);
+      default: {
+        HierarchicalCommunityOptions opts;
+        opts.levels = 2;
+        opts.fanout = 3;
+        opts.leaf_size = 25;
+        auto r = HierarchicalCommunity(opts);
+        if (!r.ok()) return r.status();
+        return std::move(r).value().graph;
+      }
+    }
+  }();
+  ASSERT_TRUE(result.ok());
+  const Graph& g = result.value();
+  for (uint32_t v = 0; v < g.num_nodes(); ++v) {
+    auto nbrs = g.Neighbors(v);
+    for (size_t i = 0; i < nbrs.size(); ++i) {
+      EXPECT_NE(nbrs[i].id, v) << "self loop at " << v;
+      if (i > 0) {
+        EXPECT_LT(nbrs[i - 1].id, nbrs[i].id) << "unsorted";
+      }
+      EXPECT_TRUE(g.HasEdge(nbrs[i].id, v)) << "asymmetric";
+      EXPECT_FLOAT_EQ(g.EdgeWeight(nbrs[i].id, v), nbrs[i].weight);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllGenerators, GeneratorPropertyTest,
+                         ::testing::Range(0, 8));
+
+}  // namespace
+}  // namespace gmine::gen

@@ -1,0 +1,153 @@
+// Randomized property test: apply random edit batches through GraphEdit
+// and compare the result against a naive reference model (adjacency map
+// with explicit weights). Any divergence in node count, edge set or
+// weights is a bug in the edit layer or the CSR builder.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "gen/generators.h"
+#include "graph/graph_edit.h"
+#include "util/rng.h"
+
+namespace gmine::graph {
+namespace {
+
+// Reference model of an undirected weighted graph.
+struct Reference {
+  uint32_t num_nodes = 0;
+  std::map<std::pair<NodeId, NodeId>, float> edges;  // key u < v
+
+  static std::pair<NodeId, NodeId> Key(NodeId u, NodeId v) {
+    if (u > v) std::swap(u, v);
+    return {u, v};
+  }
+
+  void AddEdge(NodeId u, NodeId v, float w) {
+    if (u == v) return;
+    edges[Key(u, v)] += w;  // builder merges by summing
+  }
+
+  void RemoveEdge(NodeId u, NodeId v) { edges.erase(Key(u, v)); }
+
+  void RemoveNode(NodeId v, std::map<NodeId, NodeId>* remap) {
+    // Drop incident edges, compact ids.
+    for (auto it = edges.begin(); it != edges.end();) {
+      if (it->first.first == v || it->first.second == v) {
+        it = edges.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    std::map<std::pair<NodeId, NodeId>, float> rebuilt;
+    remap->clear();
+    NodeId next = 0;
+    for (NodeId old = 0; old < num_nodes; ++old) {
+      if (old != v) (*remap)[old] = next++;
+    }
+    for (const auto& [key, w] : edges) {
+      rebuilt[{remap->at(key.first), remap->at(key.second)}] = w;
+    }
+    edges = std::move(rebuilt);
+    --num_nodes;
+  }
+};
+
+Reference FromGraph(const Graph& g) {
+  Reference ref;
+  ref.num_nodes = g.num_nodes();
+  for (const Edge& e : g.CollectEdges()) {
+    ref.edges[Reference::Key(e.src, e.dst)] = e.weight;
+  }
+  return ref;
+}
+
+void ExpectMatches(const Graph& g, const Reference& ref) {
+  ASSERT_EQ(g.num_nodes(), ref.num_nodes);
+  ASSERT_EQ(g.num_edges(), ref.edges.size());
+  for (const auto& [key, w] : ref.edges) {
+    EXPECT_TRUE(g.HasEdge(key.first, key.second))
+        << key.first << "-" << key.second;
+    EXPECT_FLOAT_EQ(g.EdgeWeight(key.first, key.second), w);
+  }
+}
+
+class GraphEditFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(GraphEditFuzz, MatchesReferenceModel) {
+  const uint64_t seed = static_cast<uint64_t>(GetParam());
+  Rng rng(seed);
+  Graph g = std::move(gen::ErdosRenyiM(
+                          30 + static_cast<uint32_t>(rng.Uniform(20)), 80,
+                          seed))
+                .value();
+  Reference ref = FromGraph(g);
+
+  // One batch: adds of nodes/edges and removals of edges (node removal
+  // handled separately below because it renumbers). GraphEdit semantics:
+  // removals win over additions regardless of order within the batch, so
+  // the reference applies all additions first and erases removed pairs
+  // at the end.
+  GraphEdit edit(g.num_nodes());
+  uint32_t pool = g.num_nodes();
+  std::set<std::pair<NodeId, NodeId>> removed;
+  for (int op = 0; op < 40; ++op) {
+    double dice = rng.NextDouble();
+    if (dice < 0.2) {
+      edit.AddNode();
+      ++pool;
+    } else if (dice < 0.7) {
+      NodeId u = static_cast<NodeId>(rng.Uniform(pool));
+      NodeId v = static_cast<NodeId>(rng.Uniform(pool));
+      if (u == v) continue;
+      float w = static_cast<float>(1 + rng.Uniform(5));
+      edit.AddEdge(u, v, w);
+      ref.AddEdge(u, v, w);
+    } else {
+      NodeId u = static_cast<NodeId>(rng.Uniform(pool));
+      NodeId v = static_cast<NodeId>(rng.Uniform(pool));
+      if (u == v) continue;
+      edit.RemoveEdge(u, v);
+      removed.insert(Reference::Key(u, v));
+    }
+  }
+  for (const auto& key : removed) ref.edges.erase(key);
+  ref.num_nodes = pool;
+
+  auto result = edit.Apply(g);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ExpectMatches(result.value().graph, ref);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GraphEditFuzz, ::testing::Range(1, 13));
+
+class NodeRemovalFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(NodeRemovalFuzz, SingleRemovalMatchesReference) {
+  const uint64_t seed = static_cast<uint64_t>(GetParam());
+  Rng rng(seed ^ 0xabc);
+  Graph g = std::move(gen::ErdosRenyiM(25, 60, seed)).value();
+  Reference ref = FromGraph(g);
+  NodeId victim = static_cast<NodeId>(rng.Uniform(g.num_nodes()));
+
+  GraphEdit edit(g.num_nodes());
+  edit.RemoveNode(victim);
+  auto result = edit.Apply(g);
+  ASSERT_TRUE(result.ok());
+
+  std::map<NodeId, NodeId> remap;
+  ref.RemoveNode(victim, &remap);
+  ExpectMatches(result.value().graph, ref);
+  // The edit's remapping agrees with the reference's.
+  for (const auto& [old_id, new_id] : remap) {
+    EXPECT_EQ(result.value().old_to_new[old_id], new_id);
+  }
+  EXPECT_EQ(result.value().old_to_new[victim], kInvalidNode);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, NodeRemovalFuzz, ::testing::Range(1, 9));
+
+}  // namespace
+}  // namespace gmine::graph

@@ -1,0 +1,163 @@
+#include "graph/graph_edit.h"
+
+#include <gtest/gtest.h>
+
+#include "gen/generators.h"
+#include "graph/graph_builder.h"
+
+namespace gmine::graph {
+namespace {
+
+TEST(GraphEditTest, EmptyEditIsIdentity) {
+  auto g = gen::Cycle(5);
+  GraphEdit edit(5);
+  EXPECT_TRUE(edit.empty());
+  auto r = edit.Apply(g.value());
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r.value().graph == g.value());
+  for (NodeId v = 0; v < 5; ++v) EXPECT_EQ(r.value().old_to_new[v], v);
+}
+
+TEST(GraphEditTest, AddEdgeBetweenExistingNodes) {
+  auto g = gen::Path(4);
+  GraphEdit edit(4);
+  edit.AddEdge(0, 3, 2.5f);
+  auto r = edit.Apply(g.value());
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().graph.num_edges(), 4u);
+  EXPECT_FLOAT_EQ(r.value().graph.EdgeWeight(0, 3), 2.5f);
+}
+
+TEST(GraphEditTest, AddNodeWithEdges) {
+  auto g = gen::Path(3);
+  GraphEdit edit(3);
+  NodeId nv = edit.AddNode();
+  EXPECT_EQ(nv, 3u);
+  edit.AddEdge(nv, 0);
+  edit.AddEdge(nv, 2);
+  auto r = edit.Apply(g.value());
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().graph.num_nodes(), 4u);
+  ASSERT_EQ(r.value().added_nodes.size(), 1u);
+  NodeId new_id = r.value().added_nodes[0];
+  EXPECT_TRUE(r.value().graph.HasEdge(new_id, 0));
+  EXPECT_TRUE(r.value().graph.HasEdge(new_id, 2));
+}
+
+TEST(GraphEditTest, RemoveEdge) {
+  auto g = gen::Cycle(4);
+  GraphEdit edit(4);
+  edit.RemoveEdge(1, 0);  // order-insensitive
+  auto r = edit.Apply(g.value());
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().graph.num_edges(), 3u);
+  EXPECT_FALSE(r.value().graph.HasEdge(0, 1));
+}
+
+TEST(GraphEditTest, RemoveNodeCompactsIds) {
+  auto g = gen::Cycle(5);
+  GraphEdit edit(5);
+  edit.RemoveNode(2);
+  auto r = edit.Apply(g.value());
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().graph.num_nodes(), 4u);
+  EXPECT_EQ(r.value().old_to_new[2], kInvalidNode);
+  EXPECT_EQ(r.value().old_to_new[0], 0u);
+  EXPECT_EQ(r.value().old_to_new[3], 2u);  // shifted down
+  EXPECT_EQ(r.value().old_to_new[4], 3u);
+  // Incident edges 1-2 and 2-3 are gone; 5-cycle minus node = path of 4.
+  EXPECT_EQ(r.value().graph.num_edges(), 3u);
+}
+
+TEST(GraphEditTest, RemovalWinsOverAddition) {
+  auto g = gen::Path(3);
+  GraphEdit edit(3);
+  edit.AddEdge(0, 2);
+  edit.RemoveEdge(0, 2);
+  auto r = edit.Apply(g.value());
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(r.value().graph.HasEdge(0, 2));
+}
+
+TEST(GraphEditTest, RemoveProvisionalNode) {
+  auto g = gen::Path(3);
+  GraphEdit edit(3);
+  NodeId nv = edit.AddNode();
+  edit.AddEdge(nv, 0);
+  edit.RemoveNode(nv);
+  auto r = edit.Apply(g.value());
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().graph.num_nodes(), 3u);
+  EXPECT_TRUE(r.value().added_nodes.empty());
+}
+
+TEST(GraphEditTest, NodeWeightsCarriedAndSet) {
+  GraphBuilder b;
+  b.AddEdge(0, 1);
+  b.SetNodeWeight(0, 7.0f);
+  auto g = std::move(b.Build()).value();
+  GraphEdit edit(2);
+  NodeId nv = edit.AddNode(3.0f);
+  edit.AddEdge(nv, 1);
+  auto r = edit.Apply(g);
+  ASSERT_TRUE(r.ok());
+  EXPECT_FLOAT_EQ(r.value().graph.NodeWeight(0), 7.0f);
+  EXPECT_FLOAT_EQ(r.value().graph.NodeWeight(r.value().added_nodes[0]),
+                  3.0f);
+}
+
+TEST(GraphEditTest, EdgesToRemovedNodesDropSilently) {
+  auto g = gen::Path(4);
+  GraphEdit edit(4);
+  edit.AddEdge(0, 3);
+  edit.RemoveNode(3);
+  auto r = edit.Apply(g.value());
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().graph.num_nodes(), 3u);
+  EXPECT_EQ(r.value().graph.num_edges(), 2u);  // 0-1, 1-2 survive
+}
+
+TEST(GraphEditTest, RejectsWrongBaseSize) {
+  auto g = gen::Path(4);
+  GraphEdit edit(5);
+  EXPECT_FALSE(edit.Apply(g.value()).ok());
+}
+
+TEST(GraphEditTest, RejectsOutOfRangeEdge) {
+  auto g = gen::Path(3);
+  GraphEdit edit(3);
+  edit.AddEdge(0, 9);
+  EXPECT_FALSE(edit.Apply(g.value()).ok());
+}
+
+TEST(GraphEditTest, RejectsDirectedBase) {
+  GraphBuilderOptions opts;
+  opts.directed = true;
+  GraphBuilder b(opts);
+  b.AddEdge(0, 1);
+  auto g = std::move(b.Build()).value();
+  GraphEdit edit(2);
+  edit.AddEdge(0, 1);
+  EXPECT_TRUE(edit.Apply(g).status().IsNotSupported());
+}
+
+TEST(GraphEditTest, ComposedScenario) {
+  // Delete a hub, reroute its leaves to a new replacement node.
+  auto g = gen::Star(6);  // hub 0 with leaves 1..5
+  GraphEdit edit(6);
+  NodeId replacement = edit.AddNode();
+  edit.RemoveNode(0);
+  for (NodeId leaf = 1; leaf < 6; ++leaf) {
+    edit.AddEdge(replacement, leaf, 2.0f);
+  }
+  auto r = edit.Apply(g.value());
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().graph.num_nodes(), 6u);
+  NodeId new_hub = r.value().added_nodes[0];
+  EXPECT_EQ(r.value().graph.Degree(new_hub), 5u);
+  EXPECT_FLOAT_EQ(
+      r.value().graph.EdgeWeight(new_hub, r.value().old_to_new[1]), 2.0f);
+}
+
+}  // namespace
+}  // namespace gmine::graph

@@ -1,0 +1,122 @@
+#include "graph/graph_export.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "gen/generators.h"
+#include "graph/graph_builder.h"
+#include "graph/graph_io.h"
+
+namespace gmine::graph {
+namespace {
+
+TEST(DotExportTest, UndirectedUsesDoubleDash) {
+  auto g = gen::Path(3);
+  std::string dot = FormatDot(g.value());
+  EXPECT_NE(dot.find("graph \"gmine\" {"), std::string::npos);
+  EXPECT_NE(dot.find("n0 -- n1;"), std::string::npos);
+  EXPECT_NE(dot.find("n1 -- n2;"), std::string::npos);
+  EXPECT_EQ(dot.find("->"), std::string::npos);
+}
+
+TEST(DotExportTest, DirectedUsesArrow) {
+  GraphBuilderOptions opts;
+  opts.directed = true;
+  GraphBuilder b(opts);
+  b.AddEdge(0, 1);
+  auto g = std::move(b.Build()).value();
+  std::string dot = FormatDot(g);
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  EXPECT_NE(dot.find("n0 -> n1;"), std::string::npos);
+}
+
+TEST(DotExportTest, LabelsAndEscaping) {
+  auto g = gen::Path(2);
+  LabelStore labels({"plain", "with \"quotes\""});
+  std::string dot = FormatDot(g.value(), &labels);
+  EXPECT_NE(dot.find("n0 [label=\"plain\"];"), std::string::npos);
+  EXPECT_NE(dot.find("with \\\"quotes\\\""), std::string::npos);
+}
+
+TEST(DotExportTest, WeightsEmittedWhenNonUnit) {
+  GraphBuilder b;
+  b.AddEdge(0, 1, 2.5f);
+  b.AddEdge(1, 2, 1.0f);
+  auto g = std::move(b.Build()).value();
+  std::string dot = FormatDot(g);
+  EXPECT_NE(dot.find("[weight=2.5]"), std::string::npos);
+  EXPECT_NE(dot.find("n1 -- n2;"), std::string::npos);  // unit: bare
+}
+
+TEST(DotExportTest, OptionsDisableDecorations) {
+  GraphBuilder b;
+  b.AddEdge(0, 1, 2.5f);
+  auto g = std::move(b.Build()).value();
+  LabelStore labels({"a", "b"});
+  ExportOptions opts;
+  opts.include_labels = false;
+  opts.include_weights = false;
+  opts.graph_name = "custom";
+  std::string dot = FormatDot(g, &labels, opts);
+  EXPECT_NE(dot.find("\"custom\""), std::string::npos);
+  EXPECT_EQ(dot.find("label="), std::string::npos);
+  EXPECT_EQ(dot.find("weight="), std::string::npos);
+}
+
+TEST(GraphMlExportTest, WellFormedSkeleton) {
+  auto g = gen::Cycle(3);
+  std::string xml = FormatGraphMl(g.value());
+  EXPECT_NE(xml.find("<?xml"), std::string::npos);
+  EXPECT_NE(xml.find("<graphml"), std::string::npos);
+  EXPECT_NE(xml.find("edgedefault=\"undirected\""), std::string::npos);
+  EXPECT_NE(xml.find("<node id=\"n0\"/>"), std::string::npos);
+  EXPECT_NE(xml.find("source=\"n0\""), std::string::npos);
+  EXPECT_NE(xml.find("</graphml>"), std::string::npos);
+}
+
+TEST(GraphMlExportTest, DirectedFlag) {
+  GraphBuilderOptions opts;
+  opts.directed = true;
+  GraphBuilder b(opts);
+  b.AddEdge(0, 1);
+  auto g = std::move(b.Build()).value();
+  EXPECT_NE(FormatGraphMl(g).find("edgedefault=\"directed\""),
+            std::string::npos);
+}
+
+TEST(GraphMlExportTest, LabelsEscaped) {
+  auto g = gen::Path(2);
+  LabelStore labels({"A & B <x>", ""});
+  std::string xml = FormatGraphMl(g.value(), &labels);
+  EXPECT_NE(xml.find("A &amp; B &lt;x&gt;"), std::string::npos);
+  EXPECT_NE(xml.find("<node id=\"n1\"/>"), std::string::npos);  // no label
+}
+
+TEST(GraphMlExportTest, EdgeWeightsAsData) {
+  GraphBuilder b;
+  b.AddEdge(0, 1, 3.5f);
+  auto g = std::move(b.Build()).value();
+  std::string xml = FormatGraphMl(g);
+  EXPECT_NE(xml.find("<data key=\"weight\">3.5</data>"),
+            std::string::npos);
+}
+
+TEST(ExportFilesTest, WriteBothFormats) {
+  auto g = gen::Star(4);
+  std::string dot_path = std::string(::testing::TempDir()) + "/g.dot";
+  std::string gml_path = std::string(::testing::TempDir()) + "/g.graphml";
+  ASSERT_TRUE(WriteDotFile(g.value(), dot_path).ok());
+  ASSERT_TRUE(WriteGraphMlFile(g.value(), gml_path).ok());
+  auto dot = ReadFileToString(dot_path);
+  auto gml = ReadFileToString(gml_path);
+  ASSERT_TRUE(dot.ok());
+  ASSERT_TRUE(gml.ok());
+  EXPECT_NE(dot.value().find("n0 -- n3"), std::string::npos);
+  EXPECT_NE(gml.value().find("target=\"n3\""), std::string::npos);
+  std::remove(dot_path.c_str());
+  std::remove(gml_path.c_str());
+}
+
+}  // namespace
+}  // namespace gmine::graph

@@ -1,0 +1,191 @@
+#include "graph/graph_io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "gen/generators.h"
+#include "graph/graph_builder.h"
+
+namespace gmine::graph {
+namespace {
+
+std::string TempPath(const char* name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+TEST(EdgeListTest, ParsesBasicLines) {
+  auto g = ParseEdgeList("0 1\n1 2 2.5\n# comment\n% other comment\n2 0\n");
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g.value().num_nodes(), 3u);
+  EXPECT_EQ(g.value().num_edges(), 3u);
+  EXPECT_FLOAT_EQ(g.value().EdgeWeight(1, 2), 2.5f);
+}
+
+TEST(EdgeListTest, AcceptsCommasAndTabs) {
+  auto g = ParseEdgeList("0,1\n1\t2\n");
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g.value().num_edges(), 2u);
+}
+
+TEST(EdgeListTest, RejectsMalformedLine) {
+  auto g = ParseEdgeList("0 1\nbroken\n");
+  EXPECT_FALSE(g.ok());
+  EXPECT_TRUE(g.status().IsCorruption());
+}
+
+TEST(EdgeListTest, RejectsBadWeight) {
+  auto g = ParseEdgeList("0 1 abc\n");
+  EXPECT_FALSE(g.ok());
+}
+
+TEST(EdgeListTest, DirectedMode) {
+  auto g = ParseEdgeList("0 1\n1 0\n", /*directed=*/true);
+  ASSERT_TRUE(g.ok());
+  EXPECT_TRUE(g.value().directed());
+  EXPECT_EQ(g.value().num_arcs(), 2u);
+}
+
+TEST(EdgeListTest, FileRoundTrip) {
+  auto g = gen::Grid(4, 4);
+  ASSERT_TRUE(g.ok());
+  std::string path = TempPath("edges.txt");
+  ASSERT_TRUE(WriteEdgeListFile(g.value(), path).ok());
+  auto back = ReadEdgeListFile(path);
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(back.value() == g.value());
+  std::remove(path.c_str());
+}
+
+TEST(MetisTest, ParsesUnweighted) {
+  // Triangle in METIS format: 3 nodes, 3 edges, 1-based ids.
+  auto g = ParseMetisGraph("3 3\n2 3\n1 3\n1 2\n");
+  ASSERT_TRUE(g.ok()) << g.status().ToString();
+  EXPECT_EQ(g.value().num_nodes(), 3u);
+  EXPECT_EQ(g.value().num_edges(), 3u);
+}
+
+TEST(MetisTest, ParsesEdgeWeights) {
+  auto g = ParseMetisGraph("2 1 001\n2 5\n1 5\n");
+  ASSERT_TRUE(g.ok()) << g.status().ToString();
+  EXPECT_FLOAT_EQ(g.value().EdgeWeight(0, 1), 5.0f);
+}
+
+TEST(MetisTest, ParsesNodeWeights) {
+  auto g = ParseMetisGraph("2 1 011\n7 2 1\n3 1 1\n");
+  ASSERT_TRUE(g.ok()) << g.status().ToString();
+  EXPECT_FLOAT_EQ(g.value().NodeWeight(0), 7.0f);
+  EXPECT_FLOAT_EQ(g.value().NodeWeight(1), 3.0f);
+}
+
+TEST(MetisTest, RejectsEdgeCountMismatch) {
+  auto g = ParseMetisGraph("3 5\n2 3\n1 3\n1 2\n");
+  EXPECT_FALSE(g.ok());
+  EXPECT_TRUE(g.status().IsCorruption());
+}
+
+TEST(MetisTest, RejectsBadNeighborId) {
+  auto g = ParseMetisGraph("2 1\n9\n1\n");
+  EXPECT_FALSE(g.ok());
+}
+
+TEST(MetisTest, RoundTripThroughFormat) {
+  auto g = gen::Cycle(6);
+  ASSERT_TRUE(g.ok());
+  std::string text = FormatMetisGraph(g.value());
+  auto back = ParseMetisGraph(text);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_TRUE(back.value() == g.value());
+}
+
+TEST(MetisTest, RoundTripWeighted) {
+  GraphBuilder b;
+  b.AddEdge(0, 1, 2.0f);
+  b.AddEdge(1, 2, 3.0f);
+  Graph g = std::move(b.Build()).value();
+  auto back = ParseMetisGraph(FormatMetisGraph(g));
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_TRUE(back.value() == g);
+}
+
+TEST(BinaryFormatTest, RoundTripPreservesEverything) {
+  GraphBuilder b;
+  b.AddEdge(0, 1, 2.0f);
+  b.AddEdge(1, 2, 0.25f);
+  b.SetNodeWeight(2, 9.0f);
+  Graph g = std::move(b.Build()).value();
+  auto back = DeserializeGraph(SerializeGraph(g));
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_TRUE(back.value() == g);
+}
+
+TEST(BinaryFormatTest, RoundTripDirected) {
+  GraphBuilderOptions opts;
+  opts.directed = true;
+  GraphBuilder b(opts);
+  b.AddEdge(0, 1);
+  b.AddEdge(2, 1);
+  Graph g = std::move(b.Build()).value();
+  auto back = DeserializeGraph(SerializeGraph(g));
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(back.value().directed());
+  EXPECT_TRUE(back.value() == g);
+}
+
+TEST(BinaryFormatTest, RoundTripLargerRandomGraph) {
+  auto g = gen::ErdosRenyiM(500, 2000, 7);
+  ASSERT_TRUE(g.ok());
+  auto back = DeserializeGraph(SerializeGraph(g.value()));
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(back.value() == g.value());
+}
+
+TEST(BinaryFormatTest, DetectsCorruption) {
+  auto g = gen::Cycle(5);
+  std::string blob = SerializeGraph(g.value());
+  blob[blob.size() / 2] ^= 0x5a;  // flip bits mid-blob
+  auto back = DeserializeGraph(blob);
+  EXPECT_FALSE(back.ok());
+  EXPECT_TRUE(back.status().IsCorruption());
+}
+
+TEST(BinaryFormatTest, DetectsTruncation) {
+  auto g = gen::Cycle(5);
+  std::string blob = SerializeGraph(g.value());
+  blob.resize(blob.size() - 4);
+  EXPECT_FALSE(DeserializeGraph(blob).ok());
+}
+
+TEST(BinaryFormatTest, RejectsBadMagic) {
+  std::string blob(64, '\0');
+  EXPECT_FALSE(DeserializeGraph(blob).ok());
+}
+
+TEST(BinaryFileTest, GraphFileRoundTrip) {
+  auto g = gen::Grid(5, 5);
+  std::string path = TempPath("graph.bin");
+  ASSERT_TRUE(WriteGraphFile(g.value(), path).ok());
+  auto back = ReadGraphFile(path);
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(back.value() == g.value());
+  std::remove(path.c_str());
+}
+
+TEST(FileIoTest, MissingFileIsIOError) {
+  auto r = ReadFileToString("/nonexistent/path/x");
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsIOError());
+}
+
+TEST(FileIoTest, WriteAndReadBack) {
+  std::string path = TempPath("blob.bin");
+  std::string data = "hello\0world";
+  ASSERT_TRUE(WriteStringToFile(data, path).ok());
+  auto r = ReadFileToString(path);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), data);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace gmine::graph

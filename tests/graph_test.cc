@@ -1,0 +1,200 @@
+#include "graph/graph.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/graph_builder.h"
+
+namespace gmine::graph {
+namespace {
+
+Graph Triangle() {
+  GraphBuilder b;
+  b.AddEdge(0, 1);
+  b.AddEdge(1, 2);
+  b.AddEdge(0, 2);
+  return std::move(b.Build()).value();
+}
+
+TEST(GraphTest, EmptyGraph) {
+  Graph g;
+  EXPECT_EQ(g.num_nodes(), 0u);
+  EXPECT_EQ(g.num_edges(), 0u);
+  EXPECT_EQ(g.num_arcs(), 0u);
+}
+
+TEST(GraphTest, TriangleCounts) {
+  Graph g = Triangle();
+  EXPECT_EQ(g.num_nodes(), 3u);
+  EXPECT_EQ(g.num_edges(), 3u);
+  EXPECT_EQ(g.num_arcs(), 6u);
+  EXPECT_FALSE(g.directed());
+  for (NodeId v = 0; v < 3; ++v) EXPECT_EQ(g.Degree(v), 2u);
+}
+
+TEST(GraphTest, NeighborsAreSortedById) {
+  GraphBuilder b;
+  b.AddEdge(0, 3);
+  b.AddEdge(0, 1);
+  b.AddEdge(0, 2);
+  Graph g = std::move(b.Build()).value();
+  auto nbrs = g.Neighbors(0);
+  ASSERT_EQ(nbrs.size(), 3u);
+  EXPECT_EQ(nbrs[0].id, 1u);
+  EXPECT_EQ(nbrs[1].id, 2u);
+  EXPECT_EQ(nbrs[2].id, 3u);
+}
+
+TEST(GraphTest, HasEdgeAndWeight) {
+  GraphBuilder b;
+  b.AddEdge(0, 1, 2.5f);
+  b.AddEdge(1, 2, 0.5f);
+  Graph g = std::move(b.Build()).value();
+  EXPECT_TRUE(g.HasEdge(0, 1));
+  EXPECT_TRUE(g.HasEdge(1, 0));  // symmetrized
+  EXPECT_FALSE(g.HasEdge(0, 2));
+  EXPECT_FLOAT_EQ(g.EdgeWeight(0, 1), 2.5f);
+  EXPECT_FLOAT_EQ(g.EdgeWeight(0, 2), 0.0f);
+}
+
+TEST(GraphTest, WeightedDegreeSumsArcWeights) {
+  GraphBuilder b;
+  b.AddEdge(0, 1, 2.0f);
+  b.AddEdge(0, 2, 3.0f);
+  Graph g = std::move(b.Build()).value();
+  EXPECT_FLOAT_EQ(g.WeightedDegree(0), 5.0f);
+  EXPECT_FLOAT_EQ(g.WeightedDegree(1), 2.0f);
+}
+
+TEST(GraphTest, NodeWeightsDefaultToOne) {
+  Graph g = Triangle();
+  EXPECT_FLOAT_EQ(g.NodeWeight(0), 1.0f);
+  EXPECT_DOUBLE_EQ(g.TotalNodeWeight(), 3.0);
+}
+
+TEST(GraphTest, ExplicitNodeWeights) {
+  GraphBuilder b;
+  b.AddEdge(0, 1);
+  b.SetNodeWeight(0, 4.0f);
+  Graph g = std::move(b.Build()).value();
+  EXPECT_FLOAT_EQ(g.NodeWeight(0), 4.0f);
+  EXPECT_FLOAT_EQ(g.NodeWeight(1), 1.0f);
+  EXPECT_DOUBLE_EQ(g.TotalNodeWeight(), 5.0);
+}
+
+TEST(GraphTest, CollectEdgesListsEachOnce) {
+  Graph g = Triangle();
+  auto edges = g.CollectEdges();
+  EXPECT_EQ(edges.size(), 3u);
+  for (const Edge& e : edges) EXPECT_LT(e.src, e.dst);
+}
+
+TEST(GraphTest, DirectedGraphKeepsArcs) {
+  GraphBuilderOptions opts;
+  opts.directed = true;
+  GraphBuilder b(opts);
+  b.AddEdge(0, 1);
+  b.AddEdge(1, 0);
+  b.AddEdge(1, 2);
+  Graph g = std::move(b.Build()).value();
+  EXPECT_TRUE(g.directed());
+  EXPECT_EQ(g.num_edges(), 3u);
+  EXPECT_EQ(g.num_arcs(), 3u);
+  EXPECT_TRUE(g.HasEdge(0, 1));
+  EXPECT_FALSE(g.HasEdge(2, 1));
+}
+
+TEST(GraphTest, EqualityIsStructural) {
+  EXPECT_TRUE(Triangle() == Triangle());
+  GraphBuilder b;
+  b.AddEdge(0, 1);
+  Graph other = std::move(b.Build()).value();
+  EXPECT_FALSE(Triangle() == other);
+}
+
+TEST(GraphTest, DebugStringMentionsCounts) {
+  std::string s = Triangle().DebugString();
+  EXPECT_NE(s.find("nodes=3"), std::string::npos);
+  EXPECT_NE(s.find("edges=3"), std::string::npos);
+}
+
+TEST(GraphBuilderTest, MergesParallelEdgesSummingWeights) {
+  GraphBuilder b;
+  b.AddEdge(0, 1, 1.0f);
+  b.AddEdge(1, 0, 2.0f);  // same undirected edge
+  Graph g = std::move(b.Build()).value();
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_FLOAT_EQ(g.EdgeWeight(0, 1), 3.0f);
+}
+
+TEST(GraphBuilderTest, MaxWeightMergePolicy) {
+  GraphBuilderOptions opts;
+  opts.merge = GraphBuilderOptions::MergePolicy::kMaxWeight;
+  GraphBuilder b(opts);
+  b.AddEdge(0, 1, 1.0f);
+  b.AddEdge(0, 1, 5.0f);
+  Graph g = std::move(b.Build()).value();
+  EXPECT_FLOAT_EQ(g.EdgeWeight(0, 1), 5.0f);
+}
+
+TEST(GraphBuilderTest, KeepFirstMergePolicy) {
+  GraphBuilderOptions opts;
+  opts.merge = GraphBuilderOptions::MergePolicy::kKeepFirst;
+  GraphBuilder b(opts);
+  b.AddEdge(0, 1, 7.0f);
+  b.AddEdge(0, 1, 5.0f);
+  Graph g = std::move(b.Build()).value();
+  EXPECT_FLOAT_EQ(g.EdgeWeight(0, 1), 7.0f);
+}
+
+TEST(GraphBuilderTest, DropsSelfLoopsByDefault) {
+  GraphBuilder b;
+  b.AddEdge(0, 0);
+  b.AddEdge(0, 1);
+  Graph g = std::move(b.Build()).value();
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_FALSE(g.HasEdge(0, 0));
+}
+
+TEST(GraphBuilderTest, KeepsSelfLoopsWhenAsked) {
+  GraphBuilderOptions opts;
+  opts.keep_self_loops = true;
+  GraphBuilder b(opts);
+  b.AddEdge(0, 0);
+  Graph g = std::move(b.Build()).value();
+  EXPECT_TRUE(g.HasEdge(0, 0));
+}
+
+TEST(GraphBuilderTest, ReserveNodesCreatesIsolated) {
+  GraphBuilder b;
+  b.ReserveNodes(5);
+  b.AddEdge(0, 1);
+  Graph g = std::move(b.Build()).value();
+  EXPECT_EQ(g.num_nodes(), 5u);
+  EXPECT_EQ(g.Degree(4), 0u);
+}
+
+TEST(GraphBuilderTest, RejectsNegativeWeight) {
+  GraphBuilder b;
+  b.AddEdge(0, 1, -1.0f);
+  auto r = b.Build();
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsInvalidArgument());
+}
+
+TEST(GraphBuilderTest, EmptyBuildSucceeds) {
+  GraphBuilder b;
+  auto r = b.Build();
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().num_nodes(), 0u);
+}
+
+TEST(GraphBuilderTest, AddEdgesBulk) {
+  GraphBuilder b;
+  b.AddEdges({{0, 1, 1.0f}, {1, 2, 1.0f}, {2, 3, 1.0f}});
+  Graph g = std::move(b.Build()).value();
+  EXPECT_EQ(g.num_edges(), 3u);
+  EXPECT_EQ(g.num_nodes(), 4u);
+}
+
+}  // namespace
+}  // namespace gmine::graph

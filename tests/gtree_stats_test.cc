@@ -1,0 +1,98 @@
+#include "gtree/stats.h"
+
+#include <gtest/gtest.h>
+
+#include "gen/generators.h"
+#include "graph/graph_builder.h"
+#include "gtree/builder.h"
+
+namespace gmine::gtree {
+namespace {
+
+TEST(HierarchyStatsTest, BalancedTreeProfile) {
+  // 9 leaves of 10 nodes, fanout 3: depths 0,1,2.
+  std::vector<uint32_t> assignment(90);
+  for (uint32_t v = 0; v < 90; ++v) assignment[v] = v / 10;
+  auto tree = BuildGTreeFromAssignment(90, assignment, 9, 3);
+  ASSERT_TRUE(tree.ok());
+  graph::GraphBuilder b;
+  b.ReserveNodes(90);
+  b.AddEdge(0, 1);    // intra-leaf
+  b.AddEdge(0, 15);   // leaves 0 and 1 share the depth-1 parent
+  b.AddEdge(0, 85);   // crosses top-level communities (LCA = root)
+  auto g = std::move(b.Build()).value();
+
+  HierarchyStats stats = ComputeHierarchyStats(g, tree.value());
+  ASSERT_EQ(stats.levels.size(), 3u);
+  EXPECT_EQ(stats.levels[0].communities, 1u);
+  EXPECT_EQ(stats.levels[1].communities, 3u);
+  EXPECT_EQ(stats.levels[2].communities, 9u);
+  EXPECT_EQ(stats.levels[2].leaves, 9u);
+  EXPECT_EQ(stats.levels[0].leaves, 0u);
+  EXPECT_DOUBLE_EQ(stats.levels[1].mean_size, 30.0);
+  EXPECT_EQ(stats.levels[2].min_size, 10u);
+  EXPECT_EQ(stats.levels[2].max_size, 10u);
+
+  EXPECT_EQ(stats.intra_leaf_edges, 1u);
+  EXPECT_EQ(stats.cross_edges_at[0], 1u);  // root-level cross edge
+  EXPECT_EQ(stats.cross_edges_at[1], 1u);  // within a depth-1 community
+  EXPECT_EQ(stats.cross_edges_at[2], 0u);
+}
+
+TEST(HierarchyStatsTest, EdgeAccountingIsComplete) {
+  auto g = gen::ErdosRenyiM(200, 900, 13);
+  GTreeBuildOptions opts;
+  opts.levels = 2;
+  opts.fanout = 4;
+  auto tree = BuildGTree(g.value(), opts);
+  ASSERT_TRUE(tree.ok());
+  HierarchyStats stats = ComputeHierarchyStats(g.value(), tree.value());
+  uint64_t total = stats.intra_leaf_edges;
+  for (uint64_t c : stats.cross_edges_at) total += c;
+  EXPECT_EQ(total, g.value().num_edges());
+}
+
+TEST(HierarchyStatsTest, CommunityGraphResolvesMostEdgesDeep) {
+  // With planted communities, most edges must be intra-leaf or resolved
+  // at the deepest level, few at the root.
+  gen::HierarchicalCommunityOptions gopts;
+  gopts.levels = 2;
+  gopts.fanout = 3;
+  gopts.leaf_size = 50;
+  auto data = gen::HierarchicalCommunity(gopts);
+  ASSERT_TRUE(data.ok());
+  auto tree = BuildGTreeFromAssignment(
+      data.value().graph.num_nodes(), data.value().leaf_community,
+      data.value().num_leaf_communities, 3);
+  ASSERT_TRUE(tree.ok());
+  HierarchyStats stats =
+      ComputeHierarchyStats(data.value().graph, tree.value());
+  EXPECT_GT(stats.intra_leaf_edges,
+            stats.cross_edges_at[0] * 2);
+}
+
+TEST(HierarchyStatsTest, ToStringContainsTable) {
+  std::vector<uint32_t> assignment(20);
+  for (uint32_t v = 0; v < 20; ++v) assignment[v] = v / 5;
+  auto tree = BuildGTreeFromAssignment(20, assignment, 4, 2);
+  ASSERT_TRUE(tree.ok());
+  auto g = gen::Cycle(20);
+  HierarchyStats stats = ComputeHierarchyStats(g.value(), tree.value());
+  std::string s = stats.ToString();
+  EXPECT_NE(s.find("depth"), std::string::npos);
+  EXPECT_NE(s.find("intra-leaf edges"), std::string::npos);
+}
+
+TEST(HierarchyStatsTest, SingleCommunityTree) {
+  std::vector<uint32_t> assignment(5, 0);
+  auto tree = BuildGTreeFromAssignment(5, assignment, 1, 2);
+  ASSERT_TRUE(tree.ok());
+  auto g = gen::Complete(5);
+  HierarchyStats stats = ComputeHierarchyStats(g.value(), tree.value());
+  ASSERT_EQ(stats.levels.size(), 1u);
+  EXPECT_EQ(stats.levels[0].communities, 1u);
+  EXPECT_EQ(stats.intra_leaf_edges, 10u);
+}
+
+}  // namespace
+}  // namespace gmine::gtree

@@ -1,0 +1,258 @@
+#include "gtree/gtree.h"
+
+#include <gtest/gtest.h>
+
+#include "gen/generators.h"
+#include "gtree/builder.h"
+
+namespace gmine::gtree {
+namespace {
+
+// Manual 2-level tree: root(0) -> {1, 2}; 1 -> {3, 4} leaves; 2 leaf.
+std::vector<TreeNode> ManualNodes() {
+  std::vector<TreeNode> nodes(5);
+  nodes[0].id = 0;
+  nodes[0].parent = kInvalidTreeNode;
+  nodes[0].depth = 0;
+  nodes[0].children = {1, 2};
+  nodes[0].subtree_size = 6;
+  nodes[0].name = "s000";
+  nodes[1].id = 1;
+  nodes[1].parent = 0;
+  nodes[1].depth = 1;
+  nodes[1].children = {3, 4};
+  nodes[1].subtree_size = 4;
+  nodes[1].name = "s001";
+  nodes[2].id = 2;
+  nodes[2].parent = 0;
+  nodes[2].depth = 1;
+  nodes[2].members = {4, 5};
+  nodes[2].subtree_size = 2;
+  nodes[2].name = "s002";
+  nodes[3].id = 3;
+  nodes[3].parent = 1;
+  nodes[3].depth = 2;
+  nodes[3].members = {0, 1};
+  nodes[3].subtree_size = 2;
+  nodes[3].name = "s003";
+  nodes[4].id = 4;
+  nodes[4].parent = 1;
+  nodes[4].depth = 2;
+  nodes[4].members = {2, 3};
+  nodes[4].subtree_size = 2;
+  nodes[4].name = "s004";
+  return nodes;
+}
+
+TEST(GTreeTest, FromNodesValidatesAndIndexes) {
+  auto tree = GTree::FromNodes(ManualNodes(), 6);
+  ASSERT_TRUE(tree.ok()) << tree.status().ToString();
+  const GTree& t = tree.value();
+  EXPECT_EQ(t.size(), 5u);
+  EXPECT_EQ(t.height(), 2u);
+  EXPECT_EQ(t.num_leaves(), 3u);
+  EXPECT_EQ(t.LeafOf(0), 3u);
+  EXPECT_EQ(t.LeafOf(3), 4u);
+  EXPECT_EQ(t.LeafOf(5), 2u);
+}
+
+TEST(GTreeTest, PathAndLca) {
+  auto tree = GTree::FromNodes(ManualNodes(), 6);
+  ASSERT_TRUE(tree.ok());
+  const GTree& t = tree.value();
+  auto path = t.PathFromRoot(4);
+  ASSERT_EQ(path.size(), 3u);
+  EXPECT_EQ(path[0], 0u);
+  EXPECT_EQ(path[1], 1u);
+  EXPECT_EQ(path[2], 4u);
+  EXPECT_EQ(t.LowestCommonAncestor(3, 4), 1u);
+  EXPECT_EQ(t.LowestCommonAncestor(3, 2), 0u);
+  EXPECT_EQ(t.LowestCommonAncestor(1, 4), 1u);  // ancestor case
+  EXPECT_EQ(t.LowestCommonAncestor(2, 2), 2u);
+}
+
+TEST(GTreeTest, SiblingsAndSubtrees) {
+  auto tree = GTree::FromNodes(ManualNodes(), 6);
+  const GTree& t = tree.value();
+  auto sib = t.Siblings(3);
+  ASSERT_EQ(sib.size(), 1u);
+  EXPECT_EQ(sib[0], 4u);
+  EXPECT_TRUE(t.Siblings(0).empty());
+  EXPECT_EQ(t.SubtreeNodeCount(0), 5u);
+  EXPECT_EQ(t.SubtreeNodeCount(1), 3u);
+  auto leaves = t.LeavesUnder(1);
+  ASSERT_EQ(leaves.size(), 2u);
+  EXPECT_EQ(leaves[0], 3u);
+  auto members = t.MembersUnder(1);
+  ASSERT_EQ(members.size(), 4u);
+  EXPECT_EQ(members[0], 0u);
+  EXPECT_EQ(members[3], 3u);
+}
+
+TEST(GTreeTest, FindByNameAndStats) {
+  auto tree = GTree::FromNodes(ManualNodes(), 6);
+  const GTree& t = tree.value();
+  EXPECT_EQ(t.FindByName("s004"), 4u);
+  EXPECT_EQ(t.FindByName("nope"), kInvalidTreeNode);
+  EXPECT_NEAR(t.MeanLeafSize(), 2.0, 1e-9);
+  EXPECT_NE(t.DebugString().find("communities=5"), std::string::npos);
+}
+
+TEST(GTreeTest, RejectsUnassignedGraphNode) {
+  auto nodes = ManualNodes();
+  EXPECT_FALSE(GTree::FromNodes(nodes, 7).ok());  // node 6 unassigned
+}
+
+TEST(GTreeTest, RejectsDoubleAssignment) {
+  auto nodes = ManualNodes();
+  nodes[2].members = {3, 5};  // node 3 also in leaf 4
+  EXPECT_FALSE(GTree::FromNodes(std::move(nodes), 6).ok());
+}
+
+TEST(GTreeTest, RejectsInteriorMembers) {
+  auto nodes = ManualNodes();
+  nodes[1].members = {9};
+  EXPECT_FALSE(GTree::FromNodes(std::move(nodes), 6).ok());
+}
+
+TEST(GTreeTest, RejectsBadDepthOrParent) {
+  auto nodes = ManualNodes();
+  nodes[4].depth = 7;
+  EXPECT_FALSE(GTree::FromNodes(nodes, 6).ok());
+  nodes = ManualNodes();
+  nodes[0].parent = 1;
+  EXPECT_FALSE(GTree::FromNodes(std::move(nodes), 6).ok());
+}
+
+TEST(BuilderTest, BuildsRequestedShape) {
+  auto g = gen::PlantedPartition(4, 40, 0.25, 0.01, 5);
+  GTreeBuildOptions opts;
+  opts.levels = 2;
+  opts.fanout = 4;
+  GTreeBuildStats stats;
+  auto tree = BuildGTree(g.value(), opts, &stats);
+  ASSERT_TRUE(tree.ok()) << tree.status().ToString();
+  const GTree& t = tree.value();
+  EXPECT_EQ(t.height(), 2u);
+  EXPECT_EQ(t.node(t.root()).children.size(), 4u);
+  EXPECT_GT(stats.partition_calls, 0u);
+  // Every graph node in exactly one leaf (validated by FromNodes) and
+  // subtree sizes add up.
+  EXPECT_EQ(t.node(t.root()).subtree_size, 160u);
+}
+
+TEST(BuilderTest, LeafSizesRoughlyBalanced) {
+  auto g = gen::ErdosRenyiM(400, 1600, 7);
+  GTreeBuildOptions opts;
+  opts.levels = 2;
+  opts.fanout = 4;
+  auto tree = BuildGTree(g.value(), opts);
+  ASSERT_TRUE(tree.ok());
+  const GTree& t = tree.value();
+  // 16 leaves of ~25 each.
+  EXPECT_EQ(t.num_leaves(), 16u);
+  for (const TreeNode& tn : t.nodes()) {
+    if (tn.IsLeaf()) {
+      EXPECT_GT(tn.members.size(), 25u / 3);
+      EXPECT_LT(tn.members.size(), 25u * 3);
+    }
+  }
+}
+
+TEST(BuilderTest, StopsPartitioningSmallCommunities) {
+  auto g = gen::Cycle(12);
+  GTreeBuildOptions opts;
+  opts.levels = 5;
+  opts.fanout = 4;
+  opts.min_partition_size = 10;
+  auto tree = BuildGTree(g.value(), opts);
+  ASSERT_TRUE(tree.ok());
+  // 12 nodes split once into 4 parts of ~3 (each <= 10 -> stop).
+  EXPECT_EQ(tree.value().height(), 1u);
+}
+
+TEST(BuilderTest, SingleNodeGraphIsRootLeaf) {
+  graph::Graph g({0, 0}, {}, {}, false);  // one isolated node
+  GTreeBuildOptions opts;
+  auto tree = BuildGTree(g, opts);
+  ASSERT_TRUE(tree.ok());
+  EXPECT_EQ(tree.value().size(), 1u);
+  EXPECT_TRUE(tree.value().node(0).IsLeaf());
+}
+
+TEST(BuilderTest, RejectsBadOptions) {
+  auto g = gen::Cycle(10);
+  GTreeBuildOptions opts;
+  opts.levels = 0;
+  EXPECT_FALSE(BuildGTree(g.value(), opts).ok());
+  opts.levels = 2;
+  opts.fanout = 1;
+  EXPECT_FALSE(BuildGTree(g.value(), opts).ok());
+}
+
+TEST(BuilderTest, DeterministicForSeed) {
+  auto g = gen::ErdosRenyiM(200, 800, 9);
+  GTreeBuildOptions opts;
+  opts.levels = 2;
+  opts.fanout = 3;
+  auto a = BuildGTree(g.value(), opts);
+  auto b = BuildGTree(g.value(), opts);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a.value().size(), b.value().size());
+  for (uint32_t v = 0; v < 200; ++v) {
+    EXPECT_EQ(a.value().LeafOf(v), b.value().LeafOf(v));
+  }
+}
+
+TEST(FromAssignmentTest, BuildsBalancedTreeOverLeaves) {
+  // 9 leaves, fanout 3 -> 3 parents + root.
+  std::vector<uint32_t> assignment(90);
+  for (uint32_t v = 0; v < 90; ++v) assignment[v] = v / 10;
+  auto tree = BuildGTreeFromAssignment(90, assignment, 9, 3);
+  ASSERT_TRUE(tree.ok()) << tree.status().ToString();
+  const GTree& t = tree.value();
+  EXPECT_EQ(t.num_leaves(), 9u);
+  EXPECT_EQ(t.size(), 13u);  // 9 + 3 + 1
+  EXPECT_EQ(t.height(), 2u);
+  for (uint32_t v = 0; v < 90; ++v) {
+    EXPECT_EQ(t.node(t.LeafOf(v)).members.size(), 10u);
+  }
+  EXPECT_EQ(t.node(t.root()).subtree_size, 90u);
+}
+
+TEST(FromAssignmentTest, SingleLeafIsRoot) {
+  std::vector<uint32_t> assignment(5, 0);
+  auto tree = BuildGTreeFromAssignment(5, assignment, 1, 2);
+  ASSERT_TRUE(tree.ok());
+  EXPECT_EQ(tree.value().size(), 1u);
+}
+
+TEST(FromAssignmentTest, RejectsBadInput) {
+  std::vector<uint32_t> assignment(5, 7);  // out of range
+  EXPECT_FALSE(BuildGTreeFromAssignment(5, assignment, 3, 2).ok());
+  EXPECT_FALSE(BuildGTreeFromAssignment(4, assignment, 3, 2).ok());
+  EXPECT_FALSE(BuildGTreeFromAssignment(5, {0, 0, 0, 0, 0}, 1, 1).ok());
+}
+
+TEST(FromAssignmentTest, PaperShapeCounts) {
+  // The paper's configuration: 5 recursive partitionings with k=5 yield
+  // 625 leaves; the demo reports "5^4 + 1, or 626, communities" counting
+  // the whole dataset plus its bottom-level communities.
+  const uint32_t leaves = 625;
+  const uint32_t per_leaf = 505;  // ~315,625 nodes / 625
+  std::vector<uint32_t> assignment;
+  assignment.reserve(leaves * 8);
+  for (uint32_t leaf = 0; leaf < leaves; ++leaf) {
+    for (uint32_t i = 0; i < 8; ++i) assignment.push_back(leaf);
+  }
+  auto tree =
+      BuildGTreeFromAssignment(leaves * 8, assignment, leaves, 5);
+  ASSERT_TRUE(tree.ok());
+  EXPECT_EQ(tree.value().num_leaves(), leaves);
+  EXPECT_EQ(tree.value().height(), 4u);  // 5^4 = 625
+  (void)per_leaf;
+}
+
+}  // namespace
+}  // namespace gmine::gtree

@@ -1,0 +1,99 @@
+#include "util/histogram.h"
+
+#include <gtest/gtest.h>
+
+namespace gmine {
+namespace {
+
+TEST(HistogramTest, EmptyIsZeroed) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.min(), 0.0);
+  EXPECT_EQ(h.max(), 0.0);
+  EXPECT_EQ(h.mean(), 0.0);
+  EXPECT_EQ(h.Percentile(50), 0.0);
+}
+
+TEST(HistogramTest, BasicMoments) {
+  Histogram h;
+  for (double v : {1.0, 2.0, 3.0, 4.0, 5.0}) h.Add(v);
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_EQ(h.min(), 1.0);
+  EXPECT_EQ(h.max(), 5.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(h.sum(), 15.0);
+  EXPECT_NEAR(h.stddev(), 1.5811, 1e-3);
+}
+
+TEST(HistogramTest, PercentileInterpolates) {
+  Histogram h;
+  for (int i = 0; i <= 100; ++i) h.Add(i);
+  EXPECT_DOUBLE_EQ(h.Percentile(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(50), 50.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(100), 100.0);
+  EXPECT_NEAR(h.Percentile(95), 95.0, 1e-9);
+  EXPECT_DOUBLE_EQ(h.Median(), 50.0);
+}
+
+TEST(HistogramTest, PercentileClampsOutOfRange) {
+  Histogram h;
+  h.Add(3.0);
+  h.Add(9.0);
+  EXPECT_EQ(h.Percentile(-5), 3.0);
+  EXPECT_EQ(h.Percentile(200), 9.0);
+}
+
+TEST(HistogramTest, MergeCombinesSamples) {
+  Histogram a;
+  Histogram b;
+  a.Add(1.0);
+  a.Add(2.0);
+  b.Add(10.0);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_EQ(a.max(), 10.0);
+  EXPECT_DOUBLE_EQ(a.sum(), 13.0);
+}
+
+TEST(HistogramTest, AddAfterReadKeepsSorted) {
+  Histogram h;
+  h.Add(5.0);
+  EXPECT_EQ(h.max(), 5.0);  // forces a sort
+  h.Add(1.0);
+  EXPECT_EQ(h.min(), 1.0);  // must re-sort
+  EXPECT_EQ(h.max(), 5.0);
+}
+
+TEST(HistogramTest, EqualWidthBucketsPartitionCounts) {
+  Histogram h;
+  for (int i = 0; i < 100; ++i) h.Add(static_cast<double>(i % 10));
+  auto bins = h.EqualWidthBuckets(5);
+  ASSERT_EQ(bins.size(), 5u);
+  uint64_t total = 0;
+  for (uint64_t b : bins) total += b;
+  EXPECT_EQ(total, 100u);
+}
+
+TEST(HistogramTest, BucketsDegenerateRange) {
+  Histogram h;
+  h.Add(4.0);
+  h.Add(4.0);
+  auto bins = h.EqualWidthBuckets(3);
+  EXPECT_EQ(bins[0], 2u);
+  EXPECT_EQ(bins[1], 0u);
+}
+
+TEST(HistogramTest, ToStringMentionsCount) {
+  Histogram h;
+  h.Add(1.0);
+  EXPECT_NE(h.ToString().find("count=1"), std::string::npos);
+}
+
+TEST(HistogramTest, StddevNeedsTwoSamples) {
+  Histogram h;
+  h.Add(42.0);
+  EXPECT_EQ(h.stddev(), 0.0);
+}
+
+}  // namespace
+}  // namespace gmine

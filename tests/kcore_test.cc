@@ -1,0 +1,113 @@
+#include "mining/kcore.h"
+
+#include <gtest/gtest.h>
+
+#include "gen/generators.h"
+#include "graph/graph_builder.h"
+
+namespace gmine::mining {
+namespace {
+
+TEST(KCoreTest, CompleteGraphIsOneCore) {
+  auto r = KCoreDecomposition(gen::Complete(6).value());
+  EXPECT_EQ(r.degeneracy, 5u);
+  EXPECT_EQ(r.innermost_size, 6u);
+  for (uint32_t c : r.core) EXPECT_EQ(c, 5u);
+}
+
+TEST(KCoreTest, TreeIsOneDegenerate) {
+  auto r = KCoreDecomposition(gen::BalancedBinaryTree(31).value());
+  EXPECT_EQ(r.degeneracy, 1u);
+  for (uint32_t c : r.core) EXPECT_LE(c, 1u);
+}
+
+TEST(KCoreTest, CycleIsTwoCore) {
+  auto r = KCoreDecomposition(gen::Cycle(8).value());
+  EXPECT_EQ(r.degeneracy, 2u);
+  for (uint32_t c : r.core) EXPECT_EQ(c, 2u);
+}
+
+TEST(KCoreTest, StarLeavesAreOneCore) {
+  auto r = KCoreDecomposition(gen::Star(8).value());
+  EXPECT_EQ(r.degeneracy, 1u);
+  EXPECT_EQ(r.core[0], 1u);  // even the hub peels at 1
+}
+
+TEST(KCoreTest, CliqueWithTailPeelsCorrectly) {
+  // K4 (nodes 0..3) plus tail 3-4-5.
+  graph::GraphBuilder b;
+  for (uint32_t u = 0; u < 4; ++u) {
+    for (uint32_t v = u + 1; v < 4; ++v) b.AddEdge(u, v);
+  }
+  b.AddEdge(3, 4);
+  b.AddEdge(4, 5);
+  auto g = std::move(b.Build()).value();
+  auto r = KCoreDecomposition(g);
+  EXPECT_EQ(r.degeneracy, 3u);
+  for (uint32_t v = 0; v < 4; ++v) EXPECT_EQ(r.core[v], 3u);
+  EXPECT_EQ(r.core[4], 1u);
+  EXPECT_EQ(r.core[5], 1u);
+  EXPECT_EQ(r.innermost_size, 4u);
+}
+
+TEST(KCoreTest, IsolatedNodesAreZeroCore) {
+  graph::GraphBuilder b;
+  b.ReserveNodes(4);
+  b.AddEdge(0, 1);
+  auto g = std::move(b.Build()).value();
+  auto r = KCoreDecomposition(g);
+  EXPECT_EQ(r.core[2], 0u);
+  EXPECT_EQ(r.core[3], 0u);
+  EXPECT_EQ(r.core[0], 1u);
+}
+
+TEST(KCoreTest, CoreInvariantHolds) {
+  // Invariant: within the k-core subgraph, every node has >= k
+  // neighbors that are also in the k-core.
+  auto g = gen::ErdosRenyiM(300, 1500, 9);
+  auto r = KCoreDecomposition(g.value());
+  for (uint32_t k = 1; k <= r.degeneracy; ++k) {
+    auto members = KCoreMembers(r, k);
+    std::vector<char> in_core(300, 0);
+    for (auto v : members) in_core[v] = 1;
+    for (auto v : members) {
+      uint32_t internal = 0;
+      for (const graph::Neighbor& nb : g.value().Neighbors(v)) {
+        internal += in_core[nb.id];
+      }
+      EXPECT_GE(internal, k) << "node " << v << " at k=" << k;
+    }
+  }
+}
+
+TEST(KCoreTest, CoreNumberBoundedByDegree) {
+  auto g = gen::BarabasiAlbert(400, 3, 21);
+  auto r = KCoreDecomposition(g.value());
+  for (graph::NodeId v = 0; v < 400; ++v) {
+    EXPECT_LE(r.core[v], g.value().Degree(v));
+  }
+  // BA with m=3: degeneracy is exactly 3.
+  EXPECT_EQ(r.degeneracy, 3u);
+}
+
+TEST(KCoreTest, MembersAscendingAndComplete) {
+  auto g = gen::ErdosRenyiM(100, 400, 31);
+  auto r = KCoreDecomposition(g.value());
+  auto all = KCoreMembers(r, 0);
+  EXPECT_EQ(all.size(), 100u);
+  auto some = KCoreMembers(r, r.degeneracy);
+  EXPECT_EQ(some.size(), r.innermost_size);
+  for (size_t i = 1; i < some.size(); ++i) {
+    EXPECT_LT(some[i - 1], some[i]);
+  }
+}
+
+TEST(KCoreTest, EmptyGraph) {
+  graph::Graph g;
+  auto r = KCoreDecomposition(g);
+  EXPECT_EQ(r.degeneracy, 0u);
+  EXPECT_TRUE(r.core.empty());
+}
+
+}  // namespace
+}  // namespace gmine::mining

@@ -1,0 +1,142 @@
+#include "partition/kway_refine.h"
+
+#include <gtest/gtest.h>
+
+#include "gen/generators.h"
+#include "graph/graph_builder.h"
+#include "partition/partitioner.h"
+#include "partition/quality.h"
+#include "util/rng.h"
+
+namespace gmine::partition {
+namespace {
+
+TEST(KwayRefineTest, NeverIncreasesCut) {
+  auto g = gen::ErdosRenyiM(300, 1200, 5);
+  auto start = RandomPartition(g.value(), 4, 9);
+  std::vector<uint32_t> assign = start.value().assignment;
+  double before = EdgeCut(g.value(), assign);
+  KwayRefineStats stats = KwayRefine(g.value(), 4, &assign);
+  EXPECT_LE(stats.final_cut, before + 1e-9);
+  EXPECT_NEAR(stats.final_cut, EdgeCut(g.value(), assign), 1e-6);
+  EXPECT_NEAR(stats.initial_cut, before, 1e-6);
+}
+
+TEST(KwayRefineTest, ImprovesRandomAssignmentMassively) {
+  auto g = gen::PlantedPartition(4, 60, 0.25, 0.01, 11);
+  auto start = RandomPartition(g.value(), 4, 13);
+  std::vector<uint32_t> assign = start.value().assignment;
+  double before = EdgeCut(g.value(), assign);
+  KwayRefine(g.value(), 4, &assign);
+  double after = EdgeCut(g.value(), assign);
+  EXPECT_LT(after, before * 0.5);
+}
+
+TEST(KwayRefineTest, RespectsBalanceCap) {
+  auto g = gen::ErdosRenyiM(400, 1600, 17);
+  auto start = RandomPartition(g.value(), 5, 3);
+  std::vector<uint32_t> assign = start.value().assignment;
+  KwayRefineOptions opts;
+  opts.imbalance = 1.05;
+  KwayRefine(g.value(), 5, &assign, opts);
+  EXPECT_TRUE(KwayBalanced(g.value(), assign, 5, 1.06));
+}
+
+TEST(KwayRefineTest, OptimalAssignmentIsFixedPoint) {
+  // Two cliques joined by one edge, perfectly split: no move can help.
+  graph::GraphBuilder b;
+  for (uint32_t u = 0; u < 5; ++u) {
+    for (uint32_t v = u + 1; v < 5; ++v) {
+      b.AddEdge(u, v);
+      b.AddEdge(5 + u, 5 + v);
+    }
+  }
+  b.AddEdge(0, 5);
+  auto g = std::move(b.Build()).value();
+  std::vector<uint32_t> assign(10, 0);
+  for (uint32_t v = 5; v < 10; ++v) assign[v] = 1;
+  KwayRefineStats stats = KwayRefine(g, 2, &assign);
+  EXPECT_EQ(stats.moves, 0u);
+  EXPECT_DOUBLE_EQ(stats.final_cut, 1.0);
+}
+
+TEST(KwayRefineTest, MovesMisplacedNodeHome) {
+  // Triangle in part 0, one of its nodes mislabeled into part 1 where it
+  // has no edges.
+  graph::GraphBuilder b;
+  b.AddEdge(0, 1);
+  b.AddEdge(1, 2);
+  b.AddEdge(0, 2);
+  b.AddEdge(3, 4);  // part 1's own content
+  auto g = std::move(b.Build()).value();
+  std::vector<uint32_t> assign{0, 0, 1, 1, 1};  // node 2 misplaced
+  KwayRefineOptions opts;
+  opts.imbalance = 2.0;  // allow the move
+  KwayRefine(g, 2, &assign, opts);
+  EXPECT_EQ(assign[2], 0u);
+}
+
+TEST(KwayRefineTest, HandlesDegenerateInputs) {
+  graph::Graph empty;
+  std::vector<uint32_t> none;
+  KwayRefineStats stats = KwayRefine(empty, 4, &none);
+  EXPECT_EQ(stats.moves, 0u);
+  auto g = gen::Cycle(6);
+  std::vector<uint32_t> all_zero(6, 0);
+  stats = KwayRefine(g.value(), 1, &all_zero);  // k < 2: no-op
+  EXPECT_EQ(stats.moves, 0u);
+}
+
+TEST(KwayRefineTest, WeightedGraphUsesWeights) {
+  // v's heavy edge pulls it to part 1 despite two light edges to part 0.
+  graph::GraphBuilder b;
+  b.AddEdge(0, 1, 1.0f);  // v=0 light to part 0 member
+  b.AddEdge(0, 2, 1.0f);
+  b.AddEdge(0, 3, 5.0f);  // heavy to part 1 member
+  b.AddEdge(1, 2, 1.0f);
+  b.AddEdge(3, 4, 1.0f);
+  auto g = std::move(b.Build()).value();
+  std::vector<uint32_t> assign{0, 0, 0, 1, 1};
+  KwayRefineOptions opts;
+  opts.imbalance = 2.0;
+  KwayRefine(g, 2, &assign, opts);
+  EXPECT_EQ(assign[0], 1u);
+}
+
+TEST(KwayRefineTest, PartitionerWithKwayBeatsWithout) {
+  auto g = gen::PlantedPartition(6, 50, 0.25, 0.02, 23);
+  PartitionOptions with;
+  with.k = 6;
+  with.kway_refine = true;
+  PartitionOptions without = with;
+  without.kway_refine = false;
+  auto a = PartitionGraph(g.value(), with);
+  auto b = PartitionGraph(g.value(), without);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_LE(a.value().edge_cut, b.value().edge_cut + 1e-9);
+}
+
+class KwayRefinePropertyTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(KwayRefinePropertyTest, CutMonotoneAndAssignmentValid) {
+  auto [seed, k] = GetParam();
+  auto g = gen::ErdosRenyiM(200, 800, static_cast<uint64_t>(seed));
+  auto start = RandomPartition(g.value(), static_cast<uint32_t>(k),
+                               static_cast<uint64_t>(seed));
+  std::vector<uint32_t> assign = start.value().assignment;
+  double before = EdgeCut(g.value(), assign);
+  KwayRefineStats stats =
+      KwayRefine(g.value(), static_cast<uint32_t>(k), &assign);
+  EXPECT_LE(stats.final_cut, before + 1e-9);
+  for (uint32_t a : assign) EXPECT_LT(a, static_cast<uint32_t>(k));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsAndK, KwayRefinePropertyTest,
+    ::testing::Combine(::testing::Values(1, 2, 3),
+                       ::testing::Values(2, 4, 8)));
+
+}  // namespace
+}  // namespace gmine::partition

@@ -1,0 +1,85 @@
+#include "graph/labels.h"
+
+#include <gtest/gtest.h>
+
+namespace gmine::graph {
+namespace {
+
+TEST(LabelStoreTest, EmptyStore) {
+  LabelStore store;
+  EXPECT_TRUE(store.empty());
+  EXPECT_EQ(store.Label(0), "");
+  EXPECT_EQ(store.Find("x"), kInvalidNode);
+}
+
+TEST(LabelStoreTest, BulkConstruction) {
+  LabelStore store({"alice", "bob", "carol"});
+  EXPECT_EQ(store.size(), 3u);
+  EXPECT_EQ(store.Label(1), "bob");
+  EXPECT_EQ(store.Find("carol"), 2u);
+}
+
+TEST(LabelStoreTest, SetLabelExtends) {
+  LabelStore store;
+  store.SetLabel(5, "eve");
+  EXPECT_EQ(store.size(), 6u);
+  EXPECT_EQ(store.Label(5), "eve");
+  EXPECT_EQ(store.Label(2), "");
+}
+
+TEST(LabelStoreTest, RelabelUpdatesIndex) {
+  LabelStore store({"old"});
+  store.SetLabel(0, "new");
+  EXPECT_EQ(store.Find("old"), kInvalidNode);
+  EXPECT_EQ(store.Find("new"), 0u);
+}
+
+TEST(LabelStoreTest, DuplicateLabelsReturnLowestId) {
+  LabelStore store({"x", "dup", "dup"});
+  EXPECT_EQ(store.Find("dup"), 1u);
+}
+
+TEST(LabelStoreTest, PrefixSearchSortedAndCapped) {
+  LabelStore store({"Jiawei Han", "Jian Pei", "Jim Gray", "Ada Ahmed"});
+  auto hits = store.FindByPrefix("Ji");
+  ASSERT_EQ(hits.size(), 3u);
+  // Label order: "Jian Pei" < "Jiawei Han" < "Jim Gray".
+  EXPECT_EQ(hits[0], 1u);
+  EXPECT_EQ(hits[1], 0u);
+  EXPECT_EQ(hits[2], 2u);
+  EXPECT_EQ(store.FindByPrefix("Ji", 2).size(), 2u);
+  EXPECT_TRUE(store.FindByPrefix("zzz").empty());
+}
+
+TEST(LabelStoreTest, PrefixSearchEmptyPrefixReturnsAll) {
+  LabelStore store({"a", "b"});
+  EXPECT_EQ(store.FindByPrefix("").size(), 2u);
+}
+
+TEST(LabelStoreTest, SerializationRoundTrip) {
+  LabelStore store({"alice", "", "bob with spaces", "unicode \xc3\xa9"});
+  auto back = LabelStore::Deserialize(store.Serialize());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value().size(), 4u);
+  EXPECT_EQ(back.value().Label(0), "alice");
+  EXPECT_EQ(back.value().Label(1), "");
+  EXPECT_EQ(back.value().Label(3), "unicode \xc3\xa9");
+  EXPECT_EQ(back.value().Find("bob with spaces"), 2u);
+}
+
+TEST(LabelStoreTest, DeserializeRejectsTruncation) {
+  LabelStore store({"alice", "bob"});
+  std::string blob = store.Serialize();
+  blob.resize(blob.size() - 2);
+  auto back = LabelStore::Deserialize(blob);
+  EXPECT_FALSE(back.ok());
+  EXPECT_TRUE(back.status().IsCorruption());
+}
+
+TEST(LabelStoreTest, OutOfRangeLabelIsEmpty) {
+  LabelStore store({"only"});
+  EXPECT_EQ(store.Label(57), "");
+}
+
+}  // namespace
+}  // namespace gmine::graph

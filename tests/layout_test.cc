@@ -1,0 +1,296 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "gen/generators.h"
+#include "gtree/builder.h"
+#include "gtree/tomahawk.h"
+#include "layout/enclosure.h"
+#include "layout/force_directed.h"
+#include "layout/geometry.h"
+#include "layout/quadtree.h"
+#include "util/rng.h"
+
+namespace gmine::layout {
+namespace {
+
+TEST(GeometryTest, PointArithmetic) {
+  Point a{1, 2};
+  Point b{3, 5};
+  Point c = a + b;
+  EXPECT_DOUBLE_EQ(c.x, 4);
+  EXPECT_DOUBLE_EQ(c.y, 7);
+  EXPECT_DOUBLE_EQ((b - a).Norm(), std::sqrt(13.0));
+  EXPECT_DOUBLE_EQ((a * 2).x, 2);
+  EXPECT_DOUBLE_EQ(Distance(a, b), std::sqrt(13.0));
+}
+
+TEST(GeometryTest, RectIncludeAndContains) {
+  Rect r;
+  r.min_x = r.max_x = 1;
+  r.min_y = r.max_y = 1;
+  r.Include({5, -2});
+  EXPECT_DOUBLE_EQ(r.Width(), 4);
+  EXPECT_DOUBLE_EQ(r.Height(), 3);
+  EXPECT_TRUE(r.Contains({3, 0}));
+  EXPECT_FALSE(r.Contains({9, 0}));
+  EXPECT_DOUBLE_EQ(r.Center().x, 3.0);
+}
+
+TEST(GeometryTest, BoundingBoxOfPoints) {
+  Rect bb = BoundingBox({{0, 0}, {2, 3}, {-1, 1}});
+  EXPECT_DOUBLE_EQ(bb.min_x, -1);
+  EXPECT_DOUBLE_EQ(bb.max_y, 3);
+  Rect empty = BoundingBox({});
+  EXPECT_DOUBLE_EQ(empty.Width(), 0);
+}
+
+TEST(QuadTreeTest, RepulsionPushesApart) {
+  std::vector<Point> pts{{0, 0}, {1, 0}};
+  QuadTree qt(pts);
+  Point f = qt.Repulsion({0, 0}, 1.0);
+  EXPECT_LT(f.x, 0.0);  // pushed away from the other point
+  EXPECT_NEAR(f.y, 0.0, 1e-12);
+}
+
+TEST(QuadTreeTest, ApproximationTracksExactForces) {
+  std::vector<Point> pts;
+  uint64_t state = 99;
+  for (int i = 0; i < 300; ++i) {
+    pts.push_back({static_cast<double>(SplitMix64(&state) % 1000),
+                   static_cast<double>(SplitMix64(&state) % 1000)});
+  }
+  QuadTree qt(pts);
+  // Compare Barnes-Hut against exact pairwise repulsion on a few probes.
+  for (int probe = 0; probe < 5; ++probe) {
+    const Point& p = pts[probe * 37];
+    Point approx = qt.Repulsion(p, 1.0, 0.5);
+    Point exact{0, 0};
+    for (const Point& q : pts) {
+      Point d = p - q;
+      double d2 = d.Norm2();
+      if (d2 < 1e-12) continue;
+      exact += d * (1.0 / d2);
+    }
+    double denom = std::max(exact.Norm(), 1e-9);
+    EXPECT_LT((approx - exact).Norm() / denom, 0.15)
+        << "probe " << probe;
+  }
+}
+
+TEST(QuadTreeTest, HandlesCoincidentPoints) {
+  std::vector<Point> pts(10, Point{5, 5});
+  QuadTree qt(pts);  // must not loop forever
+  Point f = qt.Repulsion({5, 5}, 1.0);
+  EXPECT_NEAR(f.x, 0.0, 1e-9);  // self-coincident: skipped
+  EXPECT_GT(qt.num_cells(), 0u);
+}
+
+TEST(QuadTreeTest, EmptyTree) {
+  QuadTree qt({});
+  Point f = qt.Repulsion({0, 0}, 1.0);
+  EXPECT_DOUBLE_EQ(f.x, 0.0);
+}
+
+TEST(ForceDirectedTest, PositionsWithinArea) {
+  auto g = gen::ErdosRenyiM(100, 300, 5);
+  ForceDirectedOptions opts;
+  opts.iterations = 30;
+  opts.area = 500.0;
+  auto r = ForceDirectedLayout(g.value(), opts);
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r.value().positions.size(), 100u);
+  for (const Point& p : r.value().positions) {
+    EXPECT_GE(p.x, 0.0);
+    EXPECT_LE(p.x, 500.0);
+    EXPECT_GE(p.y, 0.0);
+    EXPECT_LE(p.y, 500.0);
+  }
+}
+
+TEST(ForceDirectedTest, AdjacentCloserThanRandomPairs) {
+  auto g = gen::Grid(8, 8);
+  ForceDirectedOptions opts;
+  opts.iterations = 150;
+  auto r = ForceDirectedLayout(g.value(), opts);
+  ASSERT_TRUE(r.ok());
+  const auto& pos = r.value().positions;
+  double adjacent_sum = 0;
+  size_t adjacent_n = 0;
+  for (const auto& e : g.value().CollectEdges()) {
+    adjacent_sum += Distance(pos[e.src], pos[e.dst]);
+    ++adjacent_n;
+  }
+  double far_sum = 0;
+  size_t far_n = 0;
+  for (uint32_t v = 0; v < 64; v += 7) {
+    for (uint32_t u = v + 17; u < 64; u += 13) {
+      if (!g.value().HasEdge(v, u)) {
+        far_sum += Distance(pos[v], pos[u]);
+        ++far_n;
+      }
+    }
+  }
+  ASSERT_GT(adjacent_n, 0u);
+  ASSERT_GT(far_n, 0u);
+  EXPECT_LT(adjacent_sum / adjacent_n, far_sum / far_n);
+}
+
+TEST(ForceDirectedTest, BarnesHutKicksInAboveThreshold) {
+  auto g = gen::ErdosRenyiM(600, 1800, 7);
+  ForceDirectedOptions opts;
+  opts.iterations = 5;
+  opts.barnes_hut_threshold = 512;
+  auto r = ForceDirectedLayout(g.value(), opts);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r.value().used_barnes_hut);
+  opts.barnes_hut_threshold = 10000;
+  auto r2 = ForceDirectedLayout(g.value(), opts);
+  EXPECT_FALSE(r2.value().used_barnes_hut);
+}
+
+TEST(ForceDirectedTest, DeterministicForSeed) {
+  auto g = gen::Cycle(20);
+  ForceDirectedOptions opts;
+  opts.iterations = 20;
+  auto a = ForceDirectedLayout(g.value(), opts);
+  auto b = ForceDirectedLayout(g.value(), opts);
+  ASSERT_TRUE(a.ok());
+  for (size_t i = 0; i < 20; ++i) {
+    EXPECT_DOUBLE_EQ(a.value().positions[i].x, b.value().positions[i].x);
+  }
+}
+
+TEST(ForceDirectedTest, EnergyDecreases) {
+  auto g = gen::Grid(6, 6);
+  ForceDirectedOptions few;
+  few.iterations = 2;
+  ForceDirectedOptions many;
+  many.iterations = 120;
+  auto a = ForceDirectedLayout(g.value(), few);
+  auto b = ForceDirectedLayout(g.value(), many);
+  EXPECT_LT(b.value().final_mean_displacement,
+            a.value().final_mean_displacement);
+}
+
+TEST(ForceDirectedTest, EdgeCases) {
+  graph::Graph empty;
+  EXPECT_TRUE(ForceDirectedLayout(empty).ok());
+  auto one = gen::Path(1);
+  auto r = ForceDirectedLayout(one.value());
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().positions.size(), 1u);
+  ForceDirectedOptions bad;
+  bad.iterations = 0;
+  EXPECT_FALSE(ForceDirectedLayout(one.value(), bad).ok());
+}
+
+TEST(FitToRectTest, FitsAndCenters) {
+  std::vector<Point> pts{{0, 0}, {10, 20}};
+  Rect target{100, 100, 200, 200};
+  FitToRect(&pts, target);
+  Rect bb = BoundingBox(pts);
+  EXPECT_GE(bb.min_x, 100.0 - 1e-9);
+  EXPECT_LE(bb.max_x, 200.0 + 1e-9);
+  EXPECT_GE(bb.min_y, 100.0 - 1e-9);
+  EXPECT_LE(bb.max_y, 200.0 + 1e-9);
+  EXPECT_NEAR(bb.Center().x, 150.0, 1e-9);
+}
+
+TEST(CircularLayoutTest, PointsOnCircle) {
+  auto pts = CircularLayout(8, {10, 10}, 5.0);
+  ASSERT_EQ(pts.size(), 8u);
+  for (const Point& p : pts) {
+    EXPECT_NEAR(Distance(p, {10, 10}), 5.0, 1e-9);
+  }
+  // Distinct positions.
+  EXPECT_GT(Distance(pts[0], pts[4]), 9.0);
+}
+
+TEST(CircularLayoutTest, SingleItemAtCenter) {
+  auto pts = CircularLayout(1, {3, 4}, 10.0);
+  ASSERT_EQ(pts.size(), 1u);
+  EXPECT_DOUBLE_EQ(pts[0].x, 3.0);
+}
+
+TEST(EnclosureTest, ChildrenNestInsideFocus) {
+  std::vector<uint32_t> assignment(81);
+  for (uint32_t v = 0; v < 81; ++v) assignment[v] = v / 9;
+  auto tree = gtree::BuildGTreeFromAssignment(81, assignment, 9, 3);
+  ASSERT_TRUE(tree.ok());
+  auto ctx = gtree::ComputeTomahawk(tree.value(), tree.value().root());
+  auto r = EnclosureLayout(tree.value(), ctx);
+  ASSERT_TRUE(r.ok());
+  const Circle& root_disk = r.value().disks.at(tree.value().root());
+  for (gtree::TreeNodeId child : ctx.children) {
+    const Circle& cd = r.value().disks.at(child);
+    EXPECT_LE(Distance(cd.center, root_disk.center) + cd.radius,
+              root_disk.radius * 1.01)
+        << "child " << child;
+  }
+}
+
+TEST(EnclosureTest, SiblingDisksDoNotOverlap) {
+  std::vector<uint32_t> assignment(100);
+  for (uint32_t v = 0; v < 100; ++v) assignment[v] = v / 20;
+  auto tree = gtree::BuildGTreeFromAssignment(100, assignment, 5, 5);
+  ASSERT_TRUE(tree.ok());
+  auto ctx = gtree::ComputeTomahawk(tree.value(), tree.value().root());
+  auto r = EnclosureLayout(tree.value(), ctx);
+  ASSERT_TRUE(r.ok());
+  for (size_t i = 0; i < ctx.children.size(); ++i) {
+    for (size_t j = i + 1; j < ctx.children.size(); ++j) {
+      const Circle& a = r.value().disks.at(ctx.children[i]);
+      const Circle& b = r.value().disks.at(ctx.children[j]);
+      EXPECT_GE(Distance(a.center, b.center) * 1.05, a.radius + b.radius)
+          << i << "," << j;
+    }
+  }
+}
+
+TEST(EnclosureTest, AncestorChainIsNested) {
+  std::vector<uint32_t> assignment(27);
+  for (uint32_t v = 0; v < 27; ++v) assignment[v] = v / 3;
+  auto tree = gtree::BuildGTreeFromAssignment(27, assignment, 9, 3);
+  ASSERT_TRUE(tree.ok());
+  gtree::TreeNodeId leaf = tree.value().LeafOf(0);
+  auto ctx = gtree::ComputeTomahawk(tree.value(), leaf);
+  auto r = EnclosureLayout(tree.value(), ctx);
+  ASSERT_TRUE(r.ok());
+  // Each node on the root..focus chain sits inside its predecessor.
+  std::vector<gtree::TreeNodeId> chain = ctx.ancestors;
+  chain.push_back(leaf);
+  for (size_t i = 1; i < chain.size(); ++i) {
+    const Circle& outer = r.value().disks.at(chain[i - 1]);
+    const Circle& inner = r.value().disks.at(chain[i]);
+    EXPECT_LT(inner.radius, outer.radius);
+    EXPECT_LE(Distance(inner.center, outer.center) + inner.radius,
+              outer.radius * 1.05);
+  }
+}
+
+TEST(EnclosureTest, EveryDisplayNodeGetsADisk) {
+  std::vector<uint32_t> assignment(64);
+  for (uint32_t v = 0; v < 64; ++v) assignment[v] = v / 8;
+  auto tree = gtree::BuildGTreeFromAssignment(64, assignment, 8, 2);
+  ASSERT_TRUE(tree.ok());
+  gtree::TreeNodeId mid = tree.value().node(tree.value().root()).children[0];
+  auto ctx = gtree::ComputeTomahawk(tree.value(), mid);
+  auto r = EnclosureLayout(tree.value(), ctx);
+  ASSERT_TRUE(r.ok());
+  for (gtree::TreeNodeId id : ctx.DisplaySet()) {
+    EXPECT_TRUE(r.value().disks.count(id)) << "missing disk " << id;
+  }
+}
+
+TEST(EnclosureTest, RejectsBadFocus) {
+  std::vector<uint32_t> assignment(4, 0);
+  auto tree = gtree::BuildGTreeFromAssignment(4, assignment, 1, 2);
+  ASSERT_TRUE(tree.ok());
+  gtree::TomahawkContext ctx;
+  ctx.focus = 999;
+  EXPECT_FALSE(EnclosureLayout(tree.value(), ctx).ok());
+}
+
+}  // namespace
+}  // namespace gmine::layout

@@ -1,0 +1,97 @@
+#include "mining/pagerank.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "gen/generators.h"
+#include "graph/graph_builder.h"
+
+namespace gmine::mining {
+namespace {
+
+TEST(PageRankTest, ScoresSumToOne) {
+  auto g = gen::ErdosRenyiM(200, 600, 3);
+  auto r = ComputePageRank(g.value());
+  double total = std::accumulate(r.score.begin(), r.score.end(), 0.0);
+  EXPECT_NEAR(total, 1.0, 1e-6);
+  EXPECT_TRUE(r.converged);
+}
+
+TEST(PageRankTest, RegularGraphIsUniform) {
+  auto g = gen::Cycle(10);
+  auto r = ComputePageRank(g.value());
+  for (double s : r.score) EXPECT_NEAR(s, 0.1, 1e-6);
+}
+
+TEST(PageRankTest, HubOutranksLeaves) {
+  auto g = gen::Star(20);
+  auto r = ComputePageRank(g.value());
+  for (uint32_t v = 1; v < 20; ++v) EXPECT_GT(r.score[0], r.score[v]);
+}
+
+TEST(PageRankTest, DanglingNodesHandled) {
+  graph::GraphBuilderOptions opts;
+  opts.directed = true;
+  graph::GraphBuilder b(opts);
+  b.AddEdge(0, 1);
+  b.AddEdge(1, 2);  // node 2 dangles
+  auto g = std::move(b.Build()).value();
+  auto r = ComputePageRank(g);
+  double total = std::accumulate(r.score.begin(), r.score.end(), 0.0);
+  EXPECT_NEAR(total, 1.0, 1e-6);
+  EXPECT_GT(r.score[2], r.score[0]);  // sink accumulates
+}
+
+TEST(PageRankTest, WeightedTransitionsShiftMass) {
+  // 0 connects to 1 (weight 9) and 2 (weight 1): weighted PageRank must
+  // favor 1 over 2.
+  graph::GraphBuilder b;
+  b.AddEdge(0, 1, 9.0f);
+  b.AddEdge(0, 2, 1.0f);
+  auto g = std::move(b.Build()).value();
+  PageRankOptions opts;
+  opts.weighted = true;
+  auto r = ComputePageRank(g, opts);
+  EXPECT_GT(r.score[1], r.score[2] * 2);
+}
+
+TEST(PageRankTest, ConvergesWithinIterationCap) {
+  auto g = gen::BarabasiAlbert(500, 3, 9);
+  PageRankOptions opts;
+  opts.tolerance = 1e-10;
+  auto r = ComputePageRank(g.value(), opts);
+  EXPECT_TRUE(r.converged);
+  EXPECT_LT(r.iterations, opts.max_iterations);
+  EXPECT_LT(r.final_delta, opts.tolerance);
+}
+
+TEST(PageRankTest, EmptyGraph) {
+  graph::Graph g;
+  auto r = ComputePageRank(g);
+  EXPECT_TRUE(r.score.empty());
+}
+
+TEST(TopKByScoreTest, ReturnsDescending) {
+  std::vector<double> score{0.1, 0.5, 0.3, 0.05};
+  auto top = TopKByScore(score, 3);
+  ASSERT_EQ(top.size(), 3u);
+  EXPECT_EQ(top[0], 1u);
+  EXPECT_EQ(top[1], 2u);
+  EXPECT_EQ(top[2], 0u);
+}
+
+TEST(TopKByScoreTest, TiesBreakByLowerId) {
+  std::vector<double> score{0.5, 0.5, 0.5};
+  auto top = TopKByScore(score, 2);
+  EXPECT_EQ(top[0], 0u);
+  EXPECT_EQ(top[1], 1u);
+}
+
+TEST(TopKByScoreTest, KLargerThanNIsClamped) {
+  std::vector<double> score{0.2, 0.8};
+  EXPECT_EQ(TopKByScore(score, 10).size(), 2u);
+}
+
+}  // namespace
+}  // namespace gmine::mining

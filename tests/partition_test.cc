@@ -1,0 +1,349 @@
+#include "partition/partitioner.h"
+
+#include <gtest/gtest.h>
+
+#include "gen/generators.h"
+#include "graph/graph_builder.h"
+#include "partition/coarsen.h"
+#include "partition/initial_partition.h"
+#include "partition/matching.h"
+#include "partition/quality.h"
+#include "partition/refine.h"
+#include "util/rng.h"
+
+namespace gmine::partition {
+namespace {
+
+using graph::Graph;
+using graph::NodeId;
+
+TEST(MatchingTest, HeavyEdgeMatchingIsValid) {
+  auto g = gen::ErdosRenyiM(200, 600, 3);
+  Rng rng(1);
+  Matching m = HeavyEdgeMatching(g.value(), &rng);
+  EXPECT_TRUE(ValidateMatching(g.value(), m));
+  EXPECT_GT(MatchedPairCount(m), 50u);
+}
+
+TEST(MatchingTest, RandomMatchingIsValid) {
+  auto g = gen::ErdosRenyiM(200, 600, 3);
+  Rng rng(2);
+  Matching m = RandomMatching(g.value(), &rng);
+  EXPECT_TRUE(ValidateMatching(g.value(), m));
+}
+
+TEST(MatchingTest, HeavyEdgePrefersHeavyEdges) {
+  // Path 0 -1- 1 -9- 2 -1- 3: HEM should match the heavy middle edge.
+  graph::GraphBuilder b;
+  b.AddEdge(0, 1, 1.0f);
+  b.AddEdge(1, 2, 9.0f);
+  b.AddEdge(2, 3, 1.0f);
+  Graph g = std::move(b.Build()).value();
+  int matched_heavy = 0;
+  for (uint64_t seed = 0; seed < 32; ++seed) {
+    Rng rng(seed);
+    Matching m = HeavyEdgeMatching(g, &rng);
+    // Whenever node 1 was free to choose (its light neighbor 0 had not
+    // claimed it yet), it must have taken the heavy edge to 2.
+    if (m[1] != 0 && m[2] != 3) {
+      EXPECT_EQ(m[1], 2u) << "seed " << seed;
+    }
+    if (m[1] == 2) ++matched_heavy;
+  }
+  EXPECT_GT(matched_heavy, 0);  // the heavy match occurs for some orders
+}
+
+TEST(MatchingTest, IsolatedNodesStayUnmatched) {
+  graph::GraphBuilder b;
+  b.ReserveNodes(4);
+  b.AddEdge(0, 1);
+  Graph g = std::move(b.Build()).value();
+  Rng rng(3);
+  Matching m = HeavyEdgeMatching(g, &rng);
+  EXPECT_EQ(m[2], 2u);
+  EXPECT_EQ(m[3], 3u);
+}
+
+TEST(CoarsenTest, ContractHalvesMatchedPairs) {
+  auto g = gen::Cycle(8);
+  Rng rng(5);
+  Matching m = HeavyEdgeMatching(g.value(), &rng);
+  size_t pairs = MatchedPairCount(m);
+  CoarseLevel level = ContractMatching(g.value(), m);
+  EXPECT_EQ(level.graph.num_nodes(), 8 - pairs);
+  EXPECT_EQ(level.fine_to_coarse.size(), 8u);
+}
+
+TEST(CoarsenTest, NodeWeightsAccumulate) {
+  auto g = gen::Complete(4);
+  Rng rng(5);
+  Matching m = HeavyEdgeMatching(g.value(), &rng);
+  CoarseLevel level = ContractMatching(g.value(), m);
+  EXPECT_DOUBLE_EQ(level.graph.TotalNodeWeight(), 4.0);
+}
+
+TEST(CoarsenTest, CutIsPreservedUnderProjection) {
+  // Any partition of the coarse graph projects to a fine partition with
+  // the same cut (intra-pair edges can never be cut).
+  auto g = gen::ErdosRenyiM(120, 400, 9);
+  Rng rng(6);
+  Matching m = HeavyEdgeMatching(g.value(), &rng);
+  CoarseLevel level = ContractMatching(g.value(), m);
+  std::vector<uint32_t> coarse_assign(level.graph.num_nodes());
+  for (uint32_t c = 0; c < level.graph.num_nodes(); ++c) {
+    coarse_assign[c] = c % 2;
+  }
+  double coarse_cut = EdgeCut(level.graph, coarse_assign);
+  std::vector<uint32_t> fine_assign =
+      ProjectAssignment(level.fine_to_coarse, coarse_assign);
+  double fine_cut = EdgeCut(g.value(), fine_assign);
+  EXPECT_NEAR(coarse_cut, fine_cut, 1e-6);
+}
+
+TEST(InitialPartitionTest, GreedyGrowRespectsTarget) {
+  auto g = gen::Grid(10, 10);
+  Rng rng(4);
+  auto side = GreedyGrowBisection(g.value(), 0.5, &rng);
+  auto weights = PartWeights(g.value(), side, 2);
+  EXPECT_NEAR(weights[0], 50.0, 10.0);
+  EXPECT_NEAR(weights[1], 50.0, 10.0);
+}
+
+TEST(InitialPartitionTest, GreedyBeatsRandomOnGrid) {
+  auto g = gen::Grid(16, 16);
+  Rng rng1(4);
+  Rng rng2(4);
+  auto greedy = BestGreedyGrowBisection(g.value(), 0.5, 6, &rng1);
+  auto random = RandomBisection(g.value(), 0.5, &rng2);
+  EXPECT_LT(EdgeCut(g.value(), greedy), EdgeCut(g.value(), random));
+}
+
+TEST(FmRefineTest, NeverIncreasesCut) {
+  auto g = gen::ErdosRenyiM(150, 500, 13);
+  Rng rng(8);
+  auto side = RandomBisection(g.value(), 0.5, &rng);
+  double before = EdgeCut(g.value(), side);
+  FmOptions opts;
+  FmStats stats = FmRefineBisection(g.value(), &side, 0.5, opts);
+  EXPECT_LE(stats.final_cut, before + 1e-9);
+  EXPECT_NEAR(stats.final_cut, EdgeCut(g.value(), side), 1e-6);
+}
+
+TEST(FmRefineTest, ImprovesRandomBisectionSubstantially) {
+  auto g = gen::PlantedPartition(2, 100, 0.2, 0.01, 21);
+  Rng rng(9);
+  auto side = RandomBisection(g.value(), 0.5, &rng);
+  double before = EdgeCut(g.value(), side);
+  FmOptions opts;
+  FmRefineBisection(g.value(), &side, 0.5, opts);
+  double after = EdgeCut(g.value(), side);
+  EXPECT_LT(after, before * 0.5);
+}
+
+TEST(FmRefineTest, KeepsBalanceWithinTolerance) {
+  auto g = gen::ErdosRenyiM(200, 800, 17);
+  Rng rng(10);
+  auto side = RandomBisection(g.value(), 0.5, &rng);
+  FmOptions opts;
+  opts.imbalance = 1.05;
+  FmRefineBisection(g.value(), &side, 0.5, opts);
+  EXPECT_LE(Imbalance(g.value(), side, 2), 1.15);
+}
+
+TEST(MultilevelBisectionTest, RecoversPlantedBisection) {
+  auto g = gen::PlantedPartition(2, 150, 0.15, 0.005, 31);
+  PartitionOptions opts;
+  int levels = 0;
+  auto side = MultilevelBisection(g.value(), 0.5, opts, &levels);
+  EXPECT_GT(levels, 0);
+  // Nearly all planted-cut edges should be avoided.
+  uint64_t planted_cross = 0;
+  uint64_t cut_cross = 0;
+  for (const auto& e : g.value().CollectEdges()) {
+    if (e.src / 150 != e.dst / 150) ++planted_cross;
+    if (side[e.src] != side[e.dst]) ++cut_cross;
+  }
+  EXPECT_LE(cut_cross, planted_cross * 2);
+}
+
+TEST(PartitionGraphTest, AssignmentCoversAllParts) {
+  auto g = gen::ErdosRenyiM(300, 1200, 37);
+  PartitionOptions opts;
+  opts.k = 5;
+  auto r = PartitionGraph(g.value(), opts);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().assignment.size(), 300u);
+  EXPECT_EQ(NonEmptyParts(r.value().assignment, 5), 5u);
+  for (uint32_t a : r.value().assignment) EXPECT_LT(a, 5u);
+}
+
+TEST(PartitionGraphTest, BalanceHolds) {
+  auto g = gen::ErdosRenyiM(400, 1600, 39);
+  PartitionOptions opts;
+  opts.k = 4;
+  auto r = PartitionGraph(g.value(), opts);
+  ASSERT_TRUE(r.ok());
+  // Recursive bisection compounds tolerance; allow some slack.
+  EXPECT_LE(r.value().imbalance, 1.3);
+}
+
+TEST(PartitionGraphTest, RecoversPlantedKWayCommunities) {
+  auto g = gen::PlantedPartition(4, 80, 0.25, 0.005, 41);
+  PartitionOptions opts;
+  opts.k = 4;
+  auto r = PartitionGraph(g.value(), opts);
+  ASSERT_TRUE(r.ok());
+  // The found cut should be close to the planted inter-block edge count.
+  uint64_t planted_cross = 0;
+  for (const auto& e : g.value().CollectEdges()) {
+    if (e.src / 80 != e.dst / 80) ++planted_cross;
+  }
+  EXPECT_LE(r.value().edge_cut, planted_cross * 1.5);
+}
+
+TEST(PartitionGraphTest, KEqualsOneKeepsEverything) {
+  auto g = gen::Cycle(10);
+  PartitionOptions opts;
+  opts.k = 1;
+  auto r = PartitionGraph(g.value(), opts);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().edge_cut, 0.0);
+  EXPECT_EQ(NonEmptyParts(r.value().assignment, 1), 1u);
+}
+
+TEST(PartitionGraphTest, KLargerThanNodesGivesSingletons) {
+  auto g = gen::Cycle(4);
+  PartitionOptions opts;
+  opts.k = 10;
+  auto r = PartitionGraph(g.value(), opts);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(NonEmptyParts(r.value().assignment, 10), 4u);
+}
+
+TEST(PartitionGraphTest, RejectsInvalidOptions) {
+  auto g = gen::Cycle(5);
+  PartitionOptions opts;
+  opts.k = 0;
+  EXPECT_FALSE(PartitionGraph(g.value(), opts).ok());
+  opts.k = 2;
+  opts.imbalance = 0.9;
+  EXPECT_FALSE(PartitionGraph(g.value(), opts).ok());
+}
+
+TEST(PartitionGraphTest, RejectsDirected) {
+  graph::GraphBuilderOptions gopts;
+  gopts.directed = true;
+  graph::GraphBuilder b(gopts);
+  b.AddEdge(0, 1);
+  Graph g = std::move(b.Build()).value();
+  PartitionOptions opts;
+  EXPECT_FALSE(PartitionGraph(g, opts).ok());
+}
+
+TEST(PartitionGraphTest, DeterministicForSeed) {
+  auto g = gen::ErdosRenyiM(200, 700, 43);
+  PartitionOptions opts;
+  opts.k = 3;
+  auto a = PartitionGraph(g.value(), opts);
+  auto b = PartitionGraph(g.value(), opts);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a.value().assignment, b.value().assignment);
+}
+
+TEST(PartitionGraphTest, BeatsRandomPartitionOnCommunityGraph) {
+  auto g = gen::PlantedPartition(5, 60, 0.2, 0.01, 47);
+  PartitionOptions opts;
+  opts.k = 5;
+  auto ml = PartitionGraph(g.value(), opts);
+  auto rnd = RandomPartition(g.value(), 5, 47);
+  ASSERT_TRUE(ml.ok());
+  ASSERT_TRUE(rnd.ok());
+  EXPECT_LT(ml.value().edge_cut, rnd.value().edge_cut * 0.5);
+}
+
+TEST(BaselinesTest, RandomPartitionIsBalanced) {
+  auto g = gen::ErdosRenyiM(300, 900, 51);
+  auto r = RandomPartition(g.value(), 6, 3);
+  ASSERT_TRUE(r.ok());
+  EXPECT_LE(r.value().imbalance, 1.05);
+  EXPECT_EQ(NonEmptyParts(r.value().assignment, 6), 6u);
+}
+
+TEST(BaselinesTest, BfsGrowCoversEveryNode) {
+  auto g = gen::Grid(12, 12);
+  auto r = BfsGrowPartition(g.value(), 4, 5);
+  ASSERT_TRUE(r.ok());
+  for (uint32_t a : r.value().assignment) EXPECT_LT(a, 4u);
+  EXPECT_EQ(NonEmptyParts(r.value().assignment, 4), 4u);
+}
+
+TEST(QualityTest, EdgeCutMatchesManualCount) {
+  auto g = gen::Path(4);  // 0-1-2-3
+  std::vector<uint32_t> assign{0, 0, 1, 1};
+  EXPECT_DOUBLE_EQ(EdgeCut(g.value(), assign), 1.0);
+  EXPECT_EQ(CutEdgeCount(g.value(), assign), 1u);
+  assign = {0, 1, 0, 1};
+  EXPECT_DOUBLE_EQ(EdgeCut(g.value(), assign), 3.0);
+}
+
+TEST(QualityTest, EdgeCutUsesWeights) {
+  graph::GraphBuilder b;
+  b.AddEdge(0, 1, 5.0f);
+  Graph g = std::move(b.Build()).value();
+  std::vector<uint32_t> assign{0, 1};
+  EXPECT_DOUBLE_EQ(EdgeCut(g, assign), 5.0);
+  EXPECT_EQ(CutEdgeCount(g, assign), 1u);
+}
+
+TEST(QualityTest, ModularityOfPlantedPartitionIsHigh) {
+  auto g = gen::PlantedPartition(4, 50, 0.3, 0.005, 53);
+  std::vector<uint32_t> truth(200);
+  for (uint32_t v = 0; v < 200; ++v) truth[v] = v / 50;
+  double q_truth = Modularity(g.value(), truth, 4);
+  EXPECT_GT(q_truth, 0.5);
+  std::vector<uint32_t> all_one(200, 0);
+  EXPECT_NEAR(Modularity(g.value(), all_one, 1), 0.0, 1e-9);
+}
+
+TEST(QualityTest, ImbalancePerfectlyBalanced) {
+  auto g = gen::Cycle(8);
+  std::vector<uint32_t> assign{0, 0, 0, 0, 1, 1, 1, 1};
+  EXPECT_DOUBLE_EQ(Imbalance(g.value(), assign, 2), 1.0);
+  std::vector<uint32_t> skewed{0, 0, 0, 0, 0, 0, 1, 1};
+  EXPECT_DOUBLE_EQ(Imbalance(g.value(), skewed, 2), 1.5);
+}
+
+// Parameterized invariants: for any (generator-seed, k), PartitionGraph
+// yields a complete, in-range, reasonably balanced assignment whose
+// reported cut matches an independent recomputation.
+class PartitionPropertyTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(PartitionPropertyTest, InvariantsHold) {
+  auto [seed, k] = GetParam();
+  auto g = gen::ErdosRenyiM(150 + seed * 37, 600 + seed * 91,
+                            static_cast<uint64_t>(seed));
+  ASSERT_TRUE(g.ok());
+  PartitionOptions opts;
+  opts.k = static_cast<uint32_t>(k);
+  opts.seed = static_cast<uint64_t>(seed);
+  auto r = PartitionGraph(g.value(), opts);
+  ASSERT_TRUE(r.ok());
+  const PartitionResult& pr = r.value();
+  ASSERT_EQ(pr.assignment.size(), g.value().num_nodes());
+  for (uint32_t a : pr.assignment) EXPECT_LT(a, opts.k);
+  EXPECT_NEAR(pr.edge_cut, EdgeCut(g.value(), pr.assignment), 1e-6);
+  EXPECT_NEAR(pr.imbalance, Imbalance(g.value(), pr.assignment, opts.k),
+              1e-9);
+  EXPECT_EQ(NonEmptyParts(pr.assignment, opts.k), opts.k);
+  EXPECT_LE(pr.imbalance, 1.6);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsAndK, PartitionPropertyTest,
+    ::testing::Combine(::testing::Values(1, 2, 3),
+                       ::testing::Values(2, 3, 5, 8)));
+
+}  // namespace
+}  // namespace gmine::partition

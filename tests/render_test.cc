@@ -1,0 +1,236 @@
+#include <gtest/gtest.h>
+
+#include "gen/generators.h"
+#include "gtree/builder.h"
+#include "gtree/connectivity.h"
+#include "layout/enclosure.h"
+#include "layout/force_directed.h"
+#include "render/color.h"
+#include "render/ppm_canvas.h"
+#include "render/scene.h"
+#include "render/svg_canvas.h"
+
+namespace gmine::render {
+namespace {
+
+TEST(ColorTest, HexFormatting) {
+  EXPECT_EQ(kBlack.ToHex(), "#000000");
+  EXPECT_EQ(kWhite.ToHex(), "#ffffff");
+  EXPECT_EQ((Color{255, 0, 128, 255}).ToHex(), "#ff0080");
+}
+
+TEST(ColorTest, LerpEndpointsAndMid) {
+  Color a{0, 0, 0, 255};
+  Color b{200, 100, 50, 255};
+  EXPECT_EQ(a.Lerp(b, 0.0), a);
+  EXPECT_EQ(a.Lerp(b, 1.0), b);
+  Color mid = a.Lerp(b, 0.5);
+  EXPECT_EQ(mid.r, 100);
+  EXPECT_EQ(mid.g, 50);
+}
+
+TEST(ColorTest, PaletteCyclesDistinctly) {
+  EXPECT_EQ(PaletteColor(0), PaletteColor(12));
+  EXPECT_FALSE(PaletteColor(0) == PaletteColor(1));
+}
+
+TEST(ColorTest, HeatColorGoesColdToHot) {
+  Color cold = HeatColor(0.0);
+  Color hot = HeatColor(1.0);
+  EXPECT_GT(cold.b, cold.r);
+  EXPECT_GT(hot.r, hot.b);
+}
+
+TEST(ViewportTest, ZoomAndPanRoundTrip) {
+  Viewport vp(800, 600);
+  vp.SetZoom(2.0);
+  vp.PanBy(10, -5);
+  layout::Point world{33, 44};
+  layout::Point dev = vp.ToDevice(world);
+  layout::Point back = vp.ToWorld(dev);
+  EXPECT_NEAR(back.x, world.x, 1e-9);
+  EXPECT_NEAR(back.y, world.y, 1e-9);
+}
+
+TEST(ViewportTest, CenterOnPutsWorldPointMidScreen) {
+  Viewport vp(800, 600);
+  vp.SetZoom(3.0);
+  vp.CenterOn({100, 100});
+  layout::Point dev = vp.ToDevice({100, 100});
+  EXPECT_NEAR(dev.x, 400, 1e-9);
+  EXPECT_NEAR(dev.y, 300, 1e-9);
+}
+
+TEST(ViewportTest, FitRectCoversWorld) {
+  Viewport vp(1000, 1000);
+  layout::Rect world{0, 0, 200, 100};
+  vp.FitRect(world);
+  layout::Point tl = vp.ToDevice({0, 0});
+  layout::Point br = vp.ToDevice({200, 100});
+  EXPECT_GE(tl.x, -1.0);
+  EXPECT_LE(br.x, 1001.0);
+  EXPECT_GE(tl.y, -1.0);
+  EXPECT_LE(br.y, 1001.0);
+}
+
+TEST(SvgCanvasTest, ProducesValidDocument) {
+  SvgCanvas canvas(400, 300);
+  canvas.Clear(kWhite);
+  canvas.DrawLine({0, 0}, {100, 100}, kBlack, 2.0);
+  canvas.DrawCircle({50, 50}, 20, kBlue, 1.5, 0.2);
+  canvas.FillCircle({60, 60}, 5, kRed);
+  canvas.DrawText({10, 10}, "hello <world> & \"q\"", kBlack, 12);
+  std::string svg = canvas.ToSvg();
+  EXPECT_NE(svg.find("<svg"), std::string::npos);
+  EXPECT_NE(svg.find("</svg>"), std::string::npos);
+  EXPECT_NE(svg.find("<line"), std::string::npos);
+  EXPECT_NE(svg.find("<circle"), std::string::npos);
+  EXPECT_NE(svg.find("&lt;world&gt;"), std::string::npos);
+  EXPECT_NE(svg.find("&amp;"), std::string::npos);
+  EXPECT_EQ(svg.find("<world>"), std::string::npos);
+  EXPECT_EQ(canvas.element_count(), 4u);
+}
+
+TEST(SvgCanvasTest, ClearResetsElements) {
+  SvgCanvas canvas(100, 100);
+  canvas.DrawLine({0, 0}, {1, 1}, kBlack, 1);
+  canvas.Clear(kWhite);
+  EXPECT_EQ(canvas.element_count(), 0u);
+}
+
+TEST(EscapeXmlTest, EscapesSpecials) {
+  EXPECT_EQ(EscapeXml("a&b<c>d\"e"), "a&amp;b&lt;c&gt;d&quot;e");
+  EXPECT_EQ(EscapeXml("plain"), "plain");
+}
+
+TEST(PpmCanvasTest, ClearSetsAllPixels) {
+  PpmCanvas canvas(10, 10);
+  canvas.Clear(kRed);
+  EXPECT_EQ(canvas.PixelAt(5, 5), kRed);
+  EXPECT_EQ(canvas.InkCount(kRed), 0u);
+  EXPECT_EQ(canvas.InkCount(kWhite), 100u);
+}
+
+TEST(PpmCanvasTest, LineLeavesInk) {
+  PpmCanvas canvas(50, 50);
+  canvas.Clear(kWhite);
+  canvas.DrawLine({0, 25}, {49, 25}, kBlack, 1.0);
+  EXPECT_EQ(canvas.PixelAt(25, 25), kBlack);
+  EXPECT_GE(canvas.InkCount(), 50u);
+}
+
+TEST(PpmCanvasTest, ThickLineWiderThanThin) {
+  PpmCanvas thin(50, 50);
+  thin.Clear(kWhite);
+  thin.DrawLine({0, 25}, {49, 25}, kBlack, 1.0);
+  PpmCanvas thick(50, 50);
+  thick.Clear(kWhite);
+  thick.DrawLine({0, 25}, {49, 25}, kBlack, 5.0);
+  EXPECT_GT(thick.InkCount(), thin.InkCount() * 2);
+}
+
+TEST(PpmCanvasTest, FillCircleCoversCenter) {
+  PpmCanvas canvas(60, 60);
+  canvas.Clear(kWhite);
+  canvas.FillCircle({30, 30}, 10, kBlue);
+  EXPECT_EQ(canvas.PixelAt(30, 30), kBlue);
+  EXPECT_EQ(canvas.PixelAt(30, 38), kBlue);
+  EXPECT_EQ(canvas.PixelAt(30, 45), kWhite);
+  // Area close to pi * r^2.
+  EXPECT_NEAR(static_cast<double>(canvas.InkCount()), 314.0, 40.0);
+}
+
+TEST(PpmCanvasTest, CircleOutlineDoesNotFill) {
+  PpmCanvas canvas(60, 60);
+  canvas.Clear(kWhite);
+  canvas.DrawCircle({30, 30}, 15, kBlack, 1.0, 0.0);
+  EXPECT_EQ(canvas.PixelAt(30, 30), kWhite);  // hollow
+  EXPECT_EQ(canvas.PixelAt(45, 30), kBlack);  // rim
+}
+
+TEST(PpmCanvasTest, DrawingOutsideBoundsIsSafe) {
+  PpmCanvas canvas(20, 20);
+  canvas.Clear(kWhite);
+  canvas.DrawLine({-50, -50}, {100, 100}, kBlack, 3.0);
+  canvas.FillCircle({-10, -10}, 5, kRed);
+  EXPECT_EQ(canvas.PixelAt(10, 10), kBlack);  // diagonal passes through
+}
+
+TEST(PpmCanvasTest, PpmEncodingHeader) {
+  PpmCanvas canvas(4, 2);
+  std::string ppm = canvas.ToPpm();
+  EXPECT_EQ(ppm.substr(0, 11), "P6\n4 2\n255\n");
+  EXPECT_EQ(ppm.size(), 11u + 4 * 2 * 3);
+}
+
+TEST(SceneTest, GraphSceneHasNodesAndEdges) {
+  auto g = gen::Cycle(6);
+  auto laid = layout::ForceDirectedLayout(g.value());
+  ASSERT_TRUE(laid.ok());
+  Scene scene = BuildGraphScene(g.value(), laid.value().positions);
+  EXPECT_EQ(scene.nodes.size(), 6u);
+  EXPECT_EQ(scene.edges.size(), 6u);
+}
+
+TEST(SceneTest, HighlightAndLabels) {
+  auto g = gen::Star(5);
+  auto laid = layout::ForceDirectedLayout(g.value());
+  graph::LabelStore labels({"hub", "a", "b", "c", "d"});
+  GraphSceneOptions opts;
+  opts.labels = &labels;
+  opts.highlight_nodes = {0};
+  Scene scene = BuildGraphScene(g.value(), laid.value().positions, opts);
+  EXPECT_TRUE(scene.nodes[0].highlighted);
+  EXPECT_EQ(scene.nodes[0].label, "hub");
+  EXPECT_FALSE(scene.nodes[1].highlighted);
+}
+
+TEST(SceneTest, RenderPutsInkOnPpm) {
+  auto g = gen::Complete(8);
+  auto laid = layout::ForceDirectedLayout(g.value());
+  Scene scene = BuildGraphScene(g.value(), laid.value().positions);
+  PpmCanvas canvas(200, 200);
+  canvas.Clear(kWhite);
+  Viewport vp(200, 200);
+  vp.FitRect(scene.WorldBounds());
+  scene.Render(&canvas, vp);
+  EXPECT_GT(canvas.InkCount(), 200u);
+}
+
+TEST(SceneTest, HierarchySceneShowsDisplaySet) {
+  auto g = gen::PlantedPartition(4, 25, 0.3, 0.02, 7);
+  gtree::GTreeBuildOptions opts;
+  opts.levels = 2;
+  opts.fanout = 4;
+  auto tree = gtree::BuildGTree(g.value(), opts);
+  ASSERT_TRUE(tree.ok());
+  auto conn = gtree::ConnectivityIndex::Build(g.value(), tree.value());
+  auto ctx = gtree::ComputeTomahawk(tree.value(), tree.value().root());
+  auto enc = layout::EnclosureLayout(tree.value(), ctx);
+  ASSERT_TRUE(enc.ok());
+  Scene scene =
+      BuildHierarchyScene(tree.value(), ctx, enc.value(), conn);
+  EXPECT_EQ(scene.nodes.size(), ctx.DisplaySize());
+  // Root (first by depth) is drawn before its children.
+  EXPECT_EQ(scene.nodes[0].label, "s000");
+  // Connectivity edges exist between the root's children.
+  EXPECT_GT(scene.edges.size(), 0u);
+  // The focus is highlighted.
+  bool any_highlight = false;
+  for (const SceneNode& n : scene.nodes) any_highlight |= n.highlighted;
+  EXPECT_TRUE(any_highlight);
+}
+
+TEST(SceneTest, WorldBoundsIncludeRadius) {
+  Scene scene;
+  SceneNode n;
+  n.position = {10, 10};
+  n.radius = 5;
+  scene.nodes.push_back(n);
+  layout::Rect bb = scene.WorldBounds();
+  EXPECT_DOUBLE_EQ(bb.min_x, 5.0);
+  EXPECT_DOUBLE_EQ(bb.max_x, 15.0);
+}
+
+}  // namespace
+}  // namespace gmine::render

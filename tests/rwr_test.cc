@@ -1,0 +1,149 @@
+#include "csg/rwr.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "gen/generators.h"
+#include "graph/graph_builder.h"
+
+namespace gmine::csg {
+namespace {
+
+TEST(RwrTest, ProbabilitiesSumToOne) {
+  auto g = gen::ErdosRenyiM(100, 300, 3);
+  auto r = RandomWalkWithRestart(g.value(), 0);
+  ASSERT_TRUE(r.ok());
+  double total = std::accumulate(r.value().probability.begin(),
+                                 r.value().probability.end(), 0.0);
+  EXPECT_NEAR(total, 1.0, 1e-6);
+  EXPECT_TRUE(r.value().converged);
+}
+
+TEST(RwrTest, SourceHasHighestProbability) {
+  auto g = gen::ErdosRenyiM(100, 300, 5);
+  auto r = RandomWalkWithRestart(g.value(), 7);
+  ASSERT_TRUE(r.ok());
+  for (uint32_t v = 0; v < 100; ++v) {
+    if (v != 7) {
+      EXPECT_GE(r.value().probability[7], r.value().probability[v]);
+    }
+  }
+}
+
+TEST(RwrTest, ProximityDecaysWithDistance) {
+  // On a path the source's sole neighbor may outrank the degree-1 source
+  // itself (it absorbs the source's whole outflow), but from the first
+  // neighbor onward probability must decay monotonically with distance.
+  auto g = gen::Path(9);
+  auto r = RandomWalkWithRestart(g.value(), 0);
+  ASSERT_TRUE(r.ok());
+  const auto& p = r.value().probability;
+  for (uint32_t v = 2; v < 9; ++v) EXPECT_LT(p[v], p[v - 1]) << v;
+  EXPECT_GT(p[0], p[2]);
+}
+
+TEST(RwrTest, DisconnectedNodesGetZero) {
+  graph::GraphBuilder b;
+  b.ReserveNodes(4);
+  b.AddEdge(0, 1);
+  b.AddEdge(2, 3);
+  auto g = std::move(b.Build()).value();
+  auto r = RandomWalkWithRestart(g, 0);
+  ASSERT_TRUE(r.ok());
+  EXPECT_GT(r.value().probability[1], 0.0);
+  EXPECT_DOUBLE_EQ(r.value().probability[2], 0.0);
+  EXPECT_DOUBLE_EQ(r.value().probability[3], 0.0);
+}
+
+TEST(RwrTest, HigherRestartConcentratesAtSource) {
+  auto g = gen::ErdosRenyiM(100, 400, 9);
+  RwrOptions lo;
+  lo.restart = 0.05;
+  RwrOptions hi;
+  hi.restart = 0.6;
+  auto rl = RandomWalkWithRestart(g.value(), 0, lo);
+  auto rh = RandomWalkWithRestart(g.value(), 0, hi);
+  ASSERT_TRUE(rl.ok());
+  ASSERT_TRUE(rh.ok());
+  EXPECT_GT(rh.value().probability[0], rl.value().probability[0]);
+}
+
+TEST(RwrTest, MatchesExactSolveOnSmallGraph) {
+  auto g = gen::ErdosRenyiM(60, 180, 11);
+  RwrOptions opts;
+  opts.tolerance = 1e-13;
+  opts.max_iterations = 500;
+  auto iter = RandomWalkWithRestart(g.value(), 3, opts);
+  auto exact = RandomWalkWithRestartExact(g.value(), 3, opts);
+  ASSERT_TRUE(iter.ok());
+  ASSERT_TRUE(exact.ok());
+  for (uint32_t v = 0; v < 60; ++v) {
+    EXPECT_NEAR(iter.value().probability[v], exact.value().probability[v],
+                1e-8)
+        << "node " << v;
+  }
+}
+
+TEST(RwrTest, ExactRejectsLargeGraphs) {
+  auto g = gen::ErdosRenyiM(5000, 10000, 13);
+  auto r = RandomWalkWithRestartExact(g.value(), 0);
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(RwrTest, WeightedWalkFollowsHeavyEdges) {
+  // Node 0 has heavy edge to 1 and light edge to 2.
+  graph::GraphBuilder b;
+  b.AddEdge(0, 1, 10.0f);
+  b.AddEdge(0, 2, 1.0f);
+  auto g = std::move(b.Build()).value();
+  RwrOptions opts;
+  opts.weighted = true;
+  auto r = RandomWalkWithRestart(g, 0, opts);
+  ASSERT_TRUE(r.ok());
+  EXPECT_GT(r.value().probability[1], r.value().probability[2] * 3);
+}
+
+TEST(RwrTest, UnweightedIgnoresWeights) {
+  graph::GraphBuilder b;
+  b.AddEdge(0, 1, 10.0f);
+  b.AddEdge(0, 2, 1.0f);
+  auto g = std::move(b.Build()).value();
+  RwrOptions opts;
+  opts.weighted = false;
+  auto r = RandomWalkWithRestart(g, 0, opts);
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(r.value().probability[1], r.value().probability[2], 1e-9);
+}
+
+TEST(RwrTest, RestartVectorSpreadsOverQuerySet) {
+  auto g = gen::Path(10);
+  std::vector<double> restart(10, 0.0);
+  restart[0] = 0.5;
+  restart[9] = 0.5;
+  auto r = RandomWalkWithRestartVector(g.value(), restart);
+  ASSERT_TRUE(r.ok());
+  // Symmetric: both ends equal, middle lower but positive.
+  EXPECT_NEAR(r.value().probability[0], r.value().probability[9], 1e-9);
+  EXPECT_GT(r.value().probability[4], 0.0);
+  EXPECT_LT(r.value().probability[4], r.value().probability[0]);
+}
+
+TEST(RwrTest, RejectsBadInputs) {
+  auto g = gen::Cycle(5);
+  EXPECT_FALSE(RandomWalkWithRestart(g.value(), 99).ok());
+  RwrOptions opts;
+  opts.restart = 0.0;
+  EXPECT_FALSE(RandomWalkWithRestart(g.value(), 0, opts).ok());
+  opts.restart = 1.0;
+  EXPECT_FALSE(RandomWalkWithRestart(g.value(), 0, opts).ok());
+  std::vector<double> bad(5, 0.5);  // sums to 2.5
+  EXPECT_FALSE(RandomWalkWithRestartVector(g.value(), bad).ok());
+  std::vector<double> neg(5, 0.0);
+  neg[0] = 1.5;
+  neg[1] = -0.5;
+  EXPECT_FALSE(RandomWalkWithRestartVector(g.value(), neg).ok());
+}
+
+}  // namespace
+}  // namespace gmine::csg

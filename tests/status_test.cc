@@ -1,0 +1,90 @@
+#include "util/status.h"
+
+#include <gtest/gtest.h>
+
+namespace gmine {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, FactoryConstructorsSetCode) {
+  EXPECT_TRUE(Status::InvalidArgument("x").IsInvalidArgument());
+  EXPECT_TRUE(Status::NotFound("x").IsNotFound());
+  EXPECT_TRUE(Status::IOError("x").IsIOError());
+  EXPECT_TRUE(Status::Corruption("x").IsCorruption());
+  EXPECT_TRUE(Status::OutOfRange("x").IsOutOfRange());
+  EXPECT_TRUE(Status::AlreadyExists("x").IsAlreadyExists());
+  EXPECT_TRUE(Status::NotSupported("x").IsNotSupported());
+  EXPECT_TRUE(Status::Aborted("x").IsAborted());
+  EXPECT_TRUE(Status::Internal("x").IsInternal());
+}
+
+TEST(StatusTest, NonOkCarriesMessage) {
+  Status s = Status::NotFound("missing leaf 42");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.message(), "missing leaf 42");
+  EXPECT_EQ(s.ToString(), "NotFound: missing leaf 42");
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::IOError("a"), Status::IOError("a"));
+  EXPECT_FALSE(Status::IOError("a") == Status::IOError("b"));
+  EXPECT_FALSE(Status::IOError("a") == Status::Corruption("a"));
+}
+
+TEST(StatusTest, CodeNamesAreStable) {
+  EXPECT_STREQ(StatusCodeName(StatusCode::kOk), "OK");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kCorruption), "Corruption");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kInternal), "Internal");
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::NotFound("nope"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsNotFound());
+  EXPECT_EQ(r.value_or(-1), -1);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> r(std::string("payload"));
+  std::string v = std::move(r).value();
+  EXPECT_EQ(v, "payload");
+}
+
+TEST(ResultTest, ValueOrReturnsValueWhenOk) {
+  Result<int> r(7);
+  EXPECT_EQ(r.value_or(-1), 7);
+}
+
+Status FailThrough() {
+  GMINE_RETURN_IF_ERROR(Status::Aborted("inner"));
+  return Status::OK();
+}
+
+TEST(StatusMacrosTest, ReturnIfErrorPropagates) {
+  EXPECT_TRUE(FailThrough().IsAborted());
+}
+
+Status PassThrough() {
+  GMINE_RETURN_IF_ERROR(Status::OK());
+  return Status::Internal("reached");
+}
+
+TEST(StatusMacrosTest, ReturnIfErrorPassesOk) {
+  EXPECT_TRUE(PassThrough().IsInternal());
+}
+
+}  // namespace
+}  // namespace gmine

@@ -1,0 +1,102 @@
+#include "util/string_util.h"
+
+#include <gtest/gtest.h>
+
+namespace gmine {
+namespace {
+
+TEST(StrFormatTest, FormatsLikePrintf) {
+  EXPECT_EQ(StrFormat("%d-%s-%.2f", 7, "x", 1.5), "7-x-1.50");
+  EXPECT_EQ(StrFormat("empty"), "empty");
+}
+
+TEST(StrFormatTest, HandlesLongOutput) {
+  std::string long_arg(5000, 'a');
+  std::string out = StrFormat("[%s]", long_arg.c_str());
+  EXPECT_EQ(out.size(), 5002u);
+}
+
+TEST(SplitStringTest, SplitsOnAnyDelimiter) {
+  auto parts = SplitString("a b\tc,d", " \t,");
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[3], "d");
+}
+
+TEST(SplitStringTest, DropsEmptyTokens) {
+  auto parts = SplitString("  a   b  ", " ");
+  ASSERT_EQ(parts.size(), 2u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "b");
+}
+
+TEST(SplitStringTest, EmptyInputYieldsNothing) {
+  EXPECT_TRUE(SplitString("", " ").empty());
+  EXPECT_TRUE(SplitString("   ", " ").empty());
+}
+
+TEST(JoinStringsTest, JoinsWithSeparator) {
+  EXPECT_EQ(JoinStrings({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(JoinStrings({}, ","), "");
+  EXPECT_EQ(JoinStrings({"solo"}, ","), "solo");
+}
+
+TEST(TrimWhitespaceTest, TrimsBothEnds) {
+  EXPECT_EQ(TrimWhitespace("  x  "), "x");
+  EXPECT_EQ(TrimWhitespace("\t\n a b \r\n"), "a b");
+  EXPECT_EQ(TrimWhitespace(""), "");
+  EXPECT_EQ(TrimWhitespace("   "), "");
+}
+
+TEST(StartsWithTest, Basic) {
+  EXPECT_TRUE(StartsWith("hello world", "hello"));
+  EXPECT_TRUE(StartsWith("x", ""));
+  EXPECT_FALSE(StartsWith("he", "hello"));
+}
+
+TEST(ParseUint64Test, AcceptsDigits) {
+  uint64_t v = 0;
+  ASSERT_TRUE(ParseUint64("12345", &v));
+  EXPECT_EQ(v, 12345u);
+  ASSERT_TRUE(ParseUint64("  7 ", &v));
+  EXPECT_EQ(v, 7u);
+  ASSERT_TRUE(ParseUint64("18446744073709551615", &v));
+  EXPECT_EQ(v, UINT64_MAX);
+}
+
+TEST(ParseUint64Test, RejectsGarbageAndOverflow) {
+  uint64_t v = 0;
+  EXPECT_FALSE(ParseUint64("", &v));
+  EXPECT_FALSE(ParseUint64("-3", &v));
+  EXPECT_FALSE(ParseUint64("12x", &v));
+  EXPECT_FALSE(ParseUint64("18446744073709551616", &v));  // 2^64
+}
+
+TEST(ParseDoubleTest, AcceptsFloats) {
+  double v = 0;
+  ASSERT_TRUE(ParseDouble("3.5", &v));
+  EXPECT_DOUBLE_EQ(v, 3.5);
+  ASSERT_TRUE(ParseDouble("-1e3", &v));
+  EXPECT_DOUBLE_EQ(v, -1000.0);
+}
+
+TEST(ParseDoubleTest, RejectsTrailingGarbage) {
+  double v = 0;
+  EXPECT_FALSE(ParseDouble("3.5abc", &v));
+  EXPECT_FALSE(ParseDouble("", &v));
+}
+
+TEST(HumanBytesTest, PicksUnits) {
+  EXPECT_EQ(HumanBytes(512), "512 B");
+  EXPECT_EQ(HumanBytes(2048), "2.0 KB");
+  EXPECT_EQ(HumanBytes(3 * 1024 * 1024), "3.0 MB");
+}
+
+TEST(HumanMicrosTest, PicksUnits) {
+  EXPECT_EQ(HumanMicros(500), "500us");
+  EXPECT_EQ(HumanMicros(1500), "1.5ms");
+  EXPECT_EQ(HumanMicros(2500000), "2.50s");
+}
+
+}  // namespace
+}  // namespace gmine

@@ -1,0 +1,119 @@
+#include "graph/subgraph.h"
+
+#include <gtest/gtest.h>
+
+#include "gen/generators.h"
+#include "graph/graph_builder.h"
+
+namespace gmine::graph {
+namespace {
+
+TEST(SubgraphTest, InducesTriangleFromClique) {
+  auto g = gen::Complete(5);
+  ASSERT_TRUE(g.ok());
+  auto sub = InducedSubgraph(g.value(), {0, 2, 4});
+  ASSERT_TRUE(sub.ok());
+  EXPECT_EQ(sub.value().graph.num_nodes(), 3u);
+  EXPECT_EQ(sub.value().graph.num_edges(), 3u);
+}
+
+TEST(SubgraphTest, MappingsAreInverse) {
+  auto g = gen::Grid(4, 4);
+  std::vector<NodeId> nodes{3, 7, 11, 15, 2};
+  auto sub = InducedSubgraph(g.value(), nodes);
+  ASSERT_TRUE(sub.ok());
+  const Subgraph& s = sub.value();
+  for (NodeId local = 0; local < s.graph.num_nodes(); ++local) {
+    EXPECT_EQ(s.LocalId(s.ParentId(local)), local);
+  }
+  EXPECT_EQ(s.ParentId(0), 3u);  // order follows the input list
+  EXPECT_EQ(s.LocalId(999), kInvalidNode);
+}
+
+TEST(SubgraphTest, PreservesEdgeWeights) {
+  GraphBuilder b;
+  b.AddEdge(0, 1, 4.5f);
+  b.AddEdge(1, 2, 1.0f);
+  Graph g = std::move(b.Build()).value();
+  auto sub = InducedSubgraph(g, {0, 1});
+  ASSERT_TRUE(sub.ok());
+  EXPECT_FLOAT_EQ(sub.value().graph.EdgeWeight(0, 1), 4.5f);
+}
+
+TEST(SubgraphTest, PreservesNodeWeights) {
+  GraphBuilder b;
+  b.AddEdge(0, 1);
+  b.SetNodeWeight(1, 6.0f);
+  Graph g = std::move(b.Build()).value();
+  auto sub = InducedSubgraph(g, {1});
+  ASSERT_TRUE(sub.ok());
+  EXPECT_FLOAT_EQ(sub.value().graph.NodeWeight(0), 6.0f);
+}
+
+TEST(SubgraphTest, OnlyInternalEdgesSurvive) {
+  auto g = gen::Path(5);  // 0-1-2-3-4
+  auto sub = InducedSubgraph(g.value(), {0, 2, 4});
+  ASSERT_TRUE(sub.ok());
+  EXPECT_EQ(sub.value().graph.num_edges(), 0u);
+}
+
+TEST(SubgraphTest, EmptySelection) {
+  auto g = gen::Cycle(4);
+  auto sub = InducedSubgraph(g.value(), {});
+  ASSERT_TRUE(sub.ok());
+  EXPECT_EQ(sub.value().graph.num_nodes(), 0u);
+}
+
+TEST(SubgraphTest, RejectsDuplicates) {
+  auto g = gen::Cycle(4);
+  auto sub = InducedSubgraph(g.value(), {1, 1});
+  EXPECT_FALSE(sub.ok());
+  EXPECT_TRUE(sub.status().IsInvalidArgument());
+}
+
+TEST(SubgraphTest, RejectsOutOfRange) {
+  auto g = gen::Cycle(4);
+  auto sub = InducedSubgraph(g.value(), {1, 99});
+  EXPECT_FALSE(sub.ok());
+}
+
+TEST(SubgraphTest, DirectedSubgraphKeepsDirection) {
+  GraphBuilderOptions opts;
+  opts.directed = true;
+  GraphBuilder b(opts);
+  b.AddEdge(0, 1);
+  b.AddEdge(1, 2);
+  b.AddEdge(2, 0);
+  Graph g = std::move(b.Build()).value();
+  auto sub = InducedSubgraph(g, {0, 1});
+  ASSERT_TRUE(sub.ok());
+  EXPECT_TRUE(sub.value().graph.directed());
+  EXPECT_TRUE(sub.value().graph.HasEdge(0, 1));
+  EXPECT_FALSE(sub.value().graph.HasEdge(1, 0));
+}
+
+TEST(BoundaryEdgeCountTest, CountsCrossingEdges) {
+  auto g = gen::Path(4);  // 0-1-2-3
+  EXPECT_EQ(BoundaryEdgeCount(g.value(), {0, 1}), 1u);   // edge 1-2
+  EXPECT_EQ(BoundaryEdgeCount(g.value(), {1, 2}), 2u);   // 0-1 and 2-3
+  EXPECT_EQ(BoundaryEdgeCount(g.value(), {0, 1, 2, 3}), 0u);
+}
+
+TEST(BoundaryEdgeCountTest, SubgraphPlusBoundaryCoversAllEdges) {
+  auto g = gen::ErdosRenyiM(60, 200, 11);
+  std::vector<NodeId> half;
+  for (NodeId v = 0; v < 30; ++v) half.push_back(v);
+  auto sub = InducedSubgraph(g.value(), half);
+  ASSERT_TRUE(sub.ok());
+  std::vector<NodeId> other;
+  for (NodeId v = 30; v < 60; ++v) other.push_back(v);
+  auto sub2 = InducedSubgraph(g.value(), other);
+  ASSERT_TRUE(sub2.ok());
+  uint64_t cross = BoundaryEdgeCount(g.value(), half);
+  EXPECT_EQ(sub.value().graph.num_edges() + sub2.value().graph.num_edges() +
+                cross,
+            g.value().num_edges());
+}
+
+}  // namespace
+}  // namespace gmine::graph

@@ -1,0 +1,141 @@
+#include "gtree/tomahawk.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "gen/generators.h"
+#include "gtree/builder.h"
+
+namespace gmine::gtree {
+namespace {
+
+// Balanced tree with `levels` levels of `fanout` under the root, one
+// graph node per leaf.
+GTree BalancedTree(uint32_t levels, uint32_t fanout) {
+  uint32_t leaves = 1;
+  for (uint32_t l = 0; l < levels; ++l) leaves *= fanout;
+  std::vector<uint32_t> assignment(leaves);
+  for (uint32_t v = 0; v < leaves; ++v) assignment[v] = v;
+  auto tree = BuildGTreeFromAssignment(leaves, assignment, leaves, fanout);
+  return std::move(tree).value();
+}
+
+TEST(TomahawkTest, RootContextIsRootPlusChildren) {
+  GTree tree = BalancedTree(3, 4);
+  auto ctx = ComputeTomahawk(tree, tree.root());
+  EXPECT_EQ(ctx.focus, tree.root());
+  EXPECT_TRUE(ctx.ancestors.empty());
+  EXPECT_TRUE(ctx.siblings.empty());
+  EXPECT_EQ(ctx.children.size(), 4u);
+  EXPECT_EQ(ctx.DisplaySize(), 5u);
+  auto display = ctx.DisplaySet();
+  EXPECT_EQ(display.size(), 5u);
+}
+
+TEST(TomahawkTest, MidLevelContextHasAllParts) {
+  GTree tree = BalancedTree(3, 4);
+  // Pick a depth-2 node: first child of first child of root.
+  TreeNodeId level1 = tree.node(tree.root()).children[0];
+  TreeNodeId level2 = tree.node(level1).children[0];
+  auto ctx = ComputeTomahawk(tree, level2);
+  EXPECT_EQ(ctx.ancestors.size(), 2u);   // root + level1
+  EXPECT_EQ(ctx.siblings.size(), 3u);    // fanout - 1
+  EXPECT_EQ(ctx.children.size(), 4u);
+  // Ancestor siblings: level1 has 3 siblings (root has none).
+  EXPECT_EQ(ctx.ancestor_siblings.size(), 3u);
+  EXPECT_EQ(ctx.DisplaySize(), 1u + 2 + 3 + 4 + 3);
+}
+
+TEST(TomahawkTest, LeafContextHasNoChildren) {
+  GTree tree = BalancedTree(2, 3);
+  TreeNodeId leaf = tree.LeafOf(0);
+  auto ctx = ComputeTomahawk(tree, leaf);
+  EXPECT_TRUE(ctx.children.empty());
+  EXPECT_EQ(ctx.siblings.size(), 2u);
+  EXPECT_EQ(ctx.ancestors.size(), 2u);
+}
+
+TEST(TomahawkTest, OptionsDisableAncestorSiblings) {
+  GTree tree = BalancedTree(3, 4);
+  TreeNodeId level1 = tree.node(tree.root()).children[1];
+  TreeNodeId level2 = tree.node(level1).children[2];
+  TomahawkOptions opts;
+  opts.include_ancestor_siblings = false;
+  auto ctx = ComputeTomahawk(tree, level2, opts);
+  EXPECT_TRUE(ctx.ancestor_siblings.empty());
+}
+
+TEST(TomahawkTest, DisplaySetIsDeduplicatedAndSorted) {
+  GTree tree = BalancedTree(3, 3);
+  TreeNodeId level1 = tree.node(tree.root()).children[0];
+  auto ctx = ComputeTomahawk(tree, level1);
+  auto display = ctx.DisplaySet();
+  EXPECT_TRUE(std::is_sorted(display.begin(), display.end()));
+  EXPECT_TRUE(std::adjacent_find(display.begin(), display.end()) ==
+              display.end());
+  // Must contain the focus and the root.
+  EXPECT_TRUE(std::binary_search(display.begin(), display.end(), level1));
+  EXPECT_TRUE(std::binary_search(display.begin(), display.end(),
+                                 tree.root()));
+}
+
+TEST(TomahawkTest, DisplayBoundedWhileFullExpansionExplodes) {
+  // The Fig. 4 point: Tomahawk display is O(fanout * depth) while full
+  // expansion under the root is fanout^levels.
+  GTree tree = BalancedTree(5, 4);  // 1024 leaves
+  auto ctx = ComputeTomahawk(tree, tree.root());
+  EXPECT_LE(ctx.DisplaySize(), 5u);
+  EXPECT_GT(FullExpansionSize(tree, tree.root()), 1000u);
+}
+
+TEST(TomahawkTest, FullExpansionCountsSubtreePlusPath) {
+  GTree tree = BalancedTree(2, 3);  // root + 3 + 9 = 13 nodes
+  EXPECT_EQ(FullExpansionSize(tree, tree.root()), 13u);
+  TreeNodeId level1 = tree.node(tree.root()).children[0];
+  // Subtree of level1 = 1 + 3 leaves = 4, plus 1 ancestor.
+  EXPECT_EQ(FullExpansionSize(tree, level1), 5u);
+  TreeNodeId leaf = tree.node(level1).children[0];
+  EXPECT_EQ(FullExpansionSize(tree, leaf), 3u);  // itself + 2 ancestors
+}
+
+TEST(TomahawkTest, DisplaySizeMatchesMaterializedSet) {
+  GTree tree = BalancedTree(4, 3);
+  // Sweep all tree nodes: DisplaySize() must equal DisplaySet().size().
+  for (TreeNodeId id = 0; id < tree.size(); ++id) {
+    auto ctx = ComputeTomahawk(tree, id);
+    EXPECT_EQ(ctx.DisplaySize(), ctx.DisplaySet().size()) << "node " << id;
+  }
+}
+
+// Parameterized growth law: display size is linear in depth*fanout while
+// subtree size grows exponentially in depth.
+class TomahawkGrowthTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(TomahawkGrowthTest, DisplayStaysSmall) {
+  auto [levels, fanout] = GetParam();
+  GTree tree = BalancedTree(static_cast<uint32_t>(levels),
+                            static_cast<uint32_t>(fanout));
+  // Walk down the leftmost spine; at every depth the display set must be
+  // bounded by 1 + depth + fanout + (fanout-1)*(depth+1).
+  TreeNodeId cur = tree.root();
+  uint32_t depth = 0;
+  while (true) {
+    auto ctx = ComputeTomahawk(tree, cur);
+    size_t bound = 1 + depth + fanout +
+                   static_cast<size_t>(fanout - 1) * (depth + 1);
+    EXPECT_LE(ctx.DisplaySize(), bound);
+    if (tree.node(cur).IsLeaf()) break;
+    cur = tree.node(cur).children[0];
+    ++depth;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    LevelsAndFanout, TomahawkGrowthTest,
+    ::testing::Combine(::testing::Values(2, 3, 4),
+                       ::testing::Values(2, 3, 5)));
+
+}  // namespace
+}  // namespace gmine::gtree

@@ -1,0 +1,113 @@
+#include "layout/tree_layout.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "core/views.h"
+#include "graph/graph_io.h"
+#include "gtree/builder.h"
+
+namespace gmine::layout {
+namespace {
+
+gtree::GTree BalancedTree(uint32_t levels, uint32_t fanout) {
+  uint32_t leaves = 1;
+  for (uint32_t l = 0; l < levels; ++l) leaves *= fanout;
+  std::vector<uint32_t> assignment(leaves);
+  for (uint32_t v = 0; v < leaves; ++v) assignment[v] = v;
+  return std::move(gtree::BuildGTreeFromAssignment(leaves, assignment,
+                                                   leaves, fanout))
+      .value();
+}
+
+TEST(TreeLayoutTest, EveryNodeGetsAPosition) {
+  gtree::GTree tree = BalancedTree(3, 3);
+  auto r = LayeredTreeLayout(tree);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().positions.size(), tree.size());
+}
+
+TEST(TreeLayoutTest, DepthMapsToY) {
+  gtree::GTree tree = BalancedTree(2, 3);
+  TreeLayoutOptions opts;
+  auto r = LayeredTreeLayout(tree, opts);
+  ASSERT_TRUE(r.ok());
+  for (const gtree::TreeNode& tn : tree.nodes()) {
+    const Point& p = r.value().positions.at(tn.id);
+    double expect_y = opts.bounds.min_y +
+                      tn.depth * opts.bounds.Height() / tree.height();
+    EXPECT_NEAR(p.y, expect_y, 1e-9) << "node " << tn.id;
+  }
+}
+
+TEST(TreeLayoutTest, ParentsCenteredOverChildren) {
+  gtree::GTree tree = BalancedTree(2, 4);
+  auto r = LayeredTreeLayout(tree);
+  ASSERT_TRUE(r.ok());
+  for (const gtree::TreeNode& tn : tree.nodes()) {
+    if (tn.IsLeaf()) continue;
+    double lo = r.value().positions.at(tn.children.front()).x;
+    double hi = r.value().positions.at(tn.children.back()).x;
+    EXPECT_NEAR(r.value().positions.at(tn.id).x, (lo + hi) / 2.0, 1e-9);
+  }
+}
+
+TEST(TreeLayoutTest, LeavesAreDistinctAndOrdered) {
+  gtree::GTree tree = BalancedTree(2, 3);
+  auto r = LayeredTreeLayout(tree);
+  ASSERT_TRUE(r.ok());
+  // Collect leaf x in pre-order: strictly increasing.
+  std::vector<double> xs;
+  std::vector<gtree::TreeNodeId> stack{tree.root()};
+  while (!stack.empty()) {
+    gtree::TreeNodeId id = stack.back();
+    stack.pop_back();
+    const gtree::TreeNode& tn = tree.node(id);
+    if (tn.IsLeaf()) {
+      xs.push_back(r.value().positions.at(id).x);
+    } else {
+      for (auto it = tn.children.rbegin(); it != tn.children.rend(); ++it) {
+        stack.push_back(*it);
+      }
+    }
+  }
+  for (size_t i = 1; i < xs.size(); ++i) EXPECT_GT(xs[i], xs[i - 1]);
+}
+
+TEST(TreeLayoutTest, HorizontalOrientation) {
+  gtree::GTree tree = BalancedTree(2, 2);
+  TreeLayoutOptions opts;
+  opts.top_down = false;
+  auto r = LayeredTreeLayout(tree, opts);
+  ASSERT_TRUE(r.ok());
+  // Root at min_x; leaves at max_x.
+  EXPECT_NEAR(r.value().positions.at(tree.root()).x, opts.bounds.min_x,
+              1e-9);
+  gtree::TreeNodeId leaf = tree.LeavesUnder(tree.root())[0];
+  EXPECT_NEAR(r.value().positions.at(leaf).x, opts.bounds.max_x, 1e-9);
+}
+
+TEST(TreeLayoutTest, SingleNodeTree) {
+  std::vector<uint32_t> assignment(3, 0);
+  auto tree = gtree::BuildGTreeFromAssignment(3, assignment, 1, 2);
+  ASSERT_TRUE(tree.ok());
+  auto r = LayeredTreeLayout(tree.value());
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().positions.size(), 1u);
+}
+
+TEST(TreeDiagramViewTest, WritesFig1Svg) {
+  gtree::GTree tree = BalancedTree(3, 3);
+  std::string path = std::string(::testing::TempDir()) + "/fig1.svg";
+  ASSERT_TRUE(core::RenderTreeDiagramSvg(tree, path, tree.root()).ok());
+  auto content = graph::ReadFileToString(path);
+  ASSERT_TRUE(content.ok());
+  EXPECT_NE(content.value().find("<svg"), std::string::npos);
+  // Root label appears.
+  EXPECT_NE(content.value().find("s000"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace gmine::layout

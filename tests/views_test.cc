@@ -1,0 +1,137 @@
+// Tests for the standalone view helpers (core/views.h) — the SVG frames
+// the examples produce for every figure.
+
+#include "core/views.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "gen/generators.h"
+#include "graph/graph_io.h"
+#include "gtree/builder.h"
+#include "gtree/connectivity.h"
+
+namespace gmine::core {
+namespace {
+
+std::string Tmp(const char* name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+struct Hier {
+  graph::Graph graph;
+  gtree::GTree tree;
+  gtree::ConnectivityIndex conn;
+};
+
+Hier MakeHier() {
+  Hier h;
+  h.graph = std::move(gen::PlantedPartition(4, 30, 0.3, 0.02, 3)).value();
+  gtree::GTreeBuildOptions opts;
+  opts.levels = 2;
+  opts.fanout = 4;
+  h.tree = std::move(gtree::BuildGTree(h.graph, opts)).value();
+  h.conn = gtree::ConnectivityIndex::Build(h.graph, h.tree);
+  return h;
+}
+
+TEST(ViewsTest, HierarchyViewContainsCommunityNames) {
+  Hier h = MakeHier();
+  auto ctx = gtree::ComputeTomahawk(h.tree, h.tree.root());
+  std::string path = Tmp("views_h.svg");
+  ASSERT_TRUE(
+      RenderHierarchyViewSvg(h.tree, ctx, h.conn, path).ok());
+  auto content = graph::ReadFileToString(path);
+  ASSERT_TRUE(content.ok());
+  EXPECT_NE(content.value().find("s000"), std::string::npos);
+  EXPECT_NE(content.value().find("<circle"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(ViewsTest, HierarchyViewZoomChangesOutput) {
+  Hier h = MakeHier();
+  auto ctx = gtree::ComputeTomahawk(h.tree, h.tree.root());
+  std::string p1 = Tmp("views_z1.svg");
+  std::string p2 = Tmp("views_z2.svg");
+  ViewOptions zoomed;
+  zoomed.zoom = 2.5;
+  zoomed.pan_x = 40;
+  ASSERT_TRUE(RenderHierarchyViewSvg(h.tree, ctx, h.conn, p1).ok());
+  ASSERT_TRUE(RenderHierarchyViewSvg(h.tree, ctx, h.conn, p2, zoomed).ok());
+  auto a = graph::ReadFileToString(p1);
+  auto b = graph::ReadFileToString(p2);
+  EXPECT_NE(a.value(), b.value());
+  std::remove(p1.c_str());
+  std::remove(p2.c_str());
+}
+
+TEST(ViewsTest, SubgraphViewHighlightsAndLabels) {
+  auto g = gen::Star(8);
+  graph::LabelStore labels;
+  labels.SetLabel(0, "Hub Author");
+  std::string path = Tmp("views_s.svg");
+  ASSERT_TRUE(RenderSubgraphSvg(g.value(), &labels, {0}, path).ok());
+  auto content = graph::ReadFileToString(path);
+  ASSERT_TRUE(content.ok());
+  EXPECT_NE(content.value().find("Hub Author"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(ViewsTest, SubgraphViewHandlesNullLabels) {
+  auto g = gen::Cycle(5);
+  std::string path = Tmp("views_n.svg");
+  ASSERT_TRUE(RenderSubgraphSvg(g.value(), nullptr, {}, path).ok());
+  auto content = graph::ReadFileToString(path);
+  ASSERT_TRUE(content.ok());
+  EXPECT_NE(content.value().find("<svg"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(ViewsTest, ConnectionSubgraphViewHeatColorsNodes) {
+  auto g = gen::BarabasiAlbert(120, 3, 5);
+  csg::ExtractionOptions opts;
+  opts.budget = 15;
+  auto cs = csg::ExtractConnectionSubgraph(g.value(), {0, 60}, opts);
+  ASSERT_TRUE(cs.ok());
+  std::string path = Tmp("views_cs.svg");
+  ASSERT_TRUE(
+      RenderConnectionSubgraphSvg(cs.value(), nullptr, path).ok());
+  auto content = graph::ReadFileToString(path);
+  ASSERT_TRUE(content.ok());
+  // Heat palette: at least one warm fill should appear.
+  EXPECT_NE(content.value().find("fill=\"#"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(ViewsTest, TreeDiagramHighlight) {
+  Hier h = MakeHier();
+  gtree::TreeNodeId leaf = h.tree.LeavesUnder(h.tree.root())[0];
+  std::string path = Tmp("views_t.svg");
+  ASSERT_TRUE(RenderTreeDiagramSvg(h.tree, path, leaf).ok());
+  auto content = graph::ReadFileToString(path);
+  ASSERT_TRUE(content.ok());
+  // Highlighted leaf carries its label even at depth > 1.
+  EXPECT_NE(content.value().find(h.tree.node(leaf).name),
+            std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(ViewsTest, CustomCanvasSizeRespected) {
+  Hier h = MakeHier();
+  auto ctx = gtree::ComputeTomahawk(h.tree, h.tree.root());
+  ViewOptions opts;
+  opts.width = 300;
+  opts.height = 200;
+  std::string path = Tmp("views_sz.svg");
+  ASSERT_TRUE(
+      RenderHierarchyViewSvg(h.tree, ctx, h.conn, path, opts).ok());
+  auto content = graph::ReadFileToString(path);
+  ASSERT_TRUE(content.ok());
+  EXPECT_NE(content.value().find("width=\"300\" height=\"200\""),
+            std::string::npos);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace gmine::core

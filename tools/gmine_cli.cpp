@@ -1,0 +1,22 @@
+// The `gmine` command-line tool: generate workloads, build .gtree stores,
+// inspect hierarchies, run label queries, extract connection subgraphs,
+// render views and export communities. See `gmine help`.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "cli/commands.h"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  if (args.empty()) args.push_back("help");
+  std::string out;
+  gmine::Status st = gmine::cli::RunCli(args, &out);
+  std::fputs(out.c_str(), stdout);
+  if (!st.ok()) {
+    std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
+    return st.IsInvalidArgument() ? 2 : 1;
+  }
+  return 0;
+}
