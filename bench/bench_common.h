@@ -6,11 +6,15 @@
 #define GMINE_BENCH_BENCH_COMMON_H_
 
 #include <cstdio>
+#include <cstdlib>
+#include <functional>
 #include <map>
+#include <mutex>
 #include <string>
 #include <tuple>
 
 #include "gen/dblp.h"
+#include "util/status.h"
 #include "util/string_util.h"
 
 namespace gmine::bench {
@@ -31,30 +35,87 @@ inline gen::DblpOptions BenchDblpOptions(uint32_t levels = 3,
 }
 
 /// Memoized surrogate generation (benchmarks re-enter their loop bodies
-/// many times; the workload must be built once).
-inline const gen::DblpGraph& CachedDblp(uint32_t levels = 3,
-                                        uint32_t fanout = 5,
-                                        uint32_t leaf_size = 60) {
+/// many times; the workload must be built once). Thread-safe: benchmark
+/// fixtures and the parallel kernels may request workloads concurrently.
+/// Returns the generation error instead of dying on failure.
+inline gmine::Result<const gen::DblpGraph*> TryCachedDblp(
+    uint32_t levels = 3, uint32_t fanout = 5, uint32_t leaf_size = 60) {
+  static std::mutex mu;
   static std::map<std::tuple<uint32_t, uint32_t, uint32_t>, gen::DblpGraph>
       cache;
+  std::lock_guard<std::mutex> lock(mu);
   auto key = std::make_tuple(levels, fanout, leaf_size);
   auto it = cache.find(key);
   if (it == cache.end()) {
     auto r = gen::GenerateDblp(BenchDblpOptions(levels, fanout, leaf_size));
     if (!r.ok()) {
-      std::fprintf(stderr, "workload generation failed: %s\n",
-                   r.status().ToString().c_str());
-      std::abort();
+      return Status(r.status().code(),
+                    StrFormat("bench workload (levels=%u fanout=%u leaf=%u) "
+                              "generation failed: %s",
+                              levels, fanout, leaf_size,
+                              r.status().ToString().c_str()));
     }
     it = cache.emplace(key, std::move(r).value()).first;
   }
-  return it->second;
+  return &it->second;
+}
+
+/// Convenience wrapper for bench bodies that cannot recover anyway:
+/// exits with the propagated error message on failure.
+inline const gen::DblpGraph& CachedDblp(uint32_t levels = 3,
+                                        uint32_t fanout = 5,
+                                        uint32_t leaf_size = 60) {
+  auto r = TryCachedDblp(levels, fanout, leaf_size);
+  if (!r.ok()) {
+    std::fprintf(stderr, "%s\n", r.status().ToString().c_str());
+    std::exit(1);
+  }
+  return *r.value();
+}
+
+/// True unless GMINE_BENCH_SKIP_REPORT is set to a non-empty, non-zero
+/// value. tools/run_benches.sh sets it so the filtered BM_*Threads JSON
+/// runs don't also pay for the full paper-facing report.
+inline bool ShouldPrintReport() {
+  const char* env = std::getenv("GMINE_BENCH_SKIP_REPORT");
+  return env == nullptr || env[0] == '\0' || env[0] == '0';
 }
 
 /// Section header for the paper-facing report.
 inline void ReportHeader(const char* experiment, const char* paper_claim) {
   std::printf("\n=== %s ===\n", experiment);
   std::printf("paper: %s\n", paper_claim);
+}
+
+/// Prints a serial-vs-parallel sweep table for one kernel. `run` executes
+/// the kernel with the given `threads` option value and returns elapsed
+/// microseconds, or a negative value on failure (after reporting the
+/// error itself); failed rows print "failed" and never feed the speedup
+/// baseline.
+inline void PrintThreadSweep(const char* header,
+                             const std::function<double(int)>& run) {
+  std::printf("%s\n", header);
+  std::printf("%-10s %14s %10s\n", "threads", "wall time", "speedup");
+  double serial_us = 0.0;
+  for (int threads : {1, 2, 4, 0}) {
+    const char* label_auto = "auto";
+    std::string label =
+        threads == 0 ? label_auto : StrFormat("%d", threads);
+    double us = run(threads);
+    if (us < 0.0) {
+      std::printf("%-10s %14s\n", label.c_str(), "failed");
+      continue;
+    }
+    if (threads == 1) serial_us = us;
+    if (serial_us > 0.0 && us > 0.0) {
+      std::printf("%-10s %14s %9.2fx\n", label.c_str(),
+                  HumanMicros(static_cast<int64_t>(us)).c_str(),
+                  serial_us / us);
+    } else {
+      std::printf("%-10s %14s %10s\n", label.c_str(),
+                  HumanMicros(static_cast<int64_t>(us)).c_str(), "-");
+    }
+  }
 }
 
 }  // namespace gmine::bench

@@ -10,9 +10,11 @@
 #include "bench_common.h"
 #include "graph/subgraph.h"
 #include "gtree/builder.h"
+#include "mining/betweenness.h"
 #include "mining/clustering.h"
 #include "mining/kcore.h"
 #include "mining/metrics.h"
+#include "mining/pagerank.h"
 #include "util/timer.h"
 
 namespace {
@@ -68,6 +70,27 @@ void PrintReport() {
     std::printf("%-12u %10s %10s %10s %10s %10s\n", sub.num_nodes(),
                 d.c_str(), h.c_str(), w.c_str(), s.c_str(), p.c_str());
   }
+
+  // Thread sweep: whole-surrogate PageRank and sampled betweenness on the
+  // parallel kernel engine (threads=1 is the exact serial path).
+  const gen::DblpGraph& data = CachedDblp();
+  std::printf("\nparallel kernels on full surrogate (n=%u):\n",
+              data.graph.num_nodes());
+  bench::PrintThreadSweep("PageRank:", [&](int threads) {
+    mining::PageRankOptions opts;
+    opts.threads = threads;
+    StopWatch w;
+    benchmark::DoNotOptimize(mining::ComputePageRank(data.graph, opts));
+    return static_cast<double>(w.ElapsedMicros());
+  });
+  bench::PrintThreadSweep("Betweenness (64 samples):", [&](int threads) {
+    mining::BetweennessOptions opts;
+    opts.samples = 64;
+    opts.threads = threads;
+    StopWatch w;
+    benchmark::DoNotOptimize(mining::ComputeBetweenness(data.graph, opts));
+    return static_cast<double>(w.ElapsedMicros());
+  });
 }
 
 void BM_DegreeDistribution(benchmark::State& state) {
@@ -110,6 +133,31 @@ void BM_PageRank(benchmark::State& state) {
 }
 BENCHMARK(BM_PageRank)->Arg(300)->Arg(3000)->Unit(benchmark::kMillisecond);
 
+// Thread-count sweeps for BENCH_kernels.json (tools/run_benches.sh): Arg
+// is the `threads` option (0 = auto), workload is the full surrogate.
+void BM_PageRankThreads(benchmark::State& state) {
+  const gen::DblpGraph& data = CachedDblp();
+  mining::PageRankOptions opts;
+  opts.threads = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mining::ComputePageRank(data.graph, opts));
+  }
+}
+BENCHMARK(BM_PageRankThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(0)->Unit(
+    benchmark::kMillisecond);
+
+void BM_BetweennessThreads(benchmark::State& state) {
+  const gen::DblpGraph& data = CachedDblp();
+  mining::BetweennessOptions opts;
+  opts.samples = 64;
+  opts.threads = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mining::ComputeBetweenness(data.graph, opts));
+  }
+}
+BENCHMARK(BM_BetweennessThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(0)->Unit(
+    benchmark::kMillisecond);
+
 void BM_AllFiveMetrics(benchmark::State& state) {
   graph::Graph sub = CommunityOfSize(static_cast<uint32_t>(state.range(0)));
   mining::MetricsRequest req;
@@ -141,7 +189,7 @@ BENCHMARK(BM_KCore)->Arg(300)->Arg(3000);
 }  // namespace
 
 int main(int argc, char** argv) {
-  PrintReport();
+  if (gmine::bench::ShouldPrintReport()) PrintReport();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();

@@ -62,6 +62,22 @@ void PrintReport() {
     }
   }
 
+  // Thread sweep: pull-based power iteration at fixed tolerance.
+  bench::PrintThreadSweep("RWR thread sweep:", [&](int threads) {
+    csg::RwrOptions opts;
+    opts.tolerance = 1e-10;
+    opts.max_iterations = 1000;
+    opts.threads = threads;
+    StopWatch w;
+    auto r = csg::RandomWalkWithRestart(data.graph, source, opts);
+    if (!r.ok()) {
+      std::fprintf(stderr, "RWR (threads=%d) failed: %s\n", threads,
+                   r.status().ToString().c_str());
+      return -1.0;
+    }
+    return static_cast<double>(w.ElapsedMicros());
+  });
+
   // Pruning ablation.
   std::vector<graph::NodeId> sources{data.philip_yu, data.flip_korn,
                                      data.minos_garofalakis};
@@ -90,6 +106,22 @@ void BM_RwrPowerIteration(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_RwrPowerIteration)->Arg(6)->Arg(10)->Unit(
+    benchmark::kMillisecond);
+
+// Thread-count sweep for BENCH_kernels.json (tools/run_benches.sh):
+// Arg is the `threads` option (0 = auto).
+void BM_RwrThreads(benchmark::State& state) {
+  const gen::DblpGraph& data = CachedDblp();
+  csg::RwrOptions opts;
+  opts.tolerance = 1e-10;
+  opts.max_iterations = 1000;
+  opts.threads = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        csg::RandomWalkWithRestart(data.graph, data.jiawei_han, opts));
+  }
+}
+BENCHMARK(BM_RwrThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(0)->Unit(
     benchmark::kMillisecond);
 
 void BM_RwrExactSmall(benchmark::State& state) {
@@ -125,7 +157,7 @@ BENCHMARK(BM_ExtractionPruned)->Arg(1)->Arg(0)->Unit(
 }  // namespace
 
 int main(int argc, char** argv) {
-  PrintReport();
+  if (gmine::bench::ShouldPrintReport()) PrintReport();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();

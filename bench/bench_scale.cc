@@ -13,6 +13,7 @@
 
 #include "bench_common.h"
 #include "core/engine.h"
+#include "mining/pagerank.h"
 #include "util/timer.h"
 
 namespace {
@@ -86,6 +87,21 @@ void PrintReport() {
       HumanBytes(stats.leaf_loads ? stats.bytes_read / stats.leaf_loads : 0)
           .c_str());
   std::remove(path.c_str());
+
+  // Whole-graph analytics thread sweep: the scaling story is not only
+  // touching less data (above) but also using every core when a global
+  // kernel does run.
+  bench::PrintThreadSweep(
+      StrFormat("\nwhole-graph PageRank thread sweep (n=%u):",
+                data.graph.num_nodes())
+          .c_str(),
+      [&](int threads) {
+        mining::PageRankOptions opts;
+        opts.threads = threads;
+        StopWatch w;
+        benchmark::DoNotOptimize(mining::ComputePageRank(data.graph, opts));
+        return static_cast<double>(w.ElapsedMicros());
+      });
 }
 
 void BM_StoreCreate(benchmark::State& state) {
@@ -159,7 +175,7 @@ BENCHMARK(BM_StoreCreate)->Unit(benchmark::kMillisecond);
 }  // namespace
 
 int main(int argc, char** argv) {
-  PrintReport();
+  if (gmine::bench::ShouldPrintReport()) PrintReport();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();

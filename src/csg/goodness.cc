@@ -20,6 +20,9 @@ gmine::Result<SourceWalks> ComputeSourceWalks(
   SourceWalks out;
   out.sources = sources;
   out.walks.reserve(sources.size());
+  // One transition matrix shared by every per-source solve: the structure
+  // depends only on (g, weighted), and building it is O(nodes + arcs).
+  const graph::TransitionMatrix trans(g, options.weighted);
   for (NodeId s : sources) {
     if (s >= g.num_nodes()) {
       return Status::InvalidArgument(
@@ -29,7 +32,7 @@ gmine::Result<SourceWalks> ComputeSourceWalks(
       return Status::InvalidArgument(
           StrFormat("goodness: duplicate source %u", s));
     }
-    auto walk = RandomWalkWithRestart(g, s, options);
+    auto walk = RandomWalkWithRestart(g, trans, s, options);
     if (!walk.ok()) return walk.status();
     out.walks.push_back(std::move(walk).value());
   }

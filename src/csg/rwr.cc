@@ -3,47 +3,59 @@
 #include <algorithm>
 #include <cmath>
 
+#include "graph/transition.h"
+#include "util/parallel.h"
 #include "util/string_util.h"
 
 namespace gmine::csg {
 
 using graph::Graph;
+using graph::InArc;
 using graph::Neighbor;
 using graph::NodeId;
+using graph::TransitionMatrix;
 
 namespace {
 
-RwrResult PowerIterate(const Graph& g, const std::vector<double>& restart,
+// Nodes per ParallelReduce chunk; fixed so the delta reduction is
+// bit-identical at every `threads` setting.
+constexpr size_t kNodeGrain = 1024;
+
+// Pull-based gather over precomputed transition probabilities: each
+// node's update is an independent dot product (no per-arc branch or
+// division, no atomics when parallel).
+RwrResult PowerIterate(const TransitionMatrix& trans,
+                       const std::vector<double>& restart,
                        const RwrOptions& options) {
-  const uint32_t n = g.num_nodes();
+  const uint32_t n = trans.num_nodes();
   RwrResult out;
   std::vector<double> r = restart;
   std::vector<double> next(n, 0.0);
-  std::vector<double> norm(n, 0.0);
-  for (NodeId v = 0; v < n; ++v) {
-    norm[v] = options.weighted ? static_cast<double>(g.WeightedDegree(v))
-                               : static_cast<double>(g.Degree(v));
-  }
   const double c = options.restart;
   for (int it = 0; it < options.max_iterations; ++it) {
-    std::fill(next.begin(), next.end(), 0.0);
     double dangling = 0.0;
-    for (NodeId v = 0; v < n; ++v) {
-      if (norm[v] <= 0.0) {
-        dangling += r[v];  // dangling mass restarts entirely
-        continue;
-      }
-      double share = r[v] / norm[v];
-      for (const Neighbor& nb : g.Neighbors(v)) {
-        next[nb.id] += share * (options.weighted ? nb.weight : 1.0);
-      }
-    }
-    double delta = 0.0;
-    for (NodeId v = 0; v < n; ++v) {
-      double nv = c * restart[v] + (1.0 - c) * (next[v] + dangling * restart[v]);
-      delta += std::abs(nv - r[v]);
-      r[v] = nv;
-    }
+    for (NodeId v : trans.dangling()) dangling += r[v];
+
+    double delta = ParallelReduce(
+        0, n, kNodeGrain, options.threads, 0.0,
+        [&](size_t b, size_t e) {
+          double local = 0.0;
+          for (size_t v = b; v < e; ++v) {
+            double acc = 0.0;
+            for (const InArc& a : trans.InArcs(static_cast<NodeId>(v))) {
+              acc += r[a.src] * a.prob;
+            }
+            // Dangling mass restarts entirely.
+            double nv =
+                c * restart[v] + (1.0 - c) * (acc + dangling * restart[v]);
+            local += std::abs(nv - r[v]);
+            next[v] = nv;
+          }
+          return local;
+        },
+        [](double a, double b) { return a + b; });
+
+    r.swap(next);
     out.iterations = it + 1;
     out.final_delta = delta;
     if (delta < options.tolerance) {
@@ -69,14 +81,30 @@ Status ValidateOptions(const RwrOptions& options) {
 
 gmine::Result<RwrResult> RandomWalkWithRestart(const Graph& g, NodeId source,
                                                const RwrOptions& options) {
+  const TransitionMatrix trans(g, options.weighted);
+  return RandomWalkWithRestart(g, trans, source, options);
+}
+
+gmine::Result<RwrResult> RandomWalkWithRestart(const Graph& g,
+                                               const TransitionMatrix& trans,
+                                               NodeId source,
+                                               const RwrOptions& options) {
   GMINE_RETURN_IF_ERROR(ValidateOptions(options));
   if (source >= g.num_nodes()) {
     return Status::InvalidArgument(
         StrFormat("RWR: source %u out of range %u", source, g.num_nodes()));
   }
+  if (trans.num_nodes() != g.num_nodes()) {
+    return Status::InvalidArgument(
+        "RWR: transition matrix built from a different graph");
+  }
+  if (trans.weighted() != options.weighted) {
+    return Status::InvalidArgument(
+        "RWR: transition matrix weighted flag does not match options");
+  }
   std::vector<double> restart(g.num_nodes(), 0.0);
   restart[source] = 1.0;
-  return PowerIterate(g, restart, options);
+  return PowerIterate(trans, restart, options);
 }
 
 gmine::Result<RwrResult> RandomWalkWithRestartVector(
@@ -96,7 +124,8 @@ gmine::Result<RwrResult> RandomWalkWithRestartVector(
   if (std::abs(sum - 1.0) > 1e-6) {
     return Status::InvalidArgument("RWR: restart mass must sum to 1");
   }
-  return PowerIterate(g, restart_mass, options);
+  const TransitionMatrix trans(g, options.weighted);
+  return PowerIterate(trans, restart_mass, options);
 }
 
 gmine::Result<RwrResult> RandomWalkWithRestartExact(const Graph& g,

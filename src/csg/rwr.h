@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "graph/graph.h"
+#include "graph/transition.h"
 #include "util/status.h"
 
 namespace gmine::csg {
@@ -27,6 +28,11 @@ struct RwrOptions {
   int max_iterations = 200;
   /// Use edge weights for transition probabilities.
   bool weighted = true;
+  /// Worker threads for the power-iteration gather: 0 = auto
+  /// (GMINE_THREADS env var, else hardware_concurrency), 1 = exact serial
+  /// path, N = N participants. Results are bit-identical at every setting
+  /// (deterministic chunked reduction). Ignored by the exact dense solve.
+  int threads = 0;
 };
 
 /// One RWR solve.
@@ -42,6 +48,15 @@ struct RwrResult {
 gmine::Result<RwrResult> RandomWalkWithRestart(const graph::Graph& g,
                                                graph::NodeId source,
                                                const RwrOptions& options = {});
+
+/// RWR from a single source over a prebuilt transition matrix. Callers
+/// solving many sources on the same graph (e.g. goodness scoring) build
+/// the matrix once instead of paying the O(nodes + arcs) construction per
+/// solve. `trans` must have been built from `g` with the same `weighted`
+/// setting as `options`.
+gmine::Result<RwrResult> RandomWalkWithRestart(
+    const graph::Graph& g, const graph::TransitionMatrix& trans,
+    graph::NodeId source, const RwrOptions& options = {});
 
 /// RWR with a distributed restart vector (used for query sets and tests);
 /// `restart_mass` must be non-negative and sum to ~1 over all nodes.

@@ -1,0 +1,45 @@
+#include "graph/transition.h"
+
+namespace gmine::graph {
+
+TransitionMatrix::TransitionMatrix(const Graph& g, bool weighted)
+    : weighted_(weighted) {
+  const uint32_t n = g.num_nodes();
+  offsets_.assign(static_cast<size_t>(n) + 1, 0);
+  if (n == 0) return;
+
+  // Reciprocal out-norms; 0 marks a dangling source whose arcs (it has
+  // none by definition when the norm comes from the degree, but a
+  // weighted graph could have all-zero weights) carry no mass.
+  std::vector<double> inv_norm(n, 0.0);
+  for (NodeId u = 0; u < n; ++u) {
+    double norm = weighted ? static_cast<double>(g.WeightedDegree(u))
+                           : static_cast<double>(g.Degree(u));
+    if (norm > 0.0) {
+      inv_norm[u] = 1.0 / norm;
+    } else {
+      dangling_.push_back(u);
+    }
+  }
+
+  // Count in-degrees (offsets_[v + 1] accumulates v's in-degree), prefix
+  // sum, then fill ascending by source so each in-arc list is ordered and
+  // the gather order — hence the floating-point result — is fixed.
+  for (NodeId u = 0; u < n; ++u) {
+    if (inv_norm[u] == 0.0) continue;
+    for (const Neighbor& nb : g.Neighbors(u)) ++offsets_[nb.id + 1];
+  }
+  for (uint32_t v = 0; v < n; ++v) offsets_[v + 1] += offsets_[v];
+  arcs_.resize(offsets_[n]);
+  std::vector<uint64_t> cursor(offsets_.begin(), offsets_.end() - 1);
+  for (NodeId u = 0; u < n; ++u) {
+    double inv = inv_norm[u];
+    if (inv == 0.0) continue;
+    for (const Neighbor& nb : g.Neighbors(u)) {
+      double w = weighted ? static_cast<double>(nb.weight) : 1.0;
+      arcs_[cursor[nb.id]++] = InArc{u, w * inv};
+    }
+  }
+}
+
+}  // namespace gmine::graph

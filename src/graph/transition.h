@@ -1,0 +1,66 @@
+// Pull-oriented transition structure for random-walk kernels (PageRank,
+// RWR). The seed implementations scattered mass push-style — next[nb] +=
+// rank[v] / out_norm[v] * w — paying a per-arc `weighted ?` branch and a
+// per-source division, and making parallel updates race on next[].
+//
+// TransitionMatrix inverts the view: for every target node v it stores
+// the incoming arcs (u -> v) with the transition probability
+// P(u -> v) = w(u, v) / out_norm(u) fully precomputed. One node's update
+// is then an independent branch-free, division-free dot product
+//   next[v] = sum over in-arcs (src, p) of rank[src] * p
+// which parallelizes over nodes with no atomics. Built once per kernel
+// call in O(nodes + arcs); the in-arc lists are ordered by ascending
+// source id, so gather results are deterministic.
+
+#ifndef GMINE_GRAPH_TRANSITION_H_
+#define GMINE_GRAPH_TRANSITION_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace gmine::graph {
+
+/// One incoming arc of the transition matrix: source node and the
+/// precomputed transition probability P(src -> target).
+struct InArc {
+  NodeId src;
+  double prob;
+};
+
+/// Column-compressed transition matrix W^T with normalized arc weights.
+class TransitionMatrix {
+ public:
+  /// Builds the structure for `g`. With `weighted`, probabilities are
+  /// proportional to arc weights (w / WeightedDegree); otherwise uniform
+  /// (1 / Degree). Nodes with zero out-norm are flagged dangling.
+  TransitionMatrix(const Graph& g, bool weighted);
+
+  /// Incoming arcs of `v`, ascending by source id.
+  std::span<const InArc> InArcs(NodeId v) const {
+    return {arcs_.data() + offsets_[v], arcs_.data() + offsets_[v + 1]};
+  }
+
+  /// Nodes with no outgoing mass (out_norm <= 0); their rank restarts or
+  /// redistributes depending on the kernel.
+  const std::vector<NodeId>& dangling() const { return dangling_; }
+
+  uint32_t num_nodes() const {
+    return offsets_.empty() ? 0 : static_cast<uint32_t>(offsets_.size() - 1);
+  }
+
+  /// Whether probabilities were normalized by weighted degree.
+  bool weighted() const { return weighted_; }
+
+ private:
+  std::vector<uint64_t> offsets_;  // size num_nodes+1
+  std::vector<InArc> arcs_;        // size num_arcs (minus dangling arcs)
+  std::vector<NodeId> dangling_;
+  bool weighted_ = false;
+};
+
+}  // namespace gmine::graph
+
+#endif  // GMINE_GRAPH_TRANSITION_H_

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "layout/quadtree.h"
+#include "util/parallel.h"
 #include "util/rng.h"
 
 namespace gmine::layout {
@@ -37,18 +38,42 @@ gmine::Result<LayoutResult> ForceDirectedLayout(
       std::pow(1e-2, 1.0 / static_cast<double>(options.iterations));
   const bool barnes_hut = n > options.barnes_hut_threshold;
   out.used_barnes_hut = barnes_hut;
+  // The gather form's per-node summation order is fixed (u ascending), so
+  // its output is identical at every thread count — including a resolved
+  // count of 1. Selecting on the *option* rather than the resolved count
+  // keeps default layouts reproducible across machines and GMINE_THREADS
+  // settings; threads=1 explicitly requests the legacy pairwise path.
+  const bool gather_repulsion = options.threads != 1;
 
   std::vector<Point> disp(n);
   for (int it = 0; it < options.iterations; ++it) {
     std::fill(disp.begin(), disp.end(), Point{0.0, 0.0});
 
-    // Repulsion: f_r(d) = k^2 / d along the separating direction.
+    // Repulsion: f_r(d) = k^2 / d along the separating direction. Both
+    // paths are read-only over positions, so each node's displacement is
+    // computed independently and the loop parallelizes without atomics.
     if (barnes_hut) {
       QuadTree qt(out.positions);
-      for (uint32_t v = 0; v < n; ++v) {
+      ParallelFor(0, n, 64, options.threads, [&](size_t v) {
         disp[v] += qt.Repulsion(out.positions[v], k2, options.theta);
-      }
+      });
+    } else if (gather_repulsion) {
+      // Full gather: node v sums forces from every other node. Twice the
+      // flops of the pairwise form but embarrassingly parallel.
+      ParallelFor(0, n, 64, options.threads, [&](size_t v) {
+        Point sum{0.0, 0.0};
+        const Point pv = out.positions[v];
+        for (uint32_t u = 0; u < n; ++u) {
+          if (u == v) continue;
+          Point d = pv - out.positions[u];
+          double dist2 = std::max(d.Norm2(), 1e-9);
+          sum += d * (k2 / dist2);
+        }
+        disp[v] += sum;
+      });
     } else {
+      // Exact legacy serial path: symmetric pairwise updates, half the
+      // force evaluations.
       for (uint32_t v = 0; v < n; ++v) {
         for (uint32_t u = v + 1; u < n; ++u) {
           Point d = out.positions[v] - out.positions[u];

@@ -29,6 +29,13 @@ struct ForceDirectedOptions {
   /// Use edge weights to scale attraction.
   bool weighted_attraction = true;
   uint64_t seed = 7;
+  /// Worker threads for the repulsion pass (both the O(n^2) and the
+  /// Barnes–Hut path are read-only over positions): 0 = auto
+  /// (GMINE_THREADS env var, else hardware_concurrency), 1 = exact legacy
+  /// serial path (symmetric pairwise updates). Any value other than 1
+  /// uses the gather form, whose output is identical at every thread
+  /// count, so default layouts are reproducible across machines.
+  int threads = 0;
 };
 
 /// Result: positions plus convergence diagnostics.

@@ -24,6 +24,12 @@ struct BetweennessOptions {
   uint64_t seed = 1;
   /// Normalize by (n-1)(n-2)/2 (undirected pair count).
   bool normalize = false;
+  /// Worker threads; sources are strided across ranks with per-rank score
+  /// buffers merged at the end. 0 = auto (GMINE_THREADS env var, else
+  /// hardware_concurrency), 1 = exact serial path. A fixed thread count
+  /// gives a deterministic result; different counts agree to float
+  /// rounding (summation order differs).
+  int threads = 0;
 };
 
 /// Betweenness output.

@@ -3,11 +3,24 @@
 #include <algorithm>
 #include <cmath>
 
+#include "graph/transition.h"
+#include "util/parallel.h"
+
 namespace gmine::mining {
 
 using graph::Graph;
-using graph::Neighbor;
+using graph::InArc;
 using graph::NodeId;
+using graph::TransitionMatrix;
+
+namespace {
+
+// Nodes per ParallelReduce chunk. Fixed (never derived from the thread
+// count) so the chunked delta reduction is bit-identical at every
+// `threads` setting.
+constexpr size_t kNodeGrain = 1024;
+
+}  // namespace
 
 PageRankResult ComputePageRank(const Graph& g,
                                const PageRankOptions& options) {
@@ -16,34 +29,37 @@ PageRankResult ComputePageRank(const Graph& g,
   if (n == 0) return out;
   const double d = options.damping;
 
+  // Pull-based gather: per-target in-arcs with precomputed transition
+  // probabilities — no per-arc branch or division in the iteration, and
+  // every node's update is independent (no atomics when parallel).
+  const TransitionMatrix trans(g, options.weighted);
+
   std::vector<double> rank(n, 1.0 / n);
   std::vector<double> next(n, 0.0);
-  std::vector<double> out_norm(n, 0.0);  // degree or weighted degree
-  for (NodeId v = 0; v < n; ++v) {
-    out_norm[v] = options.weighted ? static_cast<double>(g.WeightedDegree(v))
-                                   : static_cast<double>(g.Degree(v));
-  }
 
   for (int it = 0; it < options.max_iterations; ++it) {
-    std::fill(next.begin(), next.end(), 0.0);
     double dangling = 0.0;
-    for (NodeId v = 0; v < n; ++v) {
-      if (out_norm[v] <= 0.0) {
-        dangling += rank[v];
-        continue;
-      }
-      double share = rank[v] / out_norm[v];
-      for (const Neighbor& nb : g.Neighbors(v)) {
-        next[nb.id] += share * (options.weighted ? nb.weight : 1.0);
-      }
-    }
-    double base = (1.0 - d) / n + d * dangling / n;
-    double delta = 0.0;
-    for (NodeId v = 0; v < n; ++v) {
-      double nv = base + d * next[v];
-      delta += std::abs(nv - rank[v]);
-      rank[v] = nv;
-    }
+    for (NodeId v : trans.dangling()) dangling += rank[v];
+    const double base = (1.0 - d) / n + d * dangling / n;
+
+    double delta = ParallelReduce(
+        0, n, kNodeGrain, options.threads, 0.0,
+        [&](size_t b, size_t e) {
+          double local = 0.0;
+          for (size_t v = b; v < e; ++v) {
+            double acc = 0.0;
+            for (const InArc& a : trans.InArcs(static_cast<NodeId>(v))) {
+              acc += rank[a.src] * a.prob;
+            }
+            double nv = base + d * acc;
+            local += std::abs(nv - rank[v]);
+            next[v] = nv;
+          }
+          return local;
+        },
+        [](double a, double b) { return a + b; });
+
+    rank.swap(next);
     out.iterations = it + 1;
     out.final_delta = delta;
     if (delta < options.tolerance) {

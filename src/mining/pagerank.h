@@ -21,6 +21,11 @@ struct PageRankOptions {
   /// Weighted transition probabilities (proportional to edge weight)
   /// instead of uniform over out-neighbors.
   bool weighted = false;
+  /// Worker threads for the pull-based gather and delta reduction:
+  /// 0 = auto (GMINE_THREADS env var, else hardware_concurrency),
+  /// 1 = exact serial path, N = N participants. Results are bit-identical
+  /// at every setting (deterministic chunked reduction).
+  int threads = 0;
 };
 
 /// PageRank output.

@@ -1,0 +1,177 @@
+#include "util/parallel.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <stdexcept>
+#include <vector>
+
+namespace gmine {
+namespace {
+
+TEST(ResolveThreadsTest, AutoIsAtLeastOne) {
+  EXPECT_GE(ResolveThreads(0), 1);
+  EXPECT_GE(ResolveThreads(-3), 1);
+}
+
+TEST(ResolveThreadsTest, PositivePassesThrough) {
+  EXPECT_EQ(ResolveThreads(1), 1);
+  EXPECT_EQ(ResolveThreads(7), 7);
+}
+
+TEST(ParallelForTest, EmptyRangeCallsNothing) {
+  std::atomic<int> calls{0};
+  ParallelFor(0, 0, 16, 4, [&](size_t) { calls++; });
+  ParallelFor(10, 10, 16, 4, [&](size_t) { calls++; });
+  ParallelFor(10, 5, 16, 4, [&](size_t) { calls++; });
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ParallelForTest, GrainLargerThanRange) {
+  std::vector<std::atomic<int>> hits(10);
+  ParallelFor(0, 10, 1000, 4, [&](size_t i) { hits[i]++; });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelForTest, EveryIndexVisitedExactlyOnce) {
+  constexpr size_t kN = 10000;
+  std::vector<std::atomic<int>> hits(kN);
+  ParallelFor(0, kN, 64, 4, [&](size_t i) { hits[i]++; });
+  for (size_t i = 0; i < kN; ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(ParallelForTest, ZeroGrainTreatedAsOne) {
+  std::atomic<int> calls{0};
+  ParallelFor(0, 17, 0, 4, [&](size_t) { calls++; });
+  EXPECT_EQ(calls.load(), 17);
+}
+
+TEST(ParallelForTest, SerialPathRunsInline) {
+  // threads=1 must not dispatch to the pool: the body runs on the calling
+  // thread in index order.
+  std::vector<size_t> seen;
+  ParallelFor(3, 9, 2, 1, [&](size_t i) { seen.push_back(i); });
+  EXPECT_EQ(seen, (std::vector<size_t>{3, 4, 5, 6, 7, 8}));
+}
+
+TEST(ParallelForTest, ExceptionPropagates) {
+  EXPECT_THROW(
+      ParallelFor(0, 1000, 8, 4,
+                  [&](size_t i) {
+                    if (i == 437) throw std::runtime_error("boom");
+                  }),
+      std::runtime_error);
+}
+
+TEST(ParallelForTest, ExceptionPropagatesFromSerialPath) {
+  EXPECT_THROW(ParallelFor(0, 10, 4, 1,
+                           [&](size_t) { throw std::runtime_error("boom"); }),
+               std::runtime_error);
+}
+
+TEST(ParallelForTest, NestedCallsDoNotDeadlock) {
+  std::atomic<int> calls{0};
+  ParallelFor(0, 8, 1, 4, [&](size_t) {
+    ParallelFor(0, 8, 1, 4, [&](size_t) { calls++; });
+  });
+  EXPECT_EQ(calls.load(), 64);
+}
+
+TEST(ParallelReduceTest, EmptyRangeReturnsIdentity) {
+  double r = ParallelReduce(
+      5, 5, 16, 4, 1.5, [](size_t, size_t) { return 100.0; },
+      [](double a, double b) { return a + b; });
+  EXPECT_EQ(r, 1.5);
+}
+
+TEST(ParallelReduceTest, SumsRange) {
+  auto sum_chunk = [](size_t b, size_t e) {
+    long long s = 0;
+    for (size_t i = b; i < e; ++i) s += static_cast<long long>(i);
+    return s;
+  };
+  auto add = [](long long a, long long b) { return a + b; };
+  for (int threads : {1, 2, 4, 0}) {
+    long long r =
+        ParallelReduce(0, 100001, 97, threads, 0LL, sum_chunk, add);
+    EXPECT_EQ(r, 100000LL * 100001 / 2) << "threads=" << threads;
+  }
+}
+
+TEST(ParallelReduceTest, GrainLargerThanRange) {
+  long long r = ParallelReduce(
+      0, 5, 1000, 4, 0LL,
+      [](size_t b, size_t e) {
+        long long s = 0;
+        for (size_t i = b; i < e; ++i) s += static_cast<long long>(i);
+        return s;
+      },
+      [](long long a, long long b) { return a + b; });
+  EXPECT_EQ(r, 10);
+}
+
+TEST(ParallelReduceTest, FloatSumBitIdenticalAcrossThreadCounts) {
+  // The chunking depends only on grain, so the float fold order — and
+  // hence the rounded result — must match at every thread count.
+  std::vector<double> values(50000);
+  unsigned state = 12345;
+  for (double& v : values) {
+    state = state * 1664525u + 1013904223u;
+    v = static_cast<double>(state) / 4.0e9 - 0.1;
+  }
+  auto map = [&](size_t b, size_t e) {
+    double s = 0.0;
+    for (size_t i = b; i < e; ++i) s += values[i];
+    return s;
+  };
+  auto add = [](double a, double b) { return a + b; };
+  double serial = ParallelReduce(0, values.size(), 512, 1, 0.0, map, add);
+  for (int threads : {2, 4, 8, 0}) {
+    double parallel =
+        ParallelReduce(0, values.size(), 512, threads, 0.0, map, add);
+    EXPECT_EQ(serial, parallel) << "threads=" << threads;
+  }
+}
+
+TEST(ParallelReduceTest, ExceptionPropagates) {
+  EXPECT_THROW(ParallelReduce(
+                   0, 1000, 8, 4, 0.0,
+                   [](size_t b, size_t) -> double {
+                     if (b >= 400) throw std::runtime_error("boom");
+                     return 0.0;
+                   },
+                   [](double a, double b) { return a + b; }),
+               std::runtime_error);
+}
+
+TEST(ParallelRunTest, EveryRankRunsOnce) {
+  std::vector<std::atomic<int>> hits(4);
+  ParallelRun(4, [&](int rank, int num_ranks) {
+    EXPECT_EQ(num_ranks, 4);
+    ASSERT_LT(rank, 4);
+    hits[rank]++;
+  });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelRunTest, SerialPathIsInlineSingleRank) {
+  int calls = 0;
+  ParallelRun(1, [&](int rank, int num_ranks) {
+    EXPECT_EQ(rank, 0);
+    EXPECT_EQ(num_ranks, 1);
+    calls++;
+  });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ParallelRunTest, ExceptionPropagates) {
+  EXPECT_THROW(ParallelRun(4,
+                           [&](int rank, int) {
+                             if (rank == 2) throw std::runtime_error("boom");
+                           }),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace gmine

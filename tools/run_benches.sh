@@ -1,0 +1,97 @@
+#!/usr/bin/env bash
+# Runs the kernel thread-sweep benchmarks and writes BENCH_kernels.json
+# (serial vs parallel ns/op per kernel) so the perf trajectory is tracked
+# across PRs. Optionally runs every other bench binary with --all.
+#
+# Usage: tools/run_benches.sh [build_dir] [--all]
+# Output: BENCH_kernels.json in the repo root.
+
+set -euo pipefail
+
+REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD_DIR="$REPO_ROOT/build"
+RUN_ALL=0
+for arg in "$@"; do
+  case "$arg" in
+    --all) RUN_ALL=1 ;;
+    *) BUILD_DIR="$arg" ;;
+  esac
+done
+
+if [ ! -d "$BUILD_DIR" ]; then
+  echo "build dir '$BUILD_DIR' not found — run: cmake -B build -S . && cmake --build build -j" >&2
+  exit 1
+fi
+
+TMP_DIR="$(mktemp -d)"
+trap 'rm -rf "$TMP_DIR"' EXIT
+
+run_sweep() {
+  local binary="$1" filter="$2" out="$3"
+  if [ ! -x "$BUILD_DIR/$binary" ]; then
+    echo "skipping $binary (not built)" >&2
+    return 0
+  fi
+  echo "== $binary --benchmark_filter=$filter"
+  GMINE_BENCH_SKIP_REPORT=1 "$BUILD_DIR/$binary" \
+    --benchmark_filter="$filter" \
+    --benchmark_format=json \
+    --benchmark_out="$out" \
+    --benchmark_out_format=json >/dev/null
+}
+
+run_sweep bench_metrics 'BM_(PageRank|Betweenness)Threads' "$TMP_DIR/metrics.json"
+run_sweep bench_rwr 'BM_RwrThreads' "$TMP_DIR/rwr.json"
+
+python3 - "$REPO_ROOT/BENCH_kernels.json" "$TMP_DIR"/*.json <<'PY'
+import json
+import os
+import sys
+
+out_path, inputs = sys.argv[1], sys.argv[2:]
+kernel_names = {
+    "BM_PageRankThreads": "pagerank",
+    "BM_BetweennessThreads": "betweenness",
+    "BM_RwrThreads": "rwr",
+}
+kernels = {}
+context = {}
+for path in inputs:
+    with open(path) as f:
+        data = json.load(f)
+    context = data.get("context", context)
+    for b in data.get("benchmarks", []):
+        name, _, arg = b["name"].partition("/")
+        if name not in kernel_names or b.get("run_type") == "aggregate":
+            continue
+        threads = "auto" if arg == "0" else arg
+        kernels.setdefault(kernel_names[name], {})[threads] = {
+            "real_ns": b["real_time"] * {"ns": 1, "us": 1e3,
+                                         "ms": 1e6, "s": 1e9}[b["time_unit"]],
+            "iterations": b["iterations"],
+        }
+for stats in kernels.values():
+    serial = stats.get("1", {}).get("real_ns")
+    auto = stats.get("auto", {}).get("real_ns")
+    if serial and auto:
+        stats["speedup_auto_vs_serial"] = round(serial / auto, 3)
+report = {
+    "generated_by": "tools/run_benches.sh",
+    "workload": "DBLP surrogate, levels=3 fanout=5 leaf=60 (7,500 nodes)",
+    "host_cpus": context.get("num_cpus"),
+    "threads_env": os.environ.get("GMINE_THREADS"),
+    "kernels": kernels,
+}
+with open(out_path, "w") as f:
+    json.dump(report, f, indent=2, sort_keys=True)
+    f.write("\n")
+print(f"wrote {out_path}")
+PY
+
+if [ "$RUN_ALL" = 1 ]; then
+  for b in "$BUILD_DIR"/bench_*; do
+    [ -x "$b" ] || continue
+    echo "== $(basename "$b")"
+    "$b" --benchmark_min_time=0.01s || echo "(non-zero exit from $b)" >&2
+  done
+fi
