@@ -13,6 +13,7 @@
 
 #include "bench_common.h"
 #include "core/engine.h"
+#include "gtree/builder.h"
 #include "mining/pagerank.h"
 #include "util/timer.h"
 
@@ -88,6 +89,28 @@ void PrintReport() {
           .c_str());
   std::remove(path.c_str());
 
+  // Sharded G-Tree construction sweep: the build-side scaling story.
+  // Every shard count produces the identical tree (see
+  // sharded_build_equivalence_test); only the wall time changes.
+  bench::PrintThreadSweep(
+      StrFormat("\nsharded G-Tree build sweep (n=%u, shards=threads):",
+                data.graph.num_nodes())
+          .c_str(),
+      [&](int threads) {
+        gtree::GTreeBuildOptions bopts;
+        bopts.levels = 3;
+        bopts.fanout = 5;
+        bopts.shards = threads < 0 ? 0 : static_cast<uint32_t>(threads);
+        bopts.threads = threads;
+        StopWatch w;
+        auto tree = gtree::BuildGTree(data.graph, bopts);
+        if (!tree.ok()) {
+          std::fprintf(stderr, "%s\n", tree.status().ToString().c_str());
+          return -1.0;
+        }
+        return static_cast<double>(w.ElapsedMicros());
+      });
+
   // Whole-graph analytics thread sweep: the scaling story is not only
   // touching less data (above) but also using every core when a global
   // kernel does run.
@@ -103,6 +126,30 @@ void PrintReport() {
         return static_cast<double>(w.ElapsedMicros());
       });
 }
+
+// Sharded G-Tree construction: arg = shard count = thread count (0 =
+// auto for both). Feeds the "gtree_build_sharded" entry of
+// BENCH_kernels.json via tools/run_benches.sh.
+void BM_GTreeBuildShards(benchmark::State& state) {
+  const gen::DblpGraph& data = CachedDblp();
+  gtree::GTreeBuildOptions bopts;
+  bopts.levels = 3;
+  bopts.fanout = 5;
+  bopts.shards = static_cast<uint32_t>(state.range(0));
+  bopts.threads = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    auto tree = gtree::BuildGTree(data.graph, bopts);
+    if (!tree.ok()) state.SkipWithError(tree.status().ToString().c_str());
+    benchmark::DoNotOptimize(tree);
+  }
+}
+
+BENCHMARK(BM_GTreeBuildShards)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(0)
+    ->Unit(benchmark::kMillisecond);
 
 void BM_StoreCreate(benchmark::State& state) {
   const gen::DblpGraph& data = CachedDblp(2, 5, 30);

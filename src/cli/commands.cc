@@ -111,8 +111,12 @@ Status CmdBuild(const CommandLine& cmd, std::string* out) {
   EngineOptions opts;
   GMINE_ASSIGN_OR_RETURN(uint64_t levels, FlagUint(cmd, "levels", 3));
   GMINE_ASSIGN_OR_RETURN(uint64_t fanout, FlagUint(cmd, "fanout", 5));
+  GMINE_ASSIGN_OR_RETURN(uint64_t shards, FlagUint(cmd, "shards", 1));
+  GMINE_ASSIGN_OR_RETURN(uint64_t threads, FlagUint(cmd, "threads", 0));
   opts.build.levels = static_cast<uint32_t>(levels);
   opts.build.fanout = static_cast<uint32_t>(fanout);
+  opts.build.shards = static_cast<uint32_t>(shards);
+  opts.build.threads = static_cast<int>(threads);
   StopWatch watch;
   auto engine = GMineEngine::Build(g.value(), labels, store_path, opts);
   if (!engine.ok()) return engine.status();
@@ -355,6 +359,8 @@ std::string UsageText() {
       "--seed N]\n"
       "  build    --graph FILE [--labels FILE] --out STORE [--levels L "
       "--fanout K]\n"
+      "           [--shards S (0=auto, sharded parallel build) "
+      "--threads T (0=auto)]\n"
       "  info     STORE\n"
       "  query    STORE --label NAME\n"
       "  extract  STORE --source NAME [--source NAME ...] [--budget B] "

@@ -1,6 +1,7 @@
 #include "core/engine.h"
 
 #include <algorithm>
+#include <cstdio>
 
 #include "core/views.h"
 #include "graph/subgraph.h"
@@ -18,7 +19,7 @@ gmine::Result<std::unique_ptr<GMineEngine>> GMineEngine::Build(
   auto tree = gtree::BuildGTree(g, options.build);
   if (!tree.ok()) return tree.status();
   gtree::ConnectivityIndex conn =
-      gtree::ConnectivityIndex::Build(g, tree.value());
+      gtree::ConnectivityIndex::Build(g, tree.value(), options.build.threads);
   GMINE_RETURN_IF_ERROR(gtree::GTreeStore::Create(store_path, g, tree.value(),
                                                   conn, labels));
   return Open(store_path, options);
@@ -62,25 +63,44 @@ Status GMineEngine::ApplyEdit(const graph::GraphEdit& edit,
     labels.SetLabel(result.added_nodes[i], new_labels[i]);
   }
 
-  // Rebuild hierarchy + store in place, then reopen.
+  // Rebuild the hierarchy into a sibling file and swap it in only once
+  // every step has succeeded, so a failed edit leaves the engine on the
+  // old store instead of half-dismantled.
   auto tree = gtree::BuildGTree(result.graph, options_.build);
   if (!tree.ok()) return tree.status();
-  gtree::ConnectivityIndex conn =
-      gtree::ConnectivityIndex::Build(result.graph, tree.value());
-  // Release the read handle before truncating the file.
+  gtree::ConnectivityIndex conn = gtree::ConnectivityIndex::Build(
+      result.graph, tree.value(), options_.build.threads);
+  const std::string tmp_path = store_path_ + ".tmp";
+  Status created = gtree::GTreeStore::Create(tmp_path, result.graph,
+                                             tree.value(), conn, labels);
+  if (!created.ok()) {
+    std::remove(tmp_path.c_str());
+    return created;
+  }
+  auto store = gtree::GTreeStore::Open(tmp_path, options_.store);
+  if (!store.ok()) {
+    std::remove(tmp_path.c_str());
+    return store.status();
+  }
+  // The open handle survives the rename (the fd follows the file).
+  // POSIX semantics: rename replaces an existing destination atomically.
+  if (std::rename(tmp_path.c_str(), store_path_.c_str()) != 0) {
+    std::remove(tmp_path.c_str());
+    return Status::IOError(
+        StrFormat("ApplyEdit: cannot replace %s", store_path_.c_str()));
+  }
   session_.reset();
-  store_.reset();
-  full_graph_.reset();
-  GMINE_RETURN_IF_ERROR(gtree::GTreeStore::Create(
-      store_path_, result.graph, tree.value(), conn, labels));
-  auto store = gtree::GTreeStore::Open(store_path_, options_.store);
-  if (!store.ok()) return store.status();
   store_ = std::move(store).value();
   session_.emplace(store_.get(), options_.tomahawk);
+  {
+    std::lock_guard<std::mutex> lock(graph_mu_);
+    full_graph_.reset();
+  }
   return Status::OK();
 }
 
 gmine::Result<const graph::Graph*> GMineEngine::full_graph() {
+  std::lock_guard<std::mutex> lock(graph_mu_);
   if (!full_graph_.has_value()) {
     auto g = store_->LoadFullGraph();
     if (!g.ok()) return g.status();

@@ -15,6 +15,7 @@
 #define GMINE_CORE_ENGINE_H_
 
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -52,6 +53,13 @@ struct NodeDetails {
 };
 
 /// The GMine system.
+///
+/// Thread-safety: the read-side surface (GetNodeDetails, ExpandNode,
+/// ExtractConnectionSubgraph, ResolveLabels, tree/labels accessors) may
+/// be called from multiple threads — the store's page cache and the lazy
+/// full-graph load are internally synchronized. The NavigationSession is
+/// per-engine mutable state and must be driven from one thread at a
+/// time, and ApplyEdit requires exclusive access to the engine.
 class GMineEngine {
  public:
   /// Builds the hierarchy for `g`, writes the single-file store to
@@ -126,6 +134,9 @@ class GMineEngine {
 
   std::unique_ptr<gtree::GTreeStore> store_;
   std::optional<gtree::NavigationSession> session_;
+  /// Guards the lazy full_graph_ load (the same mutex treatment the
+  /// store's page cache has); once loaded the graph itself is immutable.
+  std::mutex graph_mu_;
   std::optional<graph::Graph> full_graph_;
   std::string store_path_;
   EngineOptions options_;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "graph/subgraph.h"
+#include "util/parallel.h"
 #include "util/string_util.h"
 #include "util/timer.h"
 
@@ -14,46 +15,77 @@ using graph::Subgraph;
 
 namespace {
 
-struct BuildContext {
+constexpr uint64_t kSaltMix = 0x9e3779b97f4a7c15ULL;
+
+// Lineage salt of the `ordinal`-th child of a community with salt `salt`.
+// Depends only on the path from the root — never on construction order —
+// so serial and sharded builds derive identical partitioner seeds.
+uint64_t ChildSalt(uint64_t salt, uint32_t ordinal) {
+  return (salt + ordinal + 1) * kSaltMix;
+}
+
+struct BuildConfig {
   const Graph* g;
   const GTreeBuildOptions* options;
   uint32_t min_size;
-  GTreeBuildStats* stats;
-  std::vector<TreeNode>* nodes;
 };
 
-// Recursively builds the subtree for `members`, writing into
-// ctx->nodes[id]. Pre-order id assignment: the caller has already pushed
-// the node; this fills members/children.
-Status BuildSubtree(BuildContext* ctx, TreeNodeId id,
-                    std::vector<NodeId> members, uint32_t depth) {
-  std::vector<TreeNode>& nodes = *ctx->nodes;
-  nodes[id].subtree_size = members.size();
+// A community during construction, arena-allocated; spliced into final
+// pre-order TreeNode ids at the end.
+struct Pending {
+  std::vector<NodeId> members;
+  uint32_t depth = 0;
+  uint64_t salt = 0;
+  /// Child indices into the same arena; empty for leaves.
+  std::vector<uint32_t> children;
+  /// >= 0: subtree continues at index 0 of that shard's arena.
+  int shard = -1;
+};
 
-  const bool at_bottom = depth >= ctx->options->levels;
-  const bool too_small = members.size() <= ctx->min_size;
-  if (at_bottom || too_small || members.size() < 2) {
-    nodes[id].members = std::move(members);
-    return Status::OK();
+// Outcome of one partitioning step on a community.
+struct SplitResult {
+  Status status;
+  bool leaf = true;
+  /// Non-empty child member groups, in part order.
+  std::vector<std::vector<NodeId>> groups;
+  double edge_cut = 0.0;
+  int64_t micros = 0;
+  bool ran_partition = false;
+};
+
+// Splits `members` into child groups or declares a leaf, mirroring the
+// paper's recursion stops: bottom level reached, community at or below
+// the granularity floor, or a degenerate partition.
+SplitResult SplitCommunity(const BuildConfig& cfg,
+                           const std::vector<NodeId>& members,
+                           uint32_t depth, uint64_t salt,
+                           int partition_threads) {
+  SplitResult out;
+  const bool at_bottom = depth >= cfg.options->levels;
+  const bool too_small = members.size() <= cfg.min_size;
+  if (at_bottom || too_small || members.size() < 2) return out;
+
+  auto sub = graph::InducedSubgraph(*cfg.g, members);
+  if (!sub.ok()) {
+    out.status = sub.status();
+    return out;
   }
-
-  auto sub = graph::InducedSubgraph(*ctx->g, members);
-  if (!sub.ok()) return sub.status();
   const Subgraph& s = sub.value();
 
-  partition::PartitionOptions popts = ctx->options->partition;
-  popts.k = ctx->options->fanout;
+  partition::PartitionOptions popts = cfg.options->partition;
+  popts.k = cfg.options->fanout;
   // Derive a distinct seed per community so sibling partitions differ.
-  popts.seed = ctx->options->partition.seed ^
-               (static_cast<uint64_t>(id) * 0x9e3779b97f4a7c15ULL + depth);
+  popts.seed = cfg.options->partition.seed ^ (salt * kSaltMix + depth);
+  popts.threads = partition_threads;
   StopWatch watch;
   auto part = partition::PartitionGraph(s.graph, popts);
-  if (!part.ok()) return part.status();
-  if (ctx->stats != nullptr) {
-    ctx->stats->partition_calls++;
-    ctx->stats->total_edge_cut += part.value().edge_cut;
-    ctx->stats->partition_micros += watch.ElapsedMicros();
+  if (!part.ok()) {
+    out.status = part.status();
+    return out;
   }
+  out.ran_partition = true;
+  out.edge_cut = part.value().edge_cut;
+  out.micros = watch.ElapsedMicros();
 
   // Group members by part, dropping empty parts.
   std::vector<std::vector<NodeId>> groups(popts.k);
@@ -65,21 +97,47 @@ Status BuildSubtree(BuildContext* ctx, TreeNodeId id,
   if (non_empty <= 1) {
     // Partitioner could not split (e.g. tiny or degenerate community):
     // make this a leaf rather than recursing forever.
-    nodes[id].members = std::move(members);
-    return Status::OK();
+    return out;
   }
-
+  out.leaf = false;
+  out.groups.reserve(non_empty);
   for (auto& grp : groups) {
-    if (grp.empty()) continue;
-    TreeNodeId child = static_cast<TreeNodeId>(nodes.size());
-    TreeNode tn;
-    tn.id = child;
-    tn.parent = id;
-    tn.depth = depth + 1;
-    tn.name = StrFormat("s%03u", child);
-    nodes.push_back(std::move(tn));
-    nodes[id].children.push_back(child);
-    GMINE_RETURN_IF_ERROR(BuildSubtree(ctx, child, std::move(grp), depth + 1));
+    if (!grp.empty()) out.groups.push_back(std::move(grp));
+  }
+  return out;
+}
+
+void AccumulateSplit(const SplitResult& split, GTreeBuildStats* stats) {
+  if (stats == nullptr || !split.ran_partition) return;
+  stats->partition_calls++;
+  stats->total_edge_cut += split.edge_cut;
+  stats->partition_micros += split.micros;
+}
+
+// Depth-first expansion of arena index `idx` (one shard's subtree).
+// Children are appended in pre-order, exactly as the serial recursion
+// numbers them.
+Status BuildShardSubtree(const BuildConfig& cfg, std::vector<Pending>* arena,
+                         uint32_t idx, int partition_threads,
+                         GTreeBuildStats* stats) {
+  SplitResult split =
+      SplitCommunity(cfg, (*arena)[idx].members, (*arena)[idx].depth,
+                     (*arena)[idx].salt, partition_threads);
+  GMINE_RETURN_IF_ERROR(split.status);
+  AccumulateSplit(split, stats);
+  if (split.leaf) return Status::OK();
+  const uint32_t child_depth = (*arena)[idx].depth + 1;
+  const uint64_t salt = (*arena)[idx].salt;
+  for (uint32_t i = 0; i < split.groups.size(); ++i) {
+    uint32_t child = static_cast<uint32_t>(arena->size());
+    Pending p;
+    p.members = std::move(split.groups[i]);
+    p.depth = child_depth;
+    p.salt = ChildSalt(salt, i);
+    arena->push_back(std::move(p));
+    (*arena)[idx].children.push_back(child);
+    GMINE_RETURN_IF_ERROR(
+        BuildShardSubtree(cfg, arena, child, partition_threads, stats));
   }
   return Status::OK();
 }
@@ -102,20 +160,138 @@ gmine::Result<GTree> BuildGTree(const Graph& g,
   uint32_t min_size = options.min_partition_size > 0
                           ? options.min_partition_size
                           : 2 * options.fanout;
+  BuildConfig cfg{&g, &options, min_size};
+  const uint32_t shard_target =
+      options.shards == 0 ? static_cast<uint32_t>(ResolveThreads(0))
+                          : options.shards;
+  const int threads = options.threads;
 
+  // Phase 1 — frontier expansion: split communities breadth-first (the
+  // splits of one level run in parallel) until at least `shard_target`
+  // unexpanded subtrees exist or everything bottomed out.
+  std::vector<Pending> top;
+  {
+    Pending root;
+    root.members.resize(g.num_nodes());
+    for (NodeId v = 0; v < g.num_nodes(); ++v) root.members[v] = v;
+    root.salt = 1;
+    top.push_back(std::move(root));
+  }
+  std::vector<uint32_t> frontier = {0};
+  while (!frontier.empty() && frontier.size() < shard_target) {
+    std::vector<SplitResult> results(frontier.size());
+    // A lone frontier community (the root) may use every thread inside
+    // the partitioner; once the frontier fans out, parallelism shifts to
+    // across-community and the inner partitions run serially.
+    const int partition_threads = frontier.size() == 1 ? threads : 1;
+    ParallelFor(0, frontier.size(), 1, threads, [&](size_t i) {
+      const Pending& p = top[frontier[i]];
+      results[i] =
+          SplitCommunity(cfg, p.members, p.depth, p.salt, partition_threads);
+    });
+    std::vector<uint32_t> next;
+    for (size_t i = 0; i < frontier.size(); ++i) {
+      GMINE_RETURN_IF_ERROR(results[i].status);
+      AccumulateSplit(results[i], stats);
+      if (results[i].leaf) continue;  // terminal leaf stays in `top`
+      Pending& parent = top[frontier[i]];
+      const uint32_t child_depth = parent.depth + 1;
+      const uint64_t salt = parent.salt;
+      parent.members.clear();
+      parent.members.shrink_to_fit();
+      for (uint32_t j = 0; j < results[i].groups.size(); ++j) {
+        uint32_t child = static_cast<uint32_t>(top.size());
+        Pending p;
+        p.members = std::move(results[i].groups[j]);
+        p.depth = child_depth;
+        p.salt = ChildSalt(salt, j);
+        top.push_back(std::move(p));
+        top[frontier[i]].children.push_back(child);
+        next.push_back(child);
+      }
+    }
+    frontier = std::move(next);
+  }
+
+  // Phase 2 — shard builds: every remaining frontier subtree grows
+  // depth-first in its own arena, concurrently across the pool.
+  std::vector<std::vector<Pending>> shard_arenas(frontier.size());
+  std::vector<Status> shard_status(frontier.size());
+  std::vector<GTreeBuildStats> shard_stats(frontier.size());
+  const int shard_partition_threads = frontier.size() > 1 ? 1 : threads;
+  ParallelFor(0, frontier.size(), 1, threads, [&](size_t i) {
+    Pending& src = top[frontier[i]];
+    std::vector<Pending>& arena = shard_arenas[i];
+    Pending root;
+    root.members = std::move(src.members);
+    root.depth = src.depth;
+    root.salt = src.salt;
+    arena.push_back(std::move(root));
+    src.shard = static_cast<int>(i);
+    shard_status[i] = BuildShardSubtree(cfg, &arena, 0,
+                                        shard_partition_threads,
+                                        &shard_stats[i]);
+  });
+  for (size_t i = 0; i < frontier.size(); ++i) {
+    GMINE_RETURN_IF_ERROR(shard_status[i]);
+  }
+  if (stats != nullptr) {
+    // Fold per-shard partials in shard order so the totals are
+    // deterministic for a given shard count.
+    for (const GTreeBuildStats& s : shard_stats) {
+      stats->partition_calls += s.partition_calls;
+      stats->total_edge_cut += s.total_edge_cut;
+      stats->partition_micros += s.partition_micros;
+    }
+    stats->shards_built = std::max<uint32_t>(
+        1, static_cast<uint32_t>(frontier.size()));
+  }
+
+  // Phase 3 — splice: renumber the arenas into one pre-order TreeNode
+  // vector (root first, each child's subtree contiguous).
   std::vector<TreeNode> nodes;
-  TreeNode root;
-  root.id = 0;
-  root.parent = kInvalidTreeNode;
-  root.depth = 0;
-  root.name = "s000";
-  nodes.push_back(std::move(root));
-
-  std::vector<NodeId> all(g.num_nodes());
-  for (NodeId v = 0; v < g.num_nodes(); ++v) all[v] = v;
-
-  BuildContext ctx{&g, &options, min_size, stats, &nodes};
-  GMINE_RETURN_IF_ERROR(BuildSubtree(&ctx, 0, std::move(all), 0));
+  struct Frame {
+    std::vector<Pending>* arena;
+    uint32_t idx;
+    TreeNodeId parent;
+  };
+  std::vector<Frame> stack = {{&top, 0, kInvalidTreeNode}};
+  while (!stack.empty()) {
+    Frame f = stack.back();
+    stack.pop_back();
+    Pending* p = &(*f.arena)[f.idx];
+    std::vector<Pending>* child_arena = f.arena;
+    if (p->shard >= 0) {
+      child_arena = &shard_arenas[p->shard];
+      p = &(*child_arena)[0];
+    }
+    TreeNodeId id = static_cast<TreeNodeId>(nodes.size());
+    TreeNode tn;
+    tn.id = id;
+    tn.parent = f.parent;
+    tn.depth = p->depth;
+    tn.name = StrFormat("s%03u", id);
+    if (p->children.empty()) {
+      tn.members = std::move(p->members);
+      tn.subtree_size = tn.members.size();
+    }
+    nodes.push_back(std::move(tn));
+    if (f.parent != kInvalidTreeNode) {
+      nodes[f.parent].children.push_back(id);
+    }
+    for (auto it = p->children.rbegin(); it != p->children.rend(); ++it) {
+      stack.push_back({child_arena, *it, id});
+    }
+  }
+  // Interior subtree sizes accumulate bottom-up (pre-order ids mean
+  // children always have larger ids than their parent).
+  for (size_t i = nodes.size(); i > 0; --i) {
+    TreeNode& tn = nodes[i - 1];
+    if (!tn.IsLeaf()) {
+      tn.subtree_size = 0;
+      for (TreeNodeId c : tn.children) tn.subtree_size += nodes[c].subtree_size;
+    }
+  }
   return GTree::FromNodes(std::move(nodes), g.num_nodes());
 }
 

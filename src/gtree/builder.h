@@ -6,6 +6,13 @@
 // The paper's demo configuration — DBLP, 5 levels with 5 partitions each,
 // giving 5^4 + 1 ... = 626 communities with ~500 nodes each — is
 // reproduced by bench_gtree_build.
+//
+// Construction is sharded: a breadth-first pass splits the graph into
+// independent first-level subtrees ("shards"), each shard's subtree is
+// built concurrently on the parallel engine, and the shard results are
+// spliced back into a single pre-order tree. Community splits are seeded
+// from their lineage, so every (shards, threads) setting yields the same
+// hierarchy as the serial build.
 
 #ifndef GMINE_GTREE_BUILDER_H_
 #define GMINE_GTREE_BUILDER_H_
@@ -27,8 +34,21 @@ struct GTreeBuildOptions {
   /// Communities at or below this size are not partitioned further even
   /// if `levels` has not been reached (granularity stop).
   uint32_t min_partition_size = 0;  // 0 = derive as 2 * fanout
-  /// Partitioner settings; `k` is overridden by `fanout`.
+  /// Partitioner settings; `k` is overridden by `fanout` and `threads`
+  /// by the builder's own `threads` knob.
   partition::PartitionOptions partition;
+  /// Sharded construction: the builder expands the hierarchy breadth-
+  /// first until at least this many independent subtrees exist, then
+  /// builds each subtree concurrently and splices the results back into
+  /// pre-order. 1 = single shard, 0 = auto (one shard per thread).
+  /// Every community split is seeded from its lineage (path from the
+  /// root), never from construction order, so ANY shard count produces
+  /// the identical tree (verified by sharded_build_equivalence_test).
+  uint32_t shards = 1;
+  /// Parallelism for frontier splits, shard subtree construction and the
+  /// partitioner invocations (see util/parallel.h): 0 = auto, 1 = serial.
+  /// The resulting tree is independent of this value.
+  int threads = 0;
 };
 
 /// Build statistics (reported by bench_gtree_build).
@@ -36,13 +56,18 @@ struct GTreeBuildStats {
   uint64_t partition_calls = 0;
   /// Sum of edge cuts over all partition calls.
   double total_edge_cut = 0.0;
-  /// Wall time spent inside the partitioner, microseconds.
+  /// Wall time spent inside the partitioner, microseconds (summed across
+  /// concurrent shard builders, so it can exceed the build wall time).
   int64_t partition_micros = 0;
+  /// Independent subtrees built concurrently (1 for a serial build).
+  uint32_t shards_built = 0;
 };
 
 /// Recursively partitions `g` into a G-Tree. Every graph node ends up in
 /// exactly one leaf. Empty parts are dropped (a community with fewer
-/// members than `fanout` simply gets fewer children).
+/// members than `fanout` simply gets fewer children). With
+/// `options.shards` != 1 the recursion is sharded across the thread pool;
+/// the result is identical to the single-shard build.
 gmine::Result<GTree> BuildGTree(const graph::Graph& g,
                                 const GTreeBuildOptions& options,
                                 GTreeBuildStats* stats = nullptr);

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "util/coding.h"
+#include "util/parallel.h"
 
 namespace gmine::gtree {
 
@@ -10,39 +11,72 @@ using graph::Graph;
 using graph::Neighbor;
 using graph::NodeId;
 
-ConnectivityIndex ConnectivityIndex::Build(const Graph& g,
-                                           const GTree& tree) {
+ConnectivityIndex ConnectivityIndex::Build(const Graph& g, const GTree& tree,
+                                           int threads) {
   ConnectivityIndex index;
-  for (NodeId u = 0; u < g.num_nodes(); ++u) {
-    TreeNodeId leaf_u = tree.LeafOf(u);
-    for (const Neighbor& nb : g.Neighbors(u)) {
-      if (nb.id <= u) continue;  // each undirected edge once
-      TreeNodeId leaf_v = tree.LeafOf(nb.id);
-      if (leaf_u == leaf_v) continue;  // intra-community edge
-      TreeNodeId lca = tree.LowestCommonAncestor(leaf_u, leaf_v);
-      // Paths from each leaf up to (excluding) the LCA.
-      std::vector<TreeNodeId> path_u;
-      for (TreeNodeId x = leaf_u; x != lca; x = tree.node(x).parent) {
-        path_u.push_back(x);
-      }
-      std::vector<TreeNodeId> path_v;
-      for (TreeNodeId y = leaf_v; y != lca; y = tree.node(y).parent) {
-        path_v.push_back(y);
-      }
-      for (TreeNodeId x : path_u) {
-        for (TreeNodeId y : path_v) {
-          PairStats& ps = index.pairs_[Key(x, y)];
-          if (ps.count == 0) {
-            index.adjacent_[x].push_back(y);
-            index.adjacent_[y].push_back(x);
+  const size_t n = g.num_nodes();
+  if (n == 0) return index;
+
+  // Aggregates the cross edges of nodes [b, e) into `pairs`.
+  auto scan_range = [&](size_t b, size_t e,
+                        std::unordered_map<uint64_t, PairStats>* pairs) {
+    std::vector<TreeNodeId> path_u;
+    std::vector<TreeNodeId> path_v;
+    for (NodeId u = static_cast<NodeId>(b); u < e; ++u) {
+      TreeNodeId leaf_u = tree.LeafOf(u);
+      for (const Neighbor& nb : g.Neighbors(u)) {
+        if (nb.id <= u) continue;  // each undirected edge once
+        TreeNodeId leaf_v = tree.LeafOf(nb.id);
+        if (leaf_u == leaf_v) continue;  // intra-community edge
+        TreeNodeId lca = tree.LowestCommonAncestor(leaf_u, leaf_v);
+        // Paths from each leaf up to (excluding) the LCA.
+        path_u.clear();
+        for (TreeNodeId x = leaf_u; x != lca; x = tree.node(x).parent) {
+          path_u.push_back(x);
+        }
+        path_v.clear();
+        for (TreeNodeId y = leaf_v; y != lca; y = tree.node(y).parent) {
+          path_v.push_back(y);
+        }
+        for (TreeNodeId x : path_u) {
+          for (TreeNodeId y : path_v) {
+            PairStats& ps = (*pairs)[Key(x, y)];
+            ps.count += 1;
+            ps.weight += nb.weight;
           }
-          ps.count += 1;
-          ps.weight += nb.weight;
         }
       }
     }
-  }
+  };
+
+  // Both the serial and the parallel path use the same fixed chunking
+  // and fold partials in ascending chunk order, so counts and weights
+  // are bit-identical at every thread count.
+  constexpr size_t kGrain = 2048;
+  const size_t num_chunks = internal::NumChunks(n, kGrain);
+  std::vector<std::unordered_map<uint64_t, PairStats>> partials(num_chunks);
+  ParallelFor(0, num_chunks, 1, threads, [&](size_t c) {
+    size_t b = c * kGrain;
+    size_t e = std::min(n, b + kGrain);
+    scan_range(b, e, &partials[c]);
+  });
+  for (const auto& partial : partials) index.AbsorbPairs(partial);
   return index;
+}
+
+void ConnectivityIndex::AbsorbPairs(
+    const std::unordered_map<uint64_t, PairStats>& pairs) {
+  for (const auto& [key, ps] : pairs) {
+    PairStats& dst = pairs_[key];
+    if (dst.count == 0) {
+      TreeNodeId a = static_cast<TreeNodeId>(key >> 32);
+      TreeNodeId b = static_cast<TreeNodeId>(key & 0xffffffffu);
+      adjacent_[a].push_back(b);
+      adjacent_[b].push_back(a);
+    }
+    dst.count += ps.count;
+    dst.weight += ps.weight;
+  }
 }
 
 uint64_t ConnectivityIndex::CountBetween(TreeNodeId a, TreeNodeId b) const {

@@ -40,8 +40,15 @@ class ConnectivityIndex {
  public:
   ConnectivityIndex() = default;
 
-  /// Builds the index by a single pass over the graph edges.
-  static ConnectivityIndex Build(const graph::Graph& g, const GTree& tree);
+  /// Builds the index by a pass over the graph edges. The pass is split
+  /// into fixed node chunks processed in parallel; per-chunk partials
+  /// merge in ascending chunk order, so counts and weights are identical
+  /// at every thread count (0 = auto, 1 = serial). This is also how the
+  /// sharded G-Tree build reconciles edges crossing shard boundaries:
+  /// every cross-leaf edge aggregates onto the community pairs either
+  /// side of its LCA, wherever the two leaves were built.
+  static ConnectivityIndex Build(const graph::Graph& g, const GTree& tree,
+                                 int threads = 1);
 
   /// Cross-edge count between the member sets of two communities
   /// (neither may be an ancestor of the other; otherwise returns 0).
@@ -75,6 +82,9 @@ class ConnectivityIndex {
     uint64_t count = 0;
     double weight = 0.0;
   };
+
+  /// Merges a partial pair map into this index, maintaining adjacency.
+  void AbsorbPairs(const std::unordered_map<uint64_t, PairStats>& pairs);
   std::unordered_map<uint64_t, PairStats> pairs_;
   /// Adjacency: community -> communities it has connectivity with.
   std::unordered_map<TreeNodeId, std::vector<TreeNodeId>> adjacent_;

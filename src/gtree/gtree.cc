@@ -151,6 +151,23 @@ TreeNodeId GTree::FindByName(std::string_view name) const {
   return kInvalidTreeNode;
 }
 
+bool GTree::SameLeafMembership(const GTree& other) const {
+  if (leaf_of_.size() != other.leaf_of_.size()) return false;
+  // Canonical form: every node maps to the smallest member of its leaf.
+  // Two trees agree iff the representative arrays agree.
+  auto representatives = [](const GTree& t) {
+    std::vector<NodeId> leaf_min(t.nodes_.size(), graph::kInvalidNode);
+    std::vector<NodeId> rep(t.leaf_of_.size(), graph::kInvalidNode);
+    for (NodeId v = 0; v < t.leaf_of_.size(); ++v) {
+      TreeNodeId leaf = t.leaf_of_[v];
+      if (leaf_min[leaf] == graph::kInvalidNode) leaf_min[leaf] = v;
+      rep[v] = leaf_min[leaf];
+    }
+    return rep;
+  };
+  return representatives(*this) == representatives(other);
+}
+
 double GTree::MeanLeafSize() const {
   if (num_leaves_ == 0) return 0.0;
   uint64_t total = 0;

@@ -97,6 +97,12 @@ class GTree {
   /// Find a community by display name; kInvalidTreeNode when absent.
   TreeNodeId FindByName(std::string_view name) const;
 
+  /// True when `other` partitions the same graph-node universe into
+  /// exactly the same leaf member sets, irrespective of tree-node ids,
+  /// names or child order. Used to check that sharded and serial builds
+  /// agree.
+  bool SameLeafMembership(const GTree& other) const;
+
   /// Average leaf community size (graph nodes per leaf).
   double MeanLeafSize() const;
 

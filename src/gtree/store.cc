@@ -293,45 +293,64 @@ gmine::Result<graph::Graph> GTreeStore::LoadFullGraph() {
   }
   std::string blob;
   blob.resize(graph_section_.size);
-  if (std::fseek(file_, static_cast<long>(graph_section_.offset),
-                 SEEK_SET) != 0) {
-    return Status::IOError("gtree store: seek to graph section failed");
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (std::fseek(file_, static_cast<long>(graph_section_.offset),
+                   SEEK_SET) != 0) {
+      return Status::IOError("gtree store: seek to graph section failed");
+    }
+    if (std::fread(blob.data(), 1, blob.size(), file_) != blob.size()) {
+      return Status::IOError("gtree store: short graph section read");
+    }
+    stats_.bytes_read += blob.size();
   }
-  if (std::fread(blob.data(), 1, blob.size(), file_) != blob.size()) {
-    return Status::IOError("gtree store: short graph section read");
-  }
-  stats_.bytes_read += blob.size();
   return graph::DeserializeGraph(blob);
 }
 
 gmine::Result<std::shared_ptr<const LeafPayload>> GTreeStore::LoadLeaf(
     TreeNodeId leaf) {
-  auto cached = cache_.find(leaf);
-  if (cached != cache_.end()) {
-    ++stats_.cache_hits;
-    // Move to front.
-    lru_.splice(lru_.begin(), lru_, cached->second);
-    return cached->second->second;
-  }
-  auto loc = directory_.find(leaf);
-  if (loc == directory_.end()) {
-    return Status::NotFound(
-        StrFormat("leaf %u has no page (not a leaf community?)", leaf));
-  }
   std::string blob;
-  blob.resize(loc->second.size);
-  if (std::fseek(file_, static_cast<long>(loc->second.offset), SEEK_SET) !=
-      0) {
-    return Status::IOError("gtree store: seek failed");
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto cached = cache_.find(leaf);
+    if (cached != cache_.end()) {
+      ++stats_.cache_hits;
+      // Move to front.
+      lru_.splice(lru_.begin(), lru_, cached->second);
+      return cached->second->second;
+    }
+    auto loc = directory_.find(leaf);
+    if (loc == directory_.end()) {
+      return Status::NotFound(
+          StrFormat("leaf %u has no page (not a leaf community?)", leaf));
+    }
+    blob.resize(loc->second.size);
+    if (std::fseek(file_, static_cast<long>(loc->second.offset), SEEK_SET) !=
+        0) {
+      return Status::IOError("gtree store: seek failed");
+    }
+    if (std::fread(blob.data(), 1, blob.size(), file_) != blob.size()) {
+      return Status::IOError("gtree store: short page read");
+    }
+    ++stats_.leaf_loads;
+    stats_.bytes_read += blob.size();
   }
-  if (std::fread(blob.data(), 1, blob.size(), file_) != blob.size()) {
-    return Status::IOError("gtree store: short page read");
-  }
-  ++stats_.leaf_loads;
-  stats_.bytes_read += blob.size();
+  // Deserialization runs outside the lock: it is the expensive part and
+  // touches only local state. Two threads racing on the same uncached
+  // leaf both read and decode it; the second insert below wins the LRU
+  // slot and the loser's copy simply dies with its shared_ptr.
   auto payload = DeserializeLeafPayload(blob);
   if (!payload.ok()) return payload.status();
   auto shared = std::make_shared<const LeafPayload>(std::move(payload).value());
+  std::lock_guard<std::mutex> lock(mu_);
+  auto cached = cache_.find(leaf);
+  if (cached != cache_.end()) {
+    // Lost the insert race; this call already counted as a leaf_load
+    // above (it did the IO), so it is not also a cache hit —
+    // cache_hits + leaf_loads stays equal to the number of calls.
+    lru_.splice(lru_.begin(), lru_, cached->second);
+    return cached->second->second;
+  }
   lru_.emplace_front(leaf, shared);
   cache_[leaf] = lru_.begin();
   if (options_.cache_pages > 0 && lru_.size() > options_.cache_pages) {
@@ -343,10 +362,12 @@ gmine::Result<std::shared_ptr<const LeafPayload>> GTreeStore::LoadLeaf(
 }
 
 bool GTreeStore::IsCached(TreeNodeId leaf) const {
+  std::lock_guard<std::mutex> lock(mu_);
   return cache_.count(leaf) > 0;
 }
 
 void GTreeStore::ClearCache() {
+  std::lock_guard<std::mutex> lock(mu_);
   lru_.clear();
   cache_.clear();
 }

@@ -14,8 +14,11 @@
 // Opening a store loads only the metadata sections (tree, connectivity,
 // labels, directory); leaf subgraphs are read on demand through an LRU
 // page cache, which is what keeps navigation memory proportional to the
-// display set rather than the graph. Not thread-safe; GMine sessions are
-// single-threaded.
+// display set rather than the graph. The page cache, the file handle and
+// the IO statistics are guarded by one mutex, so concurrent sessions may
+// call LoadLeaf/LoadFullGraph from multiple threads; the metadata
+// accessors (tree/connectivity/labels) are immutable after Open and need
+// no locking.
 
 #ifndef GMINE_GTREE_STORE_H_
 #define GMINE_GTREE_STORE_H_
@@ -24,6 +27,7 @@
 #include <cstdio>
 #include <list>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 
@@ -84,20 +88,24 @@ class GTreeStore {
 
   /// Loads the payload of leaf community `leaf` (cache-aware). The
   /// returned pointer stays valid while referenced, independent of
-  /// eviction.
+  /// eviction. Safe to call from multiple threads.
   gmine::Result<std::shared_ptr<const LeafPayload>> LoadLeaf(TreeNodeId leaf);
 
   /// True when `leaf` is currently cached (no IO needed).
   bool IsCached(TreeNodeId leaf) const;
 
-  /// Cumulative IO statistics.
-  const GTreeStoreStats& stats() const { return stats_; }
+  /// Snapshot of the cumulative IO statistics.
+  GTreeStoreStats stats() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return stats_;
+  }
 
   /// Drops all cached pages (for IO benchmarks).
   void ClearCache();
 
   /// Reads the embedded full graph (global operations like connection
   /// subgraph extraction need it). Not cached: the caller owns the copy.
+  /// Safe to call concurrently with LoadLeaf.
   gmine::Result<graph::Graph> LoadFullGraph();
 
   /// Total size of the store file in bytes.
@@ -121,6 +129,9 @@ class GTreeStore {
   std::unordered_map<TreeNodeId, PageLocation> directory_;
   PageLocation graph_section_;
 
+  // Guards the page cache, the (seek, read) pairs on file_ and stats_;
+  // everything above is immutable after Open.
+  mutable std::mutex mu_;
   // LRU cache: front = most recent.
   std::list<std::pair<TreeNodeId, std::shared_ptr<const LeafPayload>>> lru_;
   std::unordered_map<TreeNodeId, decltype(lru_)::iterator> cache_;

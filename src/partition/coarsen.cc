@@ -4,6 +4,7 @@
 #include <unordered_map>
 
 #include "graph/graph_builder.h"
+#include "util/parallel.h"
 
 namespace gmine::partition {
 
@@ -53,11 +54,14 @@ CoarseLevel ContractMatching(const Graph& g, const Matching& match) {
 
 std::vector<uint32_t> ProjectAssignment(
     const std::vector<NodeId>& fine_to_coarse,
-    const std::vector<uint32_t>& coarse_assignment) {
+    const std::vector<uint32_t>& coarse_assignment, int threads) {
   std::vector<uint32_t> fine(fine_to_coarse.size());
-  for (size_t v = 0; v < fine_to_coarse.size(); ++v) {
-    fine[v] = coarse_assignment[fine_to_coarse[v]];
-  }
+  ParallelForRange(0, fine_to_coarse.size(), 8192, threads,
+                   [&](size_t b, size_t e) {
+                     for (size_t v = b; v < e; ++v) {
+                       fine[v] = coarse_assignment[fine_to_coarse[v]];
+                     }
+                   });
   return fine;
 }
 

@@ -26,9 +26,10 @@ struct CoarseLevel {
 CoarseLevel ContractMatching(const graph::Graph& g, const Matching& match);
 
 /// Projects a coarse-level partition assignment back to the fine level.
+/// Element-wise, so the result is independent of `threads`.
 std::vector<uint32_t> ProjectAssignment(
     const std::vector<graph::NodeId>& fine_to_coarse,
-    const std::vector<uint32_t>& coarse_assignment);
+    const std::vector<uint32_t>& coarse_assignment, int threads = 1);
 
 }  // namespace gmine::partition
 

@@ -3,6 +3,7 @@
 #include <queue>
 
 #include "partition/quality.h"
+#include "util/parallel.h"
 
 namespace gmine::partition {
 
@@ -85,6 +86,27 @@ std::vector<uint32_t> BestGreedyGrowBisection(const Graph& g,
     }
   }
   return best;
+}
+
+std::vector<uint32_t> BestGreedyGrowBisection(const Graph& g,
+                                              double target_fraction,
+                                              int tries, uint64_t seed,
+                                              int threads) {
+  if (tries < 1) tries = 1;
+  std::vector<std::vector<uint32_t>> cand(tries);
+  std::vector<double> cut(tries, 0.0);
+  ParallelFor(0, static_cast<size_t>(tries), 1, threads, [&](size_t t) {
+    uint64_t mix = seed;
+    for (size_t i = 0; i <= t; ++i) SplitMix64(&mix);
+    Rng rng(mix);
+    cand[t] = GreedyGrowBisection(g, target_fraction, &rng);
+    cut[t] = EdgeCut(g, cand[t]);
+  });
+  size_t best = 0;
+  for (size_t t = 1; t < cand.size(); ++t) {
+    if (cut[t] < cut[best]) best = t;
+  }
+  return std::move(cand[best]);
 }
 
 std::vector<uint32_t> RandomBisection(const Graph& g, double target_fraction,

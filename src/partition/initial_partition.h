@@ -25,6 +25,14 @@ std::vector<uint32_t> BestGreedyGrowBisection(const graph::Graph& g,
                                               double target_fraction,
                                               int tries, Rng* rng);
 
+/// Parallel variant: every try runs with an independent Rng derived from
+/// `seed` and the try index, so the winner (lowest cut, ties broken by
+/// lowest try index) is identical at every thread count.
+std::vector<uint32_t> BestGreedyGrowBisection(const graph::Graph& g,
+                                              double target_fraction,
+                                              int tries, uint64_t seed,
+                                              int threads);
+
 /// Assigns nodes to side 0 until `target_fraction` of total weight is
 /// reached, in random order (baseline).
 std::vector<uint32_t> RandomBisection(const graph::Graph& g,

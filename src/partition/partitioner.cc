@@ -10,6 +10,7 @@
 #include "partition/matching.h"
 #include "partition/quality.h"
 #include "partition/refine.h"
+#include "util/parallel.h"
 #include "util/rng.h"
 #include "util/string_util.h"
 
@@ -45,15 +46,19 @@ std::vector<uint32_t> MultilevelBisection(const Graph& g,
     *levels_used = static_cast<int>(levels.size());
   }
 
-  // Initial partition on the coarsest graph.
-  std::vector<uint32_t> side =
-      BestGreedyGrowBisection(*cur, target_fraction, options.initial_tries,
-                              &rng);
+  // Initial partition on the coarsest graph: tries run in parallel with
+  // independent per-try seeds, so the winner does not depend on the
+  // thread count.
+  std::vector<uint32_t> side = BestGreedyGrowBisection(
+      *cur, target_fraction, options.initial_tries,
+      options.seed ^ 0x8f2d3a9c5b71e604ULL, options.threads);
   FmRefineBisection(*cur, &side, target_fraction, fm);
 
-  // Uncoarsening with per-level refinement.
+  // Uncoarsening with per-level refinement (FM itself is sequential by
+  // nature; the projection between levels is element-parallel).
   for (size_t i = levels.size(); i > 0; --i) {
-    side = ProjectAssignment(levels[i - 1].fine_to_coarse, side);
+    side = ProjectAssignment(levels[i - 1].fine_to_coarse, side,
+                             options.threads);
     const Graph& fine =
         (i >= 2) ? levels[i - 2].graph : g;
     FmRefineBisection(fine, &side, target_fraction, fm);
@@ -103,6 +108,28 @@ Status RecursiveBisect(const Graph& g, const std::vector<NodeId>& nodes,
     left.assign(all.begin(), all.begin() + cut_at);
     right.assign(all.begin() + cut_at, all.end());
   }
+  // The two halves touch disjoint node sets and carry lineage-derived
+  // salts, so they can recurse concurrently without changing the result.
+  constexpr size_t kParallelBisectMin = 2048;
+  if (ResolveThreads(options.threads) > 1 &&
+      std::min(left.size(), right.size()) >= kParallelBisectMin) {
+    Status status[2];
+    int lv_branch[2] = {0, 0};
+    ParallelRun(2, [&](int rank, int /*ranks*/) {
+      if (rank == 0) {
+        status[0] = RecursiveBisect(g, left, kl, first_part, options,
+                                    salt * 2 + 1, assignment, &lv_branch[0]);
+      } else {
+        status[1] = RecursiveBisect(g, right, kr, first_part + kl, options,
+                                    salt * 2 + 2, assignment, &lv_branch[1]);
+      }
+    });
+    if (levels_used != nullptr) {
+      *levels_used = std::max({*levels_used, lv_branch[0], lv_branch[1]});
+    }
+    GMINE_RETURN_IF_ERROR(status[0]);
+    return status[1];
+  }
   GMINE_RETURN_IF_ERROR(RecursiveBisect(g, left, kl, first_part, options,
                                         salt * 2 + 1, assignment,
                                         levels_used));
@@ -111,10 +138,10 @@ Status RecursiveBisect(const Graph& g, const std::vector<NodeId>& nodes,
 }
 
 PartitionResult FinishResult(const Graph& g, std::vector<uint32_t> assignment,
-                             uint32_t k, int levels_used) {
+                             uint32_t k, int levels_used, int threads = 1) {
   PartitionResult out;
   out.k = k;
-  out.edge_cut = EdgeCut(g, assignment);
+  out.edge_cut = EdgeCut(g, assignment, threads);
   out.imbalance = Imbalance(g, assignment, k);
   out.levels_used = levels_used;
   out.assignment = std::move(assignment);
@@ -155,7 +182,8 @@ gmine::Result<PartitionResult> PartitionGraph(const Graph& g,
     kopts.imbalance = options.imbalance * 1.02;  // slight slack over RB
     KwayRefine(g, options.k, &assignment, kopts);
   }
-  return FinishResult(g, std::move(assignment), options.k, levels_used);
+  return FinishResult(g, std::move(assignment), options.k, levels_used,
+                      options.threads);
 }
 
 gmine::Result<PartitionResult> RandomPartition(const Graph& g, uint32_t k,

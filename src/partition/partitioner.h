@@ -42,6 +42,12 @@ struct PartitionOptions {
   bool kway_refine = true;
   /// Seed for all randomized steps.
   uint64_t seed = 1;
+  /// Parallelism (see util/parallel.h): 0 = auto, 1 = serial, N = up to
+  /// N participants. The assignment is identical at every thread count:
+  /// initial bisection tries carry independent per-try seeds, recursive
+  /// bisection branches write disjoint node sets, and all reductions use
+  /// the deterministic fixed-chunk scheme.
+  int threads = 0;
 };
 
 /// Result of a k-way partitioning.

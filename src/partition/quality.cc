@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "util/parallel.h"
+
 namespace gmine::partition {
 
 using graph::Graph;
@@ -18,6 +20,25 @@ double EdgeCut(const Graph& g, const std::vector<uint32_t>& assignment) {
     }
   }
   return cut;
+}
+
+double EdgeCut(const Graph& g, const std::vector<uint32_t>& assignment,
+               int threads) {
+  constexpr size_t kGrain = 4096;
+  return ParallelReduce<double>(
+      0, g.num_nodes(), kGrain, threads, 0.0,
+      [&](size_t b, size_t e) {
+        double cut = 0.0;
+        for (NodeId u = static_cast<NodeId>(b); u < e; ++u) {
+          for (const Neighbor& nb : g.Neighbors(u)) {
+            if (nb.id > u && assignment[u] != assignment[nb.id]) {
+              cut += nb.weight;
+            }
+          }
+        }
+        return cut;
+      },
+      [](double a, double b) { return a + b; });
 }
 
 uint64_t CutEdgeCount(const Graph& g,

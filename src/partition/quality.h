@@ -16,6 +16,13 @@ namespace gmine::partition {
 /// (undirected edges counted once).
 double EdgeCut(const graph::Graph& g, const std::vector<uint32_t>& assignment);
 
+/// Parallel edge cut over fixed node chunks. The per-chunk partials are
+/// folded in ascending chunk order, so the sum is bit-identical at every
+/// thread count (the chunking depends only on the grain, never on
+/// `threads`; it may differ in the last ulps from the serial overload).
+double EdgeCut(const graph::Graph& g, const std::vector<uint32_t>& assignment,
+               int threads);
+
 /// Number (not weight) of cut edges.
 uint64_t CutEdgeCount(const graph::Graph& g,
                       const std::vector<uint32_t>& assignment);

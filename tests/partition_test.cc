@@ -251,6 +251,48 @@ TEST(PartitionGraphTest, DeterministicForSeed) {
   EXPECT_EQ(a.value().assignment, b.value().assignment);
 }
 
+TEST(PartitionGraphTest, IdenticalAcrossThreadCounts) {
+  // Large enough that the recursive-bisection branches actually fork
+  // onto the pool (both halves above the 2048-node spawn threshold).
+  auto g = gen::PlantedPartition(4, 1200, 0.01, 0.001, 61);
+  PartitionOptions opts;
+  opts.k = 4;
+  opts.threads = 1;
+  auto serial = PartitionGraph(g.value(), opts);
+  ASSERT_TRUE(serial.ok());
+  for (int threads : {2, 4, 0}) {
+    opts.threads = threads;
+    auto parallel = PartitionGraph(g.value(), opts);
+    ASSERT_TRUE(parallel.ok());
+    EXPECT_EQ(serial.value().assignment, parallel.value().assignment)
+        << "threads=" << threads;
+    EXPECT_EQ(serial.value().edge_cut, parallel.value().edge_cut)
+        << "threads=" << threads;
+  }
+}
+
+TEST(MultilevelBisectionTest, IdenticalAcrossThreadCounts) {
+  auto g = gen::ErdosRenyiM(3000, 12000, 67);
+  PartitionOptions opts;
+  opts.threads = 1;
+  int levels = 0;
+  auto serial = MultilevelBisection(g.value(), 0.5, opts, &levels);
+  for (int threads : {2, 4, 0}) {
+    opts.threads = threads;
+    auto parallel = MultilevelBisection(g.value(), 0.5, opts, &levels);
+    EXPECT_EQ(serial, parallel) << "threads=" << threads;
+  }
+}
+
+TEST(InitialPartitionTest, SeededTriesIdenticalAcrossThreadCounts) {
+  auto g = gen::ErdosRenyiM(500, 2000, 71);
+  auto serial = BestGreedyGrowBisection(g.value(), 0.5, 8, 99u, 1);
+  for (int threads : {2, 4, 0}) {
+    auto parallel = BestGreedyGrowBisection(g.value(), 0.5, 8, 99u, threads);
+    EXPECT_EQ(serial, parallel) << "threads=" << threads;
+  }
+}
+
 TEST(PartitionGraphTest, BeatsRandomPartitionOnCommunityGraph) {
   auto g = gen::PlantedPartition(5, 60, 0.2, 0.01, 47);
   PartitionOptions opts;
