@@ -13,8 +13,10 @@
 
 #include "bench_common.h"
 #include "core/engine.h"
+#include "core/session_manager.h"
 #include "gtree/builder.h"
 #include "mining/pagerank.h"
+#include "util/parallel.h"
 #include "util/timer.h"
 
 namespace {
@@ -111,6 +113,69 @@ void PrintReport() {
         return static_cast<double>(w.ElapsedMicros());
       });
 
+  // Concurrent navigation sweep: a fixed budget of leaf visits split
+  // across N sessions over ONE store (the session-pool service mode).
+  // Wall time should drop as sessions spread across cores; results are
+  // identical since the store is read-only.
+  {
+    gtree::GTreeBuildOptions bopts;
+    bopts.levels = 3;
+    bopts.fanout = 5;
+    auto tree = gtree::BuildGTree(data.graph, bopts);
+    std::string pool_path = "/tmp/gmine_bench_scale_pool.gtree";
+    if (tree.ok()) {
+      auto conn = gtree::ConnectivityIndex::Build(data.graph, tree.value());
+      (void)gtree::GTreeStore::Create(pool_path, data.graph, tree.value(),
+                                      conn, data.labels);
+      gtree::GTreeStoreOptions sopts;
+      sopts.cache_shards = 0;  // auto: the concurrent-host configuration
+      auto store = gtree::GTreeStore::Open(pool_path, sopts);
+      if (store.ok()) {
+        constexpr size_t kVisits = 256;
+        bench::PrintThreadSweep(
+            StrFormat("\nconcurrent navigation sweep (one store, %zu leaf "
+                      "visits split across N sessions):",
+                      kVisits)
+                .c_str(),
+            [&](int sessions) {
+              const size_t n =
+                  static_cast<size_t>(gmine::ResolveThreads(sessions));
+              core::SessionManagerOptions popts;
+              popts.max_sessions = 0;  // never evict mid-sweep
+              core::SessionManager pool(store.value().get(), popts);
+              std::vector<core::SessionId> ids(n);
+              for (size_t i = 0; i < n; ++i) {
+                ids[i] = std::move(pool.OpenSession()).value();
+              }
+              StopWatch w;
+              ParallelFor(0, n, 1, static_cast<int>(n), [&](size_t i) {
+                (void)pool.WithSession(
+                    ids[i], [&](gtree::NavigationSession& nav) {
+                      const uint32_t num_nodes = data.graph.num_nodes();
+                      for (size_t k = i; k < kVisits; k += n) {
+                        graph::NodeId v = static_cast<graph::NodeId>(
+                            (k * num_nodes) / kVisits);
+                        if (nav.FocusGraphNode(v).ok()) {
+                          (void)nav.LoadFocusSubgraph();
+                        }
+                      }
+                      return gmine::Status::OK();
+                    });
+              });
+              return static_cast<double>(w.ElapsedMicros());
+            });
+        const auto pool_stats = store.value()->stats();
+        std::printf(
+            "cross-session page reuse: %llu shared hits of %llu total hits "
+            "(%llu disk loads)\n",
+            static_cast<unsigned long long>(pool_stats.shared_hits),
+            static_cast<unsigned long long>(pool_stats.cache_hits),
+            static_cast<unsigned long long>(pool_stats.leaf_loads));
+      }
+      std::remove(pool_path.c_str());
+    }
+  }
+
   // Whole-graph analytics thread sweep: the scaling story is not only
   // touching less data (above) but also using every core when a global
   // kernel does run.
@@ -148,6 +213,62 @@ BENCHMARK(BM_GTreeBuildShards)
     ->Arg(1)
     ->Arg(2)
     ->Arg(4)
+    ->Arg(0)
+    ->Unit(benchmark::kMillisecond);
+
+// Concurrent navigation against one store: arg = session count (0 =
+// auto). A fixed budget of leaf visits splits across the sessions, which
+// run on the thread pool like `gmine serve`. Feeds the
+// "session_pool_navigate" entry of BENCH_kernels.json via
+// tools/run_benches.sh.
+void BM_SessionPoolNavigate(benchmark::State& state) {
+  const gen::DblpGraph& data = CachedDblp();
+  static std::unique_ptr<gtree::GTreeStore> store = [] {
+    const gen::DblpGraph& d = CachedDblp();
+    gtree::GTreeBuildOptions bopts;
+    bopts.levels = 3;
+    bopts.fanout = 5;
+    auto tree = gtree::BuildGTree(d.graph, bopts);
+    auto conn = gtree::ConnectivityIndex::Build(d.graph, tree.value());
+    (void)gtree::GTreeStore::Create("/tmp/gmine_bm_pool.gtree", d.graph,
+                                    tree.value(), conn, d.labels);
+    gtree::GTreeStoreOptions sopts;
+    sopts.cache_shards = 0;  // auto
+    return std::move(gtree::GTreeStore::Open("/tmp/gmine_bm_pool.gtree",
+                                             sopts))
+        .value();
+  }();
+  const size_t sessions = static_cast<size_t>(
+      gmine::ResolveThreads(static_cast<int>(state.range(0))));
+  constexpr size_t kVisits = 256;
+  const uint32_t num_nodes = data.graph.num_nodes();
+  for (auto _ : state) {
+    core::SessionManagerOptions popts;
+    popts.max_sessions = 0;  // never evict mid-sweep
+    core::SessionManager pool(store.get(), popts);
+    std::vector<core::SessionId> ids(sessions);
+    for (size_t i = 0; i < sessions; ++i) {
+      ids[i] = std::move(pool.OpenSession()).value();
+    }
+    ParallelFor(0, sessions, 1, static_cast<int>(sessions), [&](size_t i) {
+      (void)pool.WithSession(ids[i], [&](gtree::NavigationSession& nav) {
+        for (size_t k = i; k < kVisits; k += sessions) {
+          graph::NodeId v =
+              static_cast<graph::NodeId>((k * num_nodes) / kVisits);
+          if (nav.FocusGraphNode(v).ok()) (void)nav.LoadFocusSubgraph();
+        }
+        return gmine::Status::OK();
+      });
+    });
+    benchmark::DoNotOptimize(pool.stats().opened);
+  }
+}
+
+BENCHMARK(BM_SessionPoolNavigate)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
     ->Arg(0)
     ->Unit(benchmark::kMillisecond);
 
@@ -227,5 +348,6 @@ int main(int argc, char** argv) {
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   std::remove("/tmp/gmine_bm_leaf.gtree");
+  std::remove("/tmp/gmine_bm_pool.gtree");
   return 0;
 }

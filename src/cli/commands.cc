@@ -1,12 +1,15 @@
 #include "cli/commands.h"
 
 #include <algorithm>
+#include <cstdio>
 
 #include "core/engine.h"
+#include "core/session_manager.h"
 #include "core/views.h"
 #include "gen/dblp.h"
 #include "graph/graph_export.h"
 #include "graph/graph_io.h"
+#include "util/parallel.h"
 #include "util/string_util.h"
 #include "util/timer.h"
 
@@ -284,6 +287,235 @@ Status CmdExport(const CommandLine& cmd, std::string* out) {
   return Status::OK();
 }
 
+// ------------------------------------------------------------------ serve
+// Batch/REPL driver multiplexing scripted navigation commands across a
+// pool of sessions over one store. Script lines look like
+//
+//   <session> <op> [arg]     e.g.  "0 focus s003", "1 locate Jiawei Han"
+//
+// with one session per index in [0, --sessions). Lines for different
+// sessions execute concurrently on the thread pool; lines for the same
+// session execute in script order. Transcripts print in session order,
+// so output is reproducible regardless of interleaving.
+
+/// One parsed script line.
+struct ServeOp {
+  size_t line = 0;       // 1-based script line (for error messages)
+  std::string op;
+  std::string arg;
+};
+
+/// Runs one op against a session, appending a transcript line.
+Status ExecuteServeOp(const ServeOp& op, gtree::NavigationSession& nav,
+                      std::string* out) {
+  const gtree::GTree& tree = nav.store()->tree();
+  auto focus_name = [&] { return tree.node(nav.focus()).name; };
+  if (op.op == "root") {
+    GMINE_RETURN_IF_ERROR(nav.FocusRoot());
+  } else if (op.op == "focus") {
+    gtree::TreeNodeId id = tree.FindByName(op.arg);
+    if (id == gtree::kInvalidTreeNode) {
+      return Status::NotFound(
+          StrFormat("community '%s' not found", op.arg.c_str()));
+    }
+    GMINE_RETURN_IF_ERROR(nav.FocusNode(id));
+  } else if (op.op == "child") {
+    uint64_t index = 0;
+    if (!ParseUint64(op.arg, &index)) {
+      return Status::InvalidArgument("child expects an index");
+    }
+    GMINE_RETURN_IF_ERROR(nav.FocusChild(index));
+  } else if (op.op == "parent") {
+    GMINE_RETURN_IF_ERROR(nav.FocusParent());
+  } else if (op.op == "back") {
+    GMINE_RETURN_IF_ERROR(nav.Back());
+  } else if (op.op == "locate") {
+    auto v = nav.LocateByLabel(op.arg);
+    if (!v.ok()) return v.status();
+    *out += StrFormat("%s -> node %u focus=%s display=%zu\n",
+                      op.op.c_str(), v.value(), focus_name().c_str(),
+                      nav.context().DisplaySize());
+    return Status::OK();
+  } else if (op.op == "load") {
+    auto payload = nav.LoadFocusSubgraph();
+    if (!payload.ok()) return payload.status();
+    *out += StrFormat("load -> %s: n=%u e=%llu\n", focus_name().c_str(),
+                      payload.value()->subgraph.graph.num_nodes(),
+                      static_cast<unsigned long long>(
+                          payload.value()->subgraph.graph.num_edges()));
+    return Status::OK();
+  } else if (op.op == "connectivity") {
+    *out += StrFormat("connectivity -> %zu context edges\n",
+                      nav.ContextConnectivity().size());
+    return Status::OK();
+  } else {
+    return Status::InvalidArgument(
+        StrFormat("unknown serve op '%s' (ops: root focus child parent "
+                  "back locate load connectivity)",
+                  op.op.c_str()));
+  }
+  *out += StrFormat("%s -> focus=%s display=%zu\n", op.op.c_str(),
+                    focus_name().c_str(), nav.context().DisplaySize());
+  return Status::OK();
+}
+
+/// Splits a script into per-session op queues. Lines: blank and
+/// #-comments skipped; otherwise `<session> <op> [arg]`.
+Status ParseServeScript(const std::string& body, size_t num_sessions,
+                        std::vector<std::vector<ServeOp>>* queues) {
+  queues->assign(num_sessions, {});
+  size_t pos = 0;
+  size_t line_no = 0;
+  while (pos < body.size()) {
+    size_t eol = body.find('\n', pos);
+    if (eol == std::string::npos) eol = body.size();
+    std::string_view line(body.data() + pos, eol - pos);
+    pos = eol + 1;
+    ++line_no;
+    line = TrimWhitespace(line);
+    if (line.empty() || line[0] == '#') continue;
+    size_t sp = line.find(' ');
+    if (sp == std::string_view::npos) {
+      return Status::InvalidArgument(
+          StrFormat("serve script line %zu: expected '<session> <op> "
+                    "[arg]', got '%.*s'",
+                    line_no, static_cast<int>(line.size()), line.data()));
+    }
+    uint64_t session = 0;
+    if (!ParseUint64(line.substr(0, sp), &session) ||
+        session >= num_sessions) {
+      return Status::InvalidArgument(
+          StrFormat("serve script line %zu: session index out of range "
+                    "[0, %zu)",
+                    line_no, num_sessions));
+    }
+    std::string_view rest = TrimWhitespace(line.substr(sp + 1));
+    ServeOp op;
+    op.line = line_no;
+    size_t op_end = rest.find(' ');
+    if (op_end == std::string_view::npos) {
+      op.op.assign(rest);
+    } else {
+      op.op.assign(rest.substr(0, op_end));
+      op.arg.assign(TrimWhitespace(rest.substr(op_end + 1)));
+    }
+    (*queues)[session].push_back(std::move(op));
+  }
+  return Status::OK();
+}
+
+std::string ReadAllStdin() {
+  std::string body;
+  char buf[4096];
+  size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof(buf), stdin)) > 0) {
+    body.append(buf, n);
+  }
+  return body;
+}
+
+Status CmdServe(const CommandLine& cmd, std::string* out) {
+  if (cmd.positional.empty()) {
+    return UsageError("serve: STORE path required");
+  }
+  GMINE_ASSIGN_OR_RETURN(uint64_t num_sessions,
+                         FlagUint(cmd, "sessions", 4));
+  GMINE_ASSIGN_OR_RETURN(uint64_t threads, FlagUint(cmd, "threads", 0));
+  GMINE_ASSIGN_OR_RETURN(uint64_t cache_pages,
+                         FlagUint(cmd, "cache-pages", 64));
+  if (num_sessions == 0) {
+    return UsageError("serve: --sessions must be at least 1");
+  }
+
+  // One store serves every session: sharded page cache (auto shard
+  // count) so concurrent navigators do not contend on one mutex.
+  gtree::GTreeStoreOptions sopts;
+  sopts.cache_pages = cache_pages;
+  sopts.cache_shards = 0;  // auto
+  auto store = gtree::GTreeStore::Open(cmd.positional[0], sopts);
+  if (!store.ok()) return store.status();
+
+  core::SessionManagerOptions mopts;
+  mopts.max_sessions = num_sessions;
+  core::SessionManager pool(store.value().get(), mopts);
+  std::vector<core::SessionId> ids;
+  ids.reserve(num_sessions);
+  for (uint64_t i = 0; i < num_sessions; ++i) {
+    auto id = pool.OpenSession();
+    if (!id.ok()) return id.status();
+    ids.push_back(id.value());
+  }
+
+  std::string script;
+  if (cmd.Has("script")) {
+    auto text = graph::ReadFileToString(cmd.Get("script"));
+    if (!text.ok()) return text.status();
+    script = std::move(text).value();
+  } else {
+    script = ReadAllStdin();
+  }
+  std::vector<std::vector<ServeOp>> queues;
+  GMINE_RETURN_IF_ERROR(ParseServeScript(script, ids.size(), &queues));
+
+  // Multiplex: each session's queue runs in script order; different
+  // sessions run concurrently on the thread pool. Transcripts are
+  // per-session, printed in session order below.
+  std::vector<std::string> transcripts(ids.size());
+  StopWatch watch;
+  ParallelFor(0, ids.size(), 1, static_cast<int>(threads), [&](size_t i) {
+    for (const ServeOp& op : queues[i]) {
+      std::string result;
+      Status st = pool.WithSession(ids[i], [&](gtree::NavigationSession& nav) {
+        return ExecuteServeOp(op, nav, &result);
+      });
+      if (st.ok()) {
+        transcripts[i] += StrFormat("[s%zu] %s", i, result.c_str());
+      } else {
+        transcripts[i] +=
+            StrFormat("[s%zu] %s (script line %zu) -> error: %s\n", i,
+                      op.op.c_str(), op.line, st.ToString().c_str());
+      }
+    }
+  });
+  const int64_t elapsed = watch.ElapsedMicros();
+
+  size_t total_ops = 0;
+  for (size_t i = 0; i < transcripts.size(); ++i) {
+    *out += transcripts[i];
+    total_ops += queues[i].size();
+  }
+
+  const gtree::GTree& tree = store.value()->tree();
+  *out += "--- sessions ---\n";
+  auto infos = pool.ListSessions();
+  std::sort(infos.begin(), infos.end(),
+            [](const core::SessionInfo& a, const core::SessionInfo& b) {
+              return a.id < b.id;
+            });
+  for (const core::SessionInfo& info : infos) {
+    *out += StrFormat("s%llu: interactions=%zu focus=%s\n",
+                      static_cast<unsigned long long>(info.id - 1),
+                      info.interactions,
+                      tree.node(info.focus).name.c_str());
+  }
+  const core::SessionPoolStats pstats = pool.stats();
+  const gtree::GTreeStoreStats sstats = store.value()->stats();
+  *out += StrFormat(
+      "pool: open=%zu opened=%llu evicted=%llu ops=%zu wall=%s\n",
+      pstats.open_now, static_cast<unsigned long long>(pstats.opened),
+      static_cast<unsigned long long>(pstats.evicted), total_ops,
+      HumanMicros(elapsed).c_str());
+  *out += StrFormat(
+      "store: leaf loads=%llu cache hits=%llu shared hits=%llu "
+      "bytes read=%s evictions=%llu\n",
+      static_cast<unsigned long long>(sstats.leaf_loads),
+      static_cast<unsigned long long>(sstats.cache_hits),
+      static_cast<unsigned long long>(sstats.shared_hits),
+      HumanBytes(sstats.bytes_read).c_str(),
+      static_cast<unsigned long long>(sstats.evictions));
+  return Status::OK();
+}
+
 }  // namespace
 
 std::string CommandLine::Get(const std::string& flag,
@@ -338,6 +570,7 @@ Status RunCommand(const CommandLine& cmd, std::string* out) {
   if (cmd.command == "extract") return CmdExtract(cmd, out);
   if (cmd.command == "render") return CmdRender(cmd, out);
   if (cmd.command == "export") return CmdExport(cmd, out);
+  if (cmd.command == "serve") return CmdServe(cmd, out);
   if (cmd.command == "help") {
     *out += UsageText();
     return Status::OK();
@@ -367,6 +600,9 @@ std::string UsageText() {
       "[--svg FILE]\n"
       "  render   STORE [--focus COMMUNITY] [--zoom Z] --svg FILE\n"
       "  export   STORE --community NAME (--dot FILE | --graphml FILE)\n"
+      "  serve    STORE [--sessions N] [--script FILE] [--threads T]\n"
+      "           [--cache-pages P]  multiplexes '<session> <op> [arg]'\n"
+      "           script lines (or stdin) across N concurrent sessions\n"
       "  help\n";
 }
 

@@ -13,6 +13,10 @@
 //             [--svg FILE]    multi-source connection subgraph
 //   render    STORE [--focus NAME] [--zoom Z] --svg FILE
 //   export    STORE --community NAME (--dot FILE | --graphml FILE)
+//   serve     STORE [--sessions N] [--script FILE] [--threads T]
+//             [--cache-pages P]  concurrent session-pool driver: runs
+//             '<session> <op> [arg]' script lines (or stdin) across N
+//             sessions over one store, on the thread pool
 
 #ifndef GMINE_CLI_COMMANDS_H_
 #define GMINE_CLI_COMMANDS_H_

@@ -31,10 +31,25 @@ gmine::Result<std::unique_ptr<GMineEngine>> GMineEngine::Open(
   if (!store.ok()) return store.status();
   std::unique_ptr<GMineEngine> engine(new GMineEngine());
   engine->store_ = std::move(store).value();
-  engine->session_.emplace(engine->store_.get(), options.tomahawk);
   engine->store_path_ = store_path;
   engine->options_ = options;
+  GMINE_RETURN_IF_ERROR(engine->ResetSessions());
   return engine;
+}
+
+Status GMineEngine::ResetSessions() {
+  SessionManagerOptions sopts = options_.sessions;
+  sopts.tomahawk = options_.tomahawk;
+  default_session_ = nullptr;
+  sessions_ = std::make_unique<SessionManager>(store_.get(), sopts);
+  auto id = sessions_->OpenSession(/*pinned=*/true);
+  if (!id.ok()) return id.status();
+  default_session_id_ = id.value();
+  default_session_ = sessions_->PinnedSession(default_session_id_);
+  if (default_session_ == nullptr) {
+    return Status::Internal("engine default session missing from pool");
+  }
+  return Status::OK();
 }
 
 Status GMineEngine::ApplyEdit(const graph::GraphEdit& edit,
@@ -89,9 +104,12 @@ Status GMineEngine::ApplyEdit(const graph::GraphEdit& edit,
     return Status::IOError(
         StrFormat("ApplyEdit: cannot replace %s", store_path_.c_str()));
   }
-  session_.reset();
+  // Every pooled session navigates the old hierarchy; the rebuild
+  // replaces them all along with the store.
+  sessions_.reset();
+  default_session_ = nullptr;
   store_ = std::move(store).value();
-  session_.emplace(store_.get(), options_.tomahawk);
+  GMINE_RETURN_IF_ERROR(ResetSessions());
   {
     std::lock_guard<std::mutex> lock(graph_mu_);
     full_graph_.reset();
@@ -121,7 +139,9 @@ gmine::Result<NodeDetails> GMineEngine::GetNodeDetails(NodeId v) {
   for (TreeNodeId t : store_->tree().PathFromRoot(leaf)) {
     out.community_path.push_back(store_->tree().node(t).name);
   }
-  auto payload = store_->LoadLeaf(leaf);
+  // Attribute the page access to the default session so shared_hits
+  // keeps meaning "paid for by a different user".
+  auto payload = store_->LoadLeaf(leaf, default_session_->reader_tag());
   if (!payload.ok()) return payload.status();
   const graph::Subgraph& sub = payload.value()->subgraph;
   NodeId local = sub.LocalId(v);
@@ -162,10 +182,11 @@ GMineEngine::ExpandNode(NodeId v, size_t limit) {
 
 gmine::Result<mining::SubgraphMetrics> GMineEngine::ComputeFocusMetrics(
     const mining::MetricsRequest& request) {
-  TreeNodeId focus = session_->focus();
+  TreeNodeId focus = default_session_->focus();
   const gtree::TreeNode& f = store_->tree().node(focus);
   if (f.IsLeaf()) {
-    auto payload = store_->LoadLeaf(focus);
+    auto payload =
+        store_->LoadLeaf(focus, default_session_->reader_tag());
     if (!payload.ok()) return payload.status();
     return mining::ComputeMetrics(payload.value()->subgraph.graph, request);
   }
@@ -202,15 +223,15 @@ gmine::Result<std::vector<NodeId>> GMineEngine::ResolveLabels(
 
 Status GMineEngine::RenderHierarchyView(const std::string& svg_path) {
   ViewOptions vopts;
-  vopts.zoom = session_->view().zoom;
-  vopts.pan_x = session_->view().pan_x;
-  vopts.pan_y = session_->view().pan_y;
-  return RenderHierarchyViewSvg(store_->tree(), session_->context(),
+  vopts.zoom = default_session_->view().zoom;
+  vopts.pan_x = default_session_->view().pan_x;
+  vopts.pan_y = default_session_->view().pan_y;
+  return RenderHierarchyViewSvg(store_->tree(), default_session_->context(),
                                 store_->connectivity(), svg_path, vopts);
 }
 
 Status GMineEngine::RenderFocusSubgraph(const std::string& svg_path) {
-  auto payload = session_->LoadFocusSubgraph();
+  auto payload = default_session_->LoadFocusSubgraph();
   if (!payload.ok()) return payload.status();
   const graph::Subgraph& sub = payload.value()->subgraph;
   // Remap global labels onto local ids for the view.

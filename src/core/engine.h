@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "core/session_manager.h"
 #include "csg/extraction.h"
 #include "graph/graph.h"
 #include "graph/graph_edit.h"
@@ -35,8 +36,17 @@ namespace gmine::core {
 /// Engine construction options.
 struct EngineOptions {
   gtree::GTreeBuildOptions build;
-  gtree::GTreeStoreOptions store;
+  /// The engine hosts a session pool, so its store defaults to the
+  /// auto-sharded page cache (cache_shards = 0) — concurrent sessions
+  /// must not serialize on one cache mutex. Set cache_shards = 1 for
+  /// the exact single-LRU eviction order.
+  gtree::GTreeStoreOptions store{.cache_shards = 0};
   gtree::TomahawkOptions tomahawk;
+  /// Session-pool limits (sessions() manager). The `tomahawk` field
+  /// above is the single source of truth for navigation contexts: it is
+  /// copied over `sessions.tomahawk` when the engine builds the pool,
+  /// so set `tomahawk`, not `sessions.tomahawk`.
+  SessionManagerOptions sessions;
 };
 
 /// Pop-up node information (details on demand).
@@ -57,9 +67,13 @@ struct NodeDetails {
 /// Thread-safety: the read-side surface (GetNodeDetails, ExpandNode,
 /// ExtractConnectionSubgraph, ResolveLabels, tree/labels accessors) may
 /// be called from multiple threads — the store's page cache and the lazy
-/// full-graph load are internally synchronized. The NavigationSession is
-/// per-engine mutable state and must be driven from one thread at a
-/// time, and ApplyEdit requires exclusive access to the engine.
+/// full-graph load are internally synchronized. All navigation goes
+/// through the session pool (sessions()): concurrent sessions are safe
+/// via SessionManager::WithSession, while the legacy single-session
+/// accessor session() hands out the pool's pinned default session and
+/// must be driven from one thread at a time. ApplyEdit requires
+/// exclusive access to the engine (it replaces the store, the pool and
+/// every session).
 class GMineEngine {
  public:
   /// Builds the hierarchy for `g`, writes the single-file store to
@@ -72,9 +86,17 @@ class GMineEngine {
   static gmine::Result<std::unique_ptr<GMineEngine>> Open(
       const std::string& store_path, const EngineOptions& options = {});
 
-  /// The navigation session (focus, context, history).
-  gtree::NavigationSession& session() { return *session_; }
-  const gtree::NavigationSession& session() const { return *session_; }
+  /// The default navigation session (focus, context, history) — a
+  /// pinned member of the session pool, kept for single-user callers.
+  gtree::NavigationSession& session() { return *default_session_; }
+  const gtree::NavigationSession& session() const {
+    return *default_session_;
+  }
+
+  /// The session pool: open/close/drive additional concurrent sessions
+  /// over the same store (multi-user service mode; see docs/SESSIONS.md).
+  SessionManager& sessions() { return *sessions_; }
+  const SessionManager& sessions() const { return *sessions_; }
 
   /// The community hierarchy.
   const gtree::GTree& tree() const { return store_->tree(); }
@@ -132,8 +154,16 @@ class GMineEngine {
  private:
   GMineEngine() = default;
 
+  /// (Re)creates the session pool over store_ and pins the default
+  /// session; used by Open and ApplyEdit.
+  Status ResetSessions();
+
   std::unique_ptr<gtree::GTreeStore> store_;
-  std::optional<gtree::NavigationSession> session_;
+  std::unique_ptr<SessionManager> sessions_;
+  SessionId default_session_id_ = 0;
+  /// The pool's pinned default session; never evicted, so the raw
+  /// pointer stays valid until the pool is replaced.
+  gtree::NavigationSession* default_session_ = nullptr;
   /// Guards the lazy full_graph_ load (the same mutex treatment the
   /// store's page cache has); once loaded the graph itself is immutable.
   std::mutex graph_mu_;

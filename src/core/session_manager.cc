@@ -1,0 +1,184 @@
+#include "core/session_manager.h"
+
+#include <chrono>
+
+#include "util/string_util.h"
+
+namespace gmine::core {
+
+namespace {
+
+int64_t SteadyMicros() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+SessionManager::SessionManager(const gtree::GTreeStore* store,
+                               SessionManagerOptions options)
+    : store_(store), options_(options) {}
+
+void SessionManager::Touch(SessionId id) {
+  auto pos = lru_pos_.find(id);
+  if (pos != lru_pos_.end()) {
+    lru_.splice(lru_.begin(), lru_, pos->second);
+  }
+}
+
+void SessionManager::Erase(SessionId id) {
+  auto pos = lru_pos_.find(id);
+  if (pos != lru_pos_.end()) {
+    lru_.erase(pos->second);
+    lru_pos_.erase(pos);
+  }
+  sessions_.erase(id);
+}
+
+gmine::Result<SessionId> SessionManager::OpenSession(bool pinned) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (options_.max_sessions > 0 &&
+      sessions_.size() >= options_.max_sessions) {
+    // Evict the least-recently-used unpinned session (back of the list).
+    SessionId victim = 0;
+    bool found = false;
+    for (auto it = lru_.rbegin(); it != lru_.rend(); ++it) {
+      if (!sessions_.at(*it)->pinned) {
+        victim = *it;
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      return Status::Aborted(
+          StrFormat("session pool at cap %zu with every session pinned",
+                    options_.max_sessions));
+    }
+    Erase(victim);
+    ++stats_.evicted;
+  }
+  SessionId id = next_id_++;
+  auto entry = std::make_shared<Entry>();
+  entry->session =
+      std::make_unique<gtree::NavigationSession>(store_, options_.tomahawk);
+  entry->last_active = SteadyMicros();
+  entry->pinned = pinned;
+  sessions_.emplace(id, std::move(entry));
+  lru_.push_front(id);
+  lru_pos_[id] = lru_.begin();
+  ++stats_.opened;
+  return id;
+}
+
+Status SessionManager::CloseSession(SessionId id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (sessions_.find(id) == sessions_.end()) {
+    return Status::NotFound(
+        StrFormat("session %llu is not open (already closed or evicted?)",
+                  static_cast<unsigned long long>(id)));
+  }
+  Erase(id);
+  ++stats_.closed;
+  return Status::OK();
+}
+
+Status SessionManager::WithSession(
+    SessionId id, const std::function<Status(gtree::NavigationSession&)>& fn) {
+  std::shared_ptr<Entry> entry;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = sessions_.find(id);
+    if (it == sessions_.end()) {
+      return Status::NotFound(
+          StrFormat("session %llu is not open (already closed or evicted?)",
+                    static_cast<unsigned long long>(id)));
+    }
+    entry = it->second;
+    entry->last_active = SteadyMicros();
+    Touch(id);
+  }
+  // The shared_ptr keeps the entry alive even if the session is closed
+  // or evicted while fn runs; the per-entry mutex serializes callbacks
+  // on this session without blocking any other session.
+  std::lock_guard<std::mutex> lock(entry->mu);
+  return fn(*entry->session);
+}
+
+bool SessionManager::Contains(SessionId id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sessions_.find(id) != sessions_.end();
+}
+
+size_t SessionManager::CloseIdleSessions() {
+  if (options_.idle_timeout_micros <= 0) return 0;
+  std::lock_guard<std::mutex> lock(mu_);
+  const int64_t now = SteadyMicros();
+  std::vector<SessionId> idle;
+  for (const auto& [id, entry] : sessions_) {
+    if (entry->pinned) continue;
+    if (now - entry->last_active >= options_.idle_timeout_micros) {
+      idle.push_back(id);
+    }
+  }
+  for (SessionId id : idle) Erase(id);
+  stats_.idle_closed += idle.size();
+  return idle.size();
+}
+
+std::vector<SessionInfo> SessionManager::ListSessions() const {
+  // Snapshot the entries under mu_, then read each session under its
+  // own lock with mu_ released — a slow WithSession callback delays
+  // only its own row, never the pool's open/close/dispatch path.
+  std::vector<std::pair<SessionId, std::shared_ptr<Entry>>> snapshot;
+  int64_t now = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    now = SteadyMicros();
+    snapshot.reserve(lru_.size());
+    for (SessionId id : lru_) {
+      snapshot.emplace_back(id, sessions_.at(id));
+    }
+  }
+  std::vector<SessionInfo> out;
+  out.reserve(snapshot.size());
+  for (const auto& [id, entry] : snapshot) {
+    SessionInfo info;
+    info.id = id;
+    info.idle_micros = now - entry->last_active;
+    info.pinned = entry->pinned;
+    if (!entry->pinned) {
+      // Pooled sessions are only ever driven under entry->mu, so this
+      // locked read is race-free. Pinned sessions may be mutated
+      // through an unlocked raw pointer (PinnedSession / the engine's
+      // session()), so reading their state here would race — their
+      // rows report identity and idle time only.
+      std::lock_guard<std::mutex> session_lock(entry->mu);
+      info.focus = entry->session->focus();
+      info.interactions = entry->session->history().size();
+    }
+    out.push_back(info);
+  }
+  return out;
+}
+
+SessionPoolStats SessionManager::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  SessionPoolStats out = stats_;
+  out.open_now = sessions_.size();
+  return out;
+}
+
+size_t SessionManager::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sessions_.size();
+}
+
+gtree::NavigationSession* SessionManager::PinnedSession(SessionId id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sessions_.find(id);
+  if (it == sessions_.end() || !it->second->pinned) return nullptr;
+  return it->second->session.get();
+}
+
+}  // namespace gmine::core

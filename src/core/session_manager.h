@@ -1,0 +1,169 @@
+// Concurrent session pool: one read-only GTreeStore serving many
+// independent interactive navigators. The TKDE follow-up and web-based
+// GMine deployments frame the system as a multi-user service over a
+// single summarized graph; this is that service layer.
+//
+// Each session is an id-addressed gtree::NavigationSession. The manager
+// owns the sessions (never the store), serializes access to each one,
+// evicts the least-recently-used session past a configurable cap, and
+// can close sessions idle beyond a timeout. The store's sharded page
+// cache is the only state sessions share, so navigators scale with the
+// thread count instead of serializing on the pool.
+//
+// Thread-safety contract
+//   * OpenSession / CloseSession / WithSession / ListSessions / stats
+//     may be called from any thread.
+//   * WithSession holds that session's exclusive lock for the duration
+//     of the callback; two callbacks on the *same* session serialize,
+//     callbacks on different sessions run concurrently.
+//   * Do not call back into the manager from inside a WithSession
+//     callback (self-deadlock on the same session; lock-order inversion
+//     across sessions).
+//   * A session closed or evicted while a WithSession callback is
+//     running finishes that callback on the detached session, which is
+//     destroyed afterwards.
+
+#ifndef GMINE_CORE_SESSION_MANAGER_H_
+#define GMINE_CORE_SESSION_MANAGER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "gtree/navigation.h"
+#include "gtree/store.h"
+#include "gtree/tomahawk.h"
+#include "util/status.h"
+
+namespace gmine::core {
+
+/// Identifies one open session. Ids are never reused within a manager.
+using SessionId = uint64_t;
+
+/// Session-pool tunables.
+struct SessionManagerOptions {
+  /// Open sessions kept at most; opening past the cap evicts the
+  /// least-recently-used unpinned session. 0 means unbounded.
+  size_t max_sessions = 64;
+  /// Sessions idle at least this long are closed by CloseIdleSessions().
+  /// 0 disables idle collection.
+  int64_t idle_timeout_micros = 0;
+  /// Navigation context options handed to every new session.
+  gtree::TomahawkOptions tomahawk;
+};
+
+/// Point-in-time description of one open session (ListSessions). For
+/// pinned sessions only `id`, `idle_micros` and `pinned` are filled:
+/// their state may be mutated through an unlocked raw pointer
+/// (PinnedSession), so ListSessions does not read it.
+struct SessionInfo {
+  SessionId id = 0;
+  gtree::TreeNodeId focus = gtree::kInvalidTreeNode;
+  size_t interactions = 0;     // recorded InteractionEvents so far
+  int64_t idle_micros = 0;     // time since the last WithSession
+  bool pinned = false;
+};
+
+/// Cumulative pool counters.
+struct SessionPoolStats {
+  uint64_t opened = 0;     // sessions ever opened
+  uint64_t closed = 0;     // explicit CloseSession calls that succeeded
+  uint64_t evicted = 0;    // LRU evictions past max_sessions
+  uint64_t idle_closed = 0;  // sessions reaped by CloseIdleSessions
+  size_t open_now = 0;     // sessions currently open
+};
+
+/// A pool of NavigationSessions over one shared read-only store.
+class SessionManager {
+ public:
+  /// The store must outlive the manager and every handed-out session.
+  explicit SessionManager(const gtree::GTreeStore* store,
+                          SessionManagerOptions options = {});
+
+  SessionManager(const SessionManager&) = delete;
+  SessionManager& operator=(const SessionManager&) = delete;
+
+  /// Opens a new session focused at the root and returns its id.
+  /// Past max_sessions the least-recently-used unpinned session is
+  /// evicted first; fails with Aborted when the cap is reached and every
+  /// session is pinned. Pinned sessions are never evicted (the engine's
+  /// embedded default session uses this).
+  gmine::Result<SessionId> OpenSession(bool pinned = false);
+
+  /// Closes a session. NotFound on an unknown, already-closed or
+  /// evicted id — closing twice is an error, not a no-op.
+  Status CloseSession(SessionId id);
+
+  /// Runs `fn` with exclusive access to session `id`, refreshing its
+  /// recency. Returns NotFound for unknown/closed/evicted ids,
+  /// otherwise whatever `fn` returns.
+  Status WithSession(SessionId id,
+                     const std::function<Status(gtree::NavigationSession&)>& fn);
+
+  /// True when `id` is currently open.
+  bool Contains(SessionId id) const;
+
+  /// Closes every unpinned session idle at least
+  /// `options.idle_timeout_micros` (no-op when that is 0). Returns the
+  /// number closed.
+  size_t CloseIdleSessions();
+
+  /// Open-session descriptions, most recently used first.
+  std::vector<SessionInfo> ListSessions() const;
+
+  /// Cumulative pool counters.
+  SessionPoolStats stats() const;
+
+  /// Number of sessions currently open.
+  size_t size() const;
+
+  /// The shared store.
+  const gtree::GTreeStore& store() const { return *store_; }
+
+  /// Direct, unlocked access to a *pinned* session for single-threaded
+  /// embedding (GMineEngine's legacy `session()` accessor). The pointer
+  /// stays valid until the session is closed or the manager destroyed;
+  /// returns nullptr for unknown or unpinned ids — unpinned sessions may
+  /// be evicted at any time, so handing out raw pointers to them would
+  /// dangle. A session driven through this raw pointer must not also be
+  /// driven through WithSession from another thread: the raw path takes
+  /// no lock, so the two would race. Multi-threaded hosts sweeping
+  /// ListSessions() ids should skip rows with `pinned == true` — those
+  /// belong to an embedding that drives them directly.
+  gtree::NavigationSession* PinnedSession(SessionId id);
+
+ private:
+  struct Entry {
+    std::unique_ptr<gtree::NavigationSession> session;
+    std::mutex mu;  // serializes WithSession callbacks
+    // Steady micros of the last dispatch; atomic so ListSessions can
+    // read it from its lock-free snapshot.
+    std::atomic<int64_t> last_active{0};
+    bool pinned = false;
+  };
+
+  /// Callers hold mu_. Moves `id` to the front of the recency list.
+  void Touch(SessionId id);
+  /// Callers hold mu_. Removes `id` from every index.
+  void Erase(SessionId id);
+
+  const gtree::GTreeStore* store_;
+  SessionManagerOptions options_;
+
+  mutable std::mutex mu_;  // guards the maps, the LRU list and counters
+  std::unordered_map<SessionId, std::shared_ptr<Entry>> sessions_;
+  std::list<SessionId> lru_;  // front = most recently used
+  std::unordered_map<SessionId, std::list<SessionId>::iterator> lru_pos_;
+  SessionId next_id_ = 1;
+  SessionPoolStats stats_;
+};
+
+}  // namespace gmine::core
+
+#endif  // GMINE_CORE_SESSION_MANAGER_H_

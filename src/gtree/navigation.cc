@@ -7,9 +7,9 @@ namespace gmine::gtree {
 
 using graph::NodeId;
 
-NavigationSession::NavigationSession(GTreeStore* store,
+NavigationSession::NavigationSession(const GTreeStore* store,
                                      TomahawkOptions tomahawk)
-    : store_(store), tomahawk_(tomahawk) {
+    : store_(store), reader_(store->NewReaderTag()), tomahawk_(tomahawk) {
   FocusRoot();
 }
 
@@ -109,7 +109,7 @@ NavigationSession::LoadFocusSubgraph() {
         StrFormat("focus %u is not a leaf community", focus_));
   }
   StopWatch watch;
-  auto payload = store_->LoadLeaf(focus_);
+  auto payload = store_->LoadLeaf(focus_, reader_);
   if (!payload.ok()) return payload.status();
   Record("load_subgraph", watch.ElapsedMicros());
   return payload;

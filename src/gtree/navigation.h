@@ -41,11 +41,18 @@ struct ViewState {
 };
 
 /// A navigation session: focus + context + history over an open store.
-/// Does not own the store. Single-threaded.
+///
+/// Self-contained per-user state over a shared read-only store: the
+/// session never mutates the store beyond its internally-synchronized
+/// page cache, so any number of sessions can run against one store
+/// concurrently — each individual session must still be driven from one
+/// thread at a time (core::SessionManager enforces this for pools).
 class NavigationSession {
  public:
-  /// Starts at the root.
-  NavigationSession(GTreeStore* store, TomahawkOptions tomahawk = {});
+  /// Starts at the root. Does not own the store, which must outlive the
+  /// session.
+  explicit NavigationSession(const GTreeStore* store,
+                             TomahawkOptions tomahawk = {});
 
   /// Current focus community.
   TreeNodeId focus() const { return focus_; }
@@ -105,13 +112,18 @@ class NavigationSession {
   const std::vector<InteractionEvent>& history() const { return events_; }
 
   /// Underlying store (for rendering and stats).
-  GTreeStore* store() const { return store_; }
+  const GTreeStore* store() const { return store_; }
+
+  /// This session's identity in the store's cross-session cache
+  /// accounting (GTreeStoreStats::shared_hits).
+  ReaderTag reader_tag() const { return reader_; }
 
  private:
   void Record(std::string op, int64_t micros);
   Status SetFocus(TreeNodeId id, const char* op, bool push_history);
 
-  GTreeStore* store_;
+  const GTreeStore* store_;
+  ReaderTag reader_ = 0;
   TomahawkOptions tomahawk_;
   TreeNodeId focus_ = kInvalidTreeNode;
   TomahawkContext context_;

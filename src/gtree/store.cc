@@ -4,6 +4,7 @@
 
 #include "graph/graph_io.h"
 #include "util/coding.h"
+#include "util/parallel.h"
 #include "util/string_util.h"
 
 namespace gmine::gtree {
@@ -213,6 +214,25 @@ gmine::Result<std::unique_ptr<GTreeStore>> GTreeStore::Open(
   std::unique_ptr<GTreeStore> store(new GTreeStore());
   store->file_ = f;
   store->options_ = options;
+  size_t num_shards = options.cache_shards;
+  if (num_shards == 0) {
+    num_shards = std::min<size_t>(16, static_cast<size_t>(MaxParallelism()));
+  }
+  num_shards = std::max<size_t>(1, num_shards);
+  if (options.cache_pages > 0) {
+    // A shard must hold at least one page, so a tiny budget caps the
+    // shard count; the capacities below then sum to exactly
+    // cache_pages, never beyond it.
+    num_shards = std::min(num_shards, options.cache_pages);
+  }
+  store->shards_ = std::vector<CacheShard>(num_shards);
+  if (options.cache_pages > 0) {
+    size_t base = options.cache_pages / num_shards;
+    size_t remainder = options.cache_pages % num_shards;
+    for (size_t i = 0; i < num_shards; ++i) {
+      store->shards_[i].capacity = base + (i < remainder ? 1 : 0);
+    }
+  }
   std::fseek(f, 0, SEEK_END);
   store->file_size_ = static_cast<uint64_t>(std::ftell(f));
 
@@ -287,89 +307,113 @@ gmine::Result<std::unique_ptr<GTreeStore>> GTreeStore::Open(
   return store;
 }
 
-gmine::Result<graph::Graph> GTreeStore::LoadFullGraph() {
+Status GTreeStore::ReadAt(const PageLocation& loc, std::string* out) const {
+  out->resize(loc.size);
+  std::lock_guard<std::mutex> lock(file_mu_);
+  if (std::fseek(file_, static_cast<long>(loc.offset), SEEK_SET) != 0) {
+    return Status::IOError("gtree store: seek failed");
+  }
+  if (std::fread(out->data(), 1, out->size(), file_) != out->size()) {
+    return Status::IOError("gtree store: short read");
+  }
+  return Status::OK();
+}
+
+gmine::Result<graph::Graph> GTreeStore::LoadFullGraph() const {
   if (graph_section_.size == 0) {
     return Status::NotFound("gtree store: no embedded graph section");
   }
   std::string blob;
-  blob.resize(graph_section_.size);
+  GMINE_RETURN_IF_ERROR(ReadAt(graph_section_, &blob));
   {
-    std::lock_guard<std::mutex> lock(mu_);
-    if (std::fseek(file_, static_cast<long>(graph_section_.offset),
-                   SEEK_SET) != 0) {
-      return Status::IOError("gtree store: seek to graph section failed");
-    }
-    if (std::fread(blob.data(), 1, blob.size(), file_) != blob.size()) {
-      return Status::IOError("gtree store: short graph section read");
-    }
-    stats_.bytes_read += blob.size();
+    std::lock_guard<std::mutex> lock(file_mu_);
+    graph_bytes_read_ += blob.size();
   }
   return graph::DeserializeGraph(blob);
 }
 
 gmine::Result<std::shared_ptr<const LeafPayload>> GTreeStore::LoadLeaf(
-    TreeNodeId leaf) {
-  std::string blob;
+    TreeNodeId leaf, ReaderTag reader) const {
+  CacheShard& shard = ShardFor(leaf);
+  PageLocation loc;
   {
-    std::lock_guard<std::mutex> lock(mu_);
-    auto cached = cache_.find(leaf);
-    if (cached != cache_.end()) {
-      ++stats_.cache_hits;
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto cached = shard.map.find(leaf);
+    if (cached != shard.map.end()) {
+      ++shard.stats.cache_hits;
+      if (cached->second->second.loader != reader) {
+        ++shard.stats.shared_hits;
+      }
       // Move to front.
-      lru_.splice(lru_.begin(), lru_, cached->second);
-      return cached->second->second;
+      shard.lru.splice(shard.lru.begin(), shard.lru, cached->second);
+      return cached->second->second.payload;
     }
-    auto loc = directory_.find(leaf);
-    if (loc == directory_.end()) {
+    auto it = directory_.find(leaf);
+    if (it == directory_.end()) {
       return Status::NotFound(
           StrFormat("leaf %u has no page (not a leaf community?)", leaf));
     }
-    blob.resize(loc->second.size);
-    if (std::fseek(file_, static_cast<long>(loc->second.offset), SEEK_SET) !=
-        0) {
-      return Status::IOError("gtree store: seek failed");
-    }
-    if (std::fread(blob.data(), 1, blob.size(), file_) != blob.size()) {
-      return Status::IOError("gtree store: short page read");
-    }
-    ++stats_.leaf_loads;
-    stats_.bytes_read += blob.size();
+    loc = it->second;
   }
-  // Deserialization runs outside the lock: it is the expensive part and
-  // touches only local state. Two threads racing on the same uncached
-  // leaf both read and decode it; the second insert below wins the LRU
-  // slot and the loser's copy simply dies with its shared_ptr.
+  // The disk read serializes on the file mutex only, so a load in one
+  // cache shard never blocks hits in another.
+  std::string blob;
+  GMINE_RETURN_IF_ERROR(ReadAt(loc, &blob));
+  // Deserialization runs outside every lock: it is the expensive part
+  // and touches only local state. Two threads racing on the same
+  // uncached leaf both read and decode it; the first insert below wins
+  // the LRU slot and the loser's copy simply dies with its shared_ptr.
   auto payload = DeserializeLeafPayload(blob);
   if (!payload.ok()) return payload.status();
   auto shared = std::make_shared<const LeafPayload>(std::move(payload).value());
-  std::lock_guard<std::mutex> lock(mu_);
-  auto cached = cache_.find(leaf);
-  if (cached != cache_.end()) {
+  std::lock_guard<std::mutex> lock(shard.mu);
+  ++shard.stats.leaf_loads;
+  shard.stats.bytes_read += blob.size();
+  auto cached = shard.map.find(leaf);
+  if (cached != shard.map.end()) {
     // Lost the insert race; this call already counted as a leaf_load
     // above (it did the IO), so it is not also a cache hit —
     // cache_hits + leaf_loads stays equal to the number of calls.
-    lru_.splice(lru_.begin(), lru_, cached->second);
-    return cached->second->second;
+    shard.lru.splice(shard.lru.begin(), shard.lru, cached->second);
+    return cached->second->second.payload;
   }
-  lru_.emplace_front(leaf, shared);
-  cache_[leaf] = lru_.begin();
-  if (options_.cache_pages > 0 && lru_.size() > options_.cache_pages) {
-    cache_.erase(lru_.back().first);
-    lru_.pop_back();
-    ++stats_.evictions;
+  shard.lru.emplace_front(leaf, CacheShard::Entry{shared, reader});
+  shard.map[leaf] = shard.lru.begin();
+  if (shard.capacity > 0 && shard.lru.size() > shard.capacity) {
+    shard.map.erase(shard.lru.back().first);
+    shard.lru.pop_back();
+    ++shard.stats.evictions;
   }
   return shared;
 }
 
 bool GTreeStore::IsCached(TreeNodeId leaf) const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return cache_.count(leaf) > 0;
+  CacheShard& shard = ShardFor(leaf);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  return shard.map.count(leaf) > 0;
+}
+
+GTreeStoreStats GTreeStore::stats() const {
+  GTreeStoreStats total;
+  for (CacheShard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    total.leaf_loads += shard.stats.leaf_loads;
+    total.cache_hits += shard.stats.cache_hits;
+    total.shared_hits += shard.stats.shared_hits;
+    total.bytes_read += shard.stats.bytes_read;
+    total.evictions += shard.stats.evictions;
+  }
+  std::lock_guard<std::mutex> lock(file_mu_);
+  total.bytes_read += graph_bytes_read_;
+  return total;
 }
 
 void GTreeStore::ClearCache() {
-  std::lock_guard<std::mutex> lock(mu_);
-  lru_.clear();
-  cache_.clear();
+  for (CacheShard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.lru.clear();
+    shard.map.clear();
+  }
 }
 
 }  // namespace gmine::gtree

@@ -14,15 +14,23 @@
 // Opening a store loads only the metadata sections (tree, connectivity,
 // labels, directory); leaf subgraphs are read on demand through an LRU
 // page cache, which is what keeps navigation memory proportional to the
-// display set rather than the graph. The page cache, the file handle and
-// the IO statistics are guarded by one mutex, so concurrent sessions may
-// call LoadLeaf/LoadFullGraph from multiple threads; the metadata
+// display set rather than the graph.
+//
+// Concurrency: the store is logically read-only, so the whole read
+// surface (LoadLeaf, LoadFullGraph, stats) is const and safe from any
+// number of threads — this is what lets one store serve a pool of
+// NavigationSessions. The page cache is split into `cache_shards`
+// independently-locked LRU shards (leaf id modulo shard count); the
+// shared FILE* keeps its own mutex for the (seek, read) pairs, and leaf
+// pages decode outside every lock. With the default `cache_shards = 1`
+// the cache behaves exactly like a single global LRU. The metadata
 // accessors (tree/connectivity/labels) are immutable after Open and need
 // no locking.
 
 #ifndef GMINE_GTREE_STORE_H_
 #define GMINE_GTREE_STORE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <cstdio>
 #include <list>
@@ -30,6 +38,7 @@
 #include <mutex>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "graph/graph.h"
 #include "graph/labels.h"
@@ -48,14 +57,25 @@ struct LeafPayload {
 
 /// Store tunables.
 struct GTreeStoreOptions {
-  /// Leaf pages kept in memory; 0 means unbounded.
+  /// Leaf pages kept in memory across all shards; 0 means unbounded.
   size_t cache_pages = 64;
+  /// Independently-locked page-cache shards. 1 (the default) is a single
+  /// global LRU with byte-exact legacy eviction order; 0 means auto
+  /// (min(16, MaxParallelism())). Concurrent-session hosts should use
+  /// auto so navigators do not serialize on one cache mutex.
+  size_t cache_shards = 1;
 };
 
-/// IO statistics (reported by bench_scale).
+/// Identifies a reader (e.g. one NavigationSession) for the
+/// cross-session cache accounting. 0 is the anonymous reader.
+using ReaderTag = uint64_t;
+
+/// IO statistics (reported by bench_scale and `gmine serve`).
 struct GTreeStoreStats {
   uint64_t leaf_loads = 0;    // pages read from disk
   uint64_t cache_hits = 0;    // leaf requests served from cache
+  uint64_t shared_hits = 0;   // hits on pages first loaded by a
+                              // *different* reader (cross-session reuse)
   uint64_t bytes_read = 0;    // payload bytes read from disk
   uint64_t evictions = 0;     // pages evicted from the LRU
 };
@@ -86,19 +106,22 @@ class GTreeStore {
   /// Node labels (fully resident; may be empty).
   const graph::LabelStore& labels() const { return labels_; }
 
+  /// Issues a fresh reader identity for the shared-hit accounting.
+  ReaderTag NewReaderTag() const { return next_reader_tag_.fetch_add(1); }
+
   /// Loads the payload of leaf community `leaf` (cache-aware). The
   /// returned pointer stays valid while referenced, independent of
-  /// eviction. Safe to call from multiple threads.
-  gmine::Result<std::shared_ptr<const LeafPayload>> LoadLeaf(TreeNodeId leaf);
+  /// eviction. Safe to call from multiple threads. `reader` attributes
+  /// the access for the cross-session `shared_hits` statistic.
+  gmine::Result<std::shared_ptr<const LeafPayload>> LoadLeaf(
+      TreeNodeId leaf, ReaderTag reader = 0) const;
 
   /// True when `leaf` is currently cached (no IO needed).
   bool IsCached(TreeNodeId leaf) const;
 
-  /// Snapshot of the cumulative IO statistics.
-  GTreeStoreStats stats() const {
-    std::lock_guard<std::mutex> lock(mu_);
-    return stats_;
-  }
+  /// Snapshot of the cumulative IO statistics, aggregated across every
+  /// cache shard (and therefore across every concurrent session).
+  GTreeStoreStats stats() const;
 
   /// Drops all cached pages (for IO benchmarks).
   void ClearCache();
@@ -106,7 +129,7 @@ class GTreeStore {
   /// Reads the embedded full graph (global operations like connection
   /// subgraph extraction need it). Not cached: the caller owns the copy.
   /// Safe to call concurrently with LoadLeaf.
-  gmine::Result<graph::Graph> LoadFullGraph();
+  gmine::Result<graph::Graph> LoadFullGraph() const;
 
   /// Total size of the store file in bytes.
   uint64_t file_size() const { return file_size_; }
@@ -114,27 +137,52 @@ class GTreeStore {
  private:
   GTreeStore() = default;
 
+  struct PageLocation {
+    uint64_t offset = 0;
+    uint64_t size = 0;
+  };
+
+  /// One independently-locked slice of the page cache. A leaf lives in
+  /// shard `leaf % shards_.size()`; each shard runs its own LRU over
+  /// `capacity` pages.
+  struct CacheShard {
+    struct Entry {
+      std::shared_ptr<const LeafPayload> payload;
+      ReaderTag loader = 0;  // reader that paid the disk read
+    };
+    std::mutex mu;
+    // LRU: front = most recent.
+    std::list<std::pair<TreeNodeId, Entry>> lru;
+    std::unordered_map<TreeNodeId, decltype(lru)::iterator> map;
+    size_t capacity = 0;  // 0 = unbounded
+    GTreeStoreStats stats;
+  };
+
+  CacheShard& ShardFor(TreeNodeId leaf) const {
+    return shards_[leaf % shards_.size()];
+  }
+
+  /// Reads `loc` from the backing file under file_mu_.
+  Status ReadAt(const PageLocation& loc, std::string* out) const;
+
   std::FILE* file_ = nullptr;
   uint64_t file_size_ = 0;
   GTree tree_;
   ConnectivityIndex conn_;
   graph::LabelStore labels_;
   GTreeStoreOptions options_;
-  GTreeStoreStats stats_;
 
-  struct PageLocation {
-    uint64_t offset = 0;
-    uint64_t size = 0;
-  };
   std::unordered_map<TreeNodeId, PageLocation> directory_;
   PageLocation graph_section_;
 
-  // Guards the page cache, the (seek, read) pairs on file_ and stats_;
-  // everything above is immutable after Open.
-  mutable std::mutex mu_;
-  // LRU cache: front = most recent.
-  std::list<std::pair<TreeNodeId, std::shared_ptr<const LeafPayload>>> lru_;
-  std::unordered_map<TreeNodeId, decltype(lru_)::iterator> cache_;
+  // Guards the (seek, read) pairs on the shared file_ handle; every
+  // other member above is immutable after Open.
+  mutable std::mutex file_mu_;
+  // Bytes read for full-graph loads (no cache shard involved); guarded
+  // by file_mu_.
+  mutable uint64_t graph_bytes_read_ = 0;
+  mutable std::vector<CacheShard> shards_;
+  mutable std::atomic<ReaderTag> next_reader_tag_{1};
 };
 
 }  // namespace gmine::gtree

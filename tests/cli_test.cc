@@ -136,6 +136,75 @@ TEST(CliTest, FullWorkflowEndToEnd) {
   }
 }
 
+TEST(CliTest, ServeMultiplexesScriptAcrossSessions) {
+  std::string prefix = Tmp("cli_serve");
+  std::string store = Tmp("cli_serve.gtree");
+  std::string script = Tmp("cli_serve.script");
+  std::string out;
+  ASSERT_TRUE(RunCli({"generate", "--out", prefix, "--levels", "2",
+                      "--fanout", "3", "--leaf-size", "30", "--seed", "7"},
+                     &out)
+                  .ok());
+  ASSERT_TRUE(RunCli({"build", "--graph", prefix + ".edges", "--labels",
+                      prefix + ".labels", "--out", store, "--levels", "2",
+                      "--fanout", "3"},
+                     &out)
+                  .ok());
+
+  // Three sessions: s0 walks down and loads a leaf, s1 runs a label
+  // query, s2 inspects context connectivity. The same leaf is visited by
+  // s0 and s1 only if the hub lands there; either way every line must
+  // execute and the summary must report per-session and store stats.
+  ASSERT_TRUE(graph::WriteStringToFile("# serve smoke\n"
+                                       "0 child 0\n"
+                                       "0 child 0\n"
+                                       "0 load\n"
+                                       "0 parent\n"
+                                       "1 locate Jiawei Han\n"
+                                       "1 load\n"
+                                       "2 connectivity\n"
+                                       "2 child 1\n"
+                                       "2 back\n",
+                                       script)
+                  .ok());
+  out.clear();
+  ASSERT_TRUE(RunCli({"serve", store, "--sessions", "3", "--script", script,
+                      "--threads", "2"},
+                     &out)
+                  .ok())
+      << out;
+  // Transcripts in session order, regardless of execution interleaving.
+  EXPECT_NE(out.find("[s0] child -> focus="), std::string::npos) << out;
+  EXPECT_NE(out.find("[s0] load -> "), std::string::npos);
+  EXPECT_NE(out.find("[s1] locate -> node "), std::string::npos);
+  EXPECT_NE(out.find("[s2] connectivity -> "), std::string::npos);
+  EXPECT_LT(out.find("[s0]"), out.find("[s1]"));
+  EXPECT_LT(out.find("[s1]"), out.find("[s2]"));
+  // Summary: three sessions and the shared store's IO counters.
+  EXPECT_NE(out.find("s0: interactions="), std::string::npos);
+  EXPECT_NE(out.find("pool: open=3"), std::string::npos);
+  EXPECT_NE(out.find("shared hits="), std::string::npos);
+
+  // Error paths: unknown op and out-of-range session index fail the
+  // whole batch before anything runs.
+  ASSERT_TRUE(graph::WriteStringToFile("0 frobnicate\n", script).ok());
+  out.clear();
+  EXPECT_TRUE(RunCli({"serve", store, "--sessions", "1", "--script", script},
+                     &out)
+                  .ok());  // unknown ops report per-line, batch continues
+  EXPECT_NE(out.find("error:"), std::string::npos);
+  ASSERT_TRUE(graph::WriteStringToFile("5 root\n", script).ok());
+  out.clear();
+  EXPECT_TRUE(RunCli({"serve", store, "--sessions", "2", "--script", script},
+                     &out)
+                  .IsInvalidArgument());
+
+  for (const std::string& p : {prefix + ".edges", prefix + ".labels", store,
+                               script}) {
+    std::remove(p.c_str());
+  }
+}
+
 TEST(CliTest, QueryMissingLabelFails) {
   std::string prefix = Tmp("cli_miss");
   std::string store = Tmp("cli_miss.gtree");

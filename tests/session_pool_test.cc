@@ -1,0 +1,289 @@
+// Concurrent session pool: one read-only GTreeStore serving many
+// NavigationSessions through core::SessionManager — disjoint and
+// overlapping navigation from many threads, LRU eviction, idle
+// collection, double-close error paths, and the engine's delegation of
+// its legacy single-session API to the pool.
+
+#include "core/session_manager.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "core/engine.h"
+#include "gen/dblp.h"
+#include "gtree/builder.h"
+#include "util/parallel.h"
+
+namespace gmine::core {
+namespace {
+
+using gtree::GTreeStore;
+using gtree::NavigationSession;
+using gtree::TreeNodeId;
+
+struct PoolFixture {
+  gen::DblpGraph dblp;
+  std::unique_ptr<GTreeStore> store;
+  std::vector<TreeNodeId> leaves;
+  std::string path;
+
+  PoolFixture() = default;
+  PoolFixture(PoolFixture&&) = default;
+  PoolFixture& operator=(PoolFixture&&) = default;
+
+  ~PoolFixture() {
+    store.reset();
+    if (!path.empty()) std::remove(path.c_str());
+  }
+};
+
+PoolFixture MakePoolFixture(const char* name, size_t cache_pages = 64) {
+  PoolFixture f;
+  gen::DblpOptions gopts;
+  gopts.levels = 2;
+  gopts.fanout = 3;
+  gopts.leaf_size = 30;
+  gopts.seed = 17;
+  f.dblp = std::move(gen::GenerateDblp(gopts)).value();
+  gtree::GTreeBuildOptions opts;
+  opts.levels = 2;
+  opts.fanout = 3;
+  gtree::GTree tree = std::move(gtree::BuildGTree(f.dblp.graph, opts)).value();
+  auto conn = gtree::ConnectivityIndex::Build(f.dblp.graph, tree);
+  f.path = std::string(::testing::TempDir()) + "/" + name + ".gtree";
+  EXPECT_TRUE(GTreeStore::Create(f.path, f.dblp.graph, tree, conn,
+                                 f.dblp.labels)
+                  .ok());
+  gtree::GTreeStoreOptions sopts;
+  sopts.cache_pages = cache_pages;
+  sopts.cache_shards = 0;  // auto: the concurrent-host configuration
+  f.store = std::move(GTreeStore::Open(f.path, sopts)).value();
+  f.leaves = f.store->tree().LeavesUnder(f.store->tree().root());
+  return f;
+}
+
+TEST(SessionPoolTest, SessionsAreIndependent) {
+  PoolFixture f = MakePoolFixture("independent");
+  SessionManager pool(f.store.get());
+  SessionId a = std::move(pool.OpenSession()).value();
+  SessionId b = std::move(pool.OpenSession()).value();
+  ASSERT_NE(a, b);
+  ASSERT_TRUE(pool
+                  .WithSession(a, [&](NavigationSession& nav) {
+                    return nav.FocusNode(f.leaves[0]);
+                  })
+                  .ok());
+  ASSERT_TRUE(pool
+                  .WithSession(b, [&](NavigationSession& nav) {
+                    return nav.FocusNode(f.leaves[1]);
+                  })
+                  .ok());
+  // Each session keeps its own focus, history and view state.
+  EXPECT_TRUE(pool
+                  .WithSession(a, [&](NavigationSession& nav) {
+                    EXPECT_EQ(nav.focus(), f.leaves[0]);
+                    return Status::OK();
+                  })
+                  .ok());
+  EXPECT_TRUE(pool
+                  .WithSession(b, [&](NavigationSession& nav) {
+                    EXPECT_EQ(nav.focus(), f.leaves[1]);
+                    return Status::OK();
+                  })
+                  .ok());
+  EXPECT_EQ(pool.size(), 2u);
+}
+
+// Acceptance: one store concurrently serves >= 8 sessions. Each session
+// walks its own leaf (disjoint subtrees) from its own thread.
+TEST(SessionPoolTest, EightConcurrentSessionsDisjointSubtrees) {
+  PoolFixture f = MakePoolFixture("disjoint");
+  constexpr size_t kSessions = 8;
+  ASSERT_GE(f.leaves.size(), kSessions);
+  SessionManager pool(f.store.get());
+  std::vector<SessionId> ids;
+  for (size_t i = 0; i < kSessions; ++i) {
+    ids.push_back(std::move(pool.OpenSession()).value());
+  }
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (size_t i = 0; i < kSessions; ++i) {
+    threads.emplace_back([&, i] {
+      // Repeatedly re-focus and load this session's own leaf.
+      for (int round = 0; round < 20; ++round) {
+        Status st = pool.WithSession(ids[i], [&](NavigationSession& nav) {
+          GMINE_RETURN_IF_ERROR(nav.FocusNode(f.leaves[i]));
+          auto payload = nav.LoadFocusSubgraph();
+          if (!payload.ok()) return payload.status();
+          if (payload.value()->subgraph.graph.num_nodes() == 0) {
+            return Status::Internal("empty leaf payload");
+          }
+          return nav.FocusRoot();
+        });
+        if (!st.ok()) ++failures;
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  // Every load call is either a disk read or a cache hit; with one
+  // session per leaf nothing is shared across readers beyond races.
+  gtree::GTreeStoreStats stats = f.store->stats();
+  EXPECT_EQ(stats.leaf_loads + stats.cache_hits, kSessions * 20u);
+  // Each session ran 20 rounds of (focus, load, root) = 3 events + the
+  // initial focus_root.
+  for (const SessionInfo& info : pool.ListSessions()) {
+    EXPECT_EQ(info.interactions, 61u);
+  }
+}
+
+TEST(SessionPoolTest, OverlappingSessionsShareDecodedPages) {
+  PoolFixture f = MakePoolFixture("overlap");
+  constexpr size_t kSessions = 8;
+  SessionManager pool(f.store.get());
+  std::vector<SessionId> ids;
+  for (size_t i = 0; i < kSessions; ++i) {
+    ids.push_back(std::move(pool.OpenSession()).value());
+  }
+  // All sessions sweep the same leaves; ParallelFor drives them from the
+  // shared thread pool like `gmine serve` does.
+  std::atomic<int> failures{0};
+  ParallelFor(0, kSessions, 1, /*threads=*/0, [&](size_t i) {
+    Status st = pool.WithSession(ids[i], [&](NavigationSession& nav) {
+      for (TreeNodeId leaf : f.leaves) {
+        GMINE_RETURN_IF_ERROR(nav.FocusNode(leaf));
+        auto payload = nav.LoadFocusSubgraph();
+        if (!payload.ok()) return payload.status();
+      }
+      return Status::OK();
+    });
+    if (!st.ok()) ++failures;
+  });
+  EXPECT_EQ(failures.load(), 0);
+  gtree::GTreeStoreStats stats = f.store->stats();
+  EXPECT_EQ(stats.leaf_loads + stats.cache_hits,
+            kSessions * f.leaves.size());
+  // Most pages are decoded once and then served to the other seven
+  // sessions from the cache: cross-reader hits must show up.
+  EXPECT_GT(stats.shared_hits, 0u);
+  EXPECT_LE(stats.shared_hits, stats.cache_hits);
+}
+
+TEST(SessionPoolTest, EvictsLeastRecentlyUsedPastCap) {
+  PoolFixture f = MakePoolFixture("evict");
+  SessionManagerOptions opts;
+  opts.max_sessions = 2;
+  SessionManager pool(f.store.get(), opts);
+  SessionId a = std::move(pool.OpenSession()).value();
+  SessionId b = std::move(pool.OpenSession()).value();
+  // Touch a so b becomes the LRU victim.
+  ASSERT_TRUE(pool.WithSession(a, [](NavigationSession& nav) {
+                    return nav.FocusRoot();
+                  })
+                  .ok());
+  SessionId c = std::move(pool.OpenSession()).value();
+  EXPECT_EQ(pool.size(), 2u);
+  EXPECT_TRUE(pool.Contains(a));
+  EXPECT_FALSE(pool.Contains(b));
+  EXPECT_TRUE(pool.Contains(c));
+  EXPECT_EQ(pool.stats().evicted, 1u);
+  // Driving the evicted session is an error, not a crash.
+  Status st = pool.WithSession(
+      b, [](NavigationSession&) { return Status::OK(); });
+  EXPECT_TRUE(st.IsNotFound());
+}
+
+TEST(SessionPoolTest, PinnedSessionsSurviveEvictionAndBlockIt) {
+  PoolFixture f = MakePoolFixture("pinned");
+  SessionManagerOptions opts;
+  opts.max_sessions = 2;
+  SessionManager pool(f.store.get(), opts);
+  SessionId pinned = std::move(pool.OpenSession(/*pinned=*/true)).value();
+  SessionId ephemeral = std::move(pool.OpenSession()).value();
+  // The unpinned session is the victim even though the pinned one is
+  // least recently used.
+  SessionId next = std::move(pool.OpenSession()).value();
+  EXPECT_TRUE(pool.Contains(pinned));
+  EXPECT_FALSE(pool.Contains(ephemeral));
+  ASSERT_TRUE(pool.CloseSession(next).ok());
+  // Fill the pool with pinned sessions: the next open must fail rather
+  // than evict one.
+  ASSERT_TRUE(pool.OpenSession(/*pinned=*/true).ok());
+  EXPECT_TRUE(pool.OpenSession().status().IsAborted());
+  // PinnedSession hands out raw pointers only for pinned sessions.
+  EXPECT_NE(pool.PinnedSession(pinned), nullptr);
+  EXPECT_EQ(pool.PinnedSession(ephemeral), nullptr);
+}
+
+TEST(SessionPoolTest, DoubleCloseIsNotFound) {
+  PoolFixture f = MakePoolFixture("doubleclose");
+  SessionManager pool(f.store.get());
+  SessionId id = std::move(pool.OpenSession()).value();
+  ASSERT_TRUE(pool.CloseSession(id).ok());
+  EXPECT_TRUE(pool.CloseSession(id).IsNotFound());
+  EXPECT_TRUE(pool.CloseSession(9999).IsNotFound());
+  EXPECT_TRUE(pool
+                  .WithSession(id, [](NavigationSession&) {
+                    return Status::OK();
+                  })
+                  .IsNotFound());
+  SessionPoolStats stats = pool.stats();
+  EXPECT_EQ(stats.opened, 1u);
+  EXPECT_EQ(stats.closed, 1u);
+  EXPECT_EQ(stats.open_now, 0u);
+}
+
+TEST(SessionPoolTest, CloseIdleSessionsReapsOnlyIdleUnpinned) {
+  PoolFixture f = MakePoolFixture("idle");
+  SessionManagerOptions opts;
+  opts.idle_timeout_micros = 1;  // everything not just-touched is idle
+  SessionManager pool(f.store.get(), opts);
+  SessionId pinned = std::move(pool.OpenSession(/*pinned=*/true)).value();
+  SessionId idle = std::move(pool.OpenSession()).value();
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  EXPECT_EQ(pool.CloseIdleSessions(), 1u);
+  EXPECT_TRUE(pool.Contains(pinned));
+  EXPECT_FALSE(pool.Contains(idle));
+  EXPECT_EQ(pool.stats().idle_closed, 1u);
+  // With the timeout disabled the reaper is a no-op.
+  SessionManager no_timeout(f.store.get());
+  (void)no_timeout.OpenSession();
+  EXPECT_EQ(no_timeout.CloseIdleSessions(), 0u);
+}
+
+// The engine's legacy single-session API now delegates to the pool: the
+// default session is a pinned pool member, and extra sessions share its
+// store.
+TEST(SessionPoolTest, EngineDelegatesToPool) {
+  PoolFixture f = MakePoolFixture("engine");
+  std::string path = std::string(::testing::TempDir()) + "/pool_engine.gtree";
+  auto engine = GMineEngine::Build(f.dblp.graph, f.dblp.labels, path);
+  ASSERT_TRUE(engine.ok());
+  GMineEngine& gm = *engine.value();
+  // Legacy accessor works and is the pool's pinned session.
+  EXPECT_EQ(gm.session().focus(), gm.tree().root());
+  EXPECT_EQ(gm.sessions().size(), 1u);
+  ASSERT_TRUE(gm.session().FocusChild(0).ok());
+
+  // A second concurrent user over the same store and engine.
+  auto other = gm.sessions().OpenSession();
+  ASSERT_TRUE(other.ok());
+  ASSERT_TRUE(gm.sessions()
+                  .WithSession(other.value(),
+                               [&](NavigationSession& nav) {
+                                 return nav.FocusGraphNode(0);
+                               })
+                  .ok());
+  // The default session's focus is untouched by the other user.
+  EXPECT_NE(gm.session().focus(), gm.tree().root());
+  EXPECT_EQ(gm.sessions().size(), 2u);
+  ASSERT_TRUE(gm.sessions().CloseSession(other.value()).ok());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace gmine::core

@@ -42,7 +42,7 @@ run_sweep() {
 
 run_sweep bench_metrics 'BM_(PageRank|Betweenness)Threads' "$TMP_DIR/metrics.json"
 run_sweep bench_rwr 'BM_RwrThreads' "$TMP_DIR/rwr.json"
-run_sweep bench_scale 'BM_GTreeBuildShards' "$TMP_DIR/gtree_build.json"
+run_sweep bench_scale 'BM_(GTreeBuildShards|SessionPoolNavigate)' "$TMP_DIR/gtree_build.json"
 
 python3 - "$REPO_ROOT/BENCH_kernels.json" "$TMP_DIR"/*.json <<'PY'
 import json
@@ -56,6 +56,8 @@ kernel_names = {
     "BM_RwrThreads": "rwr",
     # arg = shard count = thread count for the sharded G-Tree build
     "BM_GTreeBuildShards": "gtree_build_sharded",
+    # arg = concurrent session count over one store (fixed visit budget)
+    "BM_SessionPoolNavigate": "session_pool_navigate",
 }
 kernels = {}
 context = {}
