@@ -4,11 +4,14 @@
 #include <cstdio>
 
 #include "core/engine.h"
+#include "core/prefetcher.h"
 #include "core/session_manager.h"
 #include "core/views.h"
 #include "gen/dblp.h"
 #include "graph/graph_export.h"
 #include "graph/graph_io.h"
+#include "net/client.h"
+#include "net/server.h"
 #include "util/parallel.h"
 #include "util/string_util.h"
 #include "util/timer.h"
@@ -348,10 +351,14 @@ Status ExecuteServeOp(const ServeOp& op, gtree::NavigationSession& nav,
     *out += StrFormat("connectivity -> %zu context edges\n",
                       nav.ContextConnectivity().size());
     return Status::OK();
+  } else if (op.op == "help") {
+    *out += "help -> ops: root focus child parent back locate load "
+            "connectivity help quit\n";
+    return Status::OK();
   } else {
     return Status::InvalidArgument(
         StrFormat("unknown serve op '%s' (ops: root focus child parent "
-                  "back locate load connectivity)",
+                  "back locate load connectivity help quit)",
                   op.op.c_str()));
   }
   *out += StrFormat("%s -> focus=%s display=%zu\n", op.op.c_str(),
@@ -386,8 +393,9 @@ Status ParseServeScript(const std::string& body, size_t num_sessions,
         session >= num_sessions) {
       return Status::InvalidArgument(
           StrFormat("serve script line %zu: session index out of range "
-                    "[0, %zu)",
-                    line_no, num_sessions));
+                    "[0, %zu) in '%.*s'",
+                    line_no, num_sessions, static_cast<int>(line.size()),
+                    line.data()));
     }
     std::string_view rest = TrimWhitespace(line.substr(sp + 1));
     ServeOp op;
@@ -461,9 +469,16 @@ Status CmdServe(const CommandLine& cmd, std::string* out) {
   // sessions run concurrently on the thread pool. Transcripts are
   // per-session, printed in session order below.
   std::vector<std::string> transcripts(ids.size());
+  std::vector<size_t> executed(ids.size(), 0);
   StopWatch watch;
   ParallelFor(0, ids.size(), 1, static_cast<int>(threads), [&](size_t i) {
     for (const ServeOp& op : queues[i]) {
+      ++executed[i];
+      if (op.op == "quit") {
+        // Stop this session's queue; other sessions keep running.
+        transcripts[i] += StrFormat("[s%zu] quit -> done\n", i);
+        break;
+      }
       std::string result;
       Status st = pool.WithSession(ids[i], [&](gtree::NavigationSession& nav) {
         return ExecuteServeOp(op, nav, &result);
@@ -479,10 +494,12 @@ Status CmdServe(const CommandLine& cmd, std::string* out) {
   });
   const int64_t elapsed = watch.ElapsedMicros();
 
+  // Count executed ops, not queued ones — `quit` skips the rest of its
+  // session's queue.
   size_t total_ops = 0;
   for (size_t i = 0; i < transcripts.size(); ++i) {
     *out += transcripts[i];
-    total_ops += queues[i].size();
+    total_ops += executed[i];
   }
 
   const gtree::GTree& tree = store.value()->tree();
@@ -513,6 +530,179 @@ Status CmdServe(const CommandLine& cmd, std::string* out) {
       static_cast<unsigned long long>(sstats.shared_hits),
       HumanBytes(sstats.bytes_read).c_str(),
       static_cast<unsigned long long>(sstats.evictions));
+  return Status::OK();
+}
+
+// ----------------------------------------------------------------- server
+// TCP front end: the session-pool service published on a loopback port
+// (docs/SERVER.md). Runs until a client sends `shutdown` (or the
+// process is killed); --port-file is the live channel scripts use to
+// learn an ephemeral port while the command is still running.
+
+Status CmdServer(const CommandLine& cmd, std::string* out) {
+  if (cmd.positional.empty()) {
+    return UsageError("server: STORE path required");
+  }
+  GMINE_ASSIGN_OR_RETURN(uint64_t port, FlagUint(cmd, "port", 0));
+  if (port > 65535) return UsageError("server: --port must be <= 65535");
+  GMINE_ASSIGN_OR_RETURN(uint64_t max_clients,
+                         FlagUint(cmd, "max-clients", 32));
+  GMINE_ASSIGN_OR_RETURN(uint64_t threads, FlagUint(cmd, "threads", 0));
+  GMINE_ASSIGN_OR_RETURN(uint64_t cache_pages,
+                         FlagUint(cmd, "cache-pages", 64));
+  GMINE_ASSIGN_OR_RETURN(uint64_t idle_ms,
+                         FlagUint(cmd, "idle-timeout-ms", 0));
+  if (max_clients == 0) {
+    return UsageError("server: --max-clients must be at least 1");
+  }
+  const std::string prefetch_raw = cmd.Get("prefetch", "off");
+  if (prefetch_raw != "on" && prefetch_raw != "off") {
+    return UsageError("server: --prefetch expects 'on' or 'off'");
+  }
+  const bool prefetch = prefetch_raw == "on";
+
+  gtree::GTreeStoreOptions sopts;
+  sopts.cache_pages = cache_pages;
+  sopts.cache_shards = 0;  // auto: concurrent clients share the cache
+  auto store = gtree::GTreeStore::Open(cmd.positional[0], sopts);
+  if (!store.ok()) return store.status();
+
+  // Connection count bounds live sessions, so the pool itself is
+  // unbounded — eviction must never yank a connected client's state.
+  core::SessionManagerOptions mopts;
+  mopts.max_sessions = 0;
+  mopts.idle_timeout_micros = static_cast<int64_t>(idle_ms) * 1000;
+  core::SessionManager pool(store.value().get(), mopts);
+
+  std::unique_ptr<core::Prefetcher> prefetcher;
+  if (prefetch) {
+    prefetcher = std::make_unique<core::Prefetcher>(store.value().get());
+  }
+
+  net::ServerOptions nopts;
+  nopts.port = static_cast<uint16_t>(port);
+  nopts.max_clients = static_cast<int>(max_clients);
+  nopts.worker_threads = static_cast<int>(threads);
+  nopts.prefetch = prefetch;
+  net::Server server(&pool, nopts, prefetcher.get());
+  GMINE_RETURN_IF_ERROR(server.Start());
+  if (cmd.Has("port-file")) {
+    // Write-then-rename so a script polling for the file never reads a
+    // half-written port.
+    const std::string port_file = cmd.Get("port-file");
+    const std::string tmp = port_file + ".tmp";
+    GMINE_RETURN_IF_ERROR(graph::WriteStringToFile(
+        StrFormat("%u\n", static_cast<unsigned>(server.port())), tmp));
+    if (std::rename(tmp.c_str(), port_file.c_str()) != 0) {
+      return Status::IOError(
+          StrFormat("rename %s -> %s failed", tmp.c_str(),
+                    port_file.c_str()));
+    }
+  }
+  *out += StrFormat("listening on 127.0.0.1:%u\n",
+                    static_cast<unsigned>(server.port()));
+
+  server.WaitUntilShutdown();
+  server.Stop();
+  if (prefetcher) prefetcher->Stop();
+
+  const net::ServerStats nstats = server.stats();
+  const core::SessionPoolStats pstats = pool.stats();
+  const gtree::GTreeStoreStats sstats = store.value()->stats();
+  *out += StrFormat(
+      "server: accepted=%llu rejected=%llu closed=%llu requests=%llu "
+      "errors=%llu\n",
+      static_cast<unsigned long long>(nstats.accepted),
+      static_cast<unsigned long long>(nstats.rejected),
+      static_cast<unsigned long long>(nstats.closed),
+      static_cast<unsigned long long>(nstats.requests),
+      static_cast<unsigned long long>(nstats.errors));
+  *out += StrFormat(
+      "pool: opened=%llu closed=%llu idle_closed=%llu leaked=%zu\n",
+      static_cast<unsigned long long>(pstats.opened),
+      static_cast<unsigned long long>(pstats.closed),
+      static_cast<unsigned long long>(pstats.idle_closed), pool.size());
+  *out += StrFormat(
+      "store: leaf loads=%llu cache hits=%llu shared hits=%llu "
+      "bytes read=%s evictions=%llu\n",
+      static_cast<unsigned long long>(sstats.leaf_loads),
+      static_cast<unsigned long long>(sstats.cache_hits),
+      static_cast<unsigned long long>(sstats.shared_hits),
+      HumanBytes(sstats.bytes_read).c_str(),
+      static_cast<unsigned long long>(sstats.evictions));
+  if (prefetcher) {
+    const core::PrefetchStats pf = prefetcher->stats();
+    *out += StrFormat(
+        "prefetch: enqueued=%llu loaded=%llu cached=%llu dropped=%llu\n",
+        static_cast<unsigned long long>(pf.enqueued),
+        static_cast<unsigned long long>(pf.loaded),
+        static_cast<unsigned long long>(pf.already_cached),
+        static_cast<unsigned long long>(pf.dropped));
+  }
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------- connect
+// Loopback driver for a running `gmine server`: sends script lines
+// (file or stdin) one request at a time and prints a `>`/`<` transcript
+// — deterministic per client as long as the script sticks to
+// deterministic ops (see docs/SERVER.md).
+
+Status CmdConnect(const CommandLine& cmd, std::string* out) {
+  if (cmd.positional.empty()) {
+    return UsageError("connect: HOST:PORT required");
+  }
+  GMINE_ASSIGN_OR_RETURN(auto host_port,
+                         net::ParseHostPort(cmd.positional[0]));
+
+  std::string script;
+  if (cmd.Has("script")) {
+    auto text = graph::ReadFileToString(cmd.Get("script"));
+    if (!text.ok()) return text.status();
+    script = std::move(text).value();
+  } else {
+    script = ReadAllStdin();
+  }
+
+  net::Client client;
+  GMINE_RETURN_IF_ERROR(
+      client.Connect(host_port.first, host_port.second));
+  *out += StrFormat("< %s\n", client.greeting().c_str());
+
+  size_t pos = 0;
+  while (pos < script.size()) {
+    size_t eol = script.find('\n', pos);
+    if (eol == std::string::npos) eol = script.size();
+    std::string_view raw(script.data() + pos, eol - pos);
+    pos = eol + 1;
+    std::string_view line = TrimWhitespace(raw);
+    if (line.empty() || line[0] == '#') continue;
+    *out += StrFormat("> %.*s\n", static_cast<int>(line.size()),
+                      line.data());
+    auto response = client.Roundtrip(line);
+    if (!response.ok()) {
+      // Transport failure (e.g. the server went away mid-script) —
+      // surface it and stop; protocol-level ERR lines keep going.
+      *out += StrFormat("! %s\n", response.status().ToString().c_str());
+      return response.status();
+    }
+    const net::ClientResponse& r = response.value();
+    if (r.json) {
+      *out += StrFormat("< %s\n", r.text.c_str());
+    } else if (r.has_body) {
+      *out += StrFormat("< OK BODY %zu %s\n", r.body.size(),
+                        r.text.c_str());
+      if (cmd.Has("save-body")) {
+        GMINE_RETURN_IF_ERROR(
+            graph::WriteStringToFile(r.body, cmd.Get("save-body")));
+      }
+    } else if (r.ok) {
+      *out += StrFormat("< OK %s\n", r.text.c_str());
+    } else {
+      *out += StrFormat("< ERR %s %s\n", r.code.c_str(), r.text.c_str());
+    }
+  }
+  client.Close();
   return Status::OK();
 }
 
@@ -571,6 +761,8 @@ Status RunCommand(const CommandLine& cmd, std::string* out) {
   if (cmd.command == "render") return CmdRender(cmd, out);
   if (cmd.command == "export") return CmdExport(cmd, out);
   if (cmd.command == "serve") return CmdServe(cmd, out);
+  if (cmd.command == "server") return CmdServer(cmd, out);
+  if (cmd.command == "connect") return CmdConnect(cmd, out);
   if (cmd.command == "help") {
     *out += UsageText();
     return Status::OK();
@@ -603,6 +795,13 @@ std::string UsageText() {
       "  serve    STORE [--sessions N] [--script FILE] [--threads T]\n"
       "           [--cache-pages P]  multiplexes '<session> <op> [arg]'\n"
       "           script lines (or stdin) across N concurrent sessions\n"
+      "  server   STORE [--port P (0=ephemeral) --max-clients N\n"
+      "           --threads T --cache-pages P --idle-timeout-ms MS\n"
+      "           --prefetch on --port-file FILE]  TCP session-pool\n"
+      "           front end on 127.0.0.1; stops on a client 'shutdown'\n"
+      "  connect  HOST:PORT [--script FILE] [--save-body FILE]\n"
+      "           drives a running server: sends request lines (file or\n"
+      "           stdin), prints the '>'/'<' transcript\n"
       "  help\n";
 }
 

@@ -17,6 +17,12 @@
 //             [--cache-pages P]  concurrent session-pool driver: runs
 //             '<session> <op> [arg]' script lines (or stdin) across N
 //             sessions over one store, on the thread pool
+//   server    STORE [--port P --max-clients N --threads T
+//             --cache-pages P --idle-timeout-ms MS --prefetch on
+//             --port-file FILE]  TCP front end mapping remote clients
+//             onto the session pool (docs/SERVER.md)
+//   connect   HOST:PORT [--script FILE] [--save-body FILE]  loopback
+//             protocol driver for a running server
 
 #ifndef GMINE_CLI_COMMANDS_H_
 #define GMINE_CLI_COMMANDS_H_

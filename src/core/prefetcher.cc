@@ -1,0 +1,97 @@
+#include "core/prefetcher.h"
+
+namespace gmine::core {
+
+Prefetcher::Prefetcher(const gtree::GTreeStore* store, size_t queue_capacity)
+    : store_(store),
+      reader_(store->NewReaderTag()),
+      capacity_(queue_capacity == 0 ? 1 : queue_capacity),
+      worker_([this] { WorkerLoop(); }) {}
+
+Prefetcher::~Prefetcher() { Stop(); }
+
+size_t Prefetcher::EnqueueChildren(gtree::TreeNodeId focus,
+                                   size_t max_leaves) {
+  const gtree::GTree& tree = store_->tree();
+  if (focus >= tree.size()) return 0;
+  size_t queued = 0;
+  const gtree::TreeNode& node = tree.node(focus);
+  if (node.IsLeaf()) {
+    return Enqueue(focus) ? 1 : 0;
+  }
+  for (gtree::TreeNodeId child : node.children) {
+    if (queued >= max_leaves) break;
+    if (!tree.node(child).IsLeaf()) continue;
+    if (Enqueue(child)) ++queued;
+  }
+  return queued;
+}
+
+bool Prefetcher::Enqueue(gtree::TreeNodeId leaf) {
+  const gtree::GTree& tree = store_->tree();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (stop_) return false;
+  if (leaf >= tree.size() || !tree.node(leaf).IsLeaf() ||
+      queue_.size() >= capacity_) {
+    ++stats_.dropped;
+    return false;
+  }
+  queue_.push_back(leaf);
+  ++stats_.enqueued;
+  cv_.notify_one();
+  return true;
+}
+
+void Prefetcher::Drain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  drained_.wait(lock, [this] {
+    return stop_ || (queue_.empty() && !busy_);
+  });
+}
+
+void Prefetcher::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stop_) return;
+    stop_ = true;
+    queue_.clear();
+  }
+  cv_.notify_all();
+  drained_.notify_all();
+  if (worker_.joinable()) worker_.join();
+}
+
+PrefetchStats Prefetcher::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void Prefetcher::WorkerLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (true) {
+    cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+    if (stop_) return;
+    gtree::TreeNodeId leaf = queue_.front();
+    queue_.pop_front();
+    busy_ = true;
+    lock.unlock();
+    // IO happens with the lock released; a slow disk read must not
+    // block Enqueue on the request path.
+    if (store_->IsCached(leaf)) {
+      lock.lock();
+      ++stats_.already_cached;
+    } else {
+      auto payload = store_->LoadLeaf(leaf, reader_);
+      lock.lock();
+      if (payload.ok()) {
+        ++stats_.loaded;
+      } else {
+        ++stats_.failed;
+      }
+    }
+    busy_ = false;
+    if (queue_.empty()) drained_.notify_all();
+  }
+}
+
+}  // namespace gmine::core

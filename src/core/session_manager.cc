@@ -16,9 +16,24 @@ int64_t SteadyMicros() {
 
 }  // namespace
 
+const char* SessionCloseReasonName(SessionCloseReason reason) {
+  switch (reason) {
+    case SessionCloseReason::kClosed: return "closed";
+    case SessionCloseReason::kEvicted: return "evicted";
+    case SessionCloseReason::kIdle: return "idle";
+  }
+  return "?";
+}
+
 SessionManager::SessionManager(const gtree::GTreeStore* store,
                                SessionManagerOptions options)
     : store_(store), options_(options) {}
+
+void SessionManager::set_on_session_closed(
+    std::function<void(SessionId, SessionCloseReason)> fn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  on_session_closed_ = std::move(fn);
+}
 
 void SessionManager::Touch(SessionId id) {
   auto pos = lru_pos_.find(id);
@@ -37,49 +52,61 @@ void SessionManager::Erase(SessionId id) {
 }
 
 gmine::Result<SessionId> SessionManager::OpenSession(bool pinned) {
-  std::lock_guard<std::mutex> lock(mu_);
-  if (options_.max_sessions > 0 &&
-      sessions_.size() >= options_.max_sessions) {
-    // Evict the least-recently-used unpinned session (back of the list).
-    SessionId victim = 0;
-    bool found = false;
-    for (auto it = lru_.rbegin(); it != lru_.rend(); ++it) {
-      if (!sessions_.at(*it)->pinned) {
-        victim = *it;
-        found = true;
-        break;
+  SessionId victim = 0;
+  std::function<void(SessionId, SessionCloseReason)> hook;
+  SessionId id = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (options_.max_sessions > 0 &&
+        sessions_.size() >= options_.max_sessions) {
+      // Evict the least-recently-used unpinned session (back of the
+      // list).
+      bool found = false;
+      for (auto it = lru_.rbegin(); it != lru_.rend(); ++it) {
+        if (!sessions_.at(*it)->pinned) {
+          victim = *it;
+          found = true;
+          break;
+        }
       }
+      if (!found) {
+        return Status::Aborted(
+            StrFormat("session pool at cap %zu with every session pinned",
+                      options_.max_sessions));
+      }
+      Erase(victim);
+      ++stats_.evicted;
+      hook = on_session_closed_;
     }
-    if (!found) {
-      return Status::Aborted(
-          StrFormat("session pool at cap %zu with every session pinned",
-                    options_.max_sessions));
-    }
-    Erase(victim);
-    ++stats_.evicted;
+    id = next_id_++;
+    auto entry = std::make_shared<Entry>();
+    entry->session = std::make_unique<gtree::NavigationSession>(
+        store_, options_.tomahawk);
+    entry->last_active = SteadyMicros();
+    entry->pinned = pinned;
+    sessions_.emplace(id, std::move(entry));
+    lru_.push_front(id);
+    lru_pos_[id] = lru_.begin();
+    ++stats_.opened;
   }
-  SessionId id = next_id_++;
-  auto entry = std::make_shared<Entry>();
-  entry->session =
-      std::make_unique<gtree::NavigationSession>(store_, options_.tomahawk);
-  entry->last_active = SteadyMicros();
-  entry->pinned = pinned;
-  sessions_.emplace(id, std::move(entry));
-  lru_.push_front(id);
-  lru_pos_[id] = lru_.begin();
-  ++stats_.opened;
+  if (hook) hook(victim, SessionCloseReason::kEvicted);
   return id;
 }
 
 Status SessionManager::CloseSession(SessionId id) {
-  std::lock_guard<std::mutex> lock(mu_);
-  if (sessions_.find(id) == sessions_.end()) {
-    return Status::NotFound(
-        StrFormat("session %llu is not open (already closed or evicted?)",
-                  static_cast<unsigned long long>(id)));
+  std::function<void(SessionId, SessionCloseReason)> hook;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (sessions_.find(id) == sessions_.end()) {
+      return Status::NotFound(
+          StrFormat("session %llu is not open (already closed or evicted?)",
+                    static_cast<unsigned long long>(id)));
+    }
+    Erase(id);
+    ++stats_.closed;
+    hook = on_session_closed_;
   }
-  Erase(id);
-  ++stats_.closed;
+  if (hook) hook(id, SessionCloseReason::kClosed);
   return Status::OK();
 }
 
@@ -110,19 +137,35 @@ bool SessionManager::Contains(SessionId id) const {
   return sessions_.find(id) != sessions_.end();
 }
 
+bool SessionManager::TouchSession(SessionId id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sessions_.find(id);
+  if (it == sessions_.end()) return false;
+  it->second->last_active = SteadyMicros();
+  Touch(id);
+  return true;
+}
+
 size_t SessionManager::CloseIdleSessions() {
   if (options_.idle_timeout_micros <= 0) return 0;
-  std::lock_guard<std::mutex> lock(mu_);
-  const int64_t now = SteadyMicros();
   std::vector<SessionId> idle;
-  for (const auto& [id, entry] : sessions_) {
-    if (entry->pinned) continue;
-    if (now - entry->last_active >= options_.idle_timeout_micros) {
-      idle.push_back(id);
+  std::function<void(SessionId, SessionCloseReason)> hook;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const int64_t now = SteadyMicros();
+    for (const auto& [id, entry] : sessions_) {
+      if (entry->pinned) continue;
+      if (now - entry->last_active >= options_.idle_timeout_micros) {
+        idle.push_back(id);
+      }
     }
+    for (SessionId id : idle) Erase(id);
+    stats_.idle_closed += idle.size();
+    hook = on_session_closed_;
   }
-  for (SessionId id : idle) Erase(id);
-  stats_.idle_closed += idle.size();
+  if (hook) {
+    for (SessionId id : idle) hook(id, SessionCloseReason::kIdle);
+  }
   return idle.size();
 }
 

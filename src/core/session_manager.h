@@ -46,6 +46,16 @@ namespace gmine::core {
 /// Identifies one open session. Ids are never reused within a manager.
 using SessionId = uint64_t;
 
+/// Why a session left the pool (the close-hook's second argument).
+enum class SessionCloseReason : uint8_t {
+  kClosed,   // explicit CloseSession
+  kEvicted,  // LRU eviction past max_sessions
+  kIdle,     // reaped by CloseIdleSessions
+};
+
+/// Returns "closed", "evicted" or "idle".
+const char* SessionCloseReasonName(SessionCloseReason reason);
+
 /// Session-pool tunables.
 struct SessionManagerOptions {
   /// Open sessions kept at most; opening past the cap evicts the
@@ -109,6 +119,12 @@ class SessionManager {
   /// True when `id` is currently open.
   bool Contains(SessionId id) const;
 
+  /// Refreshes `id`'s recency and idle clock without dispatching a
+  /// callback — a keepalive for hosts whose requests do not all touch
+  /// the session (net::Server's connection-level ops like ping/stats).
+  /// False for unknown/closed/evicted ids.
+  bool TouchSession(SessionId id);
+
   /// Closes every unpinned session idle at least
   /// `options.idle_timeout_micros` (no-op when that is 0). Returns the
   /// number closed.
@@ -125,6 +141,16 @@ class SessionManager {
 
   /// The shared store.
   const gtree::GTreeStore& store() const { return *store_; }
+
+  /// Installs (or clears, with nullptr-like empty fn) the close hook:
+  /// invoked once per session removed from the pool, for any reason,
+  /// with the pool's internal lock released — hosts that own
+  /// connection-scoped sessions (net::Server) use it to tear the
+  /// connection down when the pool reaps its session. The hook runs on
+  /// whichever thread triggered the removal and must not call back
+  /// into the manager.
+  void set_on_session_closed(
+      std::function<void(SessionId, SessionCloseReason)> fn);
 
   /// Direct, unlocked access to a *pinned* session for single-threaded
   /// embedding (GMineEngine's legacy `session()` accessor). The pointer
@@ -155,6 +181,10 @@ class SessionManager {
 
   const gtree::GTreeStore* store_;
   SessionManagerOptions options_;
+
+  // Close-hook plumbing: guarded by mu_ for installation, copied out
+  // and invoked with mu_ released so the hook can take its own locks.
+  std::function<void(SessionId, SessionCloseReason)> on_session_closed_;
 
   mutable std::mutex mu_;  // guards the maps, the LRU list and counters
   std::unordered_map<SessionId, std::shared_ptr<Entry>> sessions_;

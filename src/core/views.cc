@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "graph/graph_io.h"
 #include "layout/enclosure.h"
 #include "layout/force_directed.h"
 #include "layout/tree_layout.h"
@@ -12,11 +13,10 @@ namespace gmine::core {
 
 using graph::NodeId;
 
-Status RenderHierarchyViewSvg(const gtree::GTree& tree,
-                              const gtree::TomahawkContext& context,
-                              const gtree::ConnectivityIndex& connectivity,
-                              const std::string& svg_path,
-                              const ViewOptions& options) {
+gmine::Result<std::string> HierarchyViewSvgString(
+    const gtree::GTree& tree, const gtree::TomahawkContext& context,
+    const gtree::ConnectivityIndex& connectivity,
+    const ViewOptions& options) {
   layout::EnclosureOptions eopts;
   eopts.root_radius = std::min(options.width, options.height) * 0.46;
   eopts.center = {options.width / 2.0, options.height / 2.0};
@@ -35,7 +35,17 @@ Status RenderHierarchyViewSvg(const gtree::GTree& tree,
                  options.height / 2.0 * (1.0 - options.zoom) +
                      options.pan_y);
   scene.Render(&canvas, viewport);
-  return canvas.WriteFile(svg_path);
+  return canvas.ToSvg();
+}
+
+Status RenderHierarchyViewSvg(const gtree::GTree& tree,
+                              const gtree::TomahawkContext& context,
+                              const gtree::ConnectivityIndex& connectivity,
+                              const std::string& svg_path,
+                              const ViewOptions& options) {
+  auto svg = HierarchyViewSvgString(tree, context, connectivity, options);
+  if (!svg.ok()) return svg.status();
+  return graph::WriteStringToFile(svg.value(), svg_path);
 }
 
 namespace {

@@ -40,6 +40,13 @@ Status RenderHierarchyViewSvg(const gtree::GTree& tree,
                               const std::string& svg_path,
                               const ViewOptions& options = {});
 
+/// Same view as a complete SVG document string — the network front
+/// end's `render svg` payload, with no filesystem round trip.
+gmine::Result<std::string> HierarchyViewSvgString(
+    const gtree::GTree& tree, const gtree::TomahawkContext& context,
+    const gtree::ConnectivityIndex& connectivity,
+    const ViewOptions& options = {});
+
 /// Renders a plain graph (force-directed) to an SVG file. `labels` may be
 /// null; `highlight` nodes get the highlight color + label.
 Status RenderSubgraphSvg(const graph::Graph& g,

@@ -1,0 +1,109 @@
+#include "net/client.h"
+
+#include <algorithm>
+
+#include "util/string_util.h"
+#include "util/timer.h"
+
+namespace gmine::net {
+
+Status Client::Connect(const std::string& host, uint16_t port,
+                       int read_timeout_ms) {
+  read_timeout_ms_ = read_timeout_ms;
+  GMINE_ASSIGN_OR_RETURN(sock_, ConnectTcp(host, port));
+  GMINE_ASSIGN_OR_RETURN(greeting_, ReadLine());
+  return Status::OK();
+}
+
+gmine::Result<std::string> Client::ReadLine() {
+  std::string line;
+  if (reader_.NextLine(&line)) return line;
+  StopWatch watch;
+  char buf[4096];
+  while (true) {
+    const int64_t left =
+        read_timeout_ms_ - watch.ElapsedMicros() / 1000;
+    if (left <= 0) return Status::IOError("timed out reading response");
+    auto read = sock_.ReadSome(buf, sizeof(buf),
+                               static_cast<int>(std::min<int64_t>(left, 100)));
+    if (!read.ok()) return read.status();
+    if (read.value().eof) {
+      return Status::IOError("connection closed by server");
+    }
+    if (read.value().timed_out) continue;
+    GMINE_RETURN_IF_ERROR(
+        reader_.Feed(std::string_view(buf, read.value().bytes)));
+    if (reader_.NextLine(&line)) return line;
+  }
+}
+
+Status Client::ReadBody(size_t n, std::string* body) {
+  body->clear();
+  body->reserve(n + 1);
+  // The reader may have buffered a body prefix along with the head
+  // line; take that raw, then read the rest (plus the trailing
+  // newline) straight off the socket.
+  reader_.TakeRaw(n + 1 - body->size(), body);
+  StopWatch watch;
+  char buf[4096];
+  while (body->size() < n + 1) {
+    const int64_t left =
+        read_timeout_ms_ - watch.ElapsedMicros() / 1000;
+    if (left <= 0) return Status::IOError("timed out reading body");
+    auto read = sock_.ReadSome(
+        buf, std::min(sizeof(buf), n + 1 - body->size()),
+        static_cast<int>(std::min<int64_t>(left, 100)));
+    if (!read.ok()) return read.status();
+    if (read.value().eof) {
+      return Status::IOError("connection closed mid-body");
+    }
+    body->append(buf, read.value().bytes);
+  }
+  if (body->back() != '\n') {
+    return Status::Corruption("body missing its trailing newline");
+  }
+  body->pop_back();
+  return Status::OK();
+}
+
+gmine::Result<ClientResponse> Client::Roundtrip(
+    std::string_view request_line) {
+  if (!sock_.valid()) return Status::IOError("not connected");
+  std::string wire(request_line);
+  if (wire.empty() || wire.back() != '\n') wire += '\n';
+  GMINE_RETURN_IF_ERROR(sock_.WriteAll(wire));
+  GMINE_ASSIGN_OR_RETURN(std::string head_line, ReadLine());
+  GMINE_ASSIGN_OR_RETURN(ResponseHead head, ParseResponseHead(head_line));
+  ClientResponse response;
+  response.ok = head.ok;
+  response.code = head.code;
+  response.text = head.text;
+  response.json = head.json;
+  if (head.body_bytes >= 0) {
+    response.has_body = true;
+    GMINE_RETURN_IF_ERROR(
+        ReadBody(static_cast<size_t>(head.body_bytes), &response.body));
+  }
+  return response;
+}
+
+gmine::Result<std::pair<std::string, uint16_t>> ParseHostPort(
+    std::string_view spec) {
+  size_t colon = spec.rfind(':');
+  if (colon == std::string_view::npos || colon == 0 ||
+      colon + 1 >= spec.size()) {
+    return Status::InvalidArgument(
+        StrFormat("expected HOST:PORT, got '%s'",
+                  std::string(spec).c_str()));
+  }
+  uint64_t port = 0;
+  if (!ParseUint64(spec.substr(colon + 1), &port) || port == 0 ||
+      port > 65535) {
+    return Status::InvalidArgument(
+        StrFormat("bad port in '%s'", std::string(spec).c_str()));
+  }
+  return std::make_pair(std::string(spec.substr(0, colon)),
+                        static_cast<uint16_t>(port));
+}
+
+}  // namespace gmine::net

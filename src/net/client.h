@@ -1,0 +1,70 @@
+// Blocking loopback client for the GMine server: one request line out,
+// one decoded response back (body framing handled). Backs the
+// `gmine connect` command, the loopback tests and bench_server; it is a
+// protocol driver, not a general-purpose networking library.
+
+#ifndef GMINE_NET_CLIENT_H_
+#define GMINE_NET_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "net/protocol.h"
+#include "net/socket.h"
+#include "util/status.h"
+
+namespace gmine::net {
+
+/// A decoded server response.
+struct ClientResponse {
+  bool ok = false;
+  std::string code;   // "OK" or the ERR code name
+  std::string text;   // payload / error message (raw line for JSON)
+  std::string body;   // raw body when the response carried one
+  bool has_body = false;
+  bool json = false;
+};
+
+/// One connection to a running net::Server.
+class Client {
+ public:
+  Client() = default;
+
+  /// Connects and consumes the greeting line (available via greeting()).
+  /// `read_timeout_ms` bounds every subsequent single read.
+  Status Connect(const std::string& host, uint16_t port,
+                 int read_timeout_ms = 10000);
+
+  /// The server's greeting line.
+  const std::string& greeting() const { return greeting_; }
+
+  /// Sends one request line (newline appended when missing) and reads
+  /// its complete response, body included.
+  gmine::Result<ClientResponse> Roundtrip(std::string_view request_line);
+
+  /// Closes the connection; safe to call repeatedly.
+  void Close() { sock_.Close(); }
+
+  bool connected() const { return sock_.valid(); }
+
+ private:
+  /// Reads until a complete line is buffered.
+  gmine::Result<std::string> ReadLine();
+  /// Reads exactly `n` raw bytes (the body) plus its trailing newline.
+  Status ReadBody(size_t n, std::string* body);
+
+  Socket sock_;
+  // Response cap, not the request cap: JSON frames embed bodies inline.
+  LineReader reader_{kMaxResponseLineBytes};
+  std::string greeting_;
+  int read_timeout_ms_ = 10000;
+};
+
+/// Splits "HOST:PORT"; InvalidArgument when either half is malformed.
+gmine::Result<std::pair<std::string, uint16_t>> ParseHostPort(
+    std::string_view spec);
+
+}  // namespace gmine::net
+
+#endif  // GMINE_NET_CLIENT_H_

@@ -1,0 +1,185 @@
+// The network front end: a TCP listener mapping remote clients onto the
+// session pool (docs/SERVER.md). Each accepted connection is routed to
+// its own core::SessionManager session for its whole lifetime — the
+// socket is the user, the session is their navigation state — and every
+// request line executes under WithSession, so any number of clients
+// navigate one read-only store concurrently without sharing focus.
+//
+// Thread model
+//   * one accept thread: polls the listener, enforces the connection
+//     cap, enqueues accepted sockets;
+//   * a fixed worker pool (`worker_threads`): each worker serves one
+//     connection at a time, request by request, until the peer closes;
+//     excess accepted connections wait in the queue;
+//   * one housekeeper thread: periodically calls the pool's
+//     CloseIdleSessions — idle-client reaping is *session*-driven: when
+//     the pool reaps a connection's session, the manager's close hook
+//     fires and the server shuts that socket down, waking its worker.
+//
+// Shutdown: Stop() (or a client's SHUTDOWN op followed by the host
+// calling Stop) stops accepting, wakes every worker, closes every
+// connection after its in-flight request, closes every
+// connection-owned session (no leaks — session_pool stats prove it),
+// and joins all threads. Stop is idempotent.
+
+#ifndef GMINE_NET_SERVER_H_
+#define GMINE_NET_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "core/prefetcher.h"
+#include "core/session_manager.h"
+#include "net/protocol.h"
+#include "net/socket.h"
+#include "util/status.h"
+
+namespace gmine::net {
+
+/// Server tunables.
+struct ServerOptions {
+  /// TCP port on 127.0.0.1; 0 picks an ephemeral port (read it back
+  /// from port() after Start).
+  uint16_t port = 0;
+  /// listen(2) backlog.
+  int backlog = 64;
+  /// Connections admitted at once (serving + queued); more get an
+  /// "ERR Aborted server at capacity" line and an immediate close.
+  int max_clients = 32;
+  /// Worker threads serving connections; 0 means max_clients (every
+  /// admitted connection gets a worker immediately).
+  int worker_threads = 0;
+  /// Granularity of shutdown checks, idle sweeps and read polls.
+  int poll_interval_ms = 50;
+  /// Best-effort child-leaf prefetch on focus changes (needs a
+  /// Prefetcher passed to the constructor; see docs/SERVER.md).
+  bool prefetch = false;
+  /// Leaves queued per focus change when prefetching.
+  size_t prefetch_fanout = 8;
+};
+
+/// Cumulative server counters (stats()).
+struct ServerStats {
+  uint64_t accepted = 0;   // connections admitted
+  uint64_t rejected = 0;   // connections refused at the cap
+  uint64_t closed = 0;     // connections fully torn down
+  uint64_t requests = 0;   // request lines executed
+  uint64_t errors = 0;     // requests answered with ERR
+  uint64_t total_latency_micros = 0;  // summed request service time
+  uint64_t max_latency_micros = 0;    // slowest single request
+  size_t active_now = 0;   // connections currently being served
+};
+
+/// Point-in-time description of one live connection.
+struct ConnectionInfo {
+  uint64_t id = 0;                // connection id (accept order, from 1)
+  core::SessionId session = 0;    // its pool session
+  uint64_t requests = 0;
+  int64_t idle_micros = 0;        // since the last completed request
+};
+
+/// TCP front end over one SessionManager. The pool (and its store) must
+/// outlive the server; the optional prefetcher too.
+class Server {
+ public:
+  explicit Server(core::SessionManager* pool, ServerOptions options = {},
+                  core::Prefetcher* prefetcher = nullptr);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds, listens and spawns the accept/worker/housekeeper threads.
+  /// Fails (IOError) when the port is taken; call at most once.
+  Status Start();
+
+  /// The bound port (valid after a successful Start).
+  uint16_t port() const { return port_; }
+
+  /// Asks the host to stop: wakes WaitUntilShutdown. Also triggered by
+  /// a client's SHUTDOWN op. Does not join threads — call Stop() next.
+  void RequestShutdown();
+
+  /// Blocks until RequestShutdown / Stop (the `gmine server` command
+  /// parks here).
+  void WaitUntilShutdown();
+
+  /// Graceful shutdown: stop accepting, close every connection after
+  /// its in-flight request, close their sessions, join every thread.
+  /// Idempotent; the destructor calls it.
+  void Stop();
+
+  ServerStats stats() const;
+
+  /// Live connections, accept order.
+  std::vector<ConnectionInfo> connections() const;
+
+ private:
+  struct Conn {
+    uint64_t id = 0;
+    Socket sock;
+    core::SessionId session = 0;
+    std::atomic<uint64_t> requests{0};
+    std::atomic<int64_t> last_active{0};     // steady micros
+    std::atomic<bool> kill{false};           // hook/Stop: close asap
+  };
+
+  void AcceptLoop();
+  void WorkerLoop();
+  void HousekeeperLoop();
+  void ServeConnection(const std::shared_ptr<Conn>& conn);
+  /// Executes one parsed request against the connection's session.
+  /// `*request_shutdown` asks the caller to signal shutdown *after*
+  /// writing the response — signaling first would let Stop() cut the
+  /// socket before the SHUTDOWN op's own reply got out.
+  Response Execute(const Request& request, Conn& conn, bool* close_conn,
+                   bool* request_shutdown);
+  std::string StatsText(const Conn& conn) const;
+  void OnSessionClosed(core::SessionId id, core::SessionCloseReason reason);
+
+  core::SessionManager* pool_;
+  core::Prefetcher* prefetcher_;
+  ServerOptions options_;
+
+  Socket listener_;
+  uint16_t port_ = 0;
+  std::atomic<bool> started_{false};
+  std::atomic<bool> stopping_{false};
+  bool stopped_ = false;  // Stop() ran to completion (main thread only)
+
+  // Accepted connections waiting for a worker.
+  std::mutex queue_mu_;
+  std::condition_variable queue_cv_;
+  std::deque<std::shared_ptr<Conn>> pending_;
+
+  // Live connections by id, plus a session-id index for the close hook.
+  mutable std::mutex conns_mu_;
+  std::unordered_map<uint64_t, std::shared_ptr<Conn>> conns_;
+  std::unordered_map<core::SessionId, uint64_t> session_to_conn_;
+
+  mutable std::mutex stats_mu_;
+  ServerStats stats_;
+  std::atomic<size_t> active_{0};
+  std::atomic<uint64_t> next_conn_id_{1};
+
+  // Shutdown-request signaling (WaitUntilShutdown).
+  std::mutex shutdown_mu_;
+  std::condition_variable shutdown_cv_;
+  bool shutdown_requested_ = false;
+
+  std::thread accept_thread_;
+  std::thread housekeeper_thread_;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace gmine::net
+
+#endif  // GMINE_NET_SERVER_H_

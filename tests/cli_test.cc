@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <thread>
 
 #include "graph/graph_io.h"
 #include "util/string_util.h"
@@ -201,6 +202,181 @@ TEST(CliTest, ServeMultiplexesScriptAcrossSessions) {
 
   for (const std::string& p : {prefix + ".edges", prefix + ".labels", store,
                                script}) {
+    std::remove(p.c_str());
+  }
+}
+
+TEST(CliTest, ServeHelpAndQuitOps) {
+  std::string prefix = Tmp("cli_hq");
+  std::string store = Tmp("cli_hq.gtree");
+  std::string script = Tmp("cli_hq.script");
+  std::string out;
+  ASSERT_TRUE(RunCli({"generate", "--out", prefix, "--levels", "2",
+                      "--fanout", "3", "--leaf-size", "20", "--seed", "9"},
+                     &out)
+                  .ok());
+  ASSERT_TRUE(RunCli({"build", "--graph", prefix + ".edges", "--out",
+                      store, "--levels", "2", "--fanout", "3"},
+                     &out)
+                  .ok());
+
+  // `help` lists the ops; `quit` stops that session's queue — the
+  // child op after it must not run.
+  ASSERT_TRUE(graph::WriteStringToFile("0 help\n"
+                                       "0 quit\n"
+                                       "0 child 0\n"
+                                       "1 child 0\n",
+                                       script)
+                  .ok());
+  out.clear();
+  ASSERT_TRUE(RunCli({"serve", store, "--sessions", "2", "--script",
+                      script},
+                     &out)
+                  .ok())
+      << out;
+  EXPECT_NE(out.find("[s0] help -> ops: root focus child parent back "
+                     "locate load connectivity help quit"),
+            std::string::npos)
+      << out;
+  EXPECT_NE(out.find("[s0] quit -> done"), std::string::npos);
+  EXPECT_EQ(out.find("[s0] child"), std::string::npos) << out;
+  EXPECT_NE(out.find("[s1] child -> focus="), std::string::npos);
+  // Session 0 recorded no navigation beyond the initial root focus.
+  EXPECT_NE(out.find("s0: interactions=1 "), std::string::npos) << out;
+
+  for (const std::string& p : {prefix + ".edges", prefix + ".labels",
+                               store, script}) {
+    std::remove(p.c_str());
+  }
+}
+
+TEST(CliTest, ServeParseErrorsEchoTheOffendingLine) {
+  std::string prefix = Tmp("cli_echo");
+  std::string store = Tmp("cli_echo.gtree");
+  std::string script = Tmp("cli_echo.script");
+  std::string out;
+  ASSERT_TRUE(RunCli({"generate", "--out", prefix, "--levels", "2",
+                      "--fanout", "3", "--leaf-size", "20"},
+                     &out)
+                  .ok());
+  ASSERT_TRUE(RunCli({"build", "--graph", prefix + ".edges", "--out",
+                      store, "--levels", "2", "--fanout", "3"},
+                     &out)
+                  .ok());
+  ASSERT_TRUE(graph::WriteStringToFile("9 root extra\n", script).ok());
+  out.clear();
+  Status st =
+      RunCli({"serve", store, "--sessions", "2", "--script", script}, &out);
+  EXPECT_TRUE(st.IsInvalidArgument());
+  // The error names the line *and* echoes it.
+  EXPECT_NE(st.message().find("line 1"), std::string::npos)
+      << st.message();
+  EXPECT_NE(st.message().find("'9 root extra'"), std::string::npos)
+      << st.message();
+  for (const std::string& p : {prefix + ".edges", prefix + ".labels",
+                               store, script}) {
+    std::remove(p.c_str());
+  }
+}
+
+TEST(CliTest, ConnectRejectsBadSpecs) {
+  std::string out;
+  std::string empty_script = Tmp("cli_empty.script");
+  ASSERT_TRUE(graph::WriteStringToFile("", empty_script).ok());
+  EXPECT_TRUE(RunCli({"connect"}, &out).IsInvalidArgument());
+  EXPECT_TRUE(
+      RunCli({"connect", "noport"}, &out).IsInvalidArgument());
+  // Parses as HOST:PORT but is not an IPv4 literal (no DNS).
+  EXPECT_TRUE(RunCli({"connect", "not-a-host:80", "--script",
+                      empty_script},
+                     &out)
+                  .IsInvalidArgument());
+  std::remove(empty_script.c_str());
+}
+
+TEST(CliTest, ServerRequiresStoreAndValidFlags) {
+  std::string out;
+  EXPECT_TRUE(RunCli({"server"}, &out).IsInvalidArgument());
+  EXPECT_TRUE(RunCli({"server", "x.gtree", "--max-clients", "0"}, &out)
+                  .IsInvalidArgument());
+  EXPECT_TRUE(RunCli({"server", "/nonexistent/x.gtree"}, &out).IsIOError());
+}
+
+TEST(CliTest, ServerConnectLoopbackEndToEnd) {
+  std::string prefix = Tmp("cli_net");
+  std::string store = Tmp("cli_net.gtree");
+  std::string script = Tmp("cli_net.script");
+  std::string port_file = Tmp("cli_net.port");
+  std::string out;
+  ASSERT_TRUE(RunCli({"generate", "--out", prefix, "--levels", "2",
+                      "--fanout", "3", "--leaf-size", "30", "--seed", "7"},
+                     &out)
+                  .ok());
+  ASSERT_TRUE(RunCli({"build", "--graph", prefix + ".edges", "--labels",
+                      prefix + ".labels", "--out", store, "--levels", "2",
+                      "--fanout", "3"},
+                     &out)
+                  .ok());
+  std::remove(port_file.c_str());
+
+  // The server command parks until a client sends `shutdown`, so it
+  // runs on its own thread exactly like the real binary would.
+  std::string server_out;
+  Status server_status;
+  std::thread server_thread([&] {
+    server_status = RunCli(
+        {"server", store, "--port-file", port_file, "--prefetch", "on"},
+        &server_out);
+  });
+  std::string port;
+  for (int i = 0; i < 200 && port.empty(); ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    auto text = graph::ReadFileToString(port_file);
+    if (text.ok()) port = std::string(TrimWhitespace(text.value()));
+  }
+
+  Status st = Status::Internal("server never published its port");
+  out.clear();
+  if (!port.empty()) {
+    EXPECT_TRUE(graph::WriteStringToFile("# loopback tour\n"
+                                         "ping\n"
+                                         "child 0\n"
+                                         "child 0\n"
+                                         "load\n"
+                                         "stats\n"
+                                         "shutdown\n",
+                                         script)
+                    .ok());
+    st = RunCli({"connect", "127.0.0.1:" + port, "--script", script},
+                &out);
+    if (!st.ok()) {
+      // The scripted shutdown never reached the server; send a bare
+      // one so join() below cannot park forever. (A server that failed
+      // to start has already returned — join is then safe regardless.)
+      EXPECT_TRUE(graph::WriteStringToFile("shutdown\n", script).ok());
+      std::string fallback;
+      (void)RunCli({"connect", "127.0.0.1:" + port, "--script", script},
+                   &fallback);
+    }
+  }
+  server_thread.join();
+  ASSERT_TRUE(st.ok()) << st.ToString() << "\n" << out;
+  EXPECT_NE(out.find("< OK gmine-server protocol=1"), std::string::npos)
+      << out;
+  EXPECT_NE(out.find("> ping\n< OK pong"), std::string::npos) << out;
+  EXPECT_NE(out.find("< OK focus=s001 display=7"), std::string::npos);
+  EXPECT_NE(out.find("conn id=1"), std::string::npos);
+  EXPECT_NE(out.find("> shutdown\n< OK shutting down"),
+            std::string::npos);
+  ASSERT_TRUE(server_status.ok()) << server_status.ToString();
+  EXPECT_NE(server_out.find("listening on 127.0.0.1:" + port),
+            std::string::npos)
+      << server_out;
+  EXPECT_NE(server_out.find("leaked=0"), std::string::npos) << server_out;
+  EXPECT_NE(server_out.find("prefetch: enqueued="), std::string::npos);
+
+  for (const std::string& p : {prefix + ".edges", prefix + ".labels",
+                               store, script, port_file}) {
     std::remove(p.c_str());
   }
 }

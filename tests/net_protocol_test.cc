@@ -1,0 +1,255 @@
+// Protocol-layer proofs: line framing survives partial reads and
+// malformed input, requests parse in both framings, and responses
+// round-trip through the client-side decoder byte-exactly.
+
+#include "net/protocol.h"
+
+#include <gtest/gtest.h>
+
+#include "net/client.h"
+
+namespace gmine::net {
+namespace {
+
+TEST(LineReaderTest, SplitsLinesAcrossPartialFeeds) {
+  LineReader reader;
+  std::string line;
+  ASSERT_TRUE(reader.Feed("foc").ok());
+  EXPECT_FALSE(reader.NextLine(&line));
+  ASSERT_TRUE(reader.Feed("us s003\npar").ok());
+  ASSERT_TRUE(reader.NextLine(&line));
+  EXPECT_EQ(line, "focus s003");
+  EXPECT_FALSE(reader.NextLine(&line));
+  ASSERT_TRUE(reader.Feed("ent\n").ok());
+  ASSERT_TRUE(reader.NextLine(&line));
+  EXPECT_EQ(line, "parent");
+  EXPECT_EQ(reader.buffered(), 0u);
+}
+
+TEST(LineReaderTest, ManyLinesInOneFeed) {
+  LineReader reader;
+  ASSERT_TRUE(reader.Feed("a\nb\nc\n").ok());
+  std::string line;
+  ASSERT_TRUE(reader.NextLine(&line));
+  EXPECT_EQ(line, "a");
+  ASSERT_TRUE(reader.NextLine(&line));
+  EXPECT_EQ(line, "b");
+  ASSERT_TRUE(reader.NextLine(&line));
+  EXPECT_EQ(line, "c");
+  EXPECT_FALSE(reader.NextLine(&line));
+}
+
+TEST(LineReaderTest, NormalizesCrlf) {
+  LineReader reader;
+  ASSERT_TRUE(reader.Feed("ping\r\npong\r\n").ok());
+  std::string line;
+  ASSERT_TRUE(reader.NextLine(&line));
+  EXPECT_EQ(line, "ping");
+  ASSERT_TRUE(reader.NextLine(&line));
+  EXPECT_EQ(line, "pong");
+}
+
+TEST(LineReaderTest, OversizedLinePoisonsTheReader) {
+  LineReader reader(/*max_line_bytes=*/16);
+  ASSERT_TRUE(reader.Feed("0123456789").ok());
+  Status st = reader.Feed("0123456789");  // 20 bytes, no newline
+  EXPECT_TRUE(st.IsInvalidArgument());
+  // Poisoned for good — even a terminating newline cannot resync.
+  EXPECT_TRUE(reader.Feed("\n").IsInvalidArgument());
+
+  // A late newline does not excuse an oversized line either.
+  LineReader other(/*max_line_bytes=*/16);
+  EXPECT_TRUE(other.Feed("01234567890123456789\n").IsInvalidArgument());
+}
+
+TEST(LineReaderTest, CompleteLinesUnderCapKeepFlowing) {
+  LineReader reader(/*max_line_bytes=*/16);
+  ASSERT_TRUE(reader.Feed("0123456789\n0123456789\n").ok());
+  std::string line;
+  ASSERT_TRUE(reader.NextLine(&line));
+  EXPECT_EQ(line, "0123456789");
+  ASSERT_TRUE(reader.NextLine(&line));
+  EXPECT_EQ(line, "0123456789");
+}
+
+TEST(LineReaderTest, ResponseCapAdmitsLargeJsonFrames) {
+  // JSON responses embed bodies inline, so clients read with the
+  // larger response cap; the default (request) cap would poison.
+  std::string big_line(100 * 1024, 'x');
+  LineReader request_cap;
+  EXPECT_TRUE(request_cap.Feed(big_line).IsInvalidArgument());
+  LineReader response_cap(kMaxResponseLineBytes);
+  ASSERT_TRUE(response_cap.Feed(big_line).ok());
+  ASSERT_TRUE(response_cap.Feed("\n").ok());
+  std::string line;
+  ASSERT_TRUE(response_cap.NextLine(&line));
+  EXPECT_EQ(line.size(), big_line.size());
+}
+
+TEST(LineReaderTest, TakeRawBypassesFraming) {
+  LineReader reader;
+  ASSERT_TRUE(reader.Feed("head\nraw-body-bytes").ok());
+  std::string line;
+  ASSERT_TRUE(reader.NextLine(&line));
+  EXPECT_EQ(line, "head");
+  std::string raw;
+  EXPECT_EQ(reader.TakeRaw(8, &raw), 8u);
+  EXPECT_EQ(raw, "raw-body");
+  EXPECT_EQ(reader.TakeRaw(100, &raw), 6u);
+  EXPECT_EQ(raw, "raw-body-bytes");
+  EXPECT_EQ(reader.buffered(), 0u);
+}
+
+TEST(ParseRequestTest, TextOpsAndArgs) {
+  auto req = ParseRequest("focus s003");
+  ASSERT_TRUE(req.ok());
+  EXPECT_EQ(req.value().op, RequestOp::kFocus);
+  EXPECT_EQ(req.value().arg, "s003");
+  EXPECT_FALSE(req.value().json);
+
+  // Case-insensitive keyword; args keep spaces.
+  req = ParseRequest("LOCATE Jiawei Han");
+  ASSERT_TRUE(req.ok());
+  EXPECT_EQ(req.value().op, RequestOp::kLocate);
+  EXPECT_EQ(req.value().arg, "Jiawei Han");
+
+  req = ParseRequest("  Parent  ");
+  ASSERT_TRUE(req.ok());
+  EXPECT_EQ(req.value().op, RequestOp::kParent);
+  EXPECT_TRUE(req.value().arg.empty());
+}
+
+TEST(ParseRequestTest, RejectsEmptyAndUnknown) {
+  EXPECT_TRUE(ParseRequest("").status().IsInvalidArgument());
+  EXPECT_TRUE(ParseRequest("   ").status().IsInvalidArgument());
+  EXPECT_TRUE(ParseRequest("frobnicate").status().IsInvalidArgument());
+  EXPECT_TRUE(ParseRequest("frobnicate arg").status().IsInvalidArgument());
+}
+
+TEST(ParseRequestTest, JsonFraming) {
+  auto req = ParseRequest("{\"op\":\"focus\",\"arg\":\"s003\"}");
+  ASSERT_TRUE(req.ok());
+  EXPECT_EQ(req.value().op, RequestOp::kFocus);
+  EXPECT_EQ(req.value().arg, "s003");
+  EXPECT_TRUE(req.value().json);
+
+  // Escapes decode; spacing is free.
+  req = ParseRequest("{ \"op\" : \"locate\" , \"arg\" : \"A \\\"B\\\"\" }");
+  ASSERT_TRUE(req.ok());
+  EXPECT_EQ(req.value().arg, "A \"B\"");
+
+  EXPECT_TRUE(ParseRequest("{\"arg\":\"x\"}").status().IsInvalidArgument());
+  EXPECT_TRUE(ParseRequest("{\"op\":\"focus\"")  // unterminated
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(ParseRequest("{\"op\":1}").status().IsInvalidArgument());
+  EXPECT_TRUE(ParseRequest("{\"op\":\"ping\"} trailing")
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(ParseRequest("{\"op\":\"ping\",\"bogus\":\"x\"}")
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(ResponseTest, TextRoundtrip) {
+  Response r;
+  r.text = "focus=s003 display=7";
+  std::string wire = EncodeResponse(r, /*json=*/false);
+  EXPECT_EQ(wire, "OK focus=s003 display=7\n");
+  auto head = ParseResponseHead("OK focus=s003 display=7");
+  ASSERT_TRUE(head.ok());
+  EXPECT_TRUE(head.value().ok);
+  EXPECT_EQ(head.value().text, "focus=s003 display=7");
+  EXPECT_EQ(head.value().body_bytes, -1);
+}
+
+TEST(ResponseTest, BodyFraming) {
+  Response r;
+  r.text = "svg s003";
+  r.body = "<svg>\n<circle/>\n</svg>";
+  r.has_body = true;
+  std::string wire = EncodeResponse(r, /*json=*/false);
+  EXPECT_EQ(wire, "OK BODY 22 svg s003\n<svg>\n<circle/>\n</svg>\n");
+  auto head = ParseResponseHead("OK BODY 22 svg s003");
+  ASSERT_TRUE(head.ok());
+  EXPECT_EQ(head.value().body_bytes, 22);
+  EXPECT_EQ(head.value().text, "svg s003");
+}
+
+TEST(ResponseTest, ErrorsCarryCodeAndMessage) {
+  Response r;
+  r.status = Status::NotFound("community 'x' not found");
+  EXPECT_EQ(EncodeResponse(r, false),
+            "ERR NotFound community 'x' not found\n");
+  auto head = ParseResponseHead("ERR NotFound community 'x' not found");
+  ASSERT_TRUE(head.ok());
+  EXPECT_FALSE(head.value().ok);
+  EXPECT_EQ(head.value().code, "NotFound");
+  EXPECT_EQ(head.value().text, "community 'x' not found");
+}
+
+TEST(ResponseTest, NewlinesInPayloadsCollapse) {
+  Response r;
+  r.text = "line1\nline2";
+  EXPECT_EQ(EncodeResponse(r, false), "OK line1 line2\n");
+  r = Response{};
+  r.status = Status::InvalidArgument("bad\nrequest");
+  EXPECT_EQ(EncodeResponse(r, false), "ERR InvalidArgument bad request\n");
+}
+
+TEST(ResponseTest, JsonFraming) {
+  Response r;
+  r.text = "focus=\"s003\"";
+  EXPECT_EQ(EncodeResponse(r, true),
+            "{\"ok\":true,\"text\":\"focus=\\\"s003\\\"\"}\n");
+  r.body = "<svg/>";
+  r.has_body = true;
+  EXPECT_EQ(EncodeResponse(r, true),
+            "{\"ok\":true,\"text\":\"focus=\\\"s003\\\"\","
+            "\"body\":\"<svg/>\"}\n");
+  Response err;
+  err.status = Status::NotFound("no such \"node\"");
+  EXPECT_EQ(EncodeResponse(err, true),
+            "{\"ok\":false,\"code\":\"NotFound\","
+            "\"error\":\"no such \\\"node\\\"\"}\n");
+
+  auto head = ParseResponseHead("{\"ok\":true,\"text\":\"pong\"}");
+  ASSERT_TRUE(head.ok());
+  EXPECT_TRUE(head.value().ok);
+  EXPECT_TRUE(head.value().json);
+  auto err_head = ParseResponseHead(
+      "{\"ok\":false,\"code\":\"NotFound\",\"error\":\"x\"}");
+  ASSERT_TRUE(err_head.ok());
+  EXPECT_FALSE(err_head.value().ok);
+}
+
+TEST(ResponseTest, GarbageHeadIsCorruption) {
+  EXPECT_TRUE(ParseResponseHead("HELLO world").status().IsCorruption());
+  EXPECT_TRUE(
+      ParseResponseHead("OK BODY nope text").status().IsCorruption());
+}
+
+TEST(ParseHostPortTest, SplitsAndValidates) {
+  auto hp = ParseHostPort("127.0.0.1:8080");
+  ASSERT_TRUE(hp.ok());
+  EXPECT_EQ(hp.value().first, "127.0.0.1");
+  EXPECT_EQ(hp.value().second, 8080);
+  EXPECT_TRUE(ParseHostPort("nohost").status().IsInvalidArgument());
+  EXPECT_TRUE(ParseHostPort(":8080").status().IsInvalidArgument());
+  EXPECT_TRUE(ParseHostPort("host:").status().IsInvalidArgument());
+  EXPECT_TRUE(ParseHostPort("host:0").status().IsInvalidArgument());
+  EXPECT_TRUE(ParseHostPort("host:99999").status().IsInvalidArgument());
+}
+
+TEST(ProtocolHelpTest, NamesEveryOp) {
+  const std::string help = ProtocolHelpText();
+  for (const char* op :
+       {"help", "open", "root", "focus", "child", "parent", "back",
+        "locate", "load", "summary", "connectivity", "render", "stats",
+        "ping", "close", "shutdown"}) {
+    EXPECT_NE(help.find(op), std::string::npos) << op;
+  }
+}
+
+}  // namespace
+}  // namespace gmine::net

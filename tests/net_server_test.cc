@@ -1,0 +1,412 @@
+// Loopback proofs for the network front end: concurrent clients on
+// overlapping subtrees get deterministic per-client transcripts, every
+// connection maps onto its own pool session (and releases it — no
+// leaks), idle reaping flows through CloseIdleSessions into connection
+// teardown, the capacity gate rejects politely, malformed input is
+// survivable, and prefetch warms the shared page cache.
+
+#include "net/server.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "core/prefetcher.h"
+#include "core/session_manager.h"
+#include "gen/dblp.h"
+#include "gtree/builder.h"
+#include "net/client.h"
+
+namespace gmine::net {
+namespace {
+
+using core::SessionManager;
+using core::SessionManagerOptions;
+using gtree::GTreeStore;
+
+struct ServerFixture {
+  gen::DblpGraph dblp;
+  std::unique_ptr<GTreeStore> store;
+  std::string path;
+
+  ServerFixture() = default;
+  ServerFixture(ServerFixture&&) = default;
+  ServerFixture& operator=(ServerFixture&&) = default;
+
+  ~ServerFixture() {
+    store.reset();
+    if (!path.empty()) std::remove(path.c_str());
+  }
+};
+
+ServerFixture MakeFixture(const char* name) {
+  ServerFixture f;
+  gen::DblpOptions gopts;
+  gopts.levels = 2;
+  gopts.fanout = 3;
+  gopts.leaf_size = 30;
+  gopts.seed = 17;
+  f.dblp = std::move(gen::GenerateDblp(gopts)).value();
+  gtree::GTreeBuildOptions opts;
+  opts.levels = 2;
+  opts.fanout = 3;
+  gtree::GTree tree =
+      std::move(gtree::BuildGTree(f.dblp.graph, opts)).value();
+  auto conn = gtree::ConnectivityIndex::Build(f.dblp.graph, tree);
+  f.path = std::string(::testing::TempDir()) + "/" + name + ".gtree";
+  EXPECT_TRUE(
+      GTreeStore::Create(f.path, f.dblp.graph, tree, conn, f.dblp.labels)
+          .ok());
+  gtree::GTreeStoreOptions sopts;
+  sopts.cache_shards = 0;
+  f.store = std::move(GTreeStore::Open(f.path, sopts)).value();
+  return f;
+}
+
+/// Runs `requests` through one fresh connection; returns the transcript
+/// as "text|text|..." of response texts (ERRs as "ERR:<code>").
+std::string DriveClient(uint16_t port,
+                        const std::vector<std::string>& requests) {
+  Client client;
+  if (!client.Connect("127.0.0.1", port).ok()) return "<connect failed>";
+  std::string transcript;
+  for (const std::string& r : requests) {
+    auto response = client.Roundtrip(r);
+    if (!response.ok()) {
+      transcript += "!" + response.status().ToString();
+      break;
+    }
+    if (!transcript.empty()) transcript += "|";
+    transcript += response.value().ok
+                      ? response.value().text
+                      : "ERR:" + response.value().code;
+  }
+  client.Close();
+  return transcript;
+}
+
+TEST(NetServerTest, StartServeStopIsClean) {
+  ServerFixture f = MakeFixture("net_clean");
+  SessionManager pool(f.store.get());
+  Server server(&pool);
+  ASSERT_TRUE(server.Start().ok());
+  ASSERT_GT(server.port(), 0);
+
+  Client client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port()).ok());
+  EXPECT_EQ(client.greeting(), "OK gmine-server protocol=1");
+  auto pong = client.Roundtrip("ping");
+  ASSERT_TRUE(pong.ok());
+  EXPECT_EQ(pong.value().text, "pong");
+  // The connection holds exactly one pool session.
+  EXPECT_EQ(pool.size(), 1u);
+  auto bye = client.Roundtrip("close");
+  ASSERT_TRUE(bye.ok());
+  EXPECT_EQ(bye.value().text, "bye");
+  client.Close();
+
+  server.Stop();
+  // Graceful teardown released the connection's session.
+  EXPECT_EQ(pool.size(), 0u);
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.accepted, 1u);
+  EXPECT_EQ(stats.closed, 1u);
+  EXPECT_EQ(stats.active_now, 0u);
+  EXPECT_GE(stats.requests, 2u);
+}
+
+TEST(NetServerTest, NavigationAndBodyOps) {
+  ServerFixture f = MakeFixture("net_nav");
+  SessionManager pool(f.store.get());
+  Server server(&pool);
+  ASSERT_TRUE(server.Start().ok());
+
+  Client client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port()).ok());
+  auto r = client.Roundtrip("summary");
+  ASSERT_TRUE(r.ok());
+  EXPECT_NE(r.value().text.find("focus=s000"), std::string::npos);
+  EXPECT_NE(r.value().text.find("path=s000"), std::string::npos);
+  r = client.Roundtrip("child 0");
+  ASSERT_TRUE(r.ok());
+  EXPECT_NE(r.value().text.find("focus=s001"), std::string::npos);
+  r = client.Roundtrip("render svg");
+  ASSERT_TRUE(r.ok());
+  ASSERT_TRUE(r.value().has_body);
+  EXPECT_NE(r.value().body.find("<svg"), std::string::npos);
+  EXPECT_NE(r.value().body.find("</svg>"), std::string::npos);
+  // JSON framing on the same connection.
+  r = client.Roundtrip("{\"op\":\"parent\"}");
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r.value().json);
+  EXPECT_NE(r.value().text.find("\"ok\":true"), std::string::npos);
+  // JSON render embeds the whole escaped SVG inline — the client reads
+  // it under the response cap, not the 64 KiB request cap.
+  r = client.Roundtrip("{\"op\":\"render\",\"arg\":\"svg\"}");
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r.value().json);
+  EXPECT_NE(r.value().text.find("\"body\":\""), std::string::npos);
+  // Protocol errors keep the connection alive.
+  r = client.Roundtrip("child 99");
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(r.value().ok);
+  r = client.Roundtrip("frobnicate");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().code, "InvalidArgument");
+  r = client.Roundtrip("ping");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().text, "pong");
+  client.Close();
+  server.Stop();
+  EXPECT_EQ(pool.size(), 0u);
+}
+
+TEST(NetServerTest, FourConcurrentClientsDeterministicTranscripts) {
+  ServerFixture f = MakeFixture("net_four");
+  SessionManager pool(f.store.get());
+  Server server(&pool);
+  ASSERT_TRUE(server.Start().ok());
+
+  // Four clients on overlapping subtrees: all descend into s001's
+  // neighborhood, two of them load the same leaves the others load.
+  const std::vector<std::vector<std::string>> scripts = {
+      {"child 0", "child 0", "load", "parent", "summary"},
+      {"child 0", "child 1", "load", "back", "summary"},
+      {"focus s001", "child 0", "load", "connectivity", "summary"},
+      {"locate Jiawei Han", "load", "root", "child 0", "summary"},
+  };
+  std::vector<std::string> transcripts(scripts.size());
+  std::vector<std::thread> threads;
+  threads.reserve(scripts.size());
+  for (size_t i = 0; i < scripts.size(); ++i) {
+    threads.emplace_back([&, i] {
+      transcripts[i] = DriveClient(server.port(), scripts[i]);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  // Per-client transcripts are fully deterministic regardless of the
+  // interleaving — every client has its own session.
+  EXPECT_EQ(transcripts[0],
+            "focus=s001 display=7|focus=s002 display=7|"
+            "leaf=s002 n=22 e=62|focus=s001 display=7|"
+            "focus=s001 depth=1 children=3 display=7 path=s000/s001");
+  EXPECT_EQ(transcripts[1],
+            "focus=s001 display=7|focus=s003 display=7|"
+            "leaf=s003 n=8 e=0|focus=s001 display=7|"
+            "focus=s001 depth=1 children=3 display=7 path=s000/s001");
+  EXPECT_EQ(transcripts[2],
+            "focus=s001 display=7|focus=s002 display=7|"
+            "leaf=s002 n=22 e=62|edges=7|"
+            "focus=s002 depth=2 children=0 display=7 path=s000/s001/s002");
+  EXPECT_EQ(transcripts[3],
+            "node 251 focus=s011 display=7|leaf=s011 n=51 e=156|"
+            "focus=s000 display=4|focus=s001 display=7|"
+            "focus=s001 depth=1 children=3 display=7 path=s000/s001");
+
+  // Every client's disconnect released its session; overlapping leaves
+  // produced cross-session cache reuse.
+  server.Stop();
+  EXPECT_EQ(pool.size(), 0u);
+  const core::SessionPoolStats pstats = pool.stats();
+  EXPECT_EQ(pstats.opened, 4u);
+  EXPECT_EQ(pstats.closed, 4u);
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.accepted, 4u);
+  EXPECT_EQ(stats.closed, 4u);
+  EXPECT_EQ(stats.requests, 20u);
+  EXPECT_GT(f.store->stats().shared_hits, 0u);
+}
+
+TEST(NetServerTest, StatsReportPerConnectionCounts) {
+  ServerFixture f = MakeFixture("net_stats");
+  SessionManager pool(f.store.get());
+  Server server(&pool);
+  ASSERT_TRUE(server.Start().ok());
+  Client client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port()).ok());
+  (void)client.Roundtrip("ping");
+  (void)client.Roundtrip("child 0");
+  auto r = client.Roundtrip("stats");
+  ASSERT_TRUE(r.ok());
+  // ping + child completed before this stats request was counted.
+  EXPECT_NE(r.value().text.find("conn id=1 requests=2"),
+            std::string::npos)
+      << r.value().text;
+  EXPECT_NE(r.value().text.find("pool open=1"), std::string::npos);
+  EXPECT_NE(r.value().text.find("| store leaf_loads="),
+            std::string::npos);
+  // The server-side snapshot agrees.
+  auto conns = server.connections();
+  ASSERT_EQ(conns.size(), 1u);
+  EXPECT_EQ(conns[0].requests, 3u);
+  EXPECT_EQ(conns[0].session, 1u);
+  client.Close();
+  server.Stop();
+}
+
+TEST(NetServerTest, IdleReapingFlowsFromPoolToConnection) {
+  ServerFixture f = MakeFixture("net_idle");
+  SessionManagerOptions mopts;
+  mopts.idle_timeout_micros = 50 * 1000;  // 50ms
+  SessionManager pool(f.store.get(), mopts);
+  ServerOptions sopts;
+  sopts.poll_interval_ms = 10;
+  Server server(&pool, sopts);
+  ASSERT_TRUE(server.Start().ok());
+
+  Client client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port()).ok());
+  ASSERT_TRUE(client.Roundtrip("ping").ok());
+  // Go quiet past the idle timeout: the housekeeper's
+  // CloseIdleSessions reaps the session, the close hook kills the
+  // connection, and the next roundtrip fails at the transport level.
+  bool dropped = false;
+  for (int i = 0; i < 100 && !dropped; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(60));
+    dropped = !client.Roundtrip("ping").ok() || pool.size() == 0;
+  }
+  EXPECT_TRUE(dropped);
+  EXPECT_GE(pool.stats().idle_closed, 1u);
+  EXPECT_EQ(pool.size(), 0u);
+  client.Close();
+  server.Stop();
+}
+
+TEST(NetServerTest, ConnectionLevelOpsKeepTheSessionAlive) {
+  ServerFixture f = MakeFixture("net_keepalive");
+  SessionManagerOptions mopts;
+  mopts.idle_timeout_micros = 500 * 1000;  // 500ms
+  SessionManager pool(f.store.get(), mopts);
+  ServerOptions sopts;
+  sopts.poll_interval_ms = 10;
+  Server server(&pool, sopts);
+  ASSERT_TRUE(server.Start().ok());
+
+  Client client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port()).ok());
+  // ping/stats bypass WithSession; the keepalive touch must still keep
+  // an actively probing client's session out of the idle reaper.
+  for (int i = 0; i < 8; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    auto r = client.Roundtrip(i % 2 == 0 ? "ping" : "stats");
+    ASSERT_TRUE(r.ok()) << "probe " << i << ": "
+                        << r.status().ToString();
+  }
+  EXPECT_EQ(pool.stats().idle_closed, 0u);
+  EXPECT_EQ(pool.size(), 1u);
+  client.Close();
+  server.Stop();
+}
+
+TEST(NetServerTest, CapacityGateRejectsExtraClients) {
+  ServerFixture f = MakeFixture("net_cap");
+  SessionManager pool(f.store.get());
+  ServerOptions sopts;
+  sopts.max_clients = 1;
+  Server server(&pool, sopts);
+  ASSERT_TRUE(server.Start().ok());
+
+  Client first;
+  ASSERT_TRUE(first.Connect("127.0.0.1", server.port()).ok());
+  ASSERT_TRUE(first.Roundtrip("ping").ok());
+
+  // The second client is turned away with one ERR line.
+  Client second;
+  Status st = second.Connect("127.0.0.1", server.port());
+  if (st.ok()) {
+    EXPECT_NE(second.greeting().find("at capacity"), std::string::npos)
+        << second.greeting();
+  }
+  second.Close();
+  first.Close();
+  server.Stop();
+  EXPECT_GE(server.stats().rejected, 1u);
+}
+
+TEST(NetServerTest, OversizedLineDropsTheConnection) {
+  ServerFixture f = MakeFixture("net_oversize");
+  SessionManager pool(f.store.get());
+  Server server(&pool);
+  ASSERT_TRUE(server.Start().ok());
+  Client client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port()).ok());
+  // One unterminated >64KB line: the server answers once and drops us.
+  std::string huge(kMaxLineBytes + 1024, 'x');
+  auto r = client.Roundtrip(huge);
+  if (r.ok()) {
+    EXPECT_FALSE(r.value().ok);
+    EXPECT_EQ(r.value().code, "InvalidArgument");
+  }
+  // Either way, the connection is gone.
+  bool closed = false;
+  for (int i = 0; i < 50 && !closed; ++i) {
+    closed = !client.Roundtrip("ping").ok();
+    if (!closed) std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_TRUE(closed);
+  client.Close();
+  server.Stop();
+  EXPECT_EQ(pool.size(), 0u);
+}
+
+TEST(NetServerTest, PrefetchWarmsTheSharedCache) {
+  ServerFixture f = MakeFixture("net_prefetch");
+  SessionManager pool(f.store.get());
+  core::Prefetcher prefetcher(f.store.get());
+  ServerOptions sopts;
+  sopts.prefetch = true;
+  Server server(&pool, sopts, &prefetcher);
+  ASSERT_TRUE(server.Start().ok());
+
+  Client client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port()).ok());
+  // Focusing s001 hints its child leaves; give the background loader a
+  // moment, then the session's own load must hit the warmed cache.
+  ASSERT_TRUE(client.Roundtrip("focus s001").ok());
+  prefetcher.Drain();
+  const core::PrefetchStats pf = prefetcher.stats();
+  EXPECT_GT(pf.enqueued, 0u);
+  EXPECT_GT(pf.loaded + pf.already_cached, 0u);
+  const uint64_t shared_before = f.store->stats().shared_hits;
+  ASSERT_TRUE(client.Roundtrip("child 0").ok());
+  auto load = client.Roundtrip("load");
+  ASSERT_TRUE(load.ok());
+  EXPECT_TRUE(load.value().ok) << load.value().text;
+  // The load was served from a page the *prefetcher* reader pulled in:
+  // that is exactly a cross-reader shared hit.
+  EXPECT_GT(f.store->stats().shared_hits, shared_before);
+  client.Close();
+  server.Stop();
+}
+
+TEST(NetServerTest, ShutdownOpStopsTheServerWithoutLeaks) {
+  ServerFixture f = MakeFixture("net_shutdown");
+  SessionManager pool(f.store.get());
+  Server server(&pool);
+  ASSERT_TRUE(server.Start().ok());
+
+  // A second, idle client must be torn down by the shutdown too.
+  Client bystander;
+  ASSERT_TRUE(bystander.Connect("127.0.0.1", server.port()).ok());
+  ASSERT_TRUE(bystander.Roundtrip("ping").ok());
+
+  Client controller;
+  ASSERT_TRUE(controller.Connect("127.0.0.1", server.port()).ok());
+  auto r = controller.Roundtrip("shutdown");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().text, "shutting down");
+
+  server.WaitUntilShutdown();  // returns immediately: op signaled it
+  server.Stop();
+  EXPECT_EQ(pool.size(), 0u);  // no leaked sessions
+  EXPECT_EQ(server.stats().active_now, 0u);
+  bystander.Close();
+  controller.Close();
+}
+
+}  // namespace
+}  // namespace gmine::net

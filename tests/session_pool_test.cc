@@ -255,6 +255,54 @@ TEST(SessionPoolTest, CloseIdleSessionsReapsOnlyIdleUnpinned) {
   EXPECT_EQ(no_timeout.CloseIdleSessions(), 0u);
 }
 
+// The close hook tells hosts owning connection-scoped sessions (the
+// network front end) why a session left the pool — once per removal,
+// for every removal path.
+TEST(SessionPoolTest, CloseHookFiresForEveryRemovalPath) {
+  PoolFixture f = MakePoolFixture("hook");
+  SessionManagerOptions opts;
+  opts.max_sessions = 2;
+  opts.idle_timeout_micros = 1;
+  SessionManager pool(f.store.get(), opts);
+  std::vector<std::pair<SessionId, SessionCloseReason>> events;
+  pool.set_on_session_closed(
+      [&](SessionId id, SessionCloseReason reason) {
+        events.emplace_back(id, reason);
+      });
+
+  SessionId a = std::move(pool.OpenSession()).value();
+  SessionId b = std::move(pool.OpenSession()).value();
+  // Explicit close.
+  ASSERT_TRUE(pool.CloseSession(a).ok());
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0], std::make_pair(a, SessionCloseReason::kClosed));
+  // LRU eviction past the cap (b is the LRU once c arrives).
+  SessionId c = std::move(pool.OpenSession()).value();
+  SessionId d = std::move(pool.OpenSession()).value();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[1], std::make_pair(b, SessionCloseReason::kEvicted));
+  // Idle reap.
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  EXPECT_EQ(pool.CloseIdleSessions(), 2u);
+  ASSERT_EQ(events.size(), 4u);
+  EXPECT_EQ(events[2].second, SessionCloseReason::kIdle);
+  EXPECT_EQ(events[3].second, SessionCloseReason::kIdle);
+  (void)c;
+  (void)d;
+
+  // Clearing the hook silences it.
+  pool.set_on_session_closed({});
+  SessionId e = std::move(pool.OpenSession()).value();
+  ASSERT_TRUE(pool.CloseSession(e).ok());
+  EXPECT_EQ(events.size(), 4u);
+
+  EXPECT_STREQ(SessionCloseReasonName(SessionCloseReason::kClosed),
+               "closed");
+  EXPECT_STREQ(SessionCloseReasonName(SessionCloseReason::kEvicted),
+               "evicted");
+  EXPECT_STREQ(SessionCloseReasonName(SessionCloseReason::kIdle), "idle");
+}
+
 // The engine's legacy single-session API now delegates to the pool: the
 // default session is a pinned pool member, and extra sessions share its
 // store.

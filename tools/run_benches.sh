@@ -43,6 +43,7 @@ run_sweep() {
 run_sweep bench_metrics 'BM_(PageRank|Betweenness)Threads' "$TMP_DIR/metrics.json"
 run_sweep bench_rwr 'BM_RwrThreads' "$TMP_DIR/rwr.json"
 run_sweep bench_scale 'BM_(GTreeBuildShards|SessionPoolNavigate)' "$TMP_DIR/gtree_build.json"
+run_sweep bench_server 'BM_ServerNavigate' "$TMP_DIR/server.json"
 
 python3 - "$REPO_ROOT/BENCH_kernels.json" "$TMP_DIR"/*.json <<'PY'
 import json
@@ -58,6 +59,9 @@ kernel_names = {
     "BM_GTreeBuildShards": "gtree_build_sharded",
     # arg = concurrent session count over one store (fixed visit budget)
     "BM_SessionPoolNavigate": "session_pool_navigate",
+    # arg = concurrent loopback clients against one net::Server
+    # (fixed request budget)
+    "BM_ServerNavigate": "server_navigate",
 }
 kernels = {}
 context = {}
