@@ -1,0 +1,189 @@
+// Experiment E1 (incremental maintenance, docs/EDITS.md): a single-edge
+// edit through the incremental repair must cost orders of magnitude less
+// than the legacy whole-graph rebuild, and must stop scaling with total
+// graph size — the repair touches one page and a handful of
+// connectivity rows regardless of how big the rest of the store is.
+//
+// BM_GTreeEditIncremental / BM_GTreeEditFullRebuild (arg = graph size)
+// feed the "gtree_edit_incremental" / "gtree_edit_full" sweeps of
+// BENCH_kernels.json via tools/run_benches.sh.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <map>
+#include <memory>
+
+#include "bench_common.h"
+#include "core/engine.h"
+#include "util/timer.h"
+
+namespace {
+
+using namespace gmine;  // NOLINT
+using bench::CachedDblp;
+
+struct SizeConfig {
+  uint32_t levels, fanout, leaf_size;
+};
+
+// arg (approx node count) -> generator shape: n = fanout^levels * leaf.
+const std::map<int64_t, SizeConfig>& Sizes() {
+  static const std::map<int64_t, SizeConfig> sizes = {
+      {1500, {2, 5, 60}},
+      {7500, {3, 5, 60}},
+      {30000, {3, 5, 240}},
+  };
+  return sizes;
+}
+
+// One persistent engine per (size, mode): edits toggle a single
+// cross-leaf edge back and forth, so the store stays bounded while every
+// iteration measures exactly one ApplyEdit.
+struct EditBench {
+  std::unique_ptr<core::GMineEngine> engine;
+  graph::NodeId u = 0;
+  graph::NodeId v = 0;
+  bool present = false;
+  std::string path;
+};
+
+EditBench* GetEditBench(int64_t size, bool incremental) {
+  static std::map<std::pair<int64_t, bool>, EditBench> cache;
+  auto key = std::make_pair(size, incremental);
+  auto it = cache.find(key);
+  if (it != cache.end()) return &it->second;
+
+  const SizeConfig& cfg = Sizes().at(size);
+  const gen::DblpGraph& data =
+      CachedDblp(cfg.levels, cfg.fanout, cfg.leaf_size);
+  EditBench bench;
+  bench.path = StrFormat("/tmp/gmine_bm_edit_%lld_%d.gtree",
+                         static_cast<long long>(size),
+                         incremental ? 1 : 0);
+  core::EngineOptions opts;
+  opts.build.levels = cfg.levels;
+  opts.build.fanout = cfg.fanout;
+  opts.edit.incremental = incremental;
+  auto engine =
+      core::GMineEngine::Build(data.graph, data.labels, bench.path, opts);
+  if (!engine.ok()) return nullptr;
+  bench.engine = std::move(engine).value();
+  // A cross-leaf pair with no existing edge: adds/removes alternate.
+  const gtree::GTree& tree = bench.engine->tree();
+  bench.u = 0;
+  for (graph::NodeId cand = 1; cand < data.graph.num_nodes(); ++cand) {
+    if (tree.LeafOf(cand) != tree.LeafOf(bench.u) &&
+        !data.graph.HasEdge(bench.u, cand)) {
+      bench.v = cand;
+      break;
+    }
+  }
+  auto [pos, _] = cache.emplace(key, std::move(bench));
+  return &pos->second;
+}
+
+void RunEditLoop(benchmark::State& state, bool incremental) {
+  EditBench* bench = GetEditBench(state.range(0), incremental);
+  if (bench == nullptr || bench->engine == nullptr) {
+    state.SkipWithError("engine build failed");
+    return;
+  }
+  for (auto _ : state) {
+    auto g = bench->engine->full_graph();
+    if (!g.ok()) {
+      state.SkipWithError(g.status().ToString().c_str());
+      return;
+    }
+    graph::GraphEdit edit(g.value()->num_nodes());
+    if (bench->present) {
+      edit.RemoveEdge(bench->u, bench->v);
+    } else {
+      edit.AddEdge(bench->u, bench->v, 2.0f);
+    }
+    core::EditStats stats;
+    Status st = bench->engine->ApplyEdit(edit, {}, &stats);
+    if (!st.ok()) {
+      state.SkipWithError(st.ToString().c_str());
+      return;
+    }
+    bench->present = !bench->present;
+  }
+}
+
+void BM_GTreeEditIncremental(benchmark::State& state) {
+  RunEditLoop(state, /*incremental=*/true);
+}
+
+void BM_GTreeEditFullRebuild(benchmark::State& state) {
+  RunEditLoop(state, /*incremental=*/false);
+}
+
+BENCHMARK(BM_GTreeEditIncremental)
+    ->Arg(1500)
+    ->Arg(7500)
+    ->Arg(30000)
+    ->Unit(benchmark::kMicrosecond);
+
+// The full-rebuild column exists to expose the scaling gap; keep its
+// iteration budget small — one rebuild of the 30k workload costs whole
+// seconds.
+BENCHMARK(BM_GTreeEditFullRebuild)
+    ->Arg(1500)
+    ->Arg(7500)
+    ->Arg(30000)
+    ->Unit(benchmark::kMicrosecond)
+    ->MinTime(0.02);
+
+void PrintReport() {
+  bench::ReportHeader(
+      "E1: incremental edit maintenance (docs/EDITS.md)",
+      "a single-edge edit repairs one subtree + a few connectivity rows; "
+      "cost stays flat while the full rebuild grows with the graph");
+  std::printf("%-10s %16s %16s %10s\n", "nodes", "incremental", "full rebuild",
+              "ratio");
+  for (const auto& [size, cfg] : Sizes()) {
+    (void)cfg;
+    double micros[2] = {0.0, 0.0};
+    for (int mode = 0; mode < 2; ++mode) {
+      EditBench* bench = GetEditBench(size, mode == 0);
+      if (bench == nullptr || bench->engine == nullptr) continue;
+      constexpr int kReps = 4;
+      StopWatch watch;
+      for (int r = 0; r < kReps; ++r) {
+        auto g = bench->engine->full_graph();
+        if (!g.ok()) break;
+        graph::GraphEdit edit(g.value()->num_nodes());
+        if (bench->present) {
+          edit.RemoveEdge(bench->u, bench->v);
+        } else {
+          edit.AddEdge(bench->u, bench->v, 2.0f);
+        }
+        if (!bench->engine->ApplyEdit(edit).ok()) break;
+        bench->present = !bench->present;
+      }
+      micros[mode] = static_cast<double>(watch.ElapsedMicros()) / kReps;
+    }
+    std::printf("%-10lld %13.0fus %13.0fus %9.1fx\n",
+                static_cast<long long>(size), micros[0], micros[1],
+                micros[0] > 0 ? micros[1] / micros[0] : 0.0);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (gmine::bench::ShouldPrintReport()) PrintReport();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  for (const auto& [size, cfg] : Sizes()) {
+    (void)cfg;
+    for (int mode = 0; mode < 2; ++mode) {
+      std::remove(StrFormat("/tmp/gmine_bm_edit_%lld_%d.gtree",
+                            static_cast<long long>(size), mode)
+                      .c_str());
+    }
+  }
+  return 0;
+}

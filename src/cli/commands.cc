@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <optional>
 
 #include "core/engine.h"
 #include "core/prefetcher.h"
@@ -25,6 +26,16 @@ using core::GMineEngine;
 
 Status UsageError(const std::string& msg) {
   return Status::InvalidArgument(msg + "\n" + UsageText());
+}
+
+std::string ReadAllStdin() {
+  std::string body;
+  char buf[4096];
+  size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof(buf), stdin)) > 0) {
+    body.append(buf, n);
+  }
+  return body;
 }
 
 gmine::Result<uint64_t> FlagUint(const CommandLine& cmd,
@@ -290,6 +301,220 @@ Status CmdExport(const CommandLine& cmd, std::string* out) {
   return Status::OK();
 }
 
+// ------------------------------------------------------------------- edit
+// Batch edit driver over a store: script lines queue node/edge
+// mutations, `apply` closes a batch into one GMineEngine::ApplyEdit, and
+// the transcript reports what the incremental repair did (classified
+// ops, rebuilt subtrees, rewritten pages, patched connectivity rows).
+// docs/EDITS.md walks through a full session.
+
+Status RunEditScript(GMineEngine* engine, const std::string& script,
+                     std::string* out) {
+  std::optional<graph::GraphEdit> edit;
+  std::vector<std::string> pending_labels;
+  size_t batch = 0;
+  size_t line_no = 0;
+
+  auto ensure_edit = [&]() -> Status {
+    if (edit.has_value()) return Status::OK();
+    auto g = engine->full_graph();
+    if (!g.ok()) return g.status();
+    edit.emplace(g.value()->num_nodes());
+    return Status::OK();
+  };
+  auto apply_batch = [&]() -> Status {
+    if (!edit.has_value() || edit->empty()) {
+      edit.reset();
+      pending_labels.clear();
+      return Status::OK();
+    }
+    ++batch;
+    core::EditStats stats;
+    GMINE_RETURN_IF_ERROR(
+        engine->ApplyEdit(*edit, pending_labels, &stats));
+    const gtree::EditClassification& cls = stats.classification;
+    *out += StrFormat(
+        "[batch %zu] ops=%zu intra-leaf=%llu cross-leaf=%llu v+=%llu "
+        "v-=%llu mode=%s\n",
+        batch, edit->num_ops(),
+        static_cast<unsigned long long>(cls.intra_leaf_edge_ops),
+        static_cast<unsigned long long>(cls.cross_leaf_edge_ops),
+        static_cast<unsigned long long>(cls.added_vertices),
+        static_cast<unsigned long long>(cls.removed_vertices),
+        stats.incremental ? "incremental" : "full-rebuild");
+    *out += StrFormat(
+        "  repaired: subtrees=%u pages=%u conn-rows=%zu%s%s "
+        "journal=%zu epoch=%llu wall=%s\n",
+        stats.subtree_rebuilds, stats.pages_written,
+        stats.conn_rows_updated,
+        stats.connectivity_rebuilt ? " conn-rebuilt" : "",
+        stats.compacted ? " compacted" : "", stats.journal_ops,
+        static_cast<unsigned long long>(stats.epoch),
+        HumanMicros(stats.micros).c_str());
+    edit.reset();
+    pending_labels.clear();
+    return Status::OK();
+  };
+
+  size_t pos = 0;
+  while (pos < script.size()) {
+    size_t eol = script.find('\n', pos);
+    if (eol == std::string::npos) eol = script.size();
+    std::string_view line(script.data() + pos, eol - pos);
+    pos = eol + 1;
+    ++line_no;
+    line = TrimWhitespace(line);
+    if (line.empty() || line[0] == '#') continue;
+    size_t sp = line.find(' ');
+    std::string op(sp == std::string_view::npos ? line
+                                                : line.substr(0, sp));
+    std::string_view rest = sp == std::string_view::npos
+                                ? std::string_view()
+                                : TrimWhitespace(line.substr(sp + 1));
+    auto bad = [&](const char* what) {
+      return Status::InvalidArgument(
+          StrFormat("edit script line %zu: %s in '%.*s'", line_no, what,
+                    static_cast<int>(line.size()), line.data()));
+    };
+    auto parse_two = [&](uint64_t* u, uint64_t* v,
+                         std::string_view* tail) -> bool {
+      size_t s1 = rest.find(' ');
+      if (s1 == std::string_view::npos) return false;
+      std::string_view second = TrimWhitespace(rest.substr(s1 + 1));
+      size_t s2 = second.find(' ');
+      std::string_view vtok =
+          s2 == std::string_view::npos ? second : second.substr(0, s2);
+      *tail = s2 == std::string_view::npos
+                  ? std::string_view()
+                  : TrimWhitespace(second.substr(s2 + 1));
+      return ParseUint64(rest.substr(0, s1), u) && ParseUint64(vtok, v);
+    };
+    if (op == "apply") {
+      GMINE_RETURN_IF_ERROR(apply_batch());
+    } else if (op == "add-node") {
+      GMINE_RETURN_IF_ERROR(ensure_edit());
+      graph::NodeId id = edit->AddNode();
+      pending_labels.emplace_back(rest);
+      *out += StrFormat("add-node -> provisional id %u%s%.*s\n", id,
+                        rest.empty() ? "" : " label=",
+                        static_cast<int>(rest.size()), rest.data());
+    } else if (op == "add-edge") {
+      GMINE_RETURN_IF_ERROR(ensure_edit());
+      uint64_t u = 0;
+      uint64_t v = 0;
+      std::string_view tail;
+      if (!parse_two(&u, &v, &tail)) return bad("expected 'add-edge U V [W]'");
+      double w = 1.0;
+      if (!tail.empty() && !ParseDouble(tail, &w)) {
+        return bad("bad edge weight");
+      }
+      edit->AddEdge(static_cast<graph::NodeId>(u),
+                    static_cast<graph::NodeId>(v), static_cast<float>(w));
+    } else if (op == "remove-edge") {
+      GMINE_RETURN_IF_ERROR(ensure_edit());
+      uint64_t u = 0;
+      uint64_t v = 0;
+      std::string_view tail;
+      if (!parse_two(&u, &v, &tail) || !tail.empty()) {
+        return bad("expected 'remove-edge U V'");
+      }
+      edit->RemoveEdge(static_cast<graph::NodeId>(u),
+                       static_cast<graph::NodeId>(v));
+    } else if (op == "remove-node") {
+      GMINE_RETURN_IF_ERROR(ensure_edit());
+      uint64_t v = 0;
+      if (rest.empty() || !ParseUint64(rest, &v)) {
+        return bad("expected 'remove-node V'");
+      }
+      edit->RemoveNode(static_cast<graph::NodeId>(v));
+    } else {
+      return bad(
+          "unknown op (ops: add-node add-edge remove-edge remove-node "
+          "apply)");
+    }
+  }
+  // A trailing unapplied batch applies implicitly.
+  return apply_batch();
+}
+
+Status CmdEdit(const CommandLine& cmd, std::string* out) {
+  if (cmd.positional.empty()) {
+    return UsageError("edit: STORE path required");
+  }
+  EngineOptions opts;
+  const std::string mode = cmd.Get("mode", "incremental");
+  if (mode != "incremental" && mode != "full") {
+    return UsageError("edit: --mode expects 'incremental' or 'full'");
+  }
+  opts.edit.incremental = mode == "incremental";
+  GMINE_ASSIGN_OR_RETURN(uint64_t max_leaf,
+                         FlagUint(cmd, "max-leaf-size", 0));
+  opts.edit.max_leaf_size = static_cast<uint32_t>(max_leaf);
+  GMINE_ASSIGN_OR_RETURN(
+      uint64_t compact_ops,
+      FlagUint(cmd, "compact-ops", opts.store.journal_compact_ops));
+  opts.store.journal_compact_ops = static_cast<size_t>(compact_ops);
+
+  // Repairs and rebuilds must run with the shape the store was built
+  // with — the engine defaults (levels=3, fanout=5) would re-split a
+  // levels=2 store's leaves on the first edit. Stores record their
+  // build shape in the header (gtree::GTreeBuildHints), which the
+  // engine adopts on Open; for hint-less stores (written by raw
+  // GTreeStore::Create) derive the shape from the tree itself, and let
+  // --levels/--fanout override everything.
+  if (cmd.Has("levels") || cmd.Has("fanout")) {
+    auto probe = gtree::GTreeStore::Open(cmd.positional[0]);
+    if (!probe.ok()) return probe.status();
+    const gtree::GTree& tree = probe.value()->tree();
+    uint32_t derived_fanout = 2;
+    for (const gtree::TreeNode& tn : tree.nodes()) {
+      derived_fanout = std::max(
+          derived_fanout, static_cast<uint32_t>(tn.children.size()));
+    }
+    GMINE_ASSIGN_OR_RETURN(
+        uint64_t levels,
+        FlagUint(cmd, "levels", std::max<uint32_t>(1, tree.height())));
+    GMINE_ASSIGN_OR_RETURN(uint64_t fanout,
+                           FlagUint(cmd, "fanout", derived_fanout));
+    opts.build.levels = static_cast<uint32_t>(levels);
+    opts.build.fanout = static_cast<uint32_t>(fanout);
+    opts.edit.use_store_build_shape = false;
+  }
+  auto engine = GMineEngine::Open(cmd.positional[0], opts);
+  if (!engine.ok()) return engine.status();
+  if (opts.edit.use_store_build_shape &&
+      engine.value()->store().build_hints().levels == 0) {
+    // Hint-less store: fall back to tree-derived shape via a reopen.
+    const gtree::GTree& tree = engine.value()->tree();
+    uint32_t derived_fanout = 2;
+    for (const gtree::TreeNode& tn : tree.nodes()) {
+      derived_fanout = std::max(
+          derived_fanout, static_cast<uint32_t>(tn.children.size()));
+    }
+    opts.build.levels = std::max<uint32_t>(1, tree.height());
+    opts.build.fanout = derived_fanout;
+    opts.edit.use_store_build_shape = false;
+    engine = GMineEngine::Open(cmd.positional[0], opts);
+    if (!engine.ok()) return engine.status();
+  }
+
+  std::string script;
+  if (cmd.Has("script")) {
+    auto text = graph::ReadFileToString(cmd.Get("script"));
+    if (!text.ok()) return text.status();
+    script = std::move(text).value();
+  } else {
+    script = ReadAllStdin();
+  }
+  GMINE_RETURN_IF_ERROR(RunEditScript(engine.value().get(), script, out));
+  *out += StrFormat("%s\n", engine.value()->tree().DebugString().c_str());
+  *out += StrFormat(
+      "store: %s journal=%zu\n",
+      HumanBytes(engine.value()->store().file_size()).c_str(),
+      engine.value()->store().journal_ops());
+  return Status::OK();
+}
+
 // ------------------------------------------------------------------ serve
 // Batch/REPL driver multiplexing scripted navigation commands across a
 // pool of sessions over one store. Script lines look like
@@ -410,16 +635,6 @@ Status ParseServeScript(const std::string& body, size_t num_sessions,
     (*queues)[session].push_back(std::move(op));
   }
   return Status::OK();
-}
-
-std::string ReadAllStdin() {
-  std::string body;
-  char buf[4096];
-  size_t n = 0;
-  while ((n = std::fread(buf, 1, sizeof(buf), stdin)) > 0) {
-    body.append(buf, n);
-  }
-  return body;
 }
 
 Status CmdServe(const CommandLine& cmd, std::string* out) {
@@ -760,6 +975,7 @@ Status RunCommand(const CommandLine& cmd, std::string* out) {
   if (cmd.command == "extract") return CmdExtract(cmd, out);
   if (cmd.command == "render") return CmdRender(cmd, out);
   if (cmd.command == "export") return CmdExport(cmd, out);
+  if (cmd.command == "edit") return CmdEdit(cmd, out);
   if (cmd.command == "serve") return CmdServe(cmd, out);
   if (cmd.command == "server") return CmdServer(cmd, out);
   if (cmd.command == "connect") return CmdConnect(cmd, out);
@@ -792,6 +1008,13 @@ std::string UsageText() {
       "[--svg FILE]\n"
       "  render   STORE [--focus COMMUNITY] [--zoom Z] --svg FILE\n"
       "  export   STORE --community NAME (--dot FILE | --graphml FILE)\n"
+      "  edit     STORE [--script FILE] [--mode incremental|full]\n"
+      "           [--levels L --fanout K (default: derived from the\n"
+      "           store's tree)] [--max-leaf-size N] [--compact-ops N]\n"
+      "           applies batched edit-script lines (add-node [LABEL] /\n"
+      "           add-edge U V [W] / remove-edge U V / remove-node V /\n"
+      "           apply) with incremental subtree repair; --mode full\n"
+      "           forces the legacy whole-graph rebuild\n"
       "  serve    STORE [--sessions N] [--script FILE] [--threads T]\n"
       "           [--cache-pages P]  multiplexes '<session> <op> [arg]'\n"
       "           script lines (or stdin) across N concurrent sessions\n"

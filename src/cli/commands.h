@@ -13,6 +13,10 @@
 //             [--svg FILE]    multi-source connection subgraph
 //   render    STORE [--focus NAME] [--zoom Z] --svg FILE
 //   export    STORE --community NAME (--dot FILE | --graphml FILE)
+//   edit      STORE [--script FILE] [--mode incremental|full]
+//             [--max-leaf-size N] [--compact-ops N]  batch edit driver:
+//             applies add-node/add-edge/remove-edge/remove-node script
+//             batches with incremental subtree repair (docs/EDITS.md)
 //   serve     STORE [--sessions N] [--script FILE] [--threads T]
 //             [--cache-pages P]  concurrent session-pool driver: runs
 //             '<session> <op> [arg]' script lines (or stdin) across N

@@ -7,11 +7,25 @@
 #include "graph/subgraph.h"
 #include "gtree/connectivity.h"
 #include "util/string_util.h"
+#include "util/timer.h"
 
 namespace gmine::core {
 
 using graph::NodeId;
 using gtree::TreeNodeId;
+
+namespace {
+
+gtree::GTreeBuildHints HintsFrom(const gtree::GTreeBuildOptions& build) {
+  gtree::GTreeBuildHints hints;
+  hints.levels = build.levels;
+  hints.fanout = build.fanout;
+  hints.min_partition_size = build.min_partition_size;
+  hints.partition_seed = build.partition.seed;
+  return hints;
+}
+
+}  // namespace
 
 gmine::Result<std::unique_ptr<GMineEngine>> GMineEngine::Build(
     const graph::Graph& g, const graph::LabelStore& labels,
@@ -20,8 +34,9 @@ gmine::Result<std::unique_ptr<GMineEngine>> GMineEngine::Build(
   if (!tree.ok()) return tree.status();
   gtree::ConnectivityIndex conn =
       gtree::ConnectivityIndex::Build(g, tree.value(), options.build.threads);
+  gtree::GTreeBuildHints hints = HintsFrom(options.build);
   GMINE_RETURN_IF_ERROR(gtree::GTreeStore::Create(store_path, g, tree.value(),
-                                                  conn, labels));
+                                                  conn, labels, &hints));
   return Open(store_path, options);
 }
 
@@ -33,6 +48,17 @@ gmine::Result<std::unique_ptr<GMineEngine>> GMineEngine::Open(
   engine->store_ = std::move(store).value();
   engine->store_path_ = store_path;
   engine->options_ = options;
+  // Adopt the store's recorded build shape: edits must re-partition
+  // with the parameters the hierarchy was actually built with, not the
+  // opener's defaults (see EditOptions::use_store_build_shape).
+  const gtree::GTreeBuildHints& hints = engine->store_->build_hints();
+  if (options.edit.use_store_build_shape && hints.levels > 0 &&
+      hints.fanout >= 2) {
+    engine->options_.build.levels = hints.levels;
+    engine->options_.build.fanout = hints.fanout;
+    engine->options_.build.min_partition_size = hints.min_partition_size;
+    engine->options_.build.partition.seed = hints.partition_seed;
+  }
   GMINE_RETURN_IF_ERROR(engine->ResetSessions());
   return engine;
 }
@@ -53,16 +79,35 @@ Status GMineEngine::ResetSessions() {
 }
 
 Status GMineEngine::ApplyEdit(const graph::GraphEdit& edit,
-                              const std::vector<std::string>& new_labels) {
+                              const std::vector<std::string>& new_labels,
+                              EditStats* stats) {
+  StopWatch watch;
+  EditStats local;
+  EditStats& out = stats != nullptr ? *stats : local;
+  out = EditStats();
+
   auto base = full_graph();
   if (!base.ok()) return base.status();
-  auto edited = edit.Apply(*base.value());
+  // Edits without node removals never remap ids, so the cheap CSR merge
+  // applies; removals fall back to the general rebuild-through-builder.
+  auto edited = edit.removed_nodes().empty() ? edit.ApplyFast(*base.value())
+                                             : edit.Apply(*base.value());
   if (!edited.ok()) return edited.status();
-  const graph::EditResult& result = edited.value();
+  graph::EditResult result = std::move(edited).value();
 
-  // Remap surviving labels; name the added nodes from `new_labels`.
+  // Remap surviving labels and name the added nodes from `new_labels` —
+  // but only when something about them actually changes: the remap
+  // copies every label, which must not tax the pure-edge hot path.
+  bool adds_labels = false;
+  for (size_t i = 0; i < result.added_nodes.size() && i < new_labels.size();
+       ++i) {
+    adds_labels = adds_labels || !new_labels[i].empty();
+  }
+  const bool labels_changed =
+      (!edit.removed_nodes().empty() && !store_->labels().empty()) ||
+      adds_labels;
   graph::LabelStore labels;
-  if (!store_->labels().empty()) {
+  if (labels_changed) {
     for (graph::NodeId old_id = 0;
          old_id < store_->labels().size() &&
          old_id < result.old_to_new.size();
@@ -72,12 +117,105 @@ Status GMineEngine::ApplyEdit(const graph::GraphEdit& edit,
       std::string_view label = store_->labels().Label(old_id);
       if (!label.empty()) labels.SetLabel(new_id, std::string(label));
     }
-  }
-  for (size_t i = 0; i < result.added_nodes.size() && i < new_labels.size();
-       ++i) {
-    labels.SetLabel(result.added_nodes[i], new_labels[i]);
+    for (size_t i = 0;
+         i < result.added_nodes.size() && i < new_labels.size(); ++i) {
+      if (new_labels[i].empty()) continue;
+      labels.SetLabel(result.added_nodes[i], new_labels[i]);
+    }
   }
 
+  Status published;
+  if (options_.edit.incremental) {
+    published = ApplyEditIncremental(edit, result, labels, labels_changed,
+                                     &out);
+  } else {
+    published = ApplyEditFullRebuild(
+        result, labels_changed ? labels : store_->labels(), &out);
+  }
+  if (!published.ok()) return published;
+
+  default_session_ = sessions_->PinnedSession(default_session_id_);
+  if (default_session_ == nullptr) {
+    return Status::Internal("engine default session missing after edit");
+  }
+  {
+    std::lock_guard<std::mutex> lock(graph_mu_);
+    full_graph_ = std::move(result.graph);
+  }
+  out.epoch = sessions_->epoch();
+  out.micros = watch.ElapsedMicros();
+  return Status::OK();
+}
+
+Status GMineEngine::ApplyEditIncremental(const graph::GraphEdit& edit,
+                                         graph::EditResult& result,
+                                         const graph::LabelStore& labels,
+                                         bool labels_changed,
+                                         EditStats* out) {
+  out->incremental = true;
+  gtree::RepairOptions ropts;
+  ropts.build = options_.build;
+  ropts.max_leaf_size = options_.edit.max_leaf_size;
+  auto base = full_graph();
+  if (!base.ok()) return base.status();
+  auto repaired =
+      gtree::RepairGTree(store_->tree(), *base.value(), edit, result, ropts);
+  if (!repaired.ok()) return repaired.status();
+  gtree::RepairResult& rep = repaired.value();
+  out->classification = rep.classification;
+  out->subtree_rebuilds = rep.subtree_rebuilds;
+
+  // Materialize only the dirty pages.
+  std::vector<std::pair<gtree::TreeNodeId, graph::Subgraph>> pages;
+  pages.reserve(rep.dirty_leaves.size());
+  for (gtree::TreeNodeId leaf : rep.dirty_leaves) {
+    auto sub =
+        graph::InducedSubgraph(result.graph, rep.tree.node(leaf).members);
+    if (!sub.ok()) return sub.status();
+    pages.emplace_back(leaf, std::move(sub).value());
+  }
+  gtree::ConnectivityIndex rebuilt_conn;
+  if (rep.rebuild_connectivity) {
+    rebuilt_conn = gtree::ConnectivityIndex::Build(
+        result.graph, rep.tree, options_.build.threads);
+    out->connectivity_rebuilt = true;
+  } else {
+    out->conn_rows_updated = rep.conn_deltas.size();
+  }
+
+  gtree::GTreeStoreUpdate update;
+  update.tree = &rep.tree;
+  update.graph = &result.graph;
+  update.dirty_pages = std::move(pages);
+  update.old_to_new = rep.topology_changed ? &rep.old_to_new : nullptr;
+  if (rep.rebuild_connectivity) {
+    update.replacement_conn = &rebuilt_conn;
+  } else {
+    update.conn_deltas = &rep.conn_deltas;
+  }
+  update.labels = labels_changed ? &labels : nullptr;
+  // Id-remapping edits compact the store (every page's global-id
+  // mapping shifted); everything else appends + journals.
+  update.journal_edit = rep.classification.needs_remap ? nullptr : &edit;
+
+  gtree::GTreeStoreUpdateStats ustats;
+  GMINE_RETURN_IF_ERROR(sessions_->UpdateEpoch(
+      [&]() -> gmine::Result<const gtree::GTreeStore*> {
+        GMINE_RETURN_IF_ERROR(store_->ApplyUpdate(update, &ustats));
+        return store_.get();
+      }));
+  out->compacted = ustats.compacted;
+  out->pages_written = ustats.compacted
+                           ? store_->tree().num_leaves()
+                           : ustats.pages_written;
+  out->pages_invalidated = ustats.pages_invalidated;
+  out->journal_ops = ustats.journal_ops;
+  return Status::OK();
+}
+
+Status GMineEngine::ApplyEditFullRebuild(graph::EditResult& result,
+                                         const graph::LabelStore& labels,
+                                         EditStats* out) {
   // Rebuild the hierarchy into a sibling file and swap it in only once
   // every step has succeeded, so a failed edit leaves the engine on the
   // old store instead of half-dismantled.
@@ -86,34 +224,34 @@ Status GMineEngine::ApplyEdit(const graph::GraphEdit& edit,
   gtree::ConnectivityIndex conn = gtree::ConnectivityIndex::Build(
       result.graph, tree.value(), options_.build.threads);
   const std::string tmp_path = store_path_ + ".tmp";
+  gtree::GTreeBuildHints hints = HintsFrom(options_.build);
   Status created = gtree::GTreeStore::Create(tmp_path, result.graph,
-                                             tree.value(), conn, labels);
+                                             tree.value(), conn, labels,
+                                             &hints);
   if (!created.ok()) {
     std::remove(tmp_path.c_str());
     return created;
   }
-  auto store = gtree::GTreeStore::Open(tmp_path, options_.store);
-  if (!store.ok()) {
-    std::remove(tmp_path.c_str());
-    return store.status();
-  }
-  // The open handle survives the rename (the fd follows the file).
-  // POSIX semantics: rename replaces an existing destination atomically.
+  // POSIX semantics: rename replaces an existing destination atomically;
+  // the current store's open handle keeps reading the old inode until
+  // the swap below.
   if (std::rename(tmp_path.c_str(), store_path_.c_str()) != 0) {
     std::remove(tmp_path.c_str());
     return Status::IOError(
         StrFormat("ApplyEdit: cannot replace %s", store_path_.c_str()));
   }
-  // Every pooled session navigates the old hierarchy; the rebuild
-  // replaces them all along with the store.
-  sessions_.reset();
-  default_session_ = nullptr;
-  store_ = std::move(store).value();
-  GMINE_RETURN_IF_ERROR(ResetSessions());
-  {
-    std::lock_guard<std::mutex> lock(graph_mu_);
-    full_graph_.reset();
-  }
+  auto store = gtree::GTreeStore::Open(store_path_, options_.store);
+  if (!store.ok()) return store.status();
+  // Live pool sessions survive the store swap through the epoch bump
+  // (ids preserved, focus reset to the new root).
+  GMINE_RETURN_IF_ERROR(sessions_->UpdateEpoch(
+      [&]() -> gmine::Result<const gtree::GTreeStore*> {
+        store_ = std::move(store).value();
+        return store_.get();
+      }));
+  out->compacted = true;
+  out->connectivity_rebuilt = true;
+  out->pages_written = store_->tree().num_leaves();
   return Status::OK();
 }
 

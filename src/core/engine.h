@@ -26,12 +26,30 @@
 #include "graph/graph_edit.h"
 #include "graph/labels.h"
 #include "gtree/builder.h"
+#include "gtree/edit_repair.h"
 #include "gtree/navigation.h"
 #include "gtree/store.h"
 #include "mining/metrics.h"
 #include "util/status.h"
 
 namespace gmine::core {
+
+/// ApplyEdit policy.
+struct EditOptions {
+  /// Repair only the affected subtrees (gtree/edit_repair.h) instead of
+  /// rebuilding the whole hierarchy. Off = the legacy full rebuild —
+  /// every edit re-partitions the entire graph.
+  bool incremental = true;
+  /// Leaf re-split threshold; 0 = auto (see gtree::RepairOptions).
+  uint32_t max_leaf_size = 0;
+  /// Stores record the shape they were built with
+  /// (gtree::GTreeBuildHints); when set — the default — Open adopts
+  /// that recorded shape into `EngineOptions::build`, so repairs and
+  /// rebuilds re-partition with the original levels/fanout/seed even
+  /// when the opener passed none. Turn off to force the caller's
+  /// `build` options verbatim.
+  bool use_store_build_shape = true;
+};
 
 /// Engine construction options.
 struct EngineOptions {
@@ -47,6 +65,31 @@ struct EngineOptions {
   /// copied over `sessions.tomahawk` when the engine builds the pool,
   /// so set `tomahawk`, not `sessions.tomahawk`.
   SessionManagerOptions sessions;
+  /// Node/edge edition policy (ApplyEdit).
+  EditOptions edit;
+};
+
+/// What one ApplyEdit did (reported by `gmine edit`).
+struct EditStats {
+  gtree::EditClassification classification;
+  /// False when the legacy full rebuild ran (policy off).
+  bool incremental = false;
+  /// Store took its rewrite path (id remap or journal compaction).
+  bool compacted = false;
+  /// Leaves re-split through the sharded region builder.
+  uint32_t subtree_rebuilds = 0;
+  /// Dirty pages serialized (incremental append path).
+  uint32_t pages_written = 0;
+  /// Cache pages invalidated by the update.
+  uint32_t pages_invalidated = 0;
+  /// Connectivity rows patched in place (0 when rebuilt).
+  size_t conn_rows_updated = 0;
+  bool connectivity_rebuilt = false;
+  /// Journal length after the edit.
+  size_t journal_ops = 0;
+  /// Pool epoch after the edit.
+  uint64_t epoch = 0;
+  int64_t micros = 0;
 };
 
 /// Pop-up node information (details on demand).
@@ -71,9 +114,13 @@ struct NodeDetails {
 /// through the session pool (sessions()): concurrent sessions are safe
 /// via SessionManager::WithSession, while the legacy single-session
 /// accessor session() hands out the pool's pinned default session and
-/// must be driven from one thread at a time. ApplyEdit requires
-/// exclusive access to the engine (it replaces the store, the pool and
-/// every session).
+/// must be driven from one thread at a time. ApplyEdit may run
+/// concurrently with pool-driven navigation (sessions()->WithSession):
+/// it publishes the repaired store through the pool's epoch bump, which
+/// drains in-flight callbacks and re-seats every session. It must still
+/// be exclusive against the rest of the engine surface (session(),
+/// GetNodeDetails, ExtractConnectionSubgraph, ...), which reads the
+/// store without the epoch lock.
 class GMineEngine {
  public:
   /// Builds the hierarchy for `g`, writes the single-file store to
@@ -133,11 +180,15 @@ class GMineEngine {
 
   /// Node/edge edition (§III-B): applies `edit` to the graph, remaps
   /// labels (use `new_labels` to name added nodes, keyed by the ids in
-  /// edit-result order), rebuilds the hierarchy and rewrites the store
-  /// in place. The navigation session resets to the root. Expensive —
-  /// intended for editing sessions, not per-keystroke mutation.
+  /// edit-result order) and repairs the hierarchy incrementally —
+  /// rewriting only the touched subtrees, store pages and connectivity
+  /// rows (docs/EDITS.md; EditOptions::incremental = false restores the
+  /// legacy whole-graph rebuild). Live pool sessions survive via an
+  /// epoch bump: same ids, reset to the new root. `stats`, when given,
+  /// reports what the repair did.
   Status ApplyEdit(const graph::GraphEdit& edit,
-                   const std::vector<std::string>& new_labels = {});
+                   const std::vector<std::string>& new_labels = {},
+                   EditStats* stats = nullptr);
 
   /// Renders the current hierarchy view (Tomahawk context) to SVG.
   Status RenderHierarchyView(const std::string& svg_path);
@@ -155,8 +206,18 @@ class GMineEngine {
   GMineEngine() = default;
 
   /// (Re)creates the session pool over store_ and pins the default
-  /// session; used by Open and ApplyEdit.
+  /// session; used by Open.
   Status ResetSessions();
+
+  /// ApplyEdit back ends: subtree repair published through the pool's
+  /// epoch bump, vs the legacy whole-graph rebuild + store swap.
+  Status ApplyEditIncremental(const graph::GraphEdit& edit,
+                              graph::EditResult& result,
+                              const graph::LabelStore& labels,
+                              bool labels_changed, EditStats* out);
+  Status ApplyEditFullRebuild(graph::EditResult& result,
+                              const graph::LabelStore& labels,
+                              EditStats* out);
 
   std::unique_ptr<gtree::GTreeStore> store_;
   std::unique_ptr<SessionManager> sessions_;

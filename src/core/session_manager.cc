@@ -29,6 +29,28 @@ SessionManager::SessionManager(const gtree::GTreeStore* store,
                                SessionManagerOptions options)
     : store_(store), options_(options) {}
 
+/// RAII dispatch registration against the epoch gate: construction
+/// blocks while an epoch update is pending or running, destruction
+/// wakes a waiting updater once the in-flight count drains.
+class SessionManager::DispatchGuard {
+ public:
+  explicit DispatchGuard(const SessionManager* mgr) : mgr_(mgr) {
+    std::unique_lock<std::mutex> lock(mgr_->epoch_gate_mu_);
+    mgr_->epoch_cv_.wait(lock,
+                         [&] { return !mgr_->epoch_update_pending_; });
+    ++mgr_->active_dispatches_;
+  }
+  ~DispatchGuard() {
+    std::lock_guard<std::mutex> lock(mgr_->epoch_gate_mu_);
+    if (--mgr_->active_dispatches_ == 0) mgr_->epoch_cv_.notify_all();
+  }
+  DispatchGuard(const DispatchGuard&) = delete;
+  DispatchGuard& operator=(const DispatchGuard&) = delete;
+
+ private:
+  const SessionManager* mgr_;
+};
+
 void SessionManager::set_on_session_closed(
     std::function<void(SessionId, SessionCloseReason)> fn) {
   std::lock_guard<std::mutex> lock(mu_);
@@ -52,6 +74,9 @@ void SessionManager::Erase(SessionId id) {
 }
 
 gmine::Result<SessionId> SessionManager::OpenSession(bool pinned) {
+  // Registered as a dispatch: the new session reads the store's tree,
+  // which an in-flight UpdateEpoch may be mutating.
+  DispatchGuard guard(this);
   SessionId victim = 0;
   std::function<void(SessionId, SessionCloseReason)> hook;
   SessionId id = 0;
@@ -112,6 +137,10 @@ Status SessionManager::CloseSession(SessionId id) {
 
 Status SessionManager::WithSession(
     SessionId id, const std::function<Status(gtree::NavigationSession&)>& fn) {
+  // Registered for the whole dispatch: an ApplyEdit epoch bump
+  // (UpdateEpoch) waits for in-flight callbacks and parks new ones, so
+  // a callback never observes the store mid-mutation.
+  DispatchGuard guard(this);
   std::shared_ptr<Entry> entry;
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -130,6 +159,48 @@ Status SessionManager::WithSession(
   // on this session without blocking any other session.
   std::lock_guard<std::mutex> lock(entry->mu);
   return fn(*entry->session);
+}
+
+Status SessionManager::UpdateEpoch(
+    const std::function<gmine::Result<const gtree::GTreeStore*>()>&
+        update) {
+  // Close the gate (parking new dispatches immediately) and wait for
+  // every in-flight one to drain. Serializes against concurrent
+  // updaters via the pending flag itself.
+  {
+    std::unique_lock<std::mutex> lock(epoch_gate_mu_);
+    epoch_cv_.wait(lock, [&] { return !epoch_update_pending_; });
+    epoch_update_pending_ = true;
+    epoch_cv_.wait(lock, [&] { return active_dispatches_ == 0; });
+  }
+  // Reopen the gate on every exit path.
+  struct GateOpener {
+    SessionManager* mgr;
+    ~GateOpener() {
+      std::lock_guard<std::mutex> lock(mgr->epoch_gate_mu_);
+      mgr->epoch_update_pending_ = false;
+      mgr->epoch_cv_.notify_all();
+    }
+  } opener{this};
+
+  auto published = update();
+  if (!published.ok()) return published.status();
+  if (published.value() == nullptr) {
+    return Status::InvalidArgument("UpdateEpoch: update returned no store");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  store_ = published.value();
+  for (auto& [id, entry] : sessions_) {
+    // The closed gate proved no WithSession callback is running, but
+    // ListSessions reads pooled sessions under only the entry lock (it
+    // is not a gated dispatch) — so take it for the swap.
+    std::lock_guard<std::mutex> entry_lock(entry->mu);
+    entry->session = std::make_unique<gtree::NavigationSession>(
+        store_, options_.tomahawk);
+    entry->last_active = SteadyMicros();
+  }
+  epoch_.fetch_add(1);
+  return Status::OK();
 }
 
 bool SessionManager::Contains(SessionId id) const {

@@ -27,6 +27,7 @@
 #define GMINE_CORE_SESSION_MANAGER_H_
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <list>
@@ -154,7 +155,8 @@ class SessionManager {
 
   /// Direct, unlocked access to a *pinned* session for single-threaded
   /// embedding (GMineEngine's legacy `session()` accessor). The pointer
-  /// stays valid until the session is closed or the manager destroyed;
+  /// stays valid until the session is closed, the manager destroyed or
+  /// an epoch bump re-seats the pool (UpdateEpoch — re-fetch afterwards);
   /// returns nullptr for unknown or unpinned ids — unpinned sessions may
   /// be evicted at any time, so handing out raw pointers to them would
   /// dangle. A session driven through this raw pointer must not also be
@@ -163,6 +165,24 @@ class SessionManager {
   /// ListSessions() ids should skip rows with `pinned == true` — those
   /// belong to an embedding that drives them directly.
   gtree::NavigationSession* PinnedSession(SessionId id);
+
+  /// Publishes a new store state to a *live* pool (the ApplyEdit epoch
+  /// bump, docs/EDITS.md): blocks until every in-flight WithSession
+  /// callback drains, keeps new ones (and OpenSession) parked, runs
+  /// `update` — which may mutate the current store in place or return a
+  /// different store pointer to adopt — then re-opens every session over
+  /// the published store. Session ids, pinned flags and the close hook
+  /// all survive; focus/history/context reset to the new root, so no
+  /// session can ever observe pre-edit tree ids against post-edit data
+  /// (no stale reads). On error nothing is re-seated and the epoch does
+  /// not advance. Deadlocks if called from inside a WithSession
+  /// callback — never do that.
+  Status UpdateEpoch(
+      const std::function<gmine::Result<const gtree::GTreeStore*>()>&
+          update);
+
+  /// Number of successful UpdateEpoch calls so far.
+  uint64_t epoch() const { return epoch_.load(); }
 
  private:
   struct Entry {
@@ -181,6 +201,20 @@ class SessionManager {
 
   const gtree::GTreeStore* store_;
   SessionManagerOptions options_;
+
+  // Epoch gate: WithSession callbacks and OpenSession register as
+  // dispatches; UpdateEpoch raises `epoch_update_pending_` (parking new
+  // dispatches immediately — writer priority, so a relentless stream of
+  // navigators can never starve an edit), waits for the in-flight count
+  // to drain, runs the update, then reopens the gate. A plain
+  // shared_mutex would starve the writer on glibc, whose rwlock prefers
+  // readers. Ordering: the gate before mu_.
+  class DispatchGuard;
+  mutable std::mutex epoch_gate_mu_;
+  mutable std::condition_variable epoch_cv_;
+  mutable int active_dispatches_ = 0;
+  mutable bool epoch_update_pending_ = false;
+  std::atomic<uint64_t> epoch_{0};
 
   // Close-hook plumbing: guarded by mu_ for installation, copied out
   // and invoked with mu_ released so the hook can take its own locks.

@@ -1,8 +1,10 @@
 #include "graph/graph_edit.h"
 
 #include <algorithm>
+#include <cstring>
 
 #include "graph/graph_builder.h"
+#include "util/coding.h"
 #include "util/string_util.h"
 
 namespace gmine::graph {
@@ -107,6 +109,217 @@ gmine::Result<EditResult> GraphEdit::Apply(const Graph& base) const {
   if (!built.ok()) return built.status();
   out.graph = std::move(built).value();
   return out;
+}
+
+gmine::Result<EditResult> GraphEdit::ApplyFast(const Graph& base) const {
+  if (!removed_nodes_.empty()) {
+    return Status::InvalidArgument(
+        "GraphEdit::ApplyFast: batch removes nodes (ids would remap)");
+  }
+  if (base.directed()) {
+    return Status::NotSupported("GraphEdit: directed graphs unsupported");
+  }
+  if (base.num_nodes() != base_nodes_) {
+    return Status::InvalidArgument(
+        StrFormat("GraphEdit: built for %u nodes, applied to %u",
+                  base_nodes_, base.num_nodes()));
+  }
+  const uint32_t n =
+      base_nodes_ + static_cast<uint32_t>(added_nodes_.size());
+  for (const Edge& e : added_edges_) {
+    if (e.src >= n || e.dst >= n) {
+      return Status::InvalidArgument(
+          StrFormat("GraphEdit: edge (%u,%u) outside provisional range %u",
+                    e.src, e.dst, n));
+    }
+    if (e.weight < 0.0f) {
+      return Status::InvalidArgument(
+          StrFormat("negative edge weight %f on (%u,%u)",
+                    static_cast<double>(e.weight), e.src, e.dst));
+    }
+  }
+
+  EditResult out;
+  out.old_to_new.resize(n);
+  for (NodeId v = 0; v < n; ++v) out.old_to_new[v] = v;
+  out.added_nodes.reserve(added_nodes_.size());
+  for (NodeId v = base_nodes_; v < n; ++v) out.added_nodes.push_back(v);
+
+  // Per-node sorted patch arcs (both directions, self-loops dropped,
+  // removals win, parallel adds pre-summed in insertion order).
+  std::vector<std::vector<Neighbor>> patch(n);
+  auto edge_removed = [&](NodeId u, NodeId v) {
+    if (removed_edges_.empty()) return false;
+    if (u > v) std::swap(u, v);
+    return removed_edges_.count({u, v}) > 0;
+  };
+  for (const Edge& e : added_edges_) {
+    if (e.src == e.dst) continue;
+    if (edge_removed(e.src, e.dst)) continue;
+    patch[e.src].push_back(Neighbor{e.dst, e.weight});
+    patch[e.dst].push_back(Neighbor{e.src, e.weight});
+  }
+  for (std::vector<Neighbor>& arcs : patch) {
+    if (arcs.size() < 2) continue;
+    std::stable_sort(arcs.begin(), arcs.end(),
+                     [](const Neighbor& a, const Neighbor& b) {
+                       return a.id < b.id;
+                     });
+    size_t w = 0;
+    for (size_t r = 1; r < arcs.size(); ++r) {
+      if (arcs[r].id == arcs[w].id) {
+        arcs[w].weight += arcs[r].weight;
+      } else {
+        arcs[++w] = arcs[r];
+      }
+    }
+    arcs.resize(w + 1);
+  }
+
+  // Linear merge: base arcs (minus removals) joined with the patch.
+  std::vector<uint64_t> offsets(n + 1, 0);
+  std::vector<Neighbor> neighbors;
+  neighbors.reserve(base.num_arcs() + added_edges_.size() * 2);
+  for (NodeId u = 0; u < n; ++u) {
+    std::span<const Neighbor> old_arcs =
+        u < base_nodes_ ? base.Neighbors(u) : std::span<const Neighbor>();
+    const std::vector<Neighbor>& add = patch[u];
+    size_t i = 0;
+    size_t j = 0;
+    while (i < old_arcs.size() || j < add.size()) {
+      if (j == add.size() ||
+          (i < old_arcs.size() && old_arcs[i].id < add[j].id)) {
+        if (!edge_removed(u, old_arcs[i].id)) {
+          neighbors.push_back(old_arcs[i]);
+        }
+        ++i;
+      } else if (i == old_arcs.size() || add[j].id < old_arcs[i].id) {
+        neighbors.push_back(add[j]);
+        ++j;
+      } else {
+        // Parallel to a surviving base arc: weights sum (the removal
+        // check ran when building the patch, so the arc survives).
+        neighbors.push_back(
+            Neighbor{old_arcs[i].id, old_arcs[i].weight + add[j].weight});
+        ++i;
+        ++j;
+      }
+    }
+    offsets[u + 1] = neighbors.size();
+  }
+
+  std::vector<float> node_weights;
+  bool base_weighted = !base.node_weights().empty();
+  bool added_weighted =
+      std::any_of(added_nodes_.begin(), added_nodes_.end(),
+                  [](float w) { return w != 1.0f; });
+  if (base_weighted || added_weighted) {
+    node_weights.assign(n, 1.0f);
+    for (NodeId v = 0; v < base_nodes_; ++v) {
+      node_weights[v] = base.NodeWeight(v);
+    }
+    for (size_t i = 0; i < added_nodes_.size(); ++i) {
+      node_weights[base_nodes_ + i] = added_nodes_[i];
+    }
+  }
+  out.graph = Graph(std::move(offsets), std::move(neighbors),
+                    std::move(node_weights), /*directed=*/false);
+  return out;
+}
+
+namespace {
+
+void PutFloat(std::string* dst, float value) {
+  uint32_t bits = 0;
+  std::memcpy(&bits, &value, sizeof(bits));
+  PutFixed32(dst, bits);
+}
+
+bool GetFloat(std::string_view* input, float* value) {
+  uint32_t bits = 0;
+  if (!GetFixed32(input, &bits)) return false;
+  std::memcpy(value, &bits, sizeof(bits));
+  return true;
+}
+
+}  // namespace
+
+std::string GraphEdit::Serialize() const {
+  std::string blob;
+  PutVarint32(&blob, base_nodes_);
+  PutVarint32(&blob, static_cast<uint32_t>(added_nodes_.size()));
+  for (float w : added_nodes_) PutFloat(&blob, w);
+  PutVarint32(&blob, static_cast<uint32_t>(added_edges_.size()));
+  for (const Edge& e : added_edges_) {
+    PutVarint32(&blob, e.src);
+    PutVarint32(&blob, e.dst);
+    PutFloat(&blob, e.weight);
+  }
+  PutVarint32(&blob, static_cast<uint32_t>(removed_edges_.size()));
+  for (const auto& [u, v] : removed_edges_) {
+    PutVarint32(&blob, u);
+    PutVarint32(&blob, v);
+  }
+  PutVarint32(&blob, static_cast<uint32_t>(removed_nodes_.size()));
+  for (NodeId v : removed_nodes_) PutVarint32(&blob, v);
+  return blob;
+}
+
+gmine::Result<GraphEdit> GraphEdit::Deserialize(std::string_view blob) {
+  uint32_t base_nodes = 0;
+  if (!GetVarint32(&blob, &base_nodes)) {
+    return Status::Corruption("GraphEdit: bad base node count");
+  }
+  GraphEdit edit(base_nodes);
+  uint32_t count = 0;
+  if (!GetVarint32(&blob, &count)) {
+    return Status::Corruption("GraphEdit: bad added-node count");
+  }
+  for (uint32_t i = 0; i < count; ++i) {
+    float w = 1.0f;
+    if (!GetFloat(&blob, &w)) {
+      return Status::Corruption("GraphEdit: truncated added nodes");
+    }
+    edit.AddNode(w);
+  }
+  if (!GetVarint32(&blob, &count)) {
+    return Status::Corruption("GraphEdit: bad added-edge count");
+  }
+  for (uint32_t i = 0; i < count; ++i) {
+    uint32_t src = 0;
+    uint32_t dst = 0;
+    float w = 1.0f;
+    if (!GetVarint32(&blob, &src) || !GetVarint32(&blob, &dst) ||
+        !GetFloat(&blob, &w)) {
+      return Status::Corruption("GraphEdit: truncated added edges");
+    }
+    edit.AddEdge(src, dst, w);
+  }
+  if (!GetVarint32(&blob, &count)) {
+    return Status::Corruption("GraphEdit: bad removed-edge count");
+  }
+  for (uint32_t i = 0; i < count; ++i) {
+    uint32_t u = 0;
+    uint32_t v = 0;
+    if (!GetVarint32(&blob, &u) || !GetVarint32(&blob, &v)) {
+      return Status::Corruption("GraphEdit: truncated removed edges");
+    }
+    edit.RemoveEdge(u, v);
+  }
+  if (!GetVarint32(&blob, &count)) {
+    return Status::Corruption("GraphEdit: bad removed-node count");
+  }
+  for (uint32_t i = 0; i < count; ++i) {
+    uint32_t v = 0;
+    if (!GetVarint32(&blob, &v)) {
+      return Status::Corruption("GraphEdit: truncated removed nodes");
+    }
+    edit.RemoveNode(v);
+  }
+  if (!blob.empty()) {
+    return Status::Corruption("GraphEdit: trailing bytes");
+  }
+  return edit;
 }
 
 }  // namespace gmine::graph

@@ -63,6 +63,30 @@ class GraphEdit {
   /// provisional node is allowed. Directed graphs are not supported.
   gmine::Result<EditResult> Apply(const Graph& base) const;
 
+  /// Fast path for edits with no node removals (ids never remap): builds
+  /// the new CSR by a single linear merge over `base`'s arcs instead of
+  /// re-sorting every adjacency through GraphBuilder. Produces a graph
+  /// equal to Apply()'s for the same batch (verified by
+  /// graph_edit_test). InvalidArgument when the batch removes nodes.
+  gmine::Result<EditResult> ApplyFast(const Graph& base) const;
+
+  /// Serializes the batch (for the store's edit journal).
+  std::string Serialize() const;
+
+  /// Parses a blob produced by Serialize().
+  static gmine::Result<GraphEdit> Deserialize(std::string_view blob);
+
+  // Introspection for edit classification (gtree/edit_repair).
+  uint32_t base_nodes() const { return base_nodes_; }
+  const std::vector<float>& added_node_weights() const {
+    return added_nodes_;
+  }
+  const std::vector<Edge>& added_edges() const { return added_edges_; }
+  const std::set<std::pair<NodeId, NodeId>>& removed_edges() const {
+    return removed_edges_;
+  }
+  const std::set<NodeId>& removed_nodes() const { return removed_nodes_; }
+
  private:
   uint32_t base_nodes_;
   std::vector<float> added_nodes_;  // weights, provisional ids in order

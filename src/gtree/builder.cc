@@ -15,13 +15,13 @@ using graph::Subgraph;
 
 namespace {
 
-constexpr uint64_t kSaltMix = 0x9e3779b97f4a7c15ULL;
-
 // Lineage salt of the `ordinal`-th child of a community with salt `salt`.
 // Depends only on the path from the root — never on construction order —
-// so serial and sharded builds derive identical partitioner seeds.
+// so serial and sharded builds derive identical partitioner seeds, and
+// the incremental edit repair (edit_repair.cc) can re-derive any
+// community's seed from its path alone.
 uint64_t ChildSalt(uint64_t salt, uint32_t ordinal) {
-  return (salt + ordinal + 1) * kSaltMix;
+  return partition::ChildLineageSalt(salt, ordinal);
 }
 
 struct BuildConfig {
@@ -75,7 +75,8 @@ SplitResult SplitCommunity(const BuildConfig& cfg,
   partition::PartitionOptions popts = cfg.options->partition;
   popts.k = cfg.options->fanout;
   // Derive a distinct seed per community so sibling partitions differ.
-  popts.seed = cfg.options->partition.seed ^ (salt * kSaltMix + depth);
+  popts.seed =
+      partition::LineageSeed(cfg.options->partition.seed, salt, depth);
   popts.threads = partition_threads;
   StopWatch watch;
   auto part = partition::PartitionGraph(s.graph, popts);
@@ -174,7 +175,7 @@ gmine::Result<GTree> BuildGTree(const Graph& g,
     Pending root;
     root.members.resize(g.num_nodes());
     for (NodeId v = 0; v < g.num_nodes(); ++v) root.members[v] = v;
-    root.salt = 1;
+    root.salt = partition::RootLineageSalt();
     top.push_back(std::move(root));
   }
   std::vector<uint32_t> frontier = {0};
@@ -293,6 +294,73 @@ gmine::Result<GTree> BuildGTree(const Graph& g,
     }
   }
   return GTree::FromNodes(std::move(nodes), g.num_nodes());
+}
+
+gmine::Result<RegionSubtree> BuildRegionSubtree(
+    const graph::Graph& g, const std::vector<NodeId>& members,
+    uint32_t depth, uint64_t salt, const GTreeBuildOptions& options,
+    GTreeBuildStats* stats) {
+  if (options.levels == 0 || options.fanout < 2) {
+    return Status::InvalidArgument(
+        "BuildRegionSubtree: need levels >= 1 and fanout >= 2");
+  }
+  if (members.empty()) {
+    return Status::InvalidArgument("BuildRegionSubtree: empty region");
+  }
+  uint32_t min_size = options.min_partition_size > 0
+                          ? options.min_partition_size
+                          : 2 * options.fanout;
+  BuildConfig cfg{&g, &options, min_size};
+
+  std::vector<Pending> arena;
+  {
+    Pending root;
+    root.members = members;
+    root.depth = depth;
+    root.salt = salt;
+    arena.push_back(std::move(root));
+  }
+  GMINE_RETURN_IF_ERROR(
+      BuildShardSubtree(cfg, &arena, 0, options.threads, stats));
+
+  // Renumber the arena into pre-order TreeNodes with local ids.
+  RegionSubtree out;
+  struct Frame {
+    uint32_t idx;
+    TreeNodeId parent;
+  };
+  std::vector<Frame> stack = {{0, kInvalidTreeNode}};
+  while (!stack.empty()) {
+    Frame f = stack.back();
+    stack.pop_back();
+    Pending& p = arena[f.idx];
+    TreeNodeId id = static_cast<TreeNodeId>(out.nodes.size());
+    TreeNode tn;
+    tn.id = id;
+    tn.parent = f.parent;
+    tn.depth = p.depth;
+    if (p.children.empty()) {
+      tn.members = std::move(p.members);
+      tn.subtree_size = tn.members.size();
+    }
+    out.nodes.push_back(std::move(tn));
+    if (f.parent != kInvalidTreeNode) {
+      out.nodes[f.parent].children.push_back(id);
+    }
+    for (auto it = p.children.rbegin(); it != p.children.rend(); ++it) {
+      stack.push_back({*it, id});
+    }
+  }
+  for (size_t i = out.nodes.size(); i > 0; --i) {
+    TreeNode& tn = out.nodes[i - 1];
+    if (!tn.IsLeaf()) {
+      tn.subtree_size = 0;
+      for (TreeNodeId c : tn.children) {
+        tn.subtree_size += out.nodes[c].subtree_size;
+      }
+    }
+  }
+  return out;
 }
 
 gmine::Result<GTree> BuildGTreeFromAssignment(

@@ -81,6 +81,27 @@ gmine::Result<GTree> BuildGTreeFromAssignment(
     uint32_t num_graph_nodes, const std::vector<uint32_t>& leaf_assignment,
     uint32_t num_leaves, uint32_t fanout);
 
+/// A standalone subtree built for one community region, ready for the
+/// incremental edit repair to splice into a full hierarchy. Nodes are
+/// pre-order with region-local ids (0 = the region root); `parent` links
+/// use those local ids (the root's parent is kInvalidTreeNode), depths
+/// are absolute hierarchy depths and leaf member lists hold global graph
+/// node ids. Names are left empty — the splice assigns final ones.
+struct RegionSubtree {
+  std::vector<TreeNode> nodes;
+};
+
+/// Recursively partitions the community holding `members` exactly as
+/// BuildGTree would partition a community at absolute depth `depth` with
+/// lineage salt `salt` (see partition::ChildLineageSalt): same recursion
+/// stops, same lineage-salted partitioner seeds, so the result depends
+/// only on (members' induced subgraph, depth, salt, options) — never on
+/// when or why the region is rebuilt. `members` must be sorted.
+gmine::Result<RegionSubtree> BuildRegionSubtree(
+    const graph::Graph& g, const std::vector<graph::NodeId>& members,
+    uint32_t depth, uint64_t salt, const GTreeBuildOptions& options,
+    GTreeBuildStats* stats = nullptr);
+
 }  // namespace gmine::gtree
 
 #endif  // GMINE_GTREE_BUILDER_H_

@@ -79,6 +79,44 @@ void ConnectivityIndex::AbsorbPairs(
   }
 }
 
+void ConnectivityIndex::ApplyDeltas(
+    const std::vector<ConnectivityDelta>& deltas) {
+  auto drop_adjacent = [&](TreeNodeId from, TreeNodeId to) {
+    auto it = adjacent_.find(from);
+    if (it == adjacent_.end()) return;
+    auto pos = std::find(it->second.begin(), it->second.end(), to);
+    if (pos != it->second.end()) it->second.erase(pos);
+    if (it->second.empty()) adjacent_.erase(it);
+  };
+  for (const ConnectivityDelta& d : deltas) {
+    const uint64_t key = Key(d.a, d.b);
+    auto it = pairs_.find(key);
+    if (it == pairs_.end()) {
+      if (d.count <= 0) continue;  // erasing an absent pair is a no-op
+      TreeNodeId a = static_cast<TreeNodeId>(key >> 32);
+      TreeNodeId b = static_cast<TreeNodeId>(key & 0xffffffffu);
+      adjacent_[a].push_back(b);
+      adjacent_[b].push_back(a);
+      PairStats& ps = pairs_[key];
+      ps.count = static_cast<uint64_t>(d.count);
+      ps.weight = d.weight;
+      continue;
+    }
+    PairStats& ps = it->second;
+    const int64_t count = static_cast<int64_t>(ps.count) + d.count;
+    if (count <= 0) {
+      TreeNodeId a = static_cast<TreeNodeId>(key >> 32);
+      TreeNodeId b = static_cast<TreeNodeId>(key & 0xffffffffu);
+      pairs_.erase(it);
+      drop_adjacent(a, b);
+      drop_adjacent(b, a);
+      continue;
+    }
+    ps.count = static_cast<uint64_t>(count);
+    ps.weight += d.weight;
+  }
+}
+
 uint64_t ConnectivityIndex::CountBetween(TreeNodeId a, TreeNodeId b) const {
   auto it = pairs_.find(Key(a, b));
   return it == pairs_.end() ? 0 : it->second.count;

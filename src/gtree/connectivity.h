@@ -35,6 +35,15 @@ struct ConnectivityEdge {
   double weight = 0.0;
 };
 
+/// One pending mutation of a connectivity pair, produced by the edit
+/// repair (gtree/edit_repair.h): `count`/`weight` are signed deltas.
+struct ConnectivityDelta {
+  TreeNodeId a = kInvalidTreeNode;
+  TreeNodeId b = kInvalidTreeNode;
+  int64_t count = 0;
+  double weight = 0.0;
+};
+
 /// Aggregated cross-community edge counts for a G-Tree.
 class ConnectivityIndex {
  public:
@@ -67,6 +76,16 @@ class ConnectivityIndex {
 
   /// Total number of distinct community pairs with nonzero connectivity.
   size_t num_pairs() const { return pairs_.size(); }
+
+  /// Applies signed pair deltas in order (the incremental edit path:
+  /// adding/removing one cross-leaf edge contributes ±1/±w to every pair
+  /// on the leaf-to-LCA path product — see edit_repair.cc). Pairs whose
+  /// count reaches zero are erased, including their adjacency rows, so a
+  /// delta-maintained index answers exactly like a from-scratch Build
+  /// (weights may differ by float-summation rounding only). Infallible:
+  /// a delta driving a count negative clamps to erase (repair never
+  /// produces one).
+  void ApplyDeltas(const std::vector<ConnectivityDelta>& deltas);
 
   /// Serialization for the single-file store.
   std::string Serialize() const;

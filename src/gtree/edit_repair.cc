@@ -1,0 +1,397 @@
+#include "gtree/edit_repair.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+
+#include "partition/partitioner.h"
+#include "util/string_util.h"
+
+namespace gmine::gtree {
+
+using graph::Edge;
+using graph::NodeId;
+
+namespace {
+
+// Effective change of one undirected edge pair over the whole batch
+// (removals win over additions, parallel additions pre-summed).
+struct PairDelta {
+  bool existed = false;  // present in the base graph
+  bool exists = false;   // present after the edit
+  float old_w = 0.0f;    // base weight (0 when absent)
+  float add_w = 0.0f;    // summed added weight surviving removal
+};
+
+// A cross-leaf edge change before path expansion.
+struct CrossEvent {
+  TreeNodeId leaf_u = kInvalidTreeNode;
+  TreeNodeId leaf_v = kInvalidTreeNode;
+  int64_t count = 0;
+  double weight = 0.0;
+};
+
+// Expands one cross-leaf edge delta onto every community pair the edge
+// aggregates into — the exact mirror of ConnectivityIndex::Build's
+// per-edge loop: all (x, y) with x on leaf_u..child-of-LCA and y on
+// leaf_v..child-of-LCA.
+void ExpandCrossDelta(const GTree& tree, const CrossEvent& ev,
+                      std::vector<ConnectivityDelta>* out) {
+  TreeNodeId lca = tree.LowestCommonAncestor(ev.leaf_u, ev.leaf_v);
+  for (TreeNodeId x = ev.leaf_u; x != lca; x = tree.node(x).parent) {
+    for (TreeNodeId y = ev.leaf_v; y != lca; y = tree.node(y).parent) {
+      out->push_back(ConnectivityDelta{x, y, ev.count, ev.weight});
+    }
+  }
+}
+
+}  // namespace
+
+uint64_t LineageSaltOf(const GTree& tree, TreeNodeId id) {
+  std::vector<TreeNodeId> path = tree.PathFromRoot(id);
+  uint64_t salt = partition::RootLineageSalt();
+  for (size_t i = 1; i < path.size(); ++i) {
+    const std::vector<TreeNodeId>& siblings =
+        tree.node(path[i - 1]).children;
+    uint32_t ordinal = 0;
+    for (size_t j = 0; j < siblings.size(); ++j) {
+      if (siblings[j] == path[i]) {
+        ordinal = static_cast<uint32_t>(j);
+        break;
+      }
+    }
+    salt = partition::ChildLineageSalt(salt, ordinal);
+  }
+  return salt;
+}
+
+gmine::Result<RepairResult> RepairGTree(const GTree& tree,
+                                        const graph::Graph& base,
+                                        const graph::GraphEdit& edit,
+                                        const graph::EditResult& applied,
+                                        const RepairOptions& options) {
+  if (applied.graph.num_nodes() == 0) {
+    return Status::InvalidArgument("RepairGTree: edit empties the graph");
+  }
+  if (tree.empty()) {
+    return Status::InvalidArgument("RepairGTree: empty hierarchy");
+  }
+  const uint32_t base_n = edit.base_nodes();
+  const auto& removed_nodes = edit.removed_nodes();
+  auto is_removed = [&](NodeId v) {
+    return removed_nodes.count(v) > 0;
+  };
+  const uint32_t num_added = static_cast<uint32_t>(
+      edit.added_node_weights().size());
+
+  RepairResult out;
+  EditClassification& cls = out.classification;
+  for (NodeId v : removed_nodes) {
+    if (v < base_n) {
+      ++cls.removed_vertices;
+      cls.needs_remap = true;
+    }
+  }
+
+  // ---- Effective per-pair edge deltas (provisional id space). Pairs
+  // with a removed endpoint are owned by the vertex-removal scan below.
+  std::map<std::pair<NodeId, NodeId>, PairDelta> pair_deltas;
+  auto norm = [](NodeId u, NodeId v) {
+    return u < v ? std::make_pair(u, v) : std::make_pair(v, u);
+  };
+  for (const auto& [u, v] : edit.removed_edges()) {
+    if (is_removed(u) || is_removed(v)) continue;
+    if (u >= base_n || v >= base_n) continue;  // nothing existed before
+    if (!base.HasEdge(u, v)) continue;         // removal of absent edge
+    PairDelta& d = pair_deltas[norm(u, v)];
+    d.existed = true;
+    d.old_w = base.EdgeWeight(u, v);
+    d.exists = false;
+  }
+  for (const Edge& e : edit.added_edges()) {
+    if (e.src == e.dst) continue;
+    if (is_removed(e.src) || is_removed(e.dst)) continue;
+    auto key = norm(e.src, e.dst);
+    if (edit.removed_edges().count(key) > 0) continue;  // removal wins
+    PairDelta& d = pair_deltas[key];
+    if (key.second < base_n && base.HasEdge(key.first, key.second)) {
+      d.existed = true;
+      d.old_w = base.EdgeWeight(key.first, key.second);
+    }
+    d.exists = true;
+    d.add_w += e.weight;
+  }
+
+  // ---- Place surviving added vertices: the leaf holding the plurality
+  // (by weight) of each vertex's batch edges, processed in id order so
+  // earlier placements can vote for later ones; isolated vertices fall
+  // back to the smallest leaf. Deterministic by construction.
+  std::vector<TreeNodeId> chosen_leaf(num_added, kInvalidTreeNode);
+  TreeNodeId smallest_leaf = kInvalidTreeNode;
+  {
+    size_t smallest = 0;
+    for (const TreeNode& tn : tree.nodes()) {
+      if (!tn.IsLeaf()) continue;
+      if (smallest_leaf == kInvalidTreeNode || tn.members.size() < smallest) {
+        smallest_leaf = tn.id;
+        smallest = tn.members.size();
+      }
+    }
+  }
+  auto leaf_of_endpoint = [&](NodeId v) -> TreeNodeId {
+    if (v < base_n) return tree.LeafOf(v);
+    return chosen_leaf[v - base_n];  // earlier-placed batch vertex
+  };
+  // One pass over the pair deltas builds per-provisional incident
+  // lists, so placement is linear in the batch instead of
+  // O(added_vertices x batch_edges).
+  std::vector<std::vector<std::pair<NodeId, float>>> incident(num_added);
+  for (const auto& [key, d] : pair_deltas) {
+    if (!d.exists) continue;
+    if (key.first >= base_n) {
+      incident[key.first - base_n].emplace_back(key.second, d.add_w);
+    }
+    if (key.second >= base_n) {
+      incident[key.second - base_n].emplace_back(key.first, d.add_w);
+    }
+  }
+  for (uint32_t i = 0; i < num_added; ++i) {
+    const NodeId prov = base_n + i;
+    if (applied.old_to_new[prov] == graph::kInvalidNode) continue;
+    std::map<TreeNodeId, double> votes;
+    for (const auto& [other, w] : incident[i]) {
+      TreeNodeId leaf = leaf_of_endpoint(other);
+      if (leaf != kInvalidTreeNode) votes[leaf] += w;
+    }
+    TreeNodeId best = smallest_leaf;
+    double best_w = -1.0;
+    for (const auto& [leaf, w] : votes) {
+      if (w > best_w) {
+        best = leaf;
+        best_w = w;
+      }
+    }
+    chosen_leaf[i] = best;
+    ++cls.added_vertices;
+  }
+
+  // ---- Membership changes and page dirtiness per (old) leaf.
+  std::vector<bool> dirty_old(tree.size(), false);
+  std::unordered_map<TreeNodeId, std::vector<NodeId>> leaf_additions;
+  for (uint32_t i = 0; i < num_added; ++i) {
+    const NodeId prov = base_n + i;
+    NodeId new_id = applied.old_to_new[prov];
+    if (new_id == graph::kInvalidNode) continue;
+    leaf_additions[chosen_leaf[i]].push_back(new_id);
+    dirty_old[chosen_leaf[i]] = true;
+  }
+  for (NodeId v : removed_nodes) {
+    if (v >= base_n) continue;
+    TreeNodeId leaf = tree.LeafOf(v);
+    if (leaf != kInvalidTreeNode) dirty_old[leaf] = true;
+  }
+
+  // ---- Cross-leaf events (exact connectivity deltas) and intra-leaf
+  // page dirtiness from the pair deltas.
+  std::vector<CrossEvent> events;
+  for (const auto& [key, d] : pair_deltas) {
+    TreeNodeId leaf_u = leaf_of_endpoint(key.first);
+    TreeNodeId leaf_v = leaf_of_endpoint(key.second);
+    if (leaf_u == leaf_v) {
+      ++cls.intra_leaf_edge_ops;
+      dirty_old[leaf_u] = true;
+      continue;
+    }
+    ++cls.cross_leaf_edge_ops;
+    CrossEvent ev;
+    ev.leaf_u = leaf_u;
+    ev.leaf_v = leaf_v;
+    if (d.existed && !d.exists) {
+      ev.count = -1;
+      ev.weight = -static_cast<double>(d.old_w);
+    } else if (!d.existed && d.exists) {
+      ev.count = 1;
+      ev.weight = d.add_w;
+    } else {  // existed && exists: parallel addition summed onto it
+      ev.count = 0;
+      ev.weight = d.add_w;
+    }
+    if (ev.count != 0 || ev.weight != 0.0) events.push_back(ev);
+  }
+  for (NodeId v : removed_nodes) {
+    if (v >= base_n) continue;
+    TreeNodeId leaf_v = tree.LeafOf(v);
+    for (const graph::Neighbor& nb : base.Neighbors(v)) {
+      if (is_removed(nb.id) && nb.id < v) continue;  // count pair once
+      TreeNodeId leaf_nb = tree.LeafOf(nb.id);
+      if (leaf_nb == leaf_v) continue;  // dies with the leaf page
+      events.push_back(CrossEvent{leaf_v, leaf_nb, -1,
+                                  -static_cast<double>(nb.weight)});
+    }
+  }
+
+  // ---- Post-edit membership per old tree node (new graph ids).
+  std::vector<std::vector<NodeId>> new_members(tree.size());
+  for (const TreeNode& tn : tree.nodes()) {
+    if (!tn.IsLeaf()) continue;
+    std::vector<NodeId>& members = new_members[tn.id];
+    members.reserve(tn.members.size());
+    for (NodeId m : tn.members) {
+      NodeId mapped = applied.old_to_new[m];
+      if (mapped != graph::kInvalidNode) members.push_back(mapped);
+    }
+    auto added = leaf_additions.find(tn.id);
+    if (added != leaf_additions.end()) {
+      // Added ids follow every surviving id and were assigned in
+      // ascending order, so appending keeps the list sorted.
+      members.insert(members.end(), added->second.begin(),
+                     added->second.end());
+    }
+  }
+
+  // ---- Prune emptied leaves (and interiors whose subtrees emptied).
+  // Pre-order ids mean children have larger ids than their parent, so a
+  // reverse scan settles the cascade in one pass.
+  std::vector<bool> pruned(tree.size(), false);
+  for (uint32_t id = tree.size(); id > 0; --id) {
+    const TreeNode& tn = tree.node(id - 1);
+    if (tn.IsLeaf()) {
+      pruned[tn.id] = new_members[tn.id].empty();
+    } else {
+      bool all = true;
+      for (TreeNodeId c : tn.children) all = all && pruned[c];
+      pruned[tn.id] = all;
+    }
+    if (pruned[tn.id]) out.topology_changed = true;
+  }
+  if (pruned[tree.root()]) {
+    return Status::Internal("RepairGTree: root pruned on non-empty graph");
+  }
+
+  // ---- Re-split overflowing leaves with their lineage-salted seeds.
+  const uint32_t min_size = options.build.min_partition_size > 0
+                                ? options.build.min_partition_size
+                                : 2 * options.build.fanout;
+  const uint32_t max_leaf =
+      options.max_leaf_size > 0 ? options.max_leaf_size : 4 * min_size;
+  std::unordered_map<TreeNodeId, RegionSubtree> regions;
+  for (const TreeNode& tn : tree.nodes()) {
+    if (!tn.IsLeaf() || pruned[tn.id]) continue;
+    if (new_members[tn.id].size() <= max_leaf) continue;
+    if (tn.depth >= options.build.levels) continue;  // bottom level
+    auto region = BuildRegionSubtree(applied.graph, new_members[tn.id],
+                                     tn.depth, LineageSaltOf(tree, tn.id),
+                                     options.build);
+    if (!region.ok()) return region.status();
+    if (region.value().nodes.size() <= 1) continue;  // degenerate: no split
+    regions.emplace(tn.id, std::move(region).value());
+    ++out.subtree_rebuilds;
+    out.topology_changed = true;
+  }
+
+  // ---- Splice: rebuild the node vector in pre-order, substituting
+  // re-split leaves with their region subtrees and skipping pruned
+  // nodes; regenerate positional names; renumber.
+  out.old_to_new.assign(tree.size(), kInvalidTreeNode);
+  std::vector<TreeNode> nodes;
+  struct Frame {
+    bool in_region = false;
+    TreeNodeId id = 0;          // old id, or region-local id
+    TreeNodeId old_leaf = 0;    // region owner when in_region
+    TreeNodeId parent = kInvalidTreeNode;  // new id
+  };
+  std::vector<Frame> stack = {{false, tree.root(), 0, kInvalidTreeNode}};
+  std::vector<TreeNodeId> region_leaf_ids;  // new ids of region leaves
+  while (!stack.empty()) {
+    Frame f = stack.back();
+    stack.pop_back();
+    TreeNodeId new_id = static_cast<TreeNodeId>(nodes.size());
+    TreeNode tn;
+    tn.id = new_id;
+    tn.parent = f.parent;
+    tn.name = StrFormat("s%03u", new_id);
+    if (!f.in_region) {
+      const TreeNode& old = tree.node(f.id);
+      out.old_to_new[f.id] = new_id;
+      tn.depth = old.depth;
+      auto region = regions.find(f.id);
+      if (region != regions.end()) {
+        // The old leaf becomes the region root; its members moved into
+        // the region's leaves.
+        const RegionSubtree& r = region->second;
+        for (auto it = r.nodes[0].children.rbegin();
+             it != r.nodes[0].children.rend(); ++it) {
+          stack.push_back({true, *it, f.id, new_id});
+        }
+      } else if (old.IsLeaf()) {
+        tn.members = std::move(new_members[f.id]);
+        tn.subtree_size = tn.members.size();
+      } else {
+        for (auto it = old.children.rbegin(); it != old.children.rend();
+             ++it) {
+          if (!pruned[*it]) stack.push_back({false, *it, 0, new_id});
+        }
+      }
+    } else {
+      const RegionSubtree& r = regions.at(f.old_leaf);
+      const TreeNode& src = r.nodes[f.id];
+      tn.depth = src.depth;
+      if (src.IsLeaf()) {
+        tn.members = src.members;
+        tn.subtree_size = tn.members.size();
+        region_leaf_ids.push_back(new_id);
+      } else {
+        for (auto it = src.children.rbegin(); it != src.children.rend();
+             ++it) {
+          stack.push_back({true, *it, f.old_leaf, new_id});
+        }
+      }
+    }
+    nodes.push_back(std::move(tn));
+    if (f.parent != kInvalidTreeNode) {
+      nodes[f.parent].children.push_back(new_id);
+    }
+  }
+  for (size_t i = nodes.size(); i > 0; --i) {
+    TreeNode& tn = nodes[i - 1];
+    if (!tn.IsLeaf()) {
+      tn.subtree_size = 0;
+      for (TreeNodeId c : tn.children) {
+        tn.subtree_size += nodes[c].subtree_size;
+      }
+    }
+  }
+  auto built =
+      GTree::FromNodes(std::move(nodes), applied.graph.num_nodes());
+  if (!built.ok()) return built.status();
+  out.tree = std::move(built).value();
+
+  // ---- Dirty pages in new ids: semantically changed old leaves (unless
+  // pruned or replaced by a region) plus every region leaf.
+  for (TreeNodeId id = 0; id < tree.size(); ++id) {
+    if (!dirty_old[id] || pruned[id]) continue;
+    if (regions.count(id) > 0) continue;  // covered by region leaves
+    TreeNodeId mapped = out.old_to_new[id];
+    if (mapped != kInvalidTreeNode) out.dirty_leaves.push_back(mapped);
+  }
+  out.dirty_leaves.insert(out.dirty_leaves.end(), region_leaf_ids.begin(),
+                          region_leaf_ids.end());
+  std::sort(out.dirty_leaves.begin(), out.dirty_leaves.end());
+  out.dirty_leaves.erase(
+      std::unique(out.dirty_leaves.begin(), out.dirty_leaves.end()),
+      out.dirty_leaves.end());
+
+  // ---- Connectivity: exact row deltas while the topology held; a
+  // re-split or prune shifted tree ids, so the index is rebuilt over the
+  // new tree instead (the engine does it, outside this pure function).
+  if (out.topology_changed) {
+    out.rebuild_connectivity = true;
+  } else {
+    for (const CrossEvent& ev : events) {
+      ExpandCrossDelta(tree, ev, &out.conn_deltas);
+    }
+  }
+  return out;
+}
+
+}  // namespace gmine::gtree

@@ -1,0 +1,110 @@
+// Incremental G-Tree maintenance under graph edits (docs/EDITS.md).
+//
+// A full rebuild re-partitions the whole graph on every ApplyEdit; this
+// module instead classifies each queued graph::GraphEdit operation
+// against the live hierarchy and computes the minimal repair:
+//
+//   edge add/remove inside one leaf   -> rewrite that leaf's page only
+//   edge add/remove across two leaves -> exact connectivity-row deltas
+//                                        along the leaf-to-LCA paths
+//   vertex add                        -> adopt into the leaf holding the
+//                                        plurality of its edges; re-split
+//                                        the leaf with its lineage-salted
+//                                        seed when it overflows
+//   vertex remove                     -> shrink its leaf (pruning emptied
+//                                        subtrees); graph ids compact, so
+//                                        the store must rewrite pages
+//
+// The repair is deterministic: overflow re-splits run the same builder
+// with partition::ChildLineageSalt-derived seeds, which depend only on
+// the community's path from the root, so any sequence of edits yields
+// the same hierarchy regardless of thread count or batch grouping.
+//
+// Correctness contract: the repaired (tree, connectivity) pair is
+// navigation-equivalent to re-deriving every structure from scratch over
+// the post-edit graph and the repaired hierarchy — same leaf membership,
+// same parent/child traversals, same connectivity counts (weights up to
+// float-summation rounding). Verified by gtree_edit_incremental_test.
+
+#ifndef GMINE_GTREE_EDIT_REPAIR_H_
+#define GMINE_GTREE_EDIT_REPAIR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/graph_edit.h"
+#include "gtree/builder.h"
+#include "gtree/connectivity.h"
+#include "gtree/gtree.h"
+#include "util/status.h"
+
+namespace gmine::gtree {
+
+/// Operation counts by repair class (reported by `gmine edit`).
+struct EditClassification {
+  uint64_t intra_leaf_edge_ops = 0;  // edge deltas inside one leaf
+  uint64_t cross_leaf_edge_ops = 0;  // edge deltas across two leaves
+  uint64_t added_vertices = 0;
+  uint64_t removed_vertices = 0;
+  /// Vertex removal compacts graph ids: every page's global-id mapping
+  /// shifts, so the store must take its rewrite path.
+  bool needs_remap = false;
+};
+
+/// Repair tunables.
+struct RepairOptions {
+  /// The knobs the hierarchy was originally built with — overflow
+  /// re-splits must use the same fanout/levels/partition settings to
+  /// stay consistent with the rest of the tree.
+  GTreeBuildOptions build;
+  /// A leaf exceeding this many members after an edit is re-split
+  /// (when its depth still allows children). 0 = auto: 4x the builder's
+  /// granularity floor (min_partition_size, itself defaulting to
+  /// 2 * fanout).
+  uint32_t max_leaf_size = 0;
+};
+
+/// Outcome of one repair: the post-edit hierarchy plus everything the
+/// store needs to invalidate only what changed.
+struct RepairResult {
+  GTree tree;
+  /// Old tree id -> new tree id; kInvalidTreeNode for pruned nodes.
+  /// Identity when the topology did not change.
+  std::vector<TreeNodeId> old_to_new;
+  /// New-id leaves whose pages must be rewritten (membership or
+  /// intra-leaf edge change, or a leaf minted by a re-split). Sorted.
+  std::vector<TreeNodeId> dirty_leaves;
+  /// Exact connectivity-row deltas, valid only when
+  /// `rebuild_connectivity` is false; apply with
+  /// ConnectivityIndex::ApplyDeltas.
+  std::vector<ConnectivityDelta> conn_deltas;
+  /// True when the tree topology changed (re-split or prune): tree ids
+  /// shifted, so the connectivity index must be rebuilt over the new
+  /// tree instead of delta-patched.
+  bool rebuild_connectivity = false;
+  bool topology_changed = false;
+  EditClassification classification;
+  /// Leaves re-split through BuildRegionSubtree.
+  uint32_t subtree_rebuilds = 0;
+};
+
+/// Computes the minimal repair of `tree` for `edit`. `base` is the
+/// pre-edit graph the edit was built against and `applied` the result of
+/// edit.Apply(base) / ApplyFast(base) — the caller already needs both,
+/// so the repair never re-applies the edit. Fails when the edit empties
+/// the graph.
+gmine::Result<RepairResult> RepairGTree(const GTree& tree,
+                                        const graph::Graph& base,
+                                        const graph::GraphEdit& edit,
+                                        const graph::EditResult& applied,
+                                        const RepairOptions& options);
+
+/// The lineage salt of `id` derived from its path ordinals in `tree`
+/// (partition::ChildLineageSalt folded from the root). Exposed so tests
+/// can verify a re-split equals a from-scratch build of that region.
+uint64_t LineageSaltOf(const GTree& tree, TreeNodeId id);
+
+}  // namespace gmine::gtree
+
+#endif  // GMINE_GTREE_EDIT_REPAIR_H_

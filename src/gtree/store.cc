@@ -1,6 +1,9 @@
 #include "gtree/store.h"
 
+#include <unistd.h>
+
 #include <algorithm>
+#include <unordered_set>
 
 #include "graph/graph_io.h"
 #include "util/coding.h"
@@ -16,9 +19,52 @@ using graph::Subgraph;
 namespace {
 
 constexpr uint32_t kStoreMagic = 0x47545246;  // "GTRF"
-constexpr uint32_t kStoreVersion = 1;
-// magic, version, 10 fixed64 section fields, 2 fixed32 counts, checksum.
-constexpr size_t kHeaderSize = 4 + 4 + 10 * 8 + 4 + 4 + 8;
+// v2: directory offsets became absolute, and a journal section plus the
+// build-shape hints were added for incremental edits (ApplyUpdate).
+constexpr uint32_t kStoreVersion = 2;
+// magic, version, 12 fixed64 section fields, 2 fixed32 counts,
+// build hints (3 fixed32 + 1 fixed64), checksum.
+constexpr size_t kHeaderSize = 4 + 4 + 12 * 8 + 4 + 4 + (3 * 4 + 8) + 8;
+
+// Every section location in one place so the header can be (re)written
+// by Create and by ApplyUpdate's append path alike.
+struct SectionTable {
+  uint64_t tree_off = 0, tree_size = 0;
+  uint64_t conn_off = 0, conn_size = 0;
+  uint64_t labels_off = 0, labels_size = 0;
+  uint64_t dir_off = 0, dir_size = 0;
+  uint64_t graph_off = 0, graph_size = 0;
+  uint64_t journal_off = 0, journal_size = 0;
+  uint32_t num_pages = 0;
+  uint32_t num_graph_nodes = 0;
+  GTreeBuildHints hints;
+};
+
+std::string SerializeHeader(const SectionTable& t) {
+  std::string header;
+  PutFixed32(&header, kStoreMagic);
+  PutFixed32(&header, kStoreVersion);
+  PutFixed64(&header, t.tree_off);
+  PutFixed64(&header, t.tree_size);
+  PutFixed64(&header, t.conn_off);
+  PutFixed64(&header, t.conn_size);
+  PutFixed64(&header, t.labels_off);
+  PutFixed64(&header, t.labels_size);
+  PutFixed64(&header, t.dir_off);
+  PutFixed64(&header, t.dir_size);
+  PutFixed64(&header, t.graph_off);
+  PutFixed64(&header, t.graph_size);
+  PutFixed64(&header, t.journal_off);
+  PutFixed64(&header, t.journal_size);
+  PutFixed32(&header, t.num_pages);
+  PutFixed32(&header, t.num_graph_nodes);
+  PutFixed32(&header, t.hints.levels);
+  PutFixed32(&header, t.hints.fanout);
+  PutFixed32(&header, t.hints.min_partition_size);
+  PutFixed64(&header, t.hints.partition_seed);
+  PutFixed64(&header, Hash64(header));
+  return header;
+}
 
 std::string SerializeTree(const GTree& tree) {
   std::string blob;
@@ -135,12 +181,15 @@ GTreeStore::~GTreeStore() {
 
 Status GTreeStore::Create(const std::string& path, const Graph& g,
                           const GTree& tree, const ConnectivityIndex& conn,
-                          const graph::LabelStore& labels) {
+                          const graph::LabelStore& labels,
+                          const GTreeBuildHints* hints) {
   // Build section blobs.
   std::string tree_blob = SerializeTree(tree);
   std::string conn_blob = conn.Serialize();
   std::string labels_blob = labels.Serialize();
 
+  uint64_t pages_off =
+      kHeaderSize + tree_blob.size() + conn_blob.size() + labels_blob.size();
   std::string pages;
   std::string directory;
   uint32_t num_pages = 0;
@@ -150,7 +199,7 @@ Status GTreeStore::Create(const std::string& path, const Graph& g,
     if (!sub.ok()) return sub.status();
     std::string page = SerializeLeafPayload(sub.value());
     PutVarint32(&directory, tn.id);
-    PutVarint64(&directory, pages.size());  // offset relative to pages base
+    PutVarint64(&directory, pages_off + pages.size());  // absolute offset
     PutVarint64(&directory, page.size());
     pages += page;
     ++num_pages;
@@ -158,32 +207,24 @@ Status GTreeStore::Create(const std::string& path, const Graph& g,
 
   std::string graph_blob = graph::SerializeGraph(g);
 
-  // Section table (absolute offsets).
-  uint64_t tree_off = kHeaderSize;
-  uint64_t conn_off = tree_off + tree_blob.size();
-  uint64_t labels_off = conn_off + conn_blob.size();
-  uint64_t pages_off = labels_off + labels_blob.size();
-  uint64_t dir_off = pages_off + pages.size();
-  uint64_t graph_off = dir_off + directory.size();
+  SectionTable t;
+  t.tree_off = kHeaderSize;
+  t.tree_size = tree_blob.size();
+  t.conn_off = t.tree_off + tree_blob.size();
+  t.conn_size = conn_blob.size();
+  t.labels_off = t.conn_off + conn_blob.size();
+  t.labels_size = labels_blob.size();
+  t.dir_off = pages_off + pages.size();
+  t.dir_size = directory.size();
+  t.graph_off = t.dir_off + directory.size();
+  t.graph_size = graph_blob.size();
+  t.journal_off = t.graph_off + graph_blob.size();
+  t.journal_size = 0;  // a fresh store has no pending edits
+  t.num_pages = num_pages;
+  t.num_graph_nodes = g.num_nodes();
+  if (hints != nullptr) t.hints = *hints;
 
-  std::string header;
-  PutFixed32(&header, kStoreMagic);
-  PutFixed32(&header, kStoreVersion);
-  PutFixed64(&header, tree_off);
-  PutFixed64(&header, tree_blob.size());
-  PutFixed64(&header, conn_off);
-  PutFixed64(&header, conn_blob.size());
-  PutFixed64(&header, labels_off);
-  PutFixed64(&header, labels_blob.size());
-  PutFixed64(&header, dir_off);
-  PutFixed64(&header, directory.size());
-  PutFixed64(&header, graph_off);
-  PutFixed64(&header, graph_blob.size());
-  PutFixed32(&header, num_pages);
-  PutFixed32(&header, g.num_nodes());
-  PutFixed64(&header, Hash64(header));
-
-  std::string file = header;
+  std::string file = SerializeHeader(t);
   file += tree_blob;
   file += conn_blob;
   file += labels_blob;
@@ -193,8 +234,7 @@ Status GTreeStore::Create(const std::string& path, const Graph& g,
   return graph::WriteStringToFile(file, path);
 }
 
-gmine::Result<std::unique_ptr<GTreeStore>> GTreeStore::Open(
-    const std::string& path, const GTreeStoreOptions& options) {
+Status GTreeStore::LoadMetadata(const std::string& path) {
   std::FILE* f = std::fopen(path.c_str(), "rb");
   if (f == nullptr) {
     return Status::IOError(StrFormat("cannot open %s", path.c_str()));
@@ -210,9 +250,136 @@ gmine::Result<std::unique_ptr<GTreeStore>> GTreeStore::Open(
     }
     return Status::OK();
   };
+  // The new handle replaces the old one only after the whole load
+  // succeeds, so a failed reload leaves the store usable.
+  struct Closer {
+    std::FILE* f;
+    ~Closer() {
+      if (f != nullptr) std::fclose(f);
+    }
+  } closer{f};
 
+  std::fseek(f, 0, SEEK_END);
+  const uint64_t file_size = static_cast<uint64_t>(std::ftell(f));
+
+  std::string header;
+  GMINE_RETURN_IF_ERROR(read_at(0, kHeaderSize, &header));
+  std::string_view in = header;
+  uint32_t magic = 0;
+  uint32_t version = 0;
+  GetFixed32(&in, &magic);
+  GetFixed32(&in, &version);
+  if (magic != kStoreMagic) {
+    return Status::Corruption("gtree store: bad magic");
+  }
+  if (version != kStoreVersion) {
+    return Status::Corruption("gtree store: unsupported version");
+  }
+  SectionTable t;
+  uint64_t checksum = 0;
+  GetFixed64(&in, &t.tree_off);
+  GetFixed64(&in, &t.tree_size);
+  GetFixed64(&in, &t.conn_off);
+  GetFixed64(&in, &t.conn_size);
+  GetFixed64(&in, &t.labels_off);
+  GetFixed64(&in, &t.labels_size);
+  GetFixed64(&in, &t.dir_off);
+  GetFixed64(&in, &t.dir_size);
+  GetFixed64(&in, &t.graph_off);
+  GetFixed64(&in, &t.graph_size);
+  GetFixed64(&in, &t.journal_off);
+  GetFixed64(&in, &t.journal_size);
+  GetFixed32(&in, &t.num_pages);
+  GetFixed32(&in, &t.num_graph_nodes);
+  GetFixed32(&in, &t.hints.levels);
+  GetFixed32(&in, &t.hints.fanout);
+  GetFixed32(&in, &t.hints.min_partition_size);
+  GetFixed64(&in, &t.hints.partition_seed);
+  GetFixed64(&in, &checksum);
+  if (Hash64(std::string_view(header.data(), kHeaderSize - 8)) != checksum) {
+    return Status::Corruption("gtree store: header checksum mismatch");
+  }
+
+  GTree tree;
+  ConnectivityIndex conn;
+  graph::LabelStore labels;
+  std::vector<graph::GraphEdit> journal;
+  std::unordered_map<TreeNodeId, PageLocation> directory;
+
+  std::string blob;
+  GMINE_RETURN_IF_ERROR(read_at(t.tree_off, t.tree_size, &blob));
+  {
+    auto parsed = DeserializeTree(blob, t.num_graph_nodes);
+    if (!parsed.ok()) return parsed.status();
+    tree = std::move(parsed).value();
+  }
+  GMINE_RETURN_IF_ERROR(read_at(t.conn_off, t.conn_size, &blob));
+  {
+    auto parsed = ConnectivityIndex::Deserialize(blob);
+    if (!parsed.ok()) return parsed.status();
+    conn = std::move(parsed).value();
+  }
+  if (t.labels_size > 0) {
+    GMINE_RETURN_IF_ERROR(read_at(t.labels_off, t.labels_size, &blob));
+    auto parsed = graph::LabelStore::Deserialize(blob);
+    if (!parsed.ok()) return parsed.status();
+    labels = std::move(parsed).value();
+  }
+  GMINE_RETURN_IF_ERROR(read_at(t.dir_off, t.dir_size, &blob));
+  {
+    std::string_view dir = blob;
+    for (uint32_t i = 0; i < t.num_pages; ++i) {
+      uint32_t leaf = 0;
+      uint64_t off = 0;
+      uint64_t size = 0;
+      if (!GetVarint32(&dir, &leaf) || !GetVarint64(&dir, &off) ||
+          !GetVarint64(&dir, &size)) {
+        return Status::Corruption("gtree store: truncated directory");
+      }
+      if (off + size > file_size) {
+        return Status::Corruption("gtree store: page outside the file");
+      }
+      directory[leaf] = PageLocation{off, size};
+    }
+  }
+  if (t.journal_size > 0) {
+    GMINE_RETURN_IF_ERROR(read_at(t.journal_off, t.journal_size, &blob));
+    std::string_view body = blob;
+    uint32_t count = 0;
+    if (!GetVarint32(&body, &count)) {
+      return Status::Corruption("gtree store: bad journal count");
+    }
+    journal.reserve(count);
+    for (uint32_t i = 0; i < count; ++i) {
+      std::string_view entry;
+      if (!GetLengthPrefixed(&body, &entry)) {
+        return Status::Corruption("gtree store: truncated journal");
+      }
+      auto edit = graph::GraphEdit::Deserialize(entry);
+      if (!edit.ok()) return edit.status();
+      journal.push_back(std::move(edit).value());
+    }
+  }
+
+  if (file_ != nullptr) std::fclose(file_);
+  file_ = f;
+  closer.f = nullptr;
+  path_ = path;
+  file_size_ = file_size;
+  hints_ = t.hints;
+  tree_ = std::move(tree);
+  conn_ = std::move(conn);
+  labels_ = std::move(labels);
+  journal_ = std::move(journal);
+  directory_ = std::move(directory);
+  graph_section_ = PageLocation{t.graph_off, t.graph_size};
+  labels_section_ = PageLocation{t.labels_off, t.labels_size};
+  return Status::OK();
+}
+
+gmine::Result<std::unique_ptr<GTreeStore>> GTreeStore::Open(
+    const std::string& path, const GTreeStoreOptions& options) {
   std::unique_ptr<GTreeStore> store(new GTreeStore());
-  store->file_ = f;
   store->options_ = options;
   size_t num_shards = options.cache_shards;
   if (num_shards == 0) {
@@ -233,77 +400,7 @@ gmine::Result<std::unique_ptr<GTreeStore>> GTreeStore::Open(
       store->shards_[i].capacity = base + (i < remainder ? 1 : 0);
     }
   }
-  std::fseek(f, 0, SEEK_END);
-  store->file_size_ = static_cast<uint64_t>(std::ftell(f));
-
-  std::string header;
-  Status st = read_at(0, kHeaderSize, &header);
-  if (!st.ok()) return st;
-  std::string_view in = header;
-  uint32_t magic = 0;
-  uint32_t version = 0;
-  GetFixed32(&in, &magic);
-  GetFixed32(&in, &version);
-  if (magic != kStoreMagic) {
-    return Status::Corruption("gtree store: bad magic");
-  }
-  if (version != kStoreVersion) {
-    return Status::Corruption("gtree store: unsupported version");
-  }
-  uint64_t tree_off, tree_size, conn_off, conn_size, labels_off, labels_size,
-      dir_off, dir_size, graph_off, graph_size;
-  uint32_t num_pages = 0;
-  uint32_t num_graph_nodes = 0;
-  uint64_t checksum = 0;
-  GetFixed64(&in, &tree_off);
-  GetFixed64(&in, &tree_size);
-  GetFixed64(&in, &conn_off);
-  GetFixed64(&in, &conn_size);
-  GetFixed64(&in, &labels_off);
-  GetFixed64(&in, &labels_size);
-  GetFixed64(&in, &dir_off);
-  GetFixed64(&in, &dir_size);
-  GetFixed64(&in, &graph_off);
-  GetFixed64(&in, &graph_size);
-  GetFixed32(&in, &num_pages);
-  GetFixed32(&in, &num_graph_nodes);
-  GetFixed64(&in, &checksum);
-  if (Hash64(std::string_view(header.data(), kHeaderSize - 8)) != checksum) {
-    return Status::Corruption("gtree store: header checksum mismatch");
-  }
-
-  std::string blob;
-  GMINE_RETURN_IF_ERROR(read_at(tree_off, tree_size, &blob));
-  auto tree = DeserializeTree(blob, num_graph_nodes);
-  if (!tree.ok()) return tree.status();
-  store->tree_ = std::move(tree).value();
-
-  GMINE_RETURN_IF_ERROR(read_at(conn_off, conn_size, &blob));
-  auto conn = ConnectivityIndex::Deserialize(blob);
-  if (!conn.ok()) return conn.status();
-  store->conn_ = std::move(conn).value();
-
-  if (labels_size > 0) {
-    GMINE_RETURN_IF_ERROR(read_at(labels_off, labels_size, &blob));
-    auto labels = graph::LabelStore::Deserialize(blob);
-    if (!labels.ok()) return labels.status();
-    store->labels_ = std::move(labels).value();
-  }
-
-  GMINE_RETURN_IF_ERROR(read_at(dir_off, dir_size, &blob));
-  std::string_view dir = blob;
-  uint64_t pages_base = labels_off + labels_size;
-  for (uint32_t i = 0; i < num_pages; ++i) {
-    uint32_t leaf = 0;
-    uint64_t off = 0;
-    uint64_t size = 0;
-    if (!GetVarint32(&dir, &leaf) || !GetVarint64(&dir, &off) ||
-        !GetVarint64(&dir, &size)) {
-      return Status::Corruption("gtree store: truncated directory");
-    }
-    store->directory_[leaf] = PageLocation{pages_base + off, size};
-  }
-  store->graph_section_ = PageLocation{graph_off, graph_size};
+  GMINE_RETURN_IF_ERROR(store->LoadMetadata(path));
   return store;
 }
 
@@ -329,7 +426,21 @@ gmine::Result<graph::Graph> GTreeStore::LoadFullGraph() const {
     std::lock_guard<std::mutex> lock(file_mu_);
     graph_bytes_read_ += blob.size();
   }
-  return graph::DeserializeGraph(blob);
+  auto g = graph::DeserializeGraph(blob);
+  if (!g.ok() || journal_.empty()) return g;
+  // Replay the edit journal: the graph section is the base state and
+  // each journaled edit was validated when it was applied live.
+  graph::Graph current = std::move(g).value();
+  for (const graph::GraphEdit& edit : journal_) {
+    auto replayed = edit.Apply(current);
+    if (!replayed.ok()) {
+      return Status::Corruption(
+          StrFormat("gtree store: journal replay failed: %s",
+                    replayed.status().ToString().c_str()));
+    }
+    current = std::move(replayed).value().graph;
+  }
+  return current;
 }
 
 gmine::Result<std::shared_ptr<const LeafPayload>> GTreeStore::LoadLeaf(
@@ -385,6 +496,258 @@ gmine::Result<std::shared_ptr<const LeafPayload>> GTreeStore::LoadLeaf(
     ++shard.stats.evictions;
   }
   return shared;
+}
+
+Status GTreeStore::ApplyUpdate(GTreeStoreUpdate& update,
+                               GTreeStoreUpdateStats* stats) {
+  if (update.tree == nullptr || update.graph == nullptr) {
+    return Status::InvalidArgument("ApplyUpdate: tree and graph required");
+  }
+  if (update.conn_deltas != nullptr && update.replacement_conn != nullptr) {
+    return Status::InvalidArgument(
+        "ApplyUpdate: conn_deltas and replacement_conn are exclusive");
+  }
+  GTreeStoreUpdateStats local;
+  GTreeStoreUpdateStats& out = stats != nullptr ? *stats : local;
+
+  const bool compact = update.journal_edit == nullptr ||
+                       options_.journal_compact_ops == 0 ||
+                       journal_.size() >= options_.journal_compact_ops;
+  if (compact) {
+    // Compaction: materialize the post-edit state and rewrite the whole
+    // file through Create + atomic rename; memory commits only after
+    // the rename so a failure leaves the store on its old state.
+    GTree new_tree = std::move(*update.tree);
+    ConnectivityIndex new_conn;
+    if (update.replacement_conn != nullptr) {
+      new_conn = std::move(*update.replacement_conn);
+    } else {
+      new_conn = conn_;
+      if (update.conn_deltas != nullptr) {
+        new_conn.ApplyDeltas(*update.conn_deltas);
+      }
+    }
+    const graph::LabelStore& labels =
+        update.labels != nullptr ? *update.labels : labels_;
+    const std::string tmp = path_ + ".tmp";
+    Status created =
+        Create(tmp, *update.graph, new_tree, new_conn, labels, &hints_);
+    if (!created.ok()) {
+      std::remove(tmp.c_str());
+      return created;
+    }
+    if (options_.durable_appends) {
+      // Push the replacement to disk before it takes the store's name.
+      std::FILE* t = std::fopen(tmp.c_str(), "rb");
+      if (t != nullptr) {
+        (void)fdatasync(fileno(t));
+        std::fclose(t);
+      }
+    }
+    if (std::rename(tmp.c_str(), path_.c_str()) != 0) {
+      std::remove(tmp.c_str());
+      return Status::IOError(
+          StrFormat("ApplyUpdate: cannot replace %s", path_.c_str()));
+    }
+    GMINE_RETURN_IF_ERROR(LoadMetadata(path_));
+    for (CacheShard& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard.mu);
+      out.pages_invalidated += static_cast<uint32_t>(shard.lru.size());
+      shard.lru.clear();
+      shard.map.clear();
+    }
+    out.compacted = true;
+    out.journal_ops = 0;
+    return Status::OK();
+  }
+
+  // Append path: dirty pages + fresh metadata sections go at the end of
+  // the file; the header is rewritten last. Everything fallible
+  // (serialization, IO) runs before any in-memory commit.
+  std::string tree_blob = SerializeTree(*update.tree);
+  ConnectivityIndex new_conn;
+  if (update.replacement_conn != nullptr) {
+    new_conn = std::move(*update.replacement_conn);
+  } else {
+    new_conn = conn_;
+    if (update.conn_deltas != nullptr) {
+      new_conn.ApplyDeltas(*update.conn_deltas);
+    }
+  }
+  std::string conn_blob = new_conn.Serialize();
+  std::string labels_blob;
+  if (update.labels != nullptr) labels_blob = update.labels->Serialize();
+  std::string journal_blob;
+  PutVarint32(&journal_blob, static_cast<uint32_t>(journal_.size() + 1));
+  for (const graph::GraphEdit& e : journal_) {
+    PutLengthPrefixed(&journal_blob, e.Serialize());
+  }
+  PutLengthPrefixed(&journal_blob, update.journal_edit->Serialize());
+
+  // Layout: dirty pages first, then tree/conn/[labels]/directory/journal.
+  const uint64_t append_base = file_size_;
+  std::string appended;
+  std::unordered_map<TreeNodeId, PageLocation> new_directory;
+  std::unordered_set<TreeNodeId> dirty;
+  for (auto& [leaf, sub] : update.dirty_pages) {
+    std::string page = SerializeLeafPayload(sub);
+    new_directory[leaf] =
+        PageLocation{append_base + appended.size(), page.size()};
+    dirty.insert(leaf);
+    appended += page;
+    ++out.pages_written;
+  }
+  // Clean pages carry over at their old offsets under their new ids.
+  std::unordered_map<TreeNodeId, TreeNodeId> new_to_old;
+  if (update.old_to_new != nullptr) {
+    new_to_old.reserve(update.old_to_new->size());
+    for (TreeNodeId o = 0;
+         o < static_cast<TreeNodeId>(update.old_to_new->size()); ++o) {
+      if ((*update.old_to_new)[o] != kInvalidTreeNode) {
+        new_to_old[(*update.old_to_new)[o]] = o;
+      }
+    }
+  }
+  for (const TreeNode& tn : update.tree->nodes()) {
+    if (!tn.IsLeaf() || dirty.count(tn.id) > 0) continue;
+    TreeNodeId old_id = tn.id;
+    if (update.old_to_new != nullptr) {
+      auto mapped = new_to_old.find(tn.id);
+      old_id = mapped == new_to_old.end() ? kInvalidTreeNode
+                                          : mapped->second;
+    }
+    auto it = old_id == kInvalidTreeNode ? directory_.end()
+                                         : directory_.find(old_id);
+    if (it == directory_.end()) {
+      return Status::Internal(
+          StrFormat("ApplyUpdate: clean leaf %u has no prior page", tn.id));
+    }
+    new_directory[tn.id] = it->second;
+  }
+  std::string directory_blob;
+  {
+    // Deterministic directory order (ascending leaf id).
+    std::vector<TreeNodeId> leaves;
+    leaves.reserve(new_directory.size());
+    for (const auto& [leaf, _] : new_directory) leaves.push_back(leaf);
+    std::sort(leaves.begin(), leaves.end());
+    for (TreeNodeId leaf : leaves) {
+      const PageLocation& loc = new_directory.at(leaf);
+      PutVarint32(&directory_blob, leaf);
+      PutVarint64(&directory_blob, loc.offset);
+      PutVarint64(&directory_blob, loc.size);
+    }
+  }
+
+  SectionTable t;
+  t.tree_off = append_base + appended.size();
+  t.tree_size = tree_blob.size();
+  appended += tree_blob;
+  t.conn_off = append_base + appended.size();
+  t.conn_size = conn_blob.size();
+  appended += conn_blob;
+  if (update.labels != nullptr) {
+    t.labels_off = append_base + appended.size();
+    t.labels_size = labels_blob.size();
+    appended += labels_blob;
+  } else {
+    t.labels_off = labels_section_.offset;
+    t.labels_size = labels_section_.size;
+  }
+  t.dir_off = append_base + appended.size();
+  t.dir_size = directory_blob.size();
+  appended += directory_blob;
+  t.journal_off = append_base + appended.size();
+  t.journal_size = journal_blob.size();
+  appended += journal_blob;
+  t.graph_off = graph_section_.offset;
+  t.graph_size = graph_section_.size;
+  t.num_pages = static_cast<uint32_t>(new_directory.size());
+  t.num_graph_nodes = update.graph->num_nodes();
+  std::string header = SerializeHeader(t);
+
+  {
+    // Appends land before the header write, so a *process* crash in
+    // between leaves the old header describing the old sections — the
+    // previous consistent state. For power-loss safety the kernel must
+    // not reorder the header ahead of the appends: durable_appends
+    // inserts fdatasync barriers around the header write (costing
+    // milliseconds per edit, hence opt-in).
+    std::FILE* w = std::fopen(path_.c_str(), "r+b");
+    if (w == nullptr) {
+      return Status::IOError(
+          StrFormat("ApplyUpdate: cannot reopen %s for writing",
+                    path_.c_str()));
+    }
+    bool ok = std::fseek(w, 0, SEEK_END) == 0 &&
+              static_cast<uint64_t>(std::ftell(w)) == append_base &&
+              std::fwrite(appended.data(), 1, appended.size(), w) ==
+                  appended.size() &&
+              std::fflush(w) == 0;
+    if (ok && options_.durable_appends) ok = fdatasync(fileno(w)) == 0;
+    ok = ok && std::fseek(w, 0, SEEK_SET) == 0 &&
+         std::fwrite(header.data(), 1, header.size(), w) ==
+             header.size() &&
+         std::fflush(w) == 0;
+    if (ok && options_.durable_appends) ok = fdatasync(fileno(w)) == 0;
+    std::fclose(w);
+    if (!ok) {
+      return Status::IOError(
+          StrFormat("ApplyUpdate: write to %s failed", path_.c_str()));
+    }
+  }
+
+  // Commit (infallible from here).
+  tree_ = std::move(*update.tree);
+  conn_ = std::move(new_conn);
+  if (update.labels != nullptr) {
+    labels_ = *update.labels;
+    labels_section_ = PageLocation{t.labels_off, t.labels_size};
+  }
+  journal_.push_back(*update.journal_edit);
+  file_size_ = append_base + appended.size();
+  out.appended_bytes = appended.size();
+  out.journal_ops = journal_.size();
+
+  // Invalidate only the touched cache pages; clean entries survive,
+  // re-keyed when the repair renumbered the tree.
+  {
+    std::vector<std::pair<TreeNodeId, CacheShard::Entry>> kept;
+    for (CacheShard& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard.mu);
+      // Walk back-to-front so re-inserting with push_front below
+      // restores the recency order within each shard.
+      for (auto it = shard.lru.rbegin(); it != shard.lru.rend(); ++it) {
+        TreeNodeId old_id = it->first;
+        TreeNodeId new_id =
+            update.old_to_new != nullptr
+                ? (old_id < update.old_to_new->size()
+                       ? (*update.old_to_new)[old_id]
+                       : kInvalidTreeNode)
+                : old_id;
+        if (new_id == kInvalidTreeNode || dirty.count(new_id) > 0 ||
+            new_directory.count(new_id) == 0) {
+          ++out.pages_invalidated;
+          continue;
+        }
+        kept.emplace_back(new_id, it->second);
+      }
+      shard.lru.clear();
+      shard.map.clear();
+    }
+    for (auto& [leaf, entry] : kept) {
+      CacheShard& shard = ShardFor(leaf);
+      std::lock_guard<std::mutex> lock(shard.mu);
+      if (shard.capacity > 0 && shard.lru.size() >= shard.capacity) {
+        ++out.pages_invalidated;
+        continue;
+      }
+      shard.lru.emplace_front(leaf, std::move(entry));
+      shard.map[leaf] = shard.lru.begin();
+    }
+  }
+  directory_ = std::move(new_directory);
+  return Status::OK();
 }
 
 bool GTreeStore::IsCached(TreeNodeId leaf) const {

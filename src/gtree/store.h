@@ -9,7 +9,20 @@
 //   conn       serialized ConnectivityIndex
 //   labels     serialized LabelStore (may be empty)
 //   pages      one blob per leaf: the leaf's induced subgraph + mapping
-//   directory  leaf tree-node id -> (offset, size) of its page
+//   directory  leaf tree-node id -> (absolute offset, size) of its page
+//   journal    GraphEdits applied since the graph section was written
+//
+// Incremental edits (docs/EDITS.md): ApplyUpdate publishes a repaired
+// hierarchy by appending only the dirty leaf pages plus fresh metadata
+// sections at the end of the file and rewriting the fixed-size header
+// last, so clean pages keep their bytes and offsets and a *process*
+// crash before the header write leaves the previous state intact
+// (power-loss ordering additionally needs the opt-in
+// `durable_appends` fdatasync barriers). The embedded graph section
+// stays the *base* graph; the journal section records the edits since,
+// replayed by LoadFullGraph. Once the journal exceeds
+// `journal_compact_ops` (or an edit remaps node ids), the store
+// compacts by rewriting itself from scratch through Create + rename.
 //
 // Opening a store loads only the metadata sections (tree, connectivity,
 // labels, directory); leaf subgraphs are read on demand through an LRU
@@ -41,6 +54,7 @@
 #include <vector>
 
 #include "graph/graph.h"
+#include "graph/graph_edit.h"
 #include "graph/labels.h"
 #include "graph/subgraph.h"
 #include "gtree/connectivity.h"
@@ -64,6 +78,30 @@ struct GTreeStoreOptions {
   /// (min(16, MaxParallelism())). Concurrent-session hosts should use
   /// auto so navigators do not serialize on one cache mutex.
   size_t cache_shards = 1;
+  /// ApplyUpdate compacts (full rewrite instead of append) once the edit
+  /// journal holds at least this many entries. 0 compacts on every
+  /// update (journal disabled).
+  size_t journal_compact_ops = 64;
+  /// Issue fdatasync barriers inside ApplyUpdate (between the section
+  /// append and the header rewrite, and again after it) so the
+  /// header-last ordering also holds across power loss, not just
+  /// process crashes. Off by default: barriers cost milliseconds per
+  /// edit and interactive editing favors latency.
+  bool durable_appends = false;
+};
+
+/// The shape a store's hierarchy was built with, recorded in the header
+/// so edit repairs (gtree/edit_repair.h) re-partition regions with the
+/// original parameters instead of whatever the opener guessed.
+/// `levels == 0` means unknown (the writer supplied no hints).
+struct GTreeBuildHints {
+  uint32_t levels = 0;
+  uint32_t fanout = 0;
+  /// The original option value verbatim — 0 means the builder derived
+  /// its default (2 * fanout), which the repair re-derives identically.
+  uint32_t min_partition_size = 0;
+  /// partition::PartitionOptions::seed the build used.
+  uint64_t partition_seed = 0;
 };
 
 /// Identifies a reader (e.g. one NavigationSession) for the
@@ -80,6 +118,43 @@ struct GTreeStoreStats {
   uint64_t evictions = 0;     // pages evicted from the LRU
 };
 
+/// One repaired state to publish through GTreeStore::ApplyUpdate. All
+/// pointers must outlive the call; `tree` (and `replacement_conn` when
+/// set) are consumed by move.
+struct GTreeStoreUpdate {
+  /// The post-edit hierarchy (required; moved into the store).
+  GTree* tree = nullptr;
+  /// Exact connectivity-row deltas to patch into the resident index
+  /// (topology unchanged)...
+  const std::vector<ConnectivityDelta>* conn_deltas = nullptr;
+  /// ...or a freshly built replacement index (topology changed; moved
+  /// into the store). Exactly one of the two may be set; neither means
+  /// connectivity is unchanged.
+  ConnectivityIndex* replacement_conn = nullptr;
+  /// Post-edit labels; nullptr = unchanged.
+  const graph::LabelStore* labels = nullptr;
+  /// The post-edit full graph (required; used by the compaction path and
+  /// for sanity counts — never retained).
+  const graph::Graph* graph = nullptr;
+  /// Pages to (re)serialize, keyed by new-tree leaf ids.
+  std::vector<std::pair<TreeNodeId, graph::Subgraph>> dirty_pages;
+  /// Old tree id -> new tree id for surviving clean pages; nullptr =
+  /// identity (topology unchanged).
+  const std::vector<TreeNodeId>* old_to_new = nullptr;
+  /// The edit itself, appended to the journal on the append path;
+  /// nullptr forces a compaction (e.g. node ids remapped).
+  const graph::GraphEdit* journal_edit = nullptr;
+};
+
+/// What an ApplyUpdate did (reported by `gmine edit`).
+struct GTreeStoreUpdateStats {
+  bool compacted = false;        // rewrite path instead of append
+  uint64_t appended_bytes = 0;   // bytes added to the file (append path)
+  uint32_t pages_written = 0;    // dirty pages serialized (append path)
+  uint32_t pages_invalidated = 0;  // cache entries dropped
+  size_t journal_ops = 0;        // journal length after the update
+};
+
 /// Read-only handle to a G-Tree file.
 class GTreeStore {
  public:
@@ -90,10 +165,12 @@ class GTreeStore {
   /// Builds every leaf payload from `g` and writes the complete store to
   /// `path` (truncating). The full graph is embedded as its own section
   /// so one file carries everything ("stored in a single file"); it is
-  /// only read back by LoadFullGraph().
+  /// only read back by LoadFullGraph(). `hints`, when given, records the
+  /// build shape in the header for later edit repairs.
   static Status Create(const std::string& path, const graph::Graph& g,
                        const GTree& tree, const ConnectivityIndex& conn,
-                       const graph::LabelStore& labels);
+                       const graph::LabelStore& labels,
+                       const GTreeBuildHints* hints = nullptr);
 
   /// Opens a store file; loads metadata, leaves payloads on disk.
   static gmine::Result<std::unique_ptr<GTreeStore>> Open(
@@ -126,10 +203,28 @@ class GTreeStore {
   /// Drops all cached pages (for IO benchmarks).
   void ClearCache();
 
-  /// Reads the embedded full graph (global operations like connection
-  /// subgraph extraction need it). Not cached: the caller owns the copy.
-  /// Safe to call concurrently with LoadLeaf.
+  /// Reads the embedded full graph and replays the edit journal on top
+  /// (global operations like connection subgraph extraction need it).
+  /// Not cached: the caller owns the copy. Safe to call concurrently
+  /// with LoadLeaf.
   gmine::Result<graph::Graph> LoadFullGraph() const;
+
+  /// Publishes an incrementally repaired state (gtree/edit_repair.h):
+  /// appends dirty pages + fresh metadata sections and rewrites the
+  /// header, invalidating only the touched cache pages — or compacts via
+  /// a full rewrite when the journal is due or ids remapped. NOT
+  /// internally synchronized against the read surface: the caller must
+  /// exclude every concurrent reader (core::SessionManager::UpdateEpoch
+  /// provides exactly that). On error the store is unchanged in memory
+  /// and on disk (the old header still describes the old sections).
+  Status ApplyUpdate(GTreeStoreUpdate& update,
+                     GTreeStoreUpdateStats* stats = nullptr);
+
+  /// Edits currently in the journal (replayed by LoadFullGraph).
+  size_t journal_ops() const { return journal_.size(); }
+
+  /// The build shape recorded at Create time (levels == 0 if none).
+  const GTreeBuildHints& build_hints() const { return hints_; }
 
   /// Total size of the store file in bytes.
   uint64_t file_size() const { return file_size_; }
@@ -141,6 +236,10 @@ class GTreeStore {
     uint64_t offset = 0;
     uint64_t size = 0;
   };
+
+  /// (Re)opens `path` and loads every metadata section into this store,
+  /// replacing the previous state. Used by Open and the compaction path.
+  Status LoadMetadata(const std::string& path);
 
   /// One independently-locked slice of the page cache. A leaf lives in
   /// shard `leaf % shards_.size()`; each shard runs its own LRU over
@@ -167,13 +266,18 @@ class GTreeStore {
 
   std::FILE* file_ = nullptr;
   uint64_t file_size_ = 0;
+  std::string path_;
   GTree tree_;
   ConnectivityIndex conn_;
   graph::LabelStore labels_;
   GTreeStoreOptions options_;
+  GTreeBuildHints hints_;
+  /// Edits since the graph section was written (v2 journal).
+  std::vector<graph::GraphEdit> journal_;
 
   std::unordered_map<TreeNodeId, PageLocation> directory_;
   PageLocation graph_section_;
+  PageLocation labels_section_;
 
   // Guards the (seek, read) pairs on the shared file_ handle; every
   // other member above is immutable after Open.

@@ -237,8 +237,9 @@ void Server::ServeConnection(const std::shared_ptr<Conn>& conn) {
   // The caller (WorkerLoop) already counted this connection active.
   auto session = pool_->OpenSession();
   if (!session.ok()) {
-    (void)conn->sock.WriteAll(EncodeResponse(
-        Response{.status = session.status()}, /*json=*/false));
+    Response rejected;
+    rejected.status = session.status();
+    (void)conn->sock.WriteAll(EncodeResponse(rejected, /*json=*/false));
     conn->sock.Close();
     active_.fetch_sub(1);
     std::lock_guard<std::mutex> lock(stats_mu_);
@@ -265,8 +266,9 @@ void Server::ServeConnection(const std::shared_ptr<Conn>& conn) {
     if (!fed.ok()) {
       // Oversized line: the stream is unrecoverable, answer once and
       // drop the connection.
-      (void)conn->sock.WriteAll(
-          EncodeResponse(Response{.status = fed}, /*json=*/false));
+      Response poisoned;
+      poisoned.status = fed;
+      (void)conn->sock.WriteAll(EncodeResponse(poisoned, /*json=*/false));
       std::lock_guard<std::mutex> lock(stats_mu_);
       ++stats_.errors;
       break;

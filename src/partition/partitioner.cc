@@ -242,4 +242,20 @@ gmine::Result<PartitionResult> BfsGrowPartition(const Graph& g, uint32_t k,
   return FinishResult(g, std::move(assignment), k, 0);
 }
 
+namespace {
+// 2^64 / golden ratio — the Fibonacci-hashing multiplier. Changing it
+// changes every store built with lineage-salted seeds.
+constexpr uint64_t kLineageSaltMix = 0x9e3779b97f4a7c15ULL;
+}  // namespace
+
+uint64_t RootLineageSalt() { return 1; }
+
+uint64_t ChildLineageSalt(uint64_t salt, uint32_t ordinal) {
+  return (salt + ordinal + 1) * kLineageSaltMix;
+}
+
+uint64_t LineageSeed(uint64_t base_seed, uint64_t salt, uint32_t depth) {
+  return base_seed ^ (salt * kLineageSaltMix + depth);
+}
+
 }  // namespace gmine::partition

@@ -87,6 +87,23 @@ std::vector<uint32_t> MultilevelBisection(const graph::Graph& g,
                                           const PartitionOptions& options,
                                           int* levels_used);
 
+// ------------------------------------------------------------ lineage salts
+// Deterministic per-community seeding shared by the G-Tree builder and
+// the incremental edit repair: a community's salt depends only on its
+// path from the root (child ordinals), never on construction order or
+// thread count, so re-partitioning a single region in isolation
+// reproduces exactly the splits a build of that lineage would make.
+
+/// Salt of the hierarchy root.
+uint64_t RootLineageSalt();
+
+/// Salt of the `ordinal`-th child of a community with salt `salt`.
+uint64_t ChildLineageSalt(uint64_t salt, uint32_t ordinal);
+
+/// Partitioner seed for a community: mixes the caller's base seed with
+/// the community's lineage salt and depth.
+uint64_t LineageSeed(uint64_t base_seed, uint64_t salt, uint32_t depth);
+
 }  // namespace gmine::partition
 
 #endif  // GMINE_PARTITION_PARTITIONER_H_

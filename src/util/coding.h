@@ -50,6 +50,13 @@ inline uint64_t Hash64(std::string_view s, uint64_t seed = 0xcbf29ce484222325ULL
   return Hash64(s.data(), s.size(), seed);
 }
 
+/// String literals must hash their characters, not land on the
+/// (const void*, n) overload — `Hash64("abc", 123)` would otherwise
+/// read 123 bytes from a 4-byte literal (found by the CI ASan job).
+inline uint64_t Hash64(const char* s, uint64_t seed = 0xcbf29ce484222325ULL) {
+  return Hash64(std::string_view(s), seed);
+}
+
 }  // namespace gmine
 
 #endif  // GMINE_UTIL_CODING_H_

@@ -415,5 +415,91 @@ TEST(CliTest, InfoMissingStoreIsIOError) {
   EXPECT_TRUE(st.IsIOError());
 }
 
+TEST(CliTest, ServeAndServerFailOnMissingStore) {
+  // A store-open failure must surface as an error Status (and therefore
+  // a nonzero exit from the binary) — not hang, not succeed. CI's smoke
+  // asserts the exit codes on the real binary too.
+  std::string out;
+  EXPECT_TRUE(RunCli({"serve", "/nonexistent/x.gtree"}, &out).IsIOError());
+  out.clear();
+  EXPECT_TRUE(
+      RunCli({"server", "/nonexistent/x.gtree", "--port", "0"}, &out)
+          .IsIOError());
+  out.clear();
+  EXPECT_TRUE(RunCli({"edit", "/nonexistent/x.gtree"}, &out).IsIOError());
+  out.clear();
+  EXPECT_TRUE(RunCli({"serve"}, &out).IsInvalidArgument());
+  EXPECT_TRUE(RunCli({"server"}, &out).IsInvalidArgument());
+  EXPECT_TRUE(RunCli({"edit"}, &out).IsInvalidArgument());
+}
+
+TEST(CliTest, EditScriptAppliesIncrementally) {
+  std::string prefix = Tmp("cli_edit");
+  std::string store = Tmp("cli_edit.gtree");
+  std::string out;
+  ASSERT_TRUE(RunCli({"generate", "--out", prefix, "--levels", "2",
+                      "--fanout", "3", "--leaf-size", "20"},
+                     &out)
+                  .ok());
+  ASSERT_TRUE(RunCli({"build", "--graph", prefix + ".edges", "--labels",
+                      prefix + ".labels", "--out", store, "--levels", "2",
+                      "--fanout", "3"},
+                     &out)
+                  .ok());
+
+  std::string script = Tmp("cli_edit.script");
+  ASSERT_TRUE(graph::WriteStringToFile("# one cross batch\n"
+                                       "add-edge 0 100 2\n"
+                                       "apply\n"
+                                       "add-node Edit Author\n"
+                                       "add-edge 180 0 1.5\n"
+                                       "apply\n"
+                                       "remove-node 5\n",
+                                       script)
+                  .ok());
+  out.clear();
+  ASSERT_TRUE(RunCli({"edit", store, "--script", script}, &out).ok())
+      << out;
+  EXPECT_NE(out.find("[batch 1]"), std::string::npos);
+  EXPECT_NE(out.find("mode=incremental"), std::string::npos);
+  EXPECT_NE(out.find("provisional id 180"), std::string::npos);
+  // The trailing unapplied batch applies implicitly (batch 3) and, as a
+  // node removal, compacts the store.
+  EXPECT_NE(out.find("[batch 3]"), std::string::npos);
+  EXPECT_NE(out.find("compacted"), std::string::npos);
+
+  // The edits persisted: the added author is queryable after reopen.
+  out.clear();
+  ASSERT_TRUE(RunCli({"query", store, "--label", "Edit Author"}, &out).ok())
+      << out;
+  EXPECT_NE(out.find("'Edit Author'"), std::string::npos);
+
+  // Bad scripts fail with a line-numbered diagnostic.
+  ASSERT_TRUE(graph::WriteStringToFile("add-edge 1\n", script).ok());
+  out.clear();
+  Status st = RunCli({"edit", store, "--script", script}, &out);
+  EXPECT_TRUE(st.IsInvalidArgument());
+  EXPECT_NE(st.message().find("line 1"), std::string::npos);
+
+  // --mode full forces the legacy whole-graph rebuild.
+  ASSERT_TRUE(
+      graph::WriteStringToFile("add-edge 0 50\napply\n", script).ok());
+  out.clear();
+  ASSERT_TRUE(RunCli({"edit", store, "--script", script, "--mode", "full"},
+                     &out)
+                  .ok())
+      << out;
+  EXPECT_NE(out.find("mode=full-rebuild"), std::string::npos);
+  out.clear();
+  EXPECT_TRUE(RunCli({"edit", store, "--script", script, "--mode", "bogus"},
+                     &out)
+                  .IsInvalidArgument());
+
+  for (const std::string& p :
+       {prefix + ".edges", prefix + ".labels", store, script}) {
+    std::remove(p.c_str());
+  }
+}
+
 }  // namespace
 }  // namespace gmine::cli

@@ -333,5 +333,161 @@ TEST(SessionPoolTest, EngineDelegatesToPool) {
   std::remove(path.c_str());
 }
 
+TEST(SessionPoolEpochTest, UpdateEpochReseatsLiveSessionsInPlace) {
+  PoolFixture f = MakePoolFixture("epoch_reseat");
+  SessionManager pool(f.store.get());
+  SessionId a = std::move(pool.OpenSession()).value();
+  SessionId b = std::move(pool.OpenSession(/*pinned=*/true)).value();
+  ASSERT_TRUE(pool
+                  .WithSession(a, [&](NavigationSession& nav) {
+                    return nav.FocusNode(f.leaves[0]);
+                  })
+                  .ok());
+  EXPECT_EQ(pool.epoch(), 0u);
+  ASSERT_TRUE(pool.UpdateEpoch([&]() -> gmine::Result<const GTreeStore*> {
+                    return f.store.get();
+                  })
+                  .ok());
+  EXPECT_EQ(pool.epoch(), 1u);
+  // Same ids, pinned flag preserved, focus reset to the root.
+  EXPECT_TRUE(pool.Contains(a));
+  EXPECT_TRUE(pool.Contains(b));
+  EXPECT_NE(pool.PinnedSession(b), nullptr);
+  EXPECT_EQ(pool.PinnedSession(a), nullptr);  // still unpinned
+  ASSERT_TRUE(pool
+                  .WithSession(a, [&](NavigationSession& nav) {
+                    EXPECT_EQ(nav.focus(), nav.store()->tree().root());
+                    return nav.FocusNode(f.leaves[1]);
+                  })
+                  .ok());
+  // A failing update must not advance the epoch or reseat anything.
+  EXPECT_FALSE(pool.UpdateEpoch([&]() -> gmine::Result<const GTreeStore*> {
+                     return Status::Internal("boom");
+                   })
+                   .ok());
+  EXPECT_EQ(pool.epoch(), 1u);
+  ASSERT_TRUE(pool
+                  .WithSession(a, [&](NavigationSession& nav) {
+                    EXPECT_EQ(nav.focus(), f.leaves[1]);
+                    return Status::OK();
+                  })
+                  .ok());
+}
+
+TEST(SessionPoolEpochTest, BumpDrainsConcurrentNavigationWithoutDeadlock) {
+  PoolFixture f = MakePoolFixture("epoch_concurrent");
+  SessionManager pool(f.store.get());
+  constexpr size_t kSessions = 6;
+  std::vector<SessionId> ids;
+  for (size_t i = 0; i < kSessions; ++i) {
+    ids.push_back(std::move(pool.OpenSession()).value());
+  }
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> ops{0};
+  std::atomic<uint64_t> failures{0};
+  std::vector<std::thread> navigators;
+  for (size_t i = 0; i < kSessions; ++i) {
+    navigators.emplace_back([&, i] {
+      size_t k = 0;
+      while (!stop.load()) {
+        Status st =
+            pool.WithSession(ids[i], [&](NavigationSession& nav) {
+              // Focus through the CURRENT tree only — ids from an older
+              // epoch would be stale, which is exactly what the reseat
+              // prevents.
+              const gtree::GTree& tree = nav.store()->tree();
+              auto leaves = tree.LeavesUnder(tree.root());
+              GMINE_RETURN_IF_ERROR(
+                  nav.FocusNode(leaves[k++ % leaves.size()]));
+              return nav.LoadFocusSubgraph().status();
+            });
+        if (st.ok()) {
+          ops.fetch_add(1);
+        } else {
+          failures.fetch_add(1);
+        }
+      }
+    });
+  }
+  // Bump the epoch repeatedly while navigation hammers the pool; gate
+  // each bump on fresh navigation so the two genuinely interleave
+  // (writer priority would otherwise finish all bumps before a single
+  // op lands on a busy box).
+  for (int bump = 0; bump < 20; ++bump) {
+    const uint64_t seen = ops.load();
+    while (ops.load() == seen) std::this_thread::yield();
+    ASSERT_TRUE(pool.UpdateEpoch([&]() -> gmine::Result<const GTreeStore*> {
+                      // Mutating the store here would be safe: every
+                      // in-flight callback has drained.
+                      return f.store.get();
+                    })
+                    .ok());
+  }
+  stop.store(true);
+  for (std::thread& t : navigators) t.join();
+  EXPECT_EQ(pool.epoch(), 20u);
+  EXPECT_EQ(failures.load(), 0u);
+  EXPECT_GT(ops.load(), 0u);
+  for (SessionId id : ids) EXPECT_TRUE(pool.Contains(id));
+}
+
+TEST(SessionPoolEpochTest, EngineApplyEditKeepsPoolSessionsAlive) {
+  gen::DblpOptions gopts;
+  gopts.levels = 2;
+  gopts.fanout = 3;
+  gopts.leaf_size = 30;
+  gopts.seed = 17;
+  auto dblp = std::move(gen::GenerateDblp(gopts)).value();
+  std::string path =
+      std::string(::testing::TempDir()) + "/epoch_engine.gtree";
+  EngineOptions opts;
+  opts.build.levels = 2;
+  opts.build.fanout = 3;
+  auto engine =
+      std::move(GMineEngine::Build(dblp.graph, dblp.labels, path, opts))
+          .value();
+  SessionManager& pool = engine->sessions();
+  SessionId user = std::move(pool.OpenSession()).value();
+  ASSERT_TRUE(pool
+                  .WithSession(user, [&](NavigationSession& nav) {
+                    return nav.FocusChild(0);
+                  })
+                  .ok());
+
+  // Drive concurrent navigation on the pooled session while ApplyEdit
+  // bumps the epoch: no deadlock, no stale reads, the id survives.
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> errors{0};
+  std::thread navigator([&] {
+    size_t k = 0;
+    while (!stop.load()) {
+      Status st = pool.WithSession(user, [&](NavigationSession& nav) {
+        const gtree::GTree& tree = nav.store()->tree();
+        auto leaves = tree.LeavesUnder(tree.root());
+        GMINE_RETURN_IF_ERROR(nav.FocusNode(leaves[k++ % leaves.size()]));
+        return nav.LoadFocusSubgraph().status();
+      });
+      if (!st.ok()) errors.fetch_add(1);
+    }
+  });
+  for (int i = 0; i < 5; ++i) {
+    auto g = engine->full_graph();
+    ASSERT_TRUE(g.ok());
+    graph::GraphEdit edit(g.value()->num_nodes());
+    graph::NodeId nv = edit.AddNode();
+    edit.AddEdge(nv, static_cast<graph::NodeId>(i), 2.0f);
+    ASSERT_TRUE(engine->ApplyEdit(edit).ok());
+  }
+  stop.store(true);
+  navigator.join();
+  EXPECT_EQ(errors.load(), 0u);
+  EXPECT_EQ(pool.epoch(), 5u);
+  EXPECT_TRUE(pool.Contains(user));
+  // The engine's own pinned default session was re-seated too.
+  EXPECT_EQ(engine->session().focus(), engine->tree().root());
+  engine.reset();
+  std::remove(path.c_str());
+}
+
 }  // namespace
 }  // namespace gmine::core

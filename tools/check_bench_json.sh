@@ -1,0 +1,94 @@
+#!/usr/bin/env bash
+# Schema gate for BENCH_kernels.json (run by CI next to check_docs_cli.sh):
+# the checked-in perf record must stay parseable and complete, so a PR
+# that breaks run_benches.sh or drops a sweep cannot merge silently.
+#
+# Checks:
+#   * every required sweep is present (incl. gtree_edit_incremental and
+#     its full-rebuild companion column from the edits bench);
+#   * every sweep has >= 2 numeric columns, all distinct positive
+#     integers (monotone when sorted) plus optionally "auto";
+#   * every entry carries finite real_ns > 0 (no NaN/Inf) and
+#     iterations >= 1.
+#
+# Usage: tools/check_bench_json.sh [path/to/BENCH_kernels.json]
+
+set -euo pipefail
+
+REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+JSON="${1:-$REPO_ROOT/BENCH_kernels.json}"
+
+if [ ! -s "$JSON" ]; then
+  echo "check_bench_json: $JSON missing or empty" >&2
+  exit 1
+fi
+
+python3 - "$JSON" <<'PY'
+import json
+import math
+import sys
+
+path = sys.argv[1]
+required = [
+    "pagerank",
+    "betweenness",
+    "rwr",
+    "gtree_build_sharded",
+    "session_pool_navigate",
+    "server_navigate",
+    "gtree_edit_incremental",
+    "gtree_edit_full",
+]
+
+try:
+    with open(path) as f:
+        report = json.load(f)
+except json.JSONDecodeError as e:
+    sys.exit(f"check_bench_json: {path} is not valid JSON: {e}")
+
+fail = []
+kernels = report.get("kernels")
+if not isinstance(kernels, dict):
+    sys.exit(f"check_bench_json: {path} has no 'kernels' object")
+
+for name in required:
+    if name not in kernels:
+        fail.append(f"missing sweep '{name}'")
+
+for name, sweep in kernels.items():
+    if not isinstance(sweep, dict):
+        fail.append(f"{name}: sweep is not an object")
+        continue
+    numeric_cols = []
+    for col, entry in sweep.items():
+        if col == "speedup_auto_vs_serial":
+            if not isinstance(entry, (int, float)) or not math.isfinite(entry):
+                fail.append(f"{name}: non-finite speedup")
+            continue
+        if col != "auto":
+            if not col.isdigit() or int(col) <= 0:
+                fail.append(f"{name}: column '{col}' is not a positive int")
+                continue
+            numeric_cols.append(int(col))
+        if not isinstance(entry, dict):
+            fail.append(f"{name}/{col}: entry is not an object")
+            continue
+        real_ns = entry.get("real_ns")
+        iters = entry.get("iterations")
+        if not isinstance(real_ns, (int, float)) or not math.isfinite(real_ns) \
+                or real_ns <= 0:
+            fail.append(f"{name}/{col}: bad real_ns {real_ns!r}")
+        if not isinstance(iters, int) or iters < 1:
+            fail.append(f"{name}/{col}: bad iterations {iters!r}")
+    if len(numeric_cols) < 2:
+        fail.append(f"{name}: needs >= 2 numeric columns, has {numeric_cols}")
+    elif len(set(numeric_cols)) != len(numeric_cols):
+        fail.append(f"{name}: duplicate columns {sorted(numeric_cols)}")
+
+if fail:
+    for f in fail:
+        print(f"check_bench_json: {f}", file=sys.stderr)
+    sys.exit(1)
+print(f"BENCH_kernels.json OK ({len(kernels)} sweeps, "
+      f"all of: {' '.join(required)})")
+PY

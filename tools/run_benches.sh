@@ -1,19 +1,23 @@
 #!/usr/bin/env bash
 # Runs the kernel thread-sweep benchmarks and writes BENCH_kernels.json
 # (serial vs parallel ns/op per kernel) so the perf trajectory is tracked
-# across PRs. Optionally runs every other bench binary with --all.
+# across PRs. Optionally runs every other bench binary with --all, or a
+# fast all-binaries sanity pass with --smoke (used by CI so bench code
+# cannot silently rot: every binary must run and exit 0).
 #
-# Usage: tools/run_benches.sh [build_dir] [--all]
-# Output: BENCH_kernels.json in the repo root.
+# Usage: tools/run_benches.sh [build_dir] [--all | --smoke]
+# Output: BENCH_kernels.json in the repo root (not with --smoke).
 
 set -euo pipefail
 
 REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 BUILD_DIR="$REPO_ROOT/build"
 RUN_ALL=0
+RUN_SMOKE=0
 for arg in "$@"; do
   case "$arg" in
     --all) RUN_ALL=1 ;;
+    --smoke) RUN_SMOKE=1 ;;
     *) BUILD_DIR="$arg" ;;
   esac
 done
@@ -21,6 +25,26 @@ done
 if [ ! -d "$BUILD_DIR" ]; then
   echo "build dir '$BUILD_DIR' not found — run: cmake -B build -S . && cmake --build build -j" >&2
   exit 1
+fi
+
+if [ "$RUN_SMOKE" = 1 ]; then
+  # Tiny-budget run of every bench binary; any crash or nonzero exit
+  # fails the gate. Reports are skipped (they run full workloads).
+  found=0
+  for b in "$BUILD_DIR"/bench_*; do
+    [ -x "$b" ] || continue
+    found=1
+    echo "== smoke $(basename "$b")"
+    GMINE_BENCH_SKIP_REPORT=1 "$b" \
+      --benchmark_min_time=0.01s \
+      --benchmark_filter='.*' >/dev/null
+  done
+  if [ "$found" = 0 ]; then
+    echo "run_benches --smoke: no bench binaries in $BUILD_DIR" >&2
+    exit 1
+  fi
+  echo "bench smoke OK"
+  exit 0
 fi
 
 TMP_DIR="$(mktemp -d)"
@@ -44,6 +68,7 @@ run_sweep bench_metrics 'BM_(PageRank|Betweenness)Threads' "$TMP_DIR/metrics.jso
 run_sweep bench_rwr 'BM_RwrThreads' "$TMP_DIR/rwr.json"
 run_sweep bench_scale 'BM_(GTreeBuildShards|SessionPoolNavigate)' "$TMP_DIR/gtree_build.json"
 run_sweep bench_server 'BM_ServerNavigate' "$TMP_DIR/server.json"
+run_sweep bench_edits 'BM_GTreeEdit(Incremental|FullRebuild)' "$TMP_DIR/edits.json"
 
 python3 - "$REPO_ROOT/BENCH_kernels.json" "$TMP_DIR"/*.json <<'PY'
 import json
@@ -62,6 +87,11 @@ kernel_names = {
     # arg = concurrent loopback clients against one net::Server
     # (fixed request budget)
     "BM_ServerNavigate": "server_navigate",
+    # arg = TOTAL GRAPH SIZE (nodes), not threads: a single-edge
+    # ApplyEdit through the incremental repair vs the legacy full
+    # rebuild (docs/EDITS.md)
+    "BM_GTreeEditIncremental": "gtree_edit_incremental",
+    "BM_GTreeEditFullRebuild": "gtree_edit_full",
 }
 kernels = {}
 context = {}
@@ -70,7 +100,10 @@ for path in inputs:
         data = json.load(f)
     context = data.get("context", context)
     for b in data.get("benchmarks", []):
-        name, _, arg = b["name"].partition("/")
+        # Names look like BM_Foo/8 or BM_Foo/1500/min_time:0.020 — the
+        # first path element after the name is the sweep argument.
+        parts = b["name"].split("/")
+        name, arg = parts[0], parts[1] if len(parts) > 1 else ""
         if name not in kernel_names or b.get("run_type") == "aggregate":
             continue
         threads = "auto" if arg == "0" else arg
