@@ -1,0 +1,176 @@
+// Buffer-pool navigation sweep: leaf checkouts through the process-wide
+// page manager (storage/buffer_pool.h) across a varying number of
+// stores sharing one fixed byte budget. The paper-facing claim: memory
+// stays within the configured budget no matter how many stores (users'
+// graphs) the process serves, trading hit rate — not correctness or
+// footprint — as the working set outgrows the budget. Feeds the
+// "buffer_pool_navigate" entry of BENCH_kernels.json via
+// tools/run_benches.sh (columns: hit_rate, resident_bytes).
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "gtree/builder.h"
+#include "gtree/store.h"
+#include "storage/buffer_pool.h"
+#include "util/string_util.h"
+#include "util/timer.h"
+
+namespace {
+
+using namespace gmine;  // NOLINT
+using bench::CachedDblp;
+
+constexpr int kMaxStores = 4;
+
+/// Store files are built once per process; each benchmark run opens
+/// them against its own private pool.
+const std::string& StorePath(int i) {
+  static std::vector<std::string>* paths = [] {
+    auto* out = new std::vector<std::string>();
+    const gen::DblpGraph& d = CachedDblp();
+    gtree::GTreeBuildOptions bopts;
+    bopts.levels = 3;
+    bopts.fanout = 5;
+    auto tree = gtree::BuildGTree(d.graph, bopts);
+    auto conn = gtree::ConnectivityIndex::Build(d.graph, tree.value());
+    for (int s = 0; s < kMaxStores; ++s) {
+      std::string path =
+          StrFormat("/tmp/gmine_bm_bufpool_%d.gtree", s);
+      (void)gtree::GTreeStore::Create(path, d.graph, tree.value(), conn,
+                                      d.labels);
+      out->push_back(std::move(path));
+    }
+    return out;
+  }();
+  return (*paths)[i];
+}
+
+struct PoolRun {
+  uint64_t visits = 0;
+  uint64_t hits = 0;
+  uint64_t loads = 0;
+  uint64_t peak_resident = 0;
+  int64_t micros = 0;
+};
+
+/// Round-robin leaf checkouts across `num_stores` stores sharing one
+/// pool of `budget_bytes`; every page unpins before the next load, the
+/// access pattern cycles each store's full leaf set.
+PoolRun RunNavigate(size_t num_stores, uint64_t budget_bytes,
+                    size_t visits) {
+  storage::BufferPool pool(
+      storage::BufferPoolOptions{.budget_bytes = budget_bytes});
+  std::vector<std::unique_ptr<gtree::GTreeStore>> stores;
+  std::vector<std::vector<gtree::TreeNodeId>> leaves;
+  for (size_t s = 0; s < num_stores; ++s) {
+    gtree::GTreeStoreOptions sopts;
+    sopts.buffer_pool = &pool;
+    auto store = gtree::GTreeStore::Open(StorePath(static_cast<int>(s)),
+                                         sopts);
+    if (!store.ok()) {
+      std::fprintf(stderr, "%s\n", store.status().ToString().c_str());
+      std::exit(1);
+    }
+    leaves.push_back(
+        store.value()->tree().LeavesUnder(store.value()->tree().root()));
+    stores.push_back(std::move(store).value());
+  }
+  PoolRun run;
+  StopWatch watch;
+  for (size_t i = 0; i < visits; ++i) {
+    const size_t s = i % num_stores;
+    const auto& ls = leaves[s];
+    auto payload = stores[s]->LoadLeaf(ls[(i / num_stores) % ls.size()]);
+    benchmark::DoNotOptimize(payload);
+    if ((i & 31) == 0) {
+      run.peak_resident =
+          std::max(run.peak_resident, pool.stats().resident_bytes);
+    }
+  }
+  run.micros = watch.ElapsedMicros();
+  run.peak_resident =
+      std::max(run.peak_resident, pool.stats().resident_bytes);
+  const storage::BufferPoolStats st = pool.stats();
+  run.visits = visits;
+  run.hits = st.hits;
+  run.loads = st.loads;
+  return run;
+}
+
+void PrintReport() {
+  bench::ReportHeader(
+      "B1: process-wide buffer pool (one budget, many stores)",
+      "resident bytes stay under the configured budget as stores are "
+      "added; the working set degrades hit rate, never footprint");
+  std::printf("%-10s %-8s %12s %10s %14s %14s\n", "budget", "stores",
+              "visits/s", "hit rate", "peak resident", "within budget");
+  for (uint64_t budget_kb : {256, 1024, 4096}) {
+    for (size_t stores : {1, 2, 4}) {
+      PoolRun r = RunNavigate(stores, budget_kb << 10, 2048);
+      const double rate =
+          r.hits + r.loads > 0
+              ? static_cast<double>(r.hits) /
+                    static_cast<double>(r.hits + r.loads)
+              : 0.0;
+      const double per_sec =
+          r.micros > 0
+              ? 1e6 * static_cast<double>(r.visits) /
+                    static_cast<double>(r.micros)
+              : 0.0;
+      std::printf("%-10s %-8zu %12.0f %9.1f%% %14s %14s\n",
+                  HumanBytes(budget_kb << 10).c_str(), stores, per_sec,
+                  100.0 * rate, HumanBytes(r.peak_resident).c_str(),
+                  r.peak_resident <= (budget_kb << 10) ? "yes" : "NO");
+    }
+  }
+}
+
+// JSON kernel: ns/op of one leaf checkout with N stores sharing a fixed
+// 1 MiB budget (eviction pressure grows with N), plus hit_rate and
+// peak resident_bytes counters for tools/check_bench_json.sh.
+void BM_BufferPoolNavigate(benchmark::State& state) {
+  const size_t num_stores = static_cast<size_t>(state.range(0));
+  constexpr uint64_t kBudget = 1 << 20;
+  uint64_t visits = 0, hits = 0, loads = 0, peak = 0;
+  for (auto _ : state) {
+    // A fresh pool per measurement keeps iterations independent (no
+    // warm cache leaking across samples).
+    PoolRun r = RunNavigate(num_stores, kBudget, 512);
+    visits += r.visits;
+    hits += r.hits;
+    loads += r.loads;
+    peak = std::max(peak, r.peak_resident);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(visits));
+  state.counters["hit_rate"] =
+      hits + loads > 0 ? static_cast<double>(hits) /
+                             static_cast<double>(hits + loads)
+                       : 0.0;
+  state.counters["resident_bytes"] = static_cast<double>(peak);
+}
+
+BENCHMARK(BM_BufferPoolNavigate)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (gmine::bench::ShouldPrintReport()) PrintReport();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  for (int s = 0; s < kMaxStores; ++s) {
+    std::remove(StorePath(s).c_str());
+  }
+  return 0;
+}

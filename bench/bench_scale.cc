@@ -16,6 +16,7 @@
 #include "core/session_manager.h"
 #include "gtree/builder.h"
 #include "mining/pagerank.h"
+#include "storage/buffer_pool.h"
 #include "util/parallel.h"
 #include "util/timer.h"
 
@@ -63,7 +64,6 @@ void PrintReport() {
   core::EngineOptions opts;
   opts.build.levels = 3;
   opts.build.fanout = 5;
-  opts.store.cache_pages = 8;
   auto engine = core::GMineEngine::Build(data.graph, data.labels, path, opts);
   if (!engine.ok()) return;
   core::GMineEngine& gm = *engine.value();
@@ -127,9 +127,7 @@ void PrintReport() {
       auto conn = gtree::ConnectivityIndex::Build(data.graph, tree.value());
       (void)gtree::GTreeStore::Create(pool_path, data.graph, tree.value(),
                                       conn, data.labels);
-      gtree::GTreeStoreOptions sopts;
-      sopts.cache_shards = 0;  // auto: the concurrent-host configuration
-      auto store = gtree::GTreeStore::Open(pool_path, sopts);
+      auto store = gtree::GTreeStore::Open(pool_path);
       if (store.ok()) {
         constexpr size_t kVisits = 256;
         bench::PrintThreadSweep(
@@ -232,10 +230,7 @@ void BM_SessionPoolNavigate(benchmark::State& state) {
     auto conn = gtree::ConnectivityIndex::Build(d.graph, tree.value());
     (void)gtree::GTreeStore::Create("/tmp/gmine_bm_pool.gtree", d.graph,
                                     tree.value(), conn, d.labels);
-    gtree::GTreeStoreOptions sopts;
-    sopts.cache_shards = 0;  // auto
-    return std::move(gtree::GTreeStore::Open("/tmp/gmine_bm_pool.gtree",
-                                             sopts))
+    return std::move(gtree::GTreeStore::Open("/tmp/gmine_bm_pool.gtree"))
         .value();
   }();
   const size_t sessions = static_cast<size_t>(
@@ -316,8 +311,12 @@ void BM_LeafLoadColdVsCacheSweep(benchmark::State& state) {
     auto conn = gtree::ConnectivityIndex::Build(d.graph, tree.value());
     (void)gtree::GTreeStore::Create("/tmp/gmine_bm_leaf.gtree", d.graph,
                                     tree.value(), conn, d.labels);
+    // A deliberately tight private pool (leaked: the store is static
+    // too) so the round-robin walk mixes evictions with hits.
+    auto* pool = new storage::BufferPool(
+        storage::BufferPoolOptions{.budget_bytes = 64 << 10, .shards = 1});
     gtree::GTreeStoreOptions sopts;
-    sopts.cache_pages = 4;
+    sopts.buffer_pool = pool;
     return std::move(gtree::GTreeStore::Open("/tmp/gmine_bm_leaf.gtree",
                                              sopts))
         .value();

@@ -41,9 +41,7 @@ const gtree::GTreeStore* SharedStore() {
     auto conn = gtree::ConnectivityIndex::Build(d.graph, tree.value());
     (void)gtree::GTreeStore::Create(kStorePath, d.graph, tree.value(),
                                     conn, d.labels);
-    gtree::GTreeStoreOptions sopts;
-    sopts.cache_shards = 0;  // auto: the concurrent-host configuration
-    return std::move(gtree::GTreeStore::Open(kStorePath, sopts)).value();
+    return std::move(gtree::GTreeStore::Open(kStorePath)).value();
   }();
   return store.get();
 }

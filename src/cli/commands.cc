@@ -13,6 +13,7 @@
 #include "graph/graph_io.h"
 #include "net/client.h"
 #include "net/server.h"
+#include "storage/buffer_pool.h"
 #include "util/parallel.h"
 #include "util/string_util.h"
 #include "util/timer.h"
@@ -454,6 +455,11 @@ Status CmdEdit(const CommandLine& cmd, std::string* out) {
       uint64_t compact_ops,
       FlagUint(cmd, "compact-ops", opts.store.journal_compact_ops));
   opts.store.journal_compact_ops = static_cast<size_t>(compact_ops);
+  if (cmd.Has("mem-budget-mb")) {
+    GMINE_ASSIGN_OR_RETURN(uint64_t mem_budget_mb,
+                           FlagUint(cmd, "mem-budget-mb", 64));
+    opts.mem_budget_bytes = mem_budget_mb << 20;
+  }
 
   // Repairs and rebuilds must run with the shape the store was built
   // with — the engine defaults (levels=3, fanout=5) would re-split a
@@ -512,6 +518,72 @@ Status CmdEdit(const CommandLine& cmd, std::string* out) {
       "store: %s journal=%zu\n",
       HumanBytes(engine.value()->store().file_size()).c_str(),
       engine.value()->store().journal_ops());
+  return Status::OK();
+}
+
+// ------------------------------------------------------------------ stats
+// Buffer-pool visibility from the command line: opens the store, walks
+// every leaf once (the pages a full navigation would touch), and prints
+// the per-store counters plus the pool-wide aggregate. With a small
+// --mem-budget-mb the output shows eviction/bypass behavior; the walk
+// releases each page before loading the next, so it needs only one
+// resident page to make progress.
+
+Status CmdStats(const CommandLine& cmd, std::string* out) {
+  if (cmd.positional.empty()) {
+    return UsageError("stats: STORE path required");
+  }
+  GMINE_ASSIGN_OR_RETURN(uint64_t mem_budget_mb,
+                         FlagUint(cmd, "mem-budget-mb", 64));
+  storage::BufferPool::Global().SetBudgetBytes(mem_budget_mb << 20);
+  auto store = gtree::GTreeStore::Open(cmd.positional[0]);
+  if (!store.ok()) return store.status();
+
+  const gtree::GTree& tree = store.value()->tree();
+  size_t walked = 0;
+  for (gtree::TreeNodeId t = 0;
+       t < static_cast<gtree::TreeNodeId>(tree.nodes().size()); ++t) {
+    if (!tree.node(t).IsLeaf()) continue;
+    auto leaf = store.value()->LoadLeaf(t);
+    if (!leaf.ok()) return leaf.status();
+    ++walked;
+    // `leaf` drops here: the page unpins before the next load, so the
+    // walk works under any budget that fits one page.
+  }
+
+  const gtree::GTreeStoreStats sstats = store.value()->stats();
+  const storage::BufferPoolStats bstats =
+      store.value()->buffer_pool().stats();
+  *out += StrFormat("leaves walked: %zu\n", walked);
+  *out += StrFormat(
+      "store: leaf_loads=%llu cache_hits=%llu shared_hits=%llu "
+      "bytes_read=%llu evictions=%llu resident_bytes=%llu "
+      "pinned_bytes=%llu\n",
+      static_cast<unsigned long long>(sstats.leaf_loads),
+      static_cast<unsigned long long>(sstats.cache_hits),
+      static_cast<unsigned long long>(sstats.shared_hits),
+      static_cast<unsigned long long>(sstats.bytes_read),
+      static_cast<unsigned long long>(sstats.evictions),
+      static_cast<unsigned long long>(sstats.resident_bytes),
+      static_cast<unsigned long long>(sstats.pinned_bytes));
+  *out += StrFormat(
+      "buffer_pool: budget_bytes=%llu resident_bytes=%llu "
+      "pinned_bytes=%llu resident_pages=%llu stores=%zu shards=%zu\n",
+      static_cast<unsigned long long>(bstats.budget_bytes),
+      static_cast<unsigned long long>(bstats.resident_bytes),
+      static_cast<unsigned long long>(bstats.pinned_bytes),
+      static_cast<unsigned long long>(bstats.resident_pages),
+      bstats.stores, bstats.shards);
+  *out += StrFormat(
+      "buffer_pool: hits=%llu misses=%llu loads=%llu evictions=%llu "
+      "invalidations=%llu bypasses=%llu backpressure=%llu\n",
+      static_cast<unsigned long long>(bstats.hits),
+      static_cast<unsigned long long>(bstats.misses),
+      static_cast<unsigned long long>(bstats.loads),
+      static_cast<unsigned long long>(bstats.evictions),
+      static_cast<unsigned long long>(bstats.invalidations),
+      static_cast<unsigned long long>(bstats.bypasses),
+      static_cast<unsigned long long>(bstats.backpressure));
   return Status::OK();
 }
 
@@ -644,17 +716,17 @@ Status CmdServe(const CommandLine& cmd, std::string* out) {
   GMINE_ASSIGN_OR_RETURN(uint64_t num_sessions,
                          FlagUint(cmd, "sessions", 4));
   GMINE_ASSIGN_OR_RETURN(uint64_t threads, FlagUint(cmd, "threads", 0));
-  GMINE_ASSIGN_OR_RETURN(uint64_t cache_pages,
-                         FlagUint(cmd, "cache-pages", 64));
+  GMINE_ASSIGN_OR_RETURN(uint64_t mem_budget_mb,
+                         FlagUint(cmd, "mem-budget-mb", 64));
   if (num_sessions == 0) {
     return UsageError("serve: --sessions must be at least 1");
   }
 
-  // One store serves every session: sharded page cache (auto shard
-  // count) so concurrent navigators do not contend on one mutex.
+  // One store serves every session; leaf pages go through the
+  // process-wide buffer pool (docs/STORAGE.md), re-armed here to the
+  // requested byte budget (0 = unbounded).
+  storage::BufferPool::Global().SetBudgetBytes(mem_budget_mb << 20);
   gtree::GTreeStoreOptions sopts;
-  sopts.cache_pages = cache_pages;
-  sopts.cache_shards = 0;  // auto
   auto store = gtree::GTreeStore::Open(cmd.positional[0], sopts);
   if (!store.ok()) return store.status();
 
@@ -739,12 +811,14 @@ Status CmdServe(const CommandLine& cmd, std::string* out) {
       HumanMicros(elapsed).c_str());
   *out += StrFormat(
       "store: leaf loads=%llu cache hits=%llu shared hits=%llu "
-      "bytes read=%s evictions=%llu\n",
+      "bytes read=%s evictions=%llu resident=%s pinned=%s\n",
       static_cast<unsigned long long>(sstats.leaf_loads),
       static_cast<unsigned long long>(sstats.cache_hits),
       static_cast<unsigned long long>(sstats.shared_hits),
       HumanBytes(sstats.bytes_read).c_str(),
-      static_cast<unsigned long long>(sstats.evictions));
+      static_cast<unsigned long long>(sstats.evictions),
+      HumanBytes(sstats.resident_bytes).c_str(),
+      HumanBytes(sstats.pinned_bytes).c_str());
   return Status::OK();
 }
 
@@ -763,8 +837,8 @@ Status CmdServer(const CommandLine& cmd, std::string* out) {
   GMINE_ASSIGN_OR_RETURN(uint64_t max_clients,
                          FlagUint(cmd, "max-clients", 32));
   GMINE_ASSIGN_OR_RETURN(uint64_t threads, FlagUint(cmd, "threads", 0));
-  GMINE_ASSIGN_OR_RETURN(uint64_t cache_pages,
-                         FlagUint(cmd, "cache-pages", 64));
+  GMINE_ASSIGN_OR_RETURN(uint64_t mem_budget_mb,
+                         FlagUint(cmd, "mem-budget-mb", 64));
   GMINE_ASSIGN_OR_RETURN(uint64_t idle_ms,
                          FlagUint(cmd, "idle-timeout-ms", 0));
   if (max_clients == 0) {
@@ -776,9 +850,10 @@ Status CmdServer(const CommandLine& cmd, std::string* out) {
   }
   const bool prefetch = prefetch_raw == "on";
 
+  // Concurrent clients page through the process-wide buffer pool,
+  // bounded in bytes (0 = unbounded); see docs/STORAGE.md.
+  storage::BufferPool::Global().SetBudgetBytes(mem_budget_mb << 20);
   gtree::GTreeStoreOptions sopts;
-  sopts.cache_pages = cache_pages;
-  sopts.cache_shards = 0;  // auto: concurrent clients share the cache
   auto store = gtree::GTreeStore::Open(cmd.positional[0], sopts);
   if (!store.ok()) return store.status();
 
@@ -837,14 +912,25 @@ Status CmdServer(const CommandLine& cmd, std::string* out) {
       static_cast<unsigned long long>(pstats.opened),
       static_cast<unsigned long long>(pstats.closed),
       static_cast<unsigned long long>(pstats.idle_closed), pool.size());
+  const storage::BufferPoolStats bstats =
+      store.value()->buffer_pool().stats();
   *out += StrFormat(
       "store: leaf loads=%llu cache hits=%llu shared hits=%llu "
-      "bytes read=%s evictions=%llu\n",
+      "bytes read=%s evictions=%llu resident=%s pinned=%s\n",
       static_cast<unsigned long long>(sstats.leaf_loads),
       static_cast<unsigned long long>(sstats.cache_hits),
       static_cast<unsigned long long>(sstats.shared_hits),
       HumanBytes(sstats.bytes_read).c_str(),
-      static_cast<unsigned long long>(sstats.evictions));
+      static_cast<unsigned long long>(sstats.evictions),
+      HumanBytes(sstats.resident_bytes).c_str(),
+      HumanBytes(sstats.pinned_bytes).c_str());
+  *out += StrFormat(
+      "buffer_pool: budget=%s resident=%s stores=%zu evictions=%llu "
+      "backpressure=%llu\n",
+      HumanBytes(bstats.budget_bytes).c_str(),
+      HumanBytes(bstats.resident_bytes).c_str(), bstats.stores,
+      static_cast<unsigned long long>(bstats.evictions),
+      static_cast<unsigned long long>(bstats.backpressure));
   if (prefetcher) {
     const core::PrefetchStats pf = prefetcher->stats();
     *out += StrFormat(
@@ -978,6 +1064,7 @@ Status RunCommand(const CommandLine& cmd, std::string* out) {
   if (cmd.command == "edit") return CmdEdit(cmd, out);
   if (cmd.command == "serve") return CmdServe(cmd, out);
   if (cmd.command == "server") return CmdServer(cmd, out);
+  if (cmd.command == "stats") return CmdStats(cmd, out);
   if (cmd.command == "connect") return CmdConnect(cmd, out);
   if (cmd.command == "help") {
     *out += UsageText();
@@ -1011,17 +1098,20 @@ std::string UsageText() {
       "  edit     STORE [--script FILE] [--mode incremental|full]\n"
       "           [--levels L --fanout K (default: derived from the\n"
       "           store's tree)] [--max-leaf-size N] [--compact-ops N]\n"
-      "           applies batched edit-script lines (add-node [LABEL] /\n"
-      "           add-edge U V [W] / remove-edge U V / remove-node V /\n"
-      "           apply) with incremental subtree repair; --mode full\n"
-      "           forces the legacy whole-graph rebuild\n"
+      "           [--mem-budget-mb M]  applies batched edit-script lines\n"
+      "           (add-node [LABEL] / add-edge U V [W] / remove-edge U V /\n"
+      "           remove-node V / apply) with incremental subtree repair;\n"
+      "           --mode full forces the legacy whole-graph rebuild\n"
       "  serve    STORE [--sessions N] [--script FILE] [--threads T]\n"
-      "           [--cache-pages P]  multiplexes '<session> <op> [arg]'\n"
-      "           script lines (or stdin) across N concurrent sessions\n"
+      "           [--mem-budget-mb M (default 64, 0=unbounded)]\n"
+      "           multiplexes '<session> <op> [arg]' script lines (or\n"
+      "           stdin) across N concurrent sessions\n"
       "  server   STORE [--port P (0=ephemeral) --max-clients N\n"
-      "           --threads T --cache-pages P --idle-timeout-ms MS\n"
+      "           --threads T --mem-budget-mb M --idle-timeout-ms MS\n"
       "           --prefetch on --port-file FILE]  TCP session-pool\n"
       "           front end on 127.0.0.1; stops on a client 'shutdown'\n"
+      "  stats    STORE  buffer-pool and store page statistics after a\n"
+      "           warm-up walk of the hierarchy\n"
       "  connect  HOST:PORT [--script FILE] [--save-body FILE]\n"
       "           drives a running server: sends request lines (file or\n"
       "           stdin), prints the '>'/'<' transcript\n"

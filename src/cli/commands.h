@@ -14,19 +14,23 @@
 //   render    STORE [--focus NAME] [--zoom Z] --svg FILE
 //   export    STORE --community NAME (--dot FILE | --graphml FILE)
 //   edit      STORE [--script FILE] [--mode incremental|full]
-//             [--max-leaf-size N] [--compact-ops N]  batch edit driver:
-//             applies add-node/add-edge/remove-edge/remove-node script
-//             batches with incremental subtree repair (docs/EDITS.md)
+//             [--max-leaf-size N] [--compact-ops N] [--mem-budget-mb M]
+//             batch edit driver: applies add-node/add-edge/remove-edge/
+//             remove-node script batches with incremental subtree
+//             repair (docs/EDITS.md)
 //   serve     STORE [--sessions N] [--script FILE] [--threads T]
-//             [--cache-pages P]  concurrent session-pool driver: runs
+//             [--mem-budget-mb M]  concurrent session-pool driver: runs
 //             '<session> <op> [arg]' script lines (or stdin) across N
 //             sessions over one store, on the thread pool
 //   server    STORE [--port P --max-clients N --threads T
-//             --cache-pages P --idle-timeout-ms MS --prefetch on
+//             --mem-budget-mb M --idle-timeout-ms MS --prefetch on
 //             --port-file FILE]  TCP front end mapping remote clients
 //             onto the session pool (docs/SERVER.md)
 //   connect   HOST:PORT [--script FILE] [--save-body FILE]  loopback
 //             protocol driver for a running server
+//   stats     STORE [--mem-budget-mb M]  buffer-pool and store page
+//             statistics after a warm-up walk over every leaf
+//             (docs/STORAGE.md)
 
 #ifndef GMINE_CLI_COMMANDS_H_
 #define GMINE_CLI_COMMANDS_H_

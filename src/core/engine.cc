@@ -6,6 +6,7 @@
 #include "core/views.h"
 #include "graph/subgraph.h"
 #include "gtree/connectivity.h"
+#include "storage/buffer_pool.h"
 #include "util/string_util.h"
 #include "util/timer.h"
 
@@ -42,6 +43,14 @@ gmine::Result<std::unique_ptr<GMineEngine>> GMineEngine::Build(
 
 gmine::Result<std::unique_ptr<GMineEngine>> GMineEngine::Open(
     const std::string& store_path, const EngineOptions& options) {
+  if (options.mem_budget_bytes > 0) {
+    // Re-arm the pool this store will page through (global by default)
+    // before any leaf IO happens.
+    storage::BufferPool& pool = options.store.buffer_pool != nullptr
+                                    ? *options.store.buffer_pool
+                                    : storage::BufferPool::Global();
+    pool.SetBudgetBytes(options.mem_budget_bytes);
+  }
   auto store = gtree::GTreeStore::Open(store_path, options.store);
   if (!store.ok()) return store.status();
   std::unique_ptr<GMineEngine> engine(new GMineEngine());

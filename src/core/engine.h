@@ -54,11 +54,14 @@ struct EditOptions {
 /// Engine construction options.
 struct EngineOptions {
   gtree::GTreeBuildOptions build;
-  /// The engine hosts a session pool, so its store defaults to the
-  /// auto-sharded page cache (cache_shards = 0) — concurrent sessions
-  /// must not serialize on one cache mutex. Set cache_shards = 1 for
-  /// the exact single-LRU eviction order.
-  gtree::GTreeStoreOptions store{.cache_shards = 0};
+  /// Store options. Leaf paging (budget, eviction, pinning) lives in
+  /// the process-wide buffer pool (docs/STORAGE.md); set
+  /// `store.buffer_pool` to give this engine a private pool.
+  gtree::GTreeStoreOptions store;
+  /// When > 0, Open/Build re-arm the buffer pool's byte budget to this
+  /// value (the pool the store uses — global by default). 0 leaves the
+  /// pool's current budget alone.
+  uint64_t mem_budget_bytes = 0;
   gtree::TomahawkOptions tomahawk;
   /// Session-pool limits (sessions() manager). The `tomahawk` field
   /// above is the single source of truth for navigation contexts: it is

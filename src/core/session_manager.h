@@ -6,9 +6,13 @@
 // Each session is an id-addressed gtree::NavigationSession. The manager
 // owns the sessions (never the store), serializes access to each one,
 // evicts the least-recently-used session past a configurable cap, and
-// can close sessions idle beyond a timeout. The store's sharded page
-// cache is the only state sessions share, so navigators scale with the
-// thread count instead of serializing on the pool.
+// can close sessions idle beyond a timeout. The only state sessions
+// share is the store's slice of the process-wide buffer pool
+// (storage/buffer_pool.h), whose frame table is latch-sharded, so
+// navigators scale with the thread count instead of serializing on the
+// pool. On UpdateEpoch the store invalidates only the frames the edit
+// touched (GTreeStore::ApplyUpdate rekeys surviving pages); sessions
+// re-seat on the new root with the rest of the cache warm.
 //
 // Thread-safety contract
 //   * OpenSession / CloseSession / WithSession / ListSessions / stats

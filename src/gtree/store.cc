@@ -176,6 +176,7 @@ gmine::Result<LeafPayload> DeserializeLeafPayload(std::string_view blob) {
 }  // namespace
 
 GTreeStore::~GTreeStore() {
+  if (pool_ != nullptr) pool_->UnregisterStore(pool_id_);
   if (file_ != nullptr) std::fclose(file_);
 }
 
@@ -381,25 +382,14 @@ gmine::Result<std::unique_ptr<GTreeStore>> GTreeStore::Open(
     const std::string& path, const GTreeStoreOptions& options) {
   std::unique_ptr<GTreeStore> store(new GTreeStore());
   store->options_ = options;
-  size_t num_shards = options.cache_shards;
-  if (num_shards == 0) {
-    num_shards = std::min<size_t>(16, static_cast<size_t>(MaxParallelism()));
-  }
-  num_shards = std::max<size_t>(1, num_shards);
-  if (options.cache_pages > 0) {
-    // A shard must hold at least one page, so a tiny budget caps the
-    // shard count; the capacities below then sum to exactly
-    // cache_pages, never beyond it.
-    num_shards = std::min(num_shards, options.cache_pages);
-  }
-  store->shards_ = std::vector<CacheShard>(num_shards);
-  if (options.cache_pages > 0) {
-    size_t base = options.cache_pages / num_shards;
-    size_t remainder = options.cache_pages % num_shards;
-    for (size_t i = 0; i < num_shards; ++i) {
-      store->shards_[i].capacity = base + (i < remainder ? 1 : 0);
-    }
-  }
+  // Every leaf read goes through a buffer pool: the caller's private
+  // one when given, the process-wide pool otherwise. The pool keys
+  // frames by (store id, leaf id), so id registration is what keeps
+  // two stores' pages apart.
+  store->pool_ = options.buffer_pool != nullptr
+                     ? options.buffer_pool
+                     : &storage::BufferPool::Global();
+  store->pool_id_ = store->pool_->RegisterStore();
   GMINE_RETURN_IF_ERROR(store->LoadMetadata(path));
   return store;
 }
@@ -445,57 +435,33 @@ gmine::Result<graph::Graph> GTreeStore::LoadFullGraph() const {
 
 gmine::Result<std::shared_ptr<const LeafPayload>> GTreeStore::LoadLeaf(
     TreeNodeId leaf, ReaderTag reader) const {
-  CacheShard& shard = ShardFor(leaf);
-  PageLocation loc;
-  {
-    std::lock_guard<std::mutex> lock(shard.mu);
-    auto cached = shard.map.find(leaf);
-    if (cached != shard.map.end()) {
-      ++shard.stats.cache_hits;
-      if (cached->second->second.loader != reader) {
-        ++shard.stats.shared_hits;
-      }
-      // Move to front.
-      shard.lru.splice(shard.lru.begin(), shard.lru, cached->second);
-      return cached->second->second.payload;
-    }
-    auto it = directory_.find(leaf);
-    if (it == directory_.end()) {
-      return Status::NotFound(
-          StrFormat("leaf %u has no page (not a leaf community?)", leaf));
-    }
-    loc = it->second;
+  if (storage::PagePayload hit = pool_->Lookup(pool_id_, leaf, reader)) {
+    return std::static_pointer_cast<const LeafPayload>(hit);
   }
-  // The disk read serializes on the file mutex only, so a load in one
-  // cache shard never blocks hits in another.
+  // directory_ is immutable except under ApplyUpdate, whose contract
+  // excludes every concurrent reader, so the miss path reads it
+  // latch-free.
+  auto it = directory_.find(leaf);
+  if (it == directory_.end()) {
+    return Status::NotFound(
+        StrFormat("leaf %u has no page (not a leaf community?)", leaf));
+  }
+  // The disk read serializes on the file mutex only, so a load never
+  // blocks pool hits on other pages.
   std::string blob;
-  GMINE_RETURN_IF_ERROR(ReadAt(loc, &blob));
-  // Deserialization runs outside every lock: it is the expensive part
+  GMINE_RETURN_IF_ERROR(ReadAt(it->second, &blob));
+  // Deserialization runs outside every latch: it is the expensive part
   // and touches only local state. Two threads racing on the same
-  // uncached leaf both read and decode it; the first insert below wins
-  // the LRU slot and the loser's copy simply dies with its shared_ptr.
+  // non-resident leaf both read and decode it; the first Insert wins
+  // the frame and the loser's copy simply dies with its shared_ptr.
   auto payload = DeserializeLeafPayload(blob);
   if (!payload.ok()) return payload.status();
-  auto shared = std::make_shared<const LeafPayload>(std::move(payload).value());
-  std::lock_guard<std::mutex> lock(shard.mu);
-  ++shard.stats.leaf_loads;
-  shard.stats.bytes_read += blob.size();
-  auto cached = shard.map.find(leaf);
-  if (cached != shard.map.end()) {
-    // Lost the insert race; this call already counted as a leaf_load
-    // above (it did the IO), so it is not also a cache hit —
-    // cache_hits + leaf_loads stays equal to the number of calls.
-    shard.lru.splice(shard.lru.begin(), shard.lru, cached->second);
-    return cached->second->second.payload;
-  }
-  shard.lru.emplace_front(leaf, CacheShard::Entry{shared, reader});
-  shard.map[leaf] = shard.lru.begin();
-  if (shard.capacity > 0 && shard.lru.size() > shard.capacity) {
-    shard.map.erase(shard.lru.back().first);
-    shard.lru.pop_back();
-    ++shard.stats.evictions;
-  }
-  return shared;
+  auto shared =
+      std::make_shared<const LeafPayload>(std::move(payload).value());
+  GMINE_ASSIGN_OR_RETURN(
+      storage::PagePayload winner,
+      pool_->Insert(pool_id_, leaf, shared, blob.size(), reader));
+  return std::static_pointer_cast<const LeafPayload>(winner);
 }
 
 Status GTreeStore::ApplyUpdate(GTreeStoreUpdate& update,
@@ -550,12 +516,10 @@ Status GTreeStore::ApplyUpdate(GTreeStoreUpdate& update,
           StrFormat("ApplyUpdate: cannot replace %s", path_.c_str()));
     }
     GMINE_RETURN_IF_ERROR(LoadMetadata(path_));
-    for (CacheShard& shard : shards_) {
-      std::lock_guard<std::mutex> lock(shard.mu);
-      out.pages_invalidated += static_cast<uint32_t>(shard.lru.size());
-      shard.lru.clear();
-      shard.map.clear();
-    }
+    // Every page was rewritten, so every resident frame of *this*
+    // store is stale; other stores' frames are untouched.
+    out.pages_invalidated +=
+        static_cast<uint32_t>(pool_->DropStore(pool_id_));
     out.compacted = true;
     out.journal_ops = 0;
     return Status::OK();
@@ -709,17 +673,13 @@ Status GTreeStore::ApplyUpdate(GTreeStoreUpdate& update,
   out.appended_bytes = appended.size();
   out.journal_ops = journal_.size();
 
-  // Invalidate only the touched cache pages; clean entries survive,
-  // re-keyed when the repair renumbered the tree.
-  {
-    std::vector<std::pair<TreeNodeId, CacheShard::Entry>> kept;
-    for (CacheShard& shard : shards_) {
-      std::lock_guard<std::mutex> lock(shard.mu);
-      // Walk back-to-front so re-inserting with push_front below
-      // restores the recency order within each shard.
-      for (auto it = shard.lru.rbegin(); it != shard.lru.rend(); ++it) {
-        TreeNodeId old_id = it->first;
-        TreeNodeId new_id =
+  // Invalidate only the touched frames; clean frames survive in the
+  // pool, re-keyed when the repair renumbered the tree.
+  out.pages_invalidated += static_cast<uint32_t>(pool_->RekeyStore(
+      pool_id_,
+      [&](storage::PageId old_page) -> storage::PageId {
+        const TreeNodeId old_id = static_cast<TreeNodeId>(old_page);
+        const TreeNodeId new_id =
             update.old_to_new != nullptr
                 ? (old_id < update.old_to_new->size()
                        ? (*update.old_to_new)[old_id]
@@ -727,56 +687,33 @@ Status GTreeStore::ApplyUpdate(GTreeStoreUpdate& update,
                 : old_id;
         if (new_id == kInvalidTreeNode || dirty.count(new_id) > 0 ||
             new_directory.count(new_id) == 0) {
-          ++out.pages_invalidated;
-          continue;
+          return storage::kInvalidPage;
         }
-        kept.emplace_back(new_id, it->second);
-      }
-      shard.lru.clear();
-      shard.map.clear();
-    }
-    for (auto& [leaf, entry] : kept) {
-      CacheShard& shard = ShardFor(leaf);
-      std::lock_guard<std::mutex> lock(shard.mu);
-      if (shard.capacity > 0 && shard.lru.size() >= shard.capacity) {
-        ++out.pages_invalidated;
-        continue;
-      }
-      shard.lru.emplace_front(leaf, std::move(entry));
-      shard.map[leaf] = shard.lru.begin();
-    }
-  }
+        return new_id;
+      }));
   directory_ = std::move(new_directory);
   return Status::OK();
 }
 
 bool GTreeStore::IsCached(TreeNodeId leaf) const {
-  CacheShard& shard = ShardFor(leaf);
-  std::lock_guard<std::mutex> lock(shard.mu);
-  return shard.map.count(leaf) > 0;
+  return pool_->Contains(pool_id_, leaf);
 }
 
 GTreeStoreStats GTreeStore::stats() const {
+  const storage::BufferPoolStoreStats pool = pool_->store_stats(pool_id_);
   GTreeStoreStats total;
-  for (CacheShard& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard.mu);
-    total.leaf_loads += shard.stats.leaf_loads;
-    total.cache_hits += shard.stats.cache_hits;
-    total.shared_hits += shard.stats.shared_hits;
-    total.bytes_read += shard.stats.bytes_read;
-    total.evictions += shard.stats.evictions;
-  }
+  total.leaf_loads = pool.loads;
+  total.cache_hits = pool.hits;
+  total.shared_hits = pool.shared_hits;
+  total.bytes_read = pool.bytes_loaded;
+  total.evictions = pool.evictions;
+  total.resident_bytes = pool.resident_bytes;
+  total.pinned_bytes = pool.pinned_bytes;
   std::lock_guard<std::mutex> lock(file_mu_);
   total.bytes_read += graph_bytes_read_;
   return total;
 }
 
-void GTreeStore::ClearCache() {
-  for (CacheShard& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard.mu);
-    shard.lru.clear();
-    shard.map.clear();
-  }
-}
+void GTreeStore::ClearCache() { pool_->DropStore(pool_id_); }
 
 }  // namespace gmine::gtree

@@ -25,20 +25,27 @@
 // compacts by rewriting itself from scratch through Create + rename.
 //
 // Opening a store loads only the metadata sections (tree, connectivity,
-// labels, directory); leaf subgraphs are read on demand through an LRU
-// page cache, which is what keeps navigation memory proportional to the
-// display set rather than the graph.
+// labels, directory); leaf subgraphs are read on demand and checked out
+// of the process-wide buffer pool (storage::BufferPool, docs/STORAGE.md),
+// which is what keeps navigation memory proportional to the display set
+// rather than the graph — and, since the pool's byte budget spans every
+// open store, bounded for the whole process, not per store.
 //
 // Concurrency: the store is logically read-only, so the whole read
 // surface (LoadLeaf, LoadFullGraph, stats) is const and safe from any
 // number of threads — this is what lets one store serve a pool of
-// NavigationSessions. The page cache is split into `cache_shards`
-// independently-locked LRU shards (leaf id modulo shard count); the
-// shared FILE* keeps its own mutex for the (seek, read) pairs, and leaf
-// pages decode outside every lock. With the default `cache_shards = 1`
-// the cache behaves exactly like a single global LRU. The metadata
-// accessors (tree/connectivity/labels) are immutable after Open and need
-// no locking.
+// NavigationSessions. Frame lookup/insert latching lives in the buffer
+// pool (sharded by (store id, leaf id) hash); the shared FILE* keeps its
+// own mutex for the (seek, read) pairs, and leaf pages decode outside
+// every latch. The metadata accessors (tree/connectivity/labels) are
+// immutable after Open and need no locking.
+//
+// There is exactly one cache knob left: the pool's byte budget
+// (BufferPoolOptions::budget_bytes, CLI --mem-budget-mb). The former
+// per-store `cache_pages`/`cache_shards` page-count LRU knobs are gone —
+// eviction is the pool's clock sweep over bytes, shared fairly across
+// stores, and a store that wants isolation passes its own pool via
+// GTreeStoreOptions::buffer_pool (tests and benchmarks do).
 
 #ifndef GMINE_GTREE_STORE_H_
 #define GMINE_GTREE_STORE_H_
@@ -46,7 +53,6 @@
 #include <atomic>
 #include <cstdint>
 #include <cstdio>
-#include <list>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -59,6 +65,7 @@
 #include "graph/subgraph.h"
 #include "gtree/connectivity.h"
 #include "gtree/gtree.h"
+#include "storage/buffer_pool.h"
 #include "util/status.h"
 
 namespace gmine::gtree {
@@ -71,13 +78,11 @@ struct LeafPayload {
 
 /// Store tunables.
 struct GTreeStoreOptions {
-  /// Leaf pages kept in memory across all shards; 0 means unbounded.
-  size_t cache_pages = 64;
-  /// Independently-locked page-cache shards. 1 (the default) is a single
-  /// global LRU with byte-exact legacy eviction order; 0 means auto
-  /// (min(16, MaxParallelism())). Concurrent-session hosts should use
-  /// auto so navigators do not serialize on one cache mutex.
-  size_t cache_shards = 1;
+  /// Buffer pool this store checks its leaf pages out of; nullptr (the
+  /// default) is the process-wide pool, storage::BufferPool::Global().
+  /// Budget, eviction and pinning all live in the pool
+  /// (docs/STORAGE.md).
+  storage::BufferPool* buffer_pool = nullptr;
   /// ApplyUpdate compacts (full rewrite instead of append) once the edit
   /// journal holds at least this many entries. 0 compacts on every
   /// update (journal disabled).
@@ -108,14 +113,18 @@ struct GTreeBuildHints {
 /// cross-session cache accounting. 0 is the anonymous reader.
 using ReaderTag = uint64_t;
 
-/// IO statistics (reported by bench_scale and `gmine serve`).
+/// IO statistics (reported by bench_scale, `gmine serve`, `gmine stats`
+/// and the wire `stats` op). Counters come from this store's ledger in
+/// the buffer pool; the residency fields are a point-in-time snapshot.
 struct GTreeStoreStats {
   uint64_t leaf_loads = 0;    // pages read from disk
-  uint64_t cache_hits = 0;    // leaf requests served from cache
+  uint64_t cache_hits = 0;    // leaf requests served from the pool
   uint64_t shared_hits = 0;   // hits on pages first loaded by a
                               // *different* reader (cross-session reuse)
   uint64_t bytes_read = 0;    // payload bytes read from disk
-  uint64_t evictions = 0;     // pages evicted from the LRU
+  uint64_t evictions = 0;     // this store's frames evicted by the clock
+  uint64_t resident_bytes = 0;  // this store's bytes resident in the pool
+  uint64_t pinned_bytes = 0;    // resident bytes currently checked out
 };
 
 /// One repaired state to publish through GTreeStore::ApplyUpdate. All
@@ -186,21 +195,28 @@ class GTreeStore {
   /// Issues a fresh reader identity for the shared-hit accounting.
   ReaderTag NewReaderTag() const { return next_reader_tag_.fetch_add(1); }
 
-  /// Loads the payload of leaf community `leaf` (cache-aware). The
-  /// returned pointer stays valid while referenced, independent of
-  /// eviction. Safe to call from multiple threads. `reader` attributes
-  /// the access for the cross-session `shared_hits` statistic.
+  /// Loads the payload of leaf community `leaf`, checking it out of
+  /// the buffer pool. The returned pointer is the frame's pin: the
+  /// frame cannot be evicted while it is held, and it stays valid
+  /// independent of residency. Safe to call from multiple threads.
+  /// `reader` attributes the access for the cross-session
+  /// `shared_hits` statistic. Returns Aborted (backpressure) when the
+  /// pool's byte budget is exhausted by pinned frames — release pages
+  /// or raise the budget and retry
+  /// (storage::BufferPool::IsBackpressure).
   gmine::Result<std::shared_ptr<const LeafPayload>> LoadLeaf(
       TreeNodeId leaf, ReaderTag reader = 0) const;
 
-  /// True when `leaf` is currently cached (no IO needed).
+  /// True when `leaf` is currently resident in the pool (no IO needed).
   bool IsCached(TreeNodeId leaf) const;
 
-  /// Snapshot of the cumulative IO statistics, aggregated across every
-  /// cache shard (and therefore across every concurrent session).
+  /// Snapshot of the cumulative IO statistics — this store's ledger in
+  /// the buffer pool (shared across every concurrent session) plus its
+  /// full-graph read bytes.
   GTreeStoreStats stats() const;
 
-  /// Drops all cached pages (for IO benchmarks).
+  /// Drops this store's resident pages from the pool (for IO
+  /// benchmarks). Other stores' frames are untouched.
   void ClearCache();
 
   /// Reads the embedded full graph and replays the edit journal on top
@@ -229,6 +245,10 @@ class GTreeStore {
   /// Total size of the store file in bytes.
   uint64_t file_size() const { return file_size_; }
 
+  /// The buffer pool this store's pages live in (global stats,
+  /// budget).
+  storage::BufferPool& buffer_pool() const { return *pool_; }
+
  private:
   GTreeStore() = default;
 
@@ -240,26 +260,6 @@ class GTreeStore {
   /// (Re)opens `path` and loads every metadata section into this store,
   /// replacing the previous state. Used by Open and the compaction path.
   Status LoadMetadata(const std::string& path);
-
-  /// One independently-locked slice of the page cache. A leaf lives in
-  /// shard `leaf % shards_.size()`; each shard runs its own LRU over
-  /// `capacity` pages.
-  struct CacheShard {
-    struct Entry {
-      std::shared_ptr<const LeafPayload> payload;
-      ReaderTag loader = 0;  // reader that paid the disk read
-    };
-    std::mutex mu;
-    // LRU: front = most recent.
-    std::list<std::pair<TreeNodeId, Entry>> lru;
-    std::unordered_map<TreeNodeId, decltype(lru)::iterator> map;
-    size_t capacity = 0;  // 0 = unbounded
-    GTreeStoreStats stats;
-  };
-
-  CacheShard& ShardFor(TreeNodeId leaf) const {
-    return shards_[leaf % shards_.size()];
-  }
 
   /// Reads `loc` from the backing file under file_mu_.
   Status ReadAt(const PageLocation& loc, std::string* out) const;
@@ -282,10 +282,13 @@ class GTreeStore {
   // Guards the (seek, read) pairs on the shared file_ handle; every
   // other member above is immutable after Open.
   mutable std::mutex file_mu_;
-  // Bytes read for full-graph loads (no cache shard involved); guarded
-  // by file_mu_.
+  // Bytes read for full-graph loads (bypass the page pool); guarded by
+  // file_mu_.
   mutable uint64_t graph_bytes_read_ = 0;
-  mutable std::vector<CacheShard> shards_;
+  // The page pool this store's frames live in, and this store's
+  // identity within it. Both immutable after Open.
+  storage::BufferPool* pool_ = nullptr;
+  storage::StoreId pool_id_ = 0;
   mutable std::atomic<ReaderTag> next_reader_tag_{1};
 };
 

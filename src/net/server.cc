@@ -5,6 +5,7 @@
 
 #include "core/views.h"
 #include "gtree/navigation.h"
+#include "storage/buffer_pool.h"
 #include "util/string_util.h"
 #include "util/timer.h"
 
@@ -497,12 +498,25 @@ std::string Server::StatsText(const Conn& conn) const {
       static_cast<unsigned long long>(pool.idle_closed));
   out += StrFormat(
       " | store leaf_loads=%llu cache_hits=%llu shared_hits=%llu "
-      "bytes_read=%llu evictions=%llu",
+      "bytes_read=%llu evictions=%llu resident_bytes=%llu "
+      "pinned_bytes=%llu",
       static_cast<unsigned long long>(store.leaf_loads),
       static_cast<unsigned long long>(store.cache_hits),
       static_cast<unsigned long long>(store.shared_hits),
       static_cast<unsigned long long>(store.bytes_read),
-      static_cast<unsigned long long>(store.evictions));
+      static_cast<unsigned long long>(store.evictions),
+      static_cast<unsigned long long>(store.resident_bytes),
+      static_cast<unsigned long long>(store.pinned_bytes));
+  const storage::BufferPoolStats bp =
+      pool_->store().buffer_pool().stats();
+  out += StrFormat(
+      " | buffer_pool budget_bytes=%llu resident_bytes=%llu "
+      "pinned_bytes=%llu stores=%zu evictions=%llu backpressure=%llu",
+      static_cast<unsigned long long>(bp.budget_bytes),
+      static_cast<unsigned long long>(bp.resident_bytes),
+      static_cast<unsigned long long>(bp.pinned_bytes), bp.stores,
+      static_cast<unsigned long long>(bp.evictions),
+      static_cast<unsigned long long>(bp.backpressure));
   if (prefetcher_ != nullptr) {
     const core::PrefetchStats pf = prefetcher_->stats();
     out += StrFormat(

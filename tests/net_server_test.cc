@@ -60,9 +60,7 @@ ServerFixture MakeFixture(const char* name) {
   EXPECT_TRUE(
       GTreeStore::Create(f.path, f.dblp.graph, tree, conn, f.dblp.labels)
           .ok());
-  gtree::GTreeStoreOptions sopts;
-  sopts.cache_shards = 0;
-  f.store = std::move(GTreeStore::Open(f.path, sopts)).value();
+  f.store = std::move(GTreeStore::Open(f.path)).value();
   return f;
 }
 

@@ -41,7 +41,7 @@ struct PoolFixture {
   }
 };
 
-PoolFixture MakePoolFixture(const char* name, size_t cache_pages = 64) {
+PoolFixture MakePoolFixture(const char* name) {
   PoolFixture f;
   gen::DblpOptions gopts;
   gopts.levels = 2;
@@ -58,10 +58,9 @@ PoolFixture MakePoolFixture(const char* name, size_t cache_pages = 64) {
   EXPECT_TRUE(GTreeStore::Create(f.path, f.dblp.graph, tree, conn,
                                  f.dblp.labels)
                   .ok());
-  gtree::GTreeStoreOptions sopts;
-  sopts.cache_pages = cache_pages;
-  sopts.cache_shards = 0;  // auto: the concurrent-host configuration
-  f.store = std::move(GTreeStore::Open(f.path, sopts)).value();
+  // Leaf paging goes through the process-wide buffer pool; per-store
+  // counters stay isolated by store id, so tests can share Global().
+  f.store = std::move(GTreeStore::Open(f.path)).value();
   f.leaves = f.store->tree().LeavesUnder(f.store->tree().root());
   return f;
 }

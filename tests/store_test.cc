@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdio>
 
 #include "gen/dblp.h"
@@ -88,17 +89,49 @@ TEST(StoreTest, LoadLeafRejectsInteriorNodes) {
   std::remove(f.path.c_str());
 }
 
+/// Serialized sizes of the first `count` leaves, measured through an
+/// unbounded throwaway pool (budget semantics are in bytes now, so
+/// eviction tests size their budgets from real page sizes).
+std::vector<uint64_t> MeasureLeafBytes(const std::string& path,
+                                       const std::vector<TreeNodeId>& leaves,
+                                       size_t count) {
+  storage::BufferPool measure(
+      storage::BufferPoolOptions{.budget_bytes = 0, .shards = 1});
+  GTreeStoreOptions opts;
+  opts.buffer_pool = &measure;
+  auto store = GTreeStore::Open(path, opts);
+  EXPECT_TRUE(store.ok());
+  std::vector<uint64_t> sizes;
+  uint64_t before = 0;
+  for (size_t i = 0; i < count; ++i) {
+    EXPECT_TRUE(store.value()->LoadLeaf(leaves[i]).ok());
+    uint64_t after = store.value()->stats().bytes_read;
+    sizes.push_back(after - before);
+    before = after;
+  }
+  return sizes;
+}
+
 TEST(StoreTest, CacheHitsAndEvictions) {
   Fixture f = MakeFixture("cache");
   ASSERT_TRUE(
       GTreeStore::Create(f.path, f.graph, f.tree, f.conn, f.labels).ok());
+  std::vector<TreeNodeId> leaves = f.tree.LeavesUnder(f.tree.root());
+  ASSERT_GE(leaves.size(), 3u);
+  std::vector<uint64_t> b = MeasureLeafBytes(f.path, leaves, 3);
+  ASSERT_GT(b[0], 0u);
+  ASSERT_GT(b[2], 0u);
+
+  // A budget that holds leaves {0,1} and {1,2} but never all three:
+  // loading 2 after {0,1} must evict exactly one page (leaf 0 — the
+  // clock hand reaches it first).
+  storage::BufferPool pool(storage::BufferPoolOptions{
+      .budget_bytes = std::max(b[0] + b[1], b[1] + b[2]), .shards = 1});
   GTreeStoreOptions opts;
-  opts.cache_pages = 2;
+  opts.buffer_pool = &pool;
   auto store = GTreeStore::Open(f.path, opts);
   ASSERT_TRUE(store.ok());
   GTreeStore& s = *store.value();
-  std::vector<TreeNodeId> leaves = f.tree.LeavesUnder(f.tree.root());
-  ASSERT_GE(leaves.size(), 3u);
 
   ASSERT_TRUE(s.LoadLeaf(leaves[0]).ok());
   EXPECT_EQ(s.stats().leaf_loads, 1u);
@@ -111,27 +144,49 @@ TEST(StoreTest, CacheHitsAndEvictions) {
   EXPECT_EQ(s.stats().evictions, 1u);
   EXPECT_FALSE(s.IsCached(leaves[0]));
   EXPECT_TRUE(s.IsCached(leaves[2]));
+  EXPECT_LE(s.stats().resident_bytes, pool.budget_bytes());
 
   ASSERT_TRUE(s.LoadLeaf(leaves[0]).ok());  // reload from disk
   EXPECT_EQ(s.stats().leaf_loads, 4u);
   std::remove(f.path.c_str());
 }
 
-TEST(StoreTest, PayloadSurvivesEviction) {
+TEST(StoreTest, PinnedPageResistsEvictionThenBackpressure) {
   Fixture f = MakeFixture("pin");
   ASSERT_TRUE(
       GTreeStore::Create(f.path, f.graph, f.tree, f.conn, f.labels).ok());
+  std::vector<TreeNodeId> leaves = f.tree.LeavesUnder(f.tree.root());
+  ASSERT_GE(leaves.size(), 2u);
+  std::vector<uint64_t> b = MeasureLeafBytes(f.path, leaves, 2);
+
+  // Either page fits alone, both never fit together: while leaf 0 is
+  // pinned, loading leaf 1 must refuse (backpressure), not evict the
+  // pinned frame and not break the budget.
+  storage::BufferPool pool(storage::BufferPoolOptions{
+      .budget_bytes = std::max(b[0], b[1]), .shards = 1});
   GTreeStoreOptions opts;
-  opts.cache_pages = 1;
+  opts.buffer_pool = &pool;
   auto store = GTreeStore::Open(f.path, opts);
   ASSERT_TRUE(store.ok());
-  std::vector<TreeNodeId> leaves = f.tree.LeavesUnder(f.tree.root());
+
   auto held = store.value()->LoadLeaf(leaves[0]);
   ASSERT_TRUE(held.ok());
-  uint32_t nodes_before = held.value()->subgraph.graph.num_nodes();
-  ASSERT_TRUE(store.value()->LoadLeaf(leaves[1]).ok());  // evicts [0]
-  // The shared_ptr keeps the payload alive despite eviction.
-  EXPECT_EQ(held.value()->subgraph.graph.num_nodes(), nodes_before);
+  std::shared_ptr<const LeafPayload> pin = std::move(held).value();
+  uint32_t nodes_before = pin->subgraph.graph.num_nodes();
+  auto refused = store.value()->LoadLeaf(leaves[1]);
+  ASSERT_FALSE(refused.ok());
+  EXPECT_TRUE(storage::BufferPool::IsBackpressure(refused.status()));
+  // The pinned frame stays resident and intact.
+  EXPECT_TRUE(store.value()->IsCached(leaves[0]));
+  EXPECT_EQ(pin->subgraph.graph.num_nodes(), nodes_before);
+  EXPECT_LE(pool.stats().resident_bytes, pool.budget_bytes());
+  EXPECT_GE(pool.stats().backpressure, 1u);
+
+  // Releasing the pin makes the frame evictable; the retry succeeds.
+  pin.reset();
+  ASSERT_TRUE(store.value()->LoadLeaf(leaves[1]).ok());
+  EXPECT_TRUE(store.value()->IsCached(leaves[1]));
+  EXPECT_FALSE(store.value()->IsCached(leaves[0]));
   std::remove(f.path.c_str());
 }
 

@@ -9,7 +9,9 @@
 #   * every sweep has >= 2 numeric columns, all distinct positive
 #     integers (monotone when sorted) plus optionally "auto";
 #   * every entry carries finite real_ns > 0 (no NaN/Inf) and
-#     iterations >= 1.
+#     iterations >= 1;
+#   * the buffer_pool_navigate sweep carries the pool's story columns:
+#     finite hit_rate in [0, 1] and resident_bytes >= 0 per entry.
 #
 # Usage: tools/check_bench_json.sh [path/to/BENCH_kernels.json]
 
@@ -38,6 +40,7 @@ required = [
     "server_navigate",
     "gtree_edit_incremental",
     "gtree_edit_full",
+    "buffer_pool_navigate",
 ]
 
 try:
@@ -80,6 +83,15 @@ for name, sweep in kernels.items():
             fail.append(f"{name}/{col}: bad real_ns {real_ns!r}")
         if not isinstance(iters, int) or iters < 1:
             fail.append(f"{name}/{col}: bad iterations {iters!r}")
+        if name == "buffer_pool_navigate":
+            rate = entry.get("hit_rate")
+            resident = entry.get("resident_bytes")
+            if not isinstance(rate, (int, float)) or not math.isfinite(rate) \
+                    or not 0.0 <= rate <= 1.0:
+                fail.append(f"{name}/{col}: bad hit_rate {rate!r}")
+            if not isinstance(resident, (int, float)) \
+                    or not math.isfinite(resident) or resident < 0:
+                fail.append(f"{name}/{col}: bad resident_bytes {resident!r}")
     if len(numeric_cols) < 2:
         fail.append(f"{name}: needs >= 2 numeric columns, has {numeric_cols}")
     elif len(set(numeric_cols)) != len(numeric_cols):

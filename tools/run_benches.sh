@@ -69,6 +69,7 @@ run_sweep bench_rwr 'BM_RwrThreads' "$TMP_DIR/rwr.json"
 run_sweep bench_scale 'BM_(GTreeBuildShards|SessionPoolNavigate)' "$TMP_DIR/gtree_build.json"
 run_sweep bench_server 'BM_ServerNavigate' "$TMP_DIR/server.json"
 run_sweep bench_edits 'BM_GTreeEdit(Incremental|FullRebuild)' "$TMP_DIR/edits.json"
+run_sweep bench_buffer_pool 'BM_BufferPoolNavigate' "$TMP_DIR/buffer_pool.json"
 
 python3 - "$REPO_ROOT/BENCH_kernels.json" "$TMP_DIR"/*.json <<'PY'
 import json
@@ -92,6 +93,9 @@ kernel_names = {
     # rebuild (docs/EDITS.md)
     "BM_GTreeEditIncremental": "gtree_edit_incremental",
     "BM_GTreeEditFullRebuild": "gtree_edit_full",
+    # arg = stores sharing one fixed-budget buffer pool; extra columns
+    # hit_rate (in [0,1]) and resident_bytes (peak) ride along
+    "BM_BufferPoolNavigate": "buffer_pool_navigate",
 }
 kernels = {}
 context = {}
@@ -107,11 +111,17 @@ for path in inputs:
         if name not in kernel_names or b.get("run_type") == "aggregate":
             continue
         threads = "auto" if arg == "0" else arg
-        kernels.setdefault(kernel_names[name], {})[threads] = {
+        entry = {
             "real_ns": b["real_time"] * {"ns": 1, "us": 1e3,
                                          "ms": 1e6, "s": 1e9}[b["time_unit"]],
             "iterations": b["iterations"],
         }
+        # Benchmark counters that tell the buffer-pool story (checked
+        # by tools/check_bench_json.sh for buffer_pool_navigate).
+        for extra in ("hit_rate", "resident_bytes"):
+            if extra in b:
+                entry[extra] = b[extra]
+        kernels.setdefault(kernel_names[name], {})[threads] = entry
 for stats in kernels.values():
     serial = stats.get("1", {}).get("real_ns")
     auto = stats.get("auto", {}).get("real_ns")
