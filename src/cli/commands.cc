@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <optional>
 
+#include "core/edit_queue.h"
 #include "core/engine.h"
 #include "core/prefetcher.h"
 #include "core/session_manager.h"
@@ -308,16 +309,31 @@ Status CmdExport(const CommandLine& cmd, std::string* out) {
 // the transcript reports what the incremental repair did (classified
 // ops, rebuilt subtrees, rewritten pages, patched connectivity rows).
 // docs/EDITS.md walks through a full session.
+//
+// With `queue` set (--wal on), batches are instead Submitted to the
+// group-commit queue as the script parses and acked after a final
+// Drain — so consecutive batches coalesce into WAL groups exactly as
+// concurrent writers would. Queued batches must be independent: a
+// batch may reference pre-script nodes and its own provisional ids,
+// but not ids minted by an earlier unacked batch (docs/WAL.md).
 
-Status RunEditScript(GMineEngine* engine, const std::string& script,
-                     std::string* out) {
+Status RunEditScript(GMineEngine* engine, core::EditQueue* queue,
+                     const std::string& script, std::string* out) {
   std::optional<graph::GraphEdit> edit;
   std::vector<std::string> pending_labels;
   size_t batch = 0;
   size_t line_no = 0;
+  // Queued mode: acks collected here and reported after the drain.
+  std::vector<std::pair<size_t, std::future<core::EditCommit>>> acks;
 
   auto ensure_edit = [&]() -> Status {
     if (edit.has_value()) return Status::OK();
+    if (queue != nullptr) {
+      // The committer thread owns the engine's graph while the queue
+      // runs; base the batch on the queue's committed tip instead.
+      edit.emplace(queue->tip_nodes());
+      return Status::OK();
+    }
     auto g = engine->full_graph();
     if (!g.ok()) return g.status();
     edit.emplace(g.value()->num_nodes());
@@ -330,6 +346,16 @@ Status RunEditScript(GMineEngine* engine, const std::string& script,
       return Status::OK();
     }
     ++batch;
+    if (queue != nullptr) {
+      const size_t ops = edit->num_ops();
+      auto fut = queue->Submit(std::move(*edit), pending_labels);
+      if (!fut.ok()) return fut.status();
+      *out += StrFormat("[batch %zu] ops=%zu submitted\n", batch, ops);
+      acks.emplace_back(batch, std::move(fut).value());
+      edit.reset();
+      pending_labels.clear();
+      return Status::OK();
+    }
     core::EditStats stats;
     GMINE_RETURN_IF_ERROR(
         engine->ApplyEdit(*edit, pending_labels, &stats));
@@ -435,7 +461,27 @@ Status RunEditScript(GMineEngine* engine, const std::string& script,
     }
   }
   // A trailing unapplied batch applies implicitly.
-  return apply_batch();
+  GMINE_RETURN_IF_ERROR(apply_batch());
+  if (queue != nullptr) {
+    queue->Drain();
+    Status first_failure = Status::OK();
+    for (auto& [n, fut] : acks) {
+      core::EditCommit commit = fut.get();
+      if (commit.status.ok()) {
+        *out += StrFormat(
+            "[batch %zu] committed lsn=%llu epoch=%llu group=%zu\n", n,
+            static_cast<unsigned long long>(commit.lsn),
+            static_cast<unsigned long long>(commit.epoch),
+            commit.group_size);
+      } else {
+        *out += StrFormat("[batch %zu] failed: %s\n", n,
+                          commit.status.ToString().c_str());
+        if (first_failure.ok()) first_failure = commit.status;
+      }
+    }
+    GMINE_RETURN_IF_ERROR(first_failure);
+  }
+  return Status::OK();
 }
 
 Status CmdEdit(const CommandLine& cmd, std::string* out) {
@@ -459,6 +505,21 @@ Status CmdEdit(const CommandLine& cmd, std::string* out) {
     GMINE_ASSIGN_OR_RETURN(uint64_t mem_budget_mb,
                            FlagUint(cmd, "mem-budget-mb", 64));
     opts.mem_budget_bytes = mem_budget_mb << 20;
+  }
+  const std::string wal_raw = cmd.Get("wal", "off");
+  if (wal_raw != "on" && wal_raw != "off") {
+    return UsageError("edit: --wal expects 'on' or 'off'");
+  }
+  opts.wal.enabled = wal_raw == "on";
+  const std::string wal_durable = cmd.Get("wal-durable", "on");
+  if (wal_durable != "on" && wal_durable != "off") {
+    return UsageError("edit: --wal-durable expects 'on' or 'off'");
+  }
+  opts.wal.durable = wal_durable == "on";
+  GMINE_ASSIGN_OR_RETURN(uint64_t group_ops,
+                         FlagUint(cmd, "group-ops", 64));
+  if (opts.wal.enabled && group_ops == 0) {
+    return UsageError("edit: --group-ops must be at least 1");
   }
 
   // Repairs and rebuilds must run with the shape the store was built
@@ -512,7 +573,42 @@ Status CmdEdit(const CommandLine& cmd, std::string* out) {
   } else {
     script = ReadAllStdin();
   }
-  GMINE_RETURN_IF_ERROR(RunEditScript(engine.value().get(), script, out));
+
+  std::unique_ptr<core::EditQueue> queue;
+  if (opts.wal.enabled) {
+    const core::WalRecoveryStats& rec = engine.value()->wal_recovery();
+    if (rec.replayed > 0 || rec.skipped > 0 || rec.truncated_bytes > 0) {
+      *out += StrFormat(
+          "wal: recovered replayed=%llu skipped=%llu truncated=%llu\n",
+          static_cast<unsigned long long>(rec.replayed),
+          static_cast<unsigned long long>(rec.skipped),
+          static_cast<unsigned long long>(rec.truncated_bytes));
+    }
+    core::EditQueueOptions qopts;
+    qopts.max_group_edits = static_cast<size_t>(group_ops);
+    queue = std::make_unique<core::EditQueue>(engine.value().get(), qopts);
+  }
+  GMINE_RETURN_IF_ERROR(
+      RunEditScript(engine.value().get(), queue.get(), script, out));
+  if (queue != nullptr) {
+    queue->Stop();
+    const core::EditQueueStats qstats = queue->stats();
+    const storage::WalStats& wstats = engine.value()->wal()->stats();
+    *out += StrFormat(
+        "queue: committed=%llu groups=%llu max_group=%zu rejected=%llu "
+        "failed=%llu\n",
+        static_cast<unsigned long long>(qstats.committed),
+        static_cast<unsigned long long>(qstats.groups), qstats.max_group,
+        static_cast<unsigned long long>(qstats.rejected),
+        static_cast<unsigned long long>(qstats.failed));
+    *out += StrFormat(
+        "wal: %s appended=%llu syncs=%llu next_lsn=%llu checkpoints=%llu\n",
+        HumanBytes(engine.value()->wal()->file_size()).c_str(),
+        static_cast<unsigned long long>(wstats.records_appended),
+        static_cast<unsigned long long>(wstats.syncs),
+        static_cast<unsigned long long>(engine.value()->wal()->next_lsn()),
+        static_cast<unsigned long long>(qstats.checkpoints));
+  }
   *out += StrFormat("%s\n", engine.value()->tree().DebugString().c_str());
   *out += StrFormat(
       "store: %s journal=%zu\n",
@@ -849,24 +945,59 @@ Status CmdServer(const CommandLine& cmd, std::string* out) {
     return UsageError("server: --prefetch expects 'on' or 'off'");
   }
   const bool prefetch = prefetch_raw == "on";
+  const std::string wal_raw = cmd.Get("wal", "off");
+  if (wal_raw != "on" && wal_raw != "off") {
+    return UsageError("server: --wal expects 'on' or 'off'");
+  }
+  const bool wal = wal_raw == "on";
 
   // Concurrent clients page through the process-wide buffer pool,
   // bounded in bytes (0 = unbounded); see docs/STORAGE.md.
   storage::BufferPool::Global().SetBudgetBytes(mem_budget_mb << 20);
-  gtree::GTreeStoreOptions sopts;
-  auto store = gtree::GTreeStore::Open(cmd.positional[0], sopts);
-  if (!store.ok()) return store.status();
 
   // Connection count bounds live sessions, so the pool itself is
   // unbounded — eviction must never yank a connected client's state.
-  core::SessionManagerOptions mopts;
-  mopts.max_sessions = 0;
-  mopts.idle_timeout_micros = static_cast<int64_t>(idle_ms) * 1000;
-  core::SessionManager pool(store.value().get(), mopts);
+  // With --wal on the store is served through a full engine, so any
+  // log tail left by a crashed writer replays before the first client
+  // connects; --wal off keeps the lean store-plus-pool path.
+  std::unique_ptr<GMineEngine> engine;
+  std::unique_ptr<gtree::GTreeStore> raw_store;
+  std::unique_ptr<core::SessionManager> raw_pool;
+  gtree::GTreeStore* store = nullptr;
+  core::SessionManager* pool = nullptr;
+  if (wal) {
+    EngineOptions eopts;
+    eopts.sessions.max_sessions = 0;
+    eopts.sessions.idle_timeout_micros = static_cast<int64_t>(idle_ms) * 1000;
+    eopts.wal.enabled = true;
+    auto opened = GMineEngine::Open(cmd.positional[0], eopts);
+    if (!opened.ok()) return opened.status();
+    engine = std::move(opened).value();
+    store = &engine->store();
+    pool = &engine->sessions();
+    const core::WalRecoveryStats& rec = engine->wal_recovery();
+    *out += StrFormat(
+        "wal: replayed=%llu skipped=%llu truncated=%llu next_lsn=%llu\n",
+        static_cast<unsigned long long>(rec.replayed),
+        static_cast<unsigned long long>(rec.skipped),
+        static_cast<unsigned long long>(rec.truncated_bytes),
+        static_cast<unsigned long long>(engine->wal()->next_lsn()));
+  } else {
+    gtree::GTreeStoreOptions sopts;
+    auto opened = gtree::GTreeStore::Open(cmd.positional[0], sopts);
+    if (!opened.ok()) return opened.status();
+    raw_store = std::move(opened).value();
+    store = raw_store.get();
+    core::SessionManagerOptions mopts;
+    mopts.max_sessions = 0;
+    mopts.idle_timeout_micros = static_cast<int64_t>(idle_ms) * 1000;
+    raw_pool = std::make_unique<core::SessionManager>(store, mopts);
+    pool = raw_pool.get();
+  }
 
   std::unique_ptr<core::Prefetcher> prefetcher;
   if (prefetch) {
-    prefetcher = std::make_unique<core::Prefetcher>(store.value().get());
+    prefetcher = std::make_unique<core::Prefetcher>(store);
   }
 
   net::ServerOptions nopts;
@@ -874,7 +1005,21 @@ Status CmdServer(const CommandLine& cmd, std::string* out) {
   nopts.max_clients = static_cast<int>(max_clients);
   nopts.worker_threads = static_cast<int>(threads);
   nopts.prefetch = prefetch;
-  net::Server server(&pool, nopts, prefetcher.get());
+  if (engine != nullptr) {
+    GMineEngine* eng = engine.get();
+    nopts.extra_stats = [eng]() {
+      storage::Wal* w = eng->wal();
+      if (w == nullptr) return std::string();
+      const storage::WalStats& ws = w->stats();
+      return StrFormat(
+          "wal size=%llu next_lsn=%llu recovered=%llu truncated=%llu",
+          static_cast<unsigned long long>(w->file_size()),
+          static_cast<unsigned long long>(w->next_lsn()),
+          static_cast<unsigned long long>(ws.recovered_records),
+          static_cast<unsigned long long>(ws.truncated_bytes));
+    };
+  }
+  net::Server server(pool, nopts, prefetcher.get());
   GMINE_RETURN_IF_ERROR(server.Start());
   if (cmd.Has("port-file")) {
     // Write-then-rename so a script polling for the file never reads a
@@ -897,8 +1042,8 @@ Status CmdServer(const CommandLine& cmd, std::string* out) {
   if (prefetcher) prefetcher->Stop();
 
   const net::ServerStats nstats = server.stats();
-  const core::SessionPoolStats pstats = pool.stats();
-  const gtree::GTreeStoreStats sstats = store.value()->stats();
+  const core::SessionPoolStats pstats = pool->stats();
+  const gtree::GTreeStoreStats sstats = store->stats();
   *out += StrFormat(
       "server: accepted=%llu rejected=%llu closed=%llu requests=%llu "
       "errors=%llu\n",
@@ -911,9 +1056,8 @@ Status CmdServer(const CommandLine& cmd, std::string* out) {
       "pool: opened=%llu closed=%llu idle_closed=%llu leaked=%zu\n",
       static_cast<unsigned long long>(pstats.opened),
       static_cast<unsigned long long>(pstats.closed),
-      static_cast<unsigned long long>(pstats.idle_closed), pool.size());
-  const storage::BufferPoolStats bstats =
-      store.value()->buffer_pool().stats();
+      static_cast<unsigned long long>(pstats.idle_closed), pool->size());
+  const storage::BufferPoolStats bstats = store->buffer_pool().stats();
   *out += StrFormat(
       "store: leaf loads=%llu cache hits=%llu shared hits=%llu "
       "bytes read=%s evictions=%llu resident=%s pinned=%s\n",
@@ -939,6 +1083,12 @@ Status CmdServer(const CommandLine& cmd, std::string* out) {
         static_cast<unsigned long long>(pf.loaded),
         static_cast<unsigned long long>(pf.already_cached),
         static_cast<unsigned long long>(pf.dropped));
+  }
+  if (engine != nullptr && engine->wal() != nullptr) {
+    *out += StrFormat(
+        "wal: %s next_lsn=%llu\n",
+        HumanBytes(engine->wal()->file_size()).c_str(),
+        static_cast<unsigned long long>(engine->wal()->next_lsn()));
   }
   return Status::OK();
 }
@@ -1101,7 +1251,11 @@ std::string UsageText() {
       "           [--mem-budget-mb M]  applies batched edit-script lines\n"
       "           (add-node [LABEL] / add-edge U V [W] / remove-edge U V /\n"
       "           remove-node V / apply) with incremental subtree repair;\n"
-      "           --mode full forces the legacy whole-graph rebuild\n"
+      "           --mode full forces the legacy whole-graph rebuild;\n"
+      "           [--wal on] logs batches to STORE.wal and group-commits\n"
+      "           them through the edit queue ([--wal-durable on|off]\n"
+      "           [--group-ops N], docs/WAL.md) — replays any crashed\n"
+      "           writer's log tail first\n"
       "  serve    STORE [--sessions N] [--script FILE] [--threads T]\n"
       "           [--mem-budget-mb M (default 64, 0=unbounded)]\n"
       "           multiplexes '<session> <op> [arg]' script lines (or\n"
@@ -1109,7 +1263,9 @@ std::string UsageText() {
       "  server   STORE [--port P (0=ephemeral) --max-clients N\n"
       "           --threads T --mem-budget-mb M --idle-timeout-ms MS\n"
       "           --prefetch on --port-file FILE]  TCP session-pool\n"
-      "           front end on 127.0.0.1; stops on a client 'shutdown'\n"
+      "           front end on 127.0.0.1; stops on a client 'shutdown';\n"
+      "           [--wal on] replays STORE.wal before serving and adds a\n"
+      "           wal section to STATS (docs/WAL.md)\n"
       "  stats    STORE  buffer-pool and store page statistics after a\n"
       "           warm-up walk of the hierarchy\n"
       "  connect  HOST:PORT [--script FILE] [--save-body FILE]\n"

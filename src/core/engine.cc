@@ -69,7 +69,37 @@ gmine::Result<std::unique_ptr<GMineEngine>> GMineEngine::Open(
     engine->options_.build.partition.seed = hints.partition_seed;
   }
   GMINE_RETURN_IF_ERROR(engine->ResetSessions());
+  if (options.wal.enabled) {
+    GMINE_RETURN_IF_ERROR(engine->AttachWalAndReplay());
+  }
   return engine;
+}
+
+Status GMineEngine::AttachWalAndReplay() {
+  storage::WalOptions wopts = options_.wal;
+  // A fresh log starts right past what the store has already durably
+  // applied; an existing log keeps its own header LSN.
+  wopts.start_lsn = store_->applied_lsn() + 1;
+  GMINE_ASSIGN_OR_RETURN(wal_,
+                         storage::Wal::Open(store_path_ + ".wal", wopts));
+  wal_recovery_ = WalRecoveryStats();
+  wal_recovery_.truncated_bytes = wal_->stats().truncated_bytes;
+  for (storage::WalRecord& rec : wal_->TakeRecovered()) {
+    if (rec.lsn <= store_->applied_lsn()) {
+      // Already in the store (the crash hit after the header rewrite
+      // but before the checkpoint truncated the log).
+      ++wal_recovery_.skipped;
+      continue;
+    }
+    // Replay must not fail: an acked record applied cleanly once, and
+    // failed groups were rewound out of the log before their ack
+    // (docs/WAL.md). A failure here means the log and store disagree —
+    // surface it rather than serve a half-replayed graph.
+    GMINE_RETURN_IF_ERROR(ApplyEdit(rec.edit, rec.labels,
+                                    /*stats=*/nullptr, rec.lsn));
+    ++wal_recovery_.replayed;
+  }
+  return Status::OK();
 }
 
 Status GMineEngine::ResetSessions() {
@@ -89,7 +119,7 @@ Status GMineEngine::ResetSessions() {
 
 Status GMineEngine::ApplyEdit(const graph::GraphEdit& edit,
                               const std::vector<std::string>& new_labels,
-                              EditStats* stats) {
+                              EditStats* stats, uint64_t wal_lsn) {
   StopWatch watch;
   EditStats local;
   EditStats& out = stats != nullptr ? *stats : local;
@@ -136,10 +166,10 @@ Status GMineEngine::ApplyEdit(const graph::GraphEdit& edit,
   Status published;
   if (options_.edit.incremental) {
     published = ApplyEditIncremental(edit, result, labels, labels_changed,
-                                     &out);
+                                     &out, wal_lsn);
   } else {
     published = ApplyEditFullRebuild(
-        result, labels_changed ? labels : store_->labels(), &out);
+        result, labels_changed ? labels : store_->labels(), &out, wal_lsn);
   }
   if (!published.ok()) return published;
 
@@ -160,7 +190,7 @@ Status GMineEngine::ApplyEditIncremental(const graph::GraphEdit& edit,
                                          graph::EditResult& result,
                                          const graph::LabelStore& labels,
                                          bool labels_changed,
-                                         EditStats* out) {
+                                         EditStats* out, uint64_t wal_lsn) {
   out->incremental = true;
   gtree::RepairOptions ropts;
   ropts.build = options_.build;
@@ -206,6 +236,7 @@ Status GMineEngine::ApplyEditIncremental(const graph::GraphEdit& edit,
   // Id-remapping edits compact the store (every page's global-id
   // mapping shifted); everything else appends + journals.
   update.journal_edit = rep.classification.needs_remap ? nullptr : &edit;
+  update.applied_lsn = wal_lsn;
 
   gtree::GTreeStoreUpdateStats ustats;
   GMINE_RETURN_IF_ERROR(sessions_->UpdateEpoch(
@@ -224,7 +255,7 @@ Status GMineEngine::ApplyEditIncremental(const graph::GraphEdit& edit,
 
 Status GMineEngine::ApplyEditFullRebuild(graph::EditResult& result,
                                          const graph::LabelStore& labels,
-                                         EditStats* out) {
+                                         EditStats* out, uint64_t wal_lsn) {
   // Rebuild the hierarchy into a sibling file and swap it in only once
   // every step has succeeded, so a failed edit leaves the engine on the
   // old store instead of half-dismantled.
@@ -234,9 +265,9 @@ Status GMineEngine::ApplyEditFullRebuild(graph::EditResult& result,
       result.graph, tree.value(), options_.build.threads);
   const std::string tmp_path = store_path_ + ".tmp";
   gtree::GTreeBuildHints hints = HintsFrom(options_.build);
-  Status created = gtree::GTreeStore::Create(tmp_path, result.graph,
-                                             tree.value(), conn, labels,
-                                             &hints);
+  Status created = gtree::GTreeStore::Create(
+      tmp_path, result.graph, tree.value(), conn, labels, &hints,
+      wal_lsn != 0 ? wal_lsn : store_->applied_lsn());
   if (!created.ok()) {
     std::remove(tmp_path.c_str());
     return created;

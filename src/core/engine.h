@@ -30,6 +30,7 @@
 #include "gtree/navigation.h"
 #include "gtree/store.h"
 #include "mining/metrics.h"
+#include "storage/wal.h"
 #include "util/status.h"
 
 namespace gmine::core {
@@ -70,6 +71,12 @@ struct EngineOptions {
   SessionManagerOptions sessions;
   /// Node/edge edition policy (ApplyEdit).
   EditOptions edit;
+  /// Write-ahead log (docs/WAL.md). When `wal.enabled`, Open attaches
+  /// a WAL next to the store (default "<store>.wal") and replays its
+  /// tail past the store's applied LSN before serving anything —
+  /// committed edits survive a crash. Pair with an EditQueue
+  /// (core/edit_queue.h) for group-committed writes.
+  storage::WalOptions wal;
 };
 
 /// What one ApplyEdit did (reported by `gmine edit`).
@@ -93,6 +100,13 @@ struct EditStats {
   /// Pool epoch after the edit.
   uint64_t epoch = 0;
   int64_t micros = 0;
+};
+
+/// What Open's WAL replay did (engine.wal_recovery()).
+struct WalRecoveryStats {
+  uint64_t replayed = 0;  // log records applied to the store
+  uint64_t skipped = 0;   // records at or below the store's applied LSN
+  uint64_t truncated_bytes = 0;  // torn tail dropped by the WAL scan
 };
 
 /// Pop-up node information (details on demand).
@@ -189,9 +203,13 @@ class GMineEngine {
   /// legacy whole-graph rebuild). Live pool sessions survive via an
   /// epoch bump: same ids, reset to the new root. `stats`, when given,
   /// reports what the repair did.
+  /// `wal_lsn`, when nonzero, is the write-ahead-log LSN this edit
+  /// publishes: the store header records it so recovery replays only
+  /// the log past it (callers: EditQueue's group commit, Open's
+  /// replay). 0 = no WAL involvement (the watermark is kept as-is).
   Status ApplyEdit(const graph::GraphEdit& edit,
                    const std::vector<std::string>& new_labels = {},
-                   EditStats* stats = nullptr);
+                   EditStats* stats = nullptr, uint64_t wal_lsn = 0);
 
   /// Renders the current hierarchy view (Tomahawk context) to SVG.
   Status RenderHierarchyView(const std::string& svg_path);
@@ -205,6 +223,13 @@ class GMineEngine {
   /// Path of the backing store file.
   const std::string& store_path() const { return store_path_; }
 
+  /// The write-ahead log; nullptr unless EngineOptions::wal.enabled.
+  storage::Wal* wal() { return wal_.get(); }
+
+  /// What Open's WAL replay did (all zero when the WAL is off or the
+  /// log was empty).
+  const WalRecoveryStats& wal_recovery() const { return wal_recovery_; }
+
  private:
   GMineEngine() = default;
 
@@ -217,10 +242,15 @@ class GMineEngine {
   Status ApplyEditIncremental(const graph::GraphEdit& edit,
                               graph::EditResult& result,
                               const graph::LabelStore& labels,
-                              bool labels_changed, EditStats* out);
+                              bool labels_changed, EditStats* out,
+                              uint64_t wal_lsn);
   Status ApplyEditFullRebuild(graph::EditResult& result,
                               const graph::LabelStore& labels,
-                              EditStats* out);
+                              EditStats* out, uint64_t wal_lsn);
+
+  /// Opens the WAL next to the store and replays its tail
+  /// (EngineOptions::wal; called at the end of Open).
+  Status AttachWalAndReplay();
 
   std::unique_ptr<gtree::GTreeStore> store_;
   std::unique_ptr<SessionManager> sessions_;
@@ -234,6 +264,8 @@ class GMineEngine {
   std::optional<graph::Graph> full_graph_;
   std::string store_path_;
   EngineOptions options_;
+  std::unique_ptr<storage::Wal> wal_;
+  WalRecoveryStats wal_recovery_;
 };
 
 }  // namespace gmine::core

@@ -21,10 +21,13 @@ namespace {
 constexpr uint32_t kStoreMagic = 0x47545246;  // "GTRF"
 // v2: directory offsets became absolute, and a journal section plus the
 // build-shape hints were added for incremental edits (ApplyUpdate).
-constexpr uint32_t kStoreVersion = 2;
+// v3: the applied write-ahead-log LSN joined the header (storage/wal.h)
+// so crash recovery knows which log records the store already covers.
+constexpr uint32_t kStoreVersion = 3;
 // magic, version, 12 fixed64 section fields, 2 fixed32 counts,
-// build hints (3 fixed32 + 1 fixed64), checksum.
-constexpr size_t kHeaderSize = 4 + 4 + 12 * 8 + 4 + 4 + (3 * 4 + 8) + 8;
+// build hints (3 fixed32 + 1 fixed64), applied_lsn, checksum.
+constexpr size_t kHeaderSize =
+    4 + 4 + 12 * 8 + 4 + 4 + (3 * 4 + 8) + 8 + 8;
 
 // Every section location in one place so the header can be (re)written
 // by Create and by ApplyUpdate's append path alike.
@@ -38,6 +41,7 @@ struct SectionTable {
   uint32_t num_pages = 0;
   uint32_t num_graph_nodes = 0;
   GTreeBuildHints hints;
+  uint64_t applied_lsn = 0;
 };
 
 std::string SerializeHeader(const SectionTable& t) {
@@ -62,6 +66,7 @@ std::string SerializeHeader(const SectionTable& t) {
   PutFixed32(&header, t.hints.fanout);
   PutFixed32(&header, t.hints.min_partition_size);
   PutFixed64(&header, t.hints.partition_seed);
+  PutFixed64(&header, t.applied_lsn);
   PutFixed64(&header, Hash64(header));
   return header;
 }
@@ -183,7 +188,8 @@ GTreeStore::~GTreeStore() {
 Status GTreeStore::Create(const std::string& path, const Graph& g,
                           const GTree& tree, const ConnectivityIndex& conn,
                           const graph::LabelStore& labels,
-                          const GTreeBuildHints* hints) {
+                          const GTreeBuildHints* hints,
+                          uint64_t applied_lsn) {
   // Build section blobs.
   std::string tree_blob = SerializeTree(tree);
   std::string conn_blob = conn.Serialize();
@@ -224,6 +230,7 @@ Status GTreeStore::Create(const std::string& path, const Graph& g,
   t.num_pages = num_pages;
   t.num_graph_nodes = g.num_nodes();
   if (hints != nullptr) t.hints = *hints;
+  t.applied_lsn = applied_lsn;
 
   std::string file = SerializeHeader(t);
   file += tree_blob;
@@ -296,6 +303,7 @@ Status GTreeStore::LoadMetadata(const std::string& path) {
   GetFixed32(&in, &t.hints.fanout);
   GetFixed32(&in, &t.hints.min_partition_size);
   GetFixed64(&in, &t.hints.partition_seed);
+  GetFixed64(&in, &t.applied_lsn);
   GetFixed64(&in, &checksum);
   if (Hash64(std::string_view(header.data(), kHeaderSize - 8)) != checksum) {
     return Status::Corruption("gtree store: header checksum mismatch");
@@ -368,6 +376,7 @@ Status GTreeStore::LoadMetadata(const std::string& path) {
   path_ = path;
   file_size_ = file_size;
   hints_ = t.hints;
+  applied_lsn_ = t.applied_lsn;
   tree_ = std::move(tree);
   conn_ = std::move(conn);
   labels_ = std::move(labels);
@@ -496,8 +505,10 @@ Status GTreeStore::ApplyUpdate(GTreeStoreUpdate& update,
     const graph::LabelStore& labels =
         update.labels != nullptr ? *update.labels : labels_;
     const std::string tmp = path_ + ".tmp";
-    Status created =
-        Create(tmp, *update.graph, new_tree, new_conn, labels, &hints_);
+    const uint64_t new_lsn =
+        update.applied_lsn != 0 ? update.applied_lsn : applied_lsn_;
+    Status created = Create(tmp, *update.graph, new_tree, new_conn, labels,
+                            &hints_, new_lsn);
     if (!created.ok()) {
       std::remove(tmp.c_str());
       return created;
@@ -628,6 +639,9 @@ Status GTreeStore::ApplyUpdate(GTreeStoreUpdate& update,
   t.graph_size = graph_section_.size;
   t.num_pages = static_cast<uint32_t>(new_directory.size());
   t.num_graph_nodes = update.graph->num_nodes();
+  t.hints = hints_;
+  t.applied_lsn =
+      update.applied_lsn != 0 ? update.applied_lsn : applied_lsn_;
   std::string header = SerializeHeader(t);
 
   {
@@ -669,6 +683,7 @@ Status GTreeStore::ApplyUpdate(GTreeStoreUpdate& update,
     labels_section_ = PageLocation{t.labels_off, t.labels_size};
   }
   journal_.push_back(*update.journal_edit);
+  applied_lsn_ = t.applied_lsn;
   file_size_ = append_base + appended.size();
   out.appended_bytes = appended.size();
   out.journal_ops = journal_.size();

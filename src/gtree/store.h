@@ -153,6 +153,10 @@ struct GTreeStoreUpdate {
   /// The edit itself, appended to the journal on the append path;
   /// nullptr forces a compaction (e.g. node ids remapped).
   const graph::GraphEdit* journal_edit = nullptr;
+  /// Highest write-ahead-log LSN this update makes durable
+  /// (storage/wal.h); recorded in the header so recovery replays only
+  /// the log tail past it. 0 keeps the store's current watermark.
+  uint64_t applied_lsn = 0;
 };
 
 /// What an ApplyUpdate did (reported by `gmine edit`).
@@ -176,10 +180,12 @@ class GTreeStore {
   /// so one file carries everything ("stored in a single file"); it is
   /// only read back by LoadFullGraph(). `hints`, when given, records the
   /// build shape in the header for later edit repairs.
+  /// `applied_lsn` is the WAL watermark to record (0 = no WAL).
   static Status Create(const std::string& path, const graph::Graph& g,
                        const GTree& tree, const ConnectivityIndex& conn,
                        const graph::LabelStore& labels,
-                       const GTreeBuildHints* hints = nullptr);
+                       const GTreeBuildHints* hints = nullptr,
+                       uint64_t applied_lsn = 0);
 
   /// Opens a store file; loads metadata, leaves payloads on disk.
   static gmine::Result<std::unique_ptr<GTreeStore>> Open(
@@ -242,6 +248,11 @@ class GTreeStore {
   /// The build shape recorded at Create time (levels == 0 if none).
   const GTreeBuildHints& build_hints() const { return hints_; }
 
+  /// Highest WAL LSN durably folded into this store (0 = none): every
+  /// edit with an LSN at or below this is part of the store's
+  /// sections/journal, everything above must come from WAL replay.
+  uint64_t applied_lsn() const { return applied_lsn_; }
+
   /// Total size of the store file in bytes.
   uint64_t file_size() const { return file_size_; }
 
@@ -272,6 +283,7 @@ class GTreeStore {
   graph::LabelStore labels_;
   GTreeStoreOptions options_;
   GTreeBuildHints hints_;
+  uint64_t applied_lsn_ = 0;
   /// Edits since the graph section was written (v2 journal).
   std::vector<graph::GraphEdit> journal_;
 

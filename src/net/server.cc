@@ -526,6 +526,10 @@ std::string Server::StatsText(const Conn& conn) const {
         static_cast<unsigned long long>(pf.already_cached),
         static_cast<unsigned long long>(pf.dropped));
   }
+  if (options_.extra_stats) {
+    std::string extra = options_.extra_stats();
+    if (!extra.empty()) out += " | " + extra;
+  }
   return out;
 }
 

@@ -29,6 +29,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -64,6 +65,11 @@ struct ServerOptions {
   bool prefetch = false;
   /// Leaves queued per focus change when prefetching.
   size_t prefetch_fanout = 8;
+  /// Extra host-supplied section appended to the STATS response (e.g.
+  /// `gmine server --wal on` reports the write-ahead log through it).
+  /// Called from worker threads — must be thread-safe. Empty result =
+  /// nothing appended.
+  std::function<std::string()> extra_stats;
 };
 
 /// Cumulative server counters (stats()).

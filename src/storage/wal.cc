@@ -1,0 +1,261 @@
+#include "storage/wal.h"
+
+#include <unistd.h>
+
+#include <cstdlib>
+
+#include "util/coding.h"
+#include "util/string_util.h"
+
+namespace gmine::storage {
+
+namespace {
+
+constexpr uint32_t kWalMagic = 0x4757414c;  // "GWAL"
+constexpr uint32_t kWalVersion = 1;
+// Cap on a single record so a corrupt length field cannot drive a
+// multi-gigabyte allocation before the CRC check gets a chance.
+constexpr uint32_t kMaxRecordPayload = 1u << 30;
+
+uint64_t RecordCrc(std::string_view payload, uint32_t payload_len) {
+  // Seeding with the length ties the CRC to the framing: a bit flip in
+  // payload_len fails the check even if the payload bytes it frames
+  // happen to hash alike.
+  return Hash64(payload, 0xcbf29ce484222325ULL ^ payload_len);
+}
+
+std::string SerializeWalHeader(uint64_t start_lsn) {
+  std::string header;
+  PutFixed32(&header, kWalMagic);
+  PutFixed32(&header, kWalVersion);
+  PutFixed64(&header, start_lsn);
+  PutFixed64(&header, Hash64(header));
+  return header;
+}
+
+}  // namespace
+
+std::string Wal::EncodeRecord(const WalRecord& record) {
+  std::string payload;
+  PutVarint64(&payload, record.lsn);
+  PutLengthPrefixed(&payload, record.edit.Serialize());
+  PutVarint32(&payload, static_cast<uint32_t>(record.labels.size()));
+  for (const std::string& label : record.labels) {
+    PutLengthPrefixed(&payload, label);
+  }
+  std::string out;
+  PutFixed32(&out, static_cast<uint32_t>(payload.size()));
+  PutFixed64(&out,
+             RecordCrc(payload, static_cast<uint32_t>(payload.size())));
+  out += payload;
+  return out;
+}
+
+gmine::Result<WalRecord> Wal::DecodeRecord(std::string_view* input) {
+  std::string_view in = *input;
+  uint32_t payload_len = 0;
+  uint64_t crc = 0;
+  if (!GetFixed32(&in, &payload_len) || !GetFixed64(&in, &crc)) {
+    return Status::Corruption("wal: truncated record header");
+  }
+  if (payload_len > kMaxRecordPayload || payload_len > in.size()) {
+    return Status::Corruption("wal: record length overruns the file");
+  }
+  std::string_view payload = in.substr(0, payload_len);
+  if (RecordCrc(payload, payload_len) != crc) {
+    return Status::Corruption("wal: record checksum mismatch");
+  }
+  WalRecord record;
+  std::string_view body = payload;
+  std::string_view edit_blob;
+  uint32_t label_count = 0;
+  if (!GetVarint64(&body, &record.lsn) ||
+      !GetLengthPrefixed(&body, &edit_blob) ||
+      !GetVarint32(&body, &label_count)) {
+    return Status::Corruption("wal: malformed record payload");
+  }
+  auto edit = graph::GraphEdit::Deserialize(edit_blob);
+  if (!edit.ok()) return edit.status();
+  record.edit = std::move(edit).value();
+  record.labels.reserve(label_count);
+  for (uint32_t i = 0; i < label_count; ++i) {
+    std::string_view label;
+    if (!GetLengthPrefixed(&body, &label)) {
+      return Status::Corruption("wal: truncated label");
+    }
+    record.labels.emplace_back(label);
+  }
+  if (!body.empty()) {
+    return Status::Corruption("wal: trailing bytes in record payload");
+  }
+  *input = in.substr(payload_len);
+  return record;
+}
+
+gmine::Result<std::unique_ptr<Wal>> Wal::Open(
+    const std::string& fallback_path, const WalOptions& options) {
+  std::unique_ptr<Wal> wal(new Wal());
+  wal->fs_ = options.fs != nullptr ? options.fs : util::FileSystem::Posix();
+  wal->path_ = options.path.empty() ? fallback_path : options.path;
+  wal->durable_ = options.durable;
+  if (wal->path_.empty()) {
+    return Status::InvalidArgument("wal: empty path");
+  }
+  if (const char* env = std::getenv("GMINE_WAL_CRASH_AFTER_SYNCS")) {
+    if (env[0] != '\0') wal->crash_after_syncs_ = std::atoll(env);
+  }
+
+  std::string bytes;
+  if (wal->fs_->Exists(wal->path_)) {
+    GMINE_ASSIGN_OR_RETURN(bytes, wal->fs_->ReadFileToString(wal->path_));
+  }
+  if (bytes.size() < kWalHeaderSize) {
+    // Missing, empty, or died mid-header-write at creation: nothing
+    // was ever acked against this log, so start fresh.
+    GMINE_RETURN_IF_ERROR(wal->WriteFreshHeader(options.start_lsn));
+    GMINE_RETURN_IF_ERROR(wal->OpenAppendHandle());
+    return wal;
+  }
+
+  std::string_view in = bytes;
+  uint32_t magic = 0;
+  uint32_t version = 0;
+  uint64_t start_lsn = 0;
+  uint64_t checksum = 0;
+  GetFixed32(&in, &magic);
+  GetFixed32(&in, &version);
+  GetFixed64(&in, &start_lsn);
+  GetFixed64(&in, &checksum);
+  if (magic != kWalMagic ||
+      Hash64(std::string_view(bytes.data(), kWalHeaderSize - 8)) !=
+          checksum) {
+    return Status::Corruption(
+        StrFormat("wal: %s has a corrupt header", wal->path_.c_str()));
+  }
+  if (version != kWalVersion) {
+    return Status::Corruption(
+        StrFormat("wal: %s has unsupported version %u", wal->path_.c_str(),
+                  version));
+  }
+
+  // Scan records; stop (and truncate) at the first torn or corrupt one.
+  uint64_t valid_end = kWalHeaderSize;
+  uint64_t expected_lsn = start_lsn;
+  while (!in.empty()) {
+    const uint64_t offset = static_cast<uint64_t>(bytes.size() - in.size());
+    auto record = DecodeRecord(&in);
+    if (!record.ok()) break;
+    // An LSN gap means the file was spliced by something other than
+    // this code; treat everything from here as garbage.
+    if (record.value().lsn != expected_lsn) break;
+    record.value().offset = offset;
+    wal->recovered_.push_back(std::move(record).value());
+    ++expected_lsn;
+    valid_end = static_cast<uint64_t>(bytes.size() - in.size());
+  }
+  wal->stats_.recovered_records = wal->recovered_.size();
+  if (valid_end < bytes.size()) {
+    wal->stats_.truncated_bytes = bytes.size() - valid_end;
+    GMINE_RETURN_IF_ERROR(wal->fs_->Truncate(wal->path_, valid_end));
+  }
+  wal->file_size_ = valid_end;
+  wal->next_lsn_ = expected_lsn;
+  GMINE_RETURN_IF_ERROR(wal->OpenAppendHandle());
+  return wal;
+}
+
+Wal::~Wal() {
+  if (file_ != nullptr) (void)file_->Close();
+}
+
+std::vector<WalRecord> Wal::TakeRecovered() {
+  std::vector<WalRecord> out = std::move(recovered_);
+  recovered_.clear();
+  return out;
+}
+
+Status Wal::WriteFreshHeader(uint64_t start_lsn) {
+  // Recreate from scratch: drop whatever partial file exists, write
+  // the header through a fresh append handle and sync it down.
+  if (file_ != nullptr) {
+    GMINE_RETURN_IF_ERROR(file_->Close());
+    file_ = nullptr;
+  }
+  GMINE_RETURN_IF_ERROR(fs_->Remove(path_));
+  GMINE_ASSIGN_OR_RETURN(file_, fs_->OpenAppend(path_));
+  std::string header = SerializeWalHeader(start_lsn);
+  GMINE_RETURN_IF_ERROR(file_->Append(header));
+  GMINE_RETURN_IF_ERROR(durable_ ? file_->Sync() : file_->Flush());
+  GMINE_RETURN_IF_ERROR(file_->Close());
+  file_ = nullptr;
+  file_size_ = header.size();
+  next_lsn_ = start_lsn;
+  return Status::OK();
+}
+
+Status Wal::OpenAppendHandle() {
+  if (file_ != nullptr) {
+    GMINE_RETURN_IF_ERROR(file_->Close());
+    file_ = nullptr;
+  }
+  GMINE_ASSIGN_OR_RETURN(file_, fs_->OpenAppend(path_));
+  return Status::OK();
+}
+
+gmine::Result<uint64_t> Wal::Append(
+    const graph::GraphEdit& edit, const std::vector<std::string>& labels) {
+  WalRecord record;
+  record.lsn = next_lsn_;
+  record.edit = edit;
+  record.labels = labels;
+  std::string bytes = EncodeRecord(record);
+  GMINE_RETURN_IF_ERROR(file_->Append(bytes));
+  ++next_lsn_;
+  file_size_ += bytes.size();
+  ++stats_.records_appended;
+  stats_.bytes_appended += bytes.size();
+  return record.lsn;
+}
+
+Status Wal::Sync() {
+  GMINE_RETURN_IF_ERROR(durable_ ? file_->Sync() : file_->Flush());
+  ++stats_.syncs;
+  if (durable_) MaybeCrashAfterSync();
+  return Status::OK();
+}
+
+void Wal::MaybeCrashAfterSync() {
+  if (crash_after_syncs_ < 0) return;
+  if (--crash_after_syncs_ <= 0) {
+    // A deterministic kill -9: no destructors, no flushes — whatever
+    // the last Sync made durable is all the next process sees.
+    _exit(137);
+  }
+}
+
+Status Wal::RewindTo(uint64_t offset, uint64_t next_lsn) {
+  if (offset > file_size_) {
+    return Status::InvalidArgument("wal: rewind past the end");
+  }
+  // Flush buffered appends first so the truncation below sees them —
+  // truncating under unflushed stdio buffers would resurrect them on
+  // the next fflush.
+  GMINE_RETURN_IF_ERROR(file_->Flush());
+  GMINE_RETURN_IF_ERROR(file_->Close());
+  file_ = nullptr;
+  GMINE_RETURN_IF_ERROR(fs_->Truncate(path_, offset));
+  GMINE_RETURN_IF_ERROR(OpenAppendHandle());
+  file_size_ = offset;
+  next_lsn_ = next_lsn;
+  ++stats_.rewinds;
+  return Status::OK();
+}
+
+Status Wal::Reset(uint64_t next_lsn) {
+  GMINE_RETURN_IF_ERROR(WriteFreshHeader(next_lsn));
+  GMINE_RETURN_IF_ERROR(OpenAppendHandle());
+  ++stats_.resets;
+  return Status::OK();
+}
+
+}  // namespace gmine::storage

@@ -1,0 +1,201 @@
+#include "util/fault_fs.h"
+
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+
+#include "util/string_util.h"
+
+namespace gmine::util {
+
+namespace {
+
+class PosixWritableFile : public WritableFile {
+ public:
+  PosixWritableFile(std::FILE* f, std::string path)
+      : file_(f), path_(std::move(path)) {}
+  ~PosixWritableFile() override { (void)Close(); }
+
+  Status Append(std::string_view data) override {
+    if (file_ == nullptr) return Status::IOError(path_ + ": closed");
+    if (std::fwrite(data.data(), 1, data.size(), file_) != data.size()) {
+      return Status::IOError(StrFormat("%s: short write", path_.c_str()));
+    }
+    return Status::OK();
+  }
+
+  Status Flush() override {
+    if (file_ == nullptr) return Status::IOError(path_ + ": closed");
+    if (std::fflush(file_) != 0) {
+      return Status::IOError(StrFormat("%s: fflush failed", path_.c_str()));
+    }
+    return Status::OK();
+  }
+
+  Status Sync() override {
+    GMINE_RETURN_IF_ERROR(Flush());
+    if (fdatasync(fileno(file_)) != 0) {
+      return Status::IOError(
+          StrFormat("%s: fdatasync failed", path_.c_str()));
+    }
+    return Status::OK();
+  }
+
+  Status Close() override {
+    if (file_ == nullptr) return Status::OK();
+    std::FILE* f = file_;
+    file_ = nullptr;
+    if (std::fclose(f) != 0) {
+      return Status::IOError(StrFormat("%s: fclose failed", path_.c_str()));
+    }
+    return Status::OK();
+  }
+
+ private:
+  std::FILE* file_;
+  std::string path_;
+};
+
+class PosixFileSystem : public FileSystem {
+ public:
+  gmine::Result<std::unique_ptr<WritableFile>> OpenAppend(
+      const std::string& path) override {
+    std::FILE* f = std::fopen(path.c_str(), "ab");
+    if (f == nullptr) {
+      return Status::IOError(
+          StrFormat("cannot open %s for append", path.c_str()));
+    }
+    return std::unique_ptr<WritableFile>(
+        std::make_unique<PosixWritableFile>(f, path));
+  }
+
+  gmine::Result<std::string> ReadFileToString(
+      const std::string& path) override {
+    std::FILE* f = std::fopen(path.c_str(), "rb");
+    if (f == nullptr) {
+      return Status::IOError(StrFormat("cannot open %s", path.c_str()));
+    }
+    std::string out;
+    char buf[1 << 16];
+    size_t n = 0;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) out.append(buf, n);
+    const bool failed = std::ferror(f) != 0;
+    std::fclose(f);
+    if (failed) {
+      return Status::IOError(StrFormat("read of %s failed", path.c_str()));
+    }
+    return out;
+  }
+
+  Status Truncate(const std::string& path, uint64_t size) override {
+    if (::truncate(path.c_str(), static_cast<off_t>(size)) != 0) {
+      return Status::IOError(
+          StrFormat("truncate %s to %llu failed", path.c_str(),
+                    static_cast<unsigned long long>(size)));
+    }
+    return Status::OK();
+  }
+
+  Status Remove(const std::string& path) override {
+    if (::unlink(path.c_str()) != 0 && errno != ENOENT) {
+      return Status::IOError(StrFormat("unlink %s failed", path.c_str()));
+    }
+    return Status::OK();
+  }
+
+  bool Exists(const std::string& path) override {
+    struct stat st;
+    return ::stat(path.c_str(), &st) == 0;
+  }
+};
+
+/// Applies a FaultInjection to a wrapped file. The budget drops the
+/// suffix of any Append past it (a torn write); syncs can be dropped
+/// or failed. All state lives in the shared FaultInjection so a test
+/// controls every open handle at once.
+class TruncatingFile : public WritableFile {
+ public:
+  TruncatingFile(std::unique_ptr<WritableFile> base, FaultInjection* inj)
+      : base_(std::move(base)), inj_(inj) {}
+
+  Status Append(std::string_view data) override {
+    ++inj_->appends;
+    std::string_view pass = data;
+    bool torn = false;
+    if (inj_->write_budget_bytes >= 0) {
+      const uint64_t budget =
+          static_cast<uint64_t>(inj_->write_budget_bytes);
+      if (data.size() > budget) {
+        pass = data.substr(0, budget);
+        inj_->torn_bytes += static_cast<int64_t>(data.size() - budget);
+        torn = true;
+      }
+      inj_->write_budget_bytes -= static_cast<int64_t>(pass.size());
+    }
+    if (!pass.empty()) GMINE_RETURN_IF_ERROR(base_->Append(pass));
+    if (torn && inj_->fail_after_budget) {
+      return Status::IOError("fault injection: write budget exhausted");
+    }
+    return Status::OK();
+  }
+
+  Status Flush() override { return base_->Flush(); }
+
+  Status Sync() override {
+    if (inj_->sync_failures > 0) {
+      --inj_->sync_failures;
+      return Status::IOError("fault injection: sync failed");
+    }
+    if (inj_->drop_syncs) {
+      // Flush to the kernel but skip the barrier — the bytes are in
+      // the page cache, durable only by luck.
+      GMINE_RETURN_IF_ERROR(base_->Flush());
+      return Status::OK();
+    }
+    GMINE_RETURN_IF_ERROR(base_->Sync());
+    ++inj_->syncs;
+    return Status::OK();
+  }
+
+  Status Close() override { return base_->Close(); }
+
+ private:
+  std::unique_ptr<WritableFile> base_;
+  FaultInjection* inj_;
+};
+
+}  // namespace
+
+FileSystem* FileSystem::Posix() {
+  static PosixFileSystem* fs = new PosixFileSystem();
+  return fs;
+}
+
+gmine::Result<std::unique_ptr<WritableFile>> FaultFs::OpenAppend(
+    const std::string& path) {
+  auto base = base_->OpenAppend(path);
+  if (!base.ok()) return base.status();
+  return std::unique_ptr<WritableFile>(std::make_unique<TruncatingFile>(
+      std::move(base).value(), &injection_));
+}
+
+gmine::Result<std::string> FaultFs::ReadFileToString(
+    const std::string& path) {
+  return base_->ReadFileToString(path);
+}
+
+Status FaultFs::Truncate(const std::string& path, uint64_t size) {
+  return base_->Truncate(path, size);
+}
+
+Status FaultFs::Remove(const std::string& path) {
+  return base_->Remove(path);
+}
+
+bool FaultFs::Exists(const std::string& path) {
+  return base_->Exists(path);
+}
+
+}  // namespace gmine::util

@@ -1,0 +1,117 @@
+// Minimal filesystem seam for the write-ahead log (storage/wal.h) and
+// its fault-injection tests. Production code uses the POSIX
+// implementation (FileSystem::Posix()); tests wrap it in a FaultFs to
+// tear writes at arbitrary byte offsets, drop fsyncs, or fail them —
+// the crash-at-every-offset sweep in tests/wal_recovery_test.cc is
+// what proves the WAL's "acked ⇒ replayed" recovery invariant.
+//
+// The seam is intentionally tiny: append-only writable files plus the
+// handful of whole-file operations the WAL needs (read, truncate,
+// remove, existence). It is not a general VFS.
+
+#ifndef GMINE_UTIL_FAULT_FS_H_
+#define GMINE_UTIL_FAULT_FS_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "util/status.h"
+
+namespace gmine::util {
+
+/// An append-only file handle. Append buffers through stdio; Flush
+/// pushes to the kernel; Sync additionally issues fdatasync so the
+/// bytes survive power loss. Close is idempotent (the destructor calls
+/// it, ignoring errors — call Close explicitly when the result
+/// matters).
+class WritableFile {
+ public:
+  virtual ~WritableFile() = default;
+  virtual Status Append(std::string_view data) = 0;
+  virtual Status Flush() = 0;
+  virtual Status Sync() = 0;
+  virtual Status Close() = 0;
+};
+
+/// The filesystem operations the WAL performs.
+class FileSystem {
+ public:
+  virtual ~FileSystem() = default;
+
+  /// Opens `path` for appending, creating it when missing. Writes
+  /// always land at the current end of file (O_APPEND semantics), so
+  /// an external Truncate moves the write position too.
+  virtual gmine::Result<std::unique_ptr<WritableFile>> OpenAppend(
+      const std::string& path) = 0;
+
+  /// Reads the whole file.
+  virtual gmine::Result<std::string> ReadFileToString(
+      const std::string& path) = 0;
+
+  /// Truncates (or extends with zeros) `path` to `size` bytes.
+  virtual Status Truncate(const std::string& path, uint64_t size) = 0;
+
+  /// Removes `path`; OK when it does not exist.
+  virtual Status Remove(const std::string& path) = 0;
+
+  virtual bool Exists(const std::string& path) = 0;
+
+  /// The real filesystem (process-wide singleton, never null).
+  static FileSystem* Posix();
+};
+
+/// Shared fault knobs + counters for one FaultFs. Tests mutate the
+/// knobs between operations; every TruncatingFile handed out by the
+/// owning FaultFs consults the same instance.
+struct FaultInjection {
+  /// Append bytes allowed through before tearing; < 0 = unlimited.
+  /// Decremented as bytes pass. A write straddling the boundary is
+  /// torn mid-record: the prefix lands, the rest silently vanishes —
+  /// exactly what a crash mid-write leaves on disk.
+  int64_t write_budget_bytes = -1;
+  /// When the budget is exhausted: true = Append also reports IOError
+  /// (the writer notices); false = Append claims success (the writer
+  /// acks a write that never fully landed — the torn-tail case).
+  bool fail_after_budget = false;
+  /// Sync calls succeed but do nothing (simulates a kernel that never
+  /// got the barrier — with the budget untouched the bytes are still
+  /// "there", so pair this with a later truncation to model loss).
+  bool drop_syncs = false;
+  /// The next N Sync calls return IOError (then count down to 0).
+  int64_t sync_failures = 0;
+
+  // Counters (written by TruncatingFile, read by tests).
+  int64_t appends = 0;
+  int64_t syncs = 0;
+  int64_t torn_bytes = 0;  // bytes dropped by the budget
+};
+
+/// A FileSystem decorator injecting the faults described by its
+/// FaultInjection into every file it opens. Reads and metadata ops
+/// pass through untouched.
+class FaultFs : public FileSystem {
+ public:
+  /// `base` must outlive the FaultFs (use FileSystem::Posix()).
+  explicit FaultFs(FileSystem* base) : base_(base) {}
+
+  /// The shared knobs; mutate freely between operations.
+  FaultInjection& injection() { return injection_; }
+
+  gmine::Result<std::unique_ptr<WritableFile>> OpenAppend(
+      const std::string& path) override;
+  gmine::Result<std::string> ReadFileToString(
+      const std::string& path) override;
+  Status Truncate(const std::string& path, uint64_t size) override;
+  Status Remove(const std::string& path) override;
+  bool Exists(const std::string& path) override;
+
+ private:
+  FileSystem* base_;
+  FaultInjection injection_;
+};
+
+}  // namespace gmine::util
+
+#endif  // GMINE_UTIL_FAULT_FS_H_

@@ -11,7 +11,14 @@
 #   * every entry carries finite real_ns > 0 (no NaN/Inf) and
 #     iterations >= 1;
 #   * the buffer_pool_navigate sweep carries the pool's story columns:
-#     finite hit_rate in [0, 1] and resident_bytes >= 0 per entry.
+#     finite hit_rate in [0, 1] and resident_bytes >= 0 per entry;
+#   * the wal_group_commit sweep carries edits_per_sec per entry and
+#     some depth >= 8 sustains >= 5x the depth-1 throughput — the
+#     group-commit amortization gate (docs/WAL.md);
+#   * host_cpus is recorded (a perf number without its core count is
+#     unreproducible); on a 1-core host, thread sweeps whose
+#     speedup_auto_vs_serial < 1 are WARNED about loudly instead of
+#     shipping a silent sub-1x "speedup" nobody can interpret.
 #
 # Usage: tools/check_bench_json.sh [path/to/BENCH_kernels.json]
 
@@ -41,6 +48,7 @@ required = [
     "gtree_edit_incremental",
     "gtree_edit_full",
     "buffer_pool_navigate",
+    "wal_group_commit",
 ]
 
 try:
@@ -92,15 +100,66 @@ for name, sweep in kernels.items():
             if not isinstance(resident, (int, float)) \
                     or not math.isfinite(resident) or resident < 0:
                 fail.append(f"{name}/{col}: bad resident_bytes {resident!r}")
+        if name == "wal_group_commit":
+            eps = entry.get("edits_per_sec")
+            if not isinstance(eps, (int, float)) or not math.isfinite(eps) \
+                    or eps <= 0:
+                fail.append(f"{name}/{col}: bad edits_per_sec {eps!r}")
     if len(numeric_cols) < 2:
         fail.append(f"{name}: needs >= 2 numeric columns, has {numeric_cols}")
     elif len(set(numeric_cols)) != len(numeric_cols):
         fail.append(f"{name}: duplicate columns {sorted(numeric_cols)}")
+
+# Group-commit amortization gate: some depth >= 8 must sustain >= 5x
+# the depth-1 edit throughput, or the WAL's one-sync-one-repair-per-
+# group design has regressed into per-edit commits.
+wal = kernels.get("wal_group_commit")
+if isinstance(wal, dict):
+    def eps(col):
+        entry = wal.get(col)
+        v = entry.get("edits_per_sec") if isinstance(entry, dict) else None
+        return v if isinstance(v, (int, float)) and math.isfinite(v) else None
+    serial = eps("1")
+    deep = [(int(c), eps(c)) for c in wal
+            if c.isdigit() and int(c) >= 8 and eps(c) is not None]
+    if serial is None:
+        fail.append("wal_group_commit: no depth-1 edits_per_sec baseline")
+    elif not deep:
+        fail.append("wal_group_commit: no depth >= 8 column to check")
+    else:
+        depth, best = max(deep, key=lambda d: d[1])
+        ratio = best / serial
+        if ratio < 5.0:
+            fail.append(
+                f"wal_group_commit: depth-{depth} throughput is only "
+                f"{ratio:.1f}x depth-1 (gate: >= 5x)")
+        else:
+            print(f"check_bench_json: wal_group_commit depth-{depth} "
+                  f"sustains {ratio:.1f}x the serial throughput (gate 5x)")
+
+# Host-core bookkeeping: the parallel sweeps' speedups are meaningless
+# without knowing the cores they ran on, and on a 1-core host a sub-1x
+# "speedup" is expected — warn loudly rather than let it read as a
+# parallelism regression (or pass silently as one).
+host_cpus = report.get("host_cpus")
+if not isinstance(host_cpus, int) or host_cpus < 1:
+    fail.append(f"host_cpus missing or invalid: {host_cpus!r} "
+                "(re-run tools/run_benches.sh)")
+elif host_cpus == 1:
+    for name, sweep in kernels.items():
+        if not isinstance(sweep, dict):
+            continue
+        speedup = sweep.get("speedup_auto_vs_serial")
+        if isinstance(speedup, (int, float)) and speedup < 1.0:
+            print(f"check_bench_json: WARNING {name} speedup "
+                  f"{speedup}x < 1 on a 1-core host — thread-pool "
+                  "overhead, not a regression; rerun on a multi-core "
+                  "host before comparing", file=sys.stderr)
 
 if fail:
     for f in fail:
         print(f"check_bench_json: {f}", file=sys.stderr)
     sys.exit(1)
 print(f"BENCH_kernels.json OK ({len(kernels)} sweeps, "
-      f"all of: {' '.join(required)})")
+      f"all of: {' '.join(required)}; host_cpus={host_cpus})")
 PY

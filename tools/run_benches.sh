@@ -70,6 +70,7 @@ run_sweep bench_scale 'BM_(GTreeBuildShards|SessionPoolNavigate)' "$TMP_DIR/gtre
 run_sweep bench_server 'BM_ServerNavigate' "$TMP_DIR/server.json"
 run_sweep bench_edits 'BM_GTreeEdit(Incremental|FullRebuild)' "$TMP_DIR/edits.json"
 run_sweep bench_buffer_pool 'BM_BufferPoolNavigate' "$TMP_DIR/buffer_pool.json"
+run_sweep bench_wal 'BM_WalGroupCommit' "$TMP_DIR/wal.json"
 
 python3 - "$REPO_ROOT/BENCH_kernels.json" "$TMP_DIR"/*.json <<'PY'
 import json
@@ -96,6 +97,10 @@ kernel_names = {
     # arg = stores sharing one fixed-budget buffer pool; extra columns
     # hit_rate (in [0,1]) and resident_bytes (peak) ride along
     "BM_BufferPoolNavigate": "buffer_pool_navigate",
+    # arg = BURST DEPTH (edits per group commit), not threads: real_ns
+    # is per burst; the edits_per_sec column carries the wall-clock
+    # throughput the >= 5x group-commit gate checks (docs/WAL.md)
+    "BM_WalGroupCommit": "wal_group_commit",
 }
 kernels = {}
 context = {}
@@ -116,9 +121,10 @@ for path in inputs:
                                          "ms": 1e6, "s": 1e9}[b["time_unit"]],
             "iterations": b["iterations"],
         }
-        # Benchmark counters that tell the buffer-pool story (checked
-        # by tools/check_bench_json.sh for buffer_pool_navigate).
-        for extra in ("hit_rate", "resident_bytes"):
+        # Benchmark counters that tell a sweep's story (checked by
+        # tools/check_bench_json.sh for buffer_pool_navigate and
+        # wal_group_commit).
+        for extra in ("hit_rate", "resident_bytes", "edits_per_sec"):
             if extra in b:
                 entry[extra] = b[extra]
         kernels.setdefault(kernel_names[name], {})[threads] = entry
