@@ -14,6 +14,7 @@
 #include "graph/graph_io.h"
 #include "net/client.h"
 #include "net/server.h"
+#include "query/executor.h"
 #include "storage/buffer_pool.h"
 #include "util/parallel.h"
 #include "util/string_util.h"
@@ -178,25 +179,91 @@ Status CmdInfo(const CommandLine& cmd, std::string* out) {
   return Status::OK();
 }
 
+// ------------------------------------------------------------------ query
+// GQL front end (docs/QUERY.md): one statement as a positional
+// argument, or a script (--script FILE or stdin) running one statement
+// per line. Script mode echoes each statement, reports errors inline
+// and keeps going — a query typo must not abort the session — while
+// single-statement mode propagates the error (nonzero exit, the CI
+// negative-path contract). The legacy `--label NAME` details lookup is
+// kept verbatim.
+
 Status CmdQuery(const CommandLine& cmd, std::string* out) {
   GMINE_ASSIGN_OR_RETURN(std::unique_ptr<GMineEngine> engine,
                          OpenStore(cmd));
-  std::string label = cmd.Get("label");
-  if (label.empty()) return UsageError("query: --label NAME required");
-  auto located = engine->session().LocateByLabel(label);
-  if (!located.ok()) return located.status();
-  auto details = engine->GetNodeDetails(located.value());
-  if (!details.ok()) return details.status();
-  *out += StrFormat("node %u '%s'\n", details.value().id,
-                    details.value().label.c_str());
-  *out += "community path:";
-  for (const std::string& p : details.value().community_path) {
-    *out += " " + p;
+  if (cmd.Has("label")) {
+    const std::string label = cmd.Get("label");
+    auto located = engine->session().LocateByLabel(label);
+    if (!located.ok()) return located.status();
+    auto details = engine->GetNodeDetails(located.value());
+    if (!details.ok()) return details.status();
+    *out += StrFormat("node %u '%s'\n", details.value().id,
+                      details.value().label.c_str());
+    *out += "community path:";
+    for (const std::string& p : details.value().community_path) {
+      *out += " " + p;
+    }
+    *out += StrFormat("\nco-authors in community (%u):\n",
+                      details.value().degree_in_community);
+    for (const auto& [id, name] : details.value().community_neighbors) {
+      *out += StrFormat("  %u '%s'\n", id, name.c_str());
+    }
+    return Status::OK();
   }
-  *out += StrFormat("\nco-authors in community (%u):\n",
-                    details.value().degree_in_community);
-  for (const auto& [id, name] : details.value().community_neighbors) {
-    *out += StrFormat("  %u '%s'\n", id, name.c_str());
+
+  query::ExecutorOptions qopts;
+  const std::string pushdown = cmd.Get("pushdown", "on");
+  if (pushdown != "on" && pushdown != "off") {
+    return UsageError("query: --pushdown expects 'on' or 'off'");
+  }
+  qopts.pushdown = pushdown == "on";
+  GMINE_ASSIGN_OR_RETURN(uint64_t threads, FlagUint(cmd, "threads", 0));
+  qopts.threads = static_cast<int>(threads);
+
+  auto run_one = [&](std::string_view statement) -> Status {
+    auto result = engine->Query(statement, qopts);
+    if (!result.ok()) return result.status();
+    *out += query::ResultToText(result.value());
+    const query::QueryStats& s = result.value().stats;
+    *out += StrFormat(
+        "-- %llu row(s); pages scanned=%llu/%llu pruned=%llu\n",
+        static_cast<unsigned long long>(s.rows_output),
+        static_cast<unsigned long long>(s.pages_scanned),
+        static_cast<unsigned long long>(s.pages_total),
+        static_cast<unsigned long long>(s.pages_pruned));
+    return Status::OK();
+  };
+
+  if (cmd.positional.size() > 1) {
+    if (cmd.Has("script")) {
+      return UsageError("query: give a statement or --script, not both");
+    }
+    return run_one(cmd.positional[1]);
+  }
+
+  std::string script;
+  if (cmd.Has("script")) {
+    auto text = graph::ReadFileToString(cmd.Get("script"));
+    if (!text.ok()) return text.status();
+    script = std::move(text).value();
+  } else {
+    script = ReadAllStdin();
+  }
+  size_t pos = 0;
+  while (pos < script.size()) {
+    size_t eol = script.find('\n', pos);
+    if (eol == std::string::npos) eol = script.size();
+    std::string_view line(script.data() + pos, eol - pos);
+    pos = eol + 1;
+    line = TrimWhitespace(line);
+    if (line.empty() || line[0] == '#') continue;
+    *out += StrFormat("query> %.*s\n", static_cast<int>(line.size()),
+                      line.data());
+    Status st = run_one(line);
+    if (!st.ok()) {
+      // Keep the session alive: report and move to the next statement.
+      *out += StrFormat("error: %s\n", st.ToString().c_str());
+    }
   }
   return Status::OK();
 }
@@ -702,8 +769,10 @@ struct ServeOp {
 };
 
 /// Runs one op against a session, appending a transcript line.
+/// `executor` serves the `query` op (shared across sessions; its whole
+/// surface is const and thread-safe).
 Status ExecuteServeOp(const ServeOp& op, gtree::NavigationSession& nav,
-                      std::string* out) {
+                      const query::Executor* executor, std::string* out) {
   const gtree::GTree& tree = nav.store()->tree();
   auto focus_name = [&] { return tree.node(nav.focus()).name; };
   if (op.op == "root") {
@@ -744,14 +813,28 @@ Status ExecuteServeOp(const ServeOp& op, gtree::NavigationSession& nav,
     *out += StrFormat("connectivity -> %zu context edges\n",
                       nav.ContextConnectivity().size());
     return Status::OK();
+  } else if (op.op == "query") {
+    if (op.arg.empty()) {
+      return Status::InvalidArgument("query expects a GQL statement");
+    }
+    auto result = executor->ExecuteText(op.arg);
+    if (!result.ok()) return result.status();
+    const query::QueryStats& s = result.value().stats;
+    *out += StrFormat(
+        "query -> rows=%llu pages_scanned=%llu/%llu pruned=%llu\n",
+        static_cast<unsigned long long>(s.rows_output),
+        static_cast<unsigned long long>(s.pages_scanned),
+        static_cast<unsigned long long>(s.pages_total),
+        static_cast<unsigned long long>(s.pages_pruned));
+    return Status::OK();
   } else if (op.op == "help") {
     *out += "help -> ops: root focus child parent back locate load "
-            "connectivity help quit\n";
+            "connectivity query help quit\n";
     return Status::OK();
   } else {
     return Status::InvalidArgument(
         StrFormat("unknown serve op '%s' (ops: root focus child parent "
-                  "back locate load connectivity help quit)",
+                  "back locate load connectivity query help quit)",
                   op.op.c_str()));
   }
   *out += StrFormat("%s -> focus=%s display=%zu\n", op.op.c_str(),
@@ -848,6 +931,10 @@ Status CmdServe(const CommandLine& cmd, std::string* out) {
   std::vector<std::vector<ServeOp>> queues;
   GMINE_RETURN_IF_ERROR(ParseServeScript(script, ids.size(), &queues));
 
+  // Shared GQL executor for `query` ops (const, thread-safe; loads its
+  // own full-graph copy lazily if a script EXTRACTs).
+  query::Executor executor(store.value().get());
+
   // Multiplex: each session's queue runs in script order; different
   // sessions run concurrently on the thread pool. Transcripts are
   // per-session, printed in session order below.
@@ -864,7 +951,7 @@ Status CmdServe(const CommandLine& cmd, std::string* out) {
       }
       std::string result;
       Status st = pool.WithSession(ids[i], [&](gtree::NavigationSession& nav) {
-        return ExecuteServeOp(op, nav, &result);
+        return ExecuteServeOp(op, nav, &executor, &result);
       });
       if (st.ok()) {
         transcripts[i] += StrFormat("[s%zu] %s", i, result.c_str());
@@ -1240,7 +1327,14 @@ std::string UsageText() {
       "           [--shards S (0=auto, sharded parallel build) "
       "--threads T (0=auto)]\n"
       "  info     STORE\n"
-      "  query    STORE --label NAME\n"
+      "  query    STORE \"STATEMENT\" | STORE [--script FILE] | STORE "
+      "--label NAME\n"
+      "           GQL (docs/QUERY.md): MATCH NODES/NEIGHBORS(v, k)\n"
+      "           [WHERE ...] [ORDER BY ...] [LIMIT n], EXTRACT CSG FROM\n"
+      "           {...} [BUDGET n], SUMMARIZE NODE v, EXPLAIN ...;\n"
+      "           [--pushdown on|off] [--threads T]; --script (or stdin)\n"
+      "           runs one statement per line, continuing past errors;\n"
+      "           --label NAME keeps the legacy details lookup\n"
       "  extract  STORE --source NAME [--source NAME ...] [--budget B] "
       "[--svg FILE]\n"
       "  render   STORE [--focus COMMUNITY] [--zoom Z] --svg FILE\n"

@@ -399,6 +399,13 @@ gmine::Result<std::vector<NodeId>> GMineEngine::ResolveLabels(
   return out;
 }
 
+gmine::Result<query::QueryResult> GMineEngine::Query(
+    std::string_view statement, const query::ExecutorOptions& options) {
+  query::Executor executor(
+      store_.get(), [this]() { return full_graph(); }, options);
+  return executor.ExecuteText(statement);
+}
+
 Status GMineEngine::RenderHierarchyView(const std::string& svg_path) {
   ViewOptions vopts;
   vopts.zoom = default_session_->view().zoom;

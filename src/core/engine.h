@@ -30,6 +30,7 @@
 #include "gtree/navigation.h"
 #include "gtree/store.h"
 #include "mining/metrics.h"
+#include "query/executor.h"
 #include "storage/wal.h"
 #include "util/status.h"
 
@@ -194,6 +195,16 @@ class GMineEngine {
   /// Resolves exact labels to node ids (for query sets given as names).
   gmine::Result<std::vector<graph::NodeId>> ResolveLabels(
       const std::vector<std::string>& names) const;
+
+  /// Runs one GQL statement (docs/QUERY.md) against this engine's
+  /// store: parse -> plan -> execute. MATCH statements stream leaf
+  /// pages through the buffer pool (with predicate pushdown unless
+  /// `options` vetoes it); EXTRACT uses the engine's lazily loaded
+  /// full graph. Safe from multiple threads, like the rest of the
+  /// read surface.
+  gmine::Result<query::QueryResult> Query(
+      std::string_view statement,
+      const query::ExecutorOptions& options = {});
 
   /// Node/edge edition (§III-B): applies `edit` to the graph, remaps
   /// labels (use `new_labels` to name added nodes, keyed by the ids in

@@ -473,6 +473,30 @@ gmine::Result<std::shared_ptr<const LeafPayload>> GTreeStore::LoadLeaf(
   return std::static_pointer_cast<const LeafPayload>(winner);
 }
 
+Status GTreeStore::ScanLeafPages(
+    const std::function<bool(const TreeNode&)>& prune,
+    const std::function<Status(const TreeNode&, const LeafPayload&)>& visit,
+    LeafScanStats* stats, ReaderTag reader) const {
+  LeafScanStats local;
+  for (const TreeNode& node : tree_.nodes()) {
+    if (!node.IsLeaf()) continue;
+    ++local.pages_total;
+    if (prune && prune(node)) {
+      ++local.pages_pruned;
+      continue;
+    }
+    GMINE_ASSIGN_OR_RETURN(std::shared_ptr<const LeafPayload> payload,
+                           LoadLeaf(node.id, reader));
+    ++local.pages_scanned;
+    GMINE_RETURN_IF_ERROR(visit(node, *payload));
+    // The pin (shared_ptr) drops here, before the next page loads:
+    // the scan holds at most one frame at a time, so it runs within
+    // any pool budget that fits the largest single page.
+  }
+  if (stats != nullptr) *stats = local;
+  return Status::OK();
+}
+
 Status GTreeStore::ApplyUpdate(GTreeStoreUpdate& update,
                                GTreeStoreUpdateStats* stats) {
   if (update.tree == nullptr || update.graph == nullptr) {

@@ -53,6 +53,7 @@
 #include <atomic>
 #include <cstdint>
 #include <cstdio>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -215,6 +216,27 @@ class GTreeStore {
 
   /// True when `leaf` is currently resident in the pool (no IO needed).
   bool IsCached(TreeNodeId leaf) const;
+
+  /// What one ScanLeafPages pass touched (the query executor's
+  /// pushdown proof: pruned pages are never loaded).
+  struct LeafScanStats {
+    uint64_t pages_total = 0;    // leaf pages in the store
+    uint64_t pages_scanned = 0;  // pages loaded and visited
+    uint64_t pages_pruned = 0;   // pages skipped by the prune callback
+  };
+
+  /// Streams every leaf page through `visit`, in ascending tree-node id
+  /// order, checking each page out of the buffer pool only for the
+  /// duration of its visit. `prune`, when set, sees the leaf's resident
+  /// metadata (TreeNode: name, members) *before* any IO and returns
+  /// true to skip the page entirely — the predicate-pushdown hook
+  /// (docs/QUERY.md). A non-OK status from `visit` aborts the scan.
+  /// Safe from multiple threads, like LoadLeaf.
+  Status ScanLeafPages(
+      const std::function<bool(const TreeNode&)>& prune,
+      const std::function<Status(const TreeNode&, const LeafPayload&)>&
+          visit,
+      LeafScanStats* stats = nullptr, ReaderTag reader = 0) const;
 
   /// Snapshot of the cumulative IO statistics — this store's ledger in
   /// the buffer pool (shared across every concurrent session) plus its

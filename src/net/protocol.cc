@@ -44,6 +44,7 @@ constexpr OpEntry kOps[] = {
     {RequestOp::kSummary, "summary"},
     {RequestOp::kConnectivity, "connectivity"},
     {RequestOp::kRender, "render"},
+    {RequestOp::kQuery, "query"},
     {RequestOp::kStats, "stats"},
     {RequestOp::kPing, "ping"},
     {RequestOp::kClose, "close"},
@@ -251,6 +252,8 @@ std::string ProtocolHelpText() {
       "  summary                focus, path, children, display size\n"
       "  connectivity           context connectivity edge count\n"
       "  render svg             hierarchy view SVG (framed as a body)\n"
+      "  query <statement>      run a GQL statement (docs/QUERY.md); the\n"
+      "                         JSON result is framed as a body\n"
       "  stats                  connection, server, pool and store stats\n"
       "  ping                   liveness probe\n"
       "  close                  close this connection\n"

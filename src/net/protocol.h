@@ -97,6 +97,7 @@ enum class RequestOp : uint8_t {
   kSummary,       // focus, path, children, display size
   kConnectivity,
   kRender,        // arg: "svg"; response carries the document as body
+  kQuery,         // arg: GQL statement; JSON result framed as a body
   kStats,
   kPing,
   kClose,         // close this connection

@@ -28,7 +28,10 @@ constexpr char kGreeting[] = "OK gmine-server protocol=1\n";
 
 Server::Server(core::SessionManager* pool, ServerOptions options,
                core::Prefetcher* prefetcher)
-    : pool_(pool), prefetcher_(prefetcher), options_(options) {
+    : pool_(pool),
+      prefetcher_(prefetcher),
+      options_(options),
+      executor_(std::make_unique<query::Executor>(&pool->store())) {
   if (options_.max_clients < 1) options_.max_clients = 1;
   if (options_.worker_threads <= 0) {
     options_.worker_threads = options_.max_clients;
@@ -354,6 +357,36 @@ Response Server::Execute(const Request& request, Conn& conn,
     case RequestOp::kStats:
       response.text = StatsText(conn);
       return response;
+    case RequestOp::kQuery: {
+      // Queries read the store directly — no navigation state, so they
+      // run outside WithSession and never poison the session on error.
+      if (request.arg.empty()) {
+        response.status =
+            Status::InvalidArgument("query expects a GQL statement");
+        return response;
+      }
+      auto result = executor_->ExecuteText(request.arg);
+      if (!result.ok()) {
+        response.status = result.status();
+        return response;
+      }
+      const query::QueryStats& qs = result.value().stats;
+      query_count_.fetch_add(1, std::memory_order_relaxed);
+      query_rows_.fetch_add(qs.rows_output, std::memory_order_relaxed);
+      query_pages_scanned_.fetch_add(qs.pages_scanned,
+                                     std::memory_order_relaxed);
+      query_pages_pruned_.fetch_add(qs.pages_pruned,
+                                    std::memory_order_relaxed);
+      response.text = StrFormat(
+          "rows=%llu pages_scanned=%llu/%llu pruned=%llu",
+          (unsigned long long)qs.rows_output,
+          (unsigned long long)qs.pages_scanned,
+          (unsigned long long)qs.pages_total,
+          (unsigned long long)qs.pages_pruned);
+      response.body = query::ResultToJson(result.value());
+      response.has_body = true;
+      return response;
+    }
     default:
       break;
   }
@@ -517,6 +550,16 @@ std::string Server::StatsText(const Conn& conn) const {
       static_cast<unsigned long long>(bp.pinned_bytes), bp.stores,
       static_cast<unsigned long long>(bp.evictions),
       static_cast<unsigned long long>(bp.backpressure));
+  out += StrFormat(
+      " | query count=%llu rows=%llu pages_scanned=%llu pruned=%llu",
+      static_cast<unsigned long long>(
+          query_count_.load(std::memory_order_relaxed)),
+      static_cast<unsigned long long>(
+          query_rows_.load(std::memory_order_relaxed)),
+      static_cast<unsigned long long>(
+          query_pages_scanned_.load(std::memory_order_relaxed)),
+      static_cast<unsigned long long>(
+          query_pages_pruned_.load(std::memory_order_relaxed)));
   if (prefetcher_ != nullptr) {
     const core::PrefetchStats pf = prefetcher_->stats();
     out += StrFormat(

@@ -41,6 +41,7 @@
 #include "core/session_manager.h"
 #include "net/protocol.h"
 #include "net/socket.h"
+#include "query/executor.h"
 #include "util/status.h"
 
 namespace gmine::net {
@@ -154,6 +155,16 @@ class Server {
   core::SessionManager* pool_;
   core::Prefetcher* prefetcher_;
   ServerOptions options_;
+
+  /// Shared GQL executor over the pool's store (QUERY op). Const after
+  /// construction; Execute() is thread-safe, so workers share it.
+  std::unique_ptr<query::Executor> executor_;
+
+  // Cumulative QUERY-op counters (a "query" section in STATS).
+  std::atomic<uint64_t> query_count_{0};
+  std::atomic<uint64_t> query_rows_{0};
+  std::atomic<uint64_t> query_pages_scanned_{0};
+  std::atomic<uint64_t> query_pages_pruned_{0};
 
   Socket listener_;
   uint16_t port_ = 0;

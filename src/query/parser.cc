@@ -1,0 +1,552 @@
+#include "query/parser.h"
+
+#include <cctype>
+#include <cmath>
+#include <utility>
+#include <vector>
+
+#include "util/string_util.h"
+
+namespace gmine::query {
+
+namespace {
+
+using ast::CompareOp;
+using ast::Field;
+using ast::Position;
+using ast::Predicate;
+using ast::Statement;
+using ast::Value;
+
+/// Parenthesis/NOT nesting cap: a 64 KiB request line of '(' must fail
+/// cleanly, not exhaust the parser's stack.
+constexpr int kMaxNestingDepth = 64;
+
+struct Token {
+  enum class Kind : uint8_t {
+    kIdent,    // bare word; `lower` holds the case-folded form
+    kInt,
+    kFloat,
+    kString,   // decoded contents in `text`
+    kSymbol,   // one of ( ) { } , = != < <= > >=; spelled in `text`
+    kEnd,
+  };
+  Kind kind = Kind::kEnd;
+  std::string text;    // raw spelling (decoded for strings)
+  std::string lower;   // case-folded spelling (idents only)
+  uint64_t int_value = 0;
+  double float_value = 0.0;
+  Position pos;
+};
+
+std::string Lower(std::string_view s) {
+  std::string out(s);
+  for (char& c : out) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  return out;
+}
+
+Status SyntaxError(Position pos, const std::string& msg) {
+  return Status::InvalidArgument(
+      StrFormat("%u:%u: %s", pos.line, pos.column, msg.c_str()));
+}
+
+/// What a token looks like inside an error message.
+std::string Describe(const Token& tok) {
+  switch (tok.kind) {
+    case Token::Kind::kEnd:
+      return "end of statement";
+    case Token::Kind::kString:
+      return "string";
+    default:
+      return StrFormat("'%s'", tok.text.c_str());
+  }
+}
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view text) : text_(text) {}
+
+  /// Tokenizes the whole input (appending a kEnd sentinel), or fails at
+  /// the first bad byte.
+  Status Run(std::vector<Token>* out) {
+    while (true) {
+      SkipSpace();
+      Token tok;
+      tok.pos = pos_;
+      if (at_ >= text_.size()) {
+        tok.kind = Token::Kind::kEnd;
+        out->push_back(std::move(tok));
+        return Status::OK();
+      }
+      const char c = text_[at_];
+      if (std::isdigit(static_cast<unsigned char>(c))) {
+        GMINE_RETURN_IF_ERROR(LexNumber(&tok));
+      } else if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+        LexIdent(&tok);
+      } else if (c == '"' || c == '\'') {
+        GMINE_RETURN_IF_ERROR(LexString(&tok));
+      } else {
+        GMINE_RETURN_IF_ERROR(LexSymbol(&tok));
+      }
+      out->push_back(std::move(tok));
+    }
+  }
+
+ private:
+  void Advance() {
+    if (text_[at_] == '\n') {
+      ++pos_.line;
+      pos_.column = 1;
+    } else {
+      ++pos_.column;
+    }
+    ++at_;
+  }
+
+  void SkipSpace() {
+    while (at_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[at_]))) {
+      Advance();
+    }
+  }
+
+  Status LexNumber(Token* tok) {
+    const size_t start = at_;
+    while (at_ < text_.size() &&
+           std::isdigit(static_cast<unsigned char>(text_[at_]))) {
+      Advance();
+    }
+    bool is_float = false;
+    if (at_ < text_.size() && text_[at_] == '.') {
+      is_float = true;
+      Advance();
+      if (at_ >= text_.size() ||
+          !std::isdigit(static_cast<unsigned char>(text_[at_]))) {
+        return SyntaxError(pos_, "expected digit after '.'");
+      }
+      while (at_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[at_]))) {
+        Advance();
+      }
+    }
+    if (at_ < text_.size() && (text_[at_] == 'e' || text_[at_] == 'E')) {
+      is_float = true;
+      Advance();
+      if (at_ < text_.size() && (text_[at_] == '+' || text_[at_] == '-')) {
+        Advance();
+      }
+      if (at_ >= text_.size() ||
+          !std::isdigit(static_cast<unsigned char>(text_[at_]))) {
+        return SyntaxError(pos_, "expected digit in exponent");
+      }
+      while (at_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[at_]))) {
+        Advance();
+      }
+    }
+    tok->text.assign(text_.substr(start, at_ - start));
+    if (is_float) {
+      tok->kind = Token::Kind::kFloat;
+      if (!ParseDouble(tok->text, &tok->float_value) ||
+          !std::isfinite(tok->float_value)) {
+        return SyntaxError(tok->pos, StrFormat("float literal '%s' out of "
+                                               "range",
+                                               tok->text.c_str()));
+      }
+    } else {
+      tok->kind = Token::Kind::kInt;
+      if (!ParseUint64(tok->text, &tok->int_value)) {
+        return SyntaxError(tok->pos,
+                           StrFormat("integer literal '%s' out of range",
+                                     tok->text.c_str()));
+      }
+    }
+    return Status::OK();
+  }
+
+  void LexIdent(Token* tok) {
+    const size_t start = at_;
+    while (at_ < text_.size() &&
+           (std::isalnum(static_cast<unsigned char>(text_[at_])) ||
+            text_[at_] == '_')) {
+      Advance();
+    }
+    tok->kind = Token::Kind::kIdent;
+    tok->text.assign(text_.substr(start, at_ - start));
+    tok->lower = Lower(tok->text);
+  }
+
+  Status LexString(Token* tok) {
+    const char quote = text_[at_];
+    Advance();
+    tok->kind = Token::Kind::kString;
+    while (at_ < text_.size()) {
+      const char c = text_[at_];
+      if (c == quote) {
+        Advance();
+        return Status::OK();
+      }
+      if (c == '\n') break;  // strings do not span lines
+      if (c == '\\') {
+        Advance();
+        if (at_ >= text_.size()) break;
+        const char esc = text_[at_];
+        Advance();
+        switch (esc) {
+          case '"': tok->text += '"'; break;
+          case '\'': tok->text += '\''; break;
+          case '\\': tok->text += '\\'; break;
+          case 'n': tok->text += '\n'; break;
+          case 'r': tok->text += '\r'; break;
+          case 't': tok->text += '\t'; break;
+          default:
+            return SyntaxError(tok->pos,
+                               StrFormat("unknown escape '\\%c' in string",
+                                         esc));
+        }
+        continue;
+      }
+      tok->text += c;
+      Advance();
+    }
+    return SyntaxError(tok->pos, "unterminated string");
+  }
+
+  Status LexSymbol(Token* tok) {
+    const char c = text_[at_];
+    tok->kind = Token::Kind::kSymbol;
+    switch (c) {
+      case '(': case ')': case '{': case '}': case ',': case '=':
+        tok->text = c;
+        Advance();
+        return Status::OK();
+      case '!':
+        Advance();
+        if (at_ < text_.size() && text_[at_] == '=') {
+          Advance();
+          tok->text = "!=";
+          return Status::OK();
+        }
+        return SyntaxError(tok->pos, "expected '=' after '!'");
+      case '<':
+      case '>':
+        tok->text = c;
+        Advance();
+        if (at_ < text_.size() && text_[at_] == '=') {
+          Advance();
+          tok->text += '=';
+        }
+        return Status::OK();
+      default:
+        if (std::isprint(static_cast<unsigned char>(c))) {
+          return SyntaxError(tok->pos,
+                             StrFormat("unexpected character '%c'", c));
+        }
+        return SyntaxError(
+            tok->pos, StrFormat("unexpected byte 0x%02x",
+                                static_cast<unsigned char>(c)));
+    }
+  }
+
+  std::string_view text_;
+  size_t at_ = 0;
+  Position pos_;
+};
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  gmine::Result<Statement> Run() {
+    Statement stmt;
+    if (AtKeyword("explain")) {
+      Next();
+      stmt.explain = true;
+    }
+    if (AtKeyword("match")) {
+      GMINE_ASSIGN_OR_RETURN(stmt.node, ParseMatch());
+    } else if (AtKeyword("extract")) {
+      GMINE_ASSIGN_OR_RETURN(stmt.node, ParseExtract());
+    } else if (AtKeyword("summarize")) {
+      GMINE_ASSIGN_OR_RETURN(stmt.node, ParseSummarize());
+    } else {
+      return Expected("MATCH, EXTRACT or SUMMARIZE");
+    }
+    if (Peek().kind != Token::Kind::kEnd) {
+      return Expected("end of statement");
+    }
+    return stmt;
+  }
+
+ private:
+  const Token& Peek() const { return tokens_[at_]; }
+  const Token& Next() { return tokens_[at_++]; }
+
+  bool AtKeyword(std::string_view word) const {
+    return Peek().kind == Token::Kind::kIdent && Peek().lower == word;
+  }
+
+  bool AtSymbol(std::string_view sym) const {
+    return Peek().kind == Token::Kind::kSymbol && Peek().text == sym;
+  }
+
+  Status Expected(const std::string& what) {
+    return SyntaxError(Peek().pos,
+                       StrFormat("expected %s, got %s", what.c_str(),
+                                 Describe(Peek()).c_str()));
+  }
+
+  Status ExpectKeyword(std::string_view word, const char* what) {
+    if (!AtKeyword(word)) return Expected(what);
+    Next();
+    return Status::OK();
+  }
+
+  Status ExpectSymbol(std::string_view sym) {
+    if (!AtSymbol(sym)) {
+      return Expected(StrFormat("'%.*s'", static_cast<int>(sym.size()),
+                                sym.data()));
+    }
+    Next();
+    return Status::OK();
+  }
+
+  gmine::Result<uint64_t> ParseInteger(const char* what) {
+    if (Peek().kind != Token::Kind::kInt) return Expected(what);
+    return Next().int_value;
+  }
+
+  gmine::Result<ast::NodeRef> ParseRef() {
+    ast::NodeRef ref;
+    ref.pos = Peek().pos;
+    if (Peek().kind == Token::Kind::kInt) {
+      ref.id = Next().int_value;
+      return ref;
+    }
+    if (Peek().kind == Token::Kind::kString) {
+      ref.is_label = true;
+      ref.label = Next().text;
+      return ref;
+    }
+    return Expected("node id or quoted label");
+  }
+
+  gmine::Result<Field> ParseField(const char* what) {
+    if (Peek().kind == Token::Kind::kIdent) {
+      const std::string& name = Peek().lower;
+      if (name == "id") { Next(); return Field::kId; }
+      if (name == "label") { Next(); return Field::kLabel; }
+      if (name == "degree") { Next(); return Field::kDegree; }
+      if (name == "pagerank") { Next(); return Field::kPagerank; }
+      if (name == "community") { Next(); return Field::kCommunity; }
+    }
+    return Expected(what);
+  }
+
+  gmine::Result<ast::MatchStatement> ParseMatch() {
+    ast::MatchStatement m;
+    Next();  // MATCH
+    if (AtKeyword("nodes")) {
+      Next();
+      m.source = ast::MatchStatement::Source::kNodes;
+    } else if (AtKeyword("neighbors")) {
+      Next();
+      m.source = ast::MatchStatement::Source::kNeighbors;
+      GMINE_RETURN_IF_ERROR(ExpectSymbol("("));
+      GMINE_ASSIGN_OR_RETURN(m.origin, ParseRef());
+      GMINE_RETURN_IF_ERROR(ExpectSymbol(","));
+      const Position depth_pos = Peek().pos;
+      GMINE_ASSIGN_OR_RETURN(uint64_t depth, ParseInteger("BFS depth"));
+      if (depth == 0 || depth > 0xffffffffull) {
+        return SyntaxError(depth_pos,
+                           "NEIGHBORS depth must be in [1, 2^32)");
+      }
+      m.depth = static_cast<uint32_t>(depth);
+      GMINE_RETURN_IF_ERROR(ExpectSymbol(")"));
+    } else {
+      return Expected("NODES or NEIGHBORS(");
+    }
+    if (AtKeyword("where")) {
+      Next();
+      GMINE_ASSIGN_OR_RETURN(m.where, ParseOr(0));
+    }
+    if (AtKeyword("order")) {
+      Next();
+      GMINE_RETURN_IF_ERROR(ExpectKeyword("by", "BY after ORDER"));
+      while (true) {
+        ast::MatchStatement::OrderKey key;
+        key.pos = Peek().pos;
+        GMINE_ASSIGN_OR_RETURN(key.field, ParseField("ORDER BY field"));
+        if (AtKeyword("asc")) {
+          Next();
+        } else if (AtKeyword("desc")) {
+          Next();
+          key.descending = true;
+        }
+        m.order_by.push_back(key);
+        if (!AtSymbol(",")) break;
+        Next();
+      }
+    }
+    if (AtKeyword("limit")) {
+      Next();
+      m.limit_pos = Peek().pos;
+      GMINE_ASSIGN_OR_RETURN(uint64_t limit, ParseInteger("LIMIT count"));
+      m.limit = limit;
+    }
+    return m;
+  }
+
+  gmine::Result<ast::ExtractStatement> ParseExtract() {
+    ast::ExtractStatement e;
+    Next();  // EXTRACT
+    GMINE_RETURN_IF_ERROR(ExpectKeyword("csg", "CSG after EXTRACT"));
+    GMINE_RETURN_IF_ERROR(ExpectKeyword("from", "FROM after CSG"));
+    GMINE_RETURN_IF_ERROR(ExpectSymbol("{"));
+    while (true) {
+      GMINE_ASSIGN_OR_RETURN(ast::NodeRef ref, ParseRef());
+      e.sources.push_back(std::move(ref));
+      if (AtSymbol(",")) {
+        Next();
+        continue;
+      }
+      break;
+    }
+    GMINE_RETURN_IF_ERROR(ExpectSymbol("}"));
+    if (AtKeyword("budget")) {
+      Next();
+      e.budget_pos = Peek().pos;
+      GMINE_ASSIGN_OR_RETURN(uint64_t budget, ParseInteger("BUDGET count"));
+      e.budget = budget;
+    }
+    return e;
+  }
+
+  gmine::Result<ast::SummarizeStatement> ParseSummarize() {
+    ast::SummarizeStatement s;
+    Next();  // SUMMARIZE
+    GMINE_RETURN_IF_ERROR(ExpectKeyword("node", "NODE after SUMMARIZE"));
+    GMINE_ASSIGN_OR_RETURN(s.node, ParseRef());
+    return s;
+  }
+
+  gmine::Result<std::unique_ptr<Predicate>> ParseOr(int depth) {
+    GMINE_ASSIGN_OR_RETURN(std::unique_ptr<Predicate> lhs, ParseAnd(depth));
+    while (AtKeyword("or")) {
+      const Position pos = Peek().pos;
+      Next();
+      GMINE_ASSIGN_OR_RETURN(std::unique_ptr<Predicate> rhs,
+                             ParseAnd(depth));
+      auto node = std::make_unique<Predicate>();
+      node->kind = Predicate::Kind::kOr;
+      node->pos = pos;
+      node->lhs = std::move(lhs);
+      node->rhs = std::move(rhs);
+      lhs = std::move(node);
+    }
+    return lhs;
+  }
+
+  gmine::Result<std::unique_ptr<Predicate>> ParseAnd(int depth) {
+    GMINE_ASSIGN_OR_RETURN(std::unique_ptr<Predicate> lhs,
+                           ParseUnary(depth));
+    while (AtKeyword("and")) {
+      const Position pos = Peek().pos;
+      Next();
+      GMINE_ASSIGN_OR_RETURN(std::unique_ptr<Predicate> rhs,
+                             ParseUnary(depth));
+      auto node = std::make_unique<Predicate>();
+      node->kind = Predicate::Kind::kAnd;
+      node->pos = pos;
+      node->lhs = std::move(lhs);
+      node->rhs = std::move(rhs);
+      lhs = std::move(node);
+    }
+    return lhs;
+  }
+
+  gmine::Result<std::unique_ptr<Predicate>> ParseUnary(int depth) {
+    if (depth > kMaxNestingDepth) {
+      return SyntaxError(Peek().pos, "expression nested too deeply");
+    }
+    if (AtKeyword("not")) {
+      const Position pos = Peek().pos;
+      Next();
+      GMINE_ASSIGN_OR_RETURN(std::unique_ptr<Predicate> operand,
+                             ParseUnary(depth + 1));
+      auto node = std::make_unique<Predicate>();
+      node->kind = Predicate::Kind::kNot;
+      node->pos = pos;
+      node->lhs = std::move(operand);
+      return node;
+    }
+    if (AtSymbol("(")) {
+      Next();
+      GMINE_ASSIGN_OR_RETURN(std::unique_ptr<Predicate> inner,
+                             ParseOr(depth + 1));
+      GMINE_RETURN_IF_ERROR(ExpectSymbol(")"));
+      return inner;
+    }
+    return ParseComparison();
+  }
+
+  gmine::Result<std::unique_ptr<Predicate>> ParseComparison() {
+    auto node = std::make_unique<Predicate>();
+    node->kind = Predicate::Kind::kCompare;
+    node->pos = Peek().pos;
+    GMINE_ASSIGN_OR_RETURN(
+        node->field,
+        ParseField("a predicate (field, NOT or parenthesis)"));
+    if (AtKeyword("contains")) {
+      Next();
+      node->op = CompareOp::kContains;
+    } else if (AtKeyword("prefix")) {
+      Next();
+      node->op = CompareOp::kPrefix;
+    } else if (Peek().kind == Token::Kind::kSymbol) {
+      const std::string& sym = Peek().text;
+      if (sym == "=") node->op = CompareOp::kEq;
+      else if (sym == "!=") node->op = CompareOp::kNe;
+      else if (sym == "<") node->op = CompareOp::kLt;
+      else if (sym == "<=") node->op = CompareOp::kLe;
+      else if (sym == ">") node->op = CompareOp::kGt;
+      else if (sym == ">=") node->op = CompareOp::kGe;
+      else return Expected("comparison operator");
+      Next();
+    } else {
+      return Expected("comparison operator");
+    }
+    switch (Peek().kind) {
+      case Token::Kind::kInt:
+        node->value.kind = Value::Kind::kInt;
+        node->value.int_value = Next().int_value;
+        break;
+      case Token::Kind::kFloat:
+        node->value.kind = Value::Kind::kFloat;
+        node->value.float_value = Next().float_value;
+        break;
+      case Token::Kind::kString:
+        node->value.kind = Value::Kind::kString;
+        node->value.string_value = Next().text;
+        break;
+      default:
+        return Expected("literal value");
+    }
+    return node;
+  }
+
+  std::vector<Token> tokens_;
+  size_t at_ = 0;
+};
+
+}  // namespace
+
+gmine::Result<ast::Statement> Parse(std::string_view text) {
+  std::vector<Token> tokens;
+  GMINE_RETURN_IF_ERROR(Lexer(text).Run(&tokens));
+  return Parser(std::move(tokens)).Run();
+}
+
+}  // namespace gmine::query

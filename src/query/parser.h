@@ -1,0 +1,46 @@
+// GQL tokenizer + recursive-descent parser (docs/QUERY.md).
+//
+// Grammar (EBNF; keywords and field names case-insensitive):
+//
+//   statement  := ["EXPLAIN"] (match | extract | summarize)
+//   match      := "MATCH" source ["WHERE" or_expr]
+//                 ["ORDER" "BY" key ["ASC"|"DESC"] {"," key ["ASC"|"DESC"]}]
+//                 ["LIMIT" integer]
+//   source     := "NODES" | "NEIGHBORS" "(" ref "," integer ")"
+//   or_expr    := and_expr {"OR" and_expr}
+//   and_expr   := unary {"AND" unary}
+//   unary      := "NOT" unary | "(" or_expr ")" | comparison
+//   comparison := field op value
+//   field      := "id" | "label" | "degree" | "pagerank" | "community"
+//   op         := "=" | "!=" | "<" | "<=" | ">" | ">=" |
+//                 "CONTAINS" | "PREFIX"
+//   value      := integer | float | string
+//   key        := field
+//   extract    := "EXTRACT" "CSG" "FROM" "{" ref {"," ref} "}"
+//                 ["BUDGET" integer]
+//   summarize  := "SUMMARIZE" "NODE" ref
+//   ref        := integer | string
+//
+// Strings are double- or single-quoted with \" \\ \n \r \t escapes.
+// Every parse error carries a 1-based "line:column:" prefix. The parser
+// never reads past the statement: trailing tokens are an error, so a
+// successful parse consumes the whole input.
+
+#ifndef GMINE_QUERY_PARSER_H_
+#define GMINE_QUERY_PARSER_H_
+
+#include <string_view>
+
+#include "query/ast.h"
+#include "util/status.h"
+
+namespace gmine::query {
+
+/// Parses one statement. InvalidArgument with "line:column: ..." on any
+/// syntax error; never crashes or hangs on arbitrary bytes (fuzz-proven
+/// by tests/query_fuzz_test.cc).
+gmine::Result<ast::Statement> Parse(std::string_view text);
+
+}  // namespace gmine::query
+
+#endif  // GMINE_QUERY_PARSER_H_

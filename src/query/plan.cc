@@ -1,0 +1,242 @@
+#include "query/plan.h"
+
+#include <unordered_set>
+#include <utility>
+
+#include "util/string_util.h"
+
+namespace gmine::query {
+
+namespace {
+
+using ast::CompareOp;
+using ast::Field;
+using ast::Position;
+using ast::Predicate;
+using ast::Value;
+
+Status SemanticError(Position pos, const std::string& msg) {
+  return Status::InvalidArgument(
+      StrFormat("%u:%u: %s", pos.line, pos.column, msg.c_str()));
+}
+
+bool IsStringField(Field f) {
+  return f == Field::kLabel || f == Field::kCommunity;
+}
+
+bool IsOrderingOp(CompareOp op) {
+  return op == CompareOp::kLt || op == CompareOp::kLe ||
+         op == CompareOp::kGt || op == CompareOp::kGe;
+}
+
+/// Resolves a node reference against labels/tree. NotFound (with the
+/// ref's position) when it names nothing.
+gmine::Result<graph::NodeId> ResolveRef(const ast::NodeRef& ref,
+                                        const PlanContext& context) {
+  if (ref.is_label) {
+    const graph::NodeId id = context.labels->Find(ref.label);
+    if (id == graph::kInvalidNode) {
+      return Status::NotFound(
+          StrFormat("%u:%u: unknown vertex \"%s\"", ref.pos.line,
+                    ref.pos.column, ref.label.c_str()));
+    }
+    return id;
+  }
+  if (ref.id > 0xffffffffull ||
+      context.tree->LeafOf(static_cast<graph::NodeId>(ref.id)) ==
+          gtree::kInvalidTreeNode) {
+    return Status::NotFound(
+        StrFormat("%u:%u: unknown vertex %llu", ref.pos.line,
+                  ref.pos.column,
+                  static_cast<unsigned long long>(ref.id)));
+  }
+  return static_cast<graph::NodeId>(ref.id);
+}
+
+/// Type-checks one comparison and every nested one; accumulates whether
+/// the tree mentions pagerank.
+Status CheckPredicate(const Predicate& p, bool* needs_pagerank) {
+  switch (p.kind) {
+    case Predicate::Kind::kNot:
+      return CheckPredicate(*p.lhs, needs_pagerank);
+    case Predicate::Kind::kAnd:
+    case Predicate::Kind::kOr:
+      GMINE_RETURN_IF_ERROR(CheckPredicate(*p.lhs, needs_pagerank));
+      return CheckPredicate(*p.rhs, needs_pagerank);
+    case Predicate::Kind::kCompare:
+      break;
+  }
+  const char* field = ast::FieldName(p.field);
+  if (IsStringField(p.field)) {
+    if (IsOrderingOp(p.op)) {
+      return SemanticError(
+          p.pos, StrFormat("operator '%s' not valid for string field "
+                           "'%s' (use =, !=, CONTAINS or PREFIX)",
+                           ast::CompareOpName(p.op), field));
+    }
+    if (p.value.kind != Value::Kind::kString) {
+      return SemanticError(
+          p.pos, StrFormat("field '%s' requires a string value", field));
+    }
+    return Status::OK();
+  }
+  // Numeric fields: id, degree, pagerank.
+  if (p.op == CompareOp::kContains || p.op == CompareOp::kPrefix) {
+    return SemanticError(
+        p.pos, StrFormat("operator '%s' requires a string field, not "
+                         "'%s'",
+                         ast::CompareOpName(p.op), field));
+  }
+  if (p.value.kind == Value::Kind::kString) {
+    return SemanticError(
+        p.pos, StrFormat("field '%s' requires a numeric value", field));
+  }
+  if (p.field == Field::kPagerank) {
+    *needs_pagerank = true;
+  } else if (p.value.kind == Value::Kind::kFloat) {
+    return SemanticError(
+        p.pos,
+        StrFormat("field '%s' requires an integer value", field));
+  }
+  return Status::OK();
+}
+
+std::string IdList(const std::vector<graph::NodeId>& ids) {
+  std::string out;
+  for (size_t i = 0; i < ids.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += StrFormat("%u", ids[i]);
+  }
+  return out;
+}
+
+gmine::Result<MatchPlan> LowerMatch(const ast::MatchStatement& m,
+                                    const PlanContext& context,
+                                    bool enable_pushdown,
+                                    std::vector<std::string>* description) {
+  MatchPlan plan;
+  plan.source = m.source;
+  plan.where = m.where.get();
+  plan.order_by = m.order_by;
+  if (m.where != nullptr) {
+    GMINE_RETURN_IF_ERROR(CheckPredicate(*m.where, &plan.needs_pagerank));
+  }
+  for (const auto& key : m.order_by) {
+    if (key.field == Field::kPagerank) plan.needs_pagerank = true;
+  }
+  if (m.limit.has_value()) {
+    if (*m.limit == 0) {
+      return SemanticError(m.limit_pos, "LIMIT must be at least 1");
+    }
+    plan.limit = m.limit;
+  }
+  if (m.source == ast::MatchStatement::Source::kNeighbors) {
+    GMINE_ASSIGN_OR_RETURN(plan.origin, ResolveRef(m.origin, context));
+    plan.depth = m.depth;
+    description->push_back(
+        StrFormat("scan: leaf page of node %u (BfsDistances depth=%u)",
+                  plan.origin, plan.depth));
+  } else {
+    plan.pushdown = enable_pushdown;
+    description->push_back(
+        StrFormat("scan: all leaf pages (pushdown=%s)",
+                  plan.pushdown ? "on" : "off"));
+  }
+  if (plan.where != nullptr) {
+    description->push_back("filter: " + ast::PrintPredicate(*plan.where));
+  }
+  if (plan.needs_pagerank) {
+    description->push_back("kernel: ComputePageRank per scanned page");
+  }
+  if (!plan.order_by.empty()) {
+    std::string line = "order by: ";
+    for (size_t i = 0; i < plan.order_by.size(); ++i) {
+      if (i > 0) line += ", ";
+      line += StrFormat("%s %s", ast::FieldName(plan.order_by[i].field),
+                        plan.order_by[i].descending ? "DESC" : "ASC");
+    }
+    description->push_back(std::move(line));
+  }
+  if (plan.limit.has_value()) {
+    description->push_back(StrFormat(
+        "limit: %llu", static_cast<unsigned long long>(*plan.limit)));
+  }
+  return plan;
+}
+
+gmine::Result<ExtractPlan> LowerExtract(
+    const ast::ExtractStatement& e, const PlanContext& context,
+    std::vector<std::string>* description) {
+  ExtractPlan plan;
+  std::unordered_set<graph::NodeId> seen;
+  for (const auto& ref : e.sources) {
+    GMINE_ASSIGN_OR_RETURN(graph::NodeId id, ResolveRef(ref, context));
+    if (!seen.insert(id).second) {
+      return SemanticError(ref.pos,
+                           StrFormat("duplicate source node %u", id));
+    }
+    plan.sources.push_back(id);
+  }
+  if (e.budget.has_value()) {
+    if (*e.budget == 0) {
+      return SemanticError(e.budget_pos, "BUDGET must be at least 1");
+    }
+    if (*e.budget > 0xffffffffull) {
+      return SemanticError(e.budget_pos, "BUDGET must fit in 32 bits");
+    }
+    if (*e.budget < plan.sources.size()) {
+      return SemanticError(
+          e.budget_pos,
+          StrFormat("BUDGET %llu smaller than the number of sources "
+                    "(%zu)",
+                    static_cast<unsigned long long>(*e.budget),
+                    plan.sources.size()));
+    }
+    plan.budget = static_cast<uint32_t>(*e.budget);
+  }
+  description->push_back(
+      "extract: connection subgraph over the full graph "
+      "(RWR + goodness + path DP)");
+  description->push_back("sources: " + IdList(plan.sources));
+  description->push_back(StrFormat("budget: %u", plan.budget));
+  return plan;
+}
+
+gmine::Result<SummarizePlan> LowerSummarize(
+    const ast::SummarizeStatement& s, const PlanContext& context,
+    std::vector<std::string>* description) {
+  SummarizePlan plan;
+  GMINE_ASSIGN_OR_RETURN(plan.node, ResolveRef(s.node, context));
+  description->push_back(StrFormat(
+      "summarize: node %u (leaf page + tree path)", plan.node));
+  return plan;
+}
+
+}  // namespace
+
+gmine::Result<Plan> PlanStatement(ast::Statement stmt,
+                                  const PlanContext& context,
+                                  bool enable_pushdown) {
+  Plan plan;
+  plan.explain = stmt.explain;
+  // Move the statement in first: MatchPlan::where must borrow from the
+  // predicate tree the *plan* owns, not the caller's argument.
+  plan.statement = std::move(stmt);
+  if (const ast::MatchStatement* m = plan.statement.match()) {
+    GMINE_ASSIGN_OR_RETURN(
+        plan.op,
+        LowerMatch(*m, context, enable_pushdown, &plan.description));
+  } else if (const ast::ExtractStatement* e = plan.statement.extract()) {
+    GMINE_ASSIGN_OR_RETURN(plan.op,
+                           LowerExtract(*e, context, &plan.description));
+  } else if (const ast::SummarizeStatement* s =
+                 plan.statement.summarize()) {
+    GMINE_ASSIGN_OR_RETURN(
+        plan.op, LowerSummarize(*s, context, &plan.description));
+  } else {
+    return Status::Internal("unpopulated statement");
+  }
+  return plan;
+}
+
+}  // namespace gmine::query

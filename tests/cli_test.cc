@@ -163,6 +163,8 @@ TEST(CliTest, ServeMultiplexesScriptAcrossSessions) {
                                        "0 parent\n"
                                        "1 locate Jiawei Han\n"
                                        "1 load\n"
+                                       "1 query MATCH NODES WHERE id < 3 "
+                                       "ORDER BY id ASC\n"
                                        "2 connectivity\n"
                                        "2 child 1\n"
                                        "2 back\n",
@@ -178,6 +180,9 @@ TEST(CliTest, ServeMultiplexesScriptAcrossSessions) {
   EXPECT_NE(out.find("[s0] child -> focus="), std::string::npos) << out;
   EXPECT_NE(out.find("[s0] load -> "), std::string::npos);
   EXPECT_NE(out.find("[s1] locate -> node "), std::string::npos);
+  EXPECT_NE(out.find("[s1] query -> rows=3 pages_scanned="),
+            std::string::npos)
+      << out;
   EXPECT_NE(out.find("[s2] connectivity -> "), std::string::npos);
   EXPECT_LT(out.find("[s0]"), out.find("[s1]"));
   EXPECT_LT(out.find("[s1]"), out.find("[s2]"));
@@ -235,7 +240,7 @@ TEST(CliTest, ServeHelpAndQuitOps) {
                   .ok())
       << out;
   EXPECT_NE(out.find("[s0] help -> ops: root focus child parent back "
-                     "locate load connectivity help quit"),
+                     "locate load connectivity query help quit"),
             std::string::npos)
       << out;
   EXPECT_NE(out.find("[s0] quit -> done"), std::string::npos);
@@ -398,6 +403,78 @@ TEST(CliTest, QueryMissingLabelFails) {
   EXPECT_TRUE(st.IsNotFound());
   for (const std::string& p : {prefix + ".edges", prefix + ".labels",
                                store}) {
+    std::remove(p.c_str());
+  }
+}
+
+TEST(CliTest, QueryGoldenSession) {
+  // The GQL tour transcript is golden: byte-exact against
+  // tests/golden/query_session.golden on the deterministic seed-7 demo
+  // store (docs/QUERY.md walks through the same session).
+  std::string prefix = Tmp("cli_gql");
+  std::string store = Tmp("cli_gql.gtree");
+  std::string out;
+  ASSERT_TRUE(RunCli({"generate", "--out", prefix, "--levels", "2",
+                      "--fanout", "3", "--leaf-size", "30", "--seed", "7"},
+                     &out)
+                  .ok());
+  ASSERT_TRUE(RunCli({"build", "--graph", prefix + ".edges", "--labels",
+                      prefix + ".labels", "--out", store, "--levels", "2",
+                      "--fanout", "3"},
+                     &out)
+                  .ok());
+  const std::string golden_dir =
+      std::string(GMINE_TEST_SOURCE_DIR) + "/tests/golden";
+  out.clear();
+  ASSERT_TRUE(RunCli({"query", store, "--script",
+                      golden_dir + "/query_session.script"},
+                     &out)
+                  .ok())
+      << out;
+  auto golden =
+      graph::ReadFileToString(golden_dir + "/query_session.golden");
+  ASSERT_TRUE(golden.ok()) << golden.status().ToString();
+  EXPECT_EQ(out, golden.value());
+
+  // Pushdown off: same rows, more pages touched (the footer reports
+  // the scan counters).
+  out.clear();
+  ASSERT_TRUE(RunCli({"query", store,
+                      "MATCH NODES WHERE label PREFIX \"Jiawei\""},
+                     &out)
+                  .ok());
+  EXPECT_NE(out.find("139|Jiawei Han|s008|25"), std::string::npos) << out;
+  EXPECT_NE(out.find("pages scanned=1/9 pruned=8"), std::string::npos)
+      << out;
+  out.clear();
+  ASSERT_TRUE(RunCli({"query", store, "--pushdown", "off",
+                      "MATCH NODES WHERE label PREFIX \"Jiawei\""},
+                     &out)
+                  .ok());
+  EXPECT_NE(out.find("139|Jiawei Han|s008|25"), std::string::npos) << out;
+  EXPECT_NE(out.find("pages scanned=9/9 pruned=0"), std::string::npos)
+      << out;
+
+  // Negative paths surface as error Statuses (nonzero process exit)
+  // when the statement is given directly.
+  out.clear();
+  EXPECT_TRUE(RunCli({"query", store, "MATCH NODES WHERE bogus = 1"},
+                     &out)
+                  .IsInvalidArgument());
+  EXPECT_TRUE(
+      RunCli({"query", store, "MATCH NODES LIMIT 0"}, &out)
+          .IsInvalidArgument());
+  EXPECT_TRUE(RunCli({"query", store, "SUMMARIZE NODE 999999"}, &out)
+                  .IsNotFound());
+  EXPECT_TRUE(RunCli({"query", store, "--pushdown", "sideways",
+                      "MATCH NODES"},
+                     &out)
+                  .IsInvalidArgument());
+  EXPECT_TRUE(RunCli({"query", store, "MATCH NODES", "--script", "x"},
+                     &out)
+                  .IsInvalidArgument());
+  for (const std::string& p :
+       {prefix + ".edges", prefix + ".labels", store}) {
     std::remove(p.c_str());
   }
 }

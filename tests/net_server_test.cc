@@ -17,6 +17,7 @@
 #include "core/prefetcher.h"
 #include "core/session_manager.h"
 #include "gen/dblp.h"
+#include "graph/graph_io.h"
 #include "gtree/builder.h"
 #include "net/client.h"
 
@@ -217,6 +218,115 @@ TEST(NetServerTest, FourConcurrentClientsDeterministicTranscripts) {
   EXPECT_EQ(stats.closed, 4u);
   EXPECT_EQ(stats.requests, 20u);
   EXPECT_GT(f.store->stats().shared_hits, 0u);
+}
+
+/// Full-fidelity transcript of one connection (request echo, response
+/// head, body) — what the query goldens compare byte-for-byte.
+std::string DriveQueryClient(uint16_t port,
+                             const std::vector<std::string>& requests) {
+  Client client;
+  if (!client.Connect("127.0.0.1", port).ok()) return "<connect failed>";
+  std::string transcript;
+  for (const std::string& r : requests) {
+    transcript += "> " + r + "\n";
+    auto response = client.Roundtrip(r);
+    if (!response.ok()) {
+      transcript += "!" + response.status().ToString() + "\n";
+      break;
+    }
+    if (response.value().ok) {
+      transcript += "< OK " + response.value().text + "\n";
+      if (response.value().has_body) {
+        transcript += response.value().body + "\n";
+      }
+    } else {
+      transcript += "< ERR " + response.value().code + " " +
+                    response.value().text + "\n";
+    }
+  }
+  client.Close();
+  return transcript;
+}
+
+TEST(NetServerTest, QueryOpGoldenTranscripts) {
+  // Four concurrent clients running GQL over the wire: per-client
+  // transcripts (response heads + JSON result bodies) are golden.
+  // Client d interleaves every negative path — syntax error, LIMIT 0,
+  // unknown vertex — and keeps getting served: ERRs never poison the
+  // connection. Deterministic-output statements only (no float
+  // columns; see docs/QUERY.md).
+  ServerFixture f = MakeFixture("net_query");
+  SessionManager pool(f.store.get());
+  Server server(&pool);
+  ASSERT_TRUE(server.Start().ok());
+
+  const std::vector<std::vector<std::string>> scripts = {
+      {"query MATCH NODES WHERE degree > 8 ORDER BY degree DESC, id ASC "
+       "LIMIT 5",
+       "ping",
+       "query MATCH NODES WHERE id < 3 ORDER BY id ASC"},
+      {"query MATCH NEIGHBORS(0, 1) ORDER BY id ASC",
+       "query MATCH NODES WHERE label PREFIX \"Jiawei\""},
+      {"query SUMMARIZE NODE 10",
+       "query EXPLAIN MATCH NODES WHERE degree > 5 ORDER BY pagerank "
+       "DESC LIMIT 20"},
+      {"query MATCH NODES WHERE bogus = 1",
+       "query MATCH NODES WHERE id = 17 OR id = 23",
+       "query MATCH NODES LIMIT 0",
+       "query SUMMARIZE NODE 999999",
+       "query",
+       "query MATCH NODES WHERE community = \"s003\" ORDER BY id ASC "
+       "LIMIT 4"},
+  };
+  std::vector<std::string> transcripts(scripts.size());
+  std::vector<std::thread> threads;
+  threads.reserve(scripts.size());
+  for (size_t i = 0; i < scripts.size(); ++i) {
+    threads.emplace_back([&, i] {
+      transcripts[i] = DriveQueryClient(server.port(), scripts[i]);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  server.Stop();
+
+  const std::string golden_dir =
+      std::string(GMINE_TEST_SOURCE_DIR) + "/tests/golden";
+  const char* names[] = {"a", "b", "c", "d"};
+  for (size_t i = 0; i < transcripts.size(); ++i) {
+    const std::string path =
+        golden_dir + "/query_net_" + names[i] + ".golden";
+    auto golden = graph::ReadFileToString(path);
+    ASSERT_TRUE(golden.ok())
+        << path << ": " << golden.status().ToString()
+        << "\nactual transcript:\n" << transcripts[i];
+    EXPECT_EQ(transcripts[i], golden.value()) << path;
+  }
+}
+
+TEST(NetServerTest, QueryOpJsonFramingAndStats) {
+  ServerFixture f = MakeFixture("net_query_json");
+  SessionManager pool(f.store.get());
+  Server server(&pool);
+  ASSERT_TRUE(server.Start().ok());
+
+  Client client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port()).ok());
+  // JSON-framed query: the result body is embedded, escaped, in the
+  // single response line.
+  auto r = client.Roundtrip(
+      "{\"op\":\"query\",\"arg\":\"MATCH NODES WHERE id < 2\"}");
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r.value().json);
+  EXPECT_NE(r.value().text.find("\"ok\":true"), std::string::npos);
+  EXPECT_NE(r.value().text.find("\\\"columns\\\""), std::string::npos);
+  // The STATS line grows a query section with cumulative counters.
+  r = client.Roundtrip("stats");
+  ASSERT_TRUE(r.ok());
+  EXPECT_NE(r.value().text.find("query count=1 rows=2"),
+            std::string::npos)
+      << r.value().text;
+  client.Close();
+  server.Stop();
 }
 
 TEST(NetServerTest, StatsReportPerConnectionCounts) {

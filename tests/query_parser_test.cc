@@ -1,0 +1,271 @@
+// GQL parser tests (docs/QUERY.md): the canonical-form round-trip
+// property — Parse(Print(Parse(s))) is structurally Equal to Parse(s) —
+// plus line/column-accurate error reporting for every construct's
+// failure path. The fuzz sweep lives in query_fuzz_test.cc; this file
+// pins down the deliberate cases.
+
+#include "query/parser.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "query/ast.h"
+
+namespace gmine::query {
+namespace {
+
+/// Parses `text`, expecting success.
+ast::Statement MustParse(const std::string& text) {
+  auto result = Parse(text);
+  EXPECT_TRUE(result.ok()) << text << " -> " << result.status().ToString();
+  return std::move(result).value();
+}
+
+/// The round-trip property on one input.
+void CheckRoundTrip(const std::string& text) {
+  const ast::Statement first = MustParse(text);
+  const std::string printed = ast::Print(first);
+  auto second = Parse(printed);
+  ASSERT_TRUE(second.ok()) << "canonical form failed to re-parse: '"
+                           << printed << "' from '" << text
+                           << "': " << second.status().ToString();
+  EXPECT_TRUE(ast::Equal(first, second.value()))
+      << "round-trip changed the tree: '" << text << "' -> '" << printed
+      << "'";
+  // The canonical form is a fixed point: printing again is identical.
+  EXPECT_EQ(printed, ast::Print(second.value()));
+}
+
+TEST(QueryParserTest, RoundTripsEveryConstruct) {
+  const std::vector<std::string> statements = {
+      "MATCH NODES",
+      "MATCH NODES LIMIT 5",
+      "MATCH NODES WHERE degree > 5",
+      "MATCH NODES WHERE id = 0",
+      "MATCH NODES WHERE label = \"Jiawei Han\"",
+      "MATCH NODES WHERE label CONTAINS \"Han\"",
+      "MATCH NODES WHERE label PREFIX \"J\"",
+      "MATCH NODES WHERE community != \"s000\"",
+      "MATCH NODES WHERE pagerank >= 0.25",
+      "MATCH NODES WHERE pagerank < 1e-3",
+      "MATCH NODES WHERE degree > 2 AND degree < 9",
+      "MATCH NODES WHERE degree > 2 OR id <= 4 AND NOT label = \"x\"",
+      "MATCH NODES WHERE (degree > 2 OR id <= 4) AND NOT label = \"x\"",
+      "MATCH NODES WHERE NOT (degree > 2 OR degree < 1)",
+      "MATCH NODES WHERE NOT NOT degree = 3",
+      "MATCH NODES ORDER BY degree DESC",
+      "MATCH NODES ORDER BY degree DESC, id ASC LIMIT 3",
+      "MATCH NODES ORDER BY pagerank DESC LIMIT 20",
+      "MATCH NEIGHBORS(7, 1)",
+      "MATCH NEIGHBORS(7, 2) WHERE degree > 5 ORDER BY pagerank DESC "
+      "LIMIT 20",
+      "MATCH NEIGHBORS(\"Jiawei Han\", 3) LIMIT 10",
+      "EXTRACT CSG FROM {1, 2}",
+      "EXTRACT CSG FROM {1, 2, 3} BUDGET 30",
+      "EXTRACT CSG FROM {\"a\", 9} BUDGET 12",
+      "SUMMARIZE NODE 4",
+      "SUMMARIZE NODE \"Jiawei Han\"",
+      "EXPLAIN MATCH NODES WHERE degree > 5 LIMIT 2",
+      "EXPLAIN EXTRACT CSG FROM {1} BUDGET 8",
+      "EXPLAIN SUMMARIZE NODE 0",
+  };
+  for (const std::string& s : statements) CheckRoundTrip(s);
+}
+
+TEST(QueryParserTest, RoundTripsSurfaceVariations) {
+  // Non-canonical spellings normalize without changing the tree.
+  const struct {
+    const char* variant;
+    const char* canonical;
+  } cases[] = {
+      {"match nodes where degree > 5", "MATCH NODES WHERE degree > 5"},
+      {"MaTcH nOdEs LiMiT 5", "MATCH NODES LIMIT 5"},
+      {"MATCH NODES ORDER BY id", "MATCH NODES ORDER BY id ASC"},
+      {"MATCH NODES WHERE ((degree > 5))", "MATCH NODES WHERE degree > 5"},
+      {"MATCH NODES WHERE label = 'single'",
+       "MATCH NODES WHERE label = \"single\""},
+      {"MATCH\n  NODES\n  LIMIT 2", "MATCH NODES LIMIT 2"},
+      {"EXTRACT CSG FROM {5}", "EXTRACT CSG FROM {5}"},
+  };
+  for (const auto& c : cases) {
+    const ast::Statement stmt = MustParse(c.variant);
+    EXPECT_EQ(ast::Print(stmt), c.canonical) << c.variant;
+    CheckRoundTrip(c.variant);
+  }
+}
+
+TEST(QueryParserTest, PrecedenceBuildsLeftLeaningTrees) {
+  // a OR b AND c == a OR (b AND c); AND binds tighter.
+  const ast::Statement s =
+      MustParse("MATCH NODES WHERE id = 1 OR id = 2 AND id = 3");
+  const ast::Predicate* root = s.match()->where.get();
+  ASSERT_NE(root, nullptr);
+  EXPECT_EQ(root->kind, ast::Predicate::Kind::kOr);
+  EXPECT_EQ(root->lhs->kind, ast::Predicate::Kind::kCompare);
+  EXPECT_EQ(root->rhs->kind, ast::Predicate::Kind::kAnd);
+
+  // Chains associate left: a AND b AND c == (a AND b) AND c.
+  const ast::Statement c =
+      MustParse("MATCH NODES WHERE id = 1 AND id = 2 AND id = 3");
+  const ast::Predicate* croot = c.match()->where.get();
+  EXPECT_EQ(croot->kind, ast::Predicate::Kind::kAnd);
+  EXPECT_EQ(croot->lhs->kind, ast::Predicate::Kind::kAnd);
+
+  // Explicit right-nesting survives the round trip (printed parens).
+  CheckRoundTrip("MATCH NODES WHERE id = 1 AND (id = 2 AND id = 3)");
+  const ast::Statement r =
+      MustParse("MATCH NODES WHERE id = 1 AND (id = 2 AND id = 3)");
+  EXPECT_EQ(ast::Print(r),
+            "MATCH NODES WHERE id = 1 AND (id = 2 AND id = 3)");
+}
+
+TEST(QueryParserTest, FloatLiteralsRoundTripBitForBit) {
+  for (const char* lit :
+       {"0.1", "0.25", "3.14159265358979", "1e10", "2.5E-7", "123.456"}) {
+    CheckRoundTrip(std::string("MATCH NODES WHERE pagerank > ") + lit);
+  }
+}
+
+TEST(QueryParserTest, StringEscapesRoundTrip) {
+  CheckRoundTrip("MATCH NODES WHERE label = \"tab\\there\"");
+  CheckRoundTrip("MATCH NODES WHERE label = \"quote\\\"d\"");
+  CheckRoundTrip("MATCH NODES WHERE label = \"back\\\\slash\"");
+  const ast::Statement s =
+      MustParse("MATCH NODES WHERE label = \"a\\n\\r\\t\\\"\\\\b\"");
+  EXPECT_EQ(s.match()->where->value.string_value, "a\n\r\t\"\\b");
+}
+
+/// Asserts that Parse fails with a message starting "line:column:" and
+/// containing `fragment`.
+void ExpectError(const std::string& text, const char* prefix,
+                 const char* fragment) {
+  auto result = Parse(text);
+  ASSERT_FALSE(result.ok()) << "accepted: " << text;
+  const std::string msg = result.status().message();
+  EXPECT_EQ(msg.rfind(prefix, 0), 0u)
+      << text << " -> '" << msg << "' (wanted prefix '" << prefix << "')";
+  EXPECT_NE(msg.find(fragment), std::string::npos)
+      << text << " -> '" << msg << "' (wanted '" << fragment << "')";
+}
+
+TEST(QueryParserTest, ErrorsCarryLineAndColumn) {
+  // Statement head.
+  ExpectError("", "1:1:", "expected MATCH, EXTRACT or SUMMARIZE");
+  ExpectError("FROB NODES", "1:1:", "expected MATCH, EXTRACT or SUMMARIZE");
+  ExpectError("EXPLAIN", "1:8:", "expected MATCH, EXTRACT or SUMMARIZE");
+  // MATCH source.
+  ExpectError("MATCH", "1:6:", "expected NODES or NEIGHBORS(");
+  ExpectError("MATCH EDGES", "1:7:", "expected NODES or NEIGHBORS(");
+  ExpectError("MATCH NEIGHBORS 7", "1:17:", "expected '('");
+  ExpectError("MATCH NEIGHBORS(x, 1)", "1:17:",
+              "expected node id or quoted label");
+  ExpectError("MATCH NEIGHBORS(7 1)", "1:19:", "expected ','");
+  ExpectError("MATCH NEIGHBORS(7, x)", "1:20:", "expected BFS depth");
+  ExpectError("MATCH NEIGHBORS(7, 0)", "1:20:",
+              "NEIGHBORS depth must be in [1, 2^32)");
+  ExpectError("MATCH NEIGHBORS(7, 4294967296)", "1:20:",
+              "NEIGHBORS depth must be in [1, 2^32)");
+  ExpectError("MATCH NEIGHBORS(7, 2", "1:21:", "expected ')'");
+  // WHERE.
+  ExpectError("MATCH NODES WHERE", "1:18:", "expected a predicate");
+  ExpectError("MATCH NODES WHERE bogus = 1", "1:19:",
+              "expected a predicate (field, NOT or parenthesis)");
+  ExpectError("MATCH NODES WHERE degree", "1:25:",
+              "expected comparison operator");
+  ExpectError("MATCH NODES WHERE degree ~ 1", "1:26:",
+              "unexpected character '~'");
+  ExpectError("MATCH NODES WHERE degree >", "1:27:",
+              "expected literal value");
+  ExpectError("MATCH NODES WHERE degree > AND", "1:28:",
+              "expected literal value");
+  ExpectError("MATCH NODES WHERE (degree > 1", "1:30:", "expected ')'");
+  ExpectError("MATCH NODES WHERE NOT", "1:22:", "expected a predicate");
+  // ORDER BY / LIMIT.
+  ExpectError("MATCH NODES ORDER degree", "1:19:", "expected BY after ORDER");
+  ExpectError("MATCH NODES ORDER BY", "1:21:", "expected ORDER BY field");
+  ExpectError("MATCH NODES ORDER BY id,", "1:25:",
+              "expected ORDER BY field");
+  ExpectError("MATCH NODES LIMIT", "1:18:", "expected LIMIT count");
+  ExpectError("MATCH NODES LIMIT x", "1:19:", "expected LIMIT count");
+  // EXTRACT.
+  ExpectError("EXTRACT", "1:8:", "expected CSG after EXTRACT");
+  ExpectError("EXTRACT CSG", "1:12:", "expected FROM after CSG");
+  ExpectError("EXTRACT CSG FROM", "1:17:", "expected '{'");
+  ExpectError("EXTRACT CSG FROM {}", "1:19:",
+              "expected node id or quoted label");
+  ExpectError("EXTRACT CSG FROM {1,}", "1:21:",
+              "expected node id or quoted label");
+  ExpectError("EXTRACT CSG FROM {1 2}", "1:21:", "expected '}'");
+  ExpectError("EXTRACT CSG FROM {1} BUDGET", "1:28:",
+              "expected BUDGET count");
+  // SUMMARIZE.
+  ExpectError("SUMMARIZE", "1:10:", "expected NODE after SUMMARIZE");
+  ExpectError("SUMMARIZE NODE", "1:15:",
+              "expected node id or quoted label");
+  // Trailing garbage.
+  ExpectError("MATCH NODES LIMIT 5 extra", "1:21:",
+              "expected end of statement");
+  ExpectError("SUMMARIZE NODE 1 2", "1:18:", "expected end of statement");
+}
+
+TEST(QueryParserTest, LexerErrorsCarryLineAndColumn) {
+  ExpectError("MATCH NODES WHERE label = \"open", "1:27:",
+              "unterminated string");
+  ExpectError("MATCH NODES WHERE label = \"bad\\q\"", "1:27:",
+              "unknown escape '\\q' in string");
+  ExpectError("MATCH NODES WHERE pagerank > 1.", "1:32:",
+              "expected digit after '.'");
+  ExpectError("MATCH NODES WHERE pagerank > 1e", "1:32:",
+              "expected digit in exponent");
+  ExpectError("MATCH NODES WHERE pagerank > 1e99999", "1:30:",
+              "float literal '1e99999' out of range");
+  ExpectError("MATCH NODES WHERE id = 99999999999999999999", "1:24:",
+              "integer literal '99999999999999999999' out of range");
+  ExpectError("MATCH NODES WHERE degree ! 1", "1:26:",
+              "expected '=' after '!'");
+  ExpectError("MATCH NODES WHERE id = #", "1:24:",
+              "unexpected character '#'");
+  ExpectError(std::string("MATCH NODES WHERE id = ") + '\x01', "1:24:",
+              "unexpected byte 0x01");
+}
+
+TEST(QueryParserTest, MultiLinePositionsCountLines) {
+  ExpectError("MATCH NODES\nWHERE bogus = 1", "2:7:",
+              "expected a predicate");
+  ExpectError("MATCH\nNODES\nLIMIT\nx", "4:1:", "expected LIMIT count");
+  // A string may not span lines; the error points at the opening quote.
+  ExpectError("MATCH NODES WHERE label = \"a\nb\"", "1:27:",
+              "unterminated string");
+}
+
+TEST(QueryParserTest, DeepNestingFailsCleanly) {
+  // Parenthesis mountain: over the cap -> clean error, not a stack
+  // overflow (the fuzz battery feeds 64 KiB of these).
+  std::string deep = "MATCH NODES WHERE ";
+  for (int i = 0; i < 4000; ++i) deep += '(';
+  deep += "id = 1";
+  for (int i = 0; i < 4000; ++i) deep += ')';
+  auto result = Parse(deep);
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("expression nested too deeply"),
+            std::string::npos);
+
+  // NOT chains hit the same cap.
+  std::string nots = "MATCH NODES WHERE ";
+  for (int i = 0; i < 4000; ++i) nots += "NOT ";
+  nots += "id = 1";
+  EXPECT_FALSE(Parse(nots).ok());
+
+  // Just under the cap still parses.
+  std::string ok = "MATCH NODES WHERE ";
+  for (int i = 0; i < 60; ++i) ok += '(';
+  ok += "id = 1";
+  for (int i = 0; i < 60; ++i) ok += ')';
+  EXPECT_TRUE(Parse(ok).ok());
+  CheckRoundTrip(ok);
+}
+
+}  // namespace
+}  // namespace gmine::query

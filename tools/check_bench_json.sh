@@ -15,6 +15,9 @@
 #   * the wal_group_commit sweep carries edits_per_sec per entry and
 #     some depth >= 8 sustains >= 5x the depth-1 throughput — the
 #     group-commit amortization gate (docs/WAL.md);
+#   * the query_pushdown sweep carries pages_scanned / pages_total /
+#     speedup_vs_full per entry, with pages_scanned strictly less than
+#     pages_total — the pushdown pruning gate (docs/QUERY.md);
 #   * host_cpus is recorded (a perf number without its core count is
 #     unreproducible); on a 1-core host, thread sweeps whose
 #     speedup_auto_vs_serial < 1 are WARNED about loudly instead of
@@ -49,6 +52,7 @@ required = [
     "gtree_edit_full",
     "buffer_pool_navigate",
     "wal_group_commit",
+    "query_pushdown",
 ]
 
 try:
@@ -105,6 +109,24 @@ for name, sweep in kernels.items():
             if not isinstance(eps, (int, float)) or not math.isfinite(eps) \
                     or eps <= 0:
                 fail.append(f"{name}/{col}: bad edits_per_sec {eps!r}")
+        if name == "query_pushdown":
+            scanned = entry.get("pages_scanned")
+            total = entry.get("pages_total")
+            speedup = entry.get("speedup_vs_full")
+            ok_nums = all(
+                isinstance(v, (int, float)) and math.isfinite(v)
+                for v in (scanned, total, speedup))
+            if not ok_nums or scanned < 1 or total < 1 or speedup <= 0:
+                fail.append(f"{name}/{col}: bad pushdown counters "
+                            f"scanned={scanned!r} total={total!r} "
+                            f"speedup={speedup!r}")
+            elif scanned >= total:
+                # The pushdown pruning gate: a selective predicate must
+                # skip at least one page, or pruning has regressed into
+                # a full scan (docs/QUERY.md).
+                fail.append(f"{name}/{col}: pages_scanned {scanned} is "
+                            f"not < pages_total {total} — pushdown "
+                            "pruned nothing")
     if len(numeric_cols) < 2:
         fail.append(f"{name}: needs >= 2 numeric columns, has {numeric_cols}")
     elif len(set(numeric_cols)) != len(numeric_cols):

@@ -71,6 +71,7 @@ run_sweep bench_server 'BM_ServerNavigate' "$TMP_DIR/server.json"
 run_sweep bench_edits 'BM_GTreeEdit(Incremental|FullRebuild)' "$TMP_DIR/edits.json"
 run_sweep bench_buffer_pool 'BM_BufferPoolNavigate' "$TMP_DIR/buffer_pool.json"
 run_sweep bench_wal 'BM_WalGroupCommit' "$TMP_DIR/wal.json"
+run_sweep bench_query 'BM_QueryPushdown' "$TMP_DIR/query.json"
 
 python3 - "$REPO_ROOT/BENCH_kernels.json" "$TMP_DIR"/*.json <<'PY'
 import json
@@ -101,6 +102,11 @@ kernel_names = {
     # is per burst; the edits_per_sec column carries the wall-clock
     # throughput the >= 5x group-commit gate checks (docs/WAL.md)
     "BM_WalGroupCommit": "wal_group_commit",
+    # arg = LEAF-PAGE COUNT (fanout^2), not threads: one selective GQL
+    # MATCH with predicate pushdown on; extra columns pages_scanned /
+    # pages_total (the pruning proof) and speedup_vs_full (vs the
+    # filter-after-materialize reference) ride along (docs/QUERY.md)
+    "BM_QueryPushdown": "query_pushdown",
 }
 kernels = {}
 context = {}
@@ -124,7 +130,8 @@ for path in inputs:
         # Benchmark counters that tell a sweep's story (checked by
         # tools/check_bench_json.sh for buffer_pool_navigate and
         # wal_group_commit).
-        for extra in ("hit_rate", "resident_bytes", "edits_per_sec"):
+        for extra in ("hit_rate", "resident_bytes", "edits_per_sec",
+                      "pages_scanned", "pages_total", "speedup_vs_full"):
             if extra in b:
                 entry[extra] = b[extra]
         kernels.setdefault(kernel_names[name], {})[threads] = entry
