@@ -1,0 +1,342 @@
+// HTTP gateway sweep: a fixed budget of WebSocket navigation ops splits
+// across N concurrent upgraded connections against one in-process
+// `http::Gateway` over a single-store catalog — the gateway-level
+// analogue of the server_navigate sweep, adding HTTP upgrade, RFC 6455
+// framing and the epoll reactor to the measured path. The paper-facing
+// report additionally parks an idle fleet (10k WebSocket connections by
+// default) on the one event loop to show connection cost, not
+// throughput, is the scaling limit. Feeds the "http_gateway" entry of
+// BENCH_kernels.json via tools/run_benches.sh.
+
+#include <benchmark/benchmark.h>
+#include <sys/resource.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/catalog.h"
+#include "gtree/builder.h"
+#include "http/client.h"
+#include "http/gateway.h"
+#include "storage/buffer_pool.h"
+#include "util/parallel.h"
+#include "util/timer.h"
+
+namespace {
+
+using namespace gmine;  // NOLINT
+using bench::CachedDblp;
+
+constexpr char kStoreDir[] = "/tmp/gmine_bm_http";
+// Total WebSocket round-trips per measurement, split across the
+// connections.
+constexpr size_t kOps = 256;
+
+int64_t NowNanos() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// One catalog directory (a single store) shared by every benchmark in
+/// this binary.
+const char* SharedStoreDir() {
+  static const bool built = [] {
+    std::error_code ec;
+    std::filesystem::create_directories(kStoreDir, ec);
+    const gen::DblpGraph& d = CachedDblp();
+    gtree::GTreeBuildOptions bopts;
+    bopts.levels = 3;
+    bopts.fanout = 5;
+    auto tree = gtree::BuildGTree(d.graph, bopts);
+    auto conn = gtree::ConnectivityIndex::Build(d.graph, tree.value());
+    (void)gtree::GTreeStore::Create(std::string(kStoreDir) + "/s0.gtree",
+                                    d.graph, tree.value(), conn, d.labels);
+    return true;
+  }();
+  (void)built;
+  return kStoreDir;
+}
+
+struct GatewayFixture {
+  storage::BufferPool pool;
+  std::unique_ptr<core::Catalog> catalog;
+  std::unique_ptr<http::Gateway> gateway;
+
+  explicit GatewayFixture(size_t max_conns) {
+    core::CatalogOptions copts;
+    copts.session_quota = 0;  // the sweep itself is the admission policy
+    copts.store.buffer_pool = &pool;
+    copts.mem_budget_bytes = 64ull << 20;
+    catalog =
+        std::move(core::Catalog::OpenDirectory(SharedStoreDir(), copts))
+            .value();
+    http::GatewayOptions gopts;
+    gopts.max_conns = max_conns;
+    gopts.reactor_threads = 1;  // the one-loop claim is the point
+    gopts.buffer_pool = &pool;
+    gateway = std::make_unique<http::Gateway>(catalog.get(), gopts);
+    if (!gateway->Start().ok()) std::abort();
+  }
+};
+
+/// Runs this connection's slice of the op budget: a deterministic
+/// descend / summarize / ascend cycle. Appends per-op latencies (ns).
+size_t RunClientSlice(uint16_t port, size_t client, size_t num_clients,
+                      std::vector<int64_t>* latencies_ns) {
+  http::GatewayClient c;
+  if (!c.Connect("127.0.0.1", port).ok()) return 0;
+  if (!c.UpgradeWebSocket("/api/stores/s0/ws", "").ok()) return 0;
+  static const char* kCycle[] = {"child 0", "summary", "parent", "root"};
+  size_t done = 0;
+  for (size_t k = client; k < kOps; k += num_clients) {
+    const int64_t t0 = NowNanos();
+    if (c.Roundtrip(kCycle[k % 4]).ok()) {
+      latencies_ns->push_back(NowNanos() - t0);
+      ++done;
+    }
+  }
+  (void)c.SendClose(1000, "done");
+  c.Close();
+  return done;
+}
+
+/// One measurement: N connections upgrade, burn the shared budget,
+/// close. Returns elapsed microseconds; merges latencies into `all_ns`.
+double RunSweep(uint16_t port, size_t conns,
+                std::vector<int64_t>* all_ns) {
+  std::mutex mu;
+  StopWatch watch;
+  std::vector<std::thread> threads;
+  threads.reserve(conns);
+  for (size_t i = 0; i < conns; ++i) {
+    threads.emplace_back([port, i, conns, &mu, all_ns] {
+      std::vector<int64_t> local;
+      (void)RunClientSlice(port, i, conns, &local);
+      std::lock_guard<std::mutex> lock(mu);
+      all_ns->insert(all_ns->end(), local.begin(), local.end());
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  return static_cast<double>(watch.ElapsedMicros());
+}
+
+int64_t PercentileNs(std::vector<int64_t>* v, double p) {
+  if (v->empty()) return 0;
+  std::sort(v->begin(), v->end());
+  return (*v)[static_cast<size_t>(p * static_cast<double>(v->size() - 1))];
+}
+
+/// Idle-fleet hold for the paper-facing report: parks `target` idle
+/// upgraded WebSocket connections on the single event loop and reports
+/// what that costs. The client ends live in forked child processes —
+/// like real remote navigators they must not share the gateway's fd
+/// table, which caps this process at one descriptor per connection.
+void HoldIdleFleet(GatewayFixture* f) {
+  struct rlimit lim = {};
+  if (getrlimit(RLIMIT_NOFILE, &lim) == 0) {
+    rlimit want = {65536, 65536};
+    if (setrlimit(RLIMIT_NOFILE, &want) == 0) {
+      lim = want;
+    } else {
+      lim.rlim_cur = lim.rlim_max;
+      (void)setrlimit(RLIMIT_NOFILE, &lim);
+    }
+  }
+  size_t target = 10000;
+  if (const char* env = std::getenv("GMINE_BENCH_IDLE_CONNS")) {
+    target = static_cast<size_t>(std::atoll(env));
+  }
+  const size_t fd_room = lim.rlim_cur > 2048 ? lim.rlim_cur - 2048 : 0;
+  target = std::min(target, fd_room);
+  const uint16_t port = f->gateway->port();
+
+  struct Shard {
+    pid_t pid;
+    int ready_fd;  // child reports its held-connection count here
+    int done_fd;   // parent signals teardown here
+  };
+  constexpr size_t kShards = 4;
+  std::vector<Shard> shards;
+  StopWatch ramp;
+  for (size_t s = 0; s < kShards; ++s) {
+    const size_t quota = target / kShards + (s < target % kShards ? 1 : 0);
+    int ready[2], done[2];
+    if (pipe(ready) != 0) break;
+    if (pipe(done) != 0) {
+      close(ready[0]);
+      close(ready[1]);
+      break;
+    }
+    const pid_t pid = fork();
+    if (pid == 0) {
+      // Child: upgrade `quota` connections, report the count, then sit
+      // idle until the parent says done. _exit keeps the inherited
+      // gateway/static state from double-destructing.
+      close(ready[0]);
+      close(done[1]);
+      std::vector<std::unique_ptr<http::GatewayClient>> fleet;
+      fleet.reserve(quota);
+      for (size_t i = 0; i < quota; ++i) {
+        auto c = std::make_unique<http::GatewayClient>();
+        if (!c->Connect("127.0.0.1", port).ok()) break;
+        if (!c->UpgradeWebSocket("/api/stores/s0/ws", "").ok()) break;
+        fleet.push_back(std::move(c));
+      }
+      const uint32_t held = static_cast<uint32_t>(fleet.size());
+      (void)!write(ready[1], &held, sizeof(held));
+      char go = 0;
+      (void)!read(done[0], &go, 1);
+      _exit(0);
+    }
+    close(ready[1]);
+    close(done[0]);
+    if (pid < 0) {
+      close(ready[0]);
+      close(done[1]);
+      break;
+    }
+    shards.push_back({pid, ready[0], done[1]});
+  }
+  size_t held = 0;
+  for (const Shard& s : shards) {
+    uint32_t n = 0;
+    if (read(s.ready_fd, &n, sizeof(n)) == sizeof(n)) held += n;
+  }
+  const double ramp_s = ramp.ElapsedSeconds();
+
+  // A navigation gesture must stay responsive with the fleet parked.
+  std::vector<int64_t> probe_ns;
+  {
+    http::GatewayClient probe;
+    if (probe.Connect("127.0.0.1", port).ok() &&
+        probe.UpgradeWebSocket("/api/stores/s0/ws", "").ok()) {
+      for (int i = 0; i < 32; ++i) {
+        const int64_t t0 = NowNanos();
+        if (probe.Roundtrip("summary").ok()) {
+          probe_ns.push_back(NowNanos() - t0);
+        }
+      }
+    }
+    probe.Close();
+  }
+
+  const http::GatewayStats gs = f->gateway->stats();
+  const core::CatalogStats cs = f->catalog->stats();
+  const storage::BufferPoolStats ps = f->pool.stats();
+  std::printf(
+      "idle fleet: held=%zu/%zu (ramp %.2fs, %.0f conns/s) "
+      "reactor open=%zu catalog sessions=%zu\n",
+      held, target, ramp_s,
+      ramp_s > 0 ? static_cast<double>(held) / ramp_s : 0.0,
+      gs.reactor.open_now, cs.sessions_now);
+  std::printf(
+      "idle fleet: pool resident=%llu bytes of %llu budget; "
+      "probe p99=%lldus over %zu gestures\n",
+      static_cast<unsigned long long>(ps.resident_bytes),
+      static_cast<unsigned long long>(ps.budget_bytes),
+      static_cast<long long>(PercentileNs(&probe_ns, 0.99) / 1000),
+      probe_ns.size());
+
+  for (const Shard& s : shards) {
+    const char go = 1;
+    (void)!write(s.done_fd, &go, 1);
+    close(s.done_fd);
+    close(s.ready_fd);
+  }
+  for (const Shard& s : shards) {
+    int status = 0;
+    (void)waitpid(s.pid, &status, 0);
+  }
+}
+
+void PrintReport() {
+  bench::ReportHeader(
+      "S3: HTTP/WebSocket gateway (docs/HTTP.md)",
+      "one epoll event loop holds tens of thousands of idle navigators; "
+      "a parked fleet costs file descriptors, not throughput");
+  GatewayFixture f(/*max_conns=*/30000);
+  bench::PrintThreadSweep(
+      StrFormat("WebSocket round-trip sweep (%zu ops split across N "
+                "connections):",
+                kOps)
+          .c_str(),
+      [&](int conns) {
+        std::vector<int64_t> ns;
+        return RunSweep(f.gateway->port(),
+                        static_cast<size_t>(ResolveThreads(conns)), &ns);
+      });
+  HoldIdleFleet(&f);
+  const http::GatewayStats gs = f.gateway->stats();
+  std::printf("gateway: requests=%llu upgrades=%llu ws_ops=%llu "
+              "evicted_slow=%llu\n",
+              static_cast<unsigned long long>(gs.requests),
+              static_cast<unsigned long long>(gs.upgrades),
+              static_cast<unsigned long long>(gs.ws_messages),
+              static_cast<unsigned long long>(gs.reactor.evicted_slow));
+  f.gateway->Stop();
+}
+
+// The benchmark gateway outlives every iteration; main() stops it
+// before static destruction tears the catalog down under its threads.
+http::Gateway* g_bm_gateway = nullptr;
+
+// WebSocket navigation through the gateway: arg = concurrent upgraded
+// connections. The op budget is fixed, so wall time tracks how well one
+// reactor loop overlaps connections; req_per_sec and p99_ns carry the
+// throughput/latency story tools/check_bench_json.sh gates on.
+void BM_HttpGatewayNavigate(benchmark::State& state) {
+  static GatewayFixture* fixture = [] {
+    auto* f = new GatewayFixture(/*max_conns=*/10000);
+    g_bm_gateway = f->gateway.get();
+    return f;
+  }();
+  const size_t conns = static_cast<size_t>(state.range(0));
+  std::vector<int64_t> ns;
+  double total_us = 0.0;
+  size_t total_ops = 0;
+  for (auto _ : state) {
+    const size_t before = ns.size();
+    total_us += RunSweep(fixture->gateway->port(), conns, &ns);
+    total_ops += ns.size() - before;
+  }
+  state.counters["conns"] = static_cast<double>(conns);
+  state.counters["req_per_sec"] =
+      total_us > 0 ? static_cast<double>(total_ops) / (total_us / 1e6)
+                   : 0.0;
+  state.counters["p99_ns"] =
+      static_cast<double>(PercentileNs(&ns, 0.99));
+}
+
+BENCHMARK(BM_HttpGatewayNavigate)
+    ->Arg(1)
+    ->Arg(8)
+    ->Arg(64)
+    ->Arg(256)
+    // The measured path is wall-clock-bound (client threads block on
+    // sockets); budgeting by CPU time would explode iteration counts.
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (gmine::bench::ShouldPrintReport()) PrintReport();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  if (g_bm_gateway != nullptr) g_bm_gateway->Stop();
+  std::error_code ec;
+  std::filesystem::remove_all(kStoreDir, ec);
+  return 0;
+}

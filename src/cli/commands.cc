@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <filesystem>
 #include <optional>
 
+#include "core/catalog.h"
 #include "core/edit_queue.h"
 #include "core/engine.h"
 #include "core/prefetcher.h"
@@ -12,6 +14,8 @@
 #include "gen/dblp.h"
 #include "graph/graph_export.h"
 #include "graph/graph_io.h"
+#include "http/client.h"
+#include "http/gateway.h"
 #include "net/client.h"
 #include "net/server.h"
 #include "query/executor.h"
@@ -442,7 +446,9 @@ Status RunEditScript(GMineEngine* engine, core::EditQueue* queue,
         stats.subtree_rebuilds, stats.pages_written,
         stats.conn_rows_updated,
         stats.connectivity_rebuilt ? " conn-rebuilt" : "",
-        stats.compacted ? " compacted" : "", stats.journal_ops,
+        stats.defragmented ? " compacted(defrag)"
+                           : (stats.compacted ? " compacted" : ""),
+        stats.journal_ops,
         static_cast<unsigned long long>(stats.epoch),
         HumanMicros(stats.micros).c_str());
     edit.reset();
@@ -1037,6 +1043,11 @@ Status CmdServer(const CommandLine& cmd, std::string* out) {
     return UsageError("server: --wal expects 'on' or 'off'");
   }
   const bool wal = wal_raw == "on";
+  const std::string writable_raw = cmd.Get("writable", "off");
+  if (writable_raw != "on" && writable_raw != "off") {
+    return UsageError("server: --writable expects 'on' or 'off'");
+  }
+  const bool writable = writable_raw == "on";
 
   // Concurrent clients page through the process-wide buffer pool,
   // bounded in bytes (0 = unbounded); see docs/STORAGE.md.
@@ -1052,23 +1063,28 @@ Status CmdServer(const CommandLine& cmd, std::string* out) {
   std::unique_ptr<core::SessionManager> raw_pool;
   gtree::GTreeStore* store = nullptr;
   core::SessionManager* pool = nullptr;
-  if (wal) {
+  if (wal || writable) {
+    // Remote mutation always goes through the full engine; without
+    // --wal the commits are serialized behind a mutex and acked with
+    // lsn=0 (nothing logged), exactly like `gmine edit` without a log.
     EngineOptions eopts;
     eopts.sessions.max_sessions = 0;
     eopts.sessions.idle_timeout_micros = static_cast<int64_t>(idle_ms) * 1000;
-    eopts.wal.enabled = true;
+    eopts.wal.enabled = wal;
     auto opened = GMineEngine::Open(cmd.positional[0], eopts);
     if (!opened.ok()) return opened.status();
     engine = std::move(opened).value();
     store = &engine->store();
     pool = &engine->sessions();
-    const core::WalRecoveryStats& rec = engine->wal_recovery();
-    *out += StrFormat(
-        "wal: replayed=%llu skipped=%llu truncated=%llu next_lsn=%llu\n",
-        static_cast<unsigned long long>(rec.replayed),
-        static_cast<unsigned long long>(rec.skipped),
-        static_cast<unsigned long long>(rec.truncated_bytes),
-        static_cast<unsigned long long>(engine->wal()->next_lsn()));
+    if (wal) {
+      const core::WalRecoveryStats& rec = engine->wal_recovery();
+      *out += StrFormat(
+          "wal: replayed=%llu skipped=%llu truncated=%llu next_lsn=%llu\n",
+          static_cast<unsigned long long>(rec.replayed),
+          static_cast<unsigned long long>(rec.skipped),
+          static_cast<unsigned long long>(rec.truncated_bytes),
+          static_cast<unsigned long long>(engine->wal()->next_lsn()));
+    }
   } else {
     gtree::GTreeStoreOptions sopts;
     auto opened = gtree::GTreeStore::Open(cmd.positional[0], sopts);
@@ -1106,6 +1122,57 @@ Status CmdServer(const CommandLine& cmd, std::string* out) {
           static_cast<unsigned long long>(ws.truncated_bytes));
     };
   }
+  // Remote mutation (EDIT ops): with --wal the batches flow through the
+  // group-commit queue (concurrent writers coalesce, acks carry real
+  // LSNs); without it a mutex serializes engine->ApplyEdit and the tip
+  // node count is tracked by hand.
+  std::unique_ptr<core::EditQueue> equeue;
+  auto edit_mu = std::make_shared<std::mutex>();
+  auto tip = std::make_shared<std::atomic<uint32_t>>(0);
+  if (writable) {
+    nopts.writable = true;
+    if (wal) {
+      equeue = std::make_unique<core::EditQueue>(engine.get());
+      core::EditQueue* q = equeue.get();
+      nopts.tip_nodes = [q] { return q->tip_nodes(); };
+      nopts.apply_edit =
+          [q](graph::GraphEdit edit, std::vector<std::string> labels)
+          -> gmine::Result<net::EditAck> {
+        auto fut = q->Submit(std::move(edit), std::move(labels));
+        if (!fut.ok()) return fut.status();
+        core::EditCommit commit = fut.value().get();
+        if (!commit.status.ok()) return commit.status;
+        net::EditAck ack;
+        ack.lsn = commit.lsn;
+        ack.epoch = commit.epoch;
+        ack.group_size = commit.group_size;
+        return ack;
+      };
+    } else {
+      auto g = engine->full_graph();
+      if (!g.ok()) return g.status();
+      tip->store(g.value()->num_nodes());
+      GMineEngine* eng = engine.get();
+      nopts.tip_nodes = [tip] { return tip->load(); };
+      nopts.apply_edit =
+          [eng, edit_mu, tip](graph::GraphEdit edit,
+                              std::vector<std::string> labels)
+          -> gmine::Result<net::EditAck> {
+        std::lock_guard<std::mutex> lock(*edit_mu);
+        core::EditStats stats;
+        GMINE_RETURN_IF_ERROR(eng->ApplyEdit(edit, labels, &stats));
+        tip->store(
+            static_cast<uint32_t>(tip->load() +
+                                  stats.classification.added_vertices -
+                                  stats.classification.removed_vertices));
+        net::EditAck ack;
+        ack.epoch = stats.epoch;
+        return ack;
+      };
+    }
+    *out += StrFormat("writable: on (%s)\n",
+                      wal ? "wal group commit" : "serialized");
+  }
   net::Server server(pool, nopts, prefetcher.get());
   GMINE_RETURN_IF_ERROR(server.Start());
   if (cmd.Has("port-file")) {
@@ -1126,6 +1193,7 @@ Status CmdServer(const CommandLine& cmd, std::string* out) {
 
   server.WaitUntilShutdown();
   server.Stop();
+  if (equeue) equeue->Stop();
   if (prefetcher) prefetcher->Stop();
 
   const net::ServerStats nstats = server.stats();
@@ -1244,6 +1312,179 @@ Status CmdConnect(const CommandLine& cmd, std::string* out) {
   return Status::OK();
 }
 
+// ---------------------------------------------------------------- gateway
+// HTTP/1.1 + WebSocket front end over a multi-store catalog
+// (docs/HTTP.md): REST endpoints for listing/query/summary/render, a
+// WebSocket upgrade that pins a catalog session per connection, bearer
+// auth, per-store quotas, and one shared buffer-pool budget.
+
+Status CmdGateway(const CommandLine& cmd, std::string* out) {
+  if (cmd.positional.empty()) {
+    return UsageError("gateway: store DIR or MANIFEST path required");
+  }
+  GMINE_ASSIGN_OR_RETURN(uint64_t port, FlagUint(cmd, "port", 0));
+  if (port > 65535) return UsageError("gateway: --port must be <= 65535");
+  GMINE_ASSIGN_OR_RETURN(uint64_t max_conns,
+                         FlagUint(cmd, "max-conns", 10000));
+  GMINE_ASSIGN_OR_RETURN(uint64_t reactor_threads,
+                         FlagUint(cmd, "reactor-threads", 1));
+  GMINE_ASSIGN_OR_RETURN(uint64_t mem_budget_mb,
+                         FlagUint(cmd, "mem-budget-mb", 64));
+  GMINE_ASSIGN_OR_RETURN(uint64_t quota,
+                         FlagUint(cmd, "session-quota", 64));
+  if (max_conns == 0) {
+    return UsageError("gateway: --max-conns must be at least 1");
+  }
+  if (reactor_threads == 0 || reactor_threads > 64) {
+    return UsageError("gateway: --reactor-threads must be 1..64");
+  }
+
+  core::CatalogOptions copts;
+  copts.session_quota = static_cast<size_t>(quota);
+  copts.mem_budget_bytes = mem_budget_mb << 20;
+  std::error_code ec;
+  const bool is_dir = std::filesystem::is_directory(cmd.positional[0], ec);
+  auto catalog =
+      is_dir ? core::Catalog::OpenDirectory(cmd.positional[0], copts)
+             : core::Catalog::OpenManifest(cmd.positional[0], copts);
+  if (!catalog.ok()) return catalog.status();
+
+  http::GatewayOptions gopts;
+  gopts.port = static_cast<uint16_t>(port);
+  gopts.max_conns = static_cast<size_t>(max_conns);
+  gopts.reactor_threads = static_cast<int>(reactor_threads);
+  if (cmd.Has("token-file")) {
+    auto text = graph::ReadFileToString(cmd.Get("token-file"));
+    if (!text.ok()) return text.status();
+    gopts.bearer_token = std::string(TrimWhitespace(text.value()));
+    if (gopts.bearer_token.empty()) {
+      return UsageError("gateway: --token-file holds an empty token");
+    }
+  }
+
+  http::Gateway gateway(catalog.value().get(), gopts);
+  GMINE_RETURN_IF_ERROR(gateway.Start());
+  if (cmd.Has("port-file")) {
+    // Write-then-rename so a script polling for the file never reads a
+    // half-written port.
+    const std::string port_file = cmd.Get("port-file");
+    const std::string tmp = port_file + ".tmp";
+    GMINE_RETURN_IF_ERROR(graph::WriteStringToFile(
+        StrFormat("%u\n", static_cast<unsigned>(gateway.port())), tmp));
+    if (std::rename(tmp.c_str(), port_file.c_str()) != 0) {
+      return Status::IOError(StrFormat("rename %s -> %s failed",
+                                       tmp.c_str(), port_file.c_str()));
+    }
+  }
+  *out += StrFormat("gateway: %zu stores on 127.0.0.1:%u%s\n",
+                    catalog.value()->store_names().size(),
+                    static_cast<unsigned>(gateway.port()),
+                    gopts.bearer_token.empty() ? "" : " (bearer auth)");
+
+  gateway.WaitUntilShutdown();
+  gateway.Stop();
+
+  const http::GatewayStats gstats = gateway.stats();
+  const core::CatalogStats cstats = catalog.value()->stats();
+  *out += StrFormat(
+      "gateway: requests=%llu upgrades=%llu ws_ops=%llu rejected=%llu\n",
+      static_cast<unsigned long long>(gstats.requests),
+      static_cast<unsigned long long>(gstats.upgrades),
+      static_cast<unsigned long long>(gstats.ws_messages),
+      static_cast<unsigned long long>(gstats.rejected_at_capacity));
+  *out += StrFormat(
+      "reactor: adopted=%llu closed=%llu evicted_slow=%llu open=%zu "
+      "in=%s out=%s\n",
+      static_cast<unsigned long long>(gstats.reactor.adopted),
+      static_cast<unsigned long long>(gstats.reactor.closed),
+      static_cast<unsigned long long>(gstats.reactor.evicted_slow),
+      gstats.reactor.open_now,
+      HumanBytes(gstats.reactor.bytes_in).c_str(),
+      HumanBytes(gstats.reactor.bytes_out).c_str());
+  *out += StrFormat(
+      "catalog: stores=%zu opens=%llu closes=%llu leases=%llu "
+      "quota_rejections=%llu leaked=%zu\n",
+      cstats.stores, static_cast<unsigned long long>(cstats.opens),
+      static_cast<unsigned long long>(cstats.closes),
+      static_cast<unsigned long long>(cstats.leases),
+      static_cast<unsigned long long>(cstats.quota_rejections),
+      cstats.sessions_now);
+  return Status::OK();
+}
+
+// ------------------------------------------------------------------- ws
+// WebSocket driver for a running gateway: upgrades one connection onto
+// STORE and round-trips op lines (--ops "a;b;c", --script FILE, or
+// stdin), printing a '>'/'<' transcript of the JSON-framed replies.
+
+Status CmdWs(const CommandLine& cmd, std::string* out) {
+  if (cmd.positional.size() < 2) {
+    return UsageError("ws: HOST:PORT and STORE required");
+  }
+  GMINE_ASSIGN_OR_RETURN(auto host_port,
+                         net::ParseHostPort(cmd.positional[0]));
+  const std::string& store = cmd.positional[1];
+
+  std::string token;
+  if (cmd.Has("token-file")) {
+    auto text = graph::ReadFileToString(cmd.Get("token-file"));
+    if (!text.ok()) return text.status();
+    token = std::string(TrimWhitespace(text.value()));
+  }
+
+  std::string script;
+  if (cmd.Has("ops")) {
+    script = cmd.Get("ops");
+    std::replace(script.begin(), script.end(), ';', '\n');
+  } else if (cmd.Has("script")) {
+    auto text = graph::ReadFileToString(cmd.Get("script"));
+    if (!text.ok()) return text.status();
+    script = std::move(text).value();
+  } else {
+    script = ReadAllStdin();
+  }
+
+  http::GatewayClient client;
+  GMINE_RETURN_IF_ERROR(
+      client.Connect(host_port.first, host_port.second));
+  GMINE_RETURN_IF_ERROR(
+      client.UpgradeWebSocket("/api/stores/" + store + "/ws", token));
+  *out += StrFormat("upgraded: %s\n", store.c_str());
+
+  size_t pos = 0;
+  while (pos < script.size()) {
+    size_t eol = script.find('\n', pos);
+    if (eol == std::string::npos) eol = script.size();
+    std::string_view raw(script.data() + pos, eol - pos);
+    pos = eol + 1;
+    std::string_view line = TrimWhitespace(raw);
+    if (line.empty() || line[0] == '#') continue;
+    *out += StrFormat("> %.*s\n", static_cast<int>(line.size()),
+                      line.data());
+    auto reply = client.Roundtrip(std::string(line));
+    if (!reply.ok()) {
+      *out += StrFormat("! %s\n", reply.status().ToString().c_str());
+      return reply.status();
+    }
+    *out += StrFormat("< %s\n", reply.value().c_str());
+  }
+
+  // RFC 6455 closing handshake: our 1000 close, their echo.
+  GMINE_RETURN_IF_ERROR(client.SendClose(1000, "done"));
+  for (;;) {
+    auto message = client.ReadMessage();
+    if (!message.ok()) break;  // peer may just drop after the echo
+    if (message.value().opcode != http::WsOpcode::kClose) continue;
+    uint16_t code = 0;
+    std::string reason;
+    http::ParseWsClose(message.value().payload, &code, &reason);
+    *out += StrFormat("closed: %u\n", static_cast<unsigned>(code));
+    break;
+  }
+  client.Close();
+  return Status::OK();
+}
+
 }  // namespace
 
 std::string CommandLine::Get(const std::string& flag,
@@ -1301,8 +1542,10 @@ Status RunCommand(const CommandLine& cmd, std::string* out) {
   if (cmd.command == "edit") return CmdEdit(cmd, out);
   if (cmd.command == "serve") return CmdServe(cmd, out);
   if (cmd.command == "server") return CmdServer(cmd, out);
+  if (cmd.command == "gateway") return CmdGateway(cmd, out);
   if (cmd.command == "stats") return CmdStats(cmd, out);
   if (cmd.command == "connect") return CmdConnect(cmd, out);
+  if (cmd.command == "ws") return CmdWs(cmd, out);
   if (cmd.command == "help") {
     *out += UsageText();
     return Status::OK();
@@ -1359,12 +1602,27 @@ std::string UsageText() {
       "           --prefetch on --port-file FILE]  TCP session-pool\n"
       "           front end on 127.0.0.1; stops on a client 'shutdown';\n"
       "           [--wal on] replays STORE.wal before serving and adds a\n"
-      "           wal section to STATS (docs/WAL.md)\n"
+      "           wal section to STATS (docs/WAL.md); [--writable on]\n"
+      "           accepts wire 'edit' ops (batches ack with lsn/epoch;\n"
+      "           with --wal they flow through the group-commit queue)\n"
+      "  gateway  DIR|MANIFEST [--port P (0=ephemeral) --max-conns N\n"
+      "           --reactor-threads T --mem-budget-mb M --session-quota Q\n"
+      "           --token-file FILE --port-file FILE]  HTTP/1.1 +\n"
+      "           WebSocket front end over a multi-store catalog\n"
+      "           (docs/HTTP.md): REST list/info/query/summary/\n"
+      "           render.svg, `/api/stores/NAME/ws` upgrades pin a\n"
+      "           session, `/stats` counters; stops on POST\n"
+      "           /api/shutdown; a manifest holds `NAME PATH [QUOTA]`\n"
+      "           lines\n"
       "  stats    STORE  buffer-pool and store page statistics after a\n"
       "           warm-up walk of the hierarchy\n"
       "  connect  HOST:PORT [--script FILE] [--save-body FILE]\n"
       "           drives a running server: sends request lines (file or\n"
       "           stdin), prints the '>'/'<' transcript\n"
+      "  ws       HOST:PORT STORE [--token-file FILE] [--ops \"a;b;c\"]\n"
+      "           [--script FILE]  WebSocket driver for a running\n"
+      "           gateway: upgrades onto STORE, round-trips op lines,\n"
+      "           prints the '>'/'<' JSON transcript, then closes 1000\n"
       "  help\n";
 }
 

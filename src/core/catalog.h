@@ -1,0 +1,198 @@
+// A multi-store catalog: named G-Tree stores discovered from a
+// directory (every *.gtree file) or declared in a manifest, opened
+// lazily on first use and closed again when the last session leaves.
+//
+// The catalog is the piece the HTTP gateway stands on (docs/HTTP.md):
+// one process fronts many stores, but a store only costs memory while
+// somebody is actually navigating it. Lifecycle is refcounted against
+// live sessions:
+//
+//   * AcquireSession(name) opens the store on demand — metadata loads,
+//     leaf pages stay on disk and flow through the shared buffer pool —
+//     builds its SessionManager, opens one navigation session, and
+//     hands back an RAII CatalogSession lease;
+//   * releasing the last lease tears the pool and the store down again,
+//     dropping the store's buffer-pool registration (its resident pages
+//     go with it — per-store isolation is the pool's keying invariant);
+//   * a per-store quota caps concurrent leases: past it, AcquireSession
+//     answers Aborted without touching the store.
+//
+// The store set is fixed at construction; entry state (open store,
+// session pool, refcount) is guarded per entry, so traffic on one store
+// never serializes against another except for the shared counters.
+// Leases must not outlive the catalog.
+
+#ifndef GMINE_CORE_CATALOG_H_
+#define GMINE_CORE_CATALOG_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/session_manager.h"
+#include "gtree/navigation.h"
+#include "gtree/store.h"
+#include "util/status.h"
+
+namespace gmine::core {
+
+namespace internal {
+struct CatalogEntry;
+}  // namespace internal
+
+/// Catalog tunables.
+struct CatalogOptions {
+  /// Concurrent leases allowed per store; 0 = unlimited. A manifest's
+  /// per-store quota column overrides this default for that store.
+  size_t session_quota = 64;
+  /// Session-pool shape handed to every store's SessionManager. Its
+  /// max_sessions is overridden to 0 (unbounded): the quota is the
+  /// admission control, and sessions open pinned — each one backs a
+  /// live lease, so LRU eviction must never yank one.
+  SessionManagerOptions sessions;
+  /// Store open options. Leave `store.buffer_pool` null to page every
+  /// store through the process-wide pool.
+  gtree::GTreeStoreOptions store;
+  /// When > 0, construction re-arms the buffer pool's byte budget (the
+  /// pool `store.buffer_pool` names — global by default) so the whole
+  /// catalog shares one memory ceiling. 0 leaves the budget alone.
+  uint64_t mem_budget_bytes = 0;
+};
+
+/// Point-in-time description of one catalog store.
+struct CatalogStoreInfo {
+  std::string name;
+  std::string path;
+  size_t quota = 0;          // 0 = unlimited
+  bool open = false;         // store resident right now
+  size_t live_sessions = 0;  // leases outstanding
+  // Filled only while open:
+  uint64_t file_size = 0;
+  uint32_t communities = 0;  // tree nodes, root included
+  uint32_t leaves = 0;
+  uint32_t height = 0;
+  size_t labels = 0;
+};
+
+/// Cumulative catalog counters (stats()).
+struct CatalogStats {
+  size_t stores = 0;        // names registered
+  size_t open_now = 0;      // stores currently resident
+  size_t sessions_now = 0;  // leases currently outstanding
+  uint64_t opens = 0;       // lazy store opens
+  uint64_t closes = 0;      // last-lease store teardowns
+  uint64_t leases = 0;      // sessions handed out
+  uint64_t quota_rejections = 0;
+};
+
+class Catalog;
+
+/// RAII lease on one navigation session of one catalog store. Movable,
+/// not copyable; destruction (or Release) closes the session and, when
+/// it was the store's last, closes the store. Invalid (default /
+/// moved-from / released) leases answer valid() == false and With
+/// returns NotFound.
+class CatalogSession {
+ public:
+  CatalogSession() = default;
+  CatalogSession(CatalogSession&& other) noexcept;
+  CatalogSession& operator=(CatalogSession&& other) noexcept;
+  CatalogSession(const CatalogSession&) = delete;
+  CatalogSession& operator=(const CatalogSession&) = delete;
+  ~CatalogSession();
+
+  bool valid() const { return catalog_ != nullptr; }
+  const std::string& store_name() const;
+  SessionId id() const { return id_; }
+
+  /// The leased store. Stable for the lease's lifetime (the lease is a
+  /// ref on it); never call after Release.
+  gtree::GTreeStore* store() const { return store_; }
+
+  /// Exclusive access to the leased session (SessionManager's
+  /// WithSession contract).
+  Status With(const std::function<Status(gtree::NavigationSession&)>& fn);
+
+  /// Keepalive without a callback dispatch.
+  bool Touch();
+
+  /// Closes the session and drops the store ref. Idempotent.
+  void Release();
+
+ private:
+  friend class Catalog;
+  CatalogSession(Catalog* catalog, internal::CatalogEntry* entry,
+                 gtree::GTreeStore* store, SessionManager* pool,
+                 SessionId id);
+
+  Catalog* catalog_ = nullptr;
+  internal::CatalogEntry* entry_ = nullptr;
+  gtree::GTreeStore* store_ = nullptr;
+  SessionManager* pool_ = nullptr;
+  SessionId id_ = 0;
+};
+
+/// The store registry. Construct via OpenDirectory or OpenManifest;
+/// must outlive every lease it hands out.
+class Catalog {
+ public:
+  /// Registers every `*.gtree` file directly inside `dir` under its
+  /// stem (foo.gtree -> "foo"). Fails when `dir` is unreadable or holds
+  /// no stores. Nothing is opened yet.
+  static gmine::Result<std::unique_ptr<Catalog>> OpenDirectory(
+      const std::string& dir, const CatalogOptions& options = {});
+
+  /// Registers stores from a manifest: one `NAME PATH [QUOTA]` line per
+  /// store ('#' comments and blank lines ignored; relative paths
+  /// resolve against the manifest's directory; QUOTA overrides
+  /// options.session_quota). Fails on duplicate names, malformed lines
+  /// or missing store files. Nothing is opened yet.
+  static gmine::Result<std::unique_ptr<Catalog>> OpenManifest(
+      const std::string& manifest_path, const CatalogOptions& options = {});
+
+  ~Catalog();
+  Catalog(const Catalog&) = delete;
+  Catalog& operator=(const Catalog&) = delete;
+
+  /// Registered names, sorted.
+  std::vector<std::string> store_names() const;
+
+  /// All stores, name order.
+  std::vector<CatalogStoreInfo> ListStores() const;
+
+  /// One store; NotFound for unknown names.
+  gmine::Result<CatalogStoreInfo> Info(const std::string& name) const;
+
+  /// Leases one navigation session on `name`, opening the store on
+  /// first use. NotFound for unknown names; Aborted past the store's
+  /// quota.
+  gmine::Result<CatalogSession> AcquireSession(const std::string& name);
+
+  CatalogStats stats() const;
+
+ private:
+  friend class CatalogSession;
+
+  explicit Catalog(CatalogOptions options);
+  void ReleaseSession(internal::CatalogEntry* entry, SessionId id);
+  void FillInfoLocked(const internal::CatalogEntry& entry,
+                      CatalogStoreInfo* out) const;
+
+  CatalogOptions options_;
+  /// Immutable after construction: concurrent lookups need no lock.
+  std::map<std::string, std::unique_ptr<internal::CatalogEntry>> entries_;
+
+  std::atomic<uint64_t> opens_{0};
+  std::atomic<uint64_t> closes_{0};
+  std::atomic<uint64_t> leases_{0};
+  std::atomic<uint64_t> quota_rejections_{0};
+};
+
+}  // namespace gmine::core
+
+#endif  // GMINE_CORE_CATALOG_H_

@@ -245,6 +245,7 @@ Status GMineEngine::ApplyEditIncremental(const graph::GraphEdit& edit,
         return store_.get();
       }));
   out->compacted = ustats.compacted;
+  out->defragmented = ustats.defragmented;
   out->pages_written = ustats.compacted
                            ? store_->tree().num_leaves()
                            : ustats.pages_written;

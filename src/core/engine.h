@@ -87,6 +87,9 @@ struct EditStats {
   bool incremental = false;
   /// Store took its rewrite path (id remap or journal compaction).
   bool compacted = false;
+  /// The rewrite was forced by the size-ratio defrag trigger
+  /// (GTreeStoreOptions::defrag_wasted_ratio), not the journal.
+  bool defragmented = false;
   /// Leaves re-split through the sharded region builder.
   uint32_t subtree_rebuilds = 0;
   /// Dirty pages serialized (incremental append path).

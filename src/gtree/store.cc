@@ -178,6 +178,18 @@ gmine::Result<LeafPayload> DeserializeLeafPayload(std::string_view blob) {
   return out;
 }
 
+/// Bytes a header at `t` actually references (the live set): header +
+/// metadata sections + every page in `directory`. Everything else in
+/// the file is dead weight from superseded appends. (Templated because
+/// PageLocation is private to GTreeStore.)
+template <typename Directory>
+uint64_t ComputeLiveBytes(const SectionTable& t, const Directory& directory) {
+  uint64_t live = kHeaderSize + t.tree_size + t.conn_size + t.labels_size +
+                  t.dir_size + t.journal_size + t.graph_size;
+  for (const auto& [leaf, loc] : directory) live += loc.size;
+  return live;
+}
+
 }  // namespace
 
 GTreeStore::~GTreeStore() {
@@ -384,6 +396,7 @@ Status GTreeStore::LoadMetadata(const std::string& path) {
   directory_ = std::move(directory);
   graph_section_ = PageLocation{t.graph_off, t.graph_size};
   labels_section_ = PageLocation{t.labels_off, t.labels_size};
+  live_bytes_ = ComputeLiveBytes(t, directory_);
   return Status::OK();
 }
 
@@ -509,10 +522,20 @@ Status GTreeStore::ApplyUpdate(GTreeStoreUpdate& update,
   GTreeStoreUpdateStats local;
   GTreeStoreUpdateStats& out = stats != nullptr ? *stats : local;
 
+  // Size-ratio defragmentation trigger: when the dead bytes accumulated
+  // by prior appends already dwarf the live set, compact now instead of
+  // waiting for the journal to fill — a burst of page-heavy edits can
+  // triple the file long before journal_compact_ops edits have landed.
+  const bool defrag_due =
+      options_.defrag_wasted_ratio > 0 && live_bytes_ > 0 &&
+      static_cast<double>(wasted_bytes()) >
+          options_.defrag_wasted_ratio * static_cast<double>(live_bytes_);
   const bool compact = update.journal_edit == nullptr ||
                        options_.journal_compact_ops == 0 ||
-                       journal_.size() >= options_.journal_compact_ops;
+                       journal_.size() >= options_.journal_compact_ops ||
+                       defrag_due;
   if (compact) {
+    out.defragmented = defrag_due;
     // Compaction: materialize the post-edit state and rewrite the whole
     // file through Create + atomic rename; memory commits only after
     // the rename so a failure leaves the store on its old state.
@@ -711,6 +734,7 @@ Status GTreeStore::ApplyUpdate(GTreeStoreUpdate& update,
   file_size_ = append_base + appended.size();
   out.appended_bytes = appended.size();
   out.journal_ops = journal_.size();
+  live_bytes_ = ComputeLiveBytes(t, new_directory);
 
   // Invalidate only the touched frames; clean frames survive in the
   // pool, re-keyed when the repair renumbered the tree.

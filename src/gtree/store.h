@@ -88,6 +88,13 @@ struct GTreeStoreOptions {
   /// journal holds at least this many entries. 0 compacts on every
   /// update (journal disabled).
   size_t journal_compact_ops = 64;
+  /// Size-ratio defragmentation trigger: ApplyUpdate also compacts when
+  /// the file's dead bytes (superseded metadata sections and old copies
+  /// of rewritten pages left behind by header-last appends) exceed this
+  /// multiple of the live bytes — so a burst of small edits cannot let
+  /// the file balloon while the journal is still short. 0 disables the
+  /// size trigger (journal-full and id-remap still compact).
+  double defrag_wasted_ratio = 2.0;
   /// Issue fdatasync barriers inside ApplyUpdate (between the section
   /// append and the header rewrite, and again after it) so the
   /// header-last ordering also holds across power loss, not just
@@ -163,6 +170,8 @@ struct GTreeStoreUpdate {
 /// What an ApplyUpdate did (reported by `gmine edit`).
 struct GTreeStoreUpdateStats {
   bool compacted = false;        // rewrite path instead of append
+  bool defragmented = false;     // compaction forced by the size-ratio
+                                 // trigger (defrag_wasted_ratio)
   uint64_t appended_bytes = 0;   // bytes added to the file (append path)
   uint32_t pages_written = 0;    // dirty pages serialized (append path)
   uint32_t pages_invalidated = 0;  // cache entries dropped
@@ -278,6 +287,18 @@ class GTreeStore {
   /// Total size of the store file in bytes.
   uint64_t file_size() const { return file_size_; }
 
+  /// Bytes the current header actually references: header + metadata
+  /// sections + every live page. The remainder of the file is dead
+  /// weight left by append-mode updates.
+  uint64_t live_bytes() const { return live_bytes_; }
+
+  /// file_size() - live_bytes(): the fragmentation ApplyUpdate's
+  /// size-ratio trigger (GTreeStoreOptions::defrag_wasted_ratio)
+  /// watches.
+  uint64_t wasted_bytes() const {
+    return file_size_ > live_bytes_ ? file_size_ - live_bytes_ : 0;
+  }
+
   /// The buffer pool this store's pages live in (global stats,
   /// budget).
   storage::BufferPool& buffer_pool() const { return *pool_; }
@@ -299,6 +320,8 @@ class GTreeStore {
 
   std::FILE* file_ = nullptr;
   uint64_t file_size_ = 0;
+  /// Bytes referenced by the current header (see live_bytes()).
+  uint64_t live_bytes_ = 0;
   std::string path_;
   GTree tree_;
   ConnectivityIndex conn_;

@@ -1,0 +1,198 @@
+// The HTTP/1.1 + WebSocket gateway (docs/HTTP.md): one listener, a
+// small reactor pool, and a multi-store catalog behind it. REST
+// endpoints cover the catalog (list stores, per-store info), GQL
+// queries, summaries and SVG rendering; a WebSocket upgrade pins a
+// catalog session to the connection and carries the server line
+// protocol's navigation ops plus `query`, responses JSON-framed.
+//
+//   GET  /stats                          counters (no auth)
+//   GET  /api/stores                     catalog listing
+//   GET  /api/stores/NAME                store info (opens it briefly)
+//   GET  /api/stores/NAME/query?q=GQL    run GQL, JSON rows
+//   POST /api/stores/NAME/query          statement in the body
+//   GET  /api/stores/NAME/summary[?node=N]   focus summary JSON
+//   GET  /api/stores/NAME/render.svg[?node=N] hierarchy view SVG
+//   GET  /api/stores/NAME/ws             WebSocket upgrade (RFC 6455)
+//   POST /api/shutdown                   graceful drain
+//
+// Auth: with a bearer token configured, every /api request (the
+// upgrade included) must carry `Authorization: Bearer <token>` or is
+// answered 401 before touching the catalog. Quota: a store past its
+// session quota answers 429. Backpressure: each connection's write
+// queue is bounded; a peer that stops reading is evicted.
+
+#ifndef GMINE_HTTP_GATEWAY_H_
+#define GMINE_HTTP_GATEWAY_H_
+
+#include <array>
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "core/catalog.h"
+#include "http/http.h"
+#include "http/reactor.h"
+#include "http/websocket.h"
+#include "net/protocol.h"
+#include "net/socket.h"
+#include "storage/buffer_pool.h"
+#include "util/status.h"
+
+namespace gmine::http {
+
+struct GatewayOptions {
+  /// TCP port on 127.0.0.1; 0 picks an ephemeral port (port()).
+  uint16_t port = 0;
+  int backlog = 128;
+  /// Connections admitted at once; more get 503 and an immediate
+  /// close. Sized for tens of thousands of idle navigators.
+  size_t max_conns = 10000;
+  /// Reactor event-loop threads.
+  int reactor_threads = 1;
+  /// Bearer token required on /api requests; empty = no auth.
+  std::string bearer_token;
+  /// Per-connection write-queue bound (slow-client eviction).
+  size_t max_write_buffer_bytes = 1024 * 1024;
+  /// Accept-loop poll / epoll-wait granularity.
+  int poll_interval_ms = 50;
+  /// Pool reported in /stats; null = the process-wide pool.
+  storage::BufferPool* buffer_pool = nullptr;
+};
+
+/// Per-endpoint service counters.
+struct EndpointStats {
+  std::string endpoint;
+  uint64_t count = 0;
+  uint64_t errors = 0;          // non-2xx responses / failed ops
+  uint64_t total_micros = 0;    // summed service time
+  uint64_t max_micros = 0;      // slowest single request
+};
+
+struct GatewayStats {
+  ReactorStats reactor;
+  uint64_t requests = 0;      // HTTP requests served (uploads included)
+  uint64_t upgrades = 0;      // successful WebSocket upgrades
+  uint64_t ws_messages = 0;   // WebSocket ops executed
+  uint64_t rejected_at_capacity = 0;
+  std::vector<EndpointStats> endpoints;
+};
+
+/// The gateway server. The catalog must outlive it.
+class Gateway {
+ public:
+  explicit Gateway(core::Catalog* catalog, GatewayOptions options = {});
+  ~Gateway();
+
+  Gateway(const Gateway&) = delete;
+  Gateway& operator=(const Gateway&) = delete;
+
+  /// Binds, starts the reactor pool and the accept thread.
+  Status Start();
+
+  uint16_t port() const { return port_; }
+
+  /// Asks the host to stop (POST /api/shutdown lands here too).
+  void RequestShutdown();
+
+  /// Blocks until RequestShutdown / Stop.
+  void WaitUntilShutdown();
+
+  /// Graceful drain: stop accepting, send every WebSocket a 1001
+  /// close, flush and close every connection (their catalog sessions
+  /// release), join. Idempotent.
+  void Stop();
+
+  GatewayStats stats() const;
+
+ private:
+  /// Endpoint identities for the latency counters.
+  enum Endpoint : size_t {
+    kEpStores = 0,
+    kEpStore,
+    kEpQuery,
+    kEpSummary,
+    kEpRenderSvg,
+    kEpStats,
+    kEpUpgrade,
+    kEpWsOp,
+    kEpOther,
+    kEpCount,
+  };
+
+  struct EndpointCounter {
+    std::atomic<uint64_t> count{0};
+    std::atomic<uint64_t> errors{0};
+    std::atomic<uint64_t> total_micros{0};
+    std::atomic<uint64_t> max_micros{0};
+  };
+
+  /// Per-connection protocol state. Only the owning loop thread (the
+  /// reactor's on_data/on_closed) touches the parsers and lease;
+  /// `is_ws` is read cross-thread by the drain path.
+  struct GwConn {
+    ConnId id = 0;
+    HttpRequestParser http;
+    WsFrameParser ws;
+    WsMessageAssembler assembler;
+    core::CatalogSession lease;
+    std::atomic<bool> is_ws{false};
+    bool sent_close = false;  // we already sent a WS close frame
+  };
+
+  void AcceptLoop();
+  void OnData(ConnId id, std::string_view data);
+  void OnClosed(ConnId id);
+  void ServeHttp(const std::shared_ptr<GwConn>& conn,
+                 const HttpRequest& request);
+  /// Routes one HTTP request to a response; `upgraded` reports that the
+  /// connection switched to WebSocket (response already sent).
+  void Route(const std::shared_ptr<GwConn>& conn,
+             const HttpRequest& request, HttpResponse* response,
+             Endpoint* endpoint, bool* upgraded);
+  void HandleUpgrade(const std::shared_ptr<GwConn>& conn,
+                     const HttpRequest& request,
+                     const std::string& store, HttpResponse* response,
+                     bool* upgraded);
+  void ServeWs(const std::shared_ptr<GwConn>& conn,
+               std::string_view data);
+  /// Executes one WebSocket op line; returns the JSON-framed reply.
+  std::string ExecuteWsOp(const std::shared_ptr<GwConn>& conn,
+                          const std::string& line, bool* close_conn);
+  std::string StatsJson() const;
+  void Observe(Endpoint endpoint, int64_t micros, bool error);
+  bool Authorized(const HttpRequest& request) const;
+
+  core::Catalog* catalog_;
+  GatewayOptions options_;
+  std::unique_ptr<Reactor> reactor_;
+
+  net::Socket listener_;
+  uint16_t port_ = 0;
+  std::atomic<bool> started_{false};
+  std::atomic<bool> stopping_{false};
+  bool stopped_ = false;
+  std::thread accept_thread_;
+
+  mutable std::mutex conns_mu_;
+  std::unordered_map<ConnId, std::shared_ptr<GwConn>> conns_;
+
+  std::array<EndpointCounter, kEpCount> endpoint_counters_;
+  std::atomic<uint64_t> requests_{0};
+  std::atomic<uint64_t> upgrades_{0};
+  std::atomic<uint64_t> ws_messages_{0};
+  std::atomic<uint64_t> rejected_at_capacity_{0};
+
+  std::mutex shutdown_mu_;
+  std::condition_variable shutdown_cv_;
+  bool shutdown_requested_ = false;
+};
+
+}  // namespace gmine::http
+
+#endif  // GMINE_HTTP_GATEWAY_H_

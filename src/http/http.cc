@@ -1,0 +1,268 @@
+#include "http/http.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "util/string_util.h"
+
+namespace gmine::http {
+
+namespace {
+
+std::string ToLower(std::string_view s) {
+  std::string out(s);
+  std::transform(out.begin(), out.end(), out.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return out;
+}
+
+bool EqualsIgnoreCase(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(a[i])) !=
+        std::tolower(static_cast<unsigned char>(b[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+int HexDigit(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+}  // namespace
+
+std::string_view HttpRequest::Header(std::string_view name) const {
+  for (const auto& [key, value] : headers) {
+    if (EqualsIgnoreCase(key, name)) return value;
+  }
+  return {};
+}
+
+bool HttpRequest::HasHeader(std::string_view name) const {
+  for (const auto& [key, value] : headers) {
+    if (EqualsIgnoreCase(key, name)) return true;
+  }
+  return false;
+}
+
+std::string UrlDecode(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (size_t i = 0; i < s.size(); ++i) {
+    if (s[i] == '%' && i + 2 < s.size()) {
+      const int hi = HexDigit(s[i + 1]);
+      const int lo = HexDigit(s[i + 2]);
+      if (hi >= 0 && lo >= 0) {
+        out.push_back(static_cast<char>(hi * 16 + lo));
+        i += 2;
+        continue;
+      }
+    }
+    out.push_back(s[i] == '+' ? ' ' : s[i]);
+  }
+  return out;
+}
+
+HttpRequestParser::HttpRequestParser(HttpParserLimits limits)
+    : limits_(limits) {}
+
+Status HttpRequestParser::Feed(std::string_view data) {
+  if (!error_.ok()) return error_;
+  Status st = Ingest(data);
+  if (!st.ok()) error_ = st;  // poison: one framing error ends the conn
+  return st;
+}
+
+Status HttpRequestParser::Ingest(std::string_view data) {
+  buffer_.append(data.data(), data.size());
+  for (;;) {
+    if (in_body_) {
+      const size_t take = std::min(body_needed_, buffer_.size());
+      pending_.body.append(buffer_, 0, take);
+      buffer_.erase(0, take);
+      body_needed_ -= take;
+      if (body_needed_ > 0) return Status::OK();  // need more bytes
+      in_body_ = false;
+      ready_.push_back(std::move(pending_));
+      pending_ = HttpRequest();
+      continue;
+    }
+    const size_t head_end = buffer_.find("\r\n\r\n");
+    if (head_end == std::string::npos) {
+      if (buffer_.size() > limits_.max_head_bytes) {
+        return Status::OutOfRange("http: request head too large");
+      }
+      return Status::OK();
+    }
+    if (head_end + 4 > limits_.max_head_bytes) {
+      return Status::OutOfRange("http: request head too large");
+    }
+    HttpRequest request;
+    GMINE_RETURN_IF_ERROR(
+        ParseHead(std::string_view(buffer_).substr(0, head_end), &request));
+    buffer_.erase(0, head_end + 4);
+    const std::string_view length = request.Header("content-length");
+    if (request.HasHeader("transfer-encoding")) {
+      return Status::InvalidArgument(
+          "http: chunked request bodies not supported");
+    }
+    size_t body = 0;
+    if (!length.empty()) {
+      uint64_t parsed = 0;
+      if (!ParseUint64(length, &parsed)) {
+        return Status::InvalidArgument("http: bad Content-Length");
+      }
+      if (parsed > limits_.max_body_bytes) {
+        return Status::OutOfRange("http: request body too large");
+      }
+      body = static_cast<size_t>(parsed);
+    }
+    if (body > 0) {
+      pending_ = std::move(request);
+      pending_.body.reserve(body);
+      in_body_ = true;
+      body_needed_ = body;
+      continue;
+    }
+    ready_.push_back(std::move(request));
+  }
+}
+
+Status HttpRequestParser::ParseHead(std::string_view head,
+                                    HttpRequest* out) {
+  // Request line: METHOD SP target SP HTTP/1.x
+  const size_t line_end = head.find("\r\n");
+  const std::string_view line =
+      line_end == std::string_view::npos ? head : head.substr(0, line_end);
+  const size_t sp1 = line.find(' ');
+  const size_t sp2 =
+      sp1 == std::string_view::npos ? sp1 : line.find(' ', sp1 + 1);
+  if (sp1 == std::string_view::npos || sp2 == std::string_view::npos ||
+      line.find(' ', sp2 + 1) != std::string_view::npos) {
+    return Status::InvalidArgument("http: malformed request line");
+  }
+  out->method = std::string(line.substr(0, sp1));
+  out->target = std::string(line.substr(sp1 + 1, sp2 - sp1 - 1));
+  const std::string_view version = line.substr(sp2 + 1);
+  if (out->method.empty() || out->target.empty() ||
+      out->target[0] != '/') {
+    return Status::InvalidArgument("http: malformed request line");
+  }
+  if (version != "HTTP/1.1" && version != "HTTP/1.0") {
+    return Status::InvalidArgument("http: unsupported HTTP version");
+  }
+  out->keep_alive = version == "HTTP/1.1";
+
+  // Headers: name ":" OWS value, one per line. Names lowercase on the
+  // way in so routing code compares cheaply.
+  size_t pos = line_end == std::string_view::npos ? head.size()
+                                                  : line_end + 2;
+  while (pos < head.size()) {
+    size_t eol = head.find("\r\n", pos);
+    if (eol == std::string_view::npos) eol = head.size();
+    const std::string_view header_line = head.substr(pos, eol - pos);
+    pos = eol + 2;
+    const size_t colon = header_line.find(':');
+    if (colon == std::string_view::npos || colon == 0) {
+      return Status::InvalidArgument("http: malformed header line");
+    }
+    const std::string name = ToLower(header_line.substr(0, colon));
+    if (name.find(' ') != std::string::npos) {
+      return Status::InvalidArgument("http: malformed header name");
+    }
+    out->headers.emplace_back(
+        name,
+        std::string(TrimWhitespace(header_line.substr(colon + 1))));
+  }
+
+  const std::string_view connection = out->Header("connection");
+  if (EqualsIgnoreCase(connection, "close")) out->keep_alive = false;
+  if (EqualsIgnoreCase(connection, "keep-alive")) out->keep_alive = true;
+
+  // Split target into decoded path + query map.
+  const size_t qmark = out->target.find('?');
+  out->path = UrlDecode(qmark == std::string::npos
+                            ? std::string_view(out->target)
+                            : std::string_view(out->target)
+                                  .substr(0, qmark));
+  if (qmark != std::string::npos) {
+    std::string_view rest =
+        std::string_view(out->target).substr(qmark + 1);
+    while (!rest.empty()) {
+      const size_t amp = rest.find('&');
+      const std::string_view pair =
+          amp == std::string_view::npos ? rest : rest.substr(0, amp);
+      rest = amp == std::string_view::npos ? std::string_view()
+                                           : rest.substr(amp + 1);
+      if (pair.empty()) continue;
+      const size_t eq = pair.find('=');
+      if (eq == std::string_view::npos) {
+        out->query[UrlDecode(pair)] = "";
+      } else {
+        out->query[UrlDecode(pair.substr(0, eq))] =
+            UrlDecode(pair.substr(eq + 1));
+      }
+    }
+  }
+  return Status::OK();
+}
+
+std::string HttpRequestParser::TakeBuffered() {
+  std::string out = std::move(buffer_);
+  buffer_.clear();
+  in_body_ = false;
+  body_needed_ = 0;
+  pending_ = HttpRequest();
+  return out;
+}
+
+HttpRequest HttpRequestParser::TakeRequest() {
+  HttpRequest request = std::move(ready_.front());
+  ready_.erase(ready_.begin());
+  return request;
+}
+
+std::string_view ReasonPhrase(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 101: return "Switching Protocols";
+    case 204: return "No Content";
+    case 400: return "Bad Request";
+    case 401: return "Unauthorized";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 408: return "Request Timeout";
+    case 413: return "Payload Too Large";
+    case 426: return "Upgrade Required";
+    case 429: return "Too Many Requests";
+    case 500: return "Internal Server Error";
+    case 503: return "Service Unavailable";
+    default: return "Unknown";
+  }
+}
+
+std::string EncodeResponse(const HttpResponse& response) {
+  std::string out = StrFormat("HTTP/1.1 %d ", response.status);
+  out += ReasonPhrase(response.status);
+  out += "\r\n";
+  if (!response.content_type.empty()) {
+    out += "Content-Type: " + response.content_type + "\r\n";
+  }
+  out += StrFormat("Content-Length: %zu\r\n", response.body.size());
+  out += response.keep_alive ? "Connection: keep-alive\r\n"
+                             : "Connection: close\r\n";
+  for (const auto& [name, value] : response.extra_headers) {
+    out += name + ": " + value + "\r\n";
+  }
+  out += "\r\n";
+  out += response.body;
+  return out;
+}
+
+}  // namespace gmine::http

@@ -1,0 +1,106 @@
+// HTTP/1.1 wire layer for the gateway (docs/HTTP.md): an incremental
+// request parser built for an edge-triggered event loop — feed it
+// whatever bytes arrived, take complete requests out — plus a
+// deterministic response encoder (no Date header; golden transcripts
+// diff byte-for-byte).
+//
+// Deliberately small surface: request line + headers + Content-Length
+// bodies, keep-alive and pipelining. Chunked request bodies are
+// rejected (411-shaped error) — no gateway endpoint needs them.
+
+#ifndef GMINE_HTTP_HTTP_H_
+#define GMINE_HTTP_HTTP_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "util/status.h"
+
+namespace gmine::http {
+
+/// One parsed request. Header names are lowercased at parse time.
+struct HttpRequest {
+  std::string method;   // uppercase, e.g. "GET"
+  std::string target;   // raw request target, e.g. "/api/query?store=x"
+  std::string path;     // percent-decoded path, e.g. "/api/query"
+  std::map<std::string, std::string> query;  // decoded query params
+  std::vector<std::pair<std::string, std::string>> headers;
+  std::string body;
+  bool keep_alive = true;  // per Connection header / HTTP version
+
+  /// First header value by (case-insensitive) name; "" when absent.
+  std::string_view Header(std::string_view name) const;
+  bool HasHeader(std::string_view name) const;
+};
+
+/// Parser limits — a hostile peer cannot make us buffer unbounded data.
+struct HttpParserLimits {
+  size_t max_head_bytes = 16 * 1024;   // request line + headers
+  size_t max_body_bytes = 4 * 1024 * 1024;
+};
+
+/// Incremental HTTP/1.1 request parser. Feed() consumes every byte
+/// handed to it (buffering partial requests); complete requests queue
+/// up for TakeRequest(), so pipelined input yields them in order. After
+/// an error the parser is poisoned — the connection should close.
+class HttpRequestParser {
+ public:
+  explicit HttpRequestParser(HttpParserLimits limits = {});
+
+  /// Ingests bytes from the socket. Fails on malformed or oversized
+  /// input (InvalidArgument / OutOfRange); once failed, stays failed.
+  Status Feed(std::string_view data);
+
+  /// A complete request is ready.
+  bool HasRequest() const { return !ready_.empty(); }
+
+  /// Pops the oldest complete request. HasRequest() must be true.
+  HttpRequest TakeRequest();
+
+  /// Surrenders any bytes buffered beyond the requests already parsed
+  /// — after a WebSocket upgrade these belong to the frame layer, not
+  /// to HTTP. The parser is left empty.
+  std::string TakeBuffered();
+
+ private:
+  Status Ingest(std::string_view data);
+  Status ParseHead(std::string_view head, HttpRequest* out);
+
+  HttpParserLimits limits_;
+  std::string buffer_;
+  std::vector<HttpRequest> ready_;
+  // Body accumulation state: when head_ is parsed and a body is due.
+  bool in_body_ = false;
+  size_t body_needed_ = 0;
+  HttpRequest pending_;
+  Status error_ = Status::OK();
+};
+
+/// One response to encode. Content-Length and Connection are emitted
+/// by the encoder; extra_headers ride along verbatim.
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string body;
+  bool keep_alive = true;
+  std::vector<std::pair<std::string, std::string>> extra_headers;
+};
+
+/// Standard reason phrase ("OK", "Not Found", ...); "Unknown" otherwise.
+std::string_view ReasonPhrase(int status);
+
+/// Serializes status line + headers + body. Deterministic: emits
+/// exactly Content-Type, Content-Length, Connection and the extras, in
+/// that order, no Date.
+std::string EncodeResponse(const HttpResponse& response);
+
+/// Percent-decodes `s` ('+' also becomes a space — query semantics).
+std::string UrlDecode(std::string_view s);
+
+}  // namespace gmine::http
+
+#endif  // GMINE_HTTP_HTTP_H_

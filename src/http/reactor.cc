@@ -1,0 +1,376 @@
+#include "http/reactor.h"
+
+#include <errno.h>
+#include <fcntl.h>
+#include <string.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+
+#include "util/string_util.h"
+
+namespace gmine::http {
+
+/// One adopted connection. The socket is only touched by the owning
+/// loop thread; `mu` guards the cross-thread fields (output buffer and
+/// close flags).
+struct Reactor::Conn {
+  ConnId id = 0;
+  net::Socket sock;
+  Loop* loop = nullptr;
+
+  std::mutex mu;
+  std::string out;             // queued output (drained from offset 0)
+  size_t out_off = 0;
+  bool close_after_flush = false;
+  bool evict = false;          // slow client: close without flushing
+  bool dead = false;           // torn down; on_closed fired
+};
+
+/// One epoll event loop.
+struct Reactor::Loop {
+  int epoll_fd = -1;
+  int event_fd = -1;  // cross-thread wakeup
+  std::thread thread;
+
+  /// Connections owned by this loop, and the subset needing a flush
+  /// pass (Send/Close kicked them).
+  std::mutex mu;
+  std::unordered_map<ConnId, std::shared_ptr<Conn>> conns;
+  std::vector<std::shared_ptr<Conn>> kicked;
+
+  ~Loop() {
+    if (epoll_fd >= 0) ::close(epoll_fd);
+    if (event_fd >= 0) ::close(event_fd);
+  }
+};
+
+namespace {
+
+Status SetNonBlocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    return Status::IOError(
+        StrFormat("fcntl(O_NONBLOCK): %s", ::strerror(errno)));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Reactor::Reactor(ReactorOptions options, Callbacks callbacks)
+    : options_(options), callbacks_(std::move(callbacks)) {
+  if (options_.threads < 1) options_.threads = 1;
+}
+
+Reactor::~Reactor() { Stop(); }
+
+Status Reactor::Start() {
+  if (started_.exchange(true)) {
+    return Status::Internal("reactor already started");
+  }
+  for (int i = 0; i < options_.threads; ++i) {
+    auto loop = std::make_unique<Loop>();
+    loop->epoll_fd = ::epoll_create1(EPOLL_CLOEXEC);
+    if (loop->epoll_fd < 0) {
+      return Status::IOError(
+          StrFormat("epoll_create1: %s", ::strerror(errno)));
+    }
+    loop->event_fd = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+    if (loop->event_fd < 0) {
+      return Status::IOError(
+          StrFormat("eventfd: %s", ::strerror(errno)));
+    }
+    struct epoll_event ev;
+    ev.events = EPOLLIN;
+    ev.data.u64 = 0;  // id 0 = the wakeup eventfd
+    if (::epoll_ctl(loop->epoll_fd, EPOLL_CTL_ADD, loop->event_fd, &ev) <
+        0) {
+      return Status::IOError(
+          StrFormat("epoll_ctl(eventfd): %s", ::strerror(errno)));
+    }
+    loops_.push_back(std::move(loop));
+  }
+  for (auto& loop : loops_) {
+    Loop* raw = loop.get();
+    raw->thread = std::thread([this, raw] { LoopThread(raw); });
+  }
+  return Status::OK();
+}
+
+void Reactor::Stop() {
+  if (!started_.load() || stopped_) return;
+  stopping_.store(true);
+  for (auto& loop : loops_) WakeLoop(loop.get());
+  for (auto& loop : loops_) {
+    if (loop->thread.joinable()) loop->thread.join();
+  }
+  stopped_ = true;
+}
+
+void Reactor::WakeLoop(Loop* loop) {
+  const uint64_t one = 1;
+  ssize_t ignored = ::write(loop->event_fd, &one, sizeof(one));
+  (void)ignored;
+}
+
+gmine::Result<ConnId> Reactor::Adopt(net::Socket sock) {
+  if (!started_.load() || stopping_.load()) {
+    return Status::Aborted("reactor not running");
+  }
+  GMINE_RETURN_IF_ERROR(SetNonBlocking(sock.fd()));
+  auto conn = std::make_shared<Conn>();
+  conn->id = next_id_.fetch_add(1);
+  conn->sock = std::move(sock);
+  Loop* loop =
+      loops_[next_loop_.fetch_add(1) % loops_.size()].get();
+  conn->loop = loop;
+
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    conns_.emplace(conn->id, conn);
+  }
+  {
+    std::lock_guard<std::mutex> lock(loop->mu);
+    loop->conns.emplace(conn->id, conn);
+  }
+  struct epoll_event ev;
+  // Edge-triggered both ways, armed once: EPOLLOUT edges fire only on
+  // full->writable transitions, so an idle connection costs nothing.
+  ev.events = EPOLLIN | EPOLLOUT | EPOLLET | EPOLLRDHUP;
+  ev.data.u64 = conn->id;
+  if (::epoll_ctl(loop->epoll_fd, EPOLL_CTL_ADD, conn->sock.fd(), &ev) <
+      0) {
+    const Status st = Status::IOError(
+        StrFormat("epoll_ctl(add): %s", ::strerror(errno)));
+    std::lock_guard<std::mutex> g1(conns_mu_);
+    std::lock_guard<std::mutex> g2(loop->mu);
+    conns_.erase(conn->id);
+    loop->conns.erase(conn->id);
+    return st;
+  }
+  adopted_.fetch_add(1, std::memory_order_relaxed);
+  return conn->id;
+}
+
+bool Reactor::Send(ConnId id, std::string_view data) {
+  std::shared_ptr<Conn> conn;
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    auto it = conns_.find(id);
+    if (it == conns_.end()) return false;
+    conn = it->second;
+  }
+  bool evict = false;
+  {
+    std::lock_guard<std::mutex> lock(conn->mu);
+    if (conn->dead || conn->evict) return false;
+    if (conn->out.size() - conn->out_off + data.size() >
+        options_.max_write_buffer_bytes) {
+      conn->evict = true;  // slow client: loop will tear it down
+      evict = true;
+    } else {
+      conn->out.append(data.data(), data.size());
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(conn->loop->mu);
+    conn->loop->kicked.push_back(conn);
+  }
+  WakeLoop(conn->loop);
+  return !evict;
+}
+
+void Reactor::Close(ConnId id) {
+  std::shared_ptr<Conn> conn;
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    auto it = conns_.find(id);
+    if (it == conns_.end()) return;
+    conn = it->second;
+  }
+  {
+    std::lock_guard<std::mutex> lock(conn->mu);
+    if (conn->dead) return;
+    conn->close_after_flush = true;
+  }
+  {
+    std::lock_guard<std::mutex> lock(conn->loop->mu);
+    conn->loop->kicked.push_back(conn);
+  }
+  WakeLoop(conn->loop);
+}
+
+void Reactor::LoopThread(Loop* loop) {
+  constexpr int kMaxEvents = 128;
+  struct epoll_event events[kMaxEvents];
+  while (!stopping_.load()) {
+    const int n = ::epoll_wait(loop->epoll_fd, events, kMaxEvents,
+                               options_.poll_interval_ms);
+    for (int i = 0; i < n && !stopping_.load(); ++i) {
+      const ConnId id = events[i].data.u64;
+      if (id == 0) {
+        uint64_t drain = 0;
+        while (::read(loop->event_fd, &drain, sizeof(drain)) > 0) {
+        }
+        continue;
+      }
+      std::shared_ptr<Conn> conn;
+      {
+        std::lock_guard<std::mutex> lock(loop->mu);
+        auto it = loop->conns.find(id);
+        if (it == loop->conns.end()) continue;
+        conn = it->second;
+      }
+      if (events[i].events & (EPOLLERR | EPOLLHUP)) {
+        Destroy(loop, conn, /*evicted=*/false);
+        continue;
+      }
+      if (events[i].events & EPOLLOUT) {
+        if (!HandleWritable(loop, conn)) continue;
+      }
+      if (events[i].events & (EPOLLIN | EPOLLRDHUP)) {
+        HandleReadable(loop, conn);
+      }
+    }
+    // Flush pass for connections kicked by Send/Close.
+    std::vector<std::shared_ptr<Conn>> kicked;
+    {
+      std::lock_guard<std::mutex> lock(loop->mu);
+      kicked.swap(loop->kicked);
+    }
+    for (const auto& conn : kicked) {
+      if (stopping_.load()) break;
+      (void)HandleWritable(loop, conn);
+    }
+  }
+
+  // Drain: one last non-blocking flush attempt each, then tear down.
+  std::vector<std::shared_ptr<Conn>> remaining;
+  {
+    std::lock_guard<std::mutex> lock(loop->mu);
+    remaining.reserve(loop->conns.size());
+    for (auto& [id, conn] : loop->conns) remaining.push_back(conn);
+  }
+  for (const auto& conn : remaining) {
+    if (HandleWritable(loop, conn)) {
+      Destroy(loop, conn, /*evicted=*/false);
+    }
+  }
+}
+
+void Reactor::HandleReadable(Loop* loop,
+                             const std::shared_ptr<Conn>& conn) {
+  std::string buf;
+  buf.resize(options_.read_chunk_bytes);
+  for (;;) {
+    {
+      std::lock_guard<std::mutex> lock(conn->mu);
+      if (conn->dead) return;
+    }
+    const ssize_t n =
+        ::recv(conn->sock.fd(), buf.data(), buf.size(), 0);
+    if (n > 0) {
+      bytes_in_.fetch_add(static_cast<uint64_t>(n),
+                          std::memory_order_relaxed);
+      if (callbacks_.on_data) {
+        callbacks_.on_data(conn->id,
+                           std::string_view(buf.data(),
+                                            static_cast<size_t>(n)));
+      }
+      continue;  // edge-triggered: drain until EAGAIN
+    }
+    if (n == 0) {  // peer closed
+      Destroy(loop, conn, /*evicted=*/false);
+      return;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+    if (errno == EINTR) continue;
+    Destroy(loop, conn, /*evicted=*/false);
+    return;
+  }
+}
+
+bool Reactor::HandleWritable(Loop* loop,
+                             const std::shared_ptr<Conn>& conn) {
+  std::unique_lock<std::mutex> lock(conn->mu);
+  if (conn->dead) return false;
+  if (conn->evict) {
+    lock.unlock();
+    Destroy(loop, conn, /*evicted=*/true);
+    return false;
+  }
+  while (conn->out_off < conn->out.size()) {
+    const ssize_t n = ::send(conn->sock.fd(),
+                             conn->out.data() + conn->out_off,
+                             conn->out.size() - conn->out_off,
+                             MSG_NOSIGNAL);
+    if (n > 0) {
+      conn->out_off += static_cast<size_t>(n);
+      bytes_out_.fetch_add(static_cast<uint64_t>(n),
+                           std::memory_order_relaxed);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      // Kernel buffer full; the EPOLLOUT edge will resume us.
+      return true;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    lock.unlock();
+    Destroy(loop, conn, /*evicted=*/false);
+    return false;
+  }
+  if (conn->out_off > 0) {
+    conn->out.clear();
+    conn->out_off = 0;
+  }
+  if (conn->close_after_flush) {
+    lock.unlock();
+    Destroy(loop, conn, /*evicted=*/false);
+    return false;
+  }
+  return true;
+}
+
+void Reactor::Destroy(Loop* loop, const std::shared_ptr<Conn>& conn,
+                      bool evicted) {
+  {
+    std::lock_guard<std::mutex> lock(conn->mu);
+    if (conn->dead) return;
+    conn->dead = true;
+  }
+  ::epoll_ctl(loop->epoll_fd, EPOLL_CTL_DEL, conn->sock.fd(), nullptr);
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    conns_.erase(conn->id);
+  }
+  {
+    std::lock_guard<std::mutex> lock(loop->mu);
+    loop->conns.erase(conn->id);
+  }
+  conn->sock.Close();
+  closed_.fetch_add(1, std::memory_order_relaxed);
+  if (evicted) evicted_slow_.fetch_add(1, std::memory_order_relaxed);
+  if (callbacks_.on_closed) callbacks_.on_closed(conn->id);
+}
+
+ReactorStats Reactor::stats() const {
+  ReactorStats out;
+  out.adopted = adopted_.load(std::memory_order_relaxed);
+  out.closed = closed_.load(std::memory_order_relaxed);
+  out.evicted_slow = evicted_slow_.load(std::memory_order_relaxed);
+  out.bytes_in = bytes_in_.load(std::memory_order_relaxed);
+  out.bytes_out = bytes_out_.load(std::memory_order_relaxed);
+  out.open_now = open_connections();
+  return out;
+}
+
+size_t Reactor::open_connections() const {
+  std::lock_guard<std::mutex> lock(conns_mu_);
+  return conns_.size();
+}
+
+}  // namespace gmine::http

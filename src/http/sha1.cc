@@ -1,0 +1,115 @@
+#include "http/sha1.h"
+
+#include <cstring>
+
+namespace gmine::http {
+
+namespace {
+
+inline uint32_t Rotl(uint32_t x, int n) {
+  return (x << n) | (x >> (32 - n));
+}
+
+}  // namespace
+
+std::array<uint8_t, 20> Sha1(std::string_view data) {
+  uint32_t h[5] = {0x67452301u, 0xefcdab89u, 0x98badcfeu, 0x10325476u,
+                   0xc3d2e1f0u};
+
+  // Message plus 0x80, zero pad and a 64-bit big-endian bit length,
+  // processed in 64-byte blocks.
+  const uint64_t bit_len = static_cast<uint64_t>(data.size()) * 8;
+  std::string padded(data);
+  padded.push_back(static_cast<char>(0x80));
+  while (padded.size() % 64 != 56) padded.push_back('\0');
+  for (int shift = 56; shift >= 0; shift -= 8) {
+    padded.push_back(static_cast<char>((bit_len >> shift) & 0xff));
+  }
+
+  uint32_t w[80];
+  for (size_t block = 0; block < padded.size(); block += 64) {
+    const uint8_t* p =
+        reinterpret_cast<const uint8_t*>(padded.data()) + block;
+    for (int i = 0; i < 16; ++i) {
+      w[i] = (static_cast<uint32_t>(p[4 * i]) << 24) |
+             (static_cast<uint32_t>(p[4 * i + 1]) << 16) |
+             (static_cast<uint32_t>(p[4 * i + 2]) << 8) |
+             static_cast<uint32_t>(p[4 * i + 3]);
+    }
+    for (int i = 16; i < 80; ++i) {
+      w[i] = Rotl(w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16], 1);
+    }
+    uint32_t a = h[0], b = h[1], c = h[2], d = h[3], e = h[4];
+    for (int i = 0; i < 80; ++i) {
+      uint32_t f, k;
+      if (i < 20) {
+        f = (b & c) | (~b & d);
+        k = 0x5a827999u;
+      } else if (i < 40) {
+        f = b ^ c ^ d;
+        k = 0x6ed9eba1u;
+      } else if (i < 60) {
+        f = (b & c) | (b & d) | (c & d);
+        k = 0x8f1bbcdcu;
+      } else {
+        f = b ^ c ^ d;
+        k = 0xca62c1d6u;
+      }
+      const uint32_t t = Rotl(a, 5) + f + e + k + w[i];
+      e = d;
+      d = c;
+      c = Rotl(b, 30);
+      b = a;
+      a = t;
+    }
+    h[0] += a;
+    h[1] += b;
+    h[2] += c;
+    h[3] += d;
+    h[4] += e;
+  }
+
+  std::array<uint8_t, 20> digest;
+  for (int i = 0; i < 5; ++i) {
+    digest[4 * i] = static_cast<uint8_t>(h[i] >> 24);
+    digest[4 * i + 1] = static_cast<uint8_t>(h[i] >> 16);
+    digest[4 * i + 2] = static_cast<uint8_t>(h[i] >> 8);
+    digest[4 * i + 3] = static_cast<uint8_t>(h[i]);
+  }
+  return digest;
+}
+
+std::string Base64Encode(std::string_view data) {
+  static const char kAlphabet[] =
+      "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+  std::string out;
+  out.reserve((data.size() + 2) / 3 * 4);
+  size_t i = 0;
+  for (; i + 3 <= data.size(); i += 3) {
+    const uint32_t n = (static_cast<uint8_t>(data[i]) << 16) |
+                       (static_cast<uint8_t>(data[i + 1]) << 8) |
+                       static_cast<uint8_t>(data[i + 2]);
+    out.push_back(kAlphabet[(n >> 18) & 63]);
+    out.push_back(kAlphabet[(n >> 12) & 63]);
+    out.push_back(kAlphabet[(n >> 6) & 63]);
+    out.push_back(kAlphabet[n & 63]);
+  }
+  const size_t rest = data.size() - i;
+  if (rest == 1) {
+    const uint32_t n = static_cast<uint8_t>(data[i]) << 16;
+    out.push_back(kAlphabet[(n >> 18) & 63]);
+    out.push_back(kAlphabet[(n >> 12) & 63]);
+    out.push_back('=');
+    out.push_back('=');
+  } else if (rest == 2) {
+    const uint32_t n = (static_cast<uint8_t>(data[i]) << 16) |
+                       (static_cast<uint8_t>(data[i + 1]) << 8);
+    out.push_back(kAlphabet[(n >> 18) & 63]);
+    out.push_back(kAlphabet[(n >> 12) & 63]);
+    out.push_back(kAlphabet[(n >> 6) & 63]);
+    out.push_back('=');
+  }
+  return out;
+}
+
+}  // namespace gmine::http

@@ -1,0 +1,25 @@
+// SHA-1 and Base64, self-contained. The gateway needs exactly one
+// cryptographic operation: the RFC 6455 Sec-WebSocket-Accept
+// handshake digest (base64(sha1(key + GUID))) — SHA-1 is specified
+// there for compatibility, not for security, and nothing else in the
+// codebase should treat it as a secure hash.
+
+#ifndef GMINE_HTTP_SHA1_H_
+#define GMINE_HTTP_SHA1_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace gmine::http {
+
+/// SHA-1 digest of `data` (FIPS 180-1), 20 bytes.
+std::array<uint8_t, 20> Sha1(std::string_view data);
+
+/// Standard Base64 (RFC 4648 §4, with padding).
+std::string Base64Encode(std::string_view data);
+
+}  // namespace gmine::http
+
+#endif  // GMINE_HTTP_SHA1_H_

@@ -1,0 +1,228 @@
+#include "http/websocket.h"
+
+#include "http/sha1.h"
+
+namespace gmine::http {
+
+namespace {
+
+// RFC 6455 §1.3.
+constexpr char kWsGuid[] = "258EAFA5-E914-47DA-95CA-C5AB0DC85B11";
+
+bool IsControl(WsOpcode opcode) {
+  return static_cast<uint8_t>(opcode) >= 0x8;
+}
+
+bool KnownOpcode(uint8_t opcode) {
+  return opcode == 0x0 || opcode == 0x1 || opcode == 0x2 ||
+         opcode == 0x8 || opcode == 0x9 || opcode == 0xa;
+}
+
+void AppendMasked(std::string* out, std::string_view payload,
+                  uint32_t key) {
+  const uint8_t mask[4] = {static_cast<uint8_t>(key >> 24),
+                           static_cast<uint8_t>(key >> 16),
+                           static_cast<uint8_t>(key >> 8),
+                           static_cast<uint8_t>(key)};
+  for (size_t i = 0; i < payload.size(); ++i) {
+    out->push_back(static_cast<char>(
+        static_cast<uint8_t>(payload[i]) ^ mask[i % 4]));
+  }
+}
+
+}  // namespace
+
+std::string WebSocketAcceptKey(std::string_view client_key) {
+  std::string material(client_key);
+  material += kWsGuid;
+  const std::array<uint8_t, 20> digest = Sha1(material);
+  return Base64Encode(std::string_view(
+      reinterpret_cast<const char*>(digest.data()), digest.size()));
+}
+
+std::string EncodeWsFrame(WsOpcode opcode, std::string_view payload,
+                          bool fin, bool mask, uint32_t masking_key) {
+  std::string out;
+  out.reserve(payload.size() + 14);
+  out.push_back(static_cast<char>((fin ? 0x80 : 0x00) |
+                                  static_cast<uint8_t>(opcode)));
+  const uint8_t mask_bit = mask ? 0x80 : 0x00;
+  if (payload.size() <= 125) {
+    out.push_back(static_cast<char>(mask_bit | payload.size()));
+  } else if (payload.size() <= 0xffff) {
+    out.push_back(static_cast<char>(mask_bit | 126));
+    out.push_back(static_cast<char>(payload.size() >> 8));
+    out.push_back(static_cast<char>(payload.size() & 0xff));
+  } else {
+    out.push_back(static_cast<char>(mask_bit | 127));
+    const uint64_t n = payload.size();
+    for (int shift = 56; shift >= 0; shift -= 8) {
+      out.push_back(static_cast<char>((n >> shift) & 0xff));
+    }
+  }
+  if (mask) {
+    out.push_back(static_cast<char>(masking_key >> 24));
+    out.push_back(static_cast<char>(masking_key >> 16));
+    out.push_back(static_cast<char>(masking_key >> 8));
+    out.push_back(static_cast<char>(masking_key));
+    AppendMasked(&out, payload, masking_key);
+  } else {
+    out.append(payload);
+  }
+  return out;
+}
+
+std::string EncodeWsClose(uint16_t code, std::string_view reason,
+                          bool mask, uint32_t masking_key) {
+  std::string payload;
+  payload.push_back(static_cast<char>(code >> 8));
+  payload.push_back(static_cast<char>(code & 0xff));
+  payload.append(reason);
+  return EncodeWsFrame(WsOpcode::kClose, payload, /*fin=*/true, mask,
+                       masking_key);
+}
+
+void ParseWsClose(std::string_view payload, uint16_t* code,
+                  std::string* reason) {
+  if (payload.size() < 2) {
+    *code = 1005;  // no status received
+    reason->clear();
+    return;
+  }
+  *code = static_cast<uint16_t>(
+      (static_cast<uint8_t>(payload[0]) << 8) |
+      static_cast<uint8_t>(payload[1]));
+  *reason = std::string(payload.substr(2));
+}
+
+WsFrameParser::WsFrameParser(WsParserOptions options)
+    : options_(options) {}
+
+Status WsFrameParser::Feed(std::string_view data) {
+  if (!error_.ok()) return error_;
+  Status st = Ingest(data);
+  if (!st.ok()) error_ = st;
+  return st;
+}
+
+Status WsFrameParser::Ingest(std::string_view data) {
+  buffer_.append(data.data(), data.size());
+  for (;;) {
+    if (buffer_.size() < 2) return Status::OK();
+    const uint8_t b0 = static_cast<uint8_t>(buffer_[0]);
+    const uint8_t b1 = static_cast<uint8_t>(buffer_[1]);
+    if ((b0 & 0x70) != 0) {
+      return Status::InvalidArgument("ws: reserved bits set");
+    }
+    const uint8_t opcode = b0 & 0x0f;
+    if (!KnownOpcode(opcode)) {
+      return Status::InvalidArgument("ws: unknown opcode");
+    }
+    const bool fin = (b0 & 0x80) != 0;
+    const bool masked = (b1 & 0x80) != 0;
+    if (masked != options_.require_masked) {
+      return Status::InvalidArgument(
+          options_.require_masked ? "ws: client frame not masked"
+                                  : "ws: server frame masked");
+    }
+    uint64_t length = b1 & 0x7f;
+    size_t header = 2;
+    if (length == 126) {
+      if (buffer_.size() < 4) return Status::OK();
+      length = (static_cast<uint64_t>(
+                    static_cast<uint8_t>(buffer_[2]))
+                << 8) |
+               static_cast<uint8_t>(buffer_[3]);
+      header = 4;
+    } else if (length == 127) {
+      if (buffer_.size() < 10) return Status::OK();
+      length = 0;
+      for (int i = 0; i < 8; ++i) {
+        length = (length << 8) | static_cast<uint8_t>(buffer_[2 + i]);
+      }
+      header = 10;
+    }
+    const bool control = opcode >= 0x8;
+    if (control && (!fin || length > 125)) {
+      return Status::InvalidArgument(
+          "ws: control frame fragmented or oversized");
+    }
+    if (length > options_.max_frame_bytes) {
+      return Status::OutOfRange("ws: frame too large");
+    }
+    const size_t mask_bytes = masked ? 4 : 0;
+    const uint64_t total = header + mask_bytes + length;
+    if (buffer_.size() < total) return Status::OK();
+
+    WsFrame frame;
+    frame.fin = fin;
+    frame.opcode = static_cast<WsOpcode>(opcode);
+    frame.payload.reserve(static_cast<size_t>(length));
+    const char* p = buffer_.data() + header + mask_bytes;
+    if (masked) {
+      const uint8_t* mask =
+          reinterpret_cast<const uint8_t*>(buffer_.data() + header);
+      for (uint64_t i = 0; i < length; ++i) {
+        frame.payload.push_back(static_cast<char>(
+            static_cast<uint8_t>(p[i]) ^ mask[i % 4]));
+      }
+    } else {
+      frame.payload.assign(p, static_cast<size_t>(length));
+    }
+    buffer_.erase(0, static_cast<size_t>(total));
+    ready_.push_back(std::move(frame));
+  }
+}
+
+WsFrame WsFrameParser::TakeFrame() {
+  WsFrame frame = std::move(ready_.front());
+  ready_.erase(ready_.begin());
+  return frame;
+}
+
+gmine::Result<WsMessageAssembler::Out> WsMessageAssembler::OnFrame(
+    WsFrame frame) {
+  Out out;
+  if (IsControl(frame.opcode)) {
+    out.ready = true;
+    out.opcode = frame.opcode;
+    out.payload = std::move(frame.payload);
+    return out;
+  }
+  if (frame.opcode == WsOpcode::kContinuation) {
+    if (!fragmented_) {
+      return Status::InvalidArgument("ws: continuation without start");
+    }
+    if (fragment_.size() + frame.payload.size() > max_message_bytes_) {
+      return Status::OutOfRange("ws: message too large");
+    }
+    fragment_ += frame.payload;
+    if (!frame.fin) return out;
+    out.ready = true;
+    out.opcode = fragment_opcode_;
+    out.payload = std::move(fragment_);
+    fragment_.clear();
+    fragmented_ = false;
+    return out;
+  }
+  // A fresh text/binary frame.
+  if (fragmented_) {
+    return Status::InvalidArgument(
+        "ws: new data frame inside fragmented message");
+  }
+  if (frame.payload.size() > max_message_bytes_) {
+    return Status::OutOfRange("ws: message too large");
+  }
+  if (frame.fin) {
+    out.ready = true;
+    out.opcode = frame.opcode;
+    out.payload = std::move(frame.payload);
+    return out;
+  }
+  fragmented_ = true;
+  fragment_opcode_ = frame.opcode;
+  fragment_ = std::move(frame.payload);
+  return out;
+}
+
+}  // namespace gmine::http

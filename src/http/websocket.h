@@ -1,0 +1,118 @@
+// RFC 6455 WebSocket framing for the gateway (docs/HTTP.md): the
+// handshake accept digest, a frame encoder, an incremental frame
+// parser, and a message assembler that folds fragmented data frames
+// back into whole messages while letting control frames interleave.
+//
+// Protocol rules enforced here (violations poison the parser — the
+// connection should answer close code 1002 and drop):
+//   * control frames (close/ping/pong) are never fragmented and carry
+//     at most 125 payload bytes;
+//   * reserved bits and unknown opcodes are rejected;
+//   * masking is direction-checked: servers require masked client
+//     frames, clients require unmasked server frames (RFC 6455 §5.1);
+//   * a continuation frame needs an open fragmented message, and a new
+//     data frame cannot start while one is open;
+//   * messages are capped (max_message_bytes) so a peer cannot balloon
+//     our memory.
+
+#ifndef GMINE_HTTP_WEBSOCKET_H_
+#define GMINE_HTTP_WEBSOCKET_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace gmine::http {
+
+/// RFC 6455 §1.3: base64(sha1(client key + fixed GUID)) — the value of
+/// the Sec-WebSocket-Accept handshake header.
+std::string WebSocketAcceptKey(std::string_view client_key);
+
+enum class WsOpcode : uint8_t {
+  kContinuation = 0x0,
+  kText = 0x1,
+  kBinary = 0x2,
+  kClose = 0x8,
+  kPing = 0x9,
+  kPong = 0xa,
+};
+
+/// One parsed frame.
+struct WsFrame {
+  bool fin = true;
+  WsOpcode opcode = WsOpcode::kText;
+  std::string payload;  // unmasked
+};
+
+/// Encodes one frame. `mask` (client->server direction) applies the
+/// given masking key; pass mask=false for server->client frames.
+std::string EncodeWsFrame(WsOpcode opcode, std::string_view payload,
+                          bool fin = true, bool mask = false,
+                          uint32_t masking_key = 0);
+
+/// Encodes a close frame: 2-byte big-endian status code + reason.
+std::string EncodeWsClose(uint16_t code, std::string_view reason = {},
+                          bool mask = false, uint32_t masking_key = 0);
+
+/// Parses a close payload into code + reason (code 1005 for empty).
+void ParseWsClose(std::string_view payload, uint16_t* code,
+                  std::string* reason);
+
+/// Parser tunables.
+struct WsParserOptions {
+  /// Masking direction: true on the server side (client frames MUST be
+  /// masked), false on the client side (server frames MUST NOT be).
+  bool require_masked = true;
+  /// Cap on a single frame's payload.
+  size_t max_frame_bytes = 1 * 1024 * 1024;
+};
+
+/// Incremental frame parser: feed raw socket bytes, take whole frames.
+/// Once an error is returned, the parser stays poisoned.
+class WsFrameParser {
+ public:
+  explicit WsFrameParser(WsParserOptions options = {});
+
+  Status Feed(std::string_view data);
+  bool HasFrame() const { return !ready_.empty(); }
+  WsFrame TakeFrame();
+
+ private:
+  Status Ingest(std::string_view data);
+
+  WsParserOptions options_;
+  std::string buffer_;
+  std::vector<WsFrame> ready_;
+  Status error_ = Status::OK();
+};
+
+/// Folds parsed frames into whole messages. Control frames pass
+/// through immediately (fin always true); data frames assemble across
+/// continuations. OnFrame returns a completed message when one is
+/// ready, a frame-less "not yet" otherwise, or a protocol error.
+class WsMessageAssembler {
+ public:
+  explicit WsMessageAssembler(size_t max_message_bytes = 4 * 1024 * 1024)
+      : max_message_bytes_(max_message_bytes) {}
+
+  struct Out {
+    bool ready = false;
+    WsOpcode opcode = WsOpcode::kText;
+    std::string payload;
+  };
+
+  gmine::Result<Out> OnFrame(WsFrame frame);
+
+ private:
+  size_t max_message_bytes_;
+  bool fragmented_ = false;
+  WsOpcode fragment_opcode_ = WsOpcode::kText;
+  std::string fragment_;
+};
+
+}  // namespace gmine::http
+
+#endif  // GMINE_HTTP_WEBSOCKET_H_

@@ -45,6 +45,7 @@ constexpr OpEntry kOps[] = {
     {RequestOp::kConnectivity, "connectivity"},
     {RequestOp::kRender, "render"},
     {RequestOp::kQuery, "query"},
+    {RequestOp::kEdit, "edit"},
     {RequestOp::kStats, "stats"},
     {RequestOp::kPing, "ping"},
     {RequestOp::kClose, "close"},
@@ -254,6 +255,11 @@ std::string ProtocolHelpText() {
       "  render svg             hierarchy view SVG (framed as a body)\n"
       "  query <statement>      run a GQL statement (docs/QUERY.md); the\n"
       "                         JSON result is framed as a body\n"
+      "  edit <sub-op>          mutate the store (writable servers only):\n"
+      "                         add-node [LABEL] / add-edge U V [W] /\n"
+      "                         remove-edge U V / remove-node V queue ops;\n"
+      "                         apply commits the batch (ack carries\n"
+      "                         lsn/epoch); abort drops it\n"
       "  stats                  connection, server, pool and store stats\n"
       "  ping                   liveness probe\n"
       "  close                  close this connection\n"

@@ -98,6 +98,10 @@ enum class RequestOp : uint8_t {
   kConnectivity,
   kRender,        // arg: "svg"; response carries the document as body
   kQuery,         // arg: GQL statement; JSON result framed as a body
+  kEdit,          // arg: edit sub-op (writable servers only): add-node
+                  // [LABEL] / add-edge U V [W] / remove-edge U V /
+                  // remove-node V / abort / apply — apply acks with
+                  // lsn/epoch like `gmine edit`
   kStats,
   kPing,
   kClose,         // close this connection

@@ -357,6 +357,12 @@ Response Server::Execute(const Request& request, Conn& conn,
     case RequestOp::kStats:
       response.text = StatsText(conn);
       return response;
+    case RequestOp::kEdit:
+      // Mutations run outside WithSession: the commit path (EditQueue
+      // or the host's serialized ApplyEdit) takes the writer side of
+      // the epoch gate itself, and a failed parse must not poison the
+      // connection's navigation session.
+      return ExecuteEdit(request, conn);
     case RequestOp::kQuery: {
       // Queries read the store directly — no navigation state, so they
       // run outside WithSession and never poison the session on error.
@@ -501,6 +507,151 @@ Response Server::Execute(const Request& request, Conn& conn,
   return response;
 }
 
+Response Server::ExecuteEdit(const Request& request, Conn& conn) {
+  Response response;
+  if (!options_.writable) {
+    response.status = Status::NotSupported(
+        "server is read-only (start with --writable on)");
+    return response;
+  }
+  if (!options_.apply_edit || !options_.tip_nodes) {
+    response.status =
+        Status::Internal("writable server has no edit hook wired");
+    return response;
+  }
+  std::string_view arg = TrimWhitespace(request.arg);
+  size_t sp = arg.find(' ');
+  std::string sub(sp == std::string_view::npos ? arg : arg.substr(0, sp));
+  std::string_view rest = sp == std::string_view::npos
+                              ? std::string_view()
+                              : TrimWhitespace(arg.substr(sp + 1));
+  auto ensure_batch = [&] {
+    if (conn.pending_edit == nullptr) {
+      conn.pending_edit =
+          std::make_unique<graph::GraphEdit>(options_.tip_nodes());
+    }
+  };
+  auto parse_two = [&](uint64_t* u, uint64_t* v,
+                       std::string_view* tail) -> bool {
+    size_t s1 = rest.find(' ');
+    if (s1 == std::string_view::npos) return false;
+    std::string_view second = TrimWhitespace(rest.substr(s1 + 1));
+    size_t s2 = second.find(' ');
+    std::string_view vtok =
+        s2 == std::string_view::npos ? second : second.substr(0, s2);
+    *tail = s2 == std::string_view::npos
+                ? std::string_view()
+                : TrimWhitespace(second.substr(s2 + 1));
+    return ParseUint64(rest.substr(0, s1), u) && ParseUint64(vtok, v);
+  };
+  const size_t ops_before =
+      conn.pending_edit != nullptr ? conn.pending_edit->num_ops() : 0;
+  if (sub == "add-node") {
+    ensure_batch();
+    graph::NodeId id = conn.pending_edit->AddNode();
+    conn.pending_labels.emplace_back(rest);
+    response.text = StrFormat("queued add-node id=%u ops=%zu", id,
+                              conn.pending_edit->num_ops());
+    return response;
+  }
+  if (sub == "add-edge") {
+    uint64_t u = 0;
+    uint64_t v = 0;
+    std::string_view tail;
+    if (!parse_two(&u, &v, &tail)) {
+      response.status =
+          Status::InvalidArgument("expected 'edit add-edge U V [W]'");
+      return response;
+    }
+    double w = 1.0;
+    if (!tail.empty() && !ParseDouble(tail, &w)) {
+      response.status = Status::InvalidArgument("bad edge weight");
+      return response;
+    }
+    ensure_batch();
+    conn.pending_edit->AddEdge(static_cast<graph::NodeId>(u),
+                               static_cast<graph::NodeId>(v),
+                               static_cast<float>(w));
+    response.text =
+        StrFormat("queued add-edge %llu-%llu ops=%zu",
+                  static_cast<unsigned long long>(u),
+                  static_cast<unsigned long long>(v),
+                  conn.pending_edit->num_ops());
+    return response;
+  }
+  if (sub == "remove-edge") {
+    uint64_t u = 0;
+    uint64_t v = 0;
+    std::string_view tail;
+    if (!parse_two(&u, &v, &tail) || !tail.empty()) {
+      response.status =
+          Status::InvalidArgument("expected 'edit remove-edge U V'");
+      return response;
+    }
+    ensure_batch();
+    conn.pending_edit->RemoveEdge(static_cast<graph::NodeId>(u),
+                                  static_cast<graph::NodeId>(v));
+    response.text =
+        StrFormat("queued remove-edge %llu-%llu ops=%zu",
+                  static_cast<unsigned long long>(u),
+                  static_cast<unsigned long long>(v),
+                  conn.pending_edit->num_ops());
+    return response;
+  }
+  if (sub == "remove-node") {
+    uint64_t v = 0;
+    if (rest.empty() || !ParseUint64(rest, &v)) {
+      response.status =
+          Status::InvalidArgument("expected 'edit remove-node V'");
+      return response;
+    }
+    ensure_batch();
+    conn.pending_edit->RemoveNode(static_cast<graph::NodeId>(v));
+    response.text = StrFormat("queued remove-node %llu ops=%zu",
+                              static_cast<unsigned long long>(v),
+                              conn.pending_edit->num_ops());
+    return response;
+  }
+  if (sub == "abort") {
+    conn.pending_edit.reset();
+    conn.pending_labels.clear();
+    response.text = StrFormat("aborted ops=%zu", ops_before);
+    return response;
+  }
+  if (sub == "apply") {
+    if (conn.pending_edit == nullptr || conn.pending_edit->empty()) {
+      conn.pending_edit.reset();
+      conn.pending_labels.clear();
+      response.text = "nothing to apply";
+      return response;
+    }
+    graph::GraphEdit edit = std::move(*conn.pending_edit);
+    std::vector<std::string> labels = std::move(conn.pending_labels);
+    conn.pending_edit.reset();
+    conn.pending_labels = {};
+    const size_t ops = edit.num_ops();
+    auto ack = options_.apply_edit(std::move(edit), std::move(labels));
+    if (!ack.ok()) {
+      // The batch is gone either way — a failed commit must not be
+      // silently retried against a tip it was not built for.
+      response.status = ack.status();
+      return response;
+    }
+    edits_committed_.fetch_add(1, std::memory_order_relaxed);
+    edit_ops_committed_.fetch_add(ops, std::memory_order_relaxed);
+    response.text = StrFormat(
+        "committed ops=%zu lsn=%llu epoch=%llu group=%zu", ops,
+        static_cast<unsigned long long>(ack.value().lsn),
+        static_cast<unsigned long long>(ack.value().epoch),
+        ack.value().group_size);
+    return response;
+  }
+  response.status = Status::InvalidArgument(
+      "unknown edit sub-op (ops: add-node add-edge remove-edge "
+      "remove-node abort apply)");
+  return response;
+}
+
 std::string Server::StatsText(const Conn& conn) const {
   ServerStats server = stats();
   const core::SessionPoolStats pool = pool_->stats();
@@ -560,6 +711,14 @@ std::string Server::StatsText(const Conn& conn) const {
           query_pages_scanned_.load(std::memory_order_relaxed)),
       static_cast<unsigned long long>(
           query_pages_pruned_.load(std::memory_order_relaxed)));
+  if (options_.writable) {
+    out += StrFormat(
+        " | edits committed=%llu ops=%llu",
+        static_cast<unsigned long long>(
+            edits_committed_.load(std::memory_order_relaxed)),
+        static_cast<unsigned long long>(
+            edit_ops_committed_.load(std::memory_order_relaxed)));
+  }
   if (prefetcher_ != nullptr) {
     const core::PrefetchStats pf = prefetcher_->stats();
     out += StrFormat(

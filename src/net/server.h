@@ -39,12 +39,21 @@
 
 #include "core/prefetcher.h"
 #include "core/session_manager.h"
+#include "graph/graph_edit.h"
 #include "net/protocol.h"
 #include "net/socket.h"
 #include "query/executor.h"
 #include "util/status.h"
 
 namespace gmine::net {
+
+/// What one committed EDIT batch resolved to (writable servers): the
+/// same lsn/epoch ack `gmine edit` prints, surfaced over the wire.
+struct EditAck {
+  uint64_t lsn = 0;       // WAL record LSN (0 = no WAL attached)
+  uint64_t epoch = 0;     // session-pool epoch that published the edit
+  size_t group_size = 1;  // edits that shared the commit group
+};
 
 /// Server tunables.
 struct ServerOptions {
@@ -71,6 +80,19 @@ struct ServerOptions {
   /// Called from worker threads — must be thread-safe. Empty result =
   /// nothing appended.
   std::function<std::string()> extra_stats;
+  /// Accept EDIT ops (remote mutation). Requires `apply_edit` and
+  /// `tip_nodes`; when false every EDIT answers ERR NotSupported.
+  bool writable = false;
+  /// Commits one closed batch and returns its ack. Called from worker
+  /// threads — must be thread-safe (`gmine server` serializes through
+  /// the group-commit queue with --wal on, a mutex otherwise).
+  std::function<gmine::Result<EditAck>(graph::GraphEdit,
+                                       std::vector<std::string>)>
+      apply_edit;
+  /// Node count of the current graph tip — the base new batches build
+  /// against (provisional ids start here). Same thread-safety contract
+  /// as apply_edit.
+  std::function<uint32_t()> tip_nodes;
 };
 
 /// Cumulative server counters (stats()).
@@ -137,6 +159,10 @@ class Server {
     std::atomic<uint64_t> requests{0};
     std::atomic<int64_t> last_active{0};     // steady micros
     std::atomic<bool> kill{false};           // hook/Stop: close asap
+    // Open EDIT batch (writable servers). Only the worker currently
+    // serving this connection touches it, so no locking.
+    std::unique_ptr<graph::GraphEdit> pending_edit;
+    std::vector<std::string> pending_labels;
   };
 
   void AcceptLoop();
@@ -149,6 +175,8 @@ class Server {
   /// socket before the SHUTDOWN op's own reply got out.
   Response Execute(const Request& request, Conn& conn, bool* close_conn,
                    bool* request_shutdown);
+  /// EDIT sub-op dispatch (queue mutations, apply/abort the batch).
+  Response ExecuteEdit(const Request& request, Conn& conn);
   std::string StatsText(const Conn& conn) const;
   void OnSessionClosed(core::SessionId id, core::SessionCloseReason reason);
 
@@ -159,6 +187,11 @@ class Server {
   /// Shared GQL executor over the pool's store (QUERY op). Const after
   /// construction; Execute() is thread-safe, so workers share it.
   std::unique_ptr<query::Executor> executor_;
+
+  // Cumulative EDIT-op counters (an "edits" section in STATS when
+  // writable).
+  std::atomic<uint64_t> edits_committed_{0};
+  std::atomic<uint64_t> edit_ops_committed_{0};
 
   // Cumulative QUERY-op counters (a "query" section in STATS).
   std::atomic<uint64_t> query_count_{0};

@@ -115,6 +115,105 @@ TEST(EngineEditTest, SessionResetsToRootAfterEdit) {
   EXPECT_EQ(f.engine->session().focus(), f.engine->tree().root());
 }
 
+TEST(EngineEditTest, DefragRatioCompactsBeforeJournalFull) {
+  // A stream of small edge edits keeps appending dead bytes (old page
+  // copies, superseded metadata). With the journal threshold out of
+  // reach, only the size-ratio trigger can compact — and it must, well
+  // before the journal fills.
+  gen::DblpOptions gopts;
+  gopts.levels = 2;
+  gopts.fanout = 3;
+  gopts.leaf_size = 30;
+  gopts.seed = 21;
+  gen::DblpGraph dblp = std::move(gen::GenerateDblp(gopts)).value();
+  std::string path =
+      std::string(::testing::TempDir()) + "/defrag_ratio.gtree";
+  EngineOptions opts;
+  opts.build.levels = 2;
+  opts.build.fanout = 3;
+  opts.store.journal_compact_ops = 1000;  // never reached in this test
+  opts.store.defrag_wasted_ratio = 0.5;   // compact at 1.5x the live set
+  auto engine =
+      std::move(GMineEngine::Build(dblp.graph, dblp.labels, path, opts))
+          .value();
+
+  const graph::NodeId a = dblp.jiawei_han;
+  const graph::NodeId b = dblp.ke_wang;
+  const uint32_t n = dblp.graph.num_nodes();
+  bool defragged = false;
+  int compact_at = -1;
+  for (int i = 0; i < 200 && !defragged; ++i) {
+    graph::GraphEdit edit(n);
+    if (i % 2 == 0) {
+      edit.RemoveEdge(a, b);
+    } else {
+      edit.AddEdge(a, b, 2.0f);
+    }
+    EditStats stats;
+    ASSERT_TRUE(engine->ApplyEdit(edit, {}, &stats).ok());
+    gtree::GTreeStore& store = engine->store();
+    EXPECT_LE(store.live_bytes(), store.file_size());
+    if (stats.compacted) {
+      defragged = true;
+      compact_at = i;
+      // Compaction rewrote the file from scratch: no dead bytes left,
+      // journal folded into the base graph.
+      EXPECT_EQ(store.wasted_bytes(), 0u);
+      EXPECT_EQ(store.live_bytes(), store.file_size());
+      EXPECT_EQ(store.journal_ops(), 0u);
+    }
+  }
+  EXPECT_TRUE(defragged) << "size-ratio trigger never compacted";
+  EXPECT_GT(compact_at, 0) << "first edit should append, not compact";
+
+  engine.reset();
+  std::remove(path.c_str());
+}
+
+TEST(EngineEditTest, DefragRatioZeroDisablesSizeTrigger) {
+  // Same edit stream with the trigger off: every edit appends and the
+  // dead-byte pile grows without bound (until journal-full, which this
+  // test keeps out of reach).
+  gen::DblpOptions gopts;
+  gopts.levels = 2;
+  gopts.fanout = 3;
+  gopts.leaf_size = 30;
+  gopts.seed = 21;
+  gen::DblpGraph dblp = std::move(gen::GenerateDblp(gopts)).value();
+  std::string path =
+      std::string(::testing::TempDir()) + "/defrag_off.gtree";
+  EngineOptions opts;
+  opts.build.levels = 2;
+  opts.build.fanout = 3;
+  opts.store.journal_compact_ops = 1000;
+  opts.store.defrag_wasted_ratio = 0;  // size trigger disabled
+  auto engine =
+      std::move(GMineEngine::Build(dblp.graph, dblp.labels, path, opts))
+          .value();
+
+  const graph::NodeId a = dblp.jiawei_han;
+  const graph::NodeId b = dblp.ke_wang;
+  const uint32_t n = dblp.graph.num_nodes();
+  uint64_t last_wasted = 0;
+  for (int i = 0; i < 40; ++i) {
+    graph::GraphEdit edit(n);
+    if (i % 2 == 0) {
+      edit.RemoveEdge(a, b);
+    } else {
+      edit.AddEdge(a, b, 2.0f);
+    }
+    EditStats stats;
+    ASSERT_TRUE(engine->ApplyEdit(edit, {}, &stats).ok());
+    EXPECT_FALSE(stats.compacted) << "edit " << i;
+    EXPECT_GE(engine->store().wasted_bytes(), last_wasted);
+    last_wasted = engine->store().wasted_bytes();
+  }
+  EXPECT_GT(last_wasted, 0u);
+
+  engine.reset();
+  std::remove(path.c_str());
+}
+
 TEST(EngineViewTest, ZoomPanRecordedAndApplied) {
   Fixture f = Make("view");
   gtree::NavigationSession& nav = f.engine->session();

@@ -1,0 +1,299 @@
+// Wire-level proofs for the HTTP/WebSocket layer against published
+// vectors: FIPS 180-1 SHA-1 digests, RFC 4648 Base64, the RFC 6455
+// sample handshake key, frame round trips (masking, fragmentation,
+// 16/64-bit lengths), protocol-violation rejection, and the
+// incremental request parser fed a byte at a time.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "http/http.h"
+#include "http/sha1.h"
+#include "http/websocket.h"
+
+namespace gmine::http {
+namespace {
+
+std::string HexDigest(const std::array<uint8_t, 20>& digest) {
+  static const char kHex[] = "0123456789abcdef";
+  std::string out;
+  for (uint8_t b : digest) {
+    out.push_back(kHex[b >> 4]);
+    out.push_back(kHex[b & 0xf]);
+  }
+  return out;
+}
+
+TEST(Sha1Test, Fips180Vectors) {
+  EXPECT_EQ(HexDigest(Sha1("")),
+            "da39a3ee5e6b4b0d3255bfef95601890afd80709");
+  EXPECT_EQ(HexDigest(Sha1("abc")),
+            "a9993e364706816aba3e25717850c26c9cd0d89d");
+  EXPECT_EQ(HexDigest(Sha1(
+                "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")),
+            "84983e441c3bd26ebaae4aa1f95129e5e54670f1");
+  EXPECT_EQ(HexDigest(Sha1(std::string(1000000, 'a'))),
+            "34aa973cd4c4daa4f61eeb2bdbad27316534016f");
+}
+
+TEST(Base64Test, Rfc4648Vectors) {
+  EXPECT_EQ(Base64Encode(""), "");
+  EXPECT_EQ(Base64Encode("f"), "Zg==");
+  EXPECT_EQ(Base64Encode("fo"), "Zm8=");
+  EXPECT_EQ(Base64Encode("foo"), "Zm9v");
+  EXPECT_EQ(Base64Encode("foob"), "Zm9vYg==");
+  EXPECT_EQ(Base64Encode("fooba"), "Zm9vYmE=");
+  EXPECT_EQ(Base64Encode("foobar"), "Zm9vYmFy");
+}
+
+TEST(WebSocketTest, Rfc6455SampleAcceptKey) {
+  EXPECT_EQ(WebSocketAcceptKey("dGhlIHNhbXBsZSBub25jZQ=="),
+            "s3pPLMBiTxaQ9kYGzzhZRbK+xOo=");
+}
+
+TEST(WebSocketTest, MaskedFrameRoundTrip) {
+  // Client-side encode (masked), server-side parse.
+  const std::string wire =
+      EncodeWsFrame(WsOpcode::kText, "Hello", /*fin=*/true,
+                    /*mask=*/true, 0x37fa213d);
+  WsFrameParser server;  // require_masked defaults true
+  ASSERT_TRUE(server.Feed(wire).ok());
+  ASSERT_TRUE(server.HasFrame());
+  WsFrame frame = server.TakeFrame();
+  EXPECT_TRUE(frame.fin);
+  EXPECT_EQ(frame.opcode, WsOpcode::kText);
+  EXPECT_EQ(frame.payload, "Hello");
+}
+
+TEST(WebSocketTest, ExtendedLengthsRoundTrip) {
+  WsParserOptions opts;
+  opts.require_masked = false;
+  opts.max_frame_bytes = 1 << 20;
+  WsFrameParser parser(opts);
+  const std::string medium(300, 'x');    // 16-bit length
+  const std::string large(70000, 'y');   // 64-bit length
+  ASSERT_TRUE(parser.Feed(EncodeWsFrame(WsOpcode::kBinary, medium)).ok());
+  ASSERT_TRUE(parser.Feed(EncodeWsFrame(WsOpcode::kBinary, large)).ok());
+  ASSERT_TRUE(parser.HasFrame());
+  EXPECT_EQ(parser.TakeFrame().payload, medium);
+  ASSERT_TRUE(parser.HasFrame());
+  EXPECT_EQ(parser.TakeFrame().payload, large);
+}
+
+TEST(WebSocketTest, ByteAtATimeParsing) {
+  const std::string wire =
+      EncodeWsFrame(WsOpcode::kText, "trickle", /*fin=*/true,
+                    /*mask=*/true, 0xdeadbeef);
+  WsFrameParser parser;
+  for (char c : wire) {
+    ASSERT_TRUE(parser.Feed(std::string_view(&c, 1)).ok());
+  }
+  ASSERT_TRUE(parser.HasFrame());
+  EXPECT_EQ(parser.TakeFrame().payload, "trickle");
+}
+
+TEST(WebSocketTest, ProtocolViolationsPoisonTheParser) {
+  {
+    WsFrameParser parser;  // server side: unmasked client frame
+    EXPECT_TRUE(parser.Feed(EncodeWsFrame(WsOpcode::kText, "x"))
+                    .IsInvalidArgument());
+    // Poisoned: even valid input now fails.
+    EXPECT_FALSE(
+        parser
+            .Feed(EncodeWsFrame(WsOpcode::kText, "x", true, true, 1))
+            .ok());
+  }
+  {
+    WsFrameParser parser;
+    std::string bad = EncodeWsFrame(WsOpcode::kText, "x", true, true, 1);
+    bad[0] = static_cast<char>(bad[0] | 0x40);  // RSV1
+    EXPECT_TRUE(parser.Feed(bad).IsInvalidArgument());
+  }
+  {
+    WsFrameParser parser;
+    std::string bad = EncodeWsFrame(WsOpcode::kText, "x", true, true, 1);
+    bad[0] = static_cast<char>(0x83);  // FIN + reserved opcode 0x3
+    EXPECT_TRUE(parser.Feed(bad).IsInvalidArgument());
+  }
+  {
+    WsFrameParser parser;  // fragmented ping
+    std::string bad = EncodeWsFrame(WsOpcode::kPing, "x", /*fin=*/false,
+                                    true, 1);
+    EXPECT_TRUE(parser.Feed(bad).IsInvalidArgument());
+  }
+  {
+    WsParserOptions opts;
+    opts.require_masked = false;
+    opts.max_frame_bytes = 16;
+    WsFrameParser parser(opts);
+    EXPECT_TRUE(
+        parser.Feed(EncodeWsFrame(WsOpcode::kText, std::string(17, 'x')))
+            .IsOutOfRange());
+  }
+}
+
+TEST(WebSocketTest, FragmentationAssemblesWithInterleavedControl) {
+  WsMessageAssembler assembler;
+  auto on = [&](WsOpcode opcode, std::string_view payload, bool fin) {
+    WsFrame frame;
+    frame.opcode = opcode;
+    frame.payload = std::string(payload);
+    frame.fin = fin;
+    return std::move(assembler.OnFrame(std::move(frame))).value();
+  };
+  EXPECT_FALSE(on(WsOpcode::kText, "Hel", false).ready);
+  // A ping may interleave mid-message and pops out immediately.
+  auto ping = on(WsOpcode::kPing, "tick", true);
+  EXPECT_TRUE(ping.ready);
+  EXPECT_EQ(ping.opcode, WsOpcode::kPing);
+  EXPECT_FALSE(on(WsOpcode::kContinuation, "lo ", false).ready);
+  auto done = on(WsOpcode::kContinuation, "World", true);
+  EXPECT_TRUE(done.ready);
+  EXPECT_EQ(done.opcode, WsOpcode::kText);
+  EXPECT_EQ(done.payload, "Hello World");
+
+  // Violations: orphan continuation, data frame inside a fragment.
+  WsFrame orphan;
+  orphan.opcode = WsOpcode::kContinuation;
+  EXPECT_TRUE(assembler.OnFrame(orphan).status().IsInvalidArgument());
+  EXPECT_FALSE(on(WsOpcode::kText, "a", false).ready);
+  WsFrame fresh;
+  fresh.opcode = WsOpcode::kText;
+  EXPECT_TRUE(assembler.OnFrame(fresh).status().IsInvalidArgument());
+}
+
+TEST(WebSocketTest, CloseFrameRoundTrip) {
+  WsParserOptions opts;
+  opts.require_masked = false;
+  WsFrameParser parser(opts);
+  ASSERT_TRUE(parser.Feed(EncodeWsClose(1000, "done")).ok());
+  ASSERT_TRUE(parser.HasFrame());
+  WsFrame frame = parser.TakeFrame();
+  EXPECT_EQ(frame.opcode, WsOpcode::kClose);
+  uint16_t code = 0;
+  std::string reason;
+  ParseWsClose(frame.payload, &code, &reason);
+  EXPECT_EQ(code, 1000);
+  EXPECT_EQ(reason, "done");
+  ParseWsClose("", &code, &reason);
+  EXPECT_EQ(code, 1005);
+}
+
+TEST(HttpParserTest, ParsesRequestLineHeadersAndQuery) {
+  HttpRequestParser parser;
+  ASSERT_TRUE(parser
+                  .Feed("GET /api/query?store=dblp&text=find%20authors"
+                        "&flag HTTP/1.1\r\n"
+                        "Host: localhost\r\n"
+                        "Authorization: Bearer sesame\r\n"
+                        "\r\n")
+                  .ok());
+  ASSERT_TRUE(parser.HasRequest());
+  HttpRequest request = parser.TakeRequest();
+  EXPECT_EQ(request.method, "GET");
+  EXPECT_EQ(request.path, "/api/query");
+  EXPECT_EQ(request.query.at("store"), "dblp");
+  EXPECT_EQ(request.query.at("text"), "find authors");
+  EXPECT_EQ(request.query.at("flag"), "");
+  EXPECT_EQ(request.Header("authorization"), "Bearer sesame");
+  EXPECT_EQ(request.Header("AUTHORIZATION"), "Bearer sesame");
+  EXPECT_TRUE(request.keep_alive);
+}
+
+TEST(HttpParserTest, BodyAndPipeliningByteAtATime) {
+  HttpRequestParser parser;
+  const std::string wire =
+      "POST /api/query HTTP/1.1\r\nContent-Length: 11\r\n\r\n"
+      "hello query"
+      "GET /stats HTTP/1.1\r\nConnection: close\r\n\r\n";
+  for (char c : wire) {
+    ASSERT_TRUE(parser.Feed(std::string_view(&c, 1)).ok());
+  }
+  ASSERT_TRUE(parser.HasRequest());
+  HttpRequest first = parser.TakeRequest();
+  EXPECT_EQ(first.method, "POST");
+  EXPECT_EQ(first.body, "hello query");
+  ASSERT_TRUE(parser.HasRequest());
+  HttpRequest second = parser.TakeRequest();
+  EXPECT_EQ(second.path, "/stats");
+  EXPECT_FALSE(second.keep_alive);
+}
+
+TEST(HttpParserTest, RejectsGarbageAndOversize) {
+  {
+    HttpRequestParser parser;
+    EXPECT_TRUE(parser.Feed("NOT-HTTP\r\n\r\n").IsInvalidArgument());
+    EXPECT_FALSE(parser.Feed("GET / HTTP/1.1\r\n\r\n").ok());  // poisoned
+  }
+  {
+    HttpRequestParser parser;
+    EXPECT_TRUE(parser.Feed("GET /x HTTP/2\r\n\r\n").IsInvalidArgument());
+  }
+  {
+    HttpRequestParser parser;
+    EXPECT_TRUE(
+        parser.Feed("GET /x HTTP/1.1\r\nBad Header Name: v\r\n\r\n")
+            .IsInvalidArgument());
+  }
+  {
+    HttpParserLimits limits;
+    limits.max_head_bytes = 64;
+    HttpRequestParser parser(limits);
+    EXPECT_TRUE(parser
+                    .Feed("GET /x HTTP/1.1\r\nPadding: " +
+                          std::string(100, 'p') + "\r\n\r\n")
+                    .IsOutOfRange());
+  }
+  {
+    HttpParserLimits limits;
+    limits.max_body_bytes = 8;
+    HttpRequestParser parser(limits);
+    EXPECT_TRUE(
+        parser.Feed("POST /x HTTP/1.1\r\nContent-Length: 9\r\n\r\n")
+            .IsOutOfRange());
+  }
+  {
+    HttpRequestParser parser;
+    EXPECT_TRUE(
+        parser
+            .Feed("POST /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n")
+            .IsInvalidArgument());
+  }
+}
+
+TEST(HttpResponseTest, DeterministicEncoding) {
+  HttpResponse response;
+  response.status = 200;
+  response.content_type = "application/json";
+  response.body = "{\"ok\":true}";
+  EXPECT_EQ(EncodeResponse(response),
+            "HTTP/1.1 200 OK\r\n"
+            "Content-Type: application/json\r\n"
+            "Content-Length: 11\r\n"
+            "Connection: keep-alive\r\n"
+            "\r\n"
+            "{\"ok\":true}");
+
+  HttpResponse upgrade;
+  upgrade.status = 101;
+  upgrade.content_type.clear();
+  upgrade.extra_headers = {{"Upgrade", "websocket"},
+                           {"Sec-WebSocket-Accept", "xyz"}};
+  const std::string wire = EncodeResponse(upgrade);
+  EXPECT_NE(wire.find("HTTP/1.1 101 Switching Protocols\r\n"),
+            std::string::npos);
+  EXPECT_NE(wire.find("Sec-WebSocket-Accept: xyz\r\n"),
+            std::string::npos);
+  EXPECT_EQ(wire.find("Content-Type"), std::string::npos);
+}
+
+TEST(HttpResponseTest, UrlDecodeEdgeCases) {
+  EXPECT_EQ(UrlDecode("a%20b+c"), "a b c");
+  EXPECT_EQ(UrlDecode("%2Fpath%2f"), "/path/");
+  EXPECT_EQ(UrlDecode("dangling%2"), "dangling%2");  // malformed kept
+  EXPECT_EQ(UrlDecode("%zz"), "%zz");
+}
+
+}  // namespace
+}  // namespace gmine::http

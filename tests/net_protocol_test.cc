@@ -246,7 +246,7 @@ TEST(ProtocolHelpTest, NamesEveryOp) {
   for (const char* op :
        {"help", "open", "root", "focus", "child", "parent", "back",
         "locate", "load", "summary", "connectivity", "render", "stats",
-        "ping", "close", "shutdown"}) {
+        "edit", "ping", "close", "shutdown"}) {
     EXPECT_NE(help.find(op), std::string::npos) << op;
   }
 }

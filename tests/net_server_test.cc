@@ -9,17 +9,21 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdio>
 #include <memory>
+#include <mutex>
 #include <thread>
 #include <vector>
 
+#include "core/engine.h"
 #include "core/prefetcher.h"
 #include "core/session_manager.h"
 #include "gen/dblp.h"
 #include "graph/graph_io.h"
 #include "gtree/builder.h"
 #include "net/client.h"
+#include "util/string_util.h"
 
 namespace gmine::net {
 namespace {
@@ -514,6 +518,121 @@ TEST(NetServerTest, ShutdownOpStopsTheServerWithoutLeaks) {
   EXPECT_EQ(server.stats().active_now, 0u);
   bystander.Close();
   controller.Close();
+}
+
+TEST(NetServerTest, ReadOnlyServerRejectsEditOps) {
+  ServerFixture f = MakeFixture("net_readonly_edit");
+  SessionManager pool(f.store.get());
+  Server server(&pool);
+  ASSERT_TRUE(server.Start().ok());
+  const std::string transcript = DriveClient(
+      server.port(), {"edit add-node X", "edit apply", "close"});
+  EXPECT_EQ(transcript, "ERR:NotSupported|ERR:NotSupported|bye");
+  server.Stop();
+}
+
+TEST(NetServerTest, WritableServerCommitsEditBatchWithAck) {
+  // Engine-backed writable server, mirroring `gmine server --writable
+  // on` without --wal: a mutex serializes ApplyEdit, acks carry lsn=0
+  // and the publishing epoch.
+  gen::DblpOptions gopts;
+  gopts.levels = 2;
+  gopts.fanout = 3;
+  gopts.leaf_size = 30;
+  gopts.seed = 17;
+  gen::DblpGraph dblp = std::move(gen::GenerateDblp(gopts)).value();
+  std::string path =
+      std::string(::testing::TempDir()) + "/net_writable.gtree";
+  core::EngineOptions eopts;
+  eopts.build.levels = 2;
+  eopts.build.fanout = 3;
+  auto engine =
+      std::move(core::GMineEngine::Build(dblp.graph, dblp.labels, path,
+                                         eopts))
+          .value();
+
+  auto edit_mu = std::make_shared<std::mutex>();
+  auto tip = std::make_shared<std::atomic<uint32_t>>(
+      dblp.graph.num_nodes());
+  ServerOptions sopts;
+  sopts.writable = true;
+  core::GMineEngine* eng = engine.get();
+  sopts.tip_nodes = [tip] { return tip->load(); };
+  sopts.apply_edit = [eng, edit_mu, tip](graph::GraphEdit edit,
+                                         std::vector<std::string> labels)
+      -> gmine::Result<EditAck> {
+    std::lock_guard<std::mutex> lock(*edit_mu);
+    core::EditStats stats;
+    GMINE_RETURN_IF_ERROR(eng->ApplyEdit(edit, labels, &stats));
+    tip->store(static_cast<uint32_t>(
+        tip->load() + stats.classification.added_vertices -
+        stats.classification.removed_vertices));
+    EditAck ack;
+    ack.epoch = stats.epoch;
+    return ack;
+  };
+  Server server(&engine->sessions(), sopts);
+  ASSERT_TRUE(server.Start().ok());
+
+  Client client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port()).ok());
+  const uint32_t n = dblp.graph.num_nodes();
+
+  // Bad sub-ops fail without opening a batch.
+  auto bad = client.Roundtrip("edit add-edge nope");
+  ASSERT_TRUE(bad.ok());
+  EXPECT_EQ(bad.value().code, "InvalidArgument");
+  auto unknown = client.Roundtrip("edit frobnicate");
+  ASSERT_TRUE(unknown.ok());
+  EXPECT_EQ(unknown.value().code, "InvalidArgument");
+
+  // Queue a node + an edge, apply, and check the ack shape.
+  auto queued = client.Roundtrip("edit add-node Wire Author");
+  ASSERT_TRUE(queued.ok());
+  EXPECT_EQ(queued.value().text,
+            StrFormat("queued add-node id=%u ops=1", n));
+  auto edge = client.Roundtrip(
+      StrFormat("edit add-edge %u %u 2", n, dblp.jiawei_han));
+  ASSERT_TRUE(edge.ok());
+  EXPECT_EQ(edge.value().text,
+            StrFormat("queued add-edge %u-%u ops=2", n, dblp.jiawei_han));
+  auto ack = client.Roundtrip("edit apply");
+  ASSERT_TRUE(ack.ok());
+  EXPECT_TRUE(ack.value().ok) << ack.value().text;
+  EXPECT_EQ(ack.value().text.find("committed ops=2 lsn=0 epoch="), 0u)
+      << ack.value().text;
+
+  // The mutation is visible to this very connection's session.
+  auto located = client.Roundtrip("locate Wire Author");
+  ASSERT_TRUE(located.ok());
+  EXPECT_TRUE(located.value().ok) << located.value().text;
+
+  // Empty apply is a polite no-op; abort drops a queued batch.
+  auto empty = client.Roundtrip("edit apply");
+  ASSERT_TRUE(empty.ok());
+  EXPECT_EQ(empty.value().text, "nothing to apply");
+  ASSERT_TRUE(client.Roundtrip("edit add-edge 0 1").ok());
+  auto aborted = client.Roundtrip("edit abort");
+  ASSERT_TRUE(aborted.ok());
+  EXPECT_EQ(aborted.value().text, "aborted ops=1");
+  auto after_abort = client.Roundtrip("edit apply");
+  ASSERT_TRUE(after_abort.ok());
+  EXPECT_EQ(after_abort.value().text, "nothing to apply");
+
+  // STATS grew an edits section.
+  auto stats = client.Roundtrip("stats");
+  ASSERT_TRUE(stats.ok());
+  EXPECT_NE(stats.value().text.find("edits committed=1 ops=2"),
+            std::string::npos)
+      << stats.value().text;
+
+  (void)client.Roundtrip("close");
+  client.Close();
+  server.Stop();
+  // Only the engine's own pinned default session remains.
+  EXPECT_EQ(engine->sessions().size(), 1u);
+  engine.reset();
+  std::remove(path.c_str());
 }
 
 }  // namespace

@@ -58,6 +58,19 @@ TEST(StoreTest, CreateOpenRoundTripMetadata) {
   std::remove(f.path.c_str());
 }
 
+TEST(StoreTest, FreshStoreHasNoWastedBytes) {
+  // Create writes every byte the header references and nothing else, so
+  // the live set equals the file and the defrag trigger starts at zero.
+  Fixture f = MakeFixture("fresh_live");
+  ASSERT_TRUE(
+      GTreeStore::Create(f.path, f.graph, f.tree, f.conn, f.labels).ok());
+  auto store = GTreeStore::Open(f.path);
+  ASSERT_TRUE(store.ok());
+  EXPECT_EQ(store.value()->live_bytes(), store.value()->file_size());
+  EXPECT_EQ(store.value()->wasted_bytes(), 0u);
+  std::remove(f.path.c_str());
+}
+
 TEST(StoreTest, LeafPayloadMatchesDirectInduction) {
   Fixture f = MakeFixture("payload");
   ASSERT_TRUE(

@@ -18,6 +18,9 @@
 #   * the query_pushdown sweep carries pages_scanned / pages_total /
 #     speedup_vs_full per entry, with pages_scanned strictly less than
 #     pages_total — the pushdown pruning gate (docs/QUERY.md);
+#   * the http_gateway sweep carries conns / req_per_sec / p99_ns per
+#     entry, conns matching the column — the gateway throughput/latency
+#     record (docs/HTTP.md);
 #   * host_cpus is recorded (a perf number without its core count is
 #     unreproducible); on a 1-core host, thread sweeps whose
 #     speedup_auto_vs_serial < 1 are WARNED about loudly instead of
@@ -53,6 +56,7 @@ required = [
     "buffer_pool_navigate",
     "wal_group_commit",
     "query_pushdown",
+    "http_gateway",
 ]
 
 try:
@@ -127,6 +131,21 @@ for name, sweep in kernels.items():
                 fail.append(f"{name}/{col}: pages_scanned {scanned} is "
                             f"not < pages_total {total} — pushdown "
                             "pruned nothing")
+        if name == "http_gateway":
+            conns = entry.get("conns")
+            rps = entry.get("req_per_sec")
+            p99 = entry.get("p99_ns")
+            if not isinstance(conns, (int, float)) \
+                    or not math.isfinite(conns) \
+                    or (col.isdigit() and int(conns) != int(col)):
+                fail.append(f"{name}/{col}: conns {conns!r} does not "
+                            f"match column")
+            if not isinstance(rps, (int, float)) or not math.isfinite(rps) \
+                    or rps <= 0:
+                fail.append(f"{name}/{col}: bad req_per_sec {rps!r}")
+            if not isinstance(p99, (int, float)) or not math.isfinite(p99) \
+                    or p99 <= 0:
+                fail.append(f"{name}/{col}: bad p99_ns {p99!r}")
     if len(numeric_cols) < 2:
         fail.append(f"{name}: needs >= 2 numeric columns, has {numeric_cols}")
     elif len(set(numeric_cols)) != len(numeric_cols):

@@ -72,6 +72,7 @@ run_sweep bench_edits 'BM_GTreeEdit(Incremental|FullRebuild)' "$TMP_DIR/edits.js
 run_sweep bench_buffer_pool 'BM_BufferPoolNavigate' "$TMP_DIR/buffer_pool.json"
 run_sweep bench_wal 'BM_WalGroupCommit' "$TMP_DIR/wal.json"
 run_sweep bench_query 'BM_QueryPushdown' "$TMP_DIR/query.json"
+run_sweep bench_http 'BM_HttpGatewayNavigate' "$TMP_DIR/http.json"
 
 python3 - "$REPO_ROOT/BENCH_kernels.json" "$TMP_DIR"/*.json <<'PY'
 import json
@@ -107,6 +108,11 @@ kernel_names = {
     # pages_total (the pruning proof) and speedup_vs_full (vs the
     # filter-after-materialize reference) ride along (docs/QUERY.md)
     "BM_QueryPushdown": "query_pushdown",
+    # arg = concurrent upgraded WebSocket connections against one
+    # http::Gateway reactor loop (fixed op budget); extra columns
+    # conns, req_per_sec and p99_ns carry the throughput/latency story
+    # (docs/HTTP.md)
+    "BM_HttpGatewayNavigate": "http_gateway",
 }
 kernels = {}
 context = {}
@@ -131,7 +137,8 @@ for path in inputs:
         # tools/check_bench_json.sh for buffer_pool_navigate and
         # wal_group_commit).
         for extra in ("hit_rate", "resident_bytes", "edits_per_sec",
-                      "pages_scanned", "pages_total", "speedup_vs_full"):
+                      "pages_scanned", "pages_total", "speedup_vs_full",
+                      "conns", "req_per_sec", "p99_ns"):
             if extra in b:
                 entry[extra] = b[extra]
         kernels.setdefault(kernel_names[name], {})[threads] = entry
