@@ -96,7 +96,7 @@ size_t RunClientSlice(uint16_t port, size_t client, size_t num_clients,
                       std::vector<int64_t>* latencies_ns) {
   http::GatewayClient c;
   if (!c.Connect("127.0.0.1", port).ok()) return 0;
-  if (!c.UpgradeWebSocket("/api/stores/s0/ws", "").ok()) return 0;
+  if (!c.UpgradeWebSocket("/api/v1/stores/s0/ws", "").ok()) return 0;
   static const char* kCycle[] = {"child 0", "summary", "parent", "root"};
   size_t done = 0;
   for (size_t k = client; k < kOps; k += num_clients) {
@@ -190,7 +190,7 @@ void HoldIdleFleet(GatewayFixture* f) {
       for (size_t i = 0; i < quota; ++i) {
         auto c = std::make_unique<http::GatewayClient>();
         if (!c->Connect("127.0.0.1", port).ok()) break;
-        if (!c->UpgradeWebSocket("/api/stores/s0/ws", "").ok()) break;
+        if (!c->UpgradeWebSocket("/api/v1/stores/s0/ws", "").ok()) break;
         fleet.push_back(std::move(c));
       }
       const uint32_t held = static_cast<uint32_t>(fleet.size());
@@ -220,7 +220,7 @@ void HoldIdleFleet(GatewayFixture* f) {
   {
     http::GatewayClient probe;
     if (probe.Connect("127.0.0.1", port).ok() &&
-        probe.UpgradeWebSocket("/api/stores/s0/ws", "").ok()) {
+        probe.UpgradeWebSocket("/api/v1/stores/s0/ws", "").ok()) {
       for (int i = 0; i < 32; ++i) {
         const int64_t t0 = NowNanos();
         if (probe.Roundtrip("summary").ok()) {

@@ -78,7 +78,7 @@ void PrintReport() {
               data.graph.num_nodes());
   bench::PrintThreadSweep("PageRank:", [&](int threads) {
     mining::PageRankOptions opts;
-    opts.threads = threads;
+    opts.context.threads = threads;
     StopWatch w;
     benchmark::DoNotOptimize(mining::ComputePageRank(data.graph, opts));
     return static_cast<double>(w.ElapsedMicros());
@@ -86,7 +86,7 @@ void PrintReport() {
   bench::PrintThreadSweep("Betweenness (64 samples):", [&](int threads) {
     mining::BetweennessOptions opts;
     opts.samples = 64;
-    opts.threads = threads;
+    opts.context.threads = threads;
     StopWatch w;
     benchmark::DoNotOptimize(mining::ComputeBetweenness(data.graph, opts));
     return static_cast<double>(w.ElapsedMicros());
@@ -138,7 +138,7 @@ BENCHMARK(BM_PageRank)->Arg(300)->Arg(3000)->Unit(benchmark::kMillisecond);
 void BM_PageRankThreads(benchmark::State& state) {
   const gen::DblpGraph& data = CachedDblp();
   mining::PageRankOptions opts;
-  opts.threads = static_cast<int>(state.range(0));
+  opts.context.threads = static_cast<int>(state.range(0));
   for (auto _ : state) {
     benchmark::DoNotOptimize(mining::ComputePageRank(data.graph, opts));
   }
@@ -150,7 +150,7 @@ void BM_BetweennessThreads(benchmark::State& state) {
   const gen::DblpGraph& data = CachedDblp();
   mining::BetweennessOptions opts;
   opts.samples = 64;
-  opts.threads = static_cast<int>(state.range(0));
+  opts.context.threads = static_cast<int>(state.range(0));
   for (auto _ : state) {
     benchmark::DoNotOptimize(mining::ComputeBetweenness(data.graph, opts));
   }

@@ -67,7 +67,7 @@ void PrintReport() {
     csg::RwrOptions opts;
     opts.tolerance = 1e-10;
     opts.max_iterations = 1000;
-    opts.threads = threads;
+    opts.context.threads = threads;
     StopWatch w;
     auto r = csg::RandomWalkWithRestart(data.graph, source, opts);
     if (!r.ok()) {
@@ -115,7 +115,7 @@ void BM_RwrThreads(benchmark::State& state) {
   csg::RwrOptions opts;
   opts.tolerance = 1e-10;
   opts.max_iterations = 1000;
-  opts.threads = static_cast<int>(state.range(0));
+  opts.context.threads = static_cast<int>(state.range(0));
   for (auto _ : state) {
     benchmark::DoNotOptimize(
         csg::RandomWalkWithRestart(data.graph, data.jiawei_han, opts));

@@ -183,7 +183,7 @@ void PrintReport() {
           .c_str(),
       [&](int threads) {
         mining::PageRankOptions opts;
-        opts.threads = threads;
+        opts.context.threads = threads;
         StopWatch w;
         benchmark::DoNotOptimize(mining::ComputePageRank(data.graph, opts));
         return static_cast<double>(w.ElapsedMicros());

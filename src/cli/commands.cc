@@ -14,12 +14,15 @@
 #include "gen/dblp.h"
 #include "graph/graph_export.h"
 #include "graph/graph_io.h"
+#include "gtree/stream_build.h"
 #include "http/client.h"
 #include "http/gateway.h"
 #include "net/client.h"
 #include "net/server.h"
+#include "mining/pagescan_kernels.h"
 #include "query/executor.h"
 #include "storage/buffer_pool.h"
+#include "storage/page_scan.h"
 #include "util/parallel.h"
 #include "util/string_util.h"
 #include "util/timer.h"
@@ -126,6 +129,39 @@ Status CmdBuild(const CommandLine& cmd, std::string* out) {
   if (graph_path.empty() || store_path.empty()) {
     return UsageError("build: --graph FILE and --out STORE required");
   }
+  if (cmd.Has("stream")) {
+    // Out-of-core pipeline (docs/OUTOFCORE.md): the edge list streams
+    // through an external sort into leaf pages; the input never
+    // materializes in memory.
+    gtree::StreamBuildOptions sopts;
+    GMINE_ASSIGN_OR_RETURN(uint64_t leaf, FlagUint(cmd, "leaf-size", 2048));
+    GMINE_ASSIGN_OR_RETURN(uint64_t fanout, FlagUint(cmd, "fanout", 8));
+    GMINE_ASSIGN_OR_RETURN(uint64_t budget,
+                           FlagUint(cmd, "mem-budget-mb", 64));
+    if (leaf == 0) return UsageError("build: --leaf-size must be > 0");
+    if (fanout < 2) return UsageError("build: --fanout must be >= 2");
+    sopts.leaf_size = static_cast<uint32_t>(leaf);
+    sopts.fanout = static_cast<uint32_t>(fanout);
+    sopts.mem_budget_bytes = budget << 20;
+    graph::LabelStore labels;
+    if (cmd.Has("labels")) {
+      GMINE_ASSIGN_OR_RETURN(labels, LoadLabelsFile(cmd.Get("labels")));
+    }
+    gtree::StreamBuildStats stats;
+    StopWatch watch;
+    GMINE_RETURN_IF_ERROR(gtree::StreamBuildStore(
+        graph_path, store_path, labels, sopts, &stats));
+    *out += StrFormat(
+        "stream-built n=%u e=%llu -> %s (%s) in %s\n"
+        "  leaves=%u cross_edges=%llu sort_runs=%llu spilled=%s\n",
+        stats.num_nodes, (unsigned long long)stats.num_edges,
+        store_path.c_str(), HumanBytes(stats.store_bytes).c_str(),
+        HumanMicros(watch.ElapsedMicros()).c_str(), stats.num_leaves,
+        (unsigned long long)stats.cross_edges,
+        (unsigned long long)stats.sort_runs,
+        HumanBytes(stats.spilled_bytes).c_str());
+    return Status::OK();
+  }
   auto g = graph::ReadEdgeListFile(graph_path);
   if (!g.ok()) return g.status();
   graph::LabelStore labels;
@@ -149,6 +185,109 @@ Status CmdBuild(const CommandLine& cmd, std::string* out) {
                     HumanMicros(watch.ElapsedMicros()).c_str(),
                     store_path.c_str(),
                     HumanBytes(engine.value()->store().file_size()).c_str());
+  return Status::OK();
+}
+
+// ------------------------------------------------------------------ mine
+// Whole-store mining kernels over the page scan (docs/OUTOFCORE.md):
+// peak memory is O(nodes) scalars plus the buffer-pool budget, so the
+// store may be arbitrarily larger than --mem-budget-mb. Legacy stores
+// (no per-page complete adjacency) fall back to materializing the
+// graph and the in-memory kernels. PageRank runs restartable:
+// --checkpoint FILE persists progress every --checkpoint-every pages,
+// and --resume continues from that file bit-identically.
+
+Status CmdMine(const CommandLine& cmd, std::string* out) {
+  if (cmd.positional.empty()) {
+    return UsageError("mine: STORE path required");
+  }
+  GMINE_ASSIGN_OR_RETURN(uint64_t mem_budget_mb,
+                         FlagUint(cmd, "mem-budget-mb", 64));
+  storage::BufferPool::Global().SetBudgetBytes(mem_budget_mb << 20);
+  const std::string kernel = cmd.Get("kernel", "pagerank");
+  if (kernel != "pagerank" && kernel != "degrees" &&
+      kernel != "components") {
+    return UsageError(
+        "mine: --kernel expects pagerank, degrees or components");
+  }
+  GMINE_ASSIGN_OR_RETURN(uint64_t top, FlagUint(cmd, "top", 10));
+  GMINE_ASSIGN_OR_RETURN(std::unique_ptr<gtree::GTreeStore> store,
+                         gtree::GTreeStore::Open(cmd.positional[0]));
+  std::unique_ptr<storage::PageScan> scan = store->NewPageScan();
+  StopWatch watch;
+
+  auto print_pagerank = [&](const mining::PageRankResult& r,
+                            const char* engine) {
+    *out += StrFormat(
+        "pagerank (%s): %s after %d sweep(s), delta=%.3e, %s\n", engine,
+        r.converged ? "converged" : "stopped", r.iterations,
+        r.final_delta, HumanMicros(watch.ElapsedMicros()).c_str());
+    for (graph::NodeId v :
+         mining::TopKByScore(r.score, static_cast<uint32_t>(top))) {
+      const std::string label(store->labels().Label(v));
+      *out += StrFormat("  %u %.8f%s%s\n", v, r.score[v],
+                        label.empty() ? "" : " ", label.c_str());
+    }
+  };
+
+  if (kernel == "pagerank") {
+    mining::PageRankOverPagesOptions options;
+    const std::string ckpt_path = cmd.Get("checkpoint");
+    if (!ckpt_path.empty()) {
+      GMINE_ASSIGN_OR_RETURN(uint64_t every,
+                             FlagUint(cmd, "checkpoint-every", 8));
+      options.checkpoint_every_pages = every;
+      options.checkpoint_sink = [&ckpt_path](const std::string& blob) {
+        return graph::WriteStringToFile(blob, ckpt_path);
+      };
+    }
+    if (cmd.Has("resume")) {
+      if (ckpt_path.empty()) {
+        return UsageError("mine: --resume needs --checkpoint FILE");
+      }
+      auto blob = graph::ReadFileToString(ckpt_path);
+      if (!blob.ok()) return blob.status();
+      options.resume_from = std::move(blob).value();
+    }
+    auto r = mining::PageRankOverPages(*scan, options);
+    if (r.ok()) {
+      print_pagerank(r.value(), "pages");
+      return Status::OK();
+    }
+    if (!r.status().IsNotSupported()) return r.status();
+    GMINE_ASSIGN_OR_RETURN(graph::Graph g, store->MaterializeFullGraph());
+    print_pagerank(mining::ComputePageRank(g), "in-memory");
+    return Status::OK();
+  }
+
+  if (kernel == "degrees") {
+    auto d = mining::DegreeDistributionOverPages(*scan);
+    const char* engine = "pages";
+    if (!d.ok()) {
+      if (!d.status().IsNotSupported()) return d.status();
+      GMINE_ASSIGN_OR_RETURN(graph::Graph g,
+                             store->MaterializeFullGraph());
+      d = mining::ComputeDegreeDistribution(g);
+      engine = "in-memory";
+    }
+    *out += StrFormat("degrees (%s): %s, %s\n", engine,
+                      d.value().ToString().c_str(),
+                      HumanMicros(watch.ElapsedMicros()).c_str());
+    return Status::OK();
+  }
+
+  auto c = mining::WeakComponentsOverPages(*scan);
+  const char* engine = "pages";
+  if (!c.ok()) {
+    if (!c.status().IsNotSupported()) return c.status();
+    GMINE_ASSIGN_OR_RETURN(graph::Graph g, store->MaterializeFullGraph());
+    c = mining::WeakComponents(g);
+    engine = "in-memory";
+  }
+  *out += StrFormat("components (%s): %u component(s), largest=%u, %s\n",
+                    engine, c.value().num_components,
+                    c.value().LargestSize(),
+                    HumanMicros(watch.ElapsedMicros()).c_str());
   return Status::OK();
 }
 
@@ -1448,7 +1587,7 @@ Status CmdWs(const CommandLine& cmd, std::string* out) {
   GMINE_RETURN_IF_ERROR(
       client.Connect(host_port.first, host_port.second));
   GMINE_RETURN_IF_ERROR(
-      client.UpgradeWebSocket("/api/stores/" + store + "/ws", token));
+      client.UpgradeWebSocket("/api/v1/stores/" + store + "/ws", token));
   *out += StrFormat("upgraded: %s\n", store.c_str());
 
   size_t pos = 0;
@@ -1509,6 +1648,17 @@ bool CommandLine::Has(const std::string& flag) const {
                      [&](const auto& kv) { return kv.first == flag; });
 }
 
+namespace {
+
+// Pure switches: present/absent, never followed by a value. Everything
+// else keeps the strict `--flag VALUE` shape so a forgotten value is a
+// parse error instead of silently eating the next flag.
+bool IsSwitchFlag(const std::string& name) {
+  return name == "stream" || name == "resume";
+}
+
+}  // namespace
+
 gmine::Result<CommandLine> ParseCommandLine(
     const std::vector<std::string>& args) {
   if (args.empty()) return UsageError("no command given");
@@ -1519,6 +1669,10 @@ gmine::Result<CommandLine> ParseCommandLine(
     if (StartsWith(arg, "--")) {
       std::string name = arg.substr(2);
       if (name.empty()) return UsageError("empty flag name");
+      if (IsSwitchFlag(name)) {
+        cmd.flags.emplace_back(name, "");
+        continue;
+      }
       if (i + 1 >= args.size()) {
         return UsageError(StrFormat("flag --%s needs a value",
                                     name.c_str()));
@@ -1534,6 +1688,7 @@ gmine::Result<CommandLine> ParseCommandLine(
 Status RunCommand(const CommandLine& cmd, std::string* out) {
   if (cmd.command == "generate") return CmdGenerate(cmd, out);
   if (cmd.command == "build") return CmdBuild(cmd, out);
+  if (cmd.command == "mine") return CmdMine(cmd, out);
   if (cmd.command == "info") return CmdInfo(cmd, out);
   if (cmd.command == "query") return CmdQuery(cmd, out);
   if (cmd.command == "extract") return CmdExtract(cmd, out);
@@ -1569,6 +1724,16 @@ std::string UsageText() {
       "--fanout K]\n"
       "           [--shards S (0=auto, sharded parallel build) "
       "--threads T (0=auto)]\n"
+      "           [--stream [--leaf-size S --mem-budget-mb M]]\n"
+      "           --stream builds out-of-core (docs/OUTOFCORE.md): the\n"
+      "           edge list external-sorts into leaf pages shard-at-a-\n"
+      "           time, so the input never fully materializes\n"
+      "  mine     STORE [--kernel pagerank|degrees|components] [--top K]\n"
+      "           [--mem-budget-mb M] [--checkpoint FILE\n"
+      "           [--checkpoint-every P] [--resume]]  page-at-a-time\n"
+      "           mining under the pool budget; pagerank checkpoints to\n"
+      "           FILE and --resume continues bit-identically; legacy\n"
+      "           stores fall back to the in-memory kernels\n"
       "  info     STORE\n"
       "  query    STORE \"STATEMENT\" | STORE [--script FILE] | STORE "
       "--label NAME\n"
@@ -1610,10 +1775,12 @@ std::string UsageText() {
       "           --token-file FILE --port-file FILE]  HTTP/1.1 +\n"
       "           WebSocket front end over a multi-store catalog\n"
       "           (docs/HTTP.md): REST list/info/query/summary/\n"
-      "           render.svg, `/api/stores/NAME/ws` upgrades pin a\n"
-      "           session, `/stats` counters; stops on POST\n"
-      "           /api/shutdown; a manifest holds `NAME PATH [QUOTA]`\n"
-      "           lines\n"
+      "           render.svg under /api/v1 (legacy /api paths answer\n"
+      "           301), `/api/v1/stores/NAME/ws` upgrades pin a\n"
+      "           session, POST /api/v1/stores/NAME/mine runs a mining\n"
+      "           job (poll/cancel via /api/v1/jobs/ID), `/stats`\n"
+      "           counters; stops on POST /api/v1/shutdown; a manifest\n"
+      "           holds `NAME PATH [QUOTA]` lines\n"
       "  stats    STORE  buffer-pool and store page statistics after a\n"
       "           warm-up walk of the hierarchy\n"
       "  connect  HOST:PORT [--script FILE] [--save-body FILE]\n"

@@ -299,7 +299,7 @@ Status GMineEngine::ApplyEditFullRebuild(graph::EditResult& result,
 gmine::Result<const graph::Graph*> GMineEngine::full_graph() {
   std::lock_guard<std::mutex> lock(graph_mu_);
   if (!full_graph_.has_value()) {
-    auto g = store_->LoadFullGraph();
+    auto g = store_->MaterializeFullGraph();
     if (!g.ok()) return g.status();
     full_graph_ = std::move(g).value();
   }

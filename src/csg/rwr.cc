@@ -32,12 +32,14 @@ RwrResult PowerIterate(const TransitionMatrix& trans,
   std::vector<double> r = restart;
   std::vector<double> next(n, 0.0);
   const double c = options.restart;
+  const int threads = options.context.ResolveThreads(options.threads);
   for (int it = 0; it < options.max_iterations; ++it) {
+    if (options.context.IsCancelled()) break;  // returns current state
     double dangling = 0.0;
     for (NodeId v : trans.dangling()) dangling += r[v];
 
     double delta = ParallelReduce(
-        0, n, kNodeGrain, options.threads, 0.0,
+        0, n, kNodeGrain, threads, 0.0,
         [&](size_t b, size_t e) {
           double local = 0.0;
           for (size_t v = b; v < e; ++v) {

@@ -15,6 +15,7 @@
 
 #include "graph/graph.h"
 #include "graph/transition.h"
+#include "mining/kernel_context.h"
 #include "util/status.h"
 
 namespace gmine::csg {
@@ -28,10 +29,14 @@ struct RwrOptions {
   int max_iterations = 200;
   /// Use edge weights for transition probabilities.
   bool weighted = true;
-  /// Worker threads for the power-iteration gather: 0 = auto
-  /// (GMINE_THREADS env var, else hardware_concurrency), 1 = exact serial
-  /// path, N = N participants. Results are bit-identical at every setting
-  /// (deterministic chunked reduction). Ignored by the exact dense solve.
+  /// Shared execution knobs — set context.threads for the power-iteration
+  /// gather: 0 = auto (GMINE_THREADS env var, else hardware_concurrency),
+  /// 1 = exact serial path, N = N participants. Results are bit-identical
+  /// at every setting (deterministic chunked reduction). Ignored by the
+  /// exact dense solve.
+  mining::KernelContext context;
+  /// Deprecated: set context.threads instead. Honored only when
+  /// context.threads == 0 (kernels resolve via context.ResolveThreads).
   int threads = 0;
 };
 

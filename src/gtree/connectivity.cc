@@ -64,6 +64,39 @@ ConnectivityIndex ConnectivityIndex::Build(const Graph& g, const GTree& tree,
   return index;
 }
 
+void ConnectivityIndex::Accumulator::AddEdge(NodeId u, NodeId v,
+                                             float weight) {
+  const TreeNodeId leaf_u = tree_->LeafOf(u);
+  const TreeNodeId leaf_v = tree_->LeafOf(v);
+  if (leaf_u == leaf_v) return;  // intra-community edge
+  ++cross_edges_;
+  // Identical to Build's per-edge aggregation: the edge contributes to
+  // every community pair on opposite sides of its leaves' LCA.
+  const TreeNodeId lca = tree_->LowestCommonAncestor(leaf_u, leaf_v);
+  path_u_.clear();
+  for (TreeNodeId x = leaf_u; x != lca; x = tree_->node(x).parent) {
+    path_u_.push_back(x);
+  }
+  path_v_.clear();
+  for (TreeNodeId y = leaf_v; y != lca; y = tree_->node(y).parent) {
+    path_v_.push_back(y);
+  }
+  for (TreeNodeId x : path_u_) {
+    for (TreeNodeId y : path_v_) {
+      PairStats& ps = pairs_[Key(x, y)];
+      ps.count += 1;
+      ps.weight += weight;
+    }
+  }
+}
+
+ConnectivityIndex ConnectivityIndex::FromAccumulator(Accumulator&& acc) {
+  ConnectivityIndex index;
+  index.AbsorbPairs(acc.pairs_);
+  acc.pairs_.clear();
+  return index;
+}
+
 void ConnectivityIndex::AbsorbPairs(
     const std::unordered_map<uint64_t, PairStats>& pairs) {
   for (const auto& [key, ps] : pairs) {

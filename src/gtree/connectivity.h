@@ -46,6 +46,12 @@ struct ConnectivityDelta {
 
 /// Aggregated cross-community edge counts for a G-Tree.
 class ConnectivityIndex {
+ private:
+  struct PairStats {
+    uint64_t count = 0;
+    double weight = 0.0;
+  };
+
  public:
   ConnectivityIndex() = default;
 
@@ -91,16 +97,41 @@ class ConnectivityIndex {
   std::string Serialize() const;
   static gmine::Result<ConnectivityIndex> Deserialize(std::string_view blob);
 
+  /// Streaming accumulation for out-of-core builds (gtree/
+  /// stream_build.h): the same LCA path-product aggregation as Build,
+  /// fed one cross-leaf edge at a time instead of scanning a resident
+  /// graph. Feed each undirected edge exactly once (the builder uses
+  /// u < v) and fold the result with ConnectivityIndex::FromAccumulator.
+  /// Memory is O(distinct community pairs), never O(edges).
+  class Accumulator {
+   public:
+    explicit Accumulator(const GTree* tree) : tree_(tree) {}
+
+    /// Folds one original edge whose endpoints sit in different leaves.
+    /// Intra-leaf edges are skipped internally, so callers may simply
+    /// feed every edge once.
+    void AddEdge(graph::NodeId u, graph::NodeId v, float weight);
+
+    /// Edges that crossed leaves (diagnostics).
+    uint64_t cross_edges() const { return cross_edges_; }
+
+   private:
+    friend class ConnectivityIndex;
+    const GTree* tree_;
+    std::unordered_map<uint64_t, PairStats> pairs_;
+    std::vector<TreeNodeId> path_u_;  // scratch, reused per edge
+    std::vector<TreeNodeId> path_v_;
+    uint64_t cross_edges_ = 0;
+  };
+
+  /// Builds an index from a streaming accumulation.
+  static ConnectivityIndex FromAccumulator(Accumulator&& acc);
+
  private:
   static uint64_t Key(TreeNodeId a, TreeNodeId b) {
     if (a > b) std::swap(a, b);
     return (static_cast<uint64_t>(a) << 32) | b;
   }
-
-  struct PairStats {
-    uint64_t count = 0;
-    double weight = 0.0;
-  };
 
   /// Merges a partial pair map into this index, maintaining adjacency.
   void AbsorbPairs(const std::unordered_map<uint64_t, PairStats>& pairs);

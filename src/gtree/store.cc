@@ -136,7 +136,15 @@ gmine::Result<GTree> DeserializeTree(std::string_view blob,
   return GTree::FromNodes(std::move(nodes), num_graph_nodes);
 }
 
-std::string SerializeLeafPayload(const Subgraph& sub) {
+/// Serializes a leaf page. The optional boundary section (streamed
+/// stores) trails the graph blob: per member, a varint arc count
+/// followed by delta-encoded global destination ids and float weights.
+/// Legacy pages end at the graph blob, so their bytes are unchanged and
+/// presence of trailing bytes is what signals a boundary section.
+std::string SerializeLeafPayload(
+    const Subgraph& sub,
+    const std::vector<uint32_t>* boundary_offsets = nullptr,
+    const std::vector<graph::Neighbor>* boundary_arcs = nullptr) {
   std::string blob;
   PutVarint32(&blob, static_cast<uint32_t>(sub.to_parent.size()));
   NodeId prev = 0;
@@ -145,6 +153,20 @@ std::string SerializeLeafPayload(const Subgraph& sub) {
     prev = p;
   }
   PutLengthPrefixed(&blob, graph::SerializeGraph(sub.graph));
+  if (boundary_offsets != nullptr && !boundary_offsets->empty()) {
+    for (size_t i = 0; i + 1 < boundary_offsets->size(); ++i) {
+      const uint32_t begin = (*boundary_offsets)[i];
+      const uint32_t end = (*boundary_offsets)[i + 1];
+      PutVarint32(&blob, end - begin);
+      NodeId prev_dst = 0;
+      for (uint32_t a = begin; a < end; ++a) {
+        const graph::Neighbor& nb = (*boundary_arcs)[a];
+        PutVarint32(&blob, nb.id - prev_dst);  // ascending per member
+        PutFloat(&blob, nb.weight);
+        prev_dst = nb.id;
+      }
+    }
+  }
   return blob;
 }
 
@@ -174,6 +196,32 @@ gmine::Result<LeafPayload> DeserializeLeafPayload(std::string_view blob) {
   out.subgraph.graph = std::move(g).value();
   if (out.subgraph.graph.num_nodes() != count) {
     return Status::Corruption("leaf payload: member/graph size mismatch");
+  }
+  if (!blob.empty()) {
+    // Boundary section (streamed stores): per-member global arcs.
+    out.boundary_offsets.reserve(count + 1);
+    out.boundary_offsets.push_back(0);
+    for (uint32_t i = 0; i < count; ++i) {
+      uint32_t degree = 0;
+      if (!GetVarint32(&blob, &degree)) {
+        return Status::Corruption("leaf payload: truncated boundary degree");
+      }
+      NodeId prev_dst = 0;
+      for (uint32_t a = 0; a < degree; ++a) {
+        uint32_t delta = 0;
+        float w = 0.0f;
+        if (!GetVarint32(&blob, &delta) || !GetFloat(&blob, &w)) {
+          return Status::Corruption("leaf payload: truncated boundary arc");
+        }
+        prev_dst += delta;
+        out.boundary_arcs.push_back(graph::Neighbor{prev_dst, w});
+      }
+      out.boundary_offsets.push_back(
+          static_cast<uint32_t>(out.boundary_arcs.size()));
+    }
+    if (!blob.empty()) {
+      return Status::Corruption("leaf payload: trailing bytes after boundary");
+    }
   }
   return out;
 }
@@ -388,6 +436,7 @@ Status GTreeStore::LoadMetadata(const std::string& path) {
   path_ = path;
   file_size_ = file_size;
   hints_ = t.hints;
+  num_graph_nodes_ = t.num_graph_nodes;
   applied_lsn_ = t.applied_lsn;
   tree_ = std::move(tree);
   conn_ = std::move(conn);
@@ -512,6 +561,15 @@ Status GTreeStore::ScanLeafPages(
 
 Status GTreeStore::ApplyUpdate(GTreeStoreUpdate& update,
                                GTreeStoreUpdateStats* stats) {
+  if (streamed()) {
+    // Streamed stores have no embedded base graph for the journal to
+    // replay against, so in-place edits are off the table by design
+    // (docs/OUTOFCORE.md) — rebuild through the streaming pipeline.
+    // Checked before update validation: it is a property of the store,
+    // not of this particular update.
+    return Status::NotSupported(
+        "streamed (out-of-core) store is read-only; rebuild to edit");
+  }
   if (update.tree == nullptr || update.graph == nullptr) {
     return Status::InvalidArgument("ApplyUpdate: tree and graph required");
   }
@@ -755,6 +813,276 @@ Status GTreeStore::ApplyUpdate(GTreeStoreUpdate& update,
         return new_id;
       }));
   directory_ = std::move(new_directory);
+  return Status::OK();
+}
+
+namespace {
+/// Resume-token magic: "GPS1".
+constexpr uint32_t kPageScanTokenMagic = 0x47505331;
+}  // namespace
+
+/// The store-backed PageScan (storage/page_scan.h): ascending leaf-id
+/// walk, one pinned page per Next() call, tokens fingerprinted against
+/// the store state they were minted from.
+class GTreeLeafPageScan final : public storage::PageScan {
+ public:
+  GTreeLeafPageScan(const GTreeStore* store, ReaderTag reader)
+      : store_(store), reader_(reader) {
+    for (const TreeNode& tn : store->tree_.nodes()) {
+      if (tn.IsLeaf()) leaves_.push_back(tn.id);
+    }
+    std::sort(leaves_.begin(), leaves_.end());
+    // Any ApplyUpdate changes file_size_ (append or rewrite), so this
+    // is enough to invalidate tokens across store mutations.
+    std::string fp;
+    PutFixed64(&fp, leaves_.size());
+    PutFixed32(&fp, store->num_graph_nodes_);
+    PutFixed64(&fp, store->applied_lsn_);
+    PutFixed64(&fp, store->file_size_);
+    PutFixed64(&fp, store->journal_.size());
+    fingerprint_ = Hash64(fp);
+  }
+
+  gmine::Result<bool> Next(storage::GraphPage* page) override {
+    if (next_ >= leaves_.size()) return false;
+    const TreeNodeId leaf = leaves_[next_];
+    GMINE_ASSIGN_OR_RETURN(std::shared_ptr<const LeafPayload> payload,
+                           store_->LoadLeaf(leaf, reader_));
+    Convert(leaf, *payload, page);
+    ++next_;
+    return true;
+    // The pin (shared_ptr) drops here: at most one frame is held per
+    // call, so the scan runs under any budget fitting one page.
+  }
+
+  void Reset() override { next_ = 0; }
+
+  std::string Checkpoint() const override {
+    std::string token;
+    PutFixed32(&token, kPageScanTokenMagic);
+    PutFixed64(&token, fingerprint_);
+    PutVarint64(&token, next_);
+    return token;
+  }
+
+  Status Restore(std::string_view token) override {
+    uint32_t magic = 0;
+    uint64_t fp = 0;
+    uint64_t pos = 0;
+    if (!GetFixed32(&token, &magic) || !GetFixed64(&token, &fp) ||
+        !GetVarint64(&token, &pos) || !token.empty() ||
+        magic != kPageScanTokenMagic) {
+      return Status::InvalidArgument("page scan: malformed resume token");
+    }
+    if (fp != fingerprint_) {
+      return Status::InvalidArgument(
+          "page scan: resume token does not match this store state");
+    }
+    if (pos > leaves_.size()) {
+      return Status::InvalidArgument("page scan: token position out of range");
+    }
+    next_ = pos;
+    return Status::OK();
+  }
+
+  uint32_t num_nodes() const override { return store_->num_graph_nodes_; }
+  uint64_t pages_total() const override { return leaves_.size(); }
+  bool complete_adjacency() const override { return store_->streamed(); }
+
+ private:
+  /// Flattens a leaf payload into global-id CSR rows. Intra arcs map
+  /// through to_parent (ascending, so mapped ids stay sorted); boundary
+  /// arcs are already global and sorted — a two-way merge keeps each
+  /// row sorted by destination.
+  static void Convert(TreeNodeId leaf, const LeafPayload& p,
+                      storage::GraphPage* out) {
+    const Subgraph& sub = p.subgraph;
+    const size_t n = sub.to_parent.size();
+    out->page_id = leaf;
+    out->nodes.assign(sub.to_parent.begin(), sub.to_parent.end());
+    out->arc_offsets.clear();
+    out->arc_offsets.reserve(n + 1);
+    out->arc_offsets.push_back(0);
+    out->arc_dst.clear();
+    out->arc_weight.clear();
+    for (NodeId v = 0; v < n; ++v) {
+      std::span<const graph::Neighbor> intra = sub.graph.Neighbors(v);
+      size_t ii = 0;
+      size_t bi = p.has_boundary() ? p.boundary_offsets[v] : 0;
+      const size_t be = p.has_boundary() ? p.boundary_offsets[v + 1] : 0;
+      while (ii < intra.size() || bi < be) {
+        bool take_intra;
+        NodeId intra_global = 0;
+        if (ii < intra.size()) intra_global = sub.to_parent[intra[ii].id];
+        if (ii >= intra.size()) {
+          take_intra = false;
+        } else if (bi >= be) {
+          take_intra = true;
+        } else {
+          take_intra = intra_global < p.boundary_arcs[bi].id;
+        }
+        if (take_intra) {
+          out->arc_dst.push_back(intra_global);
+          out->arc_weight.push_back(intra[ii].weight);
+          ++ii;
+        } else {
+          out->arc_dst.push_back(p.boundary_arcs[bi].id);
+          out->arc_weight.push_back(p.boundary_arcs[bi].weight);
+          ++bi;
+        }
+      }
+      out->arc_offsets.push_back(static_cast<uint32_t>(out->arc_dst.size()));
+    }
+  }
+
+  const GTreeStore* store_;
+  ReaderTag reader_;
+  std::vector<TreeNodeId> leaves_;
+  size_t next_ = 0;
+  uint64_t fingerprint_ = 0;
+};
+
+std::unique_ptr<storage::PageScan> GTreeStore::NewPageScan(
+    ReaderTag reader) const {
+  return std::make_unique<GTreeLeafPageScan>(this, reader);
+}
+
+gmine::Result<graph::Graph> GTreeStore::MaterializeFullGraph() const {
+  if (!streamed()) return LoadFullGraph();
+  // Streamed store: every node's complete adjacency lives in its own
+  // page, so two page scans rebuild the CSR — degrees first, then fill.
+  // O(n + m) memory in the *result*, by definition of materializing.
+  const uint32_t n = num_graph_nodes_;
+  std::vector<uint64_t> offsets(n + 1, 0);
+  std::unique_ptr<storage::PageScan> scan = NewPageScan();
+  storage::GraphPage page;
+  while (true) {
+    GMINE_ASSIGN_OR_RETURN(bool more, scan->Next(&page));
+    if (!more) break;
+    for (size_t i = 0; i < page.nodes.size(); ++i) {
+      offsets[page.nodes[i] + 1] =
+          page.arc_offsets[i + 1] - page.arc_offsets[i];
+    }
+  }
+  for (uint32_t v = 0; v < n; ++v) offsets[v + 1] += offsets[v];
+  std::vector<graph::Neighbor> arcs(offsets[n]);
+  scan->Reset();
+  while (true) {
+    GMINE_ASSIGN_OR_RETURN(bool more, scan->Next(&page));
+    if (!more) break;
+    for (size_t i = 0; i < page.nodes.size(); ++i) {
+      uint64_t at = offsets[page.nodes[i]];
+      for (uint32_t a = page.arc_offsets[i]; a < page.arc_offsets[i + 1];
+           ++a) {
+        arcs[at++] = graph::Neighbor{page.arc_dst[a], page.arc_weight[a]};
+      }
+    }
+  }
+  return graph::Graph(std::move(offsets), std::move(arcs), {},
+                      /*directed=*/false);
+}
+
+gmine::Result<std::unique_ptr<GTreeStoreWriter>> GTreeStoreWriter::Begin(
+    const std::string& path) {
+  std::unique_ptr<GTreeStoreWriter> w(new GTreeStoreWriter());
+  w->path_ = path;
+  w->file_ = std::fopen(path.c_str(), "wb");
+  if (w->file_ == nullptr) {
+    return Status::IOError(
+        StrFormat("gtree writer: cannot create %s", path.c_str()));
+  }
+  // Header placeholder; the real header lands last (crash safety: a
+  // zeroed header never parses as a store).
+  const std::string placeholder(kHeaderSize, '\0');
+  GMINE_RETURN_IF_ERROR(w->Append(placeholder));
+  return w;
+}
+
+GTreeStoreWriter::~GTreeStoreWriter() {
+  if (file_ != nullptr) std::fclose(file_);
+  // An abandoned (unfinished) build leaves no half-written store behind.
+  if (!finished_ && !path_.empty()) std::remove(path_.c_str());
+}
+
+Status GTreeStoreWriter::Append(std::string_view blob) {
+  if (std::fwrite(blob.data(), 1, blob.size(), file_) != blob.size()) {
+    return Status::IOError(
+        StrFormat("gtree writer: write to %s failed", path_.c_str()));
+  }
+  offset_ += blob.size();
+  return Status::OK();
+}
+
+Status GTreeStoreWriter::AddLeafPage(
+    TreeNodeId leaf, const graph::Subgraph& sub,
+    const std::vector<uint32_t>& boundary_offsets,
+    const std::vector<graph::Neighbor>& boundary_arcs) {
+  if (finished_) {
+    return Status::InvalidArgument("gtree writer: AddLeafPage after Finish");
+  }
+  const std::string page =
+      SerializeLeafPayload(sub, &boundary_offsets, &boundary_arcs);
+  PutVarint32(&directory_, leaf);
+  PutVarint64(&directory_, offset_);  // absolute, like Create's directory
+  PutVarint64(&directory_, page.size());
+  ++num_pages_;
+  return Append(page);
+}
+
+Status GTreeStoreWriter::Finish(const GTree& tree,
+                                const ConnectivityIndex& conn,
+                                const graph::LabelStore& labels,
+                                uint32_t num_graph_nodes,
+                                const GTreeBuildHints* hints,
+                                uint64_t applied_lsn) {
+  if (finished_) {
+    return Status::InvalidArgument("gtree writer: Finish called twice");
+  }
+  if (num_pages_ != tree.num_leaves()) {
+    return Status::InvalidArgument(
+        StrFormat("gtree writer: %u pages for %u leaves", num_pages_,
+                  tree.num_leaves()));
+  }
+  SectionTable t;
+  const std::string tree_blob = SerializeTree(tree);
+  t.tree_off = offset_;
+  t.tree_size = tree_blob.size();
+  GMINE_RETURN_IF_ERROR(Append(tree_blob));
+  const std::string conn_blob = conn.Serialize();
+  t.conn_off = offset_;
+  t.conn_size = conn_blob.size();
+  GMINE_RETURN_IF_ERROR(Append(conn_blob));
+  const std::string labels_blob = labels.Serialize();
+  t.labels_off = offset_;
+  t.labels_size = labels_blob.size();
+  GMINE_RETURN_IF_ERROR(Append(labels_blob));
+  t.dir_off = offset_;
+  t.dir_size = directory_.size();
+  GMINE_RETURN_IF_ERROR(Append(directory_));
+  // No embedded graph and no journal: the pages (with their boundary
+  // arcs) *are* the graph — that is what GTreeStore::streamed() keys on.
+  t.graph_off = offset_;
+  t.graph_size = 0;
+  t.journal_off = offset_;
+  t.journal_size = 0;
+  t.num_pages = num_pages_;
+  t.num_graph_nodes = num_graph_nodes;
+  if (hints != nullptr) t.hints = *hints;
+  t.applied_lsn = applied_lsn;
+
+  const std::string header = SerializeHeader(t);
+  bool ok = std::fflush(file_) == 0 && std::fseek(file_, 0, SEEK_SET) == 0 &&
+            std::fwrite(header.data(), 1, header.size(), file_) ==
+                header.size() &&
+            std::fflush(file_) == 0;
+  ok = std::fclose(file_) == 0 && ok;
+  file_ = nullptr;
+  if (!ok) {
+    std::remove(path_.c_str());
+    return Status::IOError(
+        StrFormat("gtree writer: sealing %s failed", path_.c_str()));
+  }
+  finished_ = true;
   return Status::OK();
 }
 

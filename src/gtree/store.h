@@ -67,14 +67,30 @@
 #include "gtree/connectivity.h"
 #include "gtree/gtree.h"
 #include "storage/buffer_pool.h"
+#include "storage/page_scan.h"
 #include "util/status.h"
 
 namespace gmine::gtree {
 
 /// A leaf community's materialized payload: the induced subgraph over its
-/// members plus the local<->global id mapping.
+/// members plus the local<->global id mapping — and, for stores written
+/// by the streaming out-of-core builder (gtree/stream_build.h), the
+/// members' *boundary* arcs (arcs to nodes outside the leaf, global
+/// destination ids). With boundary arcs present, a node's complete
+/// global adjacency lives in exactly its own leaf page, which is what
+/// makes page-at-a-time kernels (mining/pagescan_kernels.h) globally
+/// correct without a resident graph. Legacy stores carry no boundary
+/// section; their bytes are unchanged.
 struct LeafPayload {
   graph::Subgraph subgraph;
+  /// CSR offsets into boundary_arcs per local member id; empty when the
+  /// page carries no boundary section, size members+1 otherwise.
+  std::vector<uint32_t> boundary_offsets;
+  /// Boundary arcs: destinations are *global* node ids, ascending per
+  /// member.
+  std::vector<graph::Neighbor> boundary_arcs;
+
+  bool has_boundary() const { return !boundary_offsets.empty(); }
 };
 
 /// Store tunables.
@@ -262,6 +278,32 @@ class GTreeStore {
   /// with LoadLeaf.
   gmine::Result<graph::Graph> LoadFullGraph() const;
 
+  /// The full graph by whichever route this store supports: the
+  /// embedded graph section (legacy stores, journal replayed) or a
+  /// reconstruction from the boundary-carrying leaf pages (streamed
+  /// stores, which have no graph section). Callers that only need *a*
+  /// resident graph — CSG extraction, non-leaf metrics — should use
+  /// this instead of raw LoadFullGraph.
+  gmine::Result<graph::Graph> MaterializeFullGraph() const;
+
+  /// Opens a pull-based scan over this store's leaf pages in ascending
+  /// tree-node id order (docs/OUTOFCORE.md). Each Next() pins one page
+  /// in the buffer pool for the duration of the call; the scan's
+  /// complete_adjacency() reports whether pages carry boundary arcs
+  /// (streamed stores) and its checkpoint tokens are bound to this
+  /// store's current state. The scan must not outlive the store, and
+  /// is invalidated by ApplyUpdate.
+  std::unique_ptr<storage::PageScan> NewPageScan(ReaderTag reader = 0) const;
+
+  /// True for stores written by the streaming builder: pages carry
+  /// boundary arcs, there is no embedded graph section, and the store
+  /// is read-only (ApplyUpdate answers NotSupported — rebuild to edit).
+  bool streamed() const { return graph_section_.size == 0; }
+
+  /// Nodes in the stored graph (leaf member sets partition
+  /// [0, num_graph_nodes())).
+  uint32_t num_graph_nodes() const { return num_graph_nodes_; }
+
   /// Publishes an incrementally repaired state (gtree/edit_repair.h):
   /// appends dirty pages + fresh metadata sections and rewrites the
   /// header, invalidating only the touched cache pages — or compacts via
@@ -318,6 +360,8 @@ class GTreeStore {
   /// Reads `loc` from the backing file under file_mu_.
   Status ReadAt(const PageLocation& loc, std::string* out) const;
 
+  friend class GTreeLeafPageScan;
+
   std::FILE* file_ = nullptr;
   uint64_t file_size_ = 0;
   /// Bytes referenced by the current header (see live_bytes()).
@@ -328,6 +372,7 @@ class GTreeStore {
   graph::LabelStore labels_;
   GTreeStoreOptions options_;
   GTreeBuildHints hints_;
+  uint32_t num_graph_nodes_ = 0;
   uint64_t applied_lsn_ = 0;
   /// Edits since the graph section was written (v2 journal).
   std::vector<graph::GraphEdit> journal_;
@@ -347,6 +392,60 @@ class GTreeStore {
   storage::BufferPool* pool_ = nullptr;
   storage::StoreId pool_id_ = 0;
   mutable std::atomic<ReaderTag> next_reader_tag_{1};
+};
+
+/// Streaming store writer — the out-of-core counterpart of
+/// GTreeStore::Create (docs/OUTOFCORE.md). Create materializes every
+/// page (and the full graph) in memory before writing; the writer
+/// instead streams leaf pages to disk one at a time as the build's
+/// merge pass produces them, then seals the file with the metadata
+/// sections and the header. The resulting store has no embedded graph
+/// section (GTreeStore::streamed()); peak writer memory is one page.
+///
+/// Usage: Begin(path) -> AddLeafPage(...) per leaf, any order ->
+/// Finish(tree, conn, labels, ...). Like Create, the header is written
+/// last, so a crash mid-build leaves an unopenable file, never a
+/// half-valid store.
+class GTreeStoreWriter {
+ public:
+  /// Opens `path` for writing (truncating) and reserves the header.
+  static gmine::Result<std::unique_ptr<GTreeStoreWriter>> Begin(
+      const std::string& path);
+
+  ~GTreeStoreWriter();
+  GTreeStoreWriter(const GTreeStoreWriter&) = delete;
+  GTreeStoreWriter& operator=(const GTreeStoreWriter&) = delete;
+
+  /// Appends one leaf page: the leaf's induced subgraph plus its
+  /// members' boundary arcs (global destination ids, CSR-indexed by
+  /// local member id — see LeafPayload). `leaf` is the tree-node id the
+  /// page will be filed under in the directory.
+  Status AddLeafPage(TreeNodeId leaf, const graph::Subgraph& sub,
+                     const std::vector<uint32_t>& boundary_offsets,
+                     const std::vector<graph::Neighbor>& boundary_arcs);
+
+  /// Appends the metadata sections, writes the header, and closes the
+  /// file. Every leaf of `tree` must have received a page.
+  Status Finish(const GTree& tree, const ConnectivityIndex& conn,
+                const graph::LabelStore& labels, uint32_t num_graph_nodes,
+                const GTreeBuildHints* hints = nullptr,
+                uint64_t applied_lsn = 0);
+
+  /// Pages written so far.
+  uint32_t num_pages() const { return num_pages_; }
+  /// Bytes written so far (pages only until Finish).
+  uint64_t bytes_written() const { return offset_; }
+
+ private:
+  GTreeStoreWriter() = default;
+  Status Append(std::string_view blob);
+
+  std::FILE* file_ = nullptr;
+  std::string path_;
+  uint64_t offset_ = 0;      // next write position (== bytes so far)
+  std::string directory_;    // accumulated (leaf, offset, size) entries
+  uint32_t num_pages_ = 0;
+  bool finished_ = false;
 };
 
 }  // namespace gmine::gtree

@@ -1,0 +1,281 @@
+#include "gtree/stream_build.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/subgraph.h"
+#include "gtree/builder.h"
+#include "gtree/connectivity.h"
+#include "gtree/store.h"
+#include "storage/extsort.h"
+#include "util/string_util.h"
+
+namespace gmine::gtree {
+
+namespace {
+
+using graph::NodeId;
+
+/// Parses one edge-list line into (src, dst, weight). Returns false on
+/// malformed input; `*has_edge` is false for blank/comment lines.
+/// Delimiters match ReadEdgeListFile (space, tab, comma).
+bool ParseEdgeLine(const char* p, uint64_t* src, uint64_t* dst, double* w,
+                   bool* has_edge) {
+  auto skip = [](const char* s) {
+    while (*s == ' ' || *s == '\t' || *s == ',' || *s == '\r') ++s;
+    return s;
+  };
+  p = skip(p);
+  *has_edge = false;
+  if (*p == '\0' || *p == '\n' || *p == '#' || *p == '%') return true;
+  char* end = nullptr;
+  *src = std::strtoull(p, &end, 10);
+  if (end == p) return false;
+  p = skip(end);
+  *dst = std::strtoull(p, &end, 10);
+  if (end == p) return false;
+  p = skip(end);
+  *w = 1.0;
+  if (*p != '\0' && *p != '\n') {
+    *w = std::strtod(p, &end);
+    if (end == p) return false;
+    p = skip(end);
+    if (*p != '\0' && *p != '\n') return false;
+  }
+  *has_edge = true;
+  return true;
+}
+
+/// Pass A: one sequential read of the edge list, feeding both arcs of
+/// every edge into the sorter. Only max-node-id-sized state is kept.
+Status StreamEdgesIntoSorter(const std::string& path,
+                             storage::ExternalArcSorter* sorter,
+                             uint64_t* max_id, bool* any_edge) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Status::IOError(
+        StrFormat("stream build: cannot open %s", path.c_str()));
+  }
+  struct Closer {
+    std::FILE* f;
+    ~Closer() { std::fclose(f); }
+  } closer{f};
+
+  std::vector<char> buf(1 << 16);
+  size_t lineno = 0;
+  while (std::fgets(buf.data(), static_cast<int>(buf.size()), f) != nullptr) {
+    ++lineno;
+    if (std::strchr(buf.data(), '\n') == nullptr && std::feof(f) == 0 &&
+        std::strlen(buf.data()) == buf.size() - 1) {
+      return Status::Corruption(
+          StrFormat("edge list line %zu: line too long", lineno));
+    }
+    uint64_t src = 0;
+    uint64_t dst = 0;
+    double w = 1.0;
+    bool has_edge = false;
+    if (!ParseEdgeLine(buf.data(), &src, &dst, &w, &has_edge)) {
+      return Status::Corruption(
+          StrFormat("edge list line %zu: expected 'src dst [w]'", lineno));
+    }
+    if (!has_edge) continue;
+    if (src > graph::kInvalidNode - 1 || dst > graph::kInvalidNode - 1) {
+      return Status::Corruption(
+          StrFormat("edge list line %zu: bad node id", lineno));
+    }
+    if (src == dst) continue;  // GraphBuilder drops self-loops
+    const float fw = static_cast<float>(w);
+    GMINE_RETURN_IF_ERROR(sorter->Add(storage::ArcRecord{
+        static_cast<uint32_t>(src), static_cast<uint32_t>(dst), fw}));
+    GMINE_RETURN_IF_ERROR(sorter->Add(storage::ArcRecord{
+        static_cast<uint32_t>(dst), static_cast<uint32_t>(src), fw}));
+    *max_id = std::max(*max_id, std::max(src, dst));
+    *any_edge = true;
+  }
+  if (std::ferror(f) != 0) {
+    return Status::IOError(
+        StrFormat("stream build: read error on %s", path.c_str()));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status StreamBuildStore(const std::string& edge_list_path,
+                        const std::string& store_path,
+                        const graph::LabelStore& labels,
+                        const StreamBuildOptions& options,
+                        StreamBuildStats* stats) {
+  if (options.leaf_size == 0) {
+    return Status::InvalidArgument("stream build: leaf_size must be > 0");
+  }
+  if (options.fanout < 2) {
+    return Status::InvalidArgument("stream build: fanout must be >= 2");
+  }
+  StreamBuildStats local;
+  StreamBuildStats& out = stats != nullptr ? *stats : local;
+
+  storage::ExtSortOptions sort_options;
+  sort_options.mem_budget_bytes = options.mem_budget_bytes;
+  sort_options.tmp_prefix = options.tmp_prefix.empty()
+                                ? store_path + ".shard"
+                                : options.tmp_prefix;
+  storage::ExternalArcSorter sorter(sort_options);
+
+  uint64_t max_id = 0;
+  bool any_edge = false;
+  GMINE_RETURN_IF_ERROR(
+      StreamEdgesIntoSorter(edge_list_path, &sorter, &max_id, &any_edge));
+  if (!any_edge) {
+    return Status::InvalidArgument(
+        StrFormat("stream build: no edges in %s", edge_list_path.c_str()));
+  }
+  const uint32_t n = static_cast<uint32_t>(max_id + 1);
+  const uint32_t leaf_size = options.leaf_size;
+  const uint32_t num_leaves = (n + leaf_size - 1) / leaf_size;
+  out.num_nodes = n;
+  out.num_leaves = num_leaves;
+  out.input_arcs = sorter.num_records();
+
+  // Leaves are contiguous id ranges: the assignment is v / leaf_size,
+  // the only partition computable without a resident graph.
+  GTree tree;
+  {
+    std::vector<uint32_t> assignment(n);
+    for (uint32_t v = 0; v < n; ++v) assignment[v] = v / leaf_size;
+    GMINE_ASSIGN_OR_RETURN(
+        tree, BuildGTreeFromAssignment(n, assignment, num_leaves,
+                                       options.fanout));
+  }
+  std::vector<TreeNodeId> leaf_tree(num_leaves);
+  for (uint32_t l = 0; l < num_leaves; ++l) {
+    leaf_tree[l] = tree.LeafOf(static_cast<NodeId>(l) * leaf_size);
+  }
+
+  GMINE_ASSIGN_OR_RETURN(std::unique_ptr<storage::SortedArcStream> merged,
+                         sorter.Finish());
+  out.sort_runs = sorter.num_runs();
+  out.spilled_bytes = sorter.spilled_bytes();
+
+  GMINE_ASSIGN_OR_RETURN(std::unique_ptr<GTreeStoreWriter> writer,
+                         GTreeStoreWriter::Begin(store_path));
+  ConnectivityIndex::Accumulator acc(&tree);
+
+  // Pass B: arcs arrive in ascending (src, dst) order, so one leaf's
+  // full adjacency accumulates, flushes as a page, and is freed before
+  // the next leaf starts — peak memory is a single leaf.
+  uint32_t cur_leaf = 0;
+  uint32_t leaf_first = 0;
+  uint32_t leaf_count = std::min(leaf_size, n);
+  std::vector<std::vector<graph::Neighbor>> intra(leaf_count);
+  std::vector<std::vector<graph::Neighbor>> boundary(leaf_count);
+
+  auto flush_leaf = [&]() -> Status {
+    graph::Subgraph sub;
+    sub.to_parent.resize(leaf_count);
+    sub.to_local.reserve(leaf_count);
+    for (uint32_t i = 0; i < leaf_count; ++i) {
+      sub.to_parent[i] = leaf_first + i;
+      sub.to_local.emplace(leaf_first + i, i);
+    }
+    std::vector<uint64_t> offsets(leaf_count + 1, 0);
+    for (uint32_t i = 0; i < leaf_count; ++i) {
+      offsets[i + 1] = offsets[i] + intra[i].size();
+    }
+    std::vector<graph::Neighbor> arcs;
+    arcs.reserve(offsets[leaf_count]);
+    for (uint32_t i = 0; i < leaf_count; ++i) {
+      arcs.insert(arcs.end(), intra[i].begin(), intra[i].end());
+    }
+    sub.graph = graph::Graph(std::move(offsets), std::move(arcs), {},
+                             /*directed=*/false);
+    std::vector<uint32_t> boundary_offsets(leaf_count + 1, 0);
+    uint64_t boundary_total = 0;
+    for (uint32_t i = 0; i < leaf_count; ++i) {
+      boundary_total += boundary[i].size();
+      boundary_offsets[i + 1] = static_cast<uint32_t>(boundary_total);
+    }
+    std::vector<graph::Neighbor> boundary_arcs;
+    boundary_arcs.reserve(boundary_total);
+    for (uint32_t i = 0; i < leaf_count; ++i) {
+      boundary_arcs.insert(boundary_arcs.end(), boundary[i].begin(),
+                           boundary[i].end());
+    }
+    return writer->AddLeafPage(leaf_tree[cur_leaf], sub, boundary_offsets,
+                               boundary_arcs);
+  };
+
+  auto advance_to = [&](uint32_t target_leaf) -> Status {
+    while (cur_leaf < target_leaf) {
+      GMINE_RETURN_IF_ERROR(flush_leaf());
+      ++cur_leaf;
+      leaf_first = cur_leaf * leaf_size;
+      leaf_count =
+          cur_leaf < num_leaves ? std::min(leaf_size, n - leaf_first) : 0;
+      intra.assign(leaf_count, {});
+      boundary.assign(leaf_count, {});
+    }
+    return Status::OK();
+  };
+
+  auto take_arc = [&](const storage::ArcRecord& a) -> Status {
+    const uint32_t src_leaf = a.src / leaf_size;
+    if (src_leaf != cur_leaf) {
+      GMINE_RETURN_IF_ERROR(advance_to(src_leaf));
+    }
+    const uint32_t local = a.src - leaf_first;
+    if (a.dst / leaf_size == src_leaf) {
+      intra[local].push_back(graph::Neighbor{a.dst - leaf_first, a.weight});
+    } else {
+      boundary[local].push_back(graph::Neighbor{a.dst, a.weight});
+    }
+    if (a.src < a.dst) {  // each undirected edge once
+      ++out.num_edges;
+      acc.AddEdge(a.src, a.dst, a.weight);
+    }
+    return Status::OK();
+  };
+
+  // Duplicate (src, dst) records are adjacent in the merged stream;
+  // fold them by weight sum (GraphBuilder::kSumWeights semantics)
+  // before the arc lands anywhere.
+  storage::ArcRecord pending{};
+  bool has_pending = false;
+  while (true) {
+    storage::ArcRecord rec{};
+    GMINE_ASSIGN_OR_RETURN(bool more, merged->Next(&rec));
+    if (!more) break;
+    if (has_pending && pending.src == rec.src && pending.dst == rec.dst) {
+      pending.weight += rec.weight;
+      continue;
+    }
+    if (has_pending) {
+      GMINE_RETURN_IF_ERROR(take_arc(pending));
+    }
+    pending = rec;
+    has_pending = true;
+  }
+  if (has_pending) {
+    GMINE_RETURN_IF_ERROR(take_arc(pending));
+  }
+  merged.reset();  // unlink the shard files before sealing the store
+  GMINE_RETURN_IF_ERROR(advance_to(num_leaves));
+
+  out.cross_edges = acc.cross_edges();
+  const ConnectivityIndex conn =
+      ConnectivityIndex::FromAccumulator(std::move(acc));
+  GTreeBuildHints hints;
+  hints.levels = tree.height();
+  hints.fanout = options.fanout;
+  GMINE_RETURN_IF_ERROR(
+      writer->Finish(tree, conn, labels, n, &hints, /*applied_lsn=*/0));
+  out.store_bytes = writer->bytes_written();
+  return Status::OK();
+}
+
+}  // namespace gmine::gtree

@@ -1,0 +1,77 @@
+// Out-of-core G-Tree construction (docs/OUTOFCORE.md): builds a store
+// from an edge-list file without ever materializing the graph.
+//
+//   Pass A  stream the edge list once, feeding both arcs of every edge
+//           into a bounded-memory external sorter (storage/extsort.h)
+//           that spills sorted CSR shard files; track only max node id.
+//   Tree    leaves are contiguous node-id ranges of `leaf_size`,
+//           grouped into a balanced tree by the assignment builder
+//           (gtree/builder.h) — no partitioner, no resident graph.
+//   Pass B  k-way merge the shards back in (src, dst) order; every
+//           node's full adjacency streams past exactly once, split into
+//           the leaf's intra subgraph plus boundary arcs and written
+//           page-at-a-time through GTreeStoreWriter, while connectivity
+//           edges accumulate via ConnectivityIndex::Accumulator.
+//
+// Peak memory: the sorter's run buffer (mem_budget_bytes) + one leaf's
+// adjacency + O(n) for the leaf assignment and O(pairs) connectivity —
+// the semi-external model. The resulting store is `streamed()`: leaf
+// pages carry complete adjacency (page-at-a-time kernels are globally
+// correct over them), there is no embedded graph section, and the
+// store is read-only.
+//
+// Trade-off vs the in-memory build: leaves are id ranges, not mined
+// communities — navigation and mining work identically, but community
+// quality depends on the input ordering. Re-partitioning a streamed
+// store needs a rebuild.
+
+#ifndef GMINE_GTREE_STREAM_BUILD_H_
+#define GMINE_GTREE_STREAM_BUILD_H_
+
+#include <cstdint>
+#include <string>
+
+#include "graph/labels.h"
+#include "util/status.h"
+
+namespace gmine::gtree {
+
+/// Streaming build tunables.
+struct StreamBuildOptions {
+  /// Bytes of arcs the external sorter buffers in memory (spill
+  /// threshold). The dominant memory knob of the build.
+  uint64_t mem_budget_bytes = 64ull << 20;
+  /// Graph nodes per leaf community (contiguous id range).
+  uint32_t leaf_size = 2048;
+  /// Tree fanout above the leaves.
+  uint32_t fanout = 8;
+  /// Prefix for the sorter's spill files; empty = "<store_path>.shard".
+  std::string tmp_prefix;
+};
+
+/// What the build did (reported by `gmine build --stream`).
+struct StreamBuildStats {
+  uint32_t num_nodes = 0;
+  uint64_t num_edges = 0;     // undirected edges after dedup
+  uint64_t input_arcs = 0;    // arcs fed to the sorter (2 per edge line)
+  uint32_t sort_runs = 0;     // sorted shard files spilled
+  uint64_t spilled_bytes = 0;
+  uint32_t num_leaves = 0;
+  uint64_t cross_edges = 0;   // edges crossing leaf communities
+  uint64_t store_bytes = 0;   // final store file size
+};
+
+/// Builds the store at `store_path` from the (undirected) edge list at
+/// `edge_list_path`. `labels` may be empty. Lines are
+/// "src dst [weight]" with '#'/'%' comments, like ReadEdgeListFile;
+/// self-loops are dropped and duplicate edges merge by weight sum,
+/// matching GraphBuilder's defaults.
+Status StreamBuildStore(const std::string& edge_list_path,
+                        const std::string& store_path,
+                        const graph::LabelStore& labels,
+                        const StreamBuildOptions& options = {},
+                        StreamBuildStats* stats = nullptr);
+
+}  // namespace gmine::gtree
+
+#endif  // GMINE_GTREE_STREAM_BUILD_H_

@@ -14,8 +14,9 @@ namespace gmine::http {
 namespace {
 
 const char* const kEndpointNames[] = {
-    "stores",  "store", "query",      "summary", "render-svg",
-    "stats",   "ws-upgrade", "ws-op", "other",
+    "stores",   "store",    "query",      "summary", "render-svg",
+    "mine",     "jobs",     "redirect",   "stats",   "ws-upgrade",
+    "ws-op",    "other",
 };
 
 int HttpStatusFor(const Status& status) {
@@ -73,10 +74,35 @@ std::string StoreInfoJson(const core::CatalogStoreInfo& info) {
       info.leaves, info.height, info.labels);
 }
 
+std::string JobJson(const MineJobInfo& info) {
+  std::string out = StrFormat(
+      "{\"job\":%llu,\"store\":\"%s\",\"kernel\":\"%s\","
+      "\"state\":\"%s\",\"engine\":\"%s\",\"progress\":{"
+      "\"iteration\":%u,\"pages_scanned\":%llu,\"pages_total\":%llu,"
+      "\"delta\":%.6g}",
+      static_cast<unsigned long long>(info.id),
+      net::JsonEscape(info.store).c_str(),
+      net::JsonEscape(info.kernel).c_str(),
+      net::JsonEscape(info.state).c_str(),
+      net::JsonEscape(info.engine).c_str(), info.progress.iteration,
+      static_cast<unsigned long long>(info.progress.pages_scanned),
+      static_cast<unsigned long long>(info.progress.pages_total),
+      info.progress.delta);
+  if (!info.result_json.empty()) {
+    out += ",\"result\":" + info.result_json;
+  }
+  if (!info.error.empty()) {
+    out += StrFormat(",\"error\":\"%s\"",
+                     net::JsonEscape(info.error).c_str());
+  }
+  out += "}\n";
+  return out;
+}
+
 }  // namespace
 
 Gateway::Gateway(core::Catalog* catalog, GatewayOptions options)
-    : catalog_(catalog), options_(std::move(options)) {
+    : catalog_(catalog), options_(std::move(options)), jobs_(catalog) {
   if (options_.reactor_threads < 1) options_.reactor_threads = 1;
 }
 
@@ -214,6 +240,27 @@ void Gateway::Route(const std::shared_ptr<GwConn>& conn,
     FillError(Status::NotFound("no such endpoint"), response);
     return;
   }
+
+  // Legacy unversioned paths: answer 301 with the /api/v1 Location so
+  // old clients discover the move (before auth — the redirect reveals
+  // nothing and needs no token). Bodies are not replayed, so clients
+  // must re-issue POSTs themselves.
+  if (path.rfind("/api/v1/", 0) != 0) {
+    *endpoint = kEpRedirect;
+    // Preserve the query string by rewriting the raw target when it
+    // carries the same prefix (it does unless oddly percent-encoded).
+    const std::string& base =
+        request.target.rfind("/api/", 0) == 0 ? request.target : path;
+    std::string location = "/api/v1" + base.substr(strlen("/api"));
+    response->status = 301;
+    response->content_type = "application/json";
+    response->extra_headers.emplace_back("Location", location);
+    response->body = StrFormat(
+        "{\"error\":\"moved permanently\",\"location\":\"%s\"}\n",
+        net::JsonEscape(location).c_str());
+    return;
+  }
+
   if (!Authorized(request)) {
     response->status = 401;
     response->content_type = "application/json";
@@ -222,7 +269,7 @@ void Gateway::Route(const std::shared_ptr<GwConn>& conn,
     return;
   }
 
-  if (path == "/api/shutdown") {
+  if (path == "/api/v1/shutdown") {
     if (request.method != "POST") {
       FillError(Status::NotSupported("use POST"), response);
       return;
@@ -234,7 +281,43 @@ void Gateway::Route(const std::shared_ptr<GwConn>& conn,
     return;
   }
 
-  if (path == "/api/stores") {
+  if (path.rfind("/api/v1/jobs/", 0) == 0) {
+    *endpoint = kEpJobs;
+    uint64_t job_id = 0;
+    if (!ParseUint64(path.substr(strlen("/api/v1/jobs/")), &job_id)) {
+      FillError(Status::InvalidArgument("job id must be an integer"),
+                response);
+      return;
+    }
+    if (request.method == "GET") {
+      auto info = jobs_.Get(job_id);
+      if (!info.ok()) {
+        FillError(info.status(), response);
+        return;
+      }
+      response->content_type = "application/json";
+      response->body = JobJson(info.value());
+      return;
+    }
+    if (request.method == "DELETE") {
+      bool removed = false;
+      auto info = jobs_.Cancel(job_id, &removed);
+      if (!info.ok()) {
+        FillError(info.status(), response);
+        return;
+      }
+      // 202: cancellation requested, job still winding down (poll it).
+      // 200: the finished job's record was removed.
+      response->status = removed ? 200 : 202;
+      response->content_type = "application/json";
+      response->body = JobJson(info.value());
+      return;
+    }
+    FillError(Status::NotSupported("use GET or DELETE"), response);
+    return;
+  }
+
+  if (path == "/api/v1/stores") {
     *endpoint = kEpStores;
     if (request.method != "GET") {
       FillError(Status::NotSupported("use GET"), response);
@@ -256,17 +339,54 @@ void Gateway::Route(const std::shared_ptr<GwConn>& conn,
     return;
   }
 
-  if (path.rfind("/api/stores/", 0) != 0) {
+  if (path.rfind("/api/v1/stores/", 0) != 0) {
     FillError(Status::NotFound("no such endpoint"), response);
     return;
   }
   std::string store_name, tail;
-  SplitStorePath(std::string_view(path).substr(strlen("/api/stores/")),
+  SplitStorePath(std::string_view(path).substr(strlen("/api/v1/stores/")),
                  &store_name, &tail);
 
   if (tail == "ws") {
     *endpoint = kEpUpgrade;
     HandleUpgrade(conn, request, store_name, response, upgraded);
+    return;
+  }
+
+  if (tail == "mine") {
+    *endpoint = kEpMine;
+    if (request.method != "POST") {
+      FillError(Status::NotSupported("use POST"), response);
+      return;
+    }
+    std::string kernel = "pagerank";
+    uint64_t top_k = 10;
+    auto it = request.query.find("kernel");
+    if (it != request.query.end()) kernel = it->second;
+    it = request.query.find("top");
+    if (it != request.query.end() && !ParseUint64(it->second, &top_k)) {
+      FillError(Status::InvalidArgument("top must be an integer"),
+                response);
+      return;
+    }
+    auto job_id = jobs_.Submit(store_name, kernel,
+                               static_cast<uint32_t>(top_k));
+    if (!job_id.ok()) {
+      FillError(job_id.status(), response);
+      return;
+    }
+    response->status = 202;  // accepted: poll /api/v1/jobs/ID
+    response->content_type = "application/json";
+    response->extra_headers.emplace_back(
+        "Location", StrFormat("/api/v1/jobs/%llu",
+                              (unsigned long long)job_id.value()));
+    response->body = StrFormat(
+        "{\"job\":%llu,\"kernel\":\"%s\",\"store\":\"%s\","
+        "\"poll\":\"/api/v1/jobs/%llu\"}\n",
+        (unsigned long long)job_id.value(),
+        net::JsonEscape(kernel).c_str(),
+        net::JsonEscape(store_name).c_str(),
+        (unsigned long long)job_id.value());
     return;
   }
 
@@ -696,6 +816,7 @@ void Gateway::WaitUntilShutdown() {
 void Gateway::Stop() {
   if (!started_.load() || stopped_) return;
   stopping_.store(true);
+  jobs_.Shutdown();  // cancel + join workers; their leases release
   if (accept_thread_.joinable()) accept_thread_.join();
   listener_.Close();
   // Graceful drain: every live WebSocket gets a 1001 going-away close,

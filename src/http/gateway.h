@@ -1,21 +1,29 @@
 // The HTTP/1.1 + WebSocket gateway (docs/HTTP.md): one listener, a
 // small reactor pool, and a multi-store catalog behind it. REST
 // endpoints cover the catalog (list stores, per-store info), GQL
-// queries, summaries and SVG rendering; a WebSocket upgrade pins a
-// catalog session to the connection and carries the server line
-// protocol's navigation ops plus `query`, responses JSON-framed.
+// queries, summaries, SVG rendering and long-running mining jobs; a
+// WebSocket upgrade pins a catalog session to the connection and
+// carries the server line protocol's navigation ops plus `query`,
+// responses JSON-framed.
 //
-//   GET  /stats                          counters (no auth)
-//   GET  /api/stores                     catalog listing
-//   GET  /api/stores/NAME                store info (opens it briefly)
-//   GET  /api/stores/NAME/query?q=GQL    run GQL, JSON rows
-//   POST /api/stores/NAME/query          statement in the body
-//   GET  /api/stores/NAME/summary[?node=N]   focus summary JSON
-//   GET  /api/stores/NAME/render.svg[?node=N] hierarchy view SVG
-//   GET  /api/stores/NAME/ws             WebSocket upgrade (RFC 6455)
-//   POST /api/shutdown                   graceful drain
+// The REST surface is versioned under /api/v1/; a request to any
+// legacy /api/... path answers 301 with the /api/v1/... Location
+// (no auth required to learn the new path).
 //
-// Auth: with a bearer token configured, every /api request (the
+//   GET  /stats                             counters (no auth)
+//   GET  /api/v1/stores                     catalog listing
+//   GET  /api/v1/stores/NAME                store info (opens it briefly)
+//   GET  /api/v1/stores/NAME/query?q=GQL    run GQL, JSON rows
+//   POST /api/v1/stores/NAME/query          statement in the body
+//   GET  /api/v1/stores/NAME/summary[?node=N]   focus summary JSON
+//   GET  /api/v1/stores/NAME/render.svg[?node=N] hierarchy view SVG
+//   GET  /api/v1/stores/NAME/ws             WebSocket upgrade (RFC 6455)
+//   POST /api/v1/stores/NAME/mine?kernel=K  submit mining job, 202 + id
+//   GET  /api/v1/jobs/ID                    poll a job (state, progress)
+//   DELETE /api/v1/jobs/ID                  cancel / forget a job
+//   POST /api/v1/shutdown                   graceful drain
+//
+// Auth: with a bearer token configured, every /api/v1 request (the
 // upgrade included) must carry `Authorization: Bearer <token>` or is
 // answered 401 before touching the catalog. Quota: a store past its
 // session quota answers 429. Backpressure: each connection's write
@@ -37,6 +45,7 @@
 
 #include "core/catalog.h"
 #include "http/http.h"
+#include "http/jobs.h"
 #include "http/reactor.h"
 #include "http/websocket.h"
 #include "net/protocol.h"
@@ -97,7 +106,7 @@ class Gateway {
 
   uint16_t port() const { return port_; }
 
-  /// Asks the host to stop (POST /api/shutdown lands here too).
+  /// Asks the host to stop (POST /api/v1/shutdown lands here too).
   void RequestShutdown();
 
   /// Blocks until RequestShutdown / Stop.
@@ -118,6 +127,9 @@ class Gateway {
     kEpQuery,
     kEpSummary,
     kEpRenderSvg,
+    kEpMine,
+    kEpJobs,
+    kEpRedirect,
     kEpStats,
     kEpUpgrade,
     kEpWsOp,
@@ -171,6 +183,7 @@ class Gateway {
   core::Catalog* catalog_;
   GatewayOptions options_;
   std::unique_ptr<Reactor> reactor_;
+  JobManager jobs_;
 
   net::Socket listener_;
   uint16_t port_ = 0;

@@ -1,0 +1,231 @@
+#include "http/jobs.h"
+
+#include <atomic>
+#include <utility>
+#include <vector>
+
+#include "gtree/store.h"
+#include "mining/components.h"
+#include "mining/degree.h"
+#include "mining/pagerank.h"
+#include "mining/pagescan_kernels.h"
+#include "net/protocol.h"
+#include "storage/page_scan.h"
+#include "util/string_util.h"
+
+namespace gmine::http {
+
+struct JobManager::Job {
+  MineJobInfo info;  // guarded by the manager's mu_
+  uint32_t top_k = 10;
+  std::atomic<bool> cancel{false};
+  core::CatalogSession lease;
+  std::thread worker;
+  bool finished = false;  // worker is done; joinable without blocking
+};
+
+namespace {
+
+std::string PageRankResultJson(const mining::PageRankResult& result,
+                               uint32_t top_k) {
+  std::string top = "[";
+  const std::vector<graph::NodeId> ids =
+      mining::TopKByScore(result.score, top_k);
+  for (size_t i = 0; i < ids.size(); ++i) {
+    if (i > 0) top += ",";
+    top += StrFormat("{\"id\":%u,\"score\":%.12g}", ids[i],
+                     result.score[ids[i]]);
+  }
+  top += "]";
+  return StrFormat(
+      "{\"kernel\":\"pagerank\",\"converged\":%s,\"iterations\":%d,"
+      "\"final_delta\":%.6g,\"top\":%s}",
+      result.converged ? "true" : "false", result.iterations,
+      result.final_delta, top.c_str());
+}
+
+std::string DegreesResultJson(const mining::DegreeDistribution& d) {
+  return StrFormat(
+      "{\"kernel\":\"degrees\",\"min\":%u,\"max\":%u,\"mean\":%.6g,"
+      "\"powerlaw_slope\":%.6g}",
+      d.min_degree, d.max_degree, d.mean_degree, d.powerlaw_slope);
+}
+
+std::string ComponentsResultJson(const mining::ComponentResult& c) {
+  return StrFormat(
+      "{\"kernel\":\"components\",\"num_components\":%u,\"largest\":%u}",
+      c.num_components, c.LargestSize());
+}
+
+}  // namespace
+
+JobManager::JobManager(core::Catalog* catalog) : catalog_(catalog) {}
+
+JobManager::~JobManager() { Shutdown(); }
+
+gmine::Result<uint64_t> JobManager::Submit(const std::string& store,
+                                           const std::string& kernel,
+                                           uint32_t top_k) {
+  if (kernel != "pagerank" && kernel != "degrees" &&
+      kernel != "components") {
+    return Status::InvalidArgument(StrFormat(
+        "unknown kernel '%s' (expected pagerank, degrees or components)",
+        kernel.c_str()));
+  }
+  // Lease first so submit reports NotFound / quota errors synchronously.
+  GMINE_ASSIGN_OR_RETURN(core::CatalogSession lease,
+                         catalog_->AcquireSession(store));
+  std::lock_guard<std::mutex> lock(mu_);
+  if (stopping_) return Status::Aborted("job manager shutting down");
+  const uint64_t id = next_id_++;
+  auto job = std::make_unique<Job>();
+  job->info.id = id;
+  job->info.store = store;
+  job->info.kernel = kernel;
+  job->info.state = "running";
+  job->top_k = top_k == 0 ? 10 : top_k;
+  job->lease = std::move(lease);
+  Job* raw = job.get();
+  jobs_.emplace(id, std::move(job));
+  raw->worker = std::thread([this, raw] { Run(raw); });
+  return id;
+}
+
+void JobManager::Run(Job* job) {
+  gtree::GTreeStore* store = job->lease.store();
+  mining::KernelContext context;
+  context.cancelled = [job] {
+    return job->cancel.load(std::memory_order_relaxed);
+  };
+  context.progress = [this, job](const mining::KernelProgress& p) {
+    std::lock_guard<std::mutex> lock(mu_);
+    job->info.progress = p;
+  };
+
+  std::string engine = "pages";
+  std::string result_json;
+  Status status = Status::OK();
+
+  auto run_pages = [&]() -> Status {
+    std::unique_ptr<storage::PageScan> scan = store->NewPageScan();
+    if (job->info.kernel == "pagerank") {
+      mining::PageRankOverPagesOptions options;
+      options.context = context;
+      auto r = mining::PageRankOverPages(*scan, options);
+      if (!r.ok()) return r.status();
+      result_json = PageRankResultJson(r.value(), job->top_k);
+    } else if (job->info.kernel == "degrees") {
+      auto r = mining::DegreeDistributionOverPages(*scan, context);
+      if (!r.ok()) return r.status();
+      result_json = DegreesResultJson(r.value());
+    } else {
+      auto r = mining::WeakComponentsOverPages(*scan, context);
+      if (!r.ok()) return r.status();
+      result_json = ComponentsResultJson(r.value());
+    }
+    return Status::OK();
+  };
+
+  auto run_in_memory = [&]() -> Status {
+    engine = "in-memory";
+    auto g = store->MaterializeFullGraph();
+    if (!g.ok()) return g.status();
+    if (context.IsCancelled()) return Status::Aborted("job cancelled");
+    if (job->info.kernel == "pagerank") {
+      mining::PageRankOptions options;
+      options.context = context;
+      const mining::PageRankResult r =
+          mining::ComputePageRank(g.value(), options);
+      if (context.IsCancelled()) return Status::Aborted("job cancelled");
+      result_json = PageRankResultJson(r, job->top_k);
+    } else if (job->info.kernel == "degrees") {
+      result_json =
+          DegreesResultJson(mining::ComputeDegreeDistribution(g.value()));
+    } else {
+      result_json =
+          ComponentsResultJson(mining::WeakComponents(g.value()));
+    }
+    return Status::OK();
+  };
+
+  status = run_pages();
+  if (status.IsNotSupported()) {
+    // Legacy store without complete per-page adjacency.
+    status = run_in_memory();
+  }
+
+  job->lease.Release();
+  std::lock_guard<std::mutex> lock(mu_);
+  job->info.engine = engine;
+  if (status.ok()) {
+    job->info.state = "done";
+    job->info.result_json = std::move(result_json);
+  } else if (status.IsAborted() &&
+             job->cancel.load(std::memory_order_relaxed)) {
+    job->info.state = "cancelled";
+    job->info.error = status.message();
+  } else {
+    job->info.state = "failed";
+    job->info.error = status.message();
+  }
+  job->finished = true;
+}
+
+gmine::Result<MineJobInfo> JobManager::Get(uint64_t id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = jobs_.find(id);
+  if (it == jobs_.end()) {
+    return Status::NotFound(StrFormat("no job %llu",
+                                      (unsigned long long)id));
+  }
+  return it->second->info;
+}
+
+gmine::Result<MineJobInfo> JobManager::Cancel(uint64_t id, bool* removed) {
+  std::unique_ptr<Job> reap;
+  MineJobInfo info;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = jobs_.find(id);
+    if (it == jobs_.end()) {
+      return Status::NotFound(StrFormat("no job %llu",
+                                        (unsigned long long)id));
+    }
+    Job* job = it->second.get();
+    if (!job->finished) {
+      job->cancel.store(true, std::memory_order_relaxed);
+      *removed = false;
+      return job->info;
+    }
+    reap = std::move(it->second);
+    jobs_.erase(it);
+    info = reap->info;
+  }
+  if (reap->worker.joinable()) reap->worker.join();
+  *removed = true;
+  return info;
+}
+
+void JobManager::Shutdown() {
+  std::vector<std::unique_ptr<Job>> reap;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) return;
+    stopping_ = true;
+    for (auto& [id, job] : jobs_) {
+      job->cancel.store(true, std::memory_order_relaxed);
+      reap.push_back(std::move(job));
+    }
+    jobs_.clear();
+  }
+  for (auto& job : reap) {
+    if (job->worker.joinable()) job->worker.join();
+  }
+}
+
+size_t JobManager::jobs_now() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return jobs_.size();
+}
+
+}  // namespace gmine::http

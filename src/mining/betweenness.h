@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "graph/graph.h"
+#include "mining/kernel_context.h"
 
 namespace gmine::mining {
 
@@ -24,11 +25,15 @@ struct BetweennessOptions {
   uint64_t seed = 1;
   /// Normalize by (n-1)(n-2)/2 (undirected pair count).
   bool normalize = false;
-  /// Worker threads; sources are strided across ranks with per-rank score
-  /// buffers merged at the end. 0 = auto (GMINE_THREADS env var, else
+  /// Shared execution knobs — set context.threads for worker threads;
+  /// sources are strided across ranks with per-rank score buffers merged
+  /// at the end. 0 = auto (GMINE_THREADS env var, else
   /// hardware_concurrency), 1 = exact serial path. A fixed thread count
   /// gives a deterministic result; different counts agree to float
   /// rounding (summation order differs).
+  KernelContext context;
+  /// Deprecated: set context.threads instead. Honored only when
+  /// context.threads == 0 (kernels resolve via context.ResolveThreads).
   int threads = 0;
 };
 

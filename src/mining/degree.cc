@@ -9,20 +9,20 @@ namespace gmine::mining {
 using graph::Graph;
 using graph::NodeId;
 
-DegreeDistribution ComputeDegreeDistribution(const Graph& g) {
+DegreeDistribution DistributionFromDegrees(
+    const std::vector<uint32_t>& degrees) {
   DegreeDistribution out;
-  const uint32_t n = g.num_nodes();
+  const size_t n = degrees.size();
   if (n == 0) return out;
   uint64_t total = 0;
-  out.min_degree = g.Degree(0);
-  for (NodeId v = 0; v < n; ++v) {
-    uint32_t d = g.Degree(v);
+  out.min_degree = degrees[0];
+  for (uint32_t d : degrees) {
     out.count[d]++;
     total += d;
     out.min_degree = std::min(out.min_degree, d);
     out.max_degree = std::max(out.max_degree, d);
   }
-  out.mean_degree = static_cast<double>(total) / n;
+  out.mean_degree = static_cast<double>(total) / static_cast<double>(n);
 
   // Log-log least squares over degrees >= 1.
   double sx = 0, sy = 0, sxx = 0, sxy = 0;
@@ -44,6 +44,10 @@ DegreeDistribution ComputeDegreeDistribution(const Graph& g) {
     }
   }
   return out;
+}
+
+DegreeDistribution ComputeDegreeDistribution(const Graph& g) {
+  return DistributionFromDegrees(Degrees(g));
 }
 
 std::vector<uint32_t> Degrees(const Graph& g) {

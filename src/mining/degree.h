@@ -32,6 +32,12 @@ struct DegreeDistribution {
 /// Computes the (out-)degree distribution of `g`.
 DegreeDistribution ComputeDegreeDistribution(const graph::Graph& g);
 
+/// Aggregates a distribution from precomputed per-node degrees — the
+/// shared back end of ComputeDegreeDistribution and the page-at-a-time
+/// kernel (mining/pagescan_kernels.h), which never holds a Graph.
+DegreeDistribution DistributionFromDegrees(
+    const std::vector<uint32_t>& degrees);
+
 /// All node degrees as a vector (for histograms).
 std::vector<uint32_t> Degrees(const graph::Graph& g);
 

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "graph/graph.h"
+#include "mining/kernel_context.h"
 
 namespace gmine::mining {
 
@@ -21,10 +22,15 @@ struct PageRankOptions {
   /// Weighted transition probabilities (proportional to edge weight)
   /// instead of uniform over out-neighbors.
   bool weighted = false;
-  /// Worker threads for the pull-based gather and delta reduction:
-  /// 0 = auto (GMINE_THREADS env var, else hardware_concurrency),
-  /// 1 = exact serial path, N = N participants. Results are bit-identical
-  /// at every setting (deterministic chunked reduction).
+  /// Shared execution knobs — set context.threads for the pull-based
+  /// gather and delta reduction: 0 = auto (GMINE_THREADS env var, else
+  /// hardware_concurrency), 1 = exact serial path, N = N participants.
+  /// Results are bit-identical at every setting (deterministic chunked
+  /// reduction). Cancellation is polled between iterations and stops
+  /// early with the current (unconverged) scores.
+  KernelContext context;
+  /// Deprecated: set context.threads instead. Honored only when
+  /// context.threads == 0 (kernels resolve via context.ResolveThreads).
   int threads = 0;
 };
 

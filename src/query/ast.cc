@@ -159,6 +159,15 @@ const char* CompareOpName(CompareOp op) {
   return "?";
 }
 
+const char* MineKernelName(MineStatement::Kernel kernel) {
+  switch (kernel) {
+    case MineStatement::Kernel::kPagerank: return "PAGERANK";
+    case MineStatement::Kernel::kDegrees: return "DEGREES";
+    case MineStatement::Kernel::kComponents: return "COMPONENTS";
+  }
+  return "?";
+}
+
 std::string PrintPredicate(const Predicate& p) {
   return PrintAt(p, /*context=*/0, /*right=*/false);
 }
@@ -202,6 +211,12 @@ std::string Print(const Statement& stmt) {
     }
   } else if (const SummarizeStatement* s = stmt.summarize()) {
     out += "SUMMARIZE NODE " + RefText(s->node);
+  } else if (const MineStatement* mi = stmt.mine()) {
+    out += StrFormat("MINE %s", MineKernelName(mi->kernel));
+    if (mi->top.has_value()) {
+      out += StrFormat(" TOP %llu",
+                       static_cast<unsigned long long>(*mi->top));
+    }
   }
   return out;
 }
@@ -236,6 +251,10 @@ bool Equal(const Statement& a, const Statement& b) {
   }
   if (const SummarizeStatement* sa = a.summarize()) {
     return EqualRef(sa->node, b.summarize()->node);
+  }
+  if (const MineStatement* mia = a.mine()) {
+    const MineStatement* mib = b.mine();
+    return mia->kernel == mib->kernel && mia->top == mib->top;
   }
   return false;
 }

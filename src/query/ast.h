@@ -6,6 +6,7 @@
 //   MATCH NEIGHBORS(ref, depth) [WHERE ...] [ORDER BY ...] [LIMIT n]
 //   EXTRACT CSG FROM {ref, ref, ...} [BUDGET n]
 //   SUMMARIZE NODE ref
+//   MINE PAGERANK|DEGREES|COMPONENTS [TOP n]
 //   EXPLAIN <any of the above>
 //
 // where `ref` is a node id (integer) or a quoted label, and `expr` is an
@@ -127,10 +128,23 @@ struct SummarizeStatement {
   NodeRef node;
 };
 
+/// MINE: run a whole-graph mining kernel. Streamed stores run the
+/// page-at-a-time kernels (mining/pagescan_kernels.h) under the buffer
+/// pool budget; legacy stores fall back to the in-memory kernels.
+struct MineStatement {
+  enum class Kernel : uint8_t { kPagerank, kDegrees, kComponents };
+  Kernel kernel = Kernel::kPagerank;
+  /// Row cap for ranked output (PAGERANK top list / COMPONENTS rows).
+  std::optional<uint64_t> top;
+  Position top_pos;
+};
+
 /// Any parsed statement; `explain` asks for the plan instead of rows.
 struct Statement {
   bool explain = false;
-  std::variant<MatchStatement, ExtractStatement, SummarizeStatement> node;
+  std::variant<MatchStatement, ExtractStatement, SummarizeStatement,
+               MineStatement>
+      node;
 
   const MatchStatement* match() const {
     return std::get_if<MatchStatement>(&node);
@@ -141,7 +155,13 @@ struct Statement {
   const SummarizeStatement* summarize() const {
     return std::get_if<SummarizeStatement>(&node);
   }
+  const MineStatement* mine() const {
+    return std::get_if<MineStatement>(&node);
+  }
 };
+
+/// Uppercase kernel keyword ("PAGERANK", "DEGREES", "COMPONENTS").
+const char* MineKernelName(MineStatement::Kernel kernel);
 
 /// Lowercase field name ("id", "pagerank", ...).
 const char* FieldName(Field field);

@@ -4,9 +4,13 @@
 #include <utility>
 
 #include "csg/extraction.h"
+#include "mining/components.h"
+#include "mining/degree.h"
 #include "mining/hops.h"
 #include "mining/pagerank.h"
+#include "mining/pagescan_kernels.h"
 #include "query/parser.h"
+#include "storage/page_scan.h"
 #include "util/string_util.h"
 
 namespace gmine::query {
@@ -215,7 +219,7 @@ gmine::Result<const graph::Graph*> Executor::FullGraph() const {
   if (full_graph_fn_) return full_graph_fn_();
   std::lock_guard<std::mutex> lock(graph_mu_);
   if (!owned_graph_.has_value()) {
-    GMINE_ASSIGN_OR_RETURN(graph::Graph g, store_->LoadFullGraph());
+    GMINE_ASSIGN_OR_RETURN(graph::Graph g, store_->MaterializeFullGraph());
     owned_graph_.emplace(std::move(g));
   }
   return &*owned_graph_;
@@ -236,6 +240,7 @@ gmine::Result<QueryResult> Executor::Execute(const Plan& plan) const {
   if (const SummarizePlan* s = plan.summarize()) {
     return ExecuteSummarize(*s);
   }
+  if (const MinePlan* mi = plan.mine()) return ExecuteMine(*mi);
   return Status::Internal("unpopulated plan");
 }
 
@@ -264,7 +269,7 @@ gmine::Result<QueryResult> Executor::ExecuteMatch(
     std::vector<double> pagerank;
     if (plan.needs_pagerank) {
       mining::PageRankOptions pr_options;
-      pr_options.threads = options_.threads;
+      pr_options.context.threads = options_.threads;
       pagerank = mining::ComputePageRank(sub.graph, pr_options).score;
     }
     for (graph::NodeId local = 0; local < sub.graph.num_nodes();
@@ -401,6 +406,99 @@ gmine::Result<QueryResult> Executor::ExecuteSummarize(
   result.rows.push_back({"neighbors", std::move(neighbor_list)});
   result.stats.pages_total = 1;
   result.stats.pages_scanned = 1;
+  result.stats.rows_output = result.rows.size();
+  return result;
+}
+
+gmine::Result<QueryResult> Executor::ExecuteMine(
+    const MinePlan& plan) const {
+  using Kernel = ast::MineStatement::Kernel;
+  QueryResult result;
+  // Page-at-a-time first: bounded memory on stores that carry boundary
+  // adjacency. NotSupported (legacy store) falls back to the in-memory
+  // kernels over the full graph; any other error is real.
+  mining::KernelContext context;
+  context.threads = options_.threads;
+  context.progress = [&result](const mining::KernelProgress& p) {
+    result.stats.pages_scanned = p.pages_scanned;
+    result.stats.pages_total = p.pages_total;
+  };
+
+  auto emit_pagerank = [&](const mining::PageRankResult& r) {
+    result.columns = {"id", "label", "score"};
+    const graph::LabelStore& labels = store_->labels();
+    for (graph::NodeId v : mining::TopKByScore(r.score, plan.top)) {
+      result.rows.push_back({StrFormat("%u", v),
+                             std::string(labels.Label(v)),
+                             StrFormat("%.8f", r.score[v])});
+    }
+  };
+  auto emit_degrees = [&](const mining::DegreeDistribution& d) {
+    result.columns = {"field", "value"};
+    result.rows.push_back({"min_degree", StrFormat("%u", d.min_degree)});
+    result.rows.push_back({"max_degree", StrFormat("%u", d.max_degree)});
+    result.rows.push_back({"mean_degree", StrFormat("%.6f", d.mean_degree)});
+    result.rows.push_back(
+        {"powerlaw_slope", StrFormat("%.6f", d.powerlaw_slope)});
+    result.rows.push_back(
+        {"distinct_degrees",
+         StrFormat("%llu", static_cast<unsigned long long>(d.count.size()))});
+  };
+  auto emit_components = [&](const mining::ComponentResult& c) {
+    result.columns = {"component", "size"};
+    const uint32_t n =
+        std::min<uint32_t>(c.num_components, plan.top);
+    for (uint32_t i = 0; i < n; ++i) {
+      result.rows.push_back(
+          {StrFormat("%u", i), StrFormat("%u", c.sizes[i])});
+    }
+  };
+
+  std::unique_ptr<storage::PageScan> scan = store_->NewPageScan();
+  bool pages_ok = true;
+  if (plan.kernel == Kernel::kPagerank) {
+    mining::PageRankOverPagesOptions options;
+    options.context = context;
+    auto r = mining::PageRankOverPages(*scan, options);
+    if (r.ok()) {
+      emit_pagerank(r.value());
+    } else if (r.status().IsNotSupported()) {
+      pages_ok = false;
+    } else {
+      return r.status();
+    }
+  } else if (plan.kernel == Kernel::kDegrees) {
+    auto r = mining::DegreeDistributionOverPages(*scan, context);
+    if (r.ok()) {
+      emit_degrees(r.value());
+    } else if (r.status().IsNotSupported()) {
+      pages_ok = false;
+    } else {
+      return r.status();
+    }
+  } else {
+    auto r = mining::WeakComponentsOverPages(*scan, context);
+    if (r.ok()) {
+      emit_components(r.value());
+    } else if (r.status().IsNotSupported()) {
+      pages_ok = false;
+    } else {
+      return r.status();
+    }
+  }
+
+  if (!pages_ok) {
+    GMINE_ASSIGN_OR_RETURN(const graph::Graph* g, FullGraph());
+    if (plan.kernel == Kernel::kPagerank) {
+      mining::PageRankOptions options;
+      options.context.threads = options_.threads;
+      emit_pagerank(mining::ComputePageRank(*g, options));
+    } else if (plan.kernel == Kernel::kDegrees) {
+      emit_degrees(mining::ComputeDegreeDistribution(*g));
+    } else {
+      emit_components(mining::WeakComponents(*g));
+    }
+  }
   result.stats.rows_output = result.rows.size();
   return result;
 }

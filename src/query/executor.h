@@ -101,6 +101,7 @@ class Executor {
   gmine::Result<QueryResult> ExecuteExtract(const ExtractPlan& plan) const;
   gmine::Result<QueryResult> ExecuteSummarize(
       const SummarizePlan& plan) const;
+  gmine::Result<QueryResult> ExecuteMine(const MinePlan& plan) const;
   gmine::Result<const graph::Graph*> FullGraph() const;
 
   const gtree::GTreeStore* store_;

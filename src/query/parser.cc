@@ -271,8 +271,10 @@ class Parser {
       GMINE_ASSIGN_OR_RETURN(stmt.node, ParseExtract());
     } else if (AtKeyword("summarize")) {
       GMINE_ASSIGN_OR_RETURN(stmt.node, ParseSummarize());
+    } else if (AtKeyword("mine")) {
+      GMINE_ASSIGN_OR_RETURN(stmt.node, ParseMine());
     } else {
-      return Expected("MATCH, EXTRACT or SUMMARIZE");
+      return Expected("MATCH, EXTRACT, SUMMARIZE or MINE");
     }
     if (Peek().kind != Token::Kind::kEnd) {
       return Expected("end of statement");
@@ -430,6 +432,30 @@ class Parser {
     GMINE_RETURN_IF_ERROR(ExpectKeyword("node", "NODE after SUMMARIZE"));
     GMINE_ASSIGN_OR_RETURN(s.node, ParseRef());
     return s;
+  }
+
+  gmine::Result<ast::MineStatement> ParseMine() {
+    ast::MineStatement m;
+    Next();  // MINE
+    if (AtKeyword("pagerank")) {
+      Next();
+      m.kernel = ast::MineStatement::Kernel::kPagerank;
+    } else if (AtKeyword("degrees")) {
+      Next();
+      m.kernel = ast::MineStatement::Kernel::kDegrees;
+    } else if (AtKeyword("components")) {
+      Next();
+      m.kernel = ast::MineStatement::Kernel::kComponents;
+    } else {
+      return Expected("PAGERANK, DEGREES or COMPONENTS");
+    }
+    if (AtKeyword("top")) {
+      Next();
+      m.top_pos = Peek().pos;
+      GMINE_ASSIGN_OR_RETURN(uint64_t top, ParseInteger("TOP count"));
+      m.top = top;
+    }
+    return m;
   }
 
   gmine::Result<std::unique_ptr<Predicate>> ParseOr(int depth) {

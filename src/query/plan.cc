@@ -212,6 +212,33 @@ gmine::Result<SummarizePlan> LowerSummarize(
   return plan;
 }
 
+gmine::Result<MinePlan> LowerMine(const ast::MineStatement& m,
+                                  std::vector<std::string>* description) {
+  MinePlan plan;
+  plan.kernel = m.kernel;
+  if (m.top.has_value()) {
+    if (*m.top == 0) {
+      return SemanticError(m.top_pos, "TOP must be at least 1");
+    }
+    if (*m.top > 0xffffffffull) {
+      return SemanticError(m.top_pos, "TOP must fit in 32 bits");
+    }
+    plan.top = static_cast<uint32_t>(*m.top);
+  }
+  const char* kernel_name = "pagerank";
+  if (m.kernel == ast::MineStatement::Kernel::kDegrees) {
+    kernel_name = "degree distribution";
+  } else if (m.kernel == ast::MineStatement::Kernel::kComponents) {
+    kernel_name = "weak components";
+  }
+  description->push_back(StrFormat(
+      "mine: %s, page-at-a-time over the leaf scan when the store "
+      "carries boundary adjacency, in-memory fallback otherwise",
+      kernel_name));
+  description->push_back(StrFormat("top: %u", plan.top));
+  return plan;
+}
+
 }  // namespace
 
 gmine::Result<Plan> PlanStatement(ast::Statement stmt,
@@ -233,6 +260,8 @@ gmine::Result<Plan> PlanStatement(ast::Statement stmt,
                  plan.statement.summarize()) {
     GMINE_ASSIGN_OR_RETURN(
         plan.op, LowerSummarize(*s, context, &plan.description));
+  } else if (const ast::MineStatement* mi = plan.statement.mine()) {
+    GMINE_ASSIGN_OR_RETURN(plan.op, LowerMine(*mi, &plan.description));
   } else {
     return Status::Internal("unpopulated statement");
   }

@@ -8,6 +8,9 @@
 //   MATCH NEIGHBORS    -> LoadLeaf(origin) + mining::BfsDistances
 //   EXTRACT CSG        -> LoadFullGraph + csg::ExtractConnectionSubgraph
 //   SUMMARIZE NODE     -> LoadLeaf + tree path (details on demand)
+//   MINE kernel        -> page-at-a-time kernels over NewPageScan when
+//                         the store carries boundary adjacency, else
+//                         the in-memory kernels over the full graph
 //
 // The planner does every semantic check so the executor can assume a
 // well-typed plan: comparison operand types per field, node-reference
@@ -67,13 +70,20 @@ struct SummarizePlan {
   graph::NodeId node = graph::kInvalidNode;
 };
 
+/// Lowered MINE: which kernel, how many ranked rows to keep.
+struct MinePlan {
+  ast::MineStatement::Kernel kernel =
+      ast::MineStatement::Kernel::kPagerank;
+  uint32_t top = 10;
+};
+
 /// A validated, resolved statement ready for the executor.
 struct Plan {
   /// The statement the plan was built from (owns the predicate tree the
   /// MatchPlan borrows).
   ast::Statement statement;
   bool explain = false;
-  std::variant<MatchPlan, ExtractPlan, SummarizePlan> op;
+  std::variant<MatchPlan, ExtractPlan, SummarizePlan, MinePlan> op;
   /// Human-readable lowering, one step per line (EXPLAIN output).
   std::vector<std::string> description;
 
@@ -84,6 +94,7 @@ struct Plan {
   const SummarizePlan* summarize() const {
     return std::get_if<SummarizePlan>(&op);
   }
+  const MinePlan* mine() const { return std::get_if<MinePlan>(&op); }
 };
 
 /// Validates and lowers `stmt` (consumed by move). InvalidArgument with

@@ -1,0 +1,225 @@
+#include "storage/extsort.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+
+#include "util/string_util.h"
+
+namespace gmine::storage {
+
+namespace {
+
+/// Total order used by runs and the merge: (src, dst) primary so the
+/// consumer sees each node's arcs contiguously, weight as a
+/// deterministic tie-break for duplicate pairs.
+inline bool ArcLess(const ArcRecord& a, const ArcRecord& b) {
+  if (a.src != b.src) return a.src < b.src;
+  if (a.dst != b.dst) return a.dst < b.dst;
+  return a.weight < b.weight;
+}
+
+/// Streams one spilled run back through a fixed read buffer.
+class RunCursor {
+ public:
+  RunCursor() = default;
+
+  Status Open(const std::string& path, size_t buffer_records) {
+    path_ = path;
+    file_ = std::fopen(path.c_str(), "rb");
+    if (file_ == nullptr) {
+      return Status::IOError(
+          StrFormat("extsort: cannot reopen run %s", path.c_str()));
+    }
+    buffer_.resize(std::max<size_t>(buffer_records, 1024));
+    return Status::OK();
+  }
+
+  ~RunCursor() {
+    if (file_ != nullptr) std::fclose(file_);
+    if (!path_.empty()) std::remove(path_.c_str());
+  }
+  RunCursor(const RunCursor&) = delete;
+  RunCursor& operator=(const RunCursor&) = delete;
+
+  /// Advances to the next record; false at end of run.
+  gmine::Result<bool> Next(ArcRecord* out) {
+    if (pos_ == filled_) {
+      filled_ = std::fread(buffer_.data(), sizeof(ArcRecord), buffer_.size(),
+                           file_);
+      pos_ = 0;
+      if (filled_ == 0) {
+        if (std::ferror(file_) != 0) {
+          return Status::IOError(
+              StrFormat("extsort: read failed on %s", path_.c_str()));
+        }
+        return false;
+      }
+    }
+    *out = buffer_[pos_++];
+    return true;
+  }
+
+ private:
+  std::string path_;
+  std::FILE* file_ = nullptr;
+  std::vector<ArcRecord> buffer_;
+  size_t pos_ = 0;
+  size_t filled_ = 0;
+};
+
+/// In-memory case: everything fit in one run buffer.
+class VectorArcStream final : public SortedArcStream {
+ public:
+  explicit VectorArcStream(std::vector<ArcRecord> records)
+      : records_(std::move(records)) {}
+
+  gmine::Result<bool> Next(ArcRecord* out) override {
+    if (pos_ == records_.size()) return false;
+    *out = records_[pos_++];
+    return true;
+  }
+
+ private:
+  std::vector<ArcRecord> records_;
+  size_t pos_ = 0;
+};
+
+/// K-way heap merge over spilled runs. Ties between runs break on
+/// (record, run index), so the merged order is fully deterministic.
+class MergeArcStream final : public SortedArcStream {
+ public:
+  Status Open(const std::vector<std::string>& runs, uint64_t budget_bytes) {
+    // Split the budget across the run read buffers; clamp so even a
+    // pathological run count keeps a useful read size.
+    const size_t per_run_records = static_cast<size_t>(std::max<uint64_t>(
+        1024, budget_bytes / (sizeof(ArcRecord) * (runs.size() + 1))));
+    cursors_.reserve(runs.size());
+    for (const std::string& path : runs) {
+      cursors_.push_back(std::make_unique<RunCursor>());
+      GMINE_RETURN_IF_ERROR(cursors_.back()->Open(path, per_run_records));
+    }
+    heap_.reserve(cursors_.size());
+    for (size_t i = 0; i < cursors_.size(); ++i) {
+      ArcRecord rec;
+      GMINE_ASSIGN_OR_RETURN(bool more, cursors_[i]->Next(&rec));
+      if (more) {
+        heap_.push_back(HeapEntry{rec, i});
+        std::push_heap(heap_.begin(), heap_.end(), HeapGreater);
+      }
+    }
+    return Status::OK();
+  }
+
+  gmine::Result<bool> Next(ArcRecord* out) override {
+    if (heap_.empty()) return false;
+    std::pop_heap(heap_.begin(), heap_.end(), HeapGreater);
+    HeapEntry top = heap_.back();
+    heap_.pop_back();
+    *out = top.rec;
+    ArcRecord next;
+    GMINE_ASSIGN_OR_RETURN(bool more, cursors_[top.run]->Next(&next));
+    if (more) {
+      heap_.push_back(HeapEntry{next, top.run});
+      std::push_heap(heap_.begin(), heap_.end(), HeapGreater);
+    }
+    return true;
+  }
+
+ private:
+  struct HeapEntry {
+    ArcRecord rec;
+    size_t run;
+  };
+  /// std::push_heap builds a max-heap; "greater" comparison makes it
+  /// pop the smallest record first.
+  static bool HeapGreater(const HeapEntry& a, const HeapEntry& b) {
+    if (ArcLess(b.rec, a.rec)) return true;
+    if (ArcLess(a.rec, b.rec)) return false;
+    return b.run < a.run;
+  }
+
+  std::vector<std::unique_ptr<RunCursor>> cursors_;
+  std::vector<HeapEntry> heap_;
+};
+
+}  // namespace
+
+ExternalArcSorter::ExternalArcSorter(ExtSortOptions options)
+    : options_(std::move(options)) {
+  // Floor of 4 MiB: below that the spill overhead dominates and the
+  // merge fan-in explodes; a budget this small is governing the *page*
+  // working set, not the sorter.
+  const uint64_t budget =
+      std::max<uint64_t>(options_.mem_budget_bytes, 4ull << 20);
+  buffer_capacity_ = static_cast<size_t>(budget / sizeof(ArcRecord));
+  buffer_.reserve(std::min<size_t>(buffer_capacity_, 1ull << 20));
+}
+
+ExternalArcSorter::~ExternalArcSorter() {
+  for (const std::string& path : runs_) std::remove(path.c_str());
+}
+
+Status ExternalArcSorter::SpillRun() {
+  if (options_.tmp_prefix.empty()) {
+    return Status::InvalidArgument(
+        "extsort: spill required but no tmp_prefix configured");
+  }
+  std::sort(buffer_.begin(), buffer_.end(), ArcLess);
+  const std::string path =
+      StrFormat("%s.run%zu", options_.tmp_prefix.c_str(), runs_.size());
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::IOError(
+        StrFormat("extsort: cannot create run %s", path.c_str()));
+  }
+  const size_t written =
+      std::fwrite(buffer_.data(), sizeof(ArcRecord), buffer_.size(), f);
+  const bool ok = written == buffer_.size() && std::fflush(f) == 0;
+  std::fclose(f);
+  if (!ok) {
+    std::remove(path.c_str());
+    return Status::IOError(
+        StrFormat("extsort: short write to run %s", path.c_str()));
+  }
+  spilled_bytes_ += buffer_.size() * sizeof(ArcRecord);
+  runs_.push_back(path);
+  buffer_.clear();
+  return Status::OK();
+}
+
+Status ExternalArcSorter::Add(const ArcRecord& rec) {
+  if (finished_) {
+    return Status::InvalidArgument("extsort: Add after Finish");
+  }
+  if (buffer_.size() >= buffer_capacity_) {
+    GMINE_RETURN_IF_ERROR(SpillRun());
+  }
+  buffer_.push_back(rec);
+  ++num_records_;
+  return Status::OK();
+}
+
+gmine::Result<std::unique_ptr<SortedArcStream>> ExternalArcSorter::Finish() {
+  if (finished_) {
+    return Status::InvalidArgument("extsort: Finish called twice");
+  }
+  finished_ = true;
+  if (runs_.empty()) {
+    std::sort(buffer_.begin(), buffer_.end(), ArcLess);
+    return std::unique_ptr<SortedArcStream>(
+        std::make_unique<VectorArcStream>(std::move(buffer_)));
+  }
+  if (!buffer_.empty()) {
+    GMINE_RETURN_IF_ERROR(SpillRun());
+  }
+  auto merged = std::make_unique<MergeArcStream>();
+  GMINE_RETURN_IF_ERROR(merged->Open(runs_, std::max<uint64_t>(
+                                                options_.mem_budget_bytes,
+                                                4ull << 20)));
+  // The cursors now own (and will unlink) the run files.
+  runs_.clear();
+  return std::unique_ptr<SortedArcStream>(std::move(merged));
+}
+
+}  // namespace gmine::storage

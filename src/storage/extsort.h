@@ -1,0 +1,95 @@
+// Bounded-memory external sort for graph arcs — the first half of the
+// out-of-core build pipeline (docs/OUTOFCORE.md). The edge-list reader
+// feeds every arc into an ExternalArcSorter; the sorter keeps at most
+// `mem_budget_bytes` of records in memory, spilling sorted runs to
+// disk, and Finish() hands back a single merged stream in ascending
+// (src, dst) order — exactly the order the streaming G-Tree builder
+// (gtree/stream_build.h) needs to emit CSR leaf pages one node range at
+// a time. The input graph therefore never materializes: peak memory is
+// the run buffer plus one read buffer per spilled run.
+//
+// Run files are raw little-endian 12-byte records, private to the
+// sorter, and removed when the merged stream (or an unfinished sorter)
+// is destroyed.
+
+#ifndef GMINE_STORAGE_EXTSORT_H_
+#define GMINE_STORAGE_EXTSORT_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace gmine::storage {
+
+/// One directed arc, as sorted and merged: 12 bytes, no padding.
+struct ArcRecord {
+  uint32_t src = 0;
+  uint32_t dst = 0;
+  float weight = 1.0f;
+};
+static_assert(sizeof(ArcRecord) == 12, "ArcRecord must pack to 12 bytes");
+
+/// Sorter tunables.
+struct ExtSortOptions {
+  /// Bytes of records buffered in memory before a run spills to disk.
+  /// The floor is one 4 MiB run regardless, so a tiny budget still
+  /// makes progress (it just spills more often).
+  uint64_t mem_budget_bytes = 64ull << 20;
+  /// Prefix for spill files ("<prefix>.run0", ".run1", ...). Required
+  /// before the first spill; an all-in-memory sort never touches it.
+  std::string tmp_prefix;
+};
+
+/// The merged output: arcs in ascending (src, dst) order. Duplicate
+/// (src, dst) pairs come out adjacent (ordered by weight, then by run),
+/// so the consumer can fold them deterministically.
+class SortedArcStream {
+ public:
+  virtual ~SortedArcStream() = default;
+  /// Fills `*out` with the next arc; returns false at end of stream.
+  virtual gmine::Result<bool> Next(ArcRecord* out) = 0;
+};
+
+/// Accepts arcs in any order, holds at most the budget in memory, and
+/// produces one globally sorted stream. Single-threaded use.
+class ExternalArcSorter {
+ public:
+  explicit ExternalArcSorter(ExtSortOptions options);
+  ~ExternalArcSorter();
+  ExternalArcSorter(const ExternalArcSorter&) = delete;
+  ExternalArcSorter& operator=(const ExternalArcSorter&) = delete;
+
+  /// Buffers one arc, spilling a sorted run when the budget is full.
+  Status Add(const ArcRecord& rec);
+
+  /// Seals the input and returns the merged stream. Call exactly once;
+  /// Add is invalid afterwards. The stream owns the run files and
+  /// removes them when destroyed.
+  gmine::Result<std::unique_ptr<SortedArcStream>> Finish();
+
+  /// Arcs added so far.
+  uint64_t num_records() const { return num_records_; }
+  /// Sorted runs spilled to disk (0 = everything fit in memory).
+  uint32_t num_runs() const { return static_cast<uint32_t>(runs_.size()); }
+  /// Bytes written to spill files.
+  uint64_t spilled_bytes() const { return spilled_bytes_; }
+
+ private:
+  Status SpillRun();
+
+  ExtSortOptions options_;
+  size_t buffer_capacity_ = 0;  // records per in-memory run
+  std::vector<ArcRecord> buffer_;
+  std::vector<std::string> runs_;  // spill file paths
+  uint64_t num_records_ = 0;
+  uint64_t spilled_bytes_ = 0;
+  bool finished_ = false;
+};
+
+}  // namespace gmine::storage
+
+#endif  // GMINE_STORAGE_EXTSORT_H_

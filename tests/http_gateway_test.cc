@@ -94,51 +94,51 @@ TEST(HttpGatewayTest, RestEndpointsOverOneKeepAliveConnection) {
   // Catalog listing, then per-store endpoints — all on one connection,
   // so this also proves keep-alive framing.
   HttpClientResponse r =
-      std::move(client.Request("GET", "/api/stores")).value();
+      std::move(client.Request("GET", "/api/v1/stores")).value();
   EXPECT_EQ(r.status, 200);
   EXPECT_EQ(r.Header("content-type"), "application/json");
   EXPECT_NE(r.body.find("\"name\":\"s0\""), std::string::npos);
   EXPECT_NE(r.body.find("\"name\":\"s1\""), std::string::npos);
 
-  r = std::move(client.Request("GET", "/api/stores/s0")).value();
+  r = std::move(client.Request("GET", "/api/v1/stores/s0")).value();
   EXPECT_EQ(r.status, 200);
   EXPECT_NE(r.body.find("\"communities\":"), std::string::npos);
   EXPECT_NE(r.body.find("\"labels\":"), std::string::npos);
 
   r = std::move(client.Request(
                     "GET",
-                    "/api/stores/s0/query?q=MATCH%20NODES%20LIMIT%202"))
+                    "/api/v1/stores/s0/query?q=MATCH%20NODES%20LIMIT%202"))
           .value();
   EXPECT_EQ(r.status, 200);
   EXPECT_NE(r.body.find("\"rows\":"), std::string::npos);
 
   // The POST body form runs the same statement.
-  r = std::move(client.Request("POST", "/api/stores/s0/query", "",
+  r = std::move(client.Request("POST", "/api/v1/stores/s0/query", "",
                                "MATCH NODES LIMIT 2"))
           .value();
   EXPECT_EQ(r.status, 200);
   EXPECT_NE(r.body.find("\"rows\":"), std::string::npos);
 
-  r = std::move(client.Request("GET", "/api/stores/s0/summary")).value();
+  r = std::move(client.Request("GET", "/api/v1/stores/s0/summary")).value();
   EXPECT_EQ(r.status, 200);
   EXPECT_NE(r.body.find("\"focus\":"), std::string::npos);
 
-  r = std::move(client.Request("GET", "/api/stores/s0/render.svg"))
+  r = std::move(client.Request("GET", "/api/v1/stores/s0/render.svg"))
           .value();
   EXPECT_EQ(r.status, 200);
   EXPECT_EQ(r.Header("content-type"), "image/svg+xml");
   EXPECT_EQ(r.body.rfind("<svg", 0), 0u);
 
   // Error paths share the connection too.
-  r = std::move(client.Request("GET", "/api/stores/nope")).value();
+  r = std::move(client.Request("GET", "/api/v1/stores/nope")).value();
   EXPECT_EQ(r.status, 404);
-  r = std::move(client.Request("GET", "/api/stores/s0/nope")).value();
+  r = std::move(client.Request("GET", "/api/v1/stores/s0/nope")).value();
   EXPECT_EQ(r.status, 404);
   r = std::move(client.Request("GET", "/nope")).value();
   EXPECT_EQ(r.status, 404);
-  r = std::move(client.Request("PUT", "/api/stores")).value();
+  r = std::move(client.Request("PUT", "/api/v1/stores")).value();
   EXPECT_EQ(r.status, 405);
-  r = std::move(client.Request("GET", "/api/stores/s0/query")).value();
+  r = std::move(client.Request("GET", "/api/v1/stores/s0/query")).value();
   EXPECT_EQ(r.status, 400);  // no statement given
 
   // Transient REST leases all returned to the catalog.
@@ -154,12 +154,12 @@ TEST(HttpGatewayTest, BearerAuthGatesApiButNotStats) {
   GatewayClient client = f.Connect();
 
   HttpClientResponse r =
-      std::move(client.Request("GET", "/api/stores")).value();
+      std::move(client.Request("GET", "/api/v1/stores")).value();
   EXPECT_EQ(r.status, 401);
   EXPECT_EQ(r.Header("www-authenticate"), "Bearer");
-  r = std::move(client.Request("GET", "/api/stores", "wrong")).value();
+  r = std::move(client.Request("GET", "/api/v1/stores", "wrong")).value();
   EXPECT_EQ(r.status, 401);
-  r = std::move(client.Request("GET", "/api/stores", "sekrit")).value();
+  r = std::move(client.Request("GET", "/api/v1/stores", "sekrit")).value();
   EXPECT_EQ(r.status, 200);
   // /stats stays open so probes need no secret.
   r = std::move(client.Request("GET", "/stats")).value();
@@ -168,7 +168,7 @@ TEST(HttpGatewayTest, BearerAuthGatesApiButNotStats) {
   // The upgrade is gated like any /api request.
   GatewayClient ws = f.Connect();
   EXPECT_TRUE(
-      ws.UpgradeWebSocket("/api/stores/s0/ws", "wrong").IsAborted());
+      ws.UpgradeWebSocket("/api/v1/stores/s0/ws", "wrong").IsAborted());
   client.Close();
 }
 
@@ -179,17 +179,17 @@ TEST(HttpGatewayTest, QuotaExceededAnswers429) {
 
   // One WebSocket pins the store's only session slot...
   GatewayClient ws = f.Connect();
-  ASSERT_TRUE(ws.UpgradeWebSocket("/api/stores/s0/ws").ok());
+  ASSERT_TRUE(ws.UpgradeWebSocket("/api/v1/stores/s0/ws").ok());
   // ...so a REST request (which leases transiently) is turned away.
   GatewayClient rest = f.Connect();
   HttpClientResponse r =
-      std::move(rest.Request("GET", "/api/stores/s0/summary")).value();
+      std::move(rest.Request("GET", "/api/v1/stores/s0/summary")).value();
   EXPECT_EQ(r.status, 429);
   // A second upgrade is refused the same way.
   GatewayClient ws2 = f.Connect();
-  EXPECT_TRUE(ws2.UpgradeWebSocket("/api/stores/s0/ws").IsAborted());
+  EXPECT_TRUE(ws2.UpgradeWebSocket("/api/v1/stores/s0/ws").IsAborted());
   // The sibling store is untouched by s0's quota.
-  r = std::move(rest.Request("GET", "/api/stores/s1/summary")).value();
+  r = std::move(rest.Request("GET", "/api/v1/stores/s1/summary")).value();
   EXPECT_EQ(r.status, 200);
   EXPECT_GE(f.catalog().stats().quota_rejections, 2u);
 
@@ -201,7 +201,7 @@ TEST(HttpGatewayTest, QuotaExceededAnswers429) {
 TEST(HttpGatewayTest, WebSocketSessionNavigatesAndQueries) {
   GatewayFixture f("ws");
   GatewayClient ws = f.Connect();
-  ASSERT_TRUE(ws.UpgradeWebSocket("/api/stores/s0/ws").ok());
+  ASSERT_TRUE(ws.UpgradeWebSocket("/api/v1/stores/s0/ws").ok());
   EXPECT_EQ(f.catalog().stats().sessions_now, 1u);
 
   // The session remembers focus across ops — proof it is pinned to the
@@ -249,7 +249,7 @@ TEST(HttpGatewayTest, WebSocketSessionNavigatesAndQueries) {
 TEST(HttpGatewayTest, MalformedFramesCloseTheConnection) {
   GatewayFixture f("badframe");
   GatewayClient ws = f.Connect();
-  ASSERT_TRUE(ws.UpgradeWebSocket("/api/stores/s0/ws").ok());
+  ASSERT_TRUE(ws.UpgradeWebSocket("/api/v1/stores/s0/ws").ok());
   // An unmasked client frame breaks RFC 6455 §5.1; the server answers
   // close 1002 and drops the connection.
   std::string unmasked = EncodeWsFrame(WsOpcode::kText, "root",
@@ -276,7 +276,7 @@ TEST(HttpGatewayTest, SlowClientIsEvicted) {
   // write queue fills and the reactor drops us as a slow client.
   std::string burst;
   for (int i = 0; i < 8; ++i) {
-    burst += "GET /api/stores/s0/render.svg HTTP/1.1\r\n"
+    burst += "GET /api/v1/stores/s0/render.svg HTTP/1.1\r\n"
              "Host: t\r\n\r\n";
   }
   ASSERT_TRUE(client.SendRaw(burst).ok());
@@ -305,7 +305,7 @@ TEST(HttpGatewayTest, GracefulDrainReleasesEverySession) {
     ASSERT_TRUE(navigators[i].Connect("127.0.0.1", f.port()).ok());
     const std::string store = i % 2 == 0 ? "s0" : "s1";
     ASSERT_TRUE(
-        navigators[i].UpgradeWebSocket("/api/stores/" + store + "/ws")
+        navigators[i].UpgradeWebSocket("/api/v1/stores/" + store + "/ws")
             .ok());
     ASSERT_TRUE(navigators[i].Roundtrip("root").ok());
   }
@@ -344,7 +344,7 @@ TEST(HttpGatewayTest, HoldsManyIdleWebSocketsOnOneLoop) {
   std::vector<GatewayClient> idle(kIdle);
   for (size_t i = 0; i < kIdle; ++i) {
     ASSERT_TRUE(idle[i].Connect("127.0.0.1", f.port()).ok()) << i;
-    Status st = idle[i].UpgradeWebSocket("/api/stores/s0/ws");
+    Status st = idle[i].UpgradeWebSocket("/api/v1/stores/s0/ws");
     ASSERT_TRUE(st.ok()) << "conn " << i << ": " << st.ToString();
   }
   EXPECT_EQ(f.gateway().stats().reactor.open_now, kIdle);
@@ -363,6 +363,101 @@ TEST(HttpGatewayTest, HoldsManyIdleWebSocketsOnOneLoop) {
     std::this_thread::sleep_for(std::chrono::milliseconds(10));
   }
   EXPECT_EQ(f.catalog().stats().sessions_now, 0u);
+}
+
+TEST(HttpGatewayTest, LegacyApiPathsRedirectToV1) {
+  GatewayFixture f("redirect");
+  GatewayClient client = f.Connect();
+
+  HttpClientResponse r =
+      std::move(client.Request("GET", "/api/stores")).value();
+  EXPECT_EQ(r.status, 301);
+  EXPECT_EQ(r.Header("location"), "/api/v1/stores");
+
+  // Query strings survive the redirect verbatim.
+  r = std::move(client.Request(
+                    "GET", "/api/stores/s0/query?q=MATCH%20NODES%20LIMIT%201"))
+          .value();
+  EXPECT_EQ(r.status, 301);
+  EXPECT_EQ(r.Header("location"),
+            "/api/v1/stores/s0/query?q=MATCH%20NODES%20LIMIT%201");
+
+  // Following the Location lands on the live endpoint.
+  r = std::move(client.Request("GET", "/api/v1/stores")).value();
+  EXPECT_EQ(r.status, 200);
+  client.Close();
+}
+
+TEST(HttpGatewayTest, LegacyRedirectNeedsNoAuth) {
+  GatewayOptions gopts;
+  gopts.bearer_token = "sekrit";
+  GatewayFixture f("redirect_auth", gopts);
+  GatewayClient client = f.Connect();
+  // A stale client learns the new path without the secret...
+  HttpClientResponse r =
+      std::move(client.Request("GET", "/api/stores")).value();
+  EXPECT_EQ(r.status, 301);
+  EXPECT_EQ(r.Header("location"), "/api/v1/stores");
+  // ...but the live endpoint is still gated.
+  r = std::move(client.Request("GET", "/api/v1/stores")).value();
+  EXPECT_EQ(r.status, 401);
+  client.Close();
+}
+
+TEST(HttpGatewayTest, MineJobLifecycle) {
+  GatewayFixture f("mine");
+  GatewayClient client = f.Connect();
+
+  // Submit: 202 Accepted with a poll URL in Location and the body.
+  HttpClientResponse r =
+      std::move(client.Request(
+                    "POST", "/api/v1/stores/s0/mine?kernel=pagerank&top=3"))
+          .value();
+  EXPECT_EQ(r.status, 202) << r.body;
+  const std::string location(r.Header("location"));
+  ASSERT_EQ(location.rfind("/api/v1/jobs/", 0), 0u) << location;
+  EXPECT_NE(r.body.find("\"job\":"), std::string::npos);
+  EXPECT_NE(r.body.find("\"poll\":"), std::string::npos);
+
+  // Poll until the worker finishes.
+  for (int i = 0; i < 500; ++i) {
+    r = std::move(client.Request("GET", location)).value();
+    ASSERT_EQ(r.status, 200) << r.body;
+    if (r.body.find("\"state\":\"running\"") == std::string::npos) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_NE(r.body.find("\"state\":\"done\""), std::string::npos) << r.body;
+  EXPECT_NE(r.body.find("\"result\":"), std::string::npos) << r.body;
+  // These fixture stores are legacy-built, so the job fell back to the
+  // in-memory kernels and says so.
+  EXPECT_NE(r.body.find("\"engine\":\"in-memory\""), std::string::npos)
+      << r.body;
+
+  // DELETE on a finished job removes the record (200)...
+  r = std::move(client.Request("DELETE", location)).value();
+  EXPECT_EQ(r.status, 200);
+  // ...after which it is unknown.
+  r = std::move(client.Request("GET", location)).value();
+  EXPECT_EQ(r.status, 404);
+
+  // Synchronous submit errors.
+  r = std::move(client.Request("POST",
+                               "/api/v1/stores/s0/mine?kernel=nope"))
+          .value();
+  EXPECT_EQ(r.status, 400);
+  r = std::move(client.Request("POST", "/api/v1/stores/nope/mine")).value();
+  EXPECT_EQ(r.status, 404);
+  r = std::move(client.Request("GET", "/api/v1/stores/s0/mine")).value();
+  EXPECT_EQ(r.status, 405);  // submit is POST-only
+  r = std::move(client.Request("GET", "/api/v1/jobs/notanumber")).value();
+  EXPECT_EQ(r.status, 400);
+  r = std::move(client.Request("GET", "/api/v1/jobs/999999")).value();
+  EXPECT_EQ(r.status, 404);
+
+  // No leaked catalog sessions once the worker released its lease.
+  core::CatalogStats stats = f.catalog().stats();
+  EXPECT_EQ(stats.sessions_now, 0u);
+  client.Close();
 }
 
 TEST(HttpGatewayTest, CapacityLimitAnswers503) {

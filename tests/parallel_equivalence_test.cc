@@ -50,9 +50,9 @@ TEST(PageRankEquivalenceTest, SerialMatchesParallelBitForBit) {
   // path actually dispatches to the pool.
   auto g = gen::ErdosRenyiM(3000, 12000, 42).value();
   mining::PageRankOptions serial;
-  serial.threads = 1;
+  serial.threads = 1;  // deprecated field: the compat shim must still work
   mining::PageRankOptions parallel;
-  parallel.threads = 4;
+  parallel.context.threads = 4;
   auto r1 = mining::ComputePageRank(g, serial);
   auto r4 = mining::ComputePageRank(g, parallel);
   EXPECT_EQ(r1.iterations, r4.iterations);
@@ -65,10 +65,10 @@ TEST(PageRankEquivalenceTest, DanglingAndWeightedVariants) {
   graph::Graph g = DanglingWeightedGraph();
   for (bool weighted : {false, true}) {
     mining::PageRankOptions serial;
-    serial.threads = 1;
+    serial.context.threads = 1;
     serial.weighted = weighted;
     mining::PageRankOptions parallel = serial;
-    parallel.threads = 4;
+    parallel.context.threads = 4;
     auto r1 = mining::ComputePageRank(g, serial);
     auto r4 = mining::ComputePageRank(g, parallel);
     EXPECT_EQ(r1.iterations, r4.iterations) << "weighted=" << weighted;
@@ -82,7 +82,7 @@ TEST(PageRankEquivalenceTest, DanglingAndWeightedVariants) {
 TEST(PageRankEquivalenceTest, SerialIsDeterministicAcrossRuns) {
   auto g = gen::BarabasiAlbert(2500, 4, 9).value();
   mining::PageRankOptions opts;
-  opts.threads = 1;
+  opts.context.threads = 1;
   auto a = mining::ComputePageRank(g, opts);
   auto b = mining::ComputePageRank(g, opts);
   EXPECT_EQ(a.iterations, b.iterations);
@@ -93,10 +93,10 @@ TEST(RwrEquivalenceTest, SerialMatchesParallelBitForBit) {
   auto g = gen::ErdosRenyiM(3000, 12000, 7).value();
   for (bool weighted : {false, true}) {
     csg::RwrOptions serial;
-    serial.threads = 1;
+    serial.context.threads = 1;
     serial.weighted = weighted;
     csg::RwrOptions parallel = serial;
-    parallel.threads = 4;
+    parallel.context.threads = 4;
     auto r1 = csg::RandomWalkWithRestart(g, 5, serial);
     auto r4 = csg::RandomWalkWithRestart(g, 5, parallel);
     ASSERT_TRUE(r1.ok());
@@ -109,9 +109,9 @@ TEST(RwrEquivalenceTest, SerialMatchesParallelBitForBit) {
 TEST(RwrEquivalenceTest, DanglingGraph) {
   graph::Graph g = DanglingWeightedGraph();
   csg::RwrOptions serial;
-  serial.threads = 1;
+  serial.threads = 1;  // deprecated field: the compat shim must still work
   csg::RwrOptions parallel;
-  parallel.threads = 4;
+  parallel.context.threads = 4;
   auto r1 = csg::RandomWalkWithRestart(g, 0, serial);
   auto r4 = csg::RandomWalkWithRestart(g, 0, parallel);
   ASSERT_TRUE(r1.ok());
@@ -142,7 +142,7 @@ TEST(RwrEquivalenceTest, PrebuiltMatrixOverloadValidatesAndMatches) {
 TEST(RwrEquivalenceTest, ParallelStillMatchesExactSolve) {
   auto g = gen::WattsStrogatz(300, 6, 0.1, 3).value();
   csg::RwrOptions opts;
-  opts.threads = 4;
+  opts.context.threads = 4;
   opts.tolerance = 1e-12;
   opts.max_iterations = 2000;
   auto iter = csg::RandomWalkWithRestart(g, 0, opts);
@@ -158,9 +158,9 @@ TEST(RwrEquivalenceTest, ParallelStillMatchesExactSolve) {
 TEST(BetweennessEquivalenceTest, SerialMatchesParallelExact) {
   auto g = gen::ErdosRenyiM(400, 1600, 11).value();
   mining::BetweennessOptions serial;
-  serial.threads = 1;
+  serial.context.threads = 1;
   mining::BetweennessOptions parallel;
-  parallel.threads = 4;
+  parallel.context.threads = 4;
   auto r1 = mining::ComputeBetweenness(g, serial);
   auto r4 = mining::ComputeBetweenness(g, parallel);
   EXPECT_TRUE(r1.exact);
@@ -173,9 +173,9 @@ TEST(BetweennessEquivalenceTest, SerialMatchesParallelSampled) {
   mining::BetweennessOptions serial;
   serial.exact_threshold = 100;  // force sampling
   serial.samples = 64;
-  serial.threads = 1;
+  serial.context.threads = 1;
   mining::BetweennessOptions parallel = serial;
-  parallel.threads = 4;
+  parallel.context.threads = 4;
   auto r1 = mining::ComputeBetweenness(g, serial);
   auto r4 = mining::ComputeBetweenness(g, parallel);
   EXPECT_FALSE(r1.exact);
@@ -188,7 +188,7 @@ TEST(BetweennessEquivalenceTest, ZeroSamplesYieldsZeroScores) {
   mining::BetweennessOptions opts;
   opts.exact_threshold = 100;  // force sampling
   opts.samples = 0;
-  opts.threads = 0;  // auto must not dispatch ranks into empty workspaces
+  opts.context.threads = 0;  // auto must not dispatch ranks into empty workspaces
   auto r = mining::ComputeBetweenness(g, opts);
   EXPECT_EQ(r.sources_used, 0u);
   for (double s : r.score) EXPECT_EQ(s, 0.0);

@@ -100,7 +100,7 @@ std::string ReferenceMatchNodes(
     std::vector<double> pagerank;
     if (needs_pagerank) {
       mining::PageRankOptions pr;
-      pr.threads = threads;
+      pr.context.threads = threads;
       pagerank = mining::ComputePageRank(sub.graph, pr).score;
     }
     for (graph::NodeId local = 0; local < sub.graph.num_nodes();

@@ -67,9 +67,14 @@ TEST(QueryParserTest, RoundTripsEveryConstruct) {
       "EXTRACT CSG FROM {\"a\", 9} BUDGET 12",
       "SUMMARIZE NODE 4",
       "SUMMARIZE NODE \"Jiawei Han\"",
+      "MINE PAGERANK",
+      "MINE PAGERANK TOP 5",
+      "MINE DEGREES",
+      "MINE COMPONENTS TOP 3",
       "EXPLAIN MATCH NODES WHERE degree > 5 LIMIT 2",
       "EXPLAIN EXTRACT CSG FROM {1} BUDGET 8",
       "EXPLAIN SUMMARIZE NODE 0",
+      "EXPLAIN MINE PAGERANK TOP 10",
   };
   for (const std::string& s : statements) CheckRoundTrip(s);
 }
@@ -152,9 +157,9 @@ void ExpectError(const std::string& text, const char* prefix,
 
 TEST(QueryParserTest, ErrorsCarryLineAndColumn) {
   // Statement head.
-  ExpectError("", "1:1:", "expected MATCH, EXTRACT or SUMMARIZE");
-  ExpectError("FROB NODES", "1:1:", "expected MATCH, EXTRACT or SUMMARIZE");
-  ExpectError("EXPLAIN", "1:8:", "expected MATCH, EXTRACT or SUMMARIZE");
+  ExpectError("", "1:1:", "expected MATCH, EXTRACT, SUMMARIZE or MINE");
+  ExpectError("FROB NODES", "1:1:", "expected MATCH, EXTRACT, SUMMARIZE or MINE");
+  ExpectError("EXPLAIN", "1:8:", "expected MATCH, EXTRACT, SUMMARIZE or MINE");
   // MATCH source.
   ExpectError("MATCH", "1:6:", "expected NODES or NEIGHBORS(");
   ExpectError("MATCH EDGES", "1:7:", "expected NODES or NEIGHBORS(");
@@ -204,6 +209,12 @@ TEST(QueryParserTest, ErrorsCarryLineAndColumn) {
   ExpectError("SUMMARIZE", "1:10:", "expected NODE after SUMMARIZE");
   ExpectError("SUMMARIZE NODE", "1:15:",
               "expected node id or quoted label");
+  // MINE.
+  ExpectError("MINE", "1:5:", "expected PAGERANK, DEGREES or COMPONENTS");
+  ExpectError("MINE BOGUS", "1:6:",
+              "expected PAGERANK, DEGREES or COMPONENTS");
+  ExpectError("MINE PAGERANK TOP", "1:18:", "expected TOP count");
+  ExpectError("MINE PAGERANK TOP x", "1:19:", "expected TOP count");
   // Trailing garbage.
   ExpectError("MATCH NODES LIMIT 5 extra", "1:21:",
               "expected end of statement");

@@ -21,10 +21,14 @@
 #   * the http_gateway sweep carries conns / req_per_sec / p99_ns per
 #     entry, conns matching the column — the gateway throughput/latency
 #     record (docs/HTTP.md);
+#   * the outofcore_pagerank sweep carries budget_bytes / graph_bytes /
+#     peak_rss / pool_resident_bytes per entry, with graph_bytes >= 10x
+#     budget_bytes and pool_resident_bytes <= budget_bytes — the
+#     out-of-core gates (docs/OUTOFCORE.md);
 #   * host_cpus is recorded (a perf number without its core count is
-#     unreproducible); on a 1-core host, thread sweeps whose
-#     speedup_auto_vs_serial < 1 are WARNED about loudly instead of
-#     shipping a silent sub-1x "speedup" nobody can interpret.
+#     unreproducible); a record generated on a 1-core host FAILS the
+#     check on any multi-core machine (regenerate there), and only
+#     degrades to a loud warning when the checker itself is 1-core.
 #
 # Usage: tools/check_bench_json.sh [path/to/BENCH_kernels.json]
 
@@ -41,6 +45,7 @@ fi
 python3 - "$JSON" <<'PY'
 import json
 import math
+import os
 import sys
 
 path = sys.argv[1]
@@ -57,6 +62,7 @@ required = [
     "wal_group_commit",
     "query_pushdown",
     "http_gateway",
+    "outofcore_pagerank",
 ]
 
 try:
@@ -131,6 +137,33 @@ for name, sweep in kernels.items():
                 fail.append(f"{name}/{col}: pages_scanned {scanned} is "
                             f"not < pages_total {total} — pushdown "
                             "pruned nothing")
+        if name == "outofcore_pagerank":
+            budget = entry.get("budget_bytes")
+            graph = entry.get("graph_bytes")
+            rss = entry.get("peak_rss")
+            resident = entry.get("pool_resident_bytes")
+            ok_nums = all(
+                isinstance(v, (int, float)) and math.isfinite(v) and v > 0
+                for v in (budget, graph, rss)) and \
+                isinstance(resident, (int, float)) and \
+                math.isfinite(resident) and resident >= 0
+            if not ok_nums:
+                fail.append(f"{name}/{col}: bad out-of-core counters "
+                            f"budget={budget!r} graph={graph!r} "
+                            f"rss={rss!r} resident={resident!r}")
+            else:
+                # The out-of-core gates (docs/OUTOFCORE.md): the store
+                # must dwarf the budget, and the pool must have held the
+                # budget while the kernel ran.
+                if graph < 10 * budget:
+                    fail.append(f"{name}/{col}: graph_bytes {graph:.0f} "
+                                f"is not >= 10x budget_bytes "
+                                f"{budget:.0f} — the sweep no longer "
+                                "proves out-of-core operation")
+                if resident > budget:
+                    fail.append(f"{name}/{col}: pool_resident_bytes "
+                                f"{resident:.0f} exceeds budget_bytes "
+                                f"{budget:.0f} — the pool budget leaked")
         if name == "http_gateway":
             conns = entry.get("conns")
             rps = entry.get("req_per_sec")
@@ -179,23 +212,34 @@ if isinstance(wal, dict):
                   f"sustains {ratio:.1f}x the serial throughput (gate 5x)")
 
 # Host-core bookkeeping: the parallel sweeps' speedups are meaningless
-# without knowing the cores they ran on, and on a 1-core host a sub-1x
-# "speedup" is expected — warn loudly rather than let it read as a
-# parallelism regression (or pass silently as one).
+# without knowing the cores they ran on, and numbers produced on a
+# 1-core host make every thread sweep read as a regression. A 1-core
+# record is a hard FAILURE whenever the machine running this check has
+# the cores to regenerate it (run tools/run_benches.sh here); only a
+# checker that is itself single-core — which could not do better —
+# gets the loud warning instead.
 host_cpus = report.get("host_cpus")
+checker_cpus = os.cpu_count() or 1
 if not isinstance(host_cpus, int) or host_cpus < 1:
     fail.append(f"host_cpus missing or invalid: {host_cpus!r} "
                 "(re-run tools/run_benches.sh)")
 elif host_cpus == 1:
-    for name, sweep in kernels.items():
-        if not isinstance(sweep, dict):
-            continue
-        speedup = sweep.get("speedup_auto_vs_serial")
-        if isinstance(speedup, (int, float)) and speedup < 1.0:
-            print(f"check_bench_json: WARNING {name} speedup "
-                  f"{speedup}x < 1 on a 1-core host — thread-pool "
-                  "overhead, not a regression; rerun on a multi-core "
-                  "host before comparing", file=sys.stderr)
+    if checker_cpus > 1:
+        fail.append(
+            f"BENCH_kernels.json was generated on a 1-core host but "
+            f"this machine has {checker_cpus} cores — regenerate with "
+            "tools/run_benches.sh so the thread sweeps mean something")
+    else:
+        for name, sweep in kernels.items():
+            if not isinstance(sweep, dict):
+                continue
+            speedup = sweep.get("speedup_auto_vs_serial")
+            if isinstance(speedup, (int, float)) and speedup < 1.0:
+                print(f"check_bench_json: WARNING {name} speedup "
+                      f"{speedup}x < 1 on a 1-core host — thread-pool "
+                      "overhead, not a regression; rerun on a "
+                      "multi-core host before comparing",
+                      file=sys.stderr)
 
 if fail:
     for f in fail:

@@ -73,6 +73,7 @@ run_sweep bench_buffer_pool 'BM_BufferPoolNavigate' "$TMP_DIR/buffer_pool.json"
 run_sweep bench_wal 'BM_WalGroupCommit' "$TMP_DIR/wal.json"
 run_sweep bench_query 'BM_QueryPushdown' "$TMP_DIR/query.json"
 run_sweep bench_http 'BM_HttpGatewayNavigate' "$TMP_DIR/http.json"
+run_sweep bench_outofcore 'BM_OutOfCorePageRank' "$TMP_DIR/outofcore.json"
 
 python3 - "$REPO_ROOT/BENCH_kernels.json" "$TMP_DIR"/*.json <<'PY'
 import json
@@ -113,6 +114,11 @@ kernel_names = {
     # conns, req_per_sec and p99_ns carry the throughput/latency story
     # (docs/HTTP.md)
     "BM_HttpGatewayNavigate": "http_gateway",
+    # arg = BUFFER-POOL BUDGET IN MiB, not threads: page-at-a-time
+    # PageRank on a streamed store >= 10x the budget; extra columns
+    # budget_bytes / graph_bytes / peak_rss / pool_resident_bytes carry
+    # the out-of-core evidence (docs/OUTOFCORE.md)
+    "BM_OutOfCorePageRank": "outofcore_pagerank",
 }
 kernels = {}
 context = {}
@@ -138,7 +144,8 @@ for path in inputs:
         # wal_group_commit).
         for extra in ("hit_rate", "resident_bytes", "edits_per_sec",
                       "pages_scanned", "pages_total", "speedup_vs_full",
-                      "conns", "req_per_sec", "p99_ns"):
+                      "conns", "req_per_sec", "p99_ns", "budget_bytes",
+                      "graph_bytes", "peak_rss", "pool_resident_bytes"):
             if extra in b:
                 entry[extra] = b[extra]
         kernels.setdefault(kernel_names[name], {})[threads] = entry
